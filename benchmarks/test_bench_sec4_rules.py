@@ -1,0 +1,73 @@
+"""E3 — Section 4: rule derivation (Examples 1, 2 and 3).
+
+The benchmark times the derivation of the paper's three example rules against
+the base authorization ``a1`` and asserts that the derived authorizations are
+exactly the ones the paper lists (``a2``, ``a3``) plus the route grants of
+Example 3.
+"""
+
+import pytest
+
+from repro.core.derivation import DerivationEngine
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.paper import fixtures as paper
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+def make_engine(campus):
+    engine = DerivationEngine(paper.paper_directory(), campus)
+    a1 = paper.example_base_authorization_a1()
+    for rule_fn in (paper.example_rule_r1, paper.example_rule_r2, paper.example_rule_r3):
+        engine.add_rule(rule_fn(a1))
+    return engine, a1
+
+
+def test_derive_examples_1_2_3(benchmark, campus, table_printer):
+    engine, a1 = make_engine(campus)
+
+    result = benchmark(engine.derive, [a1], now=10)
+
+    assert paper.expected_derived_a2() in result.derived
+    assert paper.expected_derived_a3() in result.derived
+    r3_locations = {auth.location for auth in result.derived_by_rule("r3")}
+    assert r3_locations == {"SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS"}
+
+    table_printer(
+        "Section 4 — derived authorizations",
+        ("rule", "paper says", "reproduced"),
+        [
+            ("r1", "a2 = ([5,20],[15,50],(Bob,CAIS),2)", str(result.derived_by_rule("r1")[0])),
+            ("r2", "a3 = ([10,20],[15,50],(Bob,CAIS),2)", str(result.derived_by_rule("r2")[0])),
+            ("r3", "route locations from SCE.GO to CAIS", ", ".join(sorted(r3_locations))),
+        ],
+    )
+
+
+def test_derivation_scales_with_rule_count(benchmark, campus):
+    """Many supervisor-style rules over many base authorizations."""
+    from repro.core.authorization import LocationTemporalAuthorization
+    from repro.core.operators.subject import SupervisorOf
+    from repro.core.rules import AuthorizationRule, OperatorTuple
+    from repro.core.subjects import SubjectDirectory
+
+    directory = SubjectDirectory()
+    bases = []
+    engine = DerivationEngine(directory, campus)
+    locations = sorted(campus.primitive_names)
+    for index in range(60):
+        worker, boss = f"w{index}", f"boss{index % 7}"
+        directory.set_supervisor(worker, boss)
+        base = LocationTemporalAuthorization(
+            (worker, locations[index % len(locations)]), (0, 100), (10, 200), 2, auth_id=f"b{index}"
+        )
+        bases.append(base)
+        engine.add_rule(
+            AuthorizationRule(0, base, OperatorTuple(op_subject=SupervisorOf()), rule_id=f"rule{index}")
+        )
+
+    result = benchmark(engine.derive, bases, now=5)
+    assert result.count == 60

@@ -1,0 +1,76 @@
+"""E7 — Section 6: the complexity claim for Algorithm 1.
+
+The paper states that FindInaccessible runs in ``O(N_L² · N_d · N_a)`` where
+``N_L`` is the number of locations, ``N_d`` the maximum degree and ``N_a`` the
+maximum number of authorizations per location, and argues that this is
+acceptable because buildings are small.  The benchmark sweeps each parameter
+independently on synthetic buildings so the scaling shape can be read off the
+pytest-benchmark table:
+
+* ``N_L`` sweep on grid buildings (16 → 144 rooms);
+* ``N_a`` sweep (1 → 8 authorizations per location) at fixed ``N_L``;
+* ``N_d`` comparison (corridor/line vs grid vs dense random graph) at fixed
+  ``N_L`` and ``N_a``.
+"""
+
+import pytest
+
+from repro.core.accessibility import find_inaccessible
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.grant import AuthorizationIndex
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import corridor_building, grid_building, random_building
+
+SUBJECT = "auditor"
+
+
+def layered_authorizations(hierarchy, per_location: int) -> AuthorizationIndex:
+    """Deterministic authorization set with *per_location* staggered windows each."""
+    index = AuthorizationIndex()
+    for offset, location in enumerate(sorted(hierarchy.primitive_names)):
+        for layer in range(per_location):
+            start = (offset * 3 + layer * 40) % 400
+            index.add(
+                LocationTemporalAuthorization(
+                    (SUBJECT, location),
+                    (start, start + 60),
+                    (start + 10, start + 120),
+                    2,
+                )
+            )
+    return index
+
+
+@pytest.mark.parametrize("side", [4, 6, 8, 10, 12], ids=lambda s: f"NL={s * s}")
+def test_scaling_with_location_count(benchmark, side):
+    hierarchy = LocationHierarchy(grid_building("G", side, side))
+    index = layered_authorizations(hierarchy, per_location=2)
+
+    report = benchmark(find_inaccessible, hierarchy, SUBJECT, index)
+    assert report.accessible | report.inaccessible == hierarchy.primitive_names
+
+
+@pytest.mark.parametrize("per_location", [1, 2, 4, 8], ids=lambda n: f"Na={n}")
+def test_scaling_with_authorizations_per_location(benchmark, per_location):
+    hierarchy = LocationHierarchy(grid_building("G", 6, 6))
+    index = layered_authorizations(hierarchy, per_location=per_location)
+
+    report = benchmark(find_inaccessible, hierarchy, SUBJECT, index)
+    assert report.accessible  # entry locations always get authorizations
+
+
+def _topology(name: str) -> LocationHierarchy:
+    if name == "corridor":
+        return LocationHierarchy(corridor_building("B", 18))   # 36 rooms, degree <= 3
+    if name == "grid":
+        return LocationHierarchy(grid_building("B", 6, 6))     # 36 rooms, degree <= 4
+    return LocationHierarchy(random_building("B", 36, extra_edges=72, seed=1))  # dense
+
+
+@pytest.mark.parametrize("topology", ["corridor", "grid", "dense-random"], ids=str)
+def test_scaling_with_degree(benchmark, topology):
+    hierarchy = _topology(topology)
+    index = layered_authorizations(hierarchy, per_location=2)
+
+    report = benchmark(find_inaccessible, hierarchy, SUBJECT, index)
+    assert report.accessible | report.inaccessible == hierarchy.primitive_names

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a small office with LTAM in ~60 lines.
+
+The script builds a tiny location graph, grants two location-temporal
+authorizations, evaluates access requests, feeds movement observations to the
+continuous monitor, and asks the query engine a few questions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AccessControlEngine, LocationTemporalAuthorization
+from repro.engine import QueryEngine
+from repro.locations import LocationGraphBuilder, LocationHierarchy
+
+
+def build_office() -> LocationHierarchy:
+    """A lobby, a corridor, an office and a server room."""
+    graph = (
+        LocationGraphBuilder("Office")
+        .add_location("Lobby", tags=("lobby",), entry=True)
+        .add_location("Corridor", tags=("corridor",))
+        .add_location("DevOffice", tags=("office",))
+        .add_location("ServerRoom", tags=("restricted",))
+        .add_path("Lobby", "Corridor", "DevOffice")
+        .add_edge("Corridor", "ServerRoom")
+        .build()
+    )
+    return LocationHierarchy(graph)
+
+
+def main() -> None:
+    engine = AccessControlEngine(build_office())
+
+    # Dana the developer: free run of the office during the working day.
+    for room in ("Lobby", "Corridor", "DevOffice"):
+        engine.grant(LocationTemporalAuthorization(("Dana", room), (0, 480), (0, 540)))
+    # ... and one visit to the server room between 9:00 and 10:00 (minutes 60-120),
+    # which must end by minute 150.
+    engine.grant(LocationTemporalAuthorization(("Dana", "ServerRoom"), (60, 120), (60, 150), 1))
+
+    print("== Access requests (Definition 7) ==")
+    for time, room in [(10, "Lobby"), (70, "ServerRoom"), (200, "ServerRoom")]:
+        decision = engine.request_access(time, "Dana", room)
+        outcome = "GRANTED" if decision.granted else f"DENIED ({decision.reason})"
+        print(f"t={time:<4} Dana -> {room:<11} {outcome}")
+
+    print("\n== Continuous monitoring ==")
+    engine.observe_entry(10, "Dana", "Lobby")
+    engine.observe_exit(15, "Dana", "Lobby")
+    engine.observe_entry(70, "Dana", "ServerRoom")
+    # Dana forgets the time; the clock passes the exit deadline (150).
+    engine.advance_to(160)
+    for alert in engine.alerts:
+        print(f"ALERT: {alert}")
+
+    print("\n== Queries ==")
+    queries = QueryEngine(engine)
+    for text in (
+        "WHERE IS Dana",
+        "ENTRIES OF Dana INTO ServerRoom",
+        "CAN Dana ENTER ServerRoom AT 100",
+        "INACCESSIBLE FOR Dana",
+        "VIOLATIONS FOR Dana",
+    ):
+        print(f"\n> {text}")
+        print(queries.evaluate(text).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of LTAM: A Location-Temporal Authorization Model.
+
+Yu & Lim, Secure Data Management (SDM 2004), VLDB 2004 Workshop, LNCS 3178.
+
+The package is organised as described in DESIGN.md:
+
+* :mod:`repro.temporal` — chronons, time intervals, interval sets, calendars;
+* :mod:`repro.locations` — location graphs, multilevel graphs, routes, layouts;
+* :mod:`repro.spatial` — geometry, boundaries, simulated positioning;
+* :mod:`repro.core` — authorizations, rules, derivation, conflicts,
+  grant durations, the inaccessible-location algorithm;
+* :mod:`repro.storage` — the authorization, movement and profile databases;
+* :mod:`repro.engine` — the access-control engine, movement monitor, alerts,
+  audit log and query engine;
+* :mod:`repro.privacy` — location-privacy policies and anonymization;
+* :mod:`repro.simulation` — synthetic buildings, workloads and movement traces;
+* :mod:`repro.baselines` — card-reader, TAM and brute-force baselines;
+* :mod:`repro.analysis` — reachability matrices and violation reports;
+* :mod:`repro.paper` — the paper's worked examples as fixtures.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import (
+    AccessRequest,
+    AccessDecision,
+    AuthorizationRule,
+    DenialReason,
+    LocationAuthorization,
+    LocationTemporalAuthorization,
+    OperatorTuple,
+    Subject,
+    SubjectDirectory,
+    UNLIMITED_ENTRIES,
+    authorize_route,
+    find_inaccessible,
+)
+from repro.engine import AccessControlEngine, AlertKind, QueryEngine
+from repro.locations import (
+    LocationGraph,
+    LocationGraphBuilder,
+    LocationHierarchy,
+    MultilevelGraphBuilder,
+    MultilevelLocationGraph,
+    Route,
+    find_route,
+    ntu_campus_hierarchy,
+)
+from repro.temporal import FOREVER, Clock, IntervalSet, TimeInterval
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # temporal
+    "FOREVER",
+    "Clock",
+    "TimeInterval",
+    "IntervalSet",
+    # locations
+    "LocationGraph",
+    "MultilevelLocationGraph",
+    "LocationHierarchy",
+    "LocationGraphBuilder",
+    "MultilevelGraphBuilder",
+    "Route",
+    "find_route",
+    "ntu_campus_hierarchy",
+    # core
+    "Subject",
+    "SubjectDirectory",
+    "LocationAuthorization",
+    "LocationTemporalAuthorization",
+    "UNLIMITED_ENTRIES",
+    "AccessRequest",
+    "AccessDecision",
+    "DenialReason",
+    "AuthorizationRule",
+    "OperatorTuple",
+    "authorize_route",
+    "find_inaccessible",
+    # engine
+    "AccessControlEngine",
+    "AlertKind",
+    "QueryEngine",
+]

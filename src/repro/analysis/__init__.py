@@ -1,0 +1,31 @@
+"""Analysis and reporting over authorization databases and audit trails."""
+
+from repro.analysis.contacts import Contact, Stay, contact_graph, find_contacts, stays_of
+from repro.analysis.reachability import (
+    ReachabilityMatrix,
+    SubjectReachability,
+    build_reachability_matrix,
+)
+from repro.analysis.reports import (
+    DetectionStats,
+    ViolationReport,
+    build_violation_report,
+    busiest_locations,
+    detection_stats,
+)
+
+__all__ = [
+    "Stay",
+    "Contact",
+    "stays_of",
+    "find_contacts",
+    "contact_graph",
+    "SubjectReachability",
+    "ReachabilityMatrix",
+    "build_reachability_matrix",
+    "ViolationReport",
+    "DetectionStats",
+    "build_violation_report",
+    "detection_stats",
+    "busiest_locations",
+]

@@ -1,0 +1,140 @@
+"""Co-location analysis (contact tracing) over the movement history.
+
+The paper's introduction motivates LTAM with Singapore's SARS response:
+*"From the user movement data, users who were in contact with diagnosed SARS
+patients could be traced and placed in quarantine or observations."*  This
+module provides that query as a first-class analysis: reconstruct per-subject
+stays from the Location & Movements Database and report who shared a location
+with whom, when, and for how long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.subjects import subject_name
+from repro.locations.location import LocationName
+from repro.storage.movement_db import MovementDatabase, MovementKind
+from repro.temporal.chronon import FOREVER, TimePoint
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["Stay", "Contact", "stays_of", "find_contacts", "contact_graph"]
+
+
+@dataclass(frozen=True)
+class Stay:
+    """One reconstructed stay of a subject inside a location."""
+
+    subject: str
+    location: LocationName
+    start: int
+    end: TimePoint  # FOREVER when the subject never exited within the history
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The stay as a time interval."""
+        return TimeInterval(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class Contact:
+    """Two subjects overlapping in the same location."""
+
+    subject: str
+    other: str
+    location: LocationName
+    overlap: TimeInterval
+
+    @property
+    def duration(self) -> TimePoint:
+        """Length of the co-location period in chronons."""
+        return self.overlap.size
+
+
+def stays_of(movement_db: MovementDatabase, subject: Optional[str] = None) -> List[Stay]:
+    """Reconstruct stays from the ENTER/EXIT history (open stays end at FOREVER)."""
+    wanted = subject_name(subject) if subject is not None else None
+    open_stays: Dict[Tuple[str, LocationName], int] = {}
+    stays: List[Stay] = []
+    for record in movement_db.history(subject=wanted):
+        key = (record.subject, record.location)
+        if record.kind is MovementKind.ENTER:
+            # An unmatched previous entry is closed implicitly at the new entry time.
+            if key in open_stays:
+                stays.append(Stay(record.subject, record.location, open_stays.pop(key), record.time))
+            open_stays[key] = record.time
+        else:
+            start = open_stays.pop(key, None)
+            if start is not None:
+                stays.append(Stay(record.subject, record.location, start, record.time))
+    for (subj, location), start in open_stays.items():
+        stays.append(Stay(subj, location, start, FOREVER))
+    return sorted(stays, key=lambda stay: (stay.start, stay.subject, stay.location))
+
+
+def find_contacts(
+    movement_db: MovementDatabase,
+    subject: str,
+    *,
+    window: Optional[TimeInterval] = None,
+    min_overlap: int = 1,
+) -> List[Contact]:
+    """Everyone who shared a location with *subject* for at least *min_overlap* chronons.
+
+    Parameters
+    ----------
+    window:
+        Restrict the analysis to stays overlapping this interval (e.g. the
+        patient's infectious period).
+    min_overlap:
+        Minimum number of co-located chronons for a contact to be reported.
+    """
+    index_subject = subject_name(subject)
+    all_stays = stays_of(movement_db)
+    subject_stays = [stay for stay in all_stays if stay.subject == index_subject]
+    if window is not None:
+        subject_stays = [
+            stay for stay in subject_stays if stay.interval.overlaps(window)
+        ]
+    contacts: List[Contact] = []
+    for stay in subject_stays:
+        for other in all_stays:
+            if other.subject == index_subject or other.location != stay.location:
+                continue
+            overlap = stay.interval.intersect(other.interval)
+            if window is not None and overlap is not None:
+                overlap = overlap.intersect(window)
+            if overlap is None:
+                continue
+            if overlap.size is not FOREVER and int(overlap.size) < min_overlap:
+                continue
+            contacts.append(Contact(index_subject, other.subject, stay.location, overlap))
+    return sorted(contacts, key=lambda c: (c.overlap.start, c.other, c.location))
+
+
+def contact_graph(
+    movement_db: MovementDatabase, *, min_overlap: int = 1
+) -> Dict[str, Dict[str, int]]:
+    """Pairwise co-location totals: ``graph[a][b]`` = chronons a and b shared a location.
+
+    Open-ended overlaps (both subjects still inside) are excluded from the
+    totals because their duration is unbounded.
+    """
+    all_stays = stays_of(movement_db)
+    graph: Dict[str, Dict[str, int]] = {}
+    for index, stay in enumerate(all_stays):
+        for other in all_stays[index + 1:]:
+            if other.subject == stay.subject or other.location != stay.location:
+                continue
+            overlap = stay.interval.intersect(other.interval)
+            if overlap is None or overlap.is_unbounded:
+                continue
+            duration = int(overlap.size)
+            if duration < min_overlap:
+                continue
+            graph.setdefault(stay.subject, {}).setdefault(other.subject, 0)
+            graph.setdefault(other.subject, {}).setdefault(stay.subject, 0)
+            graph[stay.subject][other.subject] += duration
+            graph[other.subject][stay.subject] += duration
+    return graph

@@ -1,0 +1,89 @@
+"""Reachability and coverage analysis across subjects.
+
+Administrators use Algorithm 1 to audit an authorization database: *"to
+ensure that a subject can visit a location, one should check that the
+location is not inaccessible instead of just defining the authorizations for
+that location"* (Section 6).  This module aggregates the per-subject
+:class:`~repro.core.accessibility.AccessibilityReport` objects into the
+reports an administrator actually reads: which locations each subject can
+reach, which locations nobody can reach (dead space), and how much of the
+building each subject's authorization set really covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.accessibility import AccessibilityReport, find_inaccessible
+from repro.core.grant import AuthSource
+from repro.locations.multilevel import LocationHierarchy
+
+__all__ = ["SubjectReachability", "ReachabilityMatrix", "build_reachability_matrix"]
+
+
+@dataclass(frozen=True)
+class SubjectReachability:
+    """One subject's reachability summary."""
+
+    subject: str
+    accessible: FrozenSet[str]
+    inaccessible: FrozenSet[str]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the building's locations the subject can reach."""
+        total = len(self.accessible) + len(self.inaccessible)
+        return len(self.accessible) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ReachabilityMatrix:
+    """Reachability of every analysed subject over one hierarchy."""
+
+    hierarchy_name: str
+    locations: Tuple[str, ...]
+    per_subject: Mapping[str, SubjectReachability]
+
+    def reachable_by(self, location: str) -> List[str]:
+        """Subjects that can reach *location*."""
+        return sorted(
+            subject
+            for subject, summary in self.per_subject.items()
+            if location in summary.accessible
+        )
+
+    def dead_locations(self) -> List[str]:
+        """Locations no analysed subject can reach."""
+        return [location for location in self.locations if not self.reachable_by(location)]
+
+    def coverage_by_subject(self) -> Dict[str, float]:
+        """Coverage fraction per subject."""
+        return {subject: summary.coverage for subject, summary in self.per_subject.items()}
+
+    def to_rows(self) -> List[Tuple[str, int, int, float]]:
+        """Rows of (subject, #accessible, #inaccessible, coverage) for reporting."""
+        return [
+            (
+                subject,
+                len(summary.accessible),
+                len(summary.inaccessible),
+                round(summary.coverage, 3),
+            )
+            for subject, summary in sorted(self.per_subject.items())
+        ]
+
+
+def build_reachability_matrix(
+    hierarchy: LocationHierarchy,
+    subjects: Sequence[str],
+    authorizations: AuthSource,
+) -> ReachabilityMatrix:
+    """Run Algorithm 1 for every subject and aggregate the results."""
+    per_subject: Dict[str, SubjectReachability] = {}
+    for subject in subjects:
+        report: AccessibilityReport = find_inaccessible(hierarchy, subject, authorizations)
+        per_subject[subject] = SubjectReachability(subject, report.accessible, report.inaccessible)
+    return ReachabilityMatrix(
+        hierarchy.root.name, tuple(sorted(hierarchy.primitive_names)), per_subject
+    )

@@ -1,0 +1,139 @@
+"""Violation and activity reports built from the audit trail.
+
+The query engine answers point questions; these reports aggregate a whole
+monitoring period into the summaries a security officer reviews at the end of
+the day: violations per kind and per subject, denied requests, busiest
+locations, and detection statistics against a known ground truth (used by the
+baseline-comparison benchmark E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.requests import AccessDecision
+from repro.engine.alerts import Alert, AlertKind
+from repro.engine.audit import AuditLog
+from repro.simulation.movement import GroundTruth
+from repro.storage.movement_db import MovementDatabase, MovementKind
+
+__all__ = ["ViolationReport", "DetectionStats", "build_violation_report", "detection_stats", "busiest_locations"]
+
+
+@dataclass(frozen=True)
+class ViolationReport:
+    """Summary of a monitoring period."""
+
+    total_decisions: int
+    granted: int
+    denied: int
+    alerts_by_kind: Mapping[AlertKind, int]
+    alerts_by_subject: Mapping[str, int]
+
+    @property
+    def total_alerts(self) -> int:
+        """Total number of alerts in the period."""
+        return sum(self.alerts_by_kind.values())
+
+    @property
+    def grant_rate(self) -> float:
+        """Fraction of decisions that granted access (0.0 when no decisions)."""
+        return self.granted / self.total_decisions if self.total_decisions else 0.0
+
+
+def build_violation_report(audit: AuditLog) -> ViolationReport:
+    """Aggregate an audit log into a :class:`ViolationReport`."""
+    decisions: List[AccessDecision] = audit.decisions()
+    granted = sum(1 for decision in decisions if decision.granted)
+    alerts = audit.alerts()
+    by_kind: Dict[AlertKind, int] = {}
+    by_subject: Dict[str, int] = {}
+    for alert in alerts:
+        by_kind[alert.kind] = by_kind.get(alert.kind, 0) + 1
+        by_subject[alert.subject] = by_subject.get(alert.subject, 0) + 1
+    return ViolationReport(
+        total_decisions=len(decisions),
+        granted=granted,
+        denied=len(decisions) - granted,
+        alerts_by_kind=by_kind,
+        alerts_by_subject=by_subject,
+    )
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Recall of a monitoring system against simulated ground truth."""
+
+    injected_unauthorized: int
+    detected_unauthorized: int
+    injected_overstays: int
+    detected_overstays: int
+
+    @property
+    def unauthorized_recall(self) -> float:
+        """Fraction of injected unauthorized entries that were detected."""
+        if self.injected_unauthorized == 0:
+            return 1.0
+        return self.detected_unauthorized / self.injected_unauthorized
+
+    @property
+    def overstay_recall(self) -> float:
+        """Fraction of injected overstays that were detected."""
+        if self.injected_overstays == 0:
+            return 1.0
+        return self.detected_overstays / self.injected_overstays
+
+    @property
+    def overall_recall(self) -> float:
+        """Recall over all injected violations."""
+        injected = self.injected_unauthorized + self.injected_overstays
+        if injected == 0:
+            return 1.0
+        return (self.detected_unauthorized + self.detected_overstays) / injected
+
+
+def detection_stats(alerts: Iterable[Alert], truth: GroundTruth) -> DetectionStats:
+    """Compare raised alerts against the simulator's ground truth.
+
+    Unauthorized entries are matched on (subject, location, time); overstays
+    on (subject, location) — the alert time is the detection time, not the
+    injected deadline, so only the identity of the stay is compared.
+    """
+    alerts = list(alerts)
+    unauthorized_alerts = {
+        (alert.subject, alert.location, alert.time)
+        for alert in alerts
+        if alert.kind is AlertKind.UNAUTHORIZED_ENTRY
+    }
+    overstay_alerts = {
+        (alert.subject, alert.location)
+        for alert in alerts
+        if alert.kind in (AlertKind.OVERSTAY, AlertKind.EXIT_OUTSIDE_DURATION)
+    }
+    detected_unauthorized = sum(
+        1
+        for time, subject, location in truth.unauthorized_entries
+        if (subject, location, time) in unauthorized_alerts
+    )
+    detected_overstays = sum(
+        1
+        for subject, location, _deadline in truth.overstays
+        if (subject, location) in overstay_alerts
+    )
+    return DetectionStats(
+        injected_unauthorized=len(truth.unauthorized_entries),
+        detected_unauthorized=detected_unauthorized,
+        injected_overstays=len(truth.overstays),
+        detected_overstays=detected_overstays,
+    )
+
+
+def busiest_locations(movement_db: MovementDatabase, *, top: int = 5) -> List[Tuple[str, int]]:
+    """Locations ranked by number of recorded entries (descending)."""
+    counts: Dict[str, int] = {}
+    for record in movement_db.history():
+        if record.kind is MovementKind.ENTER:
+            counts[record.location] = counts.get(record.location, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[: max(0, top)]

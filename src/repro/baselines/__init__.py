@@ -1,0 +1,14 @@
+"""Comparison baselines: card-reader systems, TAM, brute-force inaccessibility."""
+
+from repro.baselines.brute_force import brute_force_accessible, brute_force_inaccessible
+from repro.baselines.card_reader import CardReaderSystem
+from repro.baselines.tam import TemporalAuthorization, TemporalOnlySystem, tam_view_of
+
+__all__ = [
+    "CardReaderSystem",
+    "TemporalAuthorization",
+    "TemporalOnlySystem",
+    "tam_view_of",
+    "brute_force_accessible",
+    "brute_force_inaccessible",
+]

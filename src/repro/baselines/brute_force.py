@@ -1,0 +1,131 @@
+"""Baseline: brute-force route enumeration for the inaccessibility problem.
+
+Algorithm 1 computes inaccessible locations by fixpoint propagation of grant
+and departure times.  As a correctness oracle (and a cost comparison for
+benchmark E9) this module answers the same question directly from
+Definition 8: a location is accessible when *some* route from *some* entry
+location, checked step by step with the Section 6 grant/departure-duration
+conditions, reaches it.
+
+Two enumeration modes are provided:
+
+* simple paths (no repeated location) — the default, exhaustive for the small
+  graphs used in tests;
+* bounded walks (repeats allowed up to ``max_length`` moves) — closer to the
+  full generality of the definition (a subject may wait in a room and come
+  back), exponentially expensive, only usable on tiny graphs.
+
+The enumeration is *sound* (every location it reports accessible is truly
+accessible); with simple paths only it may miss exotic cases that require
+revisiting a location, which is exactly the kind of case the fixpoint
+algorithm handles for free — the property tests assert the subset relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.grant import AuthSource, authorize_route, _as_index
+from repro.core.subjects import subject_name
+from repro.locations.graph import LocationGraph
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.routes import Route, find_all_routes
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["brute_force_accessible", "brute_force_inaccessible"]
+
+
+def _as_hierarchy(graph) -> LocationHierarchy:
+    if isinstance(graph, LocationHierarchy):
+        return graph
+    return LocationHierarchy(graph)
+
+
+def _walks(
+    hierarchy: LocationHierarchy, source: str, destination: str, max_length: int
+) -> Iterable[Route]:
+    """Enumerate walks (repeats allowed) from source to destination, bounded in length."""
+    stack: List[List[str]] = [[source]]
+    while stack:
+        path = stack.pop()
+        current = path[-1]
+        if current == destination:
+            yield Route(tuple(path))
+            # A walk may continue past the destination and come back, but any
+            # such extension only matters for *other* destinations; stop here.
+            continue
+        if len(path) - 1 >= max_length:
+            continue
+        for neighbor in sorted(hierarchy.neighbors(current)):
+            stack.append(path + [neighbor])
+
+
+def brute_force_accessible(
+    graph,
+    subject: str,
+    authorizations: AuthSource,
+    *,
+    request_duration: Optional[TimeInterval] = None,
+    allow_revisits: bool = False,
+    max_length: Optional[int] = None,
+) -> FrozenSet[str]:
+    """Locations reachable by at least one authorized route from an entry location.
+
+    Parameters
+    ----------
+    allow_revisits:
+        Enumerate bounded walks instead of simple paths (exponential; tiny
+        graphs only).
+    max_length:
+        Maximum number of moves per route; defaults to the number of
+        locations (simple paths) or twice that (walks).
+    """
+    hierarchy = _as_hierarchy(graph)
+    subject = subject_name(subject)
+    index = _as_index(authorizations)
+    window = request_duration if request_duration is not None else TimeInterval(0, FOREVER)
+    locations = sorted(hierarchy.primitive_names)
+    entries = sorted(hierarchy.entry_locations)
+    limit = max_length if max_length is not None else (2 * len(locations) if allow_revisits else len(locations))
+
+    accessible: Set[str] = set()
+    for destination in locations:
+        reachable = False
+        for entry in entries:
+            if reachable:
+                break
+            if allow_revisits:
+                candidate_routes: Iterable[Route] = _walks(hierarchy, entry, destination, limit)
+            else:
+                candidate_routes = find_all_routes(hierarchy, entry, destination, max_length=limit)
+            for route in candidate_routes:
+                result = authorize_route(route, subject, index, request_duration=window)
+                if result.authorized:
+                    reachable = True
+                    break
+        if reachable:
+            accessible.add(destination)
+    return frozenset(accessible)
+
+
+def brute_force_inaccessible(
+    graph,
+    subject: str,
+    authorizations: AuthSource,
+    *,
+    request_duration: Optional[TimeInterval] = None,
+    allow_revisits: bool = False,
+    max_length: Optional[int] = None,
+) -> FrozenSet[str]:
+    """Complement of :func:`brute_force_accessible` over the hierarchy's locations."""
+    hierarchy = _as_hierarchy(graph)
+    accessible = brute_force_accessible(
+        hierarchy,
+        subject,
+        authorizations,
+        request_duration=request_duration,
+        allow_revisits=allow_revisits,
+        max_length=max_length,
+    )
+    return frozenset(hierarchy.primitive_names) - accessible

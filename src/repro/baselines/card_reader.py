@@ -1,0 +1,98 @@
+"""Baseline: a conventional card-reader access-control system.
+
+The paper's introduction contrasts LTAM with *"existing office security
+systems that involve the use of card readers to authenticate and register
+user access requests for entering a room"*: such systems only check at the
+door, so they cannot see tailgating (several people entering on one swipe),
+cannot notice overstays, and cannot restrict *when* a user must leave.
+
+:class:`CardReaderSystem` models that baseline over the *same* authorization
+database so benchmark E8 can compare detection capability on identical
+traces: the card reader grants or denies swipes (request-time checking works
+exactly as in LTAM) but its :meth:`observe_entry` / :meth:`observe_exit` do
+not evaluate the observation — whatever walks through the door is invisible
+to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+from repro.core.subjects import subject_name
+from repro.engine.alerts import Alert
+from repro.locations.location import location_name
+from repro.locations.multilevel import LocationHierarchy
+from repro.storage.authorization_db import AuthorizationDatabase, InMemoryAuthorizationDatabase
+from repro.storage.movement_db import InMemoryMovementDatabase, MovementDatabase, MovementRecord
+
+__all__ = ["CardReaderSystem"]
+
+
+class CardReaderSystem:
+    """Request-time-only enforcement: the card-reader strawman of Section 1.
+
+    The swipe decision replicates Definition 7 (the card reader does know the
+    schedule programmed into it); what it lacks is continuous monitoring, so
+    :meth:`observe_entry`, :meth:`observe_exit` and :meth:`check_overstays`
+    never raise alerts.
+    """
+
+    def __init__(
+        self,
+        hierarchy: LocationHierarchy,
+        *,
+        authorization_db: Optional[AuthorizationDatabase] = None,
+        movement_db: Optional[MovementDatabase] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.authorization_db = authorization_db if authorization_db is not None else InMemoryAuthorizationDatabase()
+        # The card reader logs swipes (that is what its audit trail is), but it
+        # only ever sees swipes — not what actually walks through the door.
+        self.swipe_log = movement_db if movement_db is not None else InMemoryMovementDatabase(hierarchy)
+
+    # ------------------------------------------------------------------ #
+    # Request-time checking (same semantics as LTAM's Definition 7)
+    # ------------------------------------------------------------------ #
+    def swipe(self, time: int, subject: str, location: str) -> AccessDecision:
+        """Evaluate a card swipe at the door of *location*."""
+        request = AccessRequest(time, subject_name(subject), location_name(location))
+        if not self.hierarchy.is_primitive(request.location):
+            return AccessDecision.deny(request, DenialReason.UNKNOWN_LOCATION)
+        candidates = self.authorization_db.for_subject_location(request.subject, request.location)
+        if not candidates:
+            return AccessDecision.deny(request, DenialReason.NO_AUTHORIZATION)
+        in_window = [auth for auth in candidates if auth.permits_entry_at(time)]
+        if not in_window:
+            return AccessDecision.deny(request, DenialReason.OUTSIDE_ENTRY_DURATION)
+        for authorization in in_window:
+            used = self.swipe_log.entry_count(request.subject, request.location, authorization.entry_duration)
+            remaining = authorization.entries_remaining(used)
+            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
+                self.swipe_log.record_entry(time, request.subject, request.location)
+                return AccessDecision.grant(request, authorization, entries_used=used)
+        return AccessDecision.deny(request, DenialReason.ENTRY_LIMIT_EXHAUSTED)
+
+    # ------------------------------------------------------------------ #
+    # "Monitoring" — the baseline's blind spot
+    # ------------------------------------------------------------------ #
+    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
+        """A person walking through an open door is invisible to a card reader."""
+        return []
+
+    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Exits are not gated, so nothing is checked."""
+        return []
+
+    def observe(self, record: MovementRecord) -> List[Alert]:
+        """Process a movement observation (no-op for the baseline)."""
+        return []
+
+    def check_overstays(self, now: int) -> List[Alert]:
+        """The card reader has no notion of an exit deadline."""
+        return []
+
+    def detected_violations(self) -> List[Alert]:
+        """Violations the baseline detected through monitoring: always none."""
+        return []

@@ -1,0 +1,98 @@
+"""Baseline: TAM-style purely temporal authorizations (Bertino et al., 1994).
+
+Related work (Section 2): in TAM *"each authorization for a user to access an
+object is augmented with a temporal interval of validity"*.  Applied to
+locations, a TAM authorization says *"Alice may access CAIS during [10, 50]"*
+— there is no exit window, no entry budget, and no location-graph semantics,
+so TAM cannot express "must leave by", "at most twice", or reason about
+routes and reachability.
+
+:class:`TemporalOnlySystem` implements that baseline.  Benchmark E8 uses it to
+show which LTAM decisions TAM gets wrong (over-grants after the entry budget
+is exhausted) and :func:`tam_view_of` shows the information lost when an LTAM
+authorization is projected onto TAM (the exit window and entry budget are
+dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+from repro.core.subjects import subject_name
+from repro.locations.location import location_name
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["TemporalAuthorization", "TemporalOnlySystem", "tam_view_of"]
+
+
+@dataclass(frozen=True)
+class TemporalAuthorization:
+    """A TAM authorization: (subject, object, validity interval)."""
+
+    subject: str
+    object_name: str
+    validity: TimeInterval
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject", subject_name(self.subject))
+        object.__setattr__(self, "object_name", location_name(self.object_name))
+
+    def permits(self, time: int) -> bool:
+        """Return ``True`` when the validity interval contains *time*."""
+        return self.validity.contains(time)
+
+
+def tam_view_of(authorization: LocationTemporalAuthorization) -> TemporalAuthorization:
+    """Project an LTAM authorization onto TAM (drop exit window and budget)."""
+    return TemporalAuthorization(
+        authorization.subject, authorization.location, authorization.entry_duration
+    )
+
+
+class TemporalOnlySystem:
+    """Access control with purely temporal authorizations (no location model)."""
+
+    def __init__(self, authorizations: Iterable[TemporalAuthorization] = ()) -> None:
+        self._by_pair: Dict[Tuple[str, str], List[TemporalAuthorization]] = {}
+        for authorization in authorizations:
+            self.add(authorization)
+
+    def add(self, authorization: TemporalAuthorization) -> TemporalAuthorization:
+        """Store a temporal authorization."""
+        key = (authorization.subject, authorization.object_name)
+        self._by_pair.setdefault(key, []).append(authorization)
+        return authorization
+
+    @classmethod
+    def from_ltam(cls, authorizations: Iterable[LocationTemporalAuthorization]) -> "TemporalOnlySystem":
+        """Build the TAM baseline from an LTAM authorization set."""
+        return cls(tam_view_of(auth) for auth in authorizations)
+
+    def check(self, time: int, subject: str, obj: str) -> AccessDecision:
+        """Evaluate an access request under TAM semantics.
+
+        TAM grants whenever *some* validity interval contains the request
+        time; there is no entry budget to exhaust and no exit obligation.
+        """
+        request = AccessRequest(time, subject_name(subject), location_name(obj))
+        candidates = self._by_pair.get((request.subject, request.location), [])
+        if not candidates:
+            return AccessDecision.deny(request, DenialReason.NO_AUTHORIZATION)
+        for authorization in candidates:
+            if authorization.permits(time):
+                # Report the grant without an LTAM authorization object; the
+                # decision dataclass requires one, so we synthesize a shim.
+                shim = LocationTemporalAuthorization(
+                    (request.subject, request.location),
+                    authorization.validity,
+                    None,
+                    auth_id=f"tam-{id(authorization):x}",
+                )
+                return AccessDecision.grant(request, shim)
+        return AccessDecision.deny(request, DenialReason.OUTSIDE_ENTRY_DURATION)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_pair.values())

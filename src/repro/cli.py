@@ -1,0 +1,161 @@
+"""Command-line interface for administrators.
+
+The CLI wraps the library for the day-to-day administrator tasks the paper
+describes: validating a building layout, listing the authorizations of a
+subject, checking a hypothetical access request, finding inaccessible
+locations, and running ad-hoc queries against a deployment loaded from files.
+
+Layouts are the JSON documents of :mod:`repro.locations.serialization`;
+authorization sets are the JSON documents of
+:mod:`repro.core.serialization`.
+
+Usage examples::
+
+    python -m repro.cli validate-layout campus.json
+    python -m repro.cli inaccessible --layout campus.json --auths auths.json --subject Alice
+    python -m repro.cli check --layout campus.json --auths auths.json \
+        --subject Alice --location CAIS --time 15
+    python -m repro.cli query --layout campus.json --auths auths.json \
+        "AUTHORIZATIONS FOR Alice"
+    python -m repro.cli example-campus --out campus.json --auths-out auths.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.serialization import dumps_authorizations, load_authorizations
+from repro.engine.access_control import AccessControlEngine
+from repro.engine.query.evaluator import QueryEngine
+from repro.errors import LTAMError
+from repro.locations.layouts import ntu_campus
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.serialization import dumps as dumps_layout
+from repro.locations.serialization import load as load_layout
+from repro.paper.fixtures import section5_authorizations
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LTAM administration tools (layout validation, access checks, reachability audits).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate-layout", help="validate a layout JSON document")
+    validate.add_argument("layout", help="path to the layout JSON file")
+
+    def deployment_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--layout", required=True, help="path to the layout JSON file")
+        sub.add_argument("--auths", required=True, help="path to the authorizations JSON file")
+
+    inaccessible = commands.add_parser(
+        "inaccessible", help="find the locations a subject cannot reach (Algorithm 1)"
+    )
+    deployment_arguments(inaccessible)
+    inaccessible.add_argument("--subject", required=True)
+
+    check = commands.add_parser("check", help="evaluate a hypothetical access request (Definition 7)")
+    deployment_arguments(check)
+    check.add_argument("--subject", required=True)
+    check.add_argument("--location", required=True)
+    check.add_argument("--time", type=int, required=True)
+
+    query = commands.add_parser("query", help="run a query-language statement against the deployment")
+    deployment_arguments(query)
+    query.add_argument("text", help='query text, e.g. "AUTHORIZATIONS FOR Alice"')
+
+    example = commands.add_parser(
+        "example-campus", help="write the paper's NTU campus and Section 5 authorizations to files"
+    )
+    example.add_argument("--out", required=True, help="where to write the layout JSON")
+    example.add_argument("--auths-out", required=True, help="where to write the authorizations JSON")
+
+    return parser
+
+
+def _load_engine(layout_path: str, auths_path: str) -> AccessControlEngine:
+    hierarchy = LocationHierarchy(load_layout(layout_path))
+    engine = AccessControlEngine(hierarchy)
+    engine.grant_all(load_authorizations(auths_path))
+    return engine
+
+
+def _command_validate(args: argparse.Namespace, out) -> int:
+    hierarchy = LocationHierarchy(load_layout(args.layout))
+    print(
+        f"OK: {hierarchy.root.name!r} with {len(hierarchy)} primitive locations, "
+        f"{len(hierarchy.composite_names)} composites, "
+        f"entry locations: {', '.join(sorted(hierarchy.entry_locations))}",
+        file=out,
+    )
+    if not hierarchy.connected():
+        print("WARNING: the flattened location graph is not connected", file=out)
+        return 1
+    return 0
+
+
+def _command_inaccessible(args: argparse.Namespace, out) -> int:
+    engine = _load_engine(args.layout, args.auths)
+    report = engine.inaccessible_locations(args.subject)
+    print(f"subject      : {args.subject}", file=out)
+    print(f"accessible   : {', '.join(sorted(report.accessible)) or '(none)'}", file=out)
+    print(f"inaccessible : {', '.join(sorted(report.inaccessible)) or '(none)'}", file=out)
+    return 0
+
+
+def _command_check(args: argparse.Namespace, out) -> int:
+    engine = _load_engine(args.layout, args.auths)
+    decision = engine.request_access(args.time, args.subject, args.location, record=False)
+    if decision.granted:
+        print(f"GRANTED via {decision.authorization.auth_id}: {decision.authorization}", file=out)
+        return 0
+    print(f"DENIED ({decision.reason})", file=out)
+    return 2
+
+
+def _command_query(args: argparse.Namespace, out) -> int:
+    engine = _load_engine(args.layout, args.auths)
+    result = QueryEngine(engine).evaluate(args.text)
+    print(result.to_text(), file=out)
+    return 0
+
+
+def _command_example(args: argparse.Namespace, out) -> int:
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(dumps_layout(ntu_campus()))
+    with open(args.auths_out, "w", encoding="utf-8") as handle:
+        handle.write(dumps_authorizations(section5_authorizations()))
+    print(f"wrote layout to {args.out} and authorizations to {args.auths_out}", file=out)
+    return 0
+
+
+_HANDLERS = {
+    "validate-layout": _command_validate,
+    "inaccessible": _command_inaccessible,
+    "check": _command_check,
+    "query": _command_query,
+    "example-campus": _command_example,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args, out)
+    except (LTAMError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

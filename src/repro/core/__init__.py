@@ -1,0 +1,73 @@
+"""Core LTAM model: authorizations, rules, derivation, conflicts, accessibility.
+
+This package is the paper's primary contribution (Sections 3–6): subjects,
+location and location-temporal authorizations, access requests, the
+authorization-rule machinery with its operator families, the derivation
+engine, conflict detection/resolution, grant/departure durations, the
+authorized-route check and Algorithm 1 for finding inaccessible locations.
+"""
+
+from repro.core.accessibility import AccessibilityReport, LocationTimes, TraceRow, find_inaccessible
+from repro.core.authorization import (
+    UNLIMITED_ENTRIES,
+    LocationAuthorization,
+    LocationTemporalAuthorization,
+    departure_duration,
+    grant_duration,
+)
+from repro.core.conflicts import (
+    Conflict,
+    ConflictKind,
+    ResolutionStrategy,
+    detect_conflicts,
+    merge_pair,
+    resolve_conflicts,
+)
+from repro.core.derivation import DerivationEngine, DerivationResult
+from repro.core.grant import (
+    AuthorizationIndex,
+    RouteAuthorization,
+    RouteStep,
+    authorize_route,
+    step_durations,
+)
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+from repro.core.rules import AuthorizationRule, DerivedBatch, OperatorTuple, RuleContext
+from repro.core.subjects import Subject, SubjectDirectory, subject_name
+from repro.core import operators
+
+__all__ = [
+    "Subject",
+    "SubjectDirectory",
+    "subject_name",
+    "LocationAuthorization",
+    "LocationTemporalAuthorization",
+    "UNLIMITED_ENTRIES",
+    "grant_duration",
+    "departure_duration",
+    "AccessRequest",
+    "AccessDecision",
+    "DenialReason",
+    "OperatorTuple",
+    "AuthorizationRule",
+    "RuleContext",
+    "DerivedBatch",
+    "DerivationEngine",
+    "DerivationResult",
+    "Conflict",
+    "ConflictKind",
+    "ResolutionStrategy",
+    "detect_conflicts",
+    "resolve_conflicts",
+    "merge_pair",
+    "AuthorizationIndex",
+    "RouteAuthorization",
+    "RouteStep",
+    "authorize_route",
+    "step_durations",
+    "AccessibilityReport",
+    "LocationTimes",
+    "TraceRow",
+    "find_inaccessible",
+    "operators",
+]

@@ -1,0 +1,218 @@
+"""Finding inaccessible locations (Section 6, Algorithm 1).
+
+A location is **inaccessible** to a subject (Definition 8) when there is no
+authorized route, with access request duration ``[0, ∞)``, that covers it
+from every entry location of the graph — i.e. no way to legally walk from an
+entrance to the location, entering every intermediate location during its
+entry duration and leaving it during its exit duration.
+
+Algorithm 1 computes the inaccessible set by fixpoint propagation:
+
+1. every location gets an *overall grant time* ``T_g`` and an *overall
+   departure time* ``T_d`` (interval sets), initially null;
+2. entry locations seed their ``T_g``/``T_d`` directly from their
+   authorizations;
+3. whenever a location's ``T_d`` changes, its neighbours recompute their
+   ``T_g``/``T_d`` from the union of their neighbours' departure times;
+4. on convergence, the inaccessible locations are exactly those with a null
+   ``T_g``.
+
+The implementation below follows the paper's pseudo-code line by line
+(including the ``flag`` bookkeeping) and additionally records a step-by-step
+trace so that Table 2 of the paper can be regenerated.  A brute-force
+route-enumeration oracle for cross-checking lives in
+:mod:`repro.baselines.brute_force`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import AuthorizationError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.grant import AuthorizationIndex, AuthSource, _as_index, step_durations
+from repro.core.subjects import subject_name
+from repro.locations.graph import LocationGraph
+from repro.locations.location import LocationName
+from repro.locations.multilevel import LocationHierarchy
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = ["LocationTimes", "TraceRow", "AccessibilityReport", "find_inaccessible"]
+
+
+@dataclass(frozen=True)
+class LocationTimes:
+    """The overall grant and departure times of one location."""
+
+    location: LocationName
+    grant: IntervalSet
+    departure: IntervalSet
+
+    @property
+    def accessible(self) -> bool:
+        """``True`` when the overall grant time is non-null."""
+        return not self.grant.is_empty
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One row of the Table 2 style trace: the state after updating *updated*."""
+
+    step: int
+    updated: LocationName
+    flags: Mapping[LocationName, bool]
+    grants: Mapping[LocationName, IntervalSet]
+    departures: Mapping[LocationName, IntervalSet]
+
+    def describe(self) -> str:
+        """Render the row roughly the way Table 2 of the paper does."""
+        cells = []
+        for location in sorted(self.flags):
+            flag = "T" if self.flags[location] else "F"
+            grant = self.grants[location]
+            departure = self.departures[location]
+            cells.append(f"{location}: flag={flag} Tg={grant} Td={departure}")
+        return f"Update {self.updated}: " + " | ".join(cells)
+
+
+@dataclass(frozen=True)
+class AccessibilityReport:
+    """Result of running Algorithm 1 for one subject over one hierarchy."""
+
+    subject: str
+    inaccessible: FrozenSet[LocationName]
+    accessible: FrozenSet[LocationName]
+    times: Mapping[LocationName, LocationTimes]
+    trace: Tuple[TraceRow, ...]
+    iterations: int
+
+    def is_inaccessible(self, location: str) -> bool:
+        """Return ``True`` if *location* is inaccessible to the subject."""
+        return location in self.inaccessible
+
+    def grant_time(self, location: str) -> IntervalSet:
+        """The overall grant time ``T_g`` computed for *location*."""
+        return self.times[location].grant
+
+    def departure_time(self, location: str) -> IntervalSet:
+        """The overall departure time ``T_d`` computed for *location*."""
+        return self.times[location].departure
+
+
+HierarchyLike = Union[LocationHierarchy, LocationGraph]
+
+
+def _as_hierarchy(graph: HierarchyLike) -> LocationHierarchy:
+    if isinstance(graph, LocationHierarchy):
+        return graph
+    return LocationHierarchy(graph)
+
+
+def find_inaccessible(
+    graph: HierarchyLike,
+    subject: str,
+    authorizations: AuthSource,
+    *,
+    trace: bool = False,
+    order_key: Optional[Callable[[LocationName], object]] = None,
+) -> AccessibilityReport:
+    """Run Algorithm 1: find every location inaccessible to *subject*.
+
+    Parameters
+    ----------
+    graph:
+        The protected location graph, multilevel location graph (wrapped in a
+        :class:`LocationHierarchy`) or hierarchy.
+    subject:
+        The subject whose authorizations are considered.
+    authorizations:
+        An authorization source (anything with ``for_subject_location`` — the
+        authorization database qualifies — or a plain iterable of
+        authorizations).  Authorizations of other subjects are ignored.
+    trace:
+        Record a Table 2 style trace row after every location update.
+    order_key:
+        Optional sort key deciding the order in which flagged locations are
+        processed within a sweep (the result does not depend on it; the trace
+        does).  Defaults to alphabetical order.
+    """
+    hierarchy = _as_hierarchy(graph)
+    subject = subject_name(subject)
+    index = _as_index(authorizations)
+    key = order_key or (lambda name: name)
+
+    locations = sorted(hierarchy.primitive_names)
+    grant: Dict[LocationName, IntervalSet] = {l: IntervalSet.empty() for l in locations}
+    departure: Dict[LocationName, IntervalSet] = {l: IntervalSet.empty() for l in locations}
+    flag: Dict[LocationName, bool] = {l: False for l in locations}
+
+    rows: List[TraceRow] = []
+    step = 0
+
+    def record(updated: LocationName) -> None:
+        nonlocal step
+        if not trace:
+            return
+        step += 1
+        rows.append(
+            TraceRow(
+                step,
+                updated,
+                dict(flag),
+                {l: grant[l] for l in locations},
+                {l: departure[l] for l in locations},
+            )
+        )
+
+    # Lines 2-13: seed the entry locations directly from their authorizations.
+    for entry in sorted(hierarchy.entry_locations, key=key):
+        for auth in index.for_subject_location(subject, entry):
+            grant[entry] = grant[entry].union(auth.entry_duration)
+            departure[entry] = departure[entry].union(auth.exit_duration)
+        flag[entry] = False  # their admissible time will not change further
+        if not departure[entry].is_empty:
+            for neighbor in hierarchy.neighbors(entry):
+                flag[neighbor] = True
+        record(entry)
+
+    # Lines 14-34: propagate until no location is flagged.
+    iterations = 0
+    while any(flag.values()):
+        iterations += 1
+        flagged = sorted((l for l in locations if flag[l]), key=key)
+        for location in flagged:
+            if not flag[location]:
+                # The flag may have been cleared by an earlier update in this sweep.
+                continue
+            flag[location] = False
+            old_departure = departure[location]
+            neighbor_departures = IntervalSet.empty()
+            for neighbor in hierarchy.neighbors(location):
+                neighbor_departures = neighbor_departures.union(departure[neighbor])
+            auths = index.for_subject_location(subject, location)
+            new_grant, new_departure = step_durations(auths, neighbor_departures)
+            grant[location] = grant[location].union(new_grant)
+            departure[location] = departure[location].union(new_departure)
+            if departure[location] != old_departure:
+                # Lines 28-32: a changed departure time wakes up every
+                # neighbour, entry locations included (the paper's Table 2
+                # re-examines the entry location A after B changes).
+                for neighbor in hierarchy.neighbors(location):
+                    flag[neighbor] = True
+            record(location)
+
+    times = {
+        location: LocationTimes(location, grant[location], departure[location])
+        for location in locations
+    }
+    inaccessible = frozenset(l for l in locations if grant[l].is_empty)
+    accessible = frozenset(locations) - inaccessible
+    return AccessibilityReport(
+        subject,
+        inaccessible,
+        accessible,
+        times,
+        tuple(rows),
+        iterations,
+    )

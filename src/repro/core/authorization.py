@@ -1,0 +1,320 @@
+"""Location authorizations and location-temporal authorizations (Defs. 3 & 4).
+
+* A **location authorization** is the pair ``(s, l)``: subject *s* is
+  authorized to enter primitive location *l*.
+* A **location-temporal authorization** augments it with temporal constraints:
+  ``(entry_duration, exit_duration, (s, l), n)`` — *s* may enter *l* during
+  ``entry_duration`` and must leave during ``exit_duration``, at most *n*
+  times.
+
+Definition 4 also fixes the defaults: an unspecified entry duration means the
+subject may enter at any time after the authorization is created; an
+unspecified exit duration defaults to ``[t_entry_start, ∞]``; the default
+entry count is ``∞``.  The paper further requires ``t_o_s ≥ t_i_s`` and
+``t_o_e ≥ t_i_e`` (one cannot be forced to leave before one may enter, and the
+exit window may not close before the entry window does).
+
+Section 6 defines, relative to an access-request duration ``[t_p, t_q]``:
+
+* the **grant duration** ``[max(t_p, t_i_s), min(t_q, t_i_e)]`` and
+* the **departure duration** ``[max(t_p, t_o_s), t_o_e]``,
+
+both of which are exposed here and consumed by the route-authorization check
+and Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import InvalidAuthorizationError
+from repro.core.subjects import Subject, SubjectName, subject_name
+from repro.locations.location import LocationName, PrimitiveLocation, location_name
+from repro.temporal.chronon import FOREVER, TimePoint
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "LocationAuthorization",
+    "LocationTemporalAuthorization",
+    "UNLIMITED_ENTRIES",
+    "grant_duration",
+    "departure_duration",
+]
+
+#: Sentinel for an unlimited number of entries (the paper's default ``∞``).
+UNLIMITED_ENTRIES = FOREVER
+
+_auth_id_counter = itertools.count(1)
+
+
+def _next_auth_id() -> str:
+    return f"auth-{next(_auth_id_counter)}"
+
+
+@dataclass(frozen=True)
+class LocationAuthorization:
+    """Definition 3: subject *s* is authorized to enter primitive location *l*."""
+
+    subject: SubjectName
+    location: LocationName
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject", subject_name(self.subject))
+        object.__setattr__(self, "location", location_name(self.location))
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.location})"
+
+
+@dataclass(frozen=True)
+class LocationTemporalAuthorization:
+    """Definition 4: a location authorization with temporal constraints.
+
+    Parameters
+    ----------
+    auth:
+        The underlying location authorization ``(s, l)``.  A plain
+        ``(subject, location)`` tuple is also accepted.
+    entry_duration:
+        Interval during which the subject may enter; ``None`` means
+        "any time from *created_at* onwards".
+    exit_duration:
+        Interval during which the subject may (and must) leave; ``None``
+        defaults to ``[entry_duration.start, ∞]``.
+    max_entries:
+        Maximum number of entries within the entry duration; the paper's
+        range is ``[1, ∞)`` and the default is unlimited.
+    created_at:
+        Creation time of the authorization, used to resolve an unspecified
+        entry duration.
+    auth_id:
+        Stable identifier; generated when omitted.
+    derived_from:
+        Identifier of the base authorization when this authorization was
+        produced by an authorization rule (Section 4), ``None`` for
+        explicitly administered authorizations.
+    rule_id:
+        Identifier of the rule that derived this authorization, if any.
+    """
+
+    auth: LocationAuthorization
+    entry_duration: TimeInterval
+    exit_duration: TimeInterval
+    max_entries: TimePoint = UNLIMITED_ENTRIES
+    created_at: int = 0
+    auth_id: str = field(default_factory=_next_auth_id)
+    derived_from: Optional[str] = None
+    rule_id: Optional[str] = None
+
+    def __init__(
+        self,
+        auth: Union[LocationAuthorization, Tuple[str, str]],
+        entry_duration: Optional[Union[TimeInterval, Tuple[TimePoint, TimePoint]]] = None,
+        exit_duration: Optional[Union[TimeInterval, Tuple[TimePoint, TimePoint]]] = None,
+        max_entries: TimePoint = UNLIMITED_ENTRIES,
+        *,
+        created_at: int = 0,
+        auth_id: Optional[str] = None,
+        derived_from: Optional[str] = None,
+        rule_id: Optional[str] = None,
+    ) -> None:
+        if isinstance(auth, tuple):
+            auth = LocationAuthorization(*auth)
+        if not isinstance(auth, LocationAuthorization):
+            raise InvalidAuthorizationError(
+                f"auth must be a LocationAuthorization or (subject, location) tuple, got {auth!r}"
+            )
+        if created_at < 0:
+            raise InvalidAuthorizationError(f"created_at must be non-negative, got {created_at}")
+
+        entry = _coerce_interval(entry_duration)
+        if entry is None:
+            # Unspecified entry duration: the subject can enter any time after
+            # the creation of the authorization (Definition 4).
+            entry = TimeInterval(created_at, FOREVER)
+        exit_ = _coerce_interval(exit_duration)
+        if exit_ is None:
+            # Unspecified exit duration: default [t_i_1, ∞].
+            exit_ = TimeInterval(entry.start, FOREVER)
+
+        if exit_.start < entry.start:
+            raise InvalidAuthorizationError(
+                f"exit duration {exit_} must not start before entry duration {entry} "
+                "(the paper requires t_o_s >= t_i_s)"
+            )
+        if not exit_.is_unbounded and not entry.is_unbounded and int(exit_.end) < int(entry.end):
+            raise InvalidAuthorizationError(
+                f"exit duration {exit_} must not end before entry duration {entry} "
+                "(the paper requires t_o_e >= t_i_e)"
+            )
+        if exit_.is_unbounded is False and entry.is_unbounded is True:
+            raise InvalidAuthorizationError(
+                f"exit duration {exit_} is bounded but entry duration {entry} is unbounded"
+            )
+
+        if max_entries is not UNLIMITED_ENTRIES:
+            if not isinstance(max_entries, int) or isinstance(max_entries, bool) or max_entries < 1:
+                raise InvalidAuthorizationError(
+                    f"max_entries must be a positive integer or UNLIMITED_ENTRIES, got {max_entries!r}"
+                )
+
+        object.__setattr__(self, "auth", auth)
+        object.__setattr__(self, "entry_duration", entry)
+        object.__setattr__(self, "exit_duration", exit_)
+        object.__setattr__(self, "max_entries", max_entries)
+        object.__setattr__(self, "created_at", created_at)
+        object.__setattr__(self, "auth_id", auth_id or _next_auth_id())
+        object.__setattr__(self, "derived_from", derived_from)
+        object.__setattr__(self, "rule_id", rule_id)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def subject(self) -> SubjectName:
+        """The subject of the underlying location authorization."""
+        return self.auth.subject
+
+    @property
+    def location(self) -> LocationName:
+        """The primitive location of the underlying location authorization."""
+        return self.auth.location
+
+    @property
+    def is_derived(self) -> bool:
+        """``True`` when this authorization was produced by a rule."""
+        return self.derived_from is not None
+
+    @property
+    def has_entry_limit(self) -> bool:
+        """``True`` when the number of entries is bounded."""
+        return self.max_entries is not UNLIMITED_ENTRIES
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+    def permits_entry_at(self, time: int) -> bool:
+        """Return ``True`` if the entry duration contains *time*."""
+        return self.entry_duration.contains(time)
+
+    def permits_exit_at(self, time: int) -> bool:
+        """Return ``True`` if the exit duration contains *time*."""
+        return self.exit_duration.contains(time)
+
+    def entries_remaining(self, entries_used: int) -> TimePoint:
+        """Entries still available after *entries_used* have been consumed."""
+        if entries_used < 0:
+            raise InvalidAuthorizationError(f"entries_used must be non-negative, got {entries_used}")
+        if self.max_entries is UNLIMITED_ENTRIES:
+            return UNLIMITED_ENTRIES
+        return max(0, int(self.max_entries) - entries_used)
+
+    def grant_duration(self, window: TimeInterval) -> Optional[TimeInterval]:
+        """Grant duration of this authorization in the access-request *window* (Section 6)."""
+        return grant_duration(self, window)
+
+    def departure_duration(self, window: TimeInterval) -> Optional[TimeInterval]:
+        """Departure duration of this authorization in the access-request *window* (Section 6)."""
+        return departure_duration(self, window)
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def replace(
+        self,
+        *,
+        subject: Optional[str] = None,
+        location: Optional[str] = None,
+        entry_duration: Optional[TimeInterval] = None,
+        exit_duration: Optional[TimeInterval] = None,
+        max_entries: Optional[TimePoint] = None,
+        derived_from: Optional[str] = None,
+        rule_id: Optional[str] = None,
+    ) -> "LocationTemporalAuthorization":
+        """Return a copy with selected fields replaced (used by rule derivation)."""
+        return LocationTemporalAuthorization(
+            LocationAuthorization(
+                subject if subject is not None else self.subject,
+                location if location is not None else self.location,
+            ),
+            entry_duration if entry_duration is not None else self.entry_duration,
+            exit_duration if exit_duration is not None else self.exit_duration,
+            max_entries if max_entries is not None else self.max_entries,
+            created_at=self.created_at,
+            derived_from=derived_from if derived_from is not None else self.derived_from,
+            rule_id=rule_id if rule_id is not None else self.rule_id,
+        )
+
+    # Equality ignores the generated auth_id so that structurally identical
+    # authorizations (e.g. the same derivation run twice) compare equal.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocationTemporalAuthorization):
+            return NotImplemented
+        return (
+            self.auth == other.auth
+            and self.entry_duration == other.entry_duration
+            and self.exit_duration == other.exit_duration
+            and self.max_entries == other.max_entries
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.auth, self.entry_duration, self.exit_duration, self.max_entries))
+
+    def __str__(self) -> str:
+        entries = "∞" if self.max_entries is UNLIMITED_ENTRIES else str(self.max_entries)
+        return f"({self.entry_duration}, {self.exit_duration}, {self.auth}, {entries})"
+
+    def __repr__(self) -> str:
+        return f"LocationTemporalAuthorization{self}"
+
+
+def _coerce_interval(
+    value: Optional[Union[TimeInterval, Tuple[TimePoint, TimePoint]]]
+) -> Optional[TimeInterval]:
+    if value is None:
+        return None
+    if isinstance(value, TimeInterval):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        return TimeInterval(value[0], value[1])
+    raise InvalidAuthorizationError(f"cannot interpret {value!r} as a time interval")
+
+
+def grant_duration(
+    authorization: LocationTemporalAuthorization, window: TimeInterval
+) -> Optional[TimeInterval]:
+    """Grant duration of *authorization* within the access-request *window*.
+
+    Section 6: ``[max(t_p, t_i_s), min(t_q, t_i_e)]``; ``None`` (the paper's
+    *null*) when the window and the entry duration do not overlap.
+    """
+    start = max(window.start, authorization.entry_duration.start)
+    entry_end = authorization.entry_duration.end
+    if window.is_unbounded and entry_end is FOREVER:
+        end: TimePoint = FOREVER
+    elif window.is_unbounded:
+        end = entry_end
+    elif entry_end is FOREVER:
+        end = window.end
+    else:
+        end = min(int(window.end), int(entry_end))
+    if end is not FOREVER and end < start:
+        return None
+    return TimeInterval(start, end)
+
+
+def departure_duration(
+    authorization: LocationTemporalAuthorization, window: TimeInterval
+) -> Optional[TimeInterval]:
+    """Departure duration of *authorization* within the access-request *window*.
+
+    Section 6: ``[max(t_p, t_o_s), t_o_e]``; ``None`` when that interval is
+    empty (i.e. the exit window closes before ``max(t_p, t_o_s)``).
+    """
+    start = max(window.start, authorization.exit_duration.start)
+    end = authorization.exit_duration.end
+    if end is not FOREVER and end < start:
+        return None
+    return TimeInterval(start, end)

@@ -1,0 +1,206 @@
+"""Grant/departure durations of routes and the authorized-route check (Section 6).
+
+Given an access-request duration ``[t_p, t_q]``, a subject and a route
+``⟨l1, …, lk⟩``, the route is **authorized** when (Section 6):
+
+* the grant duration and departure duration of the subject for ``l1`` in
+  ``[t_p, t_q]`` are not null;
+* for every intermediate location ``l_i`` (``2 ≤ i < k``), the grant duration
+  and departure duration of ``l_i`` *within the departure duration of
+  ``l_{i-1}``* are not null; and
+* the grant duration of the destination ``l_k`` within the departure duration
+  of ``l_{k-1}`` is not null.
+
+The paper states these conditions for a single authorization per location;
+real authorization databases hold several, so the implementation generalizes
+by unioning the per-authorization grant and departure durations into interval
+sets — exactly what Algorithm 1 does for the whole graph — and the route is
+authorized when those sets are non-empty at every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import AuthorizationError
+from repro.core.authorization import LocationTemporalAuthorization, departure_duration, grant_duration
+from repro.core.subjects import subject_name
+from repro.locations.location import location_name
+from repro.locations.routes import Route
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "AuthorizationIndex",
+    "RouteStep",
+    "RouteAuthorization",
+    "step_durations",
+    "authorize_route",
+]
+
+
+class AuthorizationIndex:
+    """Group authorizations by ``(subject, location)`` for fast lookup.
+
+    The grant-duration machinery and Algorithm 1 both need "all
+    authorizations of subject *s* for location *l*"; this small index avoids
+    rescanning the full authorization list at every step.  The persistent
+    authorization database (:mod:`repro.storage.authorization_db`) offers the
+    same ``for_subject_location`` interface.
+    """
+
+    def __init__(self, authorizations: Iterable[LocationTemporalAuthorization] = ()) -> None:
+        self._by_key: Dict[Tuple[str, str], List[LocationTemporalAuthorization]] = {}
+        for auth in authorizations:
+            self.add(auth)
+
+    def add(self, authorization: LocationTemporalAuthorization) -> None:
+        """Index one authorization."""
+        key = (authorization.subject, authorization.location)
+        self._by_key.setdefault(key, []).append(authorization)
+
+    def for_subject_location(self, subject: str, location: str) -> List[LocationTemporalAuthorization]:
+        """All authorizations of *subject* for *location*."""
+        return list(self._by_key.get((subject_name(subject), location_name(location)), ()))
+
+    def for_subject(self, subject: str) -> List[LocationTemporalAuthorization]:
+        """All authorizations of *subject*."""
+        name = subject_name(subject)
+        result: List[LocationTemporalAuthorization] = []
+        for (subj, _), auths in self._by_key.items():
+            if subj == name:
+                result.extend(auths)
+        return result
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_key.values())
+
+
+AuthSource = Union[AuthorizationIndex, Iterable[LocationTemporalAuthorization]]
+
+
+def _as_index(source: AuthSource) -> "AuthorizationIndex | object":
+    if hasattr(source, "for_subject_location"):
+        return source
+    return AuthorizationIndex(source)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class RouteStep:
+    """Grant and departure durations computed for one location along a route."""
+
+    location: str
+    window: IntervalSet
+    grant: IntervalSet
+    departure: IntervalSet
+
+    @property
+    def reachable(self) -> bool:
+        """``True`` when the location can be entered within its window."""
+        return not self.grant.is_empty
+
+
+@dataclass(frozen=True)
+class RouteAuthorization:
+    """Result of checking a route for a subject within a request duration."""
+
+    route: Route
+    subject: str
+    request_duration: TimeInterval
+    authorized: bool
+    steps: Tuple[RouteStep, ...]
+
+    @property
+    def grant_duration(self) -> IntervalSet:
+        """The route's grant duration: the grant set of its first location."""
+        return self.steps[0].grant if self.steps else IntervalSet.empty()
+
+    @property
+    def departure_duration(self) -> IntervalSet:
+        """The route's departure duration: the departure set of its destination."""
+        return self.steps[-1].departure if self.steps else IntervalSet.empty()
+
+    @property
+    def blocking_location(self) -> Optional[str]:
+        """The first location that cannot be entered, or ``None`` when authorized."""
+        for step in self.steps:
+            if not step.reachable:
+                return step.location
+        return None
+
+
+def step_durations(
+    authorizations: Sequence[LocationTemporalAuthorization],
+    window: IntervalSet,
+) -> Tuple[IntervalSet, IntervalSet]:
+    """Union of grant and departure durations of *authorizations* over *window*.
+
+    For every interval ``[t_p, t_q]`` of the window and every authorization,
+    the grant duration ``[max(t_p, t_i_s), min(t_q, t_i_e)]`` and (when the
+    grant is non-null) the departure duration ``[max(t_p, t_o_s), t_o_e]`` are
+    accumulated — the same inner loop as lines 19–26 of Algorithm 1.
+    """
+    grant_set = IntervalSet.empty()
+    departure_set = IntervalSet.empty()
+    for piece in window:
+        for auth in authorizations:
+            grant = grant_duration(auth, piece)
+            if grant is None:
+                continue
+            grant_set = grant_set.union(grant)
+            departure = departure_duration(auth, piece)
+            if departure is not None:
+                departure_set = departure_set.union(departure)
+    return grant_set, departure_set
+
+
+def authorize_route(
+    route: "Route | Sequence[str]",
+    subject: str,
+    authorizations: AuthSource,
+    *,
+    request_duration: Optional[TimeInterval] = None,
+) -> RouteAuthorization:
+    """Check whether *route* is authorized for *subject* within *request_duration*.
+
+    Parameters
+    ----------
+    route:
+        The route to check (a :class:`Route` or a sequence of location names).
+    subject:
+        The requesting subject.
+    authorizations:
+        Either an :class:`AuthorizationIndex`-like object (anything with
+        ``for_subject_location``) or a plain iterable of authorizations.
+    request_duration:
+        The access-request duration ``[t_p, t_q]``; defaults to ``[0, ∞)`` as
+        in Definition 8.
+    """
+    resolved_route = route if isinstance(route, Route) else Route(tuple(route))
+    subject = subject_name(subject)
+    window_interval = request_duration if request_duration is not None else TimeInterval(0, FOREVER)
+    index = _as_index(authorizations)
+
+    steps: List[RouteStep] = []
+    window = IntervalSet([window_interval])
+    authorized = True
+    for position, location in enumerate(resolved_route):
+        if window.is_empty:
+            # The previous location cannot be left: everything further is
+            # unreachable along this route.
+            steps.append(RouteStep(location, window, IntervalSet.empty(), IntervalSet.empty()))
+            authorized = False
+            continue
+        auths = index.for_subject_location(subject, location)
+        grant_set, departure_set = step_durations(auths, window)
+        steps.append(RouteStep(location, window, grant_set, departure_set))
+        if grant_set.is_empty:
+            authorized = False
+        is_last = position == len(resolved_route) - 1
+        if not is_last and departure_set.is_empty:
+            authorized = False
+        window = departure_set
+
+    return RouteAuthorization(resolved_route, subject, window_interval, authorized, tuple(steps))

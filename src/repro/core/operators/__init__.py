@@ -1,0 +1,93 @@
+"""Operator library for authorization rules (Definition 5).
+
+The tuple of operators ``OP = (op_entry, op_exit, op_subject, op_location,
+exp_n)`` is assembled from the four operator families defined here:
+
+* temporal operators (:mod:`repro.core.operators.temporal`) for the entry and
+  exit durations,
+* subject operators (:mod:`repro.core.operators.subject`),
+* location operators (:mod:`repro.core.operators.location`), and
+* entry-count expressions (:mod:`repro.core.operators.numeric`).
+"""
+
+from repro.core.operators.location import (
+    AllRouteFrom,
+    CustomLocationOperator,
+    EntryLocationsOf,
+    LocationOperator,
+    LocationsWithTag,
+    MembersOfComposite,
+    NeighborsOf,
+    SAME_LOCATION,
+    SameLocation,
+)
+from repro.core.operators.numeric import (
+    AddEntries,
+    ConstantEntries,
+    CustomEntryExpression,
+    EntryExpression,
+    SAME_ENTRIES,
+    SameEntries,
+    ScaleEntries,
+    UnlimitedEntries,
+)
+from repro.core.operators.subject import (
+    CustomSubjectOperator,
+    ManagementChainOf,
+    MembersOfGroup,
+    SAME_SUBJECT,
+    SameSubject,
+    SubjectOperator,
+    SubjectsWithRole,
+    SubordinatesOf,
+    SupervisorOf,
+)
+from repro.core.operators.temporal import (
+    CustomTemporalOperator,
+    Intersection,
+    TemporalOperator,
+    Union_,
+    WHENEVER,
+    Whenever,
+    WheneverNot,
+)
+
+__all__ = [
+    # temporal
+    "TemporalOperator",
+    "Whenever",
+    "WheneverNot",
+    "Union_",
+    "Intersection",
+    "CustomTemporalOperator",
+    "WHENEVER",
+    # subject
+    "SubjectOperator",
+    "SameSubject",
+    "SupervisorOf",
+    "SubordinatesOf",
+    "ManagementChainOf",
+    "MembersOfGroup",
+    "SubjectsWithRole",
+    "CustomSubjectOperator",
+    "SAME_SUBJECT",
+    # location
+    "LocationOperator",
+    "SameLocation",
+    "AllRouteFrom",
+    "NeighborsOf",
+    "MembersOfComposite",
+    "LocationsWithTag",
+    "EntryLocationsOf",
+    "CustomLocationOperator",
+    "SAME_LOCATION",
+    # numeric
+    "EntryExpression",
+    "SameEntries",
+    "ConstantEntries",
+    "AddEntries",
+    "ScaleEntries",
+    "UnlimitedEntries",
+    "CustomEntryExpression",
+    "SAME_ENTRIES",
+]

@@ -1,0 +1,211 @@
+"""Location operators for authorization rules (Section 4).
+
+``op_location`` *"generates a set of primitive locations for the derived
+authorizations, given the primitive location l of a."*  The paper's Example 3
+uses ``all_route_from(SCE.GO)``, which grants access to every location on the
+route from a source to the base authorization's location.
+
+Every operator receives the base location and the protected
+:class:`~repro.locations.multilevel.LocationHierarchy` and returns a list of
+primitive location names; one derived authorization is produced per returned
+location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import RuleError
+from repro.locations.location import location_name
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.routes import find_route, locations_on_routes
+
+__all__ = [
+    "LocationOperator",
+    "SameLocation",
+    "AllRouteFrom",
+    "NeighborsOf",
+    "MembersOfComposite",
+    "LocationsWithTag",
+    "EntryLocationsOf",
+    "CustomLocationOperator",
+    "SAME_LOCATION",
+]
+
+
+class LocationOperator:
+    """Base class for location operators.
+
+    Subclasses implement :meth:`apply`, receiving the base authorization's
+    location name and the location hierarchy, and returning the derived
+    primitive location names.
+    """
+
+    name = "location"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        raise NotImplementedError
+
+    def __call__(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        return self.apply(location_name(base_location), hierarchy)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SameLocation(LocationOperator):
+    """Identity operator: the derived authorization keeps the base location.
+
+    The default when ``op_location`` is unspecified; also what the paper's
+    Example 1 writes explicitly as ``CAIS`` (the base location itself).
+    """
+
+    name = "SAME_LOCATION"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        return [base_location]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SameLocation)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+SAME_LOCATION = SameLocation()
+
+
+@dataclass(frozen=True)
+class AllRouteFrom(LocationOperator):
+    """The paper's ``all_route_from(source)``.
+
+    Returns the locations on the route from *source* to the base
+    authorization's location.  With ``shortest_only=True`` (default) a single
+    shortest route is used; with ``shortest_only=False`` the union over all
+    simple-path routes (optionally bounded by *max_length*) is returned.
+    The base location itself is always included — a grant to reach a
+    destination must include the destination.
+    """
+
+    source: str
+    shortest_only: bool = True
+    max_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", location_name(self.source))
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"all_route_from({self.source})"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        covered = locations_on_routes(
+            hierarchy,
+            self.source,
+            base_location,
+            shortest_only=self.shortest_only,
+            max_length=self.max_length,
+        )
+        covered.add(base_location)
+        return sorted(covered)
+
+
+@dataclass(frozen=True)
+class NeighborsOf(LocationOperator):
+    """The base location together with its direct neighbours.
+
+    *include_base* controls whether the base location itself is part of the
+    result (it is by default, matching the intuition that a grant to the
+    surroundings includes the room itself).
+    """
+
+    include_base: bool = True
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"neighbors_of(include_base={self.include_base})"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        derived = set(hierarchy.neighbors(base_location))
+        if self.include_base:
+            derived.add(base_location)
+        return sorted(derived)
+
+
+@dataclass(frozen=True)
+class MembersOfComposite(LocationOperator):
+    """All primitive locations of a named composite (ignores the base location).
+
+    With ``composite=None`` the composite is the location graph that directly
+    contains the base location — i.e. *"the whole school the room belongs
+    to"*.
+    """
+
+    composite: Optional[str] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"members_of({self.composite or '<containing graph>'})"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        composite = self.composite or hierarchy.graph_of(base_location).name
+        return sorted(hierarchy.members_of(composite))
+
+
+@dataclass(frozen=True)
+class LocationsWithTag(LocationOperator):
+    """All primitive locations carrying a given tag (e.g. every ``"lab"``)."""
+
+    tag: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"locations_with_tag({self.tag})"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        return sorted(
+            name
+            for name, primitive in hierarchy.primitive_locations.items()
+            if primitive.has_tag(self.tag)
+        )
+
+
+@dataclass(frozen=True)
+class EntryLocationsOf(LocationOperator):
+    """The entry locations of a composite (default: the root hierarchy).
+
+    Handy for rules that always grant access to the building's entrances in
+    addition to the destination itself.
+    """
+
+    composite: Optional[str] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"entry_locations_of({self.composite or '<root>'})"
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        if self.composite is None:
+            return sorted(hierarchy.entry_locations)
+        return sorted(hierarchy.entry_locations_of(self.composite))
+
+
+@dataclass(frozen=True)
+class CustomLocationOperator(LocationOperator):
+    """Wrap an arbitrary callable ``f(base_location, hierarchy) -> locations``."""
+
+    func: Callable[[str, LocationHierarchy], Union[None, str, Sequence[str]]]
+    label: str = "CUSTOM"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.label
+
+    def apply(self, base_location: str, hierarchy: LocationHierarchy) -> List[str]:
+        result = self.func(base_location, hierarchy)
+        if result is None:
+            return []
+        if isinstance(result, str):
+            return [location_name(result)]
+        return [location_name(item) for item in result]

@@ -1,0 +1,165 @@
+"""Entry-count expressions for authorization rules (Section 4).
+
+``exp_n`` *"specifies a numeric expression on the number of entries"* of the
+derived authorizations.  The paper's examples simply write a constant (``2``),
+so the constant expression is the workhorse; the module also provides the
+identity (copy the base count, the default for unspecified rule elements) and
+simple arithmetic adjustments, plus a wrapper for custom callables.
+
+Expressions return either a positive integer or
+:data:`~repro.core.authorization.UNLIMITED_ENTRIES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.errors import RuleError
+from repro.core.authorization import UNLIMITED_ENTRIES
+from repro.temporal.chronon import FOREVER, TimePoint
+
+__all__ = [
+    "EntryExpression",
+    "SameEntries",
+    "ConstantEntries",
+    "AddEntries",
+    "ScaleEntries",
+    "UnlimitedEntries",
+    "CustomEntryExpression",
+    "SAME_ENTRIES",
+]
+
+
+class EntryExpression:
+    """Base class for entry-count expressions.
+
+    Subclasses implement :meth:`apply`, receiving the base authorization's
+    entry count and returning the derived entry count.
+    """
+
+    name = "entries"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        raise NotImplementedError
+
+    def __call__(self, base_entries: TimePoint) -> TimePoint:
+        result = self.apply(base_entries)
+        return _validate(result)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _validate(value: TimePoint) -> TimePoint:
+    if value is UNLIMITED_ENTRIES or value is FOREVER:
+        return UNLIMITED_ENTRIES
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 1:
+        return value
+    raise RuleError(
+        f"an entry expression must produce a positive integer or UNLIMITED_ENTRIES, got {value!r}"
+    )
+
+
+class SameEntries(EntryExpression):
+    """Identity: the derived authorization keeps the base entry count (the default)."""
+
+    name = "SAME_ENTRIES"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        return base_entries
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SameEntries)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+SAME_ENTRIES = SameEntries()
+
+
+@dataclass(frozen=True)
+class ConstantEntries(EntryExpression):
+    """A fixed entry count, the form the paper's examples use (``…, 2)``)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _validate(self.value)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"entries={self.value}"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        return self.value
+
+
+class UnlimitedEntries(EntryExpression):
+    """Grant an unlimited number of entries regardless of the base count."""
+
+    name = "UNLIMITED"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        return UNLIMITED_ENTRIES
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnlimitedEntries)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass(frozen=True)
+class AddEntries(EntryExpression):
+    """Add a (possibly negative) delta to the base count, flooring at one entry.
+
+    Unlimited base counts stay unlimited.
+    """
+
+    delta: int
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"entries+{self.delta}" if self.delta >= 0 else f"entries{self.delta}"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        if base_entries is UNLIMITED_ENTRIES or base_entries is FOREVER:
+            return UNLIMITED_ENTRIES
+        return max(1, int(base_entries) + self.delta)
+
+
+@dataclass(frozen=True)
+class ScaleEntries(EntryExpression):
+    """Multiply the base count by a positive factor, flooring at one entry."""
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise RuleError(f"scale factor must be positive, got {self.factor!r}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"entries*{self.factor:g}"
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        if base_entries is UNLIMITED_ENTRIES or base_entries is FOREVER:
+            return UNLIMITED_ENTRIES
+        return max(1, int(int(base_entries) * self.factor))
+
+
+@dataclass(frozen=True)
+class CustomEntryExpression(EntryExpression):
+    """Wrap an arbitrary callable ``f(base_entries) -> entries``."""
+
+    func: Callable[[TimePoint], TimePoint]
+    label: str = "CUSTOM"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.label
+
+    def apply(self, base_entries: TimePoint) -> TimePoint:
+        return self.func(base_entries)

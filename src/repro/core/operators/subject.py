@@ -1,0 +1,176 @@
+"""Subject operators for authorization rules (Section 4).
+
+``op_subject`` *"takes subject s of a, and derives the subjects for the
+derived authorizations based on some relationships between subjects."*
+The paper's Example 1 uses ``Supervisor_Of``, which queries the user profile
+database.  This module provides that operator plus the obvious companions and
+a wrapper for custom callables.
+
+Every operator returns a (possibly empty) list of subject names; one derived
+authorization is produced per returned subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Union
+
+from repro.errors import RuleError
+from repro.core.subjects import Subject, SubjectDirectory, subject_name
+
+__all__ = [
+    "SubjectOperator",
+    "SameSubject",
+    "SupervisorOf",
+    "SubordinatesOf",
+    "ManagementChainOf",
+    "MembersOfGroup",
+    "SubjectsWithRole",
+    "CustomSubjectOperator",
+    "SAME_SUBJECT",
+]
+
+
+class SubjectOperator:
+    """Base class for subject operators.
+
+    Subclasses implement :meth:`apply`, receiving the base authorization's
+    subject name and the subject directory (the paper's user profile
+    database) and returning the derived subject names.
+    """
+
+    name = "subject"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        raise NotImplementedError
+
+    def __call__(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return self.apply(subject_name(base_subject), directory)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SameSubject(SubjectOperator):
+    """Identity operator: the derived authorization keeps the base subject.
+
+    This is the default when a rule leaves ``op_subject`` unspecified
+    (Definition 5: unspecified rule elements are copied from the base).
+    """
+
+    name = "SAME_SUBJECT"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return [base_subject]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SameSubject)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+SAME_SUBJECT = SameSubject()
+
+
+class SupervisorOf(SubjectOperator):
+    """The paper's ``Supervisor_Of``: the direct supervisor of the base subject.
+
+    Returns an empty list when the subject has no supervisor on record, in
+    which case the rule simply derives nothing (Example 1's behaviour when
+    Alice is between supervisors).
+    """
+
+    name = "Supervisor_Of"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        supervisor = directory.supervisor_of(base_subject)
+        return [supervisor.name] if supervisor is not None else []
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SupervisorOf)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class SubordinatesOf(SubjectOperator):
+    """All subjects directly supervised by the base subject."""
+
+    name = "Subordinates_Of"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return [subject.name for subject in directory.subordinates_of(base_subject)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SubordinatesOf)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class ManagementChainOf(SubjectOperator):
+    """The whole supervision chain above the base subject (nearest first)."""
+
+    name = "Management_Chain_Of"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return [subject.name for subject in directory.management_chain_of(base_subject)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ManagementChainOf)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass(frozen=True)
+class MembersOfGroup(SubjectOperator):
+    """All members of a named group (ignores the base subject).
+
+    Useful for rules of the form *"everyone in the cleaning crew gets the
+    same access as the facilities manager"*.
+    """
+
+    group: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"Members_Of_Group({self.group})"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return [subject.name for subject in directory.members_of(self.group)]
+
+
+@dataclass(frozen=True)
+class SubjectsWithRole(SubjectOperator):
+    """All subjects carrying a given role (ignores the base subject)."""
+
+    role: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"Subjects_With_Role({self.role})"
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        return [subject.name for subject in directory.with_role(self.role)]
+
+
+@dataclass(frozen=True)
+class CustomSubjectOperator(SubjectOperator):
+    """Wrap an arbitrary callable ``f(base_subject, directory) -> subjects``."""
+
+    func: Callable[[str, SubjectDirectory], Union[None, str, Subject, Sequence[Union[str, Subject]]]]
+    label: str = "CUSTOM"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.label
+
+    def apply(self, base_subject: str, directory: SubjectDirectory) -> List[str]:
+        result = self.func(base_subject, directory)
+        if result is None:
+            return []
+        if isinstance(result, (str, Subject)):
+            return [subject_name(result)]
+        return [subject_name(item) for item in result]

@@ -1,0 +1,185 @@
+"""Temporal operators for authorization rules (Section 4, Definition 5).
+
+An authorization rule maps the entry and exit durations of its base
+authorization to the durations of the derived authorizations through
+*temporal operators*.  The paper defines four:
+
+* **WHENEVER** — unary; returns the same time interval as the input.
+* **WHENEVERNOT** — unary; given ``[t0, t1]`` returns ``[t_r, t0 - 1]`` and
+  ``[t1 + 1, ∞]``, where ``t_r`` is the time from which the rule is valid.
+* **UNION** — binary; given ``[t0, t1]`` and ``[t2, t3]`` returns ``[t0, t3]``
+  when ``t2 ≤ t1`` and the two inputs otherwise.
+* **INTERSECTION** — binary; given ``[t0, t1]`` and ``[t2, t3]`` returns
+  ``[t2, t1]`` when ``t2 ≤ t1`` and NULL otherwise.
+
+Custom operators may be defined as well ("which leads to greater degree of
+flexibility"); :class:`CustomTemporalOperator` wraps any callable.
+
+Because WHENEVERNOT can return two intervals, every operator returns a *list*
+of intervals; rule derivation produces one derived authorization per
+resulting interval combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import RuleError
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "TemporalOperator",
+    "Whenever",
+    "WheneverNot",
+    "Union_",
+    "Intersection",
+    "CustomTemporalOperator",
+    "WHENEVER",
+]
+
+IntervalLike = Union[TimeInterval, Tuple[int, int]]
+
+
+def _coerce(interval: IntervalLike) -> TimeInterval:
+    if isinstance(interval, TimeInterval):
+        return interval
+    if isinstance(interval, tuple) and len(interval) == 2:
+        return TimeInterval(interval[0], interval[1])
+    raise RuleError(f"cannot interpret {interval!r} as a time interval")
+
+
+class TemporalOperator:
+    """Base class for temporal operators.
+
+    Subclasses implement :meth:`apply`, which receives the base
+    authorization's interval (entry or exit duration) and the rule's validity
+    start ``t_r`` and returns the derived intervals (possibly empty).
+    """
+
+    name = "temporal"
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        raise NotImplementedError
+
+    def __call__(self, base_interval: IntervalLike, rule_valid_from: int = 0) -> List[TimeInterval]:
+        return self.apply(_coerce(base_interval), rule_valid_from)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Whenever(TemporalOperator):
+    """WHENEVER: the derived interval equals the base interval."""
+
+    name = "WHENEVER"
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        return [base_interval]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Whenever)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+#: Shared instance of the most common operator, used as the rule default.
+WHENEVER = Whenever()
+
+
+class WheneverNot(TemporalOperator):
+    """WHENEVERNOT: the complement of the base interval from the rule's validity on.
+
+    Given the base interval ``[t0, t1]``, returns ``[t_r, t0 - 1]`` (omitted
+    when empty, e.g. when the base starts at or before ``t_r``) and
+    ``[t1 + 1, ∞]`` (omitted when the base interval is unbounded).
+    """
+
+    name = "WHENEVERNOT"
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        results: List[TimeInterval] = []
+        if base_interval.start - 1 >= rule_valid_from:
+            results.append(TimeInterval(rule_valid_from, base_interval.start - 1))
+        if not base_interval.is_unbounded:
+            results.append(TimeInterval(int(base_interval.end) + 1, FOREVER))
+        return results
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WheneverNot)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass(frozen=True)
+class Union_(TemporalOperator):
+    """UNION: merge the base interval with *other* when they meet, else keep both.
+
+    The second operand is fixed when the rule is written (the paper's binary
+    operators take one input from the base authorization and one from the
+    rule definition).
+    """
+
+    other: TimeInterval
+    name = "UNION"
+
+    def __init__(self, other: IntervalLike) -> None:
+        object.__setattr__(self, "other", _coerce(other))
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        return base_interval.union(self.other)
+
+    def __repr__(self) -> str:
+        return f"UNION({self.other})"
+
+
+@dataclass(frozen=True)
+class Intersection(TemporalOperator):
+    """INTERSECTION: restrict the base interval to *other*; empty when disjoint.
+
+    Example 2 of the paper uses ``INTERSECTION([10, 30])`` on the base entry
+    duration ``[5, 20]`` to derive ``[10, 20]``.
+    """
+
+    other: TimeInterval
+    name = "INTERSECTION"
+
+    def __init__(self, other: IntervalLike) -> None:
+        object.__setattr__(self, "other", _coerce(other))
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        overlap = base_interval.intersect(self.other)
+        return [overlap] if overlap is not None else []
+
+    def __repr__(self) -> str:
+        return f"INTERSECTION({self.other})"
+
+
+@dataclass(frozen=True)
+class CustomTemporalOperator(TemporalOperator):
+    """Wrap an arbitrary callable ``f(base_interval, rule_valid_from) -> intervals``.
+
+    The callable may return a single interval, ``None`` (no derived interval),
+    or a sequence of intervals.
+    """
+
+    func: Callable[[TimeInterval, int], Union[None, TimeInterval, Sequence[TimeInterval]]]
+    label: str = "CUSTOM"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.label
+
+    def apply(self, base_interval: TimeInterval, rule_valid_from: int) -> List[TimeInterval]:
+        result = self.func(base_interval, rule_valid_from)
+        if result is None:
+            return []
+        if isinstance(result, TimeInterval):
+            return [result]
+        return [_coerce(item) for item in result]
+
+    def __repr__(self) -> str:
+        return self.label

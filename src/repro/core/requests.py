@@ -1,0 +1,131 @@
+"""Access requests and access-control decisions (Definitions 6 & 7).
+
+An **access request** is the triple ``(t, s, l)``: at time *t*, subject *s*
+requests access to location *l*.  The request is **authorized** when there is
+at least one location-temporal authorization for ``(s, l)`` whose entry
+duration contains *t* and whose entry budget has not been exhausted
+(Definition 7).  The decision object produced by the access-control engine
+records the outcome together with the matching authorization and a
+machine-readable denial reason, which the audit log and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.errors import EnforcementError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.subjects import SubjectName, subject_name
+from repro.locations.location import LocationName, location_name
+
+__all__ = ["AccessRequest", "AccessDecision", "DenialReason"]
+
+_request_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """Definition 6: at time *time*, *subject* requests access to *location*."""
+
+    time: int
+    subject: SubjectName
+    location: LocationName
+    request_id: str = field(default_factory=lambda: f"req-{next(_request_id_counter)}")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time, int) or isinstance(self.time, bool) or self.time < 0:
+            raise EnforcementError(f"request time must be a non-negative integer, got {self.time!r}")
+        object.__setattr__(self, "subject", subject_name(self.subject))
+        object.__setattr__(self, "location", location_name(self.location))
+
+    def as_triple(self) -> Tuple[int, SubjectName, LocationName]:
+        """Return the paper's ``(t, s, l)`` triple."""
+        return (self.time, self.subject, self.location)
+
+    def __str__(self) -> str:
+        return f"({self.time}, {self.subject}, {self.location})"
+
+
+class DenialReason(str, Enum):
+    """Machine-readable reasons an access request may be denied."""
+
+    #: No authorization at all exists for the (subject, location) pair.
+    NO_AUTHORIZATION = "no_authorization"
+    #: Authorizations exist but none has an entry duration containing the request time.
+    OUTSIDE_ENTRY_DURATION = "outside_entry_duration"
+    #: A matching authorization exists but its entry budget is exhausted.
+    ENTRY_LIMIT_EXHAUSTED = "entry_limit_exhausted"
+    #: The subject is already inside the requested location.
+    ALREADY_INSIDE = "already_inside"
+    #: The location is not a primitive location of the protected hierarchy.
+    UNKNOWN_LOCATION = "unknown_location"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """Outcome of evaluating an access request (Definition 7).
+
+    Parameters
+    ----------
+    request:
+        The evaluated access request.
+    granted:
+        Whether the request is authorized.
+    authorization:
+        The matching authorization when granted, else ``None``.
+    reason:
+        The denial reason when not granted, else ``None``.
+    entries_used:
+        Number of entries the subject had already used under the matching
+        authorization at decision time (0 when denied without a match).
+    """
+
+    request: AccessRequest
+    granted: bool
+    authorization: Optional[LocationTemporalAuthorization] = None
+    reason: Optional[DenialReason] = None
+    entries_used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.granted and self.authorization is None:
+            raise EnforcementError("a granted decision must carry the matching authorization")
+        if self.granted and self.reason is not None:
+            raise EnforcementError("a granted decision cannot carry a denial reason")
+        if not self.granted and self.reason is None:
+            raise EnforcementError("a denied decision must carry a denial reason")
+
+    @classmethod
+    def grant(
+        cls,
+        request: AccessRequest,
+        authorization: LocationTemporalAuthorization,
+        *,
+        entries_used: int = 0,
+    ) -> "AccessDecision":
+        """Build a granting decision."""
+        return cls(request, True, authorization, None, entries_used)
+
+    @classmethod
+    def deny(
+        cls,
+        request: AccessRequest,
+        reason: DenialReason,
+        *,
+        entries_used: int = 0,
+    ) -> "AccessDecision":
+        """Build a denying decision."""
+        return cls(request, False, None, reason, entries_used)
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+    def __str__(self) -> str:
+        if self.granted:
+            return f"GRANT {self.request} via {self.authorization.auth_id}"
+        return f"DENY {self.request} ({self.reason})"

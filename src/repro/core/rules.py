@@ -1,0 +1,272 @@
+"""Authorization rules (Section 4, Definition 5).
+
+An authorization rule ``⟨t_r : (a, OP)⟩`` derives new authorizations from a
+**base authorization** *a* through a tuple of operators
+``OP = (op_entry, op_exit, op_subject, op_location, exp_n)``:
+
+* ``op_entry`` and ``op_exit`` are temporal operators applied to the base
+  entry and exit durations;
+* ``op_subject`` derives the subjects of the derived authorizations from the
+  base subject (querying the user profile database);
+* ``op_location`` derives the primitive locations from the base location
+  (querying the location layout);
+* ``exp_n`` derives the entry count.
+
+Unspecified rule elements default to copying the corresponding value from the
+base authorization.  One derived authorization is produced for every
+combination of derived entry interval, exit interval, subject and location;
+combinations that would violate Definition 4's constraints (exit before
+entry) are skipped and reported rather than silently produced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import RuleError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.operators.location import LocationOperator, SAME_LOCATION
+from repro.core.operators.numeric import EntryExpression, SAME_ENTRIES
+from repro.core.operators.subject import SubjectOperator, SAME_SUBJECT
+from repro.core.operators.temporal import TemporalOperator, WHENEVER
+from repro.core.subjects import SubjectDirectory
+from repro.locations.multilevel import LocationHierarchy
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["OperatorTuple", "RuleContext", "DerivedBatch", "SkippedCombination", "AuthorizationRule"]
+
+_rule_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class OperatorTuple:
+    """The operator tuple ``OP`` of Definition 5.
+
+    Every element is optional; omitted elements default to the identity
+    operators, which reproduces the paper's rule that unspecified elements
+    are copied from the base authorization.
+    """
+
+    op_entry: TemporalOperator = WHENEVER
+    op_exit: TemporalOperator = WHENEVER
+    op_subject: SubjectOperator = SAME_SUBJECT
+    op_location: LocationOperator = SAME_LOCATION
+    exp_n: EntryExpression = SAME_ENTRIES
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op_entry, TemporalOperator):
+            raise RuleError(f"op_entry must be a TemporalOperator, got {self.op_entry!r}")
+        if not isinstance(self.op_exit, TemporalOperator):
+            raise RuleError(f"op_exit must be a TemporalOperator, got {self.op_exit!r}")
+        if not isinstance(self.op_subject, SubjectOperator):
+            raise RuleError(f"op_subject must be a SubjectOperator, got {self.op_subject!r}")
+        if not isinstance(self.op_location, LocationOperator):
+            raise RuleError(f"op_location must be a LocationOperator, got {self.op_location!r}")
+        if not isinstance(self.exp_n, EntryExpression):
+            raise RuleError(f"exp_n must be an EntryExpression, got {self.exp_n!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"({self.op_entry!r}, {self.op_exit!r}, {self.op_subject!r}, "
+            f"{self.op_location!r}, {self.exp_n!r})"
+        )
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule needs to evaluate its operators.
+
+    Parameters
+    ----------
+    directory:
+        The user profile directory queried by subject operators.
+    hierarchy:
+        The protected location hierarchy queried by location operators.
+    now:
+        The evaluation time; a rule only fires when ``now >= valid_from``.
+    """
+
+    directory: SubjectDirectory
+    hierarchy: LocationHierarchy
+    now: int = 0
+
+
+@dataclass(frozen=True)
+class SkippedCombination:
+    """A derived combination rejected because it violates Definition 4."""
+
+    subject: str
+    location: str
+    entry_duration: TimeInterval
+    exit_duration: TimeInterval
+    reason: str
+
+
+@dataclass(frozen=True)
+class DerivedBatch:
+    """The outcome of applying one rule to its base authorization."""
+
+    rule_id: str
+    base: LocationTemporalAuthorization
+    derived: Tuple[LocationTemporalAuthorization, ...]
+    skipped: Tuple[SkippedCombination, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.derived)
+
+    def __iter__(self):
+        return iter(self.derived)
+
+
+class AuthorizationRule:
+    """The rule ``⟨valid_from : (base, operators)⟩`` of Definition 5.
+
+    Parameters
+    ----------
+    valid_from:
+        Time ``t_r`` from which the rule is valid.  When the rule is
+        evaluated earlier (``context.now < valid_from``) it derives nothing.
+    base:
+        The base authorization the rule applies to.  It may also be given as
+        an authorization id (string) and resolved later via
+        :meth:`bind_base` (the derivation engine does this against the
+        authorization database).
+    operators:
+        The operator tuple ``OP``.  A plain tuple/sequence of up to five
+        operators in the paper's order is also accepted.
+    rule_id:
+        Stable identifier; generated when omitted.
+    description:
+        Optional human-readable intent of the rule.
+    """
+
+    def __init__(
+        self,
+        valid_from: int,
+        base: Union[LocationTemporalAuthorization, str],
+        operators: Union[OperatorTuple, Sequence, None] = None,
+        *,
+        rule_id: Optional[str] = None,
+        description: str = "",
+    ) -> None:
+        if not isinstance(valid_from, int) or isinstance(valid_from, bool) or valid_from < 0:
+            raise RuleError(f"valid_from must be a non-negative integer, got {valid_from!r}")
+        self.valid_from = valid_from
+        self.description = description
+        self.rule_id = rule_id or f"rule-{next(_rule_id_counter)}"
+        if isinstance(base, LocationTemporalAuthorization):
+            self._base: Optional[LocationTemporalAuthorization] = base
+            self._base_id: str = base.auth_id
+        elif isinstance(base, str) and base:
+            self._base = None
+            self._base_id = base
+        else:
+            raise RuleError(
+                f"base must be a LocationTemporalAuthorization or an authorization id, got {base!r}"
+            )
+        self.operators = _coerce_operators(operators)
+
+    # ------------------------------------------------------------------ #
+    # Base resolution
+    # ------------------------------------------------------------------ #
+    @property
+    def base(self) -> Optional[LocationTemporalAuthorization]:
+        """The bound base authorization, or ``None`` when only an id is known."""
+        return self._base
+
+    @property
+    def base_id(self) -> str:
+        """Identifier of the base authorization."""
+        return self._base_id
+
+    def bind_base(self, base: LocationTemporalAuthorization) -> None:
+        """Bind the concrete base authorization (used by the derivation engine)."""
+        if base.auth_id != self._base_id and self._base is not None:
+            raise RuleError(
+                f"rule {self.rule_id} is bound to base {self._base_id!r}, cannot rebind to {base.auth_id!r}"
+            )
+        self._base = base
+        self._base_id = base.auth_id
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def is_active(self, now: int) -> bool:
+        """Return ``True`` if the rule is valid at time *now*."""
+        return now >= self.valid_from
+
+    def derive(self, context: RuleContext) -> DerivedBatch:
+        """Apply the rule, producing the derived authorizations.
+
+        Raises
+        ------
+        RuleError
+            If the base authorization has not been bound.
+        """
+        if self._base is None:
+            raise RuleError(
+                f"rule {self.rule_id} has an unresolved base authorization {self._base_id!r}"
+            )
+        base = self._base
+        if not self.is_active(context.now):
+            return DerivedBatch(self.rule_id, base, ())
+
+        entry_intervals = self.operators.op_entry.apply(base.entry_duration, self.valid_from)
+        exit_intervals = self.operators.op_exit.apply(base.exit_duration, self.valid_from)
+        subjects = self.operators.op_subject.apply(base.subject, context.directory)
+        locations = self.operators.op_location.apply(base.location, context.hierarchy)
+        entries = self.operators.exp_n(base.max_entries)
+
+        derived: List[LocationTemporalAuthorization] = []
+        skipped: List[SkippedCombination] = []
+        for entry, exit_, subject, location in itertools.product(
+            entry_intervals, exit_intervals, subjects, locations
+        ):
+            try:
+                derived.append(
+                    LocationTemporalAuthorization(
+                        (subject, location),
+                        entry,
+                        exit_,
+                        entries,
+                        created_at=base.created_at,
+                        # Deterministic id: re-running the same rule on the same
+                        # base yields the same derived id, which lets rules chain
+                        # (a rule may name a derived authorization as its base)
+                        # and makes re-derivation idempotent.
+                        auth_id=f"{self.rule_id}({base.auth_id})/{subject}@{location}/{entry}",
+                        derived_from=base.auth_id,
+                        rule_id=self.rule_id,
+                    )
+                )
+            except Exception as exc:  # Definition 4 violation for this combination
+                skipped.append(
+                    SkippedCombination(subject, location, entry, exit_, str(exc))
+                )
+        return DerivedBatch(self.rule_id, base, tuple(derived), tuple(skipped))
+
+    def __repr__(self) -> str:
+        return (
+            f"AuthorizationRule(id={self.rule_id!r}, valid_from={self.valid_from}, "
+            f"base={self._base_id!r}, operators={self.operators})"
+        )
+
+    def __str__(self) -> str:
+        return f"⟨{self.valid_from}: {self._base_id}, {self.operators}⟩"
+
+
+def _coerce_operators(operators: Union[OperatorTuple, Sequence, None]) -> OperatorTuple:
+    if operators is None:
+        return OperatorTuple()
+    if isinstance(operators, OperatorTuple):
+        return operators
+    if isinstance(operators, (list, tuple)):
+        if len(operators) > 5:
+            raise RuleError(f"an operator tuple has at most five elements, got {len(operators)}")
+        defaults = [WHENEVER, WHENEVER, SAME_SUBJECT, SAME_LOCATION, SAME_ENTRIES]
+        resolved = list(operators) + defaults[len(operators):]
+        resolved = [default if item is None else item for item, default in zip(resolved, defaults)]
+        return OperatorTuple(*resolved)
+    raise RuleError(f"cannot interpret {operators!r} as an operator tuple")

@@ -1,0 +1,127 @@
+"""JSON (de)serialization of authorizations and authorization databases.
+
+Deployments need to version and exchange their authorization sets (the
+administrator writes them, auditors review them, the CLI loads them).  The
+document format is a plain JSON list of authorization objects::
+
+    [
+      {
+        "auth_id": "A1",
+        "subject": "Alice",
+        "location": "CAIS",
+        "entry_duration": [10, 20],
+        "exit_duration": [10, 50],
+        "max_entries": 2,
+        "created_at": 0,
+        "derived_from": null,
+        "rule_id": null
+      },
+      ...
+    ]
+
+``null`` stands for an unbounded interval end and for an unlimited entry
+budget, mirroring the SQLite schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import InvalidAuthorizationError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "authorization_to_dict",
+    "authorization_from_dict",
+    "dumps_authorizations",
+    "loads_authorizations",
+    "save_authorizations",
+    "load_authorizations",
+]
+
+
+def _interval_to_pair(interval: TimeInterval) -> List[Optional[int]]:
+    return [interval.start, None if interval.is_unbounded else int(interval.end)]
+
+
+def _interval_from_pair(pair: Any, *, what: str) -> TimeInterval:
+    if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+        raise InvalidAuthorizationError(f"{what} must be a [start, end] pair, got {pair!r}")
+    start, end = pair
+    return TimeInterval(start, FOREVER if end is None else end)
+
+
+def authorization_to_dict(authorization: LocationTemporalAuthorization) -> Dict[str, Any]:
+    """Convert one authorization to its JSON-compatible dictionary form."""
+    return {
+        "auth_id": authorization.auth_id,
+        "subject": authorization.subject,
+        "location": authorization.location,
+        "entry_duration": _interval_to_pair(authorization.entry_duration),
+        "exit_duration": _interval_to_pair(authorization.exit_duration),
+        "max_entries": None
+        if authorization.max_entries is UNLIMITED_ENTRIES
+        else int(authorization.max_entries),
+        "created_at": authorization.created_at,
+        "derived_from": authorization.derived_from,
+        "rule_id": authorization.rule_id,
+    }
+
+
+def authorization_from_dict(document: Dict[str, Any]) -> LocationTemporalAuthorization:
+    """Rebuild one authorization from its dictionary form."""
+    if not isinstance(document, dict):
+        raise InvalidAuthorizationError(f"authorization document must be an object, got {document!r}")
+    try:
+        subject = document["subject"]
+        location = document["location"]
+    except KeyError as exc:
+        raise InvalidAuthorizationError(f"authorization document misses field {exc}") from None
+    max_entries = document.get("max_entries")
+    return LocationTemporalAuthorization(
+        (subject, location),
+        _interval_from_pair(document.get("entry_duration", [0, None]), what="entry_duration"),
+        _interval_from_pair(document.get("exit_duration", [0, None]), what="exit_duration")
+        if document.get("exit_duration") is not None
+        else None,
+        UNLIMITED_ENTRIES if max_entries is None else max_entries,
+        created_at=document.get("created_at", 0),
+        auth_id=document.get("auth_id"),
+        derived_from=document.get("derived_from"),
+        rule_id=document.get("rule_id"),
+    )
+
+
+def dumps_authorizations(
+    authorizations: Iterable[LocationTemporalAuthorization], *, indent: int = 2
+) -> str:
+    """Serialize authorizations to a JSON string (stable ordering by id)."""
+    documents = sorted(
+        (authorization_to_dict(auth) for auth in authorizations), key=lambda d: str(d["auth_id"])
+    )
+    return json.dumps(documents, indent=indent, sort_keys=True)
+
+
+def loads_authorizations(text: str) -> List[LocationTemporalAuthorization]:
+    """Deserialize authorizations from a JSON string."""
+    documents = json.loads(text)
+    if not isinstance(documents, list):
+        raise InvalidAuthorizationError("an authorization file must contain a JSON list")
+    return [authorization_from_dict(document) for document in documents]
+
+
+def save_authorizations(
+    authorizations: Iterable[LocationTemporalAuthorization], path: str
+) -> None:
+    """Write the JSON document for *authorizations* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_authorizations(authorizations))
+
+
+def load_authorizations(path: str) -> List[LocationTemporalAuthorization]:
+    """Read authorizations from the JSON document at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_authorizations(handle.read())

@@ -1,0 +1,215 @@
+"""Subjects (users) and the organizational relationships between them.
+
+Authorizations are granted to *subjects* (Definition 3).  Authorization rules
+derive new authorizations through relationships between subjects — the paper's
+Example 1 uses a ``Supervisor_Of`` operator that *"returns the supervisor of a
+user by querying the user profile database"*.  This module defines the subject
+objects and the in-memory organizational directory those operators query; the
+persistent user-profile database of Figure 3 lives in
+:mod:`repro.storage.profile_db` and wraps a :class:`SubjectDirectory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Union
+
+from repro.errors import UnknownSubjectError, AuthorizationError
+
+__all__ = ["Subject", "SubjectName", "subject_name", "SubjectDirectory"]
+
+SubjectName = str
+
+
+def subject_name(value: "Subject | str") -> str:
+    """Return the plain string identifier of a subject-like value."""
+    if isinstance(value, Subject):
+        return value.name
+    if not isinstance(value, str) or not value or value.strip() != value:
+        raise AuthorizationError(f"subject name must be a non-empty trimmed string, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Subject:
+    """A user who requests access to locations.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier (``"Alice"``).
+    display_name:
+        Optional human-readable name.
+    roles:
+        Role names, usable by subject operators (e.g. ``"visitor"``,
+        ``"security_officer"``).
+    attributes:
+        Free-form profile attributes as an immutable mapping; stored as a
+        sorted tuple of pairs so subjects stay hashable.
+    """
+
+    name: SubjectName
+    display_name: str = ""
+    roles: FrozenSet[str] = field(default_factory=frozenset)
+    attributes: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        subject_name(self.name)
+        object.__setattr__(self, "roles", frozenset(self.roles))
+        if isinstance(self.attributes, Mapping):
+            object.__setattr__(self, "attributes", tuple(sorted(self.attributes.items())))
+        else:
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    def has_role(self, role: str) -> bool:
+        """Return ``True`` if the subject carries *role*."""
+        return role in self.roles
+
+    def attribute(self, key: str, default: object = None) -> object:
+        """Return the profile attribute *key*, or *default*."""
+        for attr_key, value in self.attributes:
+            if attr_key == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class SubjectDirectory:
+    """Registry of subjects plus supervisor and group relationships.
+
+    The directory is the source the subject operators of Section 4 query:
+    ``Supervisor_Of``, ``Subordinates_Of`` and ``Members_Of_Group`` all
+    resolve against it.
+    """
+
+    def __init__(self) -> None:
+        self._subjects: Dict[SubjectName, Subject] = {}
+        #: subject -> supervisor (at most one supervisor per subject)
+        self._supervisor: Dict[SubjectName, SubjectName] = {}
+        #: group name -> member subject names
+        self._groups: Dict[str, Set[SubjectName]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_subject(self, subject: Union[Subject, str], **kwargs) -> Subject:
+        """Register a subject (idempotent for identical re-registration).
+
+        Plain strings are wrapped in :class:`Subject`; keyword arguments are
+        forwarded to the constructor in that case.
+        """
+        resolved = subject if isinstance(subject, Subject) else Subject(subject_name(subject), **kwargs)
+        existing = self._subjects.get(resolved.name)
+        if existing is not None and existing != resolved:
+            raise AuthorizationError(
+                f"subject {resolved.name!r} is already registered with a different profile"
+            )
+        self._subjects[resolved.name] = resolved
+        return resolved
+
+    def set_supervisor(self, subordinate: Union[Subject, str], supervisor: Union[Subject, str]) -> None:
+        """Record that *supervisor* supervises *subordinate* (both auto-registered).
+
+        Cycles in the supervision chain are rejected because operators such
+        as ``ManagementChainOf`` walk the chain upwards.
+        """
+        sub = self.add_subject(subordinate) if subject_name(subordinate) not in self._subjects else self._subjects[subject_name(subordinate)]
+        sup = self.add_subject(supervisor) if subject_name(supervisor) not in self._subjects else self._subjects[subject_name(supervisor)]
+        if sub.name == sup.name:
+            raise AuthorizationError(f"subject {sub.name!r} cannot supervise itself")
+        # reject cycles: walking up from the supervisor must not reach the subordinate
+        current: Optional[str] = sup.name
+        while current is not None:
+            if current == sub.name:
+                raise AuthorizationError(
+                    f"setting {sup.name!r} as supervisor of {sub.name!r} would create a cycle"
+                )
+            current = self._supervisor.get(current)
+        self._supervisor[sub.name] = sup.name
+
+    def add_to_group(self, group: str, *members: Union[Subject, str]) -> None:
+        """Add subjects to a named group, registering them if needed."""
+        if not group or group.strip() != group:
+            raise AuthorizationError(f"group name must be a non-empty trimmed string, got {group!r}")
+        bucket = self._groups.setdefault(group, set())
+        for member in members:
+            name = subject_name(member)
+            if name not in self._subjects:
+                self.add_subject(name)
+            bucket.add(name)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, name: Union[Subject, str]) -> Subject:
+        """Return the subject called *name*."""
+        key = subject_name(name)
+        try:
+            return self._subjects[key]
+        except KeyError:
+            raise UnknownSubjectError(f"unknown subject {key!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            return subject_name(name) in self._subjects  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __iter__(self) -> Iterator[Subject]:
+        return iter(self._subjects.values())
+
+    def __len__(self) -> int:
+        return len(self._subjects)
+
+    @property
+    def subject_names(self) -> FrozenSet[SubjectName]:
+        """Names of all registered subjects."""
+        return frozenset(self._subjects)
+
+    def supervisor_of(self, subject: Union[Subject, str]) -> Optional[Subject]:
+        """The direct supervisor of *subject*, or ``None``."""
+        name = subject_name(subject)
+        if name not in self._subjects:
+            raise UnknownSubjectError(f"unknown subject {name!r}")
+        supervisor = self._supervisor.get(name)
+        return self._subjects[supervisor] if supervisor is not None else None
+
+    def subordinates_of(self, subject: Union[Subject, str]) -> List[Subject]:
+        """All subjects directly supervised by *subject*."""
+        name = subject_name(subject)
+        if name not in self._subjects:
+            raise UnknownSubjectError(f"unknown subject {name!r}")
+        return sorted(
+            (self._subjects[sub] for sub, sup in self._supervisor.items() if sup == name),
+            key=lambda s: s.name,
+        )
+
+    def management_chain_of(self, subject: Union[Subject, str]) -> List[Subject]:
+        """The supervision chain above *subject*, nearest supervisor first."""
+        chain: List[Subject] = []
+        current = self.supervisor_of(subject)
+        while current is not None:
+            chain.append(current)
+            current = self.supervisor_of(current)
+        return chain
+
+    def groups(self) -> FrozenSet[str]:
+        """Names of all registered groups."""
+        return frozenset(self._groups)
+
+    def members_of(self, group: str) -> List[Subject]:
+        """Members of *group* (empty list for an unknown group)."""
+        return sorted((self._subjects[name] for name in self._groups.get(group, ())), key=lambda s: s.name)
+
+    def groups_of(self, subject: Union[Subject, str]) -> FrozenSet[str]:
+        """Groups the subject belongs to."""
+        name = subject_name(subject)
+        if name not in self._subjects:
+            raise UnknownSubjectError(f"unknown subject {name!r}")
+        return frozenset(group for group, members in self._groups.items() if name in members)
+
+    def with_role(self, role: str) -> List[Subject]:
+        """All subjects carrying *role*."""
+        return sorted((s for s in self._subjects.values() if s.has_role(role)), key=lambda s: s.name)

@@ -1,0 +1,30 @@
+"""Enforcement layer: access-control engine, monitor, alerts, audit, queries.
+
+Implements the system architecture of Figure 3 on top of the storage layer:
+the Access Control Engine (request checking, rule derivation), the continuous
+movement monitor with its security alerts, occupancy sessions, the audit log,
+and the Query Engine with its small query language.
+"""
+
+from repro.engine.access_control import AccessControlEngine
+from repro.engine.alerts import Alert, AlertKind, AlertSink
+from repro.engine.audit import AuditEntry, AuditEntryKind, AuditLog
+from repro.engine.monitor import MovementMonitor
+from repro.engine.query import QueryEngine, QueryResult, parse
+from repro.engine.session import OccupancySession, SessionTable
+
+__all__ = [
+    "AccessControlEngine",
+    "MovementMonitor",
+    "Alert",
+    "AlertKind",
+    "AlertSink",
+    "AuditLog",
+    "AuditEntry",
+    "AuditEntryKind",
+    "OccupancySession",
+    "SessionTable",
+    "QueryEngine",
+    "QueryResult",
+    "parse",
+]

@@ -1,0 +1,114 @@
+"""Security alerts raised by the movement monitor.
+
+The paper motivates continuous monitoring with exactly these situations: a
+group of users entering on a single authorization (tailgating → unauthorized
+entry), a user failing to leave during the exit duration (*"a warning signal
+to the security guards will be generated"* → overstay), and leaving outside
+the permitted exit window.  Alerts are plain value objects delivered to an
+:class:`AlertSink`, which collects them and optionally forwards them to
+callbacks (a real deployment would page the guards; the tests and benchmarks
+inspect the collected list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.subjects import subject_name
+from repro.locations.location import location_name
+
+__all__ = ["AlertKind", "Alert", "AlertSink"]
+
+
+class AlertKind(str, Enum):
+    """Classification of security alerts."""
+
+    #: A subject was observed entering a location without a valid authorization
+    #: (covers tailgating behind an authorized user).
+    UNAUTHORIZED_ENTRY = "unauthorized_entry"
+    #: A subject is still inside a location after its exit duration has closed.
+    OVERSTAY = "overstay"
+    #: A subject left a location at a time outside the authorized exit duration.
+    EXIT_OUTSIDE_DURATION = "exit_outside_duration"
+    #: An access request was denied (informational; useful for auditing).
+    DENIED_REQUEST = "denied_request"
+    #: A subject was observed exiting a location it was never observed entering.
+    UNTRACKED_EXIT = "untracked_exit"
+    #: A location holds more occupants than its configured capacity limit.
+    OVER_CAPACITY = "over_capacity"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One security alert."""
+
+    time: int
+    kind: AlertKind
+    subject: str
+    location: str
+    message: str = ""
+    authorization_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject", subject_name(self.subject))
+        object.__setattr__(self, "location", location_name(self.location))
+        object.__setattr__(self, "kind", AlertKind(self.kind))
+
+    def __str__(self) -> str:
+        suffix = f" — {self.message}" if self.message else ""
+        return f"[t={self.time}] {self.kind.value}: {self.subject} @ {self.location}{suffix}"
+
+
+class AlertSink:
+    """Collects alerts and fans them out to registered callbacks."""
+
+    def __init__(self) -> None:
+        self._alerts: List[Alert] = []
+        self._callbacks: List[Callable[[Alert], None]] = []
+
+    def emit(self, alert: Alert) -> Alert:
+        """Record *alert* and notify the callbacks."""
+        self._alerts.append(alert)
+        for callback in list(self._callbacks):
+            callback(alert)
+        return alert
+
+    def subscribe(self, callback: Callable[[Alert], None]) -> None:
+        """Register *callback* to be invoked for every future alert."""
+        self._callbacks.append(callback)
+
+    @property
+    def alerts(self) -> Tuple[Alert, ...]:
+        """All alerts emitted so far, in order."""
+        return tuple(self._alerts)
+
+    def of_kind(self, kind: AlertKind) -> List[Alert]:
+        """Alerts of one kind."""
+        return [alert for alert in self._alerts if alert.kind is AlertKind(kind)]
+
+    def for_subject(self, subject: str) -> List[Alert]:
+        """Alerts concerning one subject."""
+        wanted = subject_name(subject)
+        return [alert for alert in self._alerts if alert.subject == wanted]
+
+    def counts_by_kind(self) -> Dict[AlertKind, int]:
+        """Number of alerts per kind."""
+        counts: Dict[AlertKind, int] = {}
+        for alert in self._alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Forget every collected alert (callbacks stay registered)."""
+        self._alerts.clear()
+
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    def __iter__(self):
+        return iter(self._alerts)

@@ -1,0 +1,132 @@
+"""Audit log of decisions, movements and alerts.
+
+Every action the enforcement engine takes is appended to an audit log so that
+administrators can answer *"what happened?"* after the fact — the query
+engine's violation queries and the analysis reports read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.requests import AccessDecision
+from repro.core.subjects import subject_name
+from repro.engine.alerts import Alert
+from repro.storage.movement_db import MovementRecord
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["AuditEntryKind", "AuditEntry", "AuditLog"]
+
+
+class AuditEntryKind(str, Enum):
+    """The kinds of events the audit log records."""
+
+    DECISION = "decision"
+    MOVEMENT = "movement"
+    ALERT = "alert"
+    DERIVATION = "derivation"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audit record: a timestamped payload with a kind tag."""
+
+    time: int
+    kind: AuditEntryKind
+    subject: str
+    payload: Union[AccessDecision, MovementRecord, Alert, str]
+
+    def __str__(self) -> str:
+        return f"[t={self.time}] {self.kind.value} {self.subject}: {self.payload}"
+
+
+class AuditLog:
+    """Append-only in-memory audit log."""
+
+    def __init__(self) -> None:
+        self._entries: List[AuditEntry] = []
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def record_decision(self, decision: AccessDecision) -> AuditEntry:
+        """Record an access-control decision."""
+        entry = AuditEntry(
+            decision.request.time, AuditEntryKind.DECISION, decision.request.subject, decision
+        )
+        self._entries.append(entry)
+        return entry
+
+    def record_movement(self, movement: MovementRecord) -> AuditEntry:
+        """Record an observed movement."""
+        entry = AuditEntry(movement.time, AuditEntryKind.MOVEMENT, movement.subject, movement)
+        self._entries.append(entry)
+        return entry
+
+    def record_alert(self, alert: Alert) -> AuditEntry:
+        """Record a security alert."""
+        entry = AuditEntry(alert.time, AuditEntryKind.ALERT, alert.subject, alert)
+        self._entries.append(entry)
+        return entry
+
+    def record_derivation(self, time: int, subject: str, description: str) -> AuditEntry:
+        """Record a rule-derivation action (free-text description)."""
+        entry = AuditEntry(time, AuditEntryKind.DERIVATION, subject_name(subject), description)
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> Tuple[AuditEntry, ...]:
+        """Every audit entry, in append order."""
+        return tuple(self._entries)
+
+    def of_kind(self, kind: AuditEntryKind) -> List[AuditEntry]:
+        """Entries of one kind."""
+        wanted = AuditEntryKind(kind)
+        return [entry for entry in self._entries if entry.kind is wanted]
+
+    def for_subject(self, subject: str) -> List[AuditEntry]:
+        """Entries concerning one subject."""
+        wanted = subject_name(subject)
+        return [entry for entry in self._entries if entry.subject == wanted]
+
+    def within(self, window: TimeInterval) -> List[AuditEntry]:
+        """Entries whose time lies inside *window*."""
+        return [entry for entry in self._entries if window.contains(entry.time)]
+
+    def decisions(self, *, granted: Optional[bool] = None) -> List[AccessDecision]:
+        """All recorded decisions, optionally filtered by outcome."""
+        found = [entry.payload for entry in self.of_kind(AuditEntryKind.DECISION)]
+        decisions = [payload for payload in found if isinstance(payload, AccessDecision)]
+        if granted is None:
+            return decisions
+        return [decision for decision in decisions if decision.granted is granted]
+
+    def alerts(self) -> List[Alert]:
+        """All recorded alerts."""
+        return [entry.payload for entry in self.of_kind(AuditEntryKind.ALERT) if isinstance(entry.payload, Alert)]
+
+    def counts(self) -> Dict[AuditEntryKind, int]:
+        """Number of entries per kind."""
+        result: Dict[AuditEntryKind, int] = {}
+        for entry in self._entries:
+            result[entry.kind] = result.get(entry.kind, 0) + 1
+        return result
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self._entries)

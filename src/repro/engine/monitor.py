@@ -1,0 +1,241 @@
+"""Continuous movement monitoring.
+
+The first bullet of the paper's introduction distinguishes LTAM from existing
+card-reader systems: *"The existing systems only enforce access control upon
+access requests while LTAM monitors the user movement at all times.  This
+eliminates situation where a group of users enters a restricted location
+based on a single user authorization."*
+
+:class:`MovementMonitor` consumes the movement observations produced by the
+tracking substrate (or directly by tests/simulations), keeps occupancy
+sessions, and raises alerts for:
+
+* **unauthorized entry** — a subject observed inside a location with no valid
+  authorization at that time (tailgating, door held open, forced entry);
+* **exit outside the exit duration** — leaving earlier or later than the
+  authorized exit window;
+* **overstay** — still inside after the exit window has closed (checked by
+  :meth:`check_overstays`, which the engine calls on every clock tick).
+
+Observed entries also consume the authorization's entry budget by being
+recorded in the movement database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.authorization import LocationTemporalAuthorization, UNLIMITED_ENTRIES
+from repro.core.subjects import subject_name
+from repro.engine.alerts import Alert, AlertKind, AlertSink
+from repro.engine.session import OccupancySession, SessionTable
+from repro.locations.location import location_name
+from repro.storage.authorization_db import AuthorizationDatabase
+from repro.storage.movement_db import MovementDatabase, MovementKind, MovementRecord
+
+__all__ = ["MovementMonitor"]
+
+
+class MovementMonitor:
+    """Watch movement observations and raise security alerts.
+
+    Parameters
+    ----------
+    authorization_db:
+        Source of authorizations used to judge observed movements.
+    movement_db:
+        Movement history store; every observation is recorded here (this is
+        also what makes entry counting work).
+    alert_sink:
+        Destination for raised alerts; a fresh sink is created when omitted.
+    """
+
+    def __init__(
+        self,
+        authorization_db: AuthorizationDatabase,
+        movement_db: MovementDatabase,
+        alert_sink: Optional[AlertSink] = None,
+    ) -> None:
+        self._authorization_db = authorization_db
+        self._movement_db = movement_db
+        self._alerts = alert_sink if alert_sink is not None else AlertSink()
+        self._sessions = SessionTable()
+        #: subjects already flagged for overstaying their current session, so
+        #: repeated ticks do not re-alert for the same stay.
+        self._overstay_flagged: set = set()
+        #: optional occupancy limits per location (extension: the paper's
+        #: future-work item of "more access constraints").
+        self._capacity_limits: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def alert_sink(self) -> AlertSink:
+        """The sink collecting this monitor's alerts."""
+        return self._alerts
+
+    @property
+    def sessions(self) -> SessionTable:
+        """The occupancy session table."""
+        return self._sessions
+
+    def set_capacity(self, location: str, limit: int) -> None:
+        """Set an occupancy limit for *location*; entries beyond it raise alerts."""
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise ValueError(f"capacity limit must be a positive integer, got {limit!r}")
+        self._capacity_limits[location_name(location)] = limit
+
+    def capacity_of(self, location: str) -> Optional[int]:
+        """The configured occupancy limit of *location*, or ``None``."""
+        return self._capacity_limits.get(location_name(location))
+
+    # ------------------------------------------------------------------ #
+    # Observation handling
+    # ------------------------------------------------------------------ #
+    def observe(self, record: MovementRecord) -> List[Alert]:
+        """Process one movement observation, returning any alerts raised."""
+        if record.kind is MovementKind.ENTER:
+            return self.observe_entry(record.time, record.subject, record.location)
+        return self.observe_exit(record.time, record.subject, record.location)
+
+    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Process an observed entry of *subject* into *location* at *time*."""
+        subject = subject_name(subject)
+        location = location_name(location)
+        alerts: List[Alert] = []
+
+        authorization = self._admitting_authorization(time, subject, location)
+        if authorization is None:
+            alerts.append(
+                self._alerts.emit(
+                    Alert(
+                        time,
+                        AlertKind.UNAUTHORIZED_ENTRY,
+                        subject,
+                        location,
+                        "entered without a valid authorization",
+                    )
+                )
+            )
+        # Record the movement regardless of authorization: the database holds
+        # the observed truth, and the entry count must reflect actual entries.
+        self._movement_db.record_entry(time, subject, location)
+        self._sessions.open(subject, location, time, authorization)
+        self._overstay_flagged.discard(subject)
+
+        limit = self._capacity_limits.get(location)
+        if limit is not None:
+            occupants = len(self._sessions.occupants(location))
+            if occupants > limit:
+                alerts.append(
+                    self._alerts.emit(
+                        Alert(
+                            time,
+                            AlertKind.OVER_CAPACITY,
+                            subject,
+                            location,
+                            f"{occupants} occupants exceed the capacity limit of {limit}",
+                        )
+                    )
+                )
+        return alerts
+
+    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Process an observed exit of *subject* from *location* at *time*."""
+        subject = subject_name(subject)
+        location = location_name(location)
+        alerts: List[Alert] = []
+
+        session = self._sessions.current(subject)
+        if session is None or session.location != location:
+            alerts.append(
+                self._alerts.emit(
+                    Alert(
+                        time,
+                        AlertKind.UNTRACKED_EXIT,
+                        subject,
+                        location,
+                        "exit observed without a matching entry",
+                    )
+                )
+            )
+        else:
+            authorization = session.authorization
+            if authorization is not None and not authorization.permits_exit_at(time):
+                alerts.append(
+                    self._alerts.emit(
+                        Alert(
+                            time,
+                            AlertKind.EXIT_OUTSIDE_DURATION,
+                            subject,
+                            location,
+                            f"exit at {time} is outside the exit duration {authorization.exit_duration}",
+                            authorization_id=authorization.auth_id,
+                        )
+                    )
+                )
+            self._sessions.close(subject, time)
+        self._movement_db.record_exit(time, subject, location)
+        self._overstay_flagged.discard(subject)
+        return alerts
+
+    def check_overstays(self, now: int) -> List[Alert]:
+        """Raise an overstay alert for every open session past its exit window."""
+        alerts: List[Alert] = []
+        for session in self._sessions.open_sessions():
+            if session.subject in self._overstay_flagged:
+                continue
+            if session.overstayed_at(now):
+                authorization = session.authorization
+                alerts.append(
+                    self._alerts.emit(
+                        Alert(
+                            now,
+                            AlertKind.OVERSTAY,
+                            session.subject,
+                            session.location,
+                            "still inside after the exit duration closed",
+                            authorization_id=authorization.auth_id if authorization else None,
+                        )
+                    )
+                )
+                self._overstay_flagged.add(session.subject)
+        return alerts
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _admitting_authorization(
+        self, time: int, subject: str, location: str
+    ) -> Optional[LocationTemporalAuthorization]:
+        """The authorization under which an observed entry is legitimate.
+
+        Mirrors Definition 7: the entry duration must contain *time* and the
+        entry budget must not be exhausted (entries are counted within the
+        authorization's entry duration, excluding the entry being processed).
+        """
+        candidates = self._authorization_db.for_subject_location(subject, location)
+        best: Optional[LocationTemporalAuthorization] = None
+        for authorization in candidates:
+            if not authorization.permits_entry_at(time):
+                continue
+            used = self._movement_db.entry_count(subject, location, authorization.entry_duration)
+            remaining = authorization.entries_remaining(used)
+            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
+                if best is None or _prefer(authorization, best):
+                    best = authorization
+        return best
+
+
+def _prefer(candidate: LocationTemporalAuthorization, incumbent: LocationTemporalAuthorization) -> bool:
+    """Prefer the authorization with the later exit deadline (more permissive stay)."""
+    candidate_end = candidate.exit_duration.end
+    incumbent_end = incumbent.exit_duration.end
+    if candidate_end is incumbent_end:
+        return False
+    if candidate.exit_duration.is_unbounded:
+        return True
+    if incumbent.exit_duration.is_unbounded:
+        return False
+    return int(candidate_end) > int(incumbent_end)

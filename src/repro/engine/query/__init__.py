@@ -1,0 +1,34 @@
+"""The LTAM query language and query engine (Figure 3's Query Engine)."""
+
+from repro.engine.query.ast import (
+    AccessibleQuery,
+    AuthorizationsQuery,
+    CanEnterQuery,
+    EntriesQuery,
+    InaccessibleQuery,
+    Query,
+    QueryResult,
+    RouteQuery,
+    ViolationsQuery,
+    WhereIsQuery,
+    WhoIsInQuery,
+)
+from repro.engine.query.evaluator import QueryEngine
+from repro.engine.query.parser import parse, tokenize
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "QueryEngine",
+    "parse",
+    "tokenize",
+    "WhoIsInQuery",
+    "WhereIsQuery",
+    "CanEnterQuery",
+    "AuthorizationsQuery",
+    "InaccessibleQuery",
+    "AccessibleQuery",
+    "ViolationsQuery",
+    "EntriesQuery",
+    "RouteQuery",
+]

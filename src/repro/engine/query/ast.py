@@ -1,0 +1,154 @@
+"""Abstract syntax of the LTAM query language.
+
+The paper defers the query language to future work but enumerates the kinds
+of questions it must answer (Sections 5 and 6): who is where, whether a user
+may enter a location, which locations are (in)accessible, and which
+authorizations have been violated.  Each query form is a small frozen
+dataclass; :mod:`repro.engine.query.parser` builds them from text and
+:mod:`repro.engine.query.evaluator` executes them against the enforcement
+engine's databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "Query",
+    "WhoIsInQuery",
+    "WhereIsQuery",
+    "CanEnterQuery",
+    "AuthorizationsQuery",
+    "InaccessibleQuery",
+    "AccessibleQuery",
+    "ViolationsQuery",
+    "EntriesQuery",
+    "RouteQuery",
+    "QueryResult",
+]
+
+
+class Query:
+    """Marker base class for all query AST nodes."""
+
+
+@dataclass(frozen=True)
+class WhoIsInQuery(Query):
+    """``WHO IS IN <location> [AT <time>]`` — occupants of a location."""
+
+    location: str
+    time: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WhereIsQuery(Query):
+    """``WHERE IS <subject> [AT <time>]`` — a subject's (historical) location."""
+
+    subject: str
+    time: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CanEnterQuery(Query):
+    """``CAN <subject> ENTER <location> AT <time>`` — a hypothetical access request."""
+
+    subject: str
+    location: str
+    time: int
+
+
+@dataclass(frozen=True)
+class AuthorizationsQuery(Query):
+    """``AUTHORIZATIONS FOR <subject> [AT <location>]`` — stored authorizations."""
+
+    subject: str
+    location: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InaccessibleQuery(Query):
+    """``INACCESSIBLE LOCATIONS FOR <subject>`` — Definition 9 via Algorithm 1."""
+
+    subject: str
+
+
+@dataclass(frozen=True)
+class AccessibleQuery(Query):
+    """``ACCESSIBLE LOCATIONS FOR <subject>`` — complement of the inaccessible set."""
+
+    subject: str
+
+
+@dataclass(frozen=True)
+class ViolationsQuery(Query):
+    """``VIOLATIONS [FOR <subject>] [BETWEEN <t1> AND <t2>]`` — recorded alerts."""
+
+    subject: Optional[str] = None
+    window: Optional[TimeInterval] = None
+
+
+@dataclass(frozen=True)
+class EntriesQuery(Query):
+    """``ENTRIES OF <subject> INTO <location>`` — consumed entry count."""
+
+    subject: str
+    location: str
+
+
+@dataclass(frozen=True)
+class RouteQuery(Query):
+    """``ROUTE FROM <source> TO <destination> [FOR <subject>]``.
+
+    Returns a shortest route; with a subject, also whether that route is
+    authorized for an access-request duration of ``[0, ∞)``.
+    """
+
+    source: str
+    destination: str
+    subject: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Tabular result of a query.
+
+    Parameters
+    ----------
+    kind:
+        Machine-readable name of the query form that produced the result.
+    columns:
+        Column headers.
+    rows:
+        Result rows (tuples aligned with *columns*).
+    scalar:
+        Single-value answer for queries that have one (e.g. ``CAN … ENTER``);
+        ``None`` otherwise.
+    """
+
+    kind: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]
+    scalar: object = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Optional[Tuple]:
+        """The first row, or ``None`` when the result is empty."""
+        return self.rows[0] if self.rows else None
+
+    def to_text(self) -> str:
+        """Render the result as a small fixed-width table."""
+        if self.scalar is not None and not self.rows:
+            return f"{self.kind}: {self.scalar}"
+        header = " | ".join(self.columns)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(" | ".join(str(cell) for cell in row))
+        return "\n".join(lines)

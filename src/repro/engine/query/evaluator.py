@@ -1,0 +1,189 @@
+"""The Query Engine of Figure 3.
+
+*"The query engine evaluates queries by the system administrators and the
+access control engine based on the information stored in all of the
+databases."*  :class:`QueryEngine` executes parsed queries (or raw query
+strings) against an :class:`~repro.engine.access_control.AccessControlEngine`
+— its authorization, movement and profile databases, its audit log/alert
+sink, and the location hierarchy — and returns tabular
+:class:`~repro.engine.query.ast.QueryResult` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import QueryError
+from repro.core.authorization import UNLIMITED_ENTRIES
+from repro.engine.access_control import AccessControlEngine
+from repro.engine.query.ast import (
+    AccessibleQuery,
+    AuthorizationsQuery,
+    CanEnterQuery,
+    EntriesQuery,
+    InaccessibleQuery,
+    Query,
+    QueryResult,
+    RouteQuery,
+    ViolationsQuery,
+    WhereIsQuery,
+    WhoIsInQuery,
+)
+from repro.engine.query.parser import parse
+from repro.locations.routes import find_route
+from repro.core.grant import authorize_route
+from repro.storage.movement_db import MovementKind
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Evaluate LTAM queries against an access-control engine's state."""
+
+    def __init__(self, engine: AccessControlEngine) -> None:
+        self._engine = engine
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def evaluate(self, query: Union[str, Query]) -> QueryResult:
+        """Evaluate a query given as text or as an AST node."""
+        node = parse(query) if isinstance(query, str) else query
+        handler = self._HANDLERS.get(type(node))
+        if handler is None:
+            raise QueryError(f"unsupported query type {type(node).__name__}")
+        return handler(self, node)
+
+    def explain(self, query: Union[str, Query]) -> str:
+        """Return the parsed AST representation of a query (for debugging)."""
+        node = parse(query) if isinstance(query, str) else query
+        return repr(node)
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _who_is_in(self, query: WhoIsInQuery) -> QueryResult:
+        if query.time is None:
+            occupants = self._engine.occupants(query.location)
+        else:
+            occupants = self._occupants_at(query.location, query.time)
+        rows = tuple((subject,) for subject in occupants)
+        return QueryResult("who_is_in", ("subject",), rows)
+
+    def _occupants_at(self, location: str, time: int) -> List[str]:
+        """Replay the movement history up to *time* to find occupants then."""
+        inside: Dict[str, str] = {}
+        for record in self._engine.movement_db.history():
+            if record.time > time:
+                break
+            if record.kind is MovementKind.ENTER:
+                inside[record.subject] = record.location
+            else:
+                if inside.get(record.subject) == record.location:
+                    del inside[record.subject]
+        return sorted(subject for subject, loc in inside.items() if loc == location)
+
+    def _where_is(self, query: WhereIsQuery) -> QueryResult:
+        if query.time is None:
+            location = self._engine.where_is(query.subject)
+        else:
+            location = self._location_at(query.subject, query.time)
+        rows = ((query.subject, location),) if location is not None else ()
+        return QueryResult("where_is", ("subject", "location"), rows, scalar=location)
+
+    def _location_at(self, subject: str, time: int) -> Optional[str]:
+        location: Optional[str] = None
+        for record in self._engine.movement_db.history(subject=subject):
+            if record.time > time:
+                break
+            location = record.location if record.kind is MovementKind.ENTER else None
+        return location
+
+    def _can_enter(self, query: CanEnterQuery) -> QueryResult:
+        decision = self._engine.request_access(
+            query.time, query.subject, query.location, record=False
+        )
+        reason = "" if decision.granted else str(decision.reason)
+        rows = ((query.subject, query.location, query.time, decision.granted, reason),)
+        return QueryResult(
+            "can_enter",
+            ("subject", "location", "time", "granted", "reason"),
+            rows,
+            scalar=decision.granted,
+        )
+
+    def _authorizations(self, query: AuthorizationsQuery) -> QueryResult:
+        if query.location is not None:
+            auths = self._engine.authorization_db.for_subject_location(query.subject, query.location)
+        else:
+            auths = self._engine.authorization_db.for_subject(query.subject)
+        rows = tuple(
+            (
+                auth.auth_id,
+                auth.location,
+                str(auth.entry_duration),
+                str(auth.exit_duration),
+                "∞" if auth.max_entries is UNLIMITED_ENTRIES else int(auth.max_entries),
+                auth.derived_from or "",
+            )
+            for auth in auths
+        )
+        return QueryResult(
+            "authorizations",
+            ("auth_id", "location", "entry_duration", "exit_duration", "max_entries", "derived_from"),
+            rows,
+        )
+
+    def _inaccessible(self, query: InaccessibleQuery) -> QueryResult:
+        report = self._engine.inaccessible_locations(query.subject)
+        rows = tuple((location,) for location in sorted(report.inaccessible))
+        return QueryResult("inaccessible", ("location",), rows)
+
+    def _accessible(self, query: AccessibleQuery) -> QueryResult:
+        report = self._engine.inaccessible_locations(query.subject)
+        rows = tuple((location,) for location in sorted(report.accessible))
+        return QueryResult("accessible", ("location",), rows)
+
+    def _violations(self, query: ViolationsQuery) -> QueryResult:
+        alerts = list(self._engine.alerts.alerts)
+        if query.subject is not None:
+            alerts = [alert for alert in alerts if alert.subject == query.subject]
+        if query.window is not None:
+            alerts = [alert for alert in alerts if query.window.contains(alert.time)]
+        rows = tuple(
+            (alert.time, str(alert.kind), alert.subject, alert.location, alert.message)
+            for alert in alerts
+        )
+        return QueryResult("violations", ("time", "kind", "subject", "location", "message"), rows)
+
+    def _entries(self, query: EntriesQuery) -> QueryResult:
+        count = self._engine.movement_db.entry_count(query.subject, query.location)
+        rows = ((query.subject, query.location, count),)
+        return QueryResult("entries", ("subject", "location", "entries"), rows, scalar=count)
+
+    def _route(self, query: RouteQuery) -> QueryResult:
+        route = find_route(self._engine.hierarchy, query.source, query.destination)
+        if route is None:
+            return QueryResult("route", ("step", "location", "authorized"), (), scalar=False)
+        authorized: Optional[bool] = None
+        if query.subject is not None:
+            check = authorize_route(route, query.subject, self._engine.authorization_db)
+            authorized = check.authorized
+        rows = tuple(
+            (index, location, "" if authorized is None else authorized)
+            for index, location in enumerate(route)
+        )
+        return QueryResult("route", ("step", "location", "authorized"), rows, scalar=authorized)
+
+    _HANDLERS = {
+        WhoIsInQuery: _who_is_in,
+        WhereIsQuery: _where_is,
+        CanEnterQuery: _can_enter,
+        AuthorizationsQuery: _authorizations,
+        InaccessibleQuery: _inaccessible,
+        AccessibleQuery: _accessible,
+        ViolationsQuery: _violations,
+        EntriesQuery: _entries,
+        RouteQuery: _route,
+    }

@@ -1,0 +1,228 @@
+"""Parser for the LTAM query language.
+
+The language is deliberately small and keyword-driven; the grammar (keywords
+are case-insensitive, names may be double-quoted to include spaces):
+
+.. code-block:: text
+
+    query := WHO IS IN <location> [AT <time>]
+           | WHERE IS <subject> [AT <time>]
+           | CAN <subject> ENTER <location> AT <time>
+           | AUTHORIZATIONS FOR <subject> [AT <location>]
+           | INACCESSIBLE [LOCATIONS] FOR <subject>
+           | ACCESSIBLE [LOCATIONS] FOR <subject>
+           | VIOLATIONS [FOR <subject>] [BETWEEN <time> AND <time>]
+           | ENTRIES OF <subject> INTO <location>
+           | ROUTE FROM <location> TO <location> [FOR <subject>]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.engine.query.ast import (
+    AccessibleQuery,
+    AuthorizationsQuery,
+    CanEnterQuery,
+    EntriesQuery,
+    InaccessibleQuery,
+    Query,
+    RouteQuery,
+    ViolationsQuery,
+    WhereIsQuery,
+    WhoIsInQuery,
+)
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["tokenize", "parse"]
+
+_TOKEN_PATTERN = re.compile(r'"[^"]*"|\S+')
+
+#: Keywords of the language (upper-cased during tokenization comparison).
+_KEYWORDS = {
+    "WHO",
+    "IS",
+    "IN",
+    "AT",
+    "WHERE",
+    "CAN",
+    "ENTER",
+    "AUTHORIZATIONS",
+    "FOR",
+    "INACCESSIBLE",
+    "ACCESSIBLE",
+    "LOCATIONS",
+    "VIOLATIONS",
+    "BETWEEN",
+    "AND",
+    "ENTRIES",
+    "OF",
+    "INTO",
+    "ROUTE",
+    "FROM",
+    "TO",
+}
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a query string into tokens, honouring double-quoted names."""
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError("query text must be a non-empty string")
+    tokens: List[str] = []
+    for match in _TOKEN_PATTERN.finditer(text.strip()):
+        token = match.group(0)
+        if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+            tokens.append(token[1:-1])
+        else:
+            tokens.append(token)
+    return tokens
+
+
+class _Cursor:
+    """Small helper walking the token list with keyword-aware accessors."""
+
+    def __init__(self, tokens: List[str], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def peek_keyword(self) -> Optional[str]:
+        if self.exhausted:
+            return None
+        token = self._tokens[self._position].upper()
+        return token if token in _KEYWORDS else None
+
+    def expect_keyword(self, *keywords: str) -> str:
+        if self.exhausted:
+            raise QuerySyntaxError(
+                f"unexpected end of query {self._text!r}: expected {' or '.join(keywords)}"
+            )
+        token = self._tokens[self._position].upper()
+        if token not in keywords:
+            raise QuerySyntaxError(
+                f"expected {' or '.join(keywords)} but found {self._tokens[self._position]!r} in {self._text!r}"
+            )
+        self._position += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self.exhausted:
+            return None
+        token = self._tokens[self._position].upper()
+        if token in keywords:
+            self._position += 1
+            return token
+        return None
+
+    def take_name(self, what: str) -> str:
+        if self.exhausted:
+            raise QuerySyntaxError(f"unexpected end of query {self._text!r}: expected a {what}")
+        token = self._tokens[self._position]
+        if token.upper() in _KEYWORDS:
+            raise QuerySyntaxError(f"expected a {what} but found keyword {token!r} in {self._text!r}")
+        self._position += 1
+        return token
+
+    def take_time(self) -> int:
+        token = self.take_name("time")
+        try:
+            value = int(token)
+        except ValueError:
+            raise QuerySyntaxError(f"expected an integer time, got {token!r}") from None
+        if value < 0:
+            raise QuerySyntaxError(f"time must be non-negative, got {value}")
+        return value
+
+    def finish(self) -> None:
+        if not self.exhausted:
+            trailing = " ".join(self._tokens[self._position:])
+            raise QuerySyntaxError(f"unexpected trailing tokens {trailing!r} in {self._text!r}")
+
+
+def parse(text: str) -> Query:
+    """Parse a query string into its AST node.
+
+    Raises
+    ------
+    QuerySyntaxError
+        If the text does not conform to the grammar.
+    """
+    cursor = _Cursor(tokenize(text), text)
+    head = cursor.expect_keyword(
+        "WHO", "WHERE", "CAN", "AUTHORIZATIONS", "INACCESSIBLE", "ACCESSIBLE",
+        "VIOLATIONS", "ENTRIES", "ROUTE",
+    )
+
+    if head == "WHO":
+        cursor.expect_keyword("IS")
+        cursor.expect_keyword("IN")
+        location = cursor.take_name("location")
+        time = cursor.take_time() if cursor.accept_keyword("AT") else None
+        cursor.finish()
+        return WhoIsInQuery(location, time)
+
+    if head == "WHERE":
+        cursor.expect_keyword("IS")
+        subject = cursor.take_name("subject")
+        time = cursor.take_time() if cursor.accept_keyword("AT") else None
+        cursor.finish()
+        return WhereIsQuery(subject, time)
+
+    if head == "CAN":
+        subject = cursor.take_name("subject")
+        cursor.expect_keyword("ENTER")
+        location = cursor.take_name("location")
+        cursor.expect_keyword("AT")
+        time = cursor.take_time()
+        cursor.finish()
+        return CanEnterQuery(subject, location, time)
+
+    if head == "AUTHORIZATIONS":
+        cursor.expect_keyword("FOR")
+        subject = cursor.take_name("subject")
+        location = cursor.take_name("location") if cursor.accept_keyword("AT") else None
+        cursor.finish()
+        return AuthorizationsQuery(subject, location)
+
+    if head in ("INACCESSIBLE", "ACCESSIBLE"):
+        cursor.accept_keyword("LOCATIONS")
+        cursor.expect_keyword("FOR")
+        subject = cursor.take_name("subject")
+        cursor.finish()
+        return InaccessibleQuery(subject) if head == "INACCESSIBLE" else AccessibleQuery(subject)
+
+    if head == "VIOLATIONS":
+        subject = cursor.take_name("subject") if cursor.accept_keyword("FOR") else None
+        window = None
+        if cursor.accept_keyword("BETWEEN"):
+            start = cursor.take_time()
+            cursor.expect_keyword("AND")
+            end = cursor.take_time()
+            if end < start:
+                raise QuerySyntaxError(f"BETWEEN window is inverted: [{start}, {end}]")
+            window = TimeInterval(start, end)
+        cursor.finish()
+        return ViolationsQuery(subject, window)
+
+    if head == "ENTRIES":
+        cursor.expect_keyword("OF")
+        subject = cursor.take_name("subject")
+        cursor.expect_keyword("INTO")
+        location = cursor.take_name("location")
+        cursor.finish()
+        return EntriesQuery(subject, location)
+
+    # head == "ROUTE"
+    cursor.expect_keyword("FROM")
+    source = cursor.take_name("location")
+    cursor.expect_keyword("TO")
+    destination = cursor.take_name("location")
+    subject = cursor.take_name("subject") if cursor.accept_keyword("FOR") else None
+    cursor.finish()
+    return RouteQuery(source, destination, subject)

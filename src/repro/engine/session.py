@@ -1,0 +1,133 @@
+"""Occupancy sessions: who is inside which location under which authorization.
+
+The movement monitor keeps one open :class:`OccupancySession` per subject
+currently inside a location.  The session remembers the authorization that
+admitted the subject (or ``None`` for an unauthorized entry) so that overstay
+and exit-window checks can be evaluated without re-querying the authorization
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import EnforcementError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.subjects import subject_name
+from repro.locations.location import LocationName, location_name
+
+__all__ = ["OccupancySession", "SessionTable"]
+
+
+@dataclass
+class OccupancySession:
+    """One subject's current stay inside one location."""
+
+    subject: str
+    location: LocationName
+    entered_at: int
+    authorization: Optional[LocationTemporalAuthorization] = None
+    exited_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.subject = subject_name(self.subject)
+        self.location = location_name(self.location)
+
+    @property
+    def is_open(self) -> bool:
+        """``True`` while the subject has not been observed leaving."""
+        return self.exited_at is None
+
+    @property
+    def is_authorized(self) -> bool:
+        """``True`` when the stay is covered by an authorization."""
+        return self.authorization is not None
+
+    def close(self, time: int) -> None:
+        """Mark the session as ended at *time*."""
+        if not self.is_open:
+            raise EnforcementError(
+                f"session of {self.subject!r} in {self.location!r} is already closed"
+            )
+        if time < self.entered_at:
+            raise EnforcementError(
+                f"cannot close a session before it started (entered {self.entered_at}, exit {time})"
+            )
+        self.exited_at = time
+
+    def overstayed_at(self, now: int) -> bool:
+        """``True`` when the stay has outlived the authorization's exit window."""
+        if not self.is_open or self.authorization is None:
+            return False
+        exit_duration = self.authorization.exit_duration
+        return not exit_duration.is_unbounded and now > int(exit_duration.end)
+
+    def duration(self, now: Optional[int] = None) -> int:
+        """Length of the stay, up to *now* for open sessions."""
+        end = self.exited_at if self.exited_at is not None else now
+        if end is None:
+            raise EnforcementError("duration of an open session requires the current time")
+        return max(0, end - self.entered_at)
+
+
+class SessionTable:
+    """Open and historical occupancy sessions, keyed by subject."""
+
+    def __init__(self) -> None:
+        self._open: Dict[str, OccupancySession] = {}
+        self._closed: List[OccupancySession] = []
+
+    def open(
+        self,
+        subject: str,
+        location: str,
+        time: int,
+        authorization: Optional[LocationTemporalAuthorization] = None,
+    ) -> OccupancySession:
+        """Open a session; an existing open session for the subject is force-closed.
+
+        Trackers may miss an exit event (a subject walks out of coverage);
+        force-closing keeps the table consistent with the latest observation.
+        """
+        name = subject_name(subject)
+        existing = self._open.get(name)
+        if existing is not None:
+            existing.close(time)
+            self._closed.append(existing)
+        session = OccupancySession(name, location, time, authorization)
+        self._open[name] = session
+        return session
+
+    def close(self, subject: str, time: int) -> Optional[OccupancySession]:
+        """Close the subject's open session, returning it (``None`` when absent)."""
+        name = subject_name(subject)
+        session = self._open.pop(name, None)
+        if session is None:
+            return None
+        session.close(time)
+        self._closed.append(session)
+        return session
+
+    def current(self, subject: str) -> Optional[OccupancySession]:
+        """The subject's open session, or ``None``."""
+        return self._open.get(subject_name(subject))
+
+    def open_sessions(self) -> List[OccupancySession]:
+        """All currently open sessions."""
+        return list(self._open.values())
+
+    def closed_sessions(self) -> List[OccupancySession]:
+        """All sessions that have ended."""
+        return list(self._closed)
+
+    def occupants(self, location: str) -> List[str]:
+        """Subjects whose open session is inside *location*."""
+        wanted = location_name(location)
+        return sorted(s.subject for s in self._open.values() if s.location == wanted)
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def __iter__(self) -> Iterator[OccupancySession]:
+        return iter(self._open.values())

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the LTAM reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`LTAMError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class LTAMError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TemporalError(LTAMError):
+    """Raised for invalid time points, intervals, or interval operations."""
+
+
+class InvalidIntervalError(TemporalError):
+    """Raised when an interval is constructed with inconsistent endpoints."""
+
+
+class LocationError(LTAMError):
+    """Base class for errors in the location model."""
+
+
+class UnknownLocationError(LocationError):
+    """Raised when a referenced location does not exist in a graph."""
+
+
+class DuplicateLocationError(LocationError):
+    """Raised when a location name is registered more than once."""
+
+
+class GraphStructureError(LocationError):
+    """Raised when a (multilevel) location graph violates a structural rule.
+
+    Examples include a graph without entry locations, a disconnected graph,
+    or an edge that references a node outside of the graph.
+    """
+
+
+class RouteError(LocationError):
+    """Raised when a route cannot be constructed or validated."""
+
+
+class SpatialError(LTAMError):
+    """Raised for invalid geometric data in the spatial substrate."""
+
+
+class AuthorizationError(LTAMError):
+    """Base class for errors in the authorization model."""
+
+
+class InvalidAuthorizationError(AuthorizationError):
+    """Raised when an authorization violates Definition 4 of the paper."""
+
+
+class UnknownSubjectError(AuthorizationError):
+    """Raised when a referenced subject is not present in the profile DB."""
+
+
+class RuleError(AuthorizationError):
+    """Raised when an authorization rule is malformed or cannot be applied."""
+
+
+class ConflictError(AuthorizationError):
+    """Raised when conflicting authorizations cannot be resolved."""
+
+
+class StorageError(LTAMError):
+    """Raised by storage backends (in-memory and SQLite)."""
+
+
+class DuplicateRecordError(StorageError):
+    """Raised when inserting a record whose identifier already exists."""
+
+
+class MissingRecordError(StorageError):
+    """Raised when a looked-up record does not exist."""
+
+
+class EnforcementError(LTAMError):
+    """Raised by the access-control engine and movement monitor."""
+
+
+class QueryError(LTAMError):
+    """Raised when a query cannot be parsed or evaluated."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised when the query text does not conform to the query grammar."""
+
+
+class SimulationError(LTAMError):
+    """Raised by workload and movement generators on invalid parameters."""
+
+
+class PrivacyError(LTAMError):
+    """Raised when a location-privacy policy cannot be applied."""

@@ -1,0 +1,61 @@
+"""Location substrate: locations, graphs, multilevel graphs, routes, layouts.
+
+Implements Section 3.1 of the paper: primitive and composite locations,
+location graphs (Definition 1), multilevel location graphs (Definition 2),
+entry locations, simple and complex routes, plus serialization and the
+canonical layouts used by the paper's figures.
+"""
+
+from repro.locations.builder import LocationGraphBuilder, MultilevelGraphBuilder
+from repro.locations.graph import Edge, LocationGraph
+from repro.locations.layouts import (
+    eee_school,
+    figure4_graph,
+    figure4_hierarchy,
+    ntu_campus,
+    ntu_campus_hierarchy,
+    sce_school,
+    stub_school,
+)
+from repro.locations.location import CompositeLocation, LocationName, PrimitiveLocation, location_name
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+from repro.locations.routes import (
+    Route,
+    RouteKind,
+    classify_route,
+    find_all_routes,
+    find_route,
+    is_route,
+    locations_on_routes,
+    routes_from_entries,
+)
+from repro.locations import serialization
+
+__all__ = [
+    "Edge",
+    "LocationGraph",
+    "MultilevelLocationGraph",
+    "LocationHierarchy",
+    "LocationGraphBuilder",
+    "MultilevelGraphBuilder",
+    "PrimitiveLocation",
+    "CompositeLocation",
+    "LocationName",
+    "location_name",
+    "Route",
+    "RouteKind",
+    "classify_route",
+    "find_route",
+    "find_all_routes",
+    "is_route",
+    "routes_from_entries",
+    "locations_on_routes",
+    "serialization",
+    "sce_school",
+    "eee_school",
+    "stub_school",
+    "ntu_campus",
+    "ntu_campus_hierarchy",
+    "figure4_graph",
+    "figure4_hierarchy",
+]

@@ -1,0 +1,166 @@
+"""Fluent builders for location graphs and multilevel location graphs.
+
+The constructors of :class:`~repro.locations.graph.LocationGraph` and
+:class:`~repro.locations.multilevel.MultilevelLocationGraph` take all the
+pieces at once; the builders in this module let layouts, tests and examples
+accumulate locations, edges and entry designations incrementally and validate
+only once at :meth:`build` time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GraphStructureError
+from repro.locations.graph import Edge, LocationGraph
+from repro.locations.location import PrimitiveLocation, location_name
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+
+__all__ = ["LocationGraphBuilder", "MultilevelGraphBuilder"]
+
+
+class LocationGraphBuilder:
+    """Incrementally assemble a :class:`LocationGraph`.
+
+    Examples
+    --------
+    >>> graph = (
+    ...     LocationGraphBuilder("SCE")
+    ...     .add_locations("SCE.GO", "SCE.SectionA", "CAIS")
+    ...     .add_edge("SCE.GO", "SCE.SectionA")
+    ...     .add_edge("SCE.SectionA", "CAIS")
+    ...     .mark_entry("SCE.GO")
+    ...     .build()
+    ... )
+    >>> sorted(graph.entry_locations)
+    ['SCE.GO']
+    """
+
+    def __init__(self, name: str, *, description: str = "") -> None:
+        self._name = name
+        self._description = description
+        self._locations: Dict[str, PrimitiveLocation] = {}
+        self._edges: List[Tuple[str, str]] = []
+        self._entries: List[str] = []
+
+    def add_location(
+        self,
+        location: Union[str, PrimitiveLocation],
+        *,
+        description: str = "",
+        tags: Iterable[str] = (),
+        entry: bool = False,
+    ) -> "LocationGraphBuilder":
+        """Add one primitive location, optionally marking it as an entry."""
+        if isinstance(location, PrimitiveLocation):
+            primitive = location
+        else:
+            primitive = PrimitiveLocation(location_name(location), description, frozenset(tags))
+        self._locations[primitive.name] = primitive
+        if entry:
+            self.mark_entry(primitive.name)
+        return self
+
+    def add_locations(self, *locations: Union[str, PrimitiveLocation]) -> "LocationGraphBuilder":
+        """Add several primitive locations at once."""
+        for loc in locations:
+            self.add_location(loc)
+        return self
+
+    def add_edge(self, a: str, b: str) -> "LocationGraphBuilder":
+        """Add a bidirectional edge, implicitly adding unknown endpoints."""
+        for endpoint in (a, b):
+            if location_name(endpoint) not in self._locations:
+                self.add_location(endpoint)
+        self._edges.append((location_name(a), location_name(b)))
+        return self
+
+    def add_path(self, *locations: str) -> "LocationGraphBuilder":
+        """Add a chain of edges along *locations* (convenient for corridors)."""
+        names = [location_name(l) for l in locations]
+        for a, b in zip(names, names[1:]):
+            self.add_edge(a, b)
+        return self
+
+    def mark_entry(self, *locations: str) -> "LocationGraphBuilder":
+        """Designate one or more locations as entry locations."""
+        for loc in locations:
+            name = location_name(loc)
+            if name not in self._entries:
+                self._entries.append(name)
+        return self
+
+    def build(self, *, validate_connectivity: bool = True) -> LocationGraph:
+        """Construct and validate the location graph."""
+        return LocationGraph(
+            self._name,
+            self._locations.values(),
+            self._edges,
+            self._entries,
+            description=self._description,
+            validate_connectivity=validate_connectivity,
+        )
+
+
+class MultilevelGraphBuilder:
+    """Incrementally assemble a :class:`MultilevelLocationGraph`.
+
+    Children may be added either as already-built graphs or as nested
+    builders; nested builders are built lazily when :meth:`build` is called.
+    """
+
+    def __init__(self, name: str, *, description: str = "") -> None:
+        self._name = name
+        self._description = description
+        self._children: Dict[str, Union[LocationGraph, MultilevelLocationGraph, "MultilevelGraphBuilder", LocationGraphBuilder]] = {}
+        self._edges: List[Tuple[str, str]] = []
+        self._entry_children: List[str] = []
+
+    def add_child(
+        self,
+        child: Union[LocationGraph, MultilevelLocationGraph, "MultilevelGraphBuilder", LocationGraphBuilder],
+        *,
+        entry: bool = False,
+    ) -> "MultilevelGraphBuilder":
+        """Add a child graph (or builder), optionally marking it as an entry child."""
+        name = child._name if isinstance(child, (MultilevelGraphBuilder, LocationGraphBuilder)) else child.name
+        if name in self._children:
+            raise GraphStructureError(f"child {name!r} added twice to builder {self._name!r}")
+        self._children[name] = child
+        if entry:
+            self.mark_entry_child(name)
+        return self
+
+    def connect(self, a: str, b: str) -> "MultilevelGraphBuilder":
+        """Add an edge between two child composites."""
+        self._edges.append((location_name(a), location_name(b)))
+        return self
+
+    def mark_entry_child(self, *names: str) -> "MultilevelGraphBuilder":
+        """Designate one or more children as entry children."""
+        for name in names:
+            resolved = location_name(name)
+            if resolved not in self._entry_children:
+                self._entry_children.append(resolved)
+        return self
+
+    def build(self, *, validate_connectivity: bool = True) -> MultilevelLocationGraph:
+        """Construct and validate the multilevel location graph."""
+        built_children: List[Union[LocationGraph, MultilevelLocationGraph]] = []
+        for child in self._children.values():
+            if isinstance(child, (MultilevelGraphBuilder, LocationGraphBuilder)):
+                built_children.append(child.build(validate_connectivity=validate_connectivity))
+            else:
+                built_children.append(child)
+        return MultilevelLocationGraph(
+            self._name,
+            built_children,
+            self._edges,
+            self._entry_children or None,
+            description=self._description,
+            validate_connectivity=validate_connectivity,
+        )
+
+    def build_hierarchy(self, *, validate_connectivity: bool = True) -> LocationHierarchy:
+        """Construct the multilevel graph and wrap it in a :class:`LocationHierarchy`."""
+        return LocationHierarchy(self.build(validate_connectivity=validate_connectivity))

@@ -1,0 +1,316 @@
+"""Location graphs (Definition 1 of the paper).
+
+A location graph ``(L, E)`` consists of a set of primitive locations ``L`` and
+a set of bidirectional edges ``E`` connecting pairs of locations.  An edge
+``(l1, l2)`` means ``l2`` can be reached from ``l1`` directly without going
+through other locations, and vice versa.  Every location graph designates at
+least one **entry location**, which is the first location a user must visit
+before visiting other locations within the graph and the last location before
+exit.  Location graphs are required to be connected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import (
+    DuplicateLocationError,
+    GraphStructureError,
+    UnknownLocationError,
+)
+from repro.locations.location import (
+    CompositeLocation,
+    LocationName,
+    PrimitiveLocation,
+    location_name,
+    validate_location_name,
+)
+
+__all__ = ["Edge", "LocationGraph"]
+
+LocationLike = Union[str, PrimitiveLocation]
+
+
+def _edge_key(a: LocationName, b: LocationName) -> FrozenSet[LocationName]:
+    return frozenset((a, b))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A bidirectional edge between two locations of a graph."""
+
+    first: LocationName
+    second: LocationName
+
+    def __post_init__(self) -> None:
+        validate_location_name(self.first)
+        validate_location_name(self.second)
+        if self.first == self.second:
+            raise GraphStructureError(f"self-loop edges are not allowed: {self.first!r}")
+
+    @property
+    def key(self) -> FrozenSet[LocationName]:
+        """Order-independent identity of the edge."""
+        return _edge_key(self.first, self.second)
+
+    def other(self, name: LocationName) -> LocationName:
+        """Return the endpoint different from *name*."""
+        if name == self.first:
+            return self.second
+        if name == self.second:
+            return self.first
+        raise UnknownLocationError(f"{name!r} is not an endpoint of edge {self}")
+
+    def touches(self, name: LocationName) -> bool:
+        """Return ``True`` if *name* is one of the endpoints."""
+        return name in (self.first, self.second)
+
+    def __iter__(self) -> Iterator[LocationName]:
+        return iter((self.first, self.second))
+
+    def __str__(self) -> str:
+        return f"({self.first} -- {self.second})"
+
+
+class LocationGraph:
+    """A connected graph of primitive locations with designated entry locations.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the composite location this graph realizes
+        (e.g. ``"SCE"``).
+    locations:
+        The primitive locations of the graph.  Plain strings are accepted and
+        wrapped in :class:`PrimitiveLocation`.
+    edges:
+        Pairs of location names (or :class:`Edge` objects).
+    entry_locations:
+        Names of the entry locations; must be a non-empty subset of
+        *locations*.
+    validate_connectivity:
+        When ``True`` (the default) the constructor enforces the paper's
+        requirement that location graphs are connected.
+
+    Raises
+    ------
+    GraphStructureError
+        If the graph has no locations, no entry locations, an edge whose
+        endpoint is unknown, or (when requested) is not connected.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        locations: Iterable[LocationLike],
+        edges: Iterable[Union[Edge, Tuple[LocationLike, LocationLike]]] = (),
+        entry_locations: Iterable[LocationLike] = (),
+        *,
+        description: str = "",
+        validate_connectivity: bool = True,
+    ) -> None:
+        self.name = validate_location_name(name)
+        self.description = description
+        self._locations: Dict[LocationName, PrimitiveLocation] = {}
+        self._adjacency: Dict[LocationName, Set[LocationName]] = {}
+        self._edges: Dict[FrozenSet[LocationName], Edge] = {}
+        self._entries: Set[LocationName] = set()
+
+        for loc in locations:
+            self._add_location(loc)
+        if not self._locations:
+            raise GraphStructureError(f"location graph {name!r} must contain at least one location")
+
+        for edge in edges:
+            self._add_edge(edge)
+
+        for entry in entry_locations:
+            entry_name = location_name(entry)
+            if entry_name not in self._locations:
+                raise UnknownLocationError(
+                    f"entry location {entry_name!r} is not a member of graph {name!r}"
+                )
+            self._entries.add(entry_name)
+        if not self._entries:
+            raise GraphStructureError(
+                f"location graph {name!r} must designate at least one entry location"
+            )
+
+        if validate_connectivity:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction internals
+    # ------------------------------------------------------------------ #
+    def _add_location(self, loc: LocationLike) -> PrimitiveLocation:
+        primitive = loc if isinstance(loc, PrimitiveLocation) else PrimitiveLocation(location_name(loc))
+        if primitive.name in self._locations:
+            raise DuplicateLocationError(
+                f"location {primitive.name!r} declared twice in graph {self.name!r}"
+            )
+        self._locations[primitive.name] = primitive
+        self._adjacency[primitive.name] = set()
+        return primitive
+
+    def _add_edge(self, edge: Union[Edge, Tuple[LocationLike, LocationLike]]) -> Edge:
+        if isinstance(edge, Edge):
+            resolved = edge
+        else:
+            a, b = edge
+            resolved = Edge(location_name(a), location_name(b))
+        for endpoint in resolved:
+            if endpoint not in self._locations:
+                raise UnknownLocationError(
+                    f"edge {resolved} references unknown location {endpoint!r} in graph {self.name!r}"
+                )
+        self._edges[resolved.key] = resolved
+        self._adjacency[resolved.first].add(resolved.second)
+        self._adjacency[resolved.second].add(resolved.first)
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def locations(self) -> Mapping[LocationName, PrimitiveLocation]:
+        """Mapping from location name to :class:`PrimitiveLocation`."""
+        return dict(self._locations)
+
+    @property
+    def location_names(self) -> FrozenSet[LocationName]:
+        """The names of all primitive locations of the graph."""
+        return frozenset(self._locations)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges of the graph."""
+        return tuple(self._edges.values())
+
+    @property
+    def entry_locations(self) -> FrozenSet[LocationName]:
+        """Names of the designated entry locations."""
+        return frozenset(self._entries)
+
+    @property
+    def composite(self) -> CompositeLocation:
+        """The composite location realized by this graph."""
+        return CompositeLocation(self.name, frozenset(self._locations), self.description)
+
+    def __contains__(self, location: object) -> bool:
+        try:
+            return location_name(location) in self._locations  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __iter__(self) -> Iterator[LocationName]:
+        return iter(self._locations)
+
+    def get(self, name: LocationLike) -> PrimitiveLocation:
+        """Return the :class:`PrimitiveLocation` called *name*."""
+        key = location_name(name)
+        try:
+            return self._locations[key]
+        except KeyError:
+            raise UnknownLocationError(f"graph {self.name!r} has no location {key!r}") from None
+
+    def is_entry(self, name: LocationLike) -> bool:
+        """Return ``True`` if *name* is an entry location of this graph."""
+        return location_name(name) in self._entries
+
+    def has_edge(self, a: LocationLike, b: LocationLike) -> bool:
+        """Return ``True`` if locations *a* and *b* are directly connected."""
+        return _edge_key(location_name(a), location_name(b)) in self._edges
+
+    def neighbors(self, name: LocationLike) -> FrozenSet[LocationName]:
+        """Names of the locations directly reachable from *name*."""
+        key = location_name(name)
+        if key not in self._adjacency:
+            raise UnknownLocationError(f"graph {self.name!r} has no location {key!r}")
+        return frozenset(self._adjacency[key])
+
+    def degree(self, name: LocationLike) -> int:
+        """Number of edges incident to *name*."""
+        return len(self.neighbors(name))
+
+    def max_degree(self) -> int:
+        """Maximum degree over all locations (``N_d`` in the complexity analysis)."""
+        return max((len(adj) for adj in self._adjacency.values()), default=0)
+
+    # ------------------------------------------------------------------ #
+    # Validation and traversal
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the structural rules of Definition 1.
+
+        Raises
+        ------
+        GraphStructureError
+            If the graph is not connected.
+        """
+        if not self.is_connected():
+            unreachable = self.location_names - self._reachable_from(next(iter(self._entries)))
+            raise GraphStructureError(
+                f"location graph {self.name!r} is not connected; unreachable from "
+                f"entry: {sorted(unreachable)}"
+            )
+
+    def _reachable_from(self, start: LocationName) -> Set[LocationName]:
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if every location is reachable from every other."""
+        start = next(iter(self._locations))
+        return self._reachable_from(start) == set(self._locations)
+
+    def shortest_path(self, source: LocationLike, target: LocationLike) -> Optional[List[LocationName]]:
+        """Breadth-first shortest path between two locations, or ``None``."""
+        src, dst = location_name(source), location_name(target)
+        self.get(src), self.get(dst)
+        if src == dst:
+            return [src]
+        parents: Dict[LocationName, LocationName] = {}
+        frontier = deque([src])
+        seen = {src}
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in sorted(self._adjacency[current]):
+                if neighbor in seen:
+                    continue
+                parents[neighbor] = current
+                if neighbor == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(neighbor)
+                frontier.append(neighbor)
+        return None
+
+    def copy(self, *, name: Optional[str] = None) -> "LocationGraph":
+        """Return a structural copy of the graph, optionally renamed."""
+        return LocationGraph(
+            name or self.name,
+            self._locations.values(),
+            self.edges,
+            self._entries,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationGraph(name={self.name!r}, locations={len(self._locations)}, "
+            f"edges={len(self._edges)}, entries={sorted(self._entries)})"
+        )

@@ -1,0 +1,166 @@
+"""Canonical location layouts used by the paper's figures and examples.
+
+* :func:`ntu_campus` reconstructs the multilevel location graph of Figures 1
+  and 2 (the NTU campus with the SCE and EEE schools modelled in detail and
+  the CEE, SME and NBS schools as stub graphs).
+* :func:`figure4_graph` reconstructs the four-location graph of Figure 4 that
+  drives the worked example of Algorithm 1 (Tables 1 and 2).
+
+The paper's figures do not list every edge explicitly; where an edge had to
+be inferred, the choice is the minimal topology consistent with the routes
+the text uses (the simple route ⟨SCE.Dean Office, SCE.SectionA, SCE.SectionB,
+CAIS⟩, the complex route ⟨EEE.Dean Office, EEE.SectionA, EEE.GO, SCE.GO,
+SCE.SectionA, SCE.Dean Office⟩, and the Table 2 update order A → {B, D} →
+{A, C}).  EXPERIMENTS.md documents these reconstruction choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.locations.builder import LocationGraphBuilder, MultilevelGraphBuilder
+from repro.locations.graph import LocationGraph
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+
+__all__ = [
+    "sce_school",
+    "eee_school",
+    "stub_school",
+    "ntu_campus",
+    "ntu_campus_hierarchy",
+    "figure4_graph",
+    "figure4_hierarchy",
+]
+
+#: Location names used by the SCE school of Figure 2.
+SCE_LOCATIONS = (
+    "SCE.GO",
+    "SCE.DeanOffice",
+    "SCE.SectionA",
+    "SCE.SectionB",
+    "SCE.SectionC",
+    "CAIS",
+    "CHIPES",
+)
+
+#: Location names used by the EEE school of Figure 2.
+EEE_LOCATIONS = (
+    "EEE.GO",
+    "EEE.DeanOffice",
+    "EEE.SectionA",
+    "EEE.SectionB",
+    "EEE.SectionC",
+    "Lab1",
+    "Lab2",
+)
+
+
+def sce_school() -> LocationGraph:
+    """The SCE location graph of Figure 2.
+
+    Entry locations are ``SCE.GO`` and ``SCE.SectionC`` (drawn with double
+    lines in the figure).  The research centres CAIS and CHIPES hang off the
+    section corridor.
+    """
+    return (
+        LocationGraphBuilder("SCE", description="School of Computer Engineering")
+        .add_location("SCE.GO", description="SCE general office", tags=("office",), entry=True)
+        .add_location("SCE.DeanOffice", description="SCE dean's office", tags=("office",))
+        .add_location("SCE.SectionA", tags=("corridor",))
+        .add_location("SCE.SectionB", tags=("corridor",))
+        .add_location("SCE.SectionC", tags=("corridor",), entry=True)
+        .add_location("CAIS", description="Centre for Advanced Information Systems", tags=("lab",))
+        .add_location("CHIPES", description="Centre for High Performance Embedded Systems", tags=("lab",))
+        .add_path("SCE.GO", "SCE.SectionA", "SCE.SectionB", "SCE.SectionC")
+        .add_edge("SCE.SectionA", "SCE.DeanOffice")
+        .add_edge("SCE.SectionB", "CAIS")
+        .add_edge("SCE.SectionC", "CHIPES")
+        .build()
+    )
+
+
+def eee_school() -> LocationGraph:
+    """The EEE location graph of Figure 2 (mirror image of SCE with two labs)."""
+    return (
+        LocationGraphBuilder("EEE", description="School of Electrical and Electronic Engineering")
+        .add_location("EEE.GO", description="EEE general office", tags=("office",), entry=True)
+        .add_location("EEE.DeanOffice", description="EEE dean's office", tags=("office",))
+        .add_location("EEE.SectionA", tags=("corridor",))
+        .add_location("EEE.SectionB", tags=("corridor",))
+        .add_location("EEE.SectionC", tags=("corridor",), entry=True)
+        .add_location("Lab1", tags=("lab",))
+        .add_location("Lab2", tags=("lab",))
+        .add_path("EEE.GO", "EEE.SectionA", "EEE.SectionB", "EEE.SectionC")
+        .add_edge("EEE.SectionA", "EEE.DeanOffice")
+        .add_edge("EEE.SectionB", "Lab1")
+        .add_edge("EEE.SectionC", "Lab2")
+        .build()
+    )
+
+
+def stub_school(name: str) -> LocationGraph:
+    """A minimal school graph with a lobby (entry) and a general office.
+
+    Figure 2 shows the CEE, SME and NBS schools only as opaque nodes; the
+    stub keeps them structurally valid (non-empty, connected, with an entry
+    location) without inventing internal detail the paper does not give.
+    """
+    return (
+        LocationGraphBuilder(name)
+        .add_location(f"{name}.Lobby", tags=("lobby",), entry=True)
+        .add_location(f"{name}.GO", tags=("office",))
+        .add_edge(f"{name}.Lobby", f"{name}.GO")
+        .build()
+    )
+
+
+def ntu_campus() -> MultilevelLocationGraph:
+    """The NTU multilevel location graph of Figures 1 and 2.
+
+    The SCE–EEE edge is required by the complex-route example of the text;
+    the remaining school-level edges form a ring so that the campus graph is
+    connected, which Definition 2 requires.
+    """
+    return (
+        MultilevelGraphBuilder("NTU", description="Nanyang Technological University campus")
+        .add_child(sce_school(), entry=True)
+        .add_child(eee_school(), entry=True)
+        .add_child(stub_school("CEE"))
+        .add_child(stub_school("SME"))
+        .add_child(stub_school("NBS"))
+        .connect("SCE", "EEE")
+        .connect("EEE", "CEE")
+        .connect("CEE", "SME")
+        .connect("SME", "NBS")
+        .connect("NBS", "SCE")
+        .build()
+    )
+
+
+def ntu_campus_hierarchy() -> LocationHierarchy:
+    """The NTU campus wrapped in a :class:`LocationHierarchy`."""
+    return LocationHierarchy(ntu_campus())
+
+
+def figure4_graph() -> LocationGraph:
+    """The four-location graph of Figure 4 (A entry; diamond A–B–C–D).
+
+    The edges are inferred from the Table 2 trace: updating A flags B and D
+    (so A is adjacent to B and to D), and updating B and D flags A and C
+    (so C is adjacent to B and to D).
+    """
+    return (
+        LocationGraphBuilder("Figure4", description="Worked example of Algorithm 1")
+        .add_location("A", entry=True)
+        .add_locations("B", "C", "D")
+        .add_edge("A", "B")
+        .add_edge("A", "D")
+        .add_edge("B", "C")
+        .add_edge("D", "C")
+        .build()
+    )
+
+
+def figure4_hierarchy() -> LocationHierarchy:
+    """The Figure 4 graph wrapped in a :class:`LocationHierarchy`."""
+    return LocationHierarchy(figure4_graph())

@@ -1,0 +1,125 @@
+"""Primitive and composite location objects.
+
+Locations in LTAM are *"both semantic and physical"* (Section 3.1): they carry
+a unique semantic identifier and may additionally be described by absolute
+spatial coordinates.  A **primitive location** cannot be divided further; a
+**composite location** is a collection of primitive and/or composite
+locations, and is represented in this library by the (multilevel) location
+graph that contains its members (see :mod:`repro.locations.graph` and
+:mod:`repro.locations.multilevel`).
+
+This module defines the identifier objects themselves.  Spatial boundaries are
+attached separately through :mod:`repro.spatial.boundary` so that a purely
+semantic deployment (no positioning hardware) does not need geometry at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional
+
+from repro.errors import LocationError
+
+__all__ = ["LocationName", "PrimitiveLocation", "CompositeLocation", "validate_location_name"]
+
+#: Locations are referred to by their unique string identifier everywhere in
+#: the library; the dataclasses below add metadata around that identifier.
+LocationName = str
+
+
+def validate_location_name(name: object) -> str:
+    """Validate a location identifier.
+
+    Identifiers must be non-empty strings without leading/trailing whitespace;
+    dots are allowed and conventionally separate an owning composite from a
+    member (e.g. ``"SCE.GO"`` in the paper's Figure 2).
+    """
+    if not isinstance(name, str):
+        raise LocationError(f"location name must be a string, got {type(name).__name__}")
+    if not name or name.strip() != name:
+        raise LocationError(f"location name must be non-empty with no surrounding whitespace: {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class PrimitiveLocation:
+    """A location that cannot be further divided (Definition 1).
+
+    Parameters
+    ----------
+    name:
+        Unique semantic identifier, e.g. ``"CAIS"`` or ``"SCE.GO"``.
+    description:
+        Optional human-readable description.
+    tags:
+        Optional classification tags (``"lab"``, ``"office"``, ...), useful
+        for location operators and workload generators.
+    """
+
+    name: LocationName
+    description: str = ""
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        validate_location_name(self.name)
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+    def has_tag(self, tag: str) -> bool:
+        """Return ``True`` if the location carries *tag*."""
+        return tag in self.tags
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CompositeLocation:
+    """A named collection of related locations (Definition 1 / 2).
+
+    A composite location is realized by a location graph (or multilevel
+    location graph) holding its members; this dataclass is the lightweight
+    identifier used when a composite is referred to *as an object* — for
+    example as a node of a higher-level multilevel graph, or as the target of
+    a privacy generalization.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the composite, e.g. ``"SCE"`` or ``"NTU"``.
+    members:
+        Names of the direct members (primitive locations or nested
+        composites).  The full expansion to primitive locations is provided
+        by :class:`repro.locations.multilevel.LocationHierarchy`.
+    """
+
+    name: LocationName
+    members: FrozenSet[LocationName] = field(default_factory=frozenset)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        validate_location_name(self.name)
+        object.__setattr__(self, "members", frozenset(self.members))
+        for member in self.members:
+            validate_location_name(member)
+        if self.name in self.members:
+            raise LocationError(f"composite location {self.name!r} cannot contain itself")
+
+    def __contains__(self, member: object) -> bool:
+        if isinstance(member, PrimitiveLocation):
+            return member.name in self.members
+        if isinstance(member, CompositeLocation):
+            return member.name in self.members
+        return member in self.members
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def location_name(value: "PrimitiveLocation | CompositeLocation | str") -> str:
+    """Return the plain string name of a location-like value."""
+    if isinstance(value, (PrimitiveLocation, CompositeLocation)):
+        return value.name
+    return validate_location_name(value)
+
+
+__all__ += ["location_name"]

@@ -1,0 +1,505 @@
+"""Multilevel location graphs and the flattened location hierarchy.
+
+Definition 2 of the paper: if ``G1 … Gk`` are location graphs or multilevel
+location graphs with mutually disjoint locations, then ``(L', E)`` with
+``L' = {G1, …, Gk}`` and ``E ⊆ L' × L'`` is a **multilevel location graph**.
+Each (multilevel) location graph designates at least one entry location; a
+multilevel graph is entered through the entry locations of its designated
+*entry children*.
+
+:class:`LocationHierarchy` is the workhorse of the reproduction: it flattens a
+(possibly deeply nested) multilevel graph into a single adjacency structure
+over primitive locations in which
+
+* every edge of every contained location graph appears unchanged, and
+* for every multilevel edge ``(C1, C2)`` the entry locations of ``C1`` are
+  connected to the entry locations of ``C2``,
+
+which is exactly the connectivity relation that the paper's *complex route*
+definition induces.  Route finding, the ``all_route_from`` location operator
+and Algorithm 1 all operate on this flattened view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import (
+    DuplicateLocationError,
+    GraphStructureError,
+    UnknownLocationError,
+)
+from repro.locations.graph import Edge, LocationGraph
+from repro.locations.location import (
+    CompositeLocation,
+    LocationName,
+    PrimitiveLocation,
+    location_name,
+    validate_location_name,
+)
+
+__all__ = ["MultilevelLocationGraph", "LocationHierarchy"]
+
+ChildGraph = Union[LocationGraph, "MultilevelLocationGraph"]
+
+
+class MultilevelLocationGraph:
+    """A graph whose nodes are location graphs or further multilevel graphs.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the composite location this graph realizes
+        (e.g. ``"NTU"``).
+    children:
+        The member graphs.  Their primitive location sets must be mutually
+        disjoint (Definition 2).
+    edges:
+        Edges between child names.  An edge ``(C1, C2)`` states that a user
+        can move between the two composites through their entry locations.
+    entry_children:
+        Names of the children through which this multilevel graph is entered.
+        Defaults to *all* children when omitted.
+    validate_connectivity:
+        Enforce that the child-level graph is connected (the paper requires
+        multilevel location graphs to be connected graphs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        children: Iterable[ChildGraph],
+        edges: Iterable[Union[Edge, Tuple[str, str]]] = (),
+        entry_children: Optional[Iterable[str]] = None,
+        *,
+        description: str = "",
+        validate_connectivity: bool = True,
+    ) -> None:
+        self.name = validate_location_name(name)
+        self.description = description
+        self._children: Dict[str, ChildGraph] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+        self._edges: Dict[FrozenSet[str], Edge] = {}
+
+        for child in children:
+            if child.name in self._children:
+                raise DuplicateLocationError(
+                    f"child graph {child.name!r} declared twice in {name!r}"
+                )
+            self._children[child.name] = child
+            self._adjacency[child.name] = set()
+        if not self._children:
+            raise GraphStructureError(f"multilevel graph {name!r} must have at least one child")
+
+        self._check_disjoint_children()
+
+        for edge in edges:
+            resolved = edge if isinstance(edge, Edge) else Edge(location_name(edge[0]), location_name(edge[1]))
+            for endpoint in resolved:
+                if endpoint not in self._children:
+                    raise UnknownLocationError(
+                        f"edge {resolved} references unknown child {endpoint!r} of {name!r}"
+                    )
+            self._edges[resolved.key] = resolved
+            self._adjacency[resolved.first].add(resolved.second)
+            self._adjacency[resolved.second].add(resolved.first)
+
+        if entry_children is None:
+            self._entry_children: Set[str] = set(self._children)
+        else:
+            self._entry_children = set()
+            for entry in entry_children:
+                entry_name = location_name(entry)
+                if entry_name not in self._children:
+                    raise UnknownLocationError(
+                        f"entry child {entry_name!r} is not a member of {name!r}"
+                    )
+                self._entry_children.add(entry_name)
+        if not self._entry_children:
+            raise GraphStructureError(
+                f"multilevel graph {name!r} must designate at least one entry child"
+            )
+
+        if validate_connectivity:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction internals
+    # ------------------------------------------------------------------ #
+    def _check_disjoint_children(self) -> None:
+        seen: Dict[LocationName, str] = {}
+        for child in self._children.values():
+            for primitive in child_primitive_names(child):
+                if primitive in seen:
+                    raise GraphStructureError(
+                        f"children {seen[primitive]!r} and {child.name!r} of {self.name!r} "
+                        f"both contain primitive location {primitive!r}; children must be disjoint"
+                    )
+                seen[primitive] = child.name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def children(self) -> Mapping[str, ChildGraph]:
+        """Mapping from child name to child graph."""
+        return dict(self._children)
+
+    @property
+    def child_names(self) -> FrozenSet[str]:
+        return frozenset(self._children)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(self._edges.values())
+
+    @property
+    def entry_children(self) -> FrozenSet[str]:
+        """Names of the children through which this graph is entered."""
+        return frozenset(self._entry_children)
+
+    @property
+    def entry_locations(self) -> FrozenSet[LocationName]:
+        """Primitive entry locations of the multilevel graph.
+
+        These are the entry locations of the entry children, resolved
+        recursively down to primitive locations.
+        """
+        entries: Set[LocationName] = set()
+        for child_name in self._entry_children:
+            entries.update(child_entry_locations(self._children[child_name]))
+        return frozenset(entries)
+
+    @property
+    def composite(self) -> CompositeLocation:
+        """The composite location realized by this multilevel graph."""
+        return CompositeLocation(self.name, frozenset(self._children), self.description)
+
+    def get_child(self, name: str) -> ChildGraph:
+        """Return the child graph called *name*."""
+        try:
+            return self._children[name]
+        except KeyError:
+            raise UnknownLocationError(f"multilevel graph {self.name!r} has no child {name!r}") from None
+
+    def has_edge(self, a: str, b: str) -> bool:
+        """Return ``True`` if composites *a* and *b* are directly connected."""
+        return frozenset((location_name(a), location_name(b))) in self._edges
+
+    def child_neighbors(self, name: str) -> FrozenSet[str]:
+        """Names of the composites adjacent to *name* in this multilevel graph."""
+        key = location_name(name)
+        if key not in self._adjacency:
+            raise UnknownLocationError(f"multilevel graph {self.name!r} has no child {key!r}")
+        return frozenset(self._adjacency[key])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultilevelLocationGraph(name={self.name!r}, children={sorted(self._children)}, "
+            f"edges={len(self._edges)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check connectivity of the child-level graph."""
+        start = next(iter(self._children))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        if len(self._children) > 1 and seen != set(self._children):
+            missing = sorted(set(self._children) - seen)
+            raise GraphStructureError(
+                f"multilevel graph {self.name!r} is not connected; unreachable children: {missing}"
+            )
+
+
+def child_primitive_names(child: ChildGraph) -> FrozenSet[LocationName]:
+    """All primitive location names contained (recursively) in *child*."""
+    if isinstance(child, LocationGraph):
+        return child.location_names
+    names: Set[LocationName] = set()
+    for grandchild in child.children.values():
+        names.update(child_primitive_names(grandchild))
+    return frozenset(names)
+
+
+def child_entry_locations(child: ChildGraph) -> FrozenSet[LocationName]:
+    """Primitive entry locations of *child* (recursing through entry children)."""
+    if isinstance(child, LocationGraph):
+        return child.entry_locations
+    return child.entry_locations
+
+
+class LocationHierarchy:
+    """Flattened view over a location graph or multilevel location graph.
+
+    The hierarchy resolves primitive locations, composite membership and the
+    connectivity relation induced by simple and complex routes.  It is the
+    object most of the library works against: route finding, the location
+    operators of Section 4, and the inaccessibility algorithm of Section 6
+    all take a :class:`LocationHierarchy`.
+
+    Parameters
+    ----------
+    root:
+        A :class:`LocationGraph` or :class:`MultilevelLocationGraph`.
+    """
+
+    def __init__(self, root: ChildGraph) -> None:
+        if not isinstance(root, (LocationGraph, MultilevelLocationGraph)):
+            raise GraphStructureError(
+                f"hierarchy root must be a LocationGraph or MultilevelLocationGraph, got {type(root).__name__}"
+            )
+        self._root = root
+        self._primitives: Dict[LocationName, PrimitiveLocation] = {}
+        #: direct owning location graph of every primitive location
+        self._owner_graph: Dict[LocationName, LocationGraph] = {}
+        #: full expansion of every composite (graph) name to primitive names
+        self._composite_members: Dict[str, FrozenSet[LocationName]] = {}
+        #: parent composite of every composite / primitive, None for the root
+        self._parent: Dict[str, Optional[str]] = {root.name: None}
+        #: all composite graphs (location graphs and multilevel graphs) by name
+        self._graphs: Dict[str, ChildGraph] = {}
+        #: flattened adjacency over primitive locations
+        self._adjacency: Dict[LocationName, Set[LocationName]] = {}
+
+        self._index(root, parent=None)
+        self._build_flat_adjacency(root)
+
+    # ------------------------------------------------------------------ #
+    # Index construction
+    # ------------------------------------------------------------------ #
+    def _index(self, graph: ChildGraph, parent: Optional[str]) -> FrozenSet[LocationName]:
+        if graph.name in self._graphs:
+            raise DuplicateLocationError(
+                f"composite name {graph.name!r} appears more than once in the hierarchy"
+            )
+        self._graphs[graph.name] = graph
+        self._parent[graph.name] = parent
+
+        if isinstance(graph, LocationGraph):
+            for primitive in graph.locations.values():
+                if primitive.name in self._primitives:
+                    raise DuplicateLocationError(
+                        f"primitive location {primitive.name!r} appears in more than one graph"
+                    )
+                if primitive.name in self._graphs:
+                    raise DuplicateLocationError(
+                        f"name {primitive.name!r} is used both as a composite and a primitive location"
+                    )
+                self._primitives[primitive.name] = primitive
+                self._owner_graph[primitive.name] = graph
+                self._parent[primitive.name] = graph.name
+                self._adjacency[primitive.name] = set()
+            members = graph.location_names
+        else:
+            collected: Set[LocationName] = set()
+            for child in graph.children.values():
+                collected.update(self._index(child, parent=graph.name))
+            members = frozenset(collected)
+
+        self._composite_members[graph.name] = members
+        return members
+
+    def _build_flat_adjacency(self, graph: ChildGraph) -> None:
+        if isinstance(graph, LocationGraph):
+            for edge in graph.edges:
+                self._adjacency[edge.first].add(edge.second)
+                self._adjacency[edge.second].add(edge.first)
+            return
+        for child in graph.children.values():
+            self._build_flat_adjacency(child)
+        for edge in graph.edges:
+            left_entries = child_entry_locations(graph.get_child(edge.first))
+            right_entries = child_entry_locations(graph.get_child(edge.second))
+            for a in left_entries:
+                for b in right_entries:
+                    if a != b:
+                        self._adjacency[a].add(b)
+                        self._adjacency[b].add(a)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> ChildGraph:
+        """The root (multilevel) location graph."""
+        return self._root
+
+    @property
+    def primitive_locations(self) -> Mapping[LocationName, PrimitiveLocation]:
+        """All primitive locations of the hierarchy."""
+        return dict(self._primitives)
+
+    @property
+    def primitive_names(self) -> FrozenSet[LocationName]:
+        return frozenset(self._primitives)
+
+    @property
+    def composite_names(self) -> FrozenSet[str]:
+        """Names of all composite locations (every contained graph)."""
+        return frozenset(self._graphs)
+
+    @property
+    def entry_locations(self) -> FrozenSet[LocationName]:
+        """Primitive entry locations of the root graph."""
+        return child_entry_locations(self._root)
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            key = location_name(name)  # type: ignore[arg-type]
+        except Exception:
+            return False
+        return key in self._primitives or key in self._graphs
+
+    def __len__(self) -> int:
+        return len(self._primitives)
+
+    def is_primitive(self, name: str) -> bool:
+        """Return ``True`` if *name* is a primitive location of the hierarchy."""
+        return location_name(name) in self._primitives
+
+    def is_composite(self, name: str) -> bool:
+        """Return ``True`` if *name* is a composite location of the hierarchy."""
+        return location_name(name) in self._graphs
+
+    def get_primitive(self, name: str) -> PrimitiveLocation:
+        """Return the primitive location called *name*."""
+        key = location_name(name)
+        try:
+            return self._primitives[key]
+        except KeyError:
+            raise UnknownLocationError(f"hierarchy has no primitive location {key!r}") from None
+
+    def get_graph(self, name: str) -> ChildGraph:
+        """Return the (multilevel) location graph realizing composite *name*."""
+        key = location_name(name)
+        try:
+            return self._graphs[key]
+        except KeyError:
+            raise UnknownLocationError(f"hierarchy has no composite location {key!r}") from None
+
+    def graph_of(self, primitive: str) -> LocationGraph:
+        """The location graph directly containing the primitive location."""
+        key = location_name(primitive)
+        try:
+            return self._owner_graph[key]
+        except KeyError:
+            raise UnknownLocationError(f"hierarchy has no primitive location {key!r}") from None
+
+    def members_of(self, composite: str) -> FrozenSet[LocationName]:
+        """All primitive locations that are (directly or indirectly) part of *composite*."""
+        key = location_name(composite)
+        if key in self._composite_members:
+            return self._composite_members[key]
+        raise UnknownLocationError(f"hierarchy has no composite location {key!r}")
+
+    def is_part_of(self, location: str, composite: str) -> bool:
+        """The paper's *part of* relation: primitive or composite membership in *composite*."""
+        loc = location_name(location)
+        comp = location_name(composite)
+        if comp not in self._composite_members:
+            raise UnknownLocationError(f"hierarchy has no composite location {comp!r}")
+        if loc in self._primitives:
+            return loc in self._composite_members[comp]
+        if loc in self._composite_members:
+            return loc != comp and self._composite_members[loc] <= self._composite_members[comp] and self._is_descendant(loc, comp)
+        raise UnknownLocationError(f"hierarchy has no location {loc!r}")
+
+    def _is_descendant(self, name: str, ancestor: str) -> bool:
+        current = self._parent.get(name)
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._parent.get(current)
+        return False
+
+    def ancestors_of(self, name: str) -> List[str]:
+        """Chain of composite names containing *name*, innermost first."""
+        key = location_name(name)
+        if key not in self._parent:
+            raise UnknownLocationError(f"hierarchy has no location {key!r}")
+        chain: List[str] = []
+        current = self._parent[key]
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        return chain
+
+    # ------------------------------------------------------------------ #
+    # Connectivity (routes, Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def neighbors(self, primitive: str) -> FrozenSet[LocationName]:
+        """Primitive locations directly reachable from *primitive*.
+
+        The relation includes both intra-graph edges and entry-to-entry moves
+        across composite edges, i.e. exactly the single steps allowed by the
+        paper's simple- and complex-route definitions.
+        """
+        key = location_name(primitive)
+        if key not in self._adjacency:
+            raise UnknownLocationError(f"hierarchy has no primitive location {key!r}")
+        return frozenset(self._adjacency[key])
+
+    def are_adjacent(self, a: str, b: str) -> bool:
+        """Return ``True`` if a user may move directly between *a* and *b*."""
+        return location_name(b) in self.neighbors(a)
+
+    def is_entry_location(self, primitive: str, composite: Optional[str] = None) -> bool:
+        """Return ``True`` if *primitive* is an entry location.
+
+        Without *composite*, the question is asked of the primitive's direct
+        location graph; with *composite*, of that composite (resolving entry
+        children for multilevel graphs).
+        """
+        key = location_name(primitive)
+        if composite is None:
+            return key in self.graph_of(key).entry_locations
+        return key in self.entry_locations_of(composite)
+
+    def entry_locations_of(self, composite: str) -> FrozenSet[LocationName]:
+        """Primitive entry locations of the given composite."""
+        return child_entry_locations(self.get_graph(composite))
+
+    def max_degree(self) -> int:
+        """Maximum degree of the flattened adjacency (``N_d``)."""
+        return max((len(adj) for adj in self._adjacency.values()), default=0)
+
+    def edge_count(self) -> int:
+        """Number of undirected edges in the flattened adjacency."""
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def connected(self) -> bool:
+        """Return ``True`` if the flattened graph is connected."""
+        if not self._primitives:
+            return True
+        start = next(iter(self._primitives))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == set(self._primitives)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationHierarchy(root={self._root.name!r}, primitives={len(self._primitives)}, "
+            f"composites={len(self._graphs)})"
+        )

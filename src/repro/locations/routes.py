@@ -1,0 +1,268 @@
+"""Simple and complex routes (Section 3.1 of the paper).
+
+A **simple route** in a location graph is a sequence of primitive locations
+``⟨l1, …, lk⟩`` with an edge between every consecutive pair.  A **complex
+route** in a multilevel location graph additionally allows a step between the
+entry locations of two composites connected by a multilevel edge.
+
+Because :class:`~repro.locations.multilevel.LocationHierarchy` flattens both
+kinds of step into a single adjacency relation, every route — simple or
+complex — is a path of that flattened graph.  This module provides route
+objects, validation against the paper's definitions, and route search
+(shortest route, all simple-path routes, routes from entry locations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RouteError, UnknownLocationError
+from repro.locations.graph import LocationGraph
+from repro.locations.location import LocationName, location_name
+from repro.locations.multilevel import LocationHierarchy
+
+__all__ = [
+    "Route",
+    "RouteKind",
+    "classify_route",
+    "is_route",
+    "find_route",
+    "find_all_routes",
+    "routes_from_entries",
+    "locations_on_routes",
+]
+
+
+class RouteKind:
+    """Constants naming the two route flavors of the paper."""
+
+    SIMPLE = "simple"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route: an ordered sequence of primitive locations.
+
+    The first element is the *source* and the last the *destination*
+    (Section 3.1).  Routes are value objects: two routes are equal when they
+    visit the same locations in the same order.
+    """
+
+    locations: Tuple[LocationName, ...]
+
+    def __post_init__(self) -> None:
+        if not self.locations:
+            raise RouteError("a route must visit at least one location")
+        object.__setattr__(self, "locations", tuple(location_name(l) for l in self.locations))
+
+    @property
+    def source(self) -> LocationName:
+        """The first location of the route."""
+        return self.locations[0]
+
+    @property
+    def destination(self) -> LocationName:
+        """The last location of the route."""
+        return self.locations[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of moves (edges) along the route."""
+        return len(self.locations) - 1
+
+    def steps(self) -> Iterator[Tuple[LocationName, LocationName]]:
+        """Iterate over consecutive ``(from, to)`` pairs."""
+        return zip(self.locations, self.locations[1:])
+
+    def covers(self, location: str) -> bool:
+        """Return ``True`` if the route visits *location*."""
+        return location_name(location) in self.locations
+
+    def reversed(self) -> "Route":
+        """The same route walked in the opposite direction (edges are bidirectional)."""
+        return Route(tuple(reversed(self.locations)))
+
+    def __iter__(self) -> Iterator[LocationName]:
+        return iter(self.locations)
+
+    def __len__(self) -> int:
+        return len(self.locations)
+
+    def __getitem__(self, index: int) -> LocationName:
+        return self.locations[index]
+
+    def __str__(self) -> str:
+        return "⟨" + ", ".join(self.locations) + "⟩"
+
+
+def _as_sequence(route: "Route | Sequence[str]") -> Tuple[LocationName, ...]:
+    if isinstance(route, Route):
+        return route.locations
+    return tuple(location_name(l) for l in route)
+
+
+def is_route(hierarchy: LocationHierarchy, route: "Route | Sequence[str]") -> bool:
+    """Return ``True`` if *route* is a valid (simple or complex) route.
+
+    Every consecutive pair must be adjacent in the hierarchy's flattened
+    connectivity relation, and every visited location must be a primitive
+    location of the hierarchy.
+    """
+    names = _as_sequence(route)
+    for name in names:
+        if not hierarchy.is_primitive(name):
+            return False
+    return all(hierarchy.are_adjacent(a, b) for a, b in zip(names, names[1:]))
+
+
+def classify_route(hierarchy: LocationHierarchy, route: "Route | Sequence[str]") -> str:
+    """Classify a valid route as :data:`RouteKind.SIMPLE` or :data:`RouteKind.COMPLEX`.
+
+    A route is *simple* when all its locations belong to the same location
+    graph and every step follows an edge of that graph; otherwise it is
+    *complex*.
+
+    Raises
+    ------
+    RouteError
+        If the sequence is not a valid route at all.
+    """
+    names = _as_sequence(route)
+    if not is_route(hierarchy, names):
+        raise RouteError(f"{list(names)} is not a valid route of hierarchy {hierarchy.root.name!r}")
+    graphs = {hierarchy.graph_of(name).name for name in names}
+    if len(graphs) == 1:
+        graph = hierarchy.graph_of(names[0])
+        if all(graph.has_edge(a, b) for a, b in zip(names, names[1:])):
+            return RouteKind.SIMPLE
+    return RouteKind.COMPLEX
+
+
+def find_route(
+    hierarchy: LocationHierarchy, source: str, destination: str
+) -> Optional[Route]:
+    """Breadth-first shortest route between two primitive locations.
+
+    Returns ``None`` when the destination is unreachable (which cannot happen
+    for a well-formed, connected hierarchy but is supported for robustness,
+    e.g. on partially built graphs).
+    """
+    src, dst = location_name(source), location_name(destination)
+    hierarchy.get_primitive(src)
+    hierarchy.get_primitive(dst)
+    if src == dst:
+        return Route((src,))
+    parents: Dict[LocationName, LocationName] = {}
+    seen: Set[LocationName] = {src}
+    frontier = deque([src])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in sorted(hierarchy.neighbors(current)):
+            if neighbor in seen:
+                continue
+            parents[neighbor] = current
+            if neighbor == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parents[path[-1]])
+                return Route(tuple(reversed(path)))
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return None
+
+
+def find_all_routes(
+    hierarchy: LocationHierarchy,
+    source: str,
+    destination: str,
+    *,
+    max_length: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[Route]:
+    """All simple-path routes (no repeated location) from *source* to *destination*.
+
+    Parameters
+    ----------
+    max_length:
+        Maximum number of moves along a route; ``None`` means unbounded.
+    limit:
+        Stop after this many routes have been found; ``None`` means all.
+    """
+    src, dst = location_name(source), location_name(destination)
+    hierarchy.get_primitive(src)
+    hierarchy.get_primitive(dst)
+    results: List[Route] = []
+    path: List[LocationName] = [src]
+    visited: Set[LocationName] = {src}
+
+    def backtrack(current: LocationName) -> bool:
+        if limit is not None and len(results) >= limit:
+            return True
+        if current == dst:
+            results.append(Route(tuple(path)))
+            return limit is not None and len(results) >= limit
+        if max_length is not None and len(path) - 1 >= max_length:
+            return False
+        for neighbor in sorted(hierarchy.neighbors(current)):
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            path.append(neighbor)
+            stop = backtrack(neighbor)
+            path.pop()
+            visited.remove(neighbor)
+            if stop:
+                return True
+        return False
+
+    backtrack(src)
+    return results
+
+
+def routes_from_entries(
+    hierarchy: LocationHierarchy,
+    destination: str,
+    *,
+    max_length: Optional[int] = None,
+    limit_per_entry: Optional[int] = None,
+) -> Dict[LocationName, List[Route]]:
+    """Routes from every entry location of the root graph to *destination*.
+
+    This is the route family that Definition 8 quantifies over when deciding
+    whether a location is inaccessible.
+    """
+    dst = location_name(destination)
+    result: Dict[LocationName, List[Route]] = {}
+    for entry in sorted(hierarchy.entry_locations):
+        result[entry] = find_all_routes(
+            hierarchy, entry, dst, max_length=max_length, limit=limit_per_entry
+        )
+    return result
+
+
+def locations_on_routes(
+    hierarchy: LocationHierarchy,
+    source: str,
+    destination: str,
+    *,
+    shortest_only: bool = True,
+    max_length: Optional[int] = None,
+) -> Set[LocationName]:
+    """The set of locations visited by routes from *source* to *destination*.
+
+    This realizes the paper's ``all_route_from`` location operator
+    (Example 3): with ``shortest_only=True`` only the locations of a shortest
+    route are returned; otherwise the union over all simple-path routes
+    (optionally bounded by *max_length*).
+    """
+    if shortest_only:
+        route = find_route(hierarchy, source, destination)
+        return set(route.locations) if route else set()
+    routes = find_all_routes(hierarchy, source, destination, max_length=max_length)
+    covered: Set[LocationName] = set()
+    for route in routes:
+        covered.update(route.locations)
+    return covered

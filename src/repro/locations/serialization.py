@@ -1,0 +1,148 @@
+"""JSON (de)serialization of location layouts.
+
+A deployment of LTAM stores its building layout in the Location & Movements
+Database (Figure 3).  This module defines a stable, human-editable JSON
+document format for location graphs and multilevel location graphs so that
+layouts can be exported, versioned and re-imported.
+
+Document shapes
+---------------
+Location graph::
+
+    {
+      "kind": "location_graph",
+      "name": "SCE",
+      "description": "...",
+      "locations": [{"name": "SCE.GO", "description": "...", "tags": ["office"]}, ...],
+      "edges": [["SCE.GO", "SCE.SectionA"], ...],
+      "entry_locations": ["SCE.GO", "SCE.SectionC"]
+    }
+
+Multilevel location graph::
+
+    {
+      "kind": "multilevel_location_graph",
+      "name": "NTU",
+      "children": [<location graph or multilevel graph documents>],
+      "edges": [["SCE", "EEE"], ...],
+      "entry_children": ["SCE", "EEE"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.errors import GraphStructureError
+from repro.locations.graph import LocationGraph
+from repro.locations.location import PrimitiveLocation
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+]
+
+GraphLike = Union[LocationGraph, MultilevelLocationGraph]
+
+KIND_LOCATION_GRAPH = "location_graph"
+KIND_MULTILEVEL = "multilevel_location_graph"
+
+
+def graph_to_dict(graph: GraphLike) -> Dict[str, Any]:
+    """Convert a (multilevel) location graph to a JSON-compatible dictionary."""
+    if isinstance(graph, LocationGraph):
+        return {
+            "kind": KIND_LOCATION_GRAPH,
+            "name": graph.name,
+            "description": graph.description,
+            "locations": [
+                {
+                    "name": loc.name,
+                    "description": loc.description,
+                    "tags": sorted(loc.tags),
+                }
+                for loc in sorted(graph.locations.values(), key=lambda l: l.name)
+            ],
+            "edges": sorted(sorted([edge.first, edge.second]) for edge in graph.edges),
+            "entry_locations": sorted(graph.entry_locations),
+        }
+    if isinstance(graph, MultilevelLocationGraph):
+        return {
+            "kind": KIND_MULTILEVEL,
+            "name": graph.name,
+            "description": graph.description,
+            "children": [
+                graph_to_dict(child)
+                for _, child in sorted(graph.children.items())
+            ],
+            "edges": sorted(sorted([edge.first, edge.second]) for edge in graph.edges),
+            "entry_children": sorted(graph.entry_children),
+        }
+    raise GraphStructureError(f"cannot serialize object of type {type(graph).__name__}")
+
+
+def graph_from_dict(document: Dict[str, Any]) -> GraphLike:
+    """Rebuild a (multilevel) location graph from its dictionary form."""
+    kind = document.get("kind")
+    if kind == KIND_LOCATION_GRAPH:
+        locations = [
+            PrimitiveLocation(
+                entry["name"],
+                entry.get("description", ""),
+                frozenset(entry.get("tags", ())),
+            )
+            for entry in document.get("locations", [])
+        ]
+        return LocationGraph(
+            document["name"],
+            locations,
+            [tuple(edge) for edge in document.get("edges", [])],
+            document.get("entry_locations", []),
+            description=document.get("description", ""),
+        )
+    if kind == KIND_MULTILEVEL:
+        children = [graph_from_dict(child) for child in document.get("children", [])]
+        return MultilevelLocationGraph(
+            document["name"],
+            children,
+            [tuple(edge) for edge in document.get("edges", [])],
+            document.get("entry_children") or None,
+            description=document.get("description", ""),
+        )
+    raise GraphStructureError(f"unknown layout document kind: {kind!r}")
+
+
+def dumps(graph: GraphLike, *, indent: int = 2) -> str:
+    """Serialize a (multilevel) location graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> GraphLike:
+    """Deserialize a (multilevel) location graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: GraphLike, path: str) -> None:
+    """Write the JSON document for *graph* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load(path: str) -> GraphLike:
+    """Read a (multilevel) location graph from the JSON document at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def hierarchy_roundtrip(hierarchy: LocationHierarchy) -> LocationHierarchy:
+    """Serialize and re-load a hierarchy (useful for structural equality tests)."""
+    return LocationHierarchy(loads(dumps(hierarchy.root)))
+
+
+__all__ += ["hierarchy_roundtrip"]

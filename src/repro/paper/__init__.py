@@ -1,0 +1,39 @@
+"""Canonical fixtures for the paper's figures, tables and worked examples."""
+
+from repro.paper.fixtures import (
+    ALICE,
+    BOB,
+    Section5Step,
+    example_base_authorization_a1,
+    example_rule_r1,
+    example_rule_r2,
+    example_rule_r3,
+    expected_derived_a2,
+    expected_derived_a3,
+    figure4_expected_inaccessible,
+    paper_directory,
+    section32_authorization,
+    section5_authorizations,
+    section5_timeline,
+    table1_authorizations,
+    table2_expected_times,
+)
+
+__all__ = [
+    "ALICE",
+    "BOB",
+    "Section5Step",
+    "paper_directory",
+    "section32_authorization",
+    "example_base_authorization_a1",
+    "example_rule_r1",
+    "example_rule_r2",
+    "example_rule_r3",
+    "expected_derived_a2",
+    "expected_derived_a3",
+    "section5_authorizations",
+    "section5_timeline",
+    "table1_authorizations",
+    "table2_expected_times",
+    "figure4_expected_inaccessible",
+]

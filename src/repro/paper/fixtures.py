@@ -1,0 +1,199 @@
+"""Canonical fixtures reproducing the paper's worked examples verbatim.
+
+Every concrete authorization, rule and scenario that appears in the paper's
+text is collected here so that tests, benchmarks and EXPERIMENTS.md all refer
+to a single source of truth:
+
+* Section 3.2 — the authorization ``([5, 40], [20, 100], (Alice, CAIS), 1)``;
+* Section 4 — base authorization ``a1`` and rules ``r1``–``r3`` (Examples
+  1–3) plus the expected derived authorizations ``a2`` and ``a3``;
+* Section 5 — authorizations ``A1``/``A2`` and the access-request timeline
+  for Alice and Bob;
+* Section 6 — Table 1's authorization set for the Figure 4 graph, together
+  with the final ``T_g``/``T_d`` values of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.operators.location import AllRouteFrom, SameLocation
+from repro.core.operators.numeric import ConstantEntries
+from repro.core.operators.subject import SupervisorOf
+from repro.core.operators.temporal import Intersection, Whenever
+from repro.core.rules import AuthorizationRule, OperatorTuple
+from repro.core.subjects import SubjectDirectory
+from repro.locations.layouts import figure4_hierarchy, ntu_campus_hierarchy
+from repro.locations.multilevel import LocationHierarchy
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "ALICE",
+    "BOB",
+    "paper_directory",
+    "section32_authorization",
+    "example_base_authorization_a1",
+    "example_rule_r1",
+    "example_rule_r2",
+    "example_rule_r3",
+    "expected_derived_a2",
+    "expected_derived_a3",
+    "section5_authorizations",
+    "Section5Step",
+    "section5_timeline",
+    "table1_authorizations",
+    "table2_expected_times",
+    "figure4_expected_inaccessible",
+]
+
+ALICE = "Alice"
+BOB = "Bob"
+
+
+def paper_directory() -> SubjectDirectory:
+    """The user profile database of the paper's examples: Bob supervises Alice."""
+    directory = SubjectDirectory()
+    directory.add_subject(ALICE, display_name="Alice")
+    directory.add_subject(BOB, display_name="Bob")
+    directory.set_supervisor(ALICE, BOB)
+    return directory
+
+
+# --------------------------------------------------------------------- #
+# Section 3.2
+# --------------------------------------------------------------------- #
+def section32_authorization() -> LocationTemporalAuthorization:
+    """``([5, 40], [20, 100], (Alice, CAIS), 1)`` from Section 3.2."""
+    return LocationTemporalAuthorization((ALICE, "CAIS"), (5, 40), (20, 100), 1, auth_id="sec32")
+
+
+# --------------------------------------------------------------------- #
+# Section 4 — Examples 1-3
+# --------------------------------------------------------------------- #
+def example_base_authorization_a1() -> LocationTemporalAuthorization:
+    """``a1: ([5, 20], [15, 50], (Alice, CAIS), 2)``."""
+    return LocationTemporalAuthorization((ALICE, "CAIS"), (5, 20), (15, 50), 2, auth_id="a1")
+
+
+def example_rule_r1(base: LocationTemporalAuthorization) -> AuthorizationRule:
+    """``r1: ⟨7: a1, (WHENEVER, WHENEVER, Supervisor_Of, CAIS, 2)⟩`` (Example 1)."""
+    return AuthorizationRule(
+        7,
+        base,
+        OperatorTuple(
+            op_entry=Whenever(),
+            op_exit=Whenever(),
+            op_subject=SupervisorOf(),
+            op_location=SameLocation(),
+            exp_n=ConstantEntries(2),
+        ),
+        rule_id="r1",
+        description="Alice's supervisor gets the same authorization on CAIS",
+    )
+
+
+def example_rule_r2(base: LocationTemporalAuthorization) -> AuthorizationRule:
+    """``r2: ⟨7: a1, (INTERSECTION([10, 30]), WHENEVER, Supervisor_Of, CAIS, 2)⟩`` (Example 2)."""
+    return AuthorizationRule(
+        7,
+        base,
+        OperatorTuple(
+            op_entry=Intersection((10, 30)),
+            op_exit=Whenever(),
+            op_subject=SupervisorOf(),
+            op_location=SameLocation(),
+            exp_n=ConstantEntries(2),
+        ),
+        rule_id="r2",
+        description="Alice's supervisor may enter CAIS during [10, 30] but only while Alice may",
+    )
+
+
+def example_rule_r3(base: LocationTemporalAuthorization) -> AuthorizationRule:
+    """``r3: ⟨7: a1, (WHENEVER, WHENEVER, –, all_route_from(SCE.GO), 2)⟩`` (Example 3)."""
+    return AuthorizationRule(
+        7,
+        base,
+        OperatorTuple(
+            op_entry=Whenever(),
+            op_exit=Whenever(),
+            op_location=AllRouteFrom("SCE.GO"),
+            exp_n=ConstantEntries(2),
+        ),
+        rule_id="r3",
+        description="grant Alice every location on the route from SCE.GO to CAIS",
+    )
+
+
+def expected_derived_a2() -> LocationTemporalAuthorization:
+    """``a2: ([5, 20], [15, 50], (Bob, CAIS), 2)`` — the expected result of r1."""
+    return LocationTemporalAuthorization((BOB, "CAIS"), (5, 20), (15, 50), 2, auth_id="a2")
+
+
+def expected_derived_a3() -> LocationTemporalAuthorization:
+    """``a3: ([10, 20], [15, 50], (Bob, CAIS), 2)`` — the expected result of r2."""
+    return LocationTemporalAuthorization((BOB, "CAIS"), (10, 20), (15, 50), 2, auth_id="a3")
+
+
+# --------------------------------------------------------------------- #
+# Section 5 — enforcement worked example
+# --------------------------------------------------------------------- #
+def section5_authorizations() -> List[LocationTemporalAuthorization]:
+    """``A1: ([10, 20], [10, 50], (Alice, CAIS), 2)`` and ``A2: ([5, 35], [20, 100], (Bob, CHIPES), 1)``."""
+    return [
+        LocationTemporalAuthorization((ALICE, "CAIS"), (10, 20), (10, 50), 2, auth_id="A1"),
+        LocationTemporalAuthorization((BOB, "CHIPES"), (5, 35), (20, 100), 1, auth_id="A2"),
+    ]
+
+
+@dataclass(frozen=True)
+class Section5Step:
+    """One step of the Section 5 timeline: either an access request or an exit."""
+
+    time: int
+    subject: str
+    location: str
+    action: str  # "request" or "exit"
+    expected_granted: bool | None = None  # None for exits
+    note: str = ""
+
+
+def section5_timeline() -> List[Section5Step]:
+    """The request/exit timeline of Section 5, with the paper's expected outcomes."""
+    return [
+        Section5Step(10, ALICE, "CAIS", "request", True, "granted according to A1"),
+        Section5Step(15, BOB, "CAIS", "request", False, "no authorization for Bob on CAIS"),
+        Section5Step(16, BOB, "CHIPES", "request", True, "authorized based on A2"),
+        Section5Step(20, BOB, "CHIPES", "exit", None, "Bob leaves CHIPES"),
+        Section5Step(30, BOB, "CHIPES", "request", False, "Bob has only one entry to CHIPES"),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Section 6 — Table 1, Table 2, Figure 4
+# --------------------------------------------------------------------- #
+def table1_authorizations() -> List[LocationTemporalAuthorization]:
+    """The authorization set of Table 1 (all for Alice on the Figure 4 graph)."""
+    return [
+        LocationTemporalAuthorization((ALICE, "A"), (2, 35), (20, 50), 1, auth_id="T1-A"),
+        LocationTemporalAuthorization((ALICE, "B"), (40, 60), (55, 80), 1, auth_id="T1-B"),
+        LocationTemporalAuthorization((ALICE, "C"), (38, 45), (70, 90), 1, auth_id="T1-C"),
+        LocationTemporalAuthorization((ALICE, "D"), (5, 25), (10, 30), 1, auth_id="T1-D"),
+    ]
+
+
+def table2_expected_times() -> Dict[str, Tuple[IntervalSet, IntervalSet]]:
+    """Final ``(T_g, T_d)`` per location from the last row of Table 2."""
+    return {
+        "A": (IntervalSet([(2, 35)]), IntervalSet([(20, 50)])),
+        "B": (IntervalSet([(40, 50)]), IntervalSet([(55, 80)])),
+        "C": (IntervalSet.empty(), IntervalSet.empty()),
+        "D": (IntervalSet([(20, 25)]), IntervalSet([(20, 30)])),
+    }
+
+
+def figure4_expected_inaccessible() -> frozenset:
+    """The paper's conclusion: only location C is inaccessible to Alice."""
+    return frozenset({"C"})

@@ -1,0 +1,12 @@
+"""Location privacy: release policies and movement-trace anonymization."""
+
+from repro.privacy.anonymizer import AnonymizedRecord, TraceAnonymizer
+from repro.privacy.policy import Granularity, ReleaseDecision, ReleasePolicy
+
+__all__ = [
+    "Granularity",
+    "ReleaseDecision",
+    "ReleasePolicy",
+    "AnonymizedRecord",
+    "TraceAnonymizer",
+]

@@ -1,0 +1,130 @@
+"""Anonymization of movement traces for release outside the control station.
+
+Complementing the per-request release policy, deployments occasionally need
+to export whole movement histories (e.g. the SARS contact-tracing scenario of
+the paper's introduction).  :class:`TraceAnonymizer` applies two standard
+sanitizations before such an export:
+
+* **pseudonymization** — subject names are replaced by stable, per-export
+  pseudonyms so traces of the same person remain linkable inside one export
+  but not across exports;
+* **spatial generalization with k-anonymity suppression** — locations are
+  generalized to their containing composite, and records whose
+  (composite, time-bucket) group contains fewer than *k* distinct subjects
+  are suppressed, so that no released record isolates an individual in a
+  sparsely occupied area.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PrivacyError
+from repro.locations.multilevel import LocationHierarchy
+from repro.storage.movement_db import MovementKind, MovementRecord
+
+__all__ = ["AnonymizedRecord", "TraceAnonymizer"]
+
+
+@dataclass(frozen=True)
+class AnonymizedRecord:
+    """One sanitized movement record ready for release."""
+
+    time_bucket: int
+    pseudonym: str
+    composite: str
+    kind: MovementKind
+
+
+class TraceAnonymizer:
+    """Sanitize movement traces before releasing them to other applications.
+
+    Parameters
+    ----------
+    hierarchy:
+        Used to generalize primitive locations to their containing composite.
+    k:
+        Minimum number of distinct subjects that must share a
+        (composite, time-bucket) group for its records to be released.
+    time_bucket:
+        Width of the temporal generalization buckets, in chronons.
+    salt:
+        Export-specific salt mixed into the pseudonyms; change it per export
+        to prevent cross-export linkage.
+    """
+
+    def __init__(
+        self,
+        hierarchy: LocationHierarchy,
+        *,
+        k: int = 2,
+        time_bucket: int = 10,
+        salt: str = "ltam",
+    ) -> None:
+        if k < 1:
+            raise PrivacyError(f"k must be at least 1, got {k}")
+        if time_bucket < 1:
+            raise PrivacyError(f"time_bucket must be at least 1, got {time_bucket}")
+        self._hierarchy = hierarchy
+        self._k = k
+        self._time_bucket = time_bucket
+        self._salt = salt
+        self._pseudonyms: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def pseudonym_for(self, subject: str) -> str:
+        """Stable pseudonym of *subject* for this anonymizer instance."""
+        if subject not in self._pseudonyms:
+            digest = hashlib.sha256(f"{self._salt}:{subject}".encode("utf-8")).hexdigest()
+            self._pseudonyms[subject] = f"user-{digest[:8]}"
+        return self._pseudonyms[subject]
+
+    def generalize_location(self, location: str) -> str:
+        """Generalize a primitive location to its containing composite name."""
+        if not self._hierarchy.is_primitive(location):
+            raise PrivacyError(f"{location!r} is not a primitive location of the hierarchy")
+        return self._hierarchy.graph_of(location).name
+
+    def bucket(self, time: int) -> int:
+        """The temporal bucket (bucket start time) containing *time*."""
+        return (time // self._time_bucket) * self._time_bucket
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def anonymize(self, records: Iterable[MovementRecord]) -> List[AnonymizedRecord]:
+        """Sanitize *records*, applying generalization and k-anonymity suppression."""
+        generalized: List[Tuple[AnonymizedRecord, str]] = []
+        for record in records:
+            sanitized = AnonymizedRecord(
+                self.bucket(record.time),
+                self.pseudonym_for(record.subject),
+                self.generalize_location(record.location),
+                record.kind,
+            )
+            generalized.append((sanitized, record.subject))
+
+        # Count distinct subjects per (composite, bucket) group.
+        group_subjects: Dict[Tuple[str, int], set] = {}
+        for sanitized, original_subject in generalized:
+            key = (sanitized.composite, sanitized.time_bucket)
+            group_subjects.setdefault(key, set()).add(original_subject)
+
+        released = [
+            sanitized
+            for sanitized, _ in generalized
+            if len(group_subjects[(sanitized.composite, sanitized.time_bucket)]) >= self._k
+        ]
+        return released
+
+    def suppression_rate(self, records: Sequence[MovementRecord]) -> float:
+        """Fraction of records suppressed by :meth:`anonymize` (0.0 for empty input)."""
+        records = list(records)
+        if not records:
+            return 0.0
+        kept = len(self.anonymize(records))
+        return 1.0 - kept / len(records)

@@ -1,0 +1,135 @@
+"""Location-privacy release policies.
+
+The paper's fifth claim: *"LTAM protects the location privacy of the users by
+restricting the location information in the central control station and not
+releasing it to other applications."*  This module makes that restriction
+explicit: a :class:`ReleasePolicy` decides, per requesting application and
+per subject, at which granularity a location observation may leave the
+control station —
+
+* ``EXACT`` — the primitive location (only for the security console itself);
+* ``COMPOSITE`` — generalized to the containing composite location (e.g.
+  "somewhere in SCE"), losing room-level precision;
+* ``PRESENCE`` — only the fact that the subject is on the premises;
+* ``DENY`` — nothing is released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PrivacyError
+from repro.core.subjects import subject_name
+from repro.locations.location import location_name
+from repro.locations.multilevel import LocationHierarchy
+
+__all__ = ["Granularity", "ReleaseDecision", "ReleasePolicy"]
+
+
+class Granularity(str, Enum):
+    """Granularity at which location information may be released."""
+
+    EXACT = "exact"
+    COMPOSITE = "composite"
+    PRESENCE = "presence"
+    DENY = "deny"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Ordering from most to least revealing, used when combining constraints.
+_STRICTNESS = {
+    Granularity.EXACT: 0,
+    Granularity.COMPOSITE: 1,
+    Granularity.PRESENCE: 2,
+    Granularity.DENY: 3,
+}
+
+
+@dataclass(frozen=True)
+class ReleaseDecision:
+    """What a requesting application is allowed to learn."""
+
+    granularity: Granularity
+    released_value: Optional[str]
+
+    @property
+    def released(self) -> bool:
+        """``True`` when any information at all is released."""
+        return self.granularity is not Granularity.DENY
+
+
+class ReleasePolicy:
+    """Per-application, per-subject location release policy.
+
+    The default granularity applies when neither an application-specific nor
+    a subject-specific rule matches; when both match, the *stricter* of the
+    two wins (a subject's opt-out cannot be overridden by a permissive
+    application rule).
+    """
+
+    def __init__(
+        self,
+        hierarchy: LocationHierarchy,
+        *,
+        default: Granularity = Granularity.DENY,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._default = Granularity(default)
+        self._per_application: Dict[str, Granularity] = {}
+        self._per_subject: Dict[str, Granularity] = {}
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def allow_application(self, application: str, granularity: Granularity) -> None:
+        """Set the granularity an application may receive."""
+        if not application or application.strip() != application:
+            raise PrivacyError(f"application name must be a non-empty trimmed string, got {application!r}")
+        self._per_application[application] = Granularity(granularity)
+
+    def restrict_subject(self, subject: str, granularity: Granularity) -> None:
+        """Set the maximum granularity at which a subject's location may be released."""
+        self._per_subject[subject_name(subject)] = Granularity(granularity)
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def granularity_for(self, application: str, subject: str) -> Granularity:
+        """The effective granularity for *application* asking about *subject*."""
+        application_level = self._per_application.get(application, self._default)
+        subject_level = self._per_subject.get(subject_name(subject))
+        if subject_level is None:
+            return application_level
+        # The stricter (less revealing) of the two constraints wins.
+        return max(application_level, subject_level, key=lambda g: _STRICTNESS[g])
+
+    def release(self, application: str, subject: str, location: Optional[str]) -> ReleaseDecision:
+        """Decide what *application* may learn about *subject* being at *location*.
+
+        *location* is the primitive location observed by the control station,
+        or ``None`` when the subject is not currently tracked.
+        """
+        granularity = self.granularity_for(application, subject)
+        if granularity is Granularity.DENY:
+            return ReleaseDecision(Granularity.DENY, None)
+        if location is None:
+            # Nothing is known; the only honest answer is absence.
+            value = "absent" if granularity is not Granularity.DENY else None
+            return ReleaseDecision(granularity, value)
+        primitive = location_name(location)
+        if granularity is Granularity.EXACT:
+            return ReleaseDecision(granularity, primitive)
+        if granularity is Granularity.COMPOSITE:
+            return ReleaseDecision(granularity, self.generalize(primitive))
+        return ReleaseDecision(Granularity.PRESENCE, "present")
+
+    def generalize(self, location: str) -> str:
+        """Generalize a primitive location to its containing composite."""
+        primitive = location_name(location)
+        if not self._hierarchy.is_primitive(primitive):
+            raise PrivacyError(f"{primitive!r} is not a primitive location of the hierarchy")
+        return self._hierarchy.graph_of(primitive).name

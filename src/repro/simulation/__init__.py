@@ -1,0 +1,31 @@
+"""Workload substrate: synthetic buildings, authorization workloads, movement traces."""
+
+from repro.simulation.buildings import (
+    campus,
+    campus_hierarchy,
+    corridor_building,
+    grid_building,
+    random_building,
+    tree_building,
+)
+from repro.simulation.movement import GroundTruth, MovementSimulator, SimulatedTrace
+from repro.simulation.workload import (
+    AuthorizationWorkloadGenerator,
+    WorkloadConfig,
+    generate_subjects,
+)
+
+__all__ = [
+    "corridor_building",
+    "grid_building",
+    "tree_building",
+    "random_building",
+    "campus",
+    "campus_hierarchy",
+    "WorkloadConfig",
+    "AuthorizationWorkloadGenerator",
+    "generate_subjects",
+    "MovementSimulator",
+    "SimulatedTrace",
+    "GroundTruth",
+]

@@ -1,0 +1,208 @@
+"""Synthetic building and campus generators.
+
+The paper evaluates nothing quantitatively and publishes no layouts beyond
+the NTU example, so the scaling benchmarks (experiment E7) and the
+architecture benchmark (E5) need synthetic layouts of controllable size.
+All generators are deterministic given their parameters (and seed, where
+randomness is involved).
+
+* :func:`corridor_building` — a corridor spine with rooms hanging off it;
+* :func:`grid_building` — rooms on an ``rows × cols`` grid;
+* :func:`tree_building` — a random tree (every room reachable, no cycles);
+* :func:`random_building` — a random connected graph with tunable extra edges;
+* :func:`campus` — a multilevel graph of several buildings connected in a ring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.locations.builder import LocationGraphBuilder, MultilevelGraphBuilder
+from repro.locations.graph import LocationGraph
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+
+__all__ = [
+    "corridor_building",
+    "grid_building",
+    "tree_building",
+    "random_building",
+    "campus",
+    "campus_hierarchy",
+]
+
+
+def _check_positive(value: int, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise SimulationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def corridor_building(name: str, rooms: int) -> LocationGraph:
+    """A building with a corridor of *rooms* segments, one room per segment.
+
+    The first corridor segment is the entry location.  Total locations:
+    ``2 * rooms``.
+    """
+    _check_positive(rooms, "rooms")
+    builder = LocationGraphBuilder(name, description=f"corridor building with {rooms} rooms")
+    previous_corridor: Optional[str] = None
+    for index in range(rooms):
+        corridor = f"{name}.Corridor{index}"
+        room = f"{name}.Room{index}"
+        builder.add_location(corridor, tags=("corridor",), entry=index == 0)
+        builder.add_location(room, tags=("room",))
+        builder.add_edge(corridor, room)
+        if previous_corridor is not None:
+            builder.add_edge(previous_corridor, corridor)
+        previous_corridor = corridor
+    return builder.build()
+
+
+def grid_building(name: str, rows: int, cols: int, *, entries: int = 1) -> LocationGraph:
+    """Rooms on a ``rows × cols`` grid with 4-neighbour connectivity.
+
+    The first *entries* cells of the bottom row are entry locations.
+    """
+    _check_positive(rows, "rows")
+    _check_positive(cols, "cols")
+    if entries < 1 or entries > cols:
+        raise SimulationError(f"entries must be between 1 and cols ({cols}), got {entries}")
+    builder = LocationGraphBuilder(name, description=f"{rows}x{cols} grid building")
+    for row in range(rows):
+        for col in range(cols):
+            builder.add_location(
+                f"{name}.R{row}C{col}",
+                tags=("room",),
+                entry=(row == 0 and col < entries),
+            )
+    for row in range(rows):
+        for col in range(cols):
+            here = f"{name}.R{row}C{col}"
+            if col + 1 < cols:
+                builder.add_edge(here, f"{name}.R{row}C{col + 1}")
+            if row + 1 < rows:
+                builder.add_edge(here, f"{name}.R{row + 1}C{col}")
+    return builder.build()
+
+
+def tree_building(name: str, locations: int, *, seed: int = 0, max_children: int = 3) -> LocationGraph:
+    """A random tree of *locations* rooms rooted at the entry location."""
+    _check_positive(locations, "locations")
+    _check_positive(max_children, "max_children")
+    rng = random.Random(seed)
+    builder = LocationGraphBuilder(name, description=f"random tree building ({locations} rooms)")
+    names = [f"{name}.L{i}" for i in range(locations)]
+    builder.add_location(names[0], tags=("lobby",), entry=True)
+    child_counts = {names[0]: 0}
+    for node in names[1:]:
+        candidates = [parent for parent, count in child_counts.items() if count < max_children]
+        parent = rng.choice(candidates) if candidates else rng.choice(list(child_counts))
+        builder.add_location(node, tags=("room",))
+        builder.add_edge(parent, node)
+        child_counts[parent] = child_counts.get(parent, 0) + 1
+        child_counts[node] = 0
+    return builder.build()
+
+
+def random_building(
+    name: str,
+    locations: int,
+    *,
+    extra_edges: int = 0,
+    seed: int = 0,
+    entries: int = 1,
+) -> LocationGraph:
+    """A random connected graph: a random spanning tree plus *extra_edges* chords."""
+    _check_positive(locations, "locations")
+    if entries < 1 or entries > locations:
+        raise SimulationError(f"entries must be between 1 and locations ({locations}), got {entries}")
+    if extra_edges < 0:
+        raise SimulationError(f"extra_edges must be non-negative, got {extra_edges}")
+    rng = random.Random(seed)
+    names = [f"{name}.L{i}" for i in range(locations)]
+    builder = LocationGraphBuilder(name, description=f"random building ({locations} rooms)")
+    for index, node in enumerate(names):
+        builder.add_location(node, tags=("room",), entry=index < entries)
+    # Random spanning tree: connect each node to a random earlier node.
+    existing_edges = set()
+    for index in range(1, locations):
+        parent = names[rng.randrange(index)]
+        builder.add_edge(parent, names[index])
+        existing_edges.add(frozenset((parent, names[index])))
+    # Extra chords (only meaningful when there are at least two locations).
+    attempts = 0
+    added = 0
+    while locations >= 2 and added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        key = frozenset((a, b))
+        if key in existing_edges:
+            continue
+        builder.add_edge(a, b)
+        existing_edges.add(key)
+        added += 1
+    return builder.build()
+
+
+def campus(
+    name: str,
+    buildings: int,
+    *,
+    rooms_per_building: int = 4,
+    seed: int = 0,
+    style: str = "grid",
+) -> MultilevelLocationGraph:
+    """A campus: several buildings connected in a ring (plus one chord when > 3).
+
+    Parameters
+    ----------
+    style:
+        ``"grid"``, ``"corridor"``, ``"tree"`` or ``"random"`` — the generator
+        used for each building.
+    """
+    _check_positive(buildings, "buildings")
+    _check_positive(rooms_per_building, "rooms_per_building")
+    builder = MultilevelGraphBuilder(name, description=f"synthetic campus with {buildings} buildings")
+    names: List[str] = []
+    for index in range(buildings):
+        building_name = f"{name}-B{index}"
+        names.append(building_name)
+        if style == "grid":
+            side = max(1, int(rooms_per_building ** 0.5))
+            child = grid_building(building_name, side, max(1, rooms_per_building // side))
+        elif style == "corridor":
+            child = corridor_building(building_name, max(1, rooms_per_building // 2))
+        elif style == "tree":
+            child = tree_building(building_name, rooms_per_building, seed=seed + index)
+        elif style == "random":
+            child = random_building(
+                building_name, rooms_per_building, extra_edges=rooms_per_building // 3, seed=seed + index
+            )
+        else:
+            raise SimulationError(f"unknown campus style {style!r}")
+        builder.add_child(child, entry=index == 0)
+    for index in range(len(names)):
+        if len(names) == 1:
+            break
+        builder.connect(names[index], names[(index + 1) % len(names)])
+        if len(names) == 2:
+            break
+    if buildings > 3:
+        builder.connect(names[0], names[buildings // 2])
+    return builder.build()
+
+
+def campus_hierarchy(
+    name: str,
+    buildings: int,
+    *,
+    rooms_per_building: int = 4,
+    seed: int = 0,
+    style: str = "grid",
+) -> LocationHierarchy:
+    """Convenience wrapper returning the campus as a :class:`LocationHierarchy`."""
+    return LocationHierarchy(
+        campus(name, buildings, rooms_per_building=rooms_per_building, seed=seed, style=style)
+    )

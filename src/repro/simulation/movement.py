@@ -1,0 +1,224 @@
+"""Movement-trace simulation, including deliberate violations.
+
+The enforcement benchmarks (E5, E8) need movement traces with known ground
+truth: which entries were legitimate, which were tailgating, who overstayed.
+:class:`MovementSimulator` produces such traces over any location hierarchy:
+
+* **compliant walks** — the subject enters a location only when the engine
+  would grant the request and leaves inside the exit window;
+* **injected violations** — with configurable probabilities a step enters
+  without authorization (tailgating) or overstays past the exit window.
+
+Every simulated trace is returned together with its
+:class:`GroundTruth` labels so detection recall/precision can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.core.authorization import LocationTemporalAuthorization, UNLIMITED_ENTRIES
+from repro.locations.multilevel import LocationHierarchy
+from repro.storage.movement_db import MovementKind, MovementRecord
+
+__all__ = ["GroundTruth", "SimulatedTrace", "MovementSimulator"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Labels describing what a simulated trace actually contains."""
+
+    #: (time, subject, location) triples of entries made without authorization.
+    unauthorized_entries: Tuple[Tuple[int, str, str], ...]
+    #: (subject, location, exit_deadline) triples of stays extended past the exit window.
+    overstays: Tuple[Tuple[str, str, int], ...]
+
+    @property
+    def violation_count(self) -> int:
+        """Total number of injected violations."""
+        return len(self.unauthorized_entries) + len(self.overstays)
+
+
+@dataclass(frozen=True)
+class SimulatedTrace:
+    """A movement trace plus its ground truth."""
+
+    records: Tuple[MovementRecord, ...]
+    truth: GroundTruth
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+class MovementSimulator:
+    """Generate movement traces for subjects over a location hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The building layout walked by the simulated subjects.
+    authorizations:
+        The authorization set the compliant behaviour respects.
+    seed:
+        RNG seed (traces are deterministic given the seed and parameters).
+    """
+
+    def __init__(
+        self,
+        hierarchy: LocationHierarchy,
+        authorizations: Iterable[LocationTemporalAuthorization],
+        *,
+        seed: int = 0,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._rng = random.Random(seed)
+        self._auths: Dict[Tuple[str, str], List[LocationTemporalAuthorization]] = {}
+        for auth in authorizations:
+            self._auths.setdefault((auth.subject, auth.location), []).append(auth)
+        #: entry budget already consumed during simulation, per (subject, location)
+        self._entries_used: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Authorization bookkeeping (mirrors Definition 7 during simulation)
+    # ------------------------------------------------------------------ #
+    def _admitting_authorization(
+        self, time: int, subject: str, location: str
+    ) -> Optional[LocationTemporalAuthorization]:
+        for auth in self._auths.get((subject, location), ()):
+            if not auth.permits_entry_at(time):
+                continue
+            used = self._entries_used.get((subject, location), 0)
+            remaining = auth.entries_remaining(used)
+            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
+                return auth
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Trace generation
+    # ------------------------------------------------------------------ #
+    def walk(
+        self,
+        subject: str,
+        *,
+        start_time: int = 0,
+        steps: int = 10,
+        dwell: int = 2,
+        p_tailgate: float = 0.0,
+        p_overstay: float = 0.0,
+        start_location: Optional[str] = None,
+    ) -> SimulatedTrace:
+        """Simulate one subject walking *steps* moves through the building.
+
+        The walk starts at an entry location (or *start_location*), repeatedly
+        moves to a random neighbour, and at each move:
+
+        * enters legitimately when an authorization admits the subject;
+        * with probability *p_tailgate*, enters anyway when no authorization
+          admits it (recorded as an unauthorized entry in the ground truth);
+        * otherwise skips the move (stays put, time still advances);
+        * with probability *p_overstay*, leaves ``dwell`` chronons *after* the
+          authorized exit window instead of inside it.
+        """
+        if steps < 0 or dwell <= 0:
+            raise SimulationError("steps must be non-negative and dwell positive")
+        if not 0.0 <= p_tailgate <= 1.0 or not 0.0 <= p_overstay <= 1.0:
+            raise SimulationError("probabilities must lie in [0, 1]")
+
+        rng = self._rng
+        entries = sorted(self._hierarchy.entry_locations)
+        current = start_location or rng.choice(entries)
+        time = start_time
+
+        records: List[MovementRecord] = []
+        unauthorized: List[Tuple[int, str, str]] = []
+        overstays: List[Tuple[str, str, int]] = []
+
+        def enter(location: str) -> Optional[LocationTemporalAuthorization]:
+            nonlocal time
+            auth = self._admitting_authorization(time, subject, location)
+            if auth is None:
+                if rng.random() >= p_tailgate:
+                    return None
+                unauthorized.append((time, subject, location))
+            records.append(MovementRecord(time, subject, location, MovementKind.ENTER))
+            self._entries_used[(subject, location)] = self._entries_used.get((subject, location), 0) + 1
+            return auth
+
+        def leave(location: str, auth: Optional[LocationTemporalAuthorization]) -> None:
+            nonlocal time
+            exit_time = time + dwell
+            if auth is not None and not auth.exit_duration.is_unbounded:
+                deadline = int(auth.exit_duration.end)
+                if rng.random() < p_overstay:
+                    exit_time = deadline + dwell
+                    overstays.append((subject, location, deadline))
+                else:
+                    exit_time = min(max(exit_time, auth.exit_duration.start), deadline)
+            records.append(MovementRecord(max(exit_time, time), subject, location, MovementKind.EXIT))
+            time = max(exit_time, time) + 1
+
+        admitting = enter(current)
+        inside = bool(records)
+        if inside:  # only continue the walk if the first entry happened
+            for _ in range(steps):
+                neighbors = sorted(self._hierarchy.neighbors(current))
+                if not neighbors:
+                    break
+                nxt = rng.choice(neighbors)
+                leave(current, admitting)
+                inside = False
+                admitting = self._admitting_authorization(time, subject, nxt)
+                if admitting is None and rng.random() >= p_tailgate:
+                    # Denied and not willing to tailgate: walk ends here.
+                    break
+                if admitting is None:
+                    unauthorized.append((time, subject, nxt))
+                records.append(MovementRecord(time, subject, nxt, MovementKind.ENTER))
+                self._entries_used[(subject, nxt)] = self._entries_used.get((subject, nxt), 0) + 1
+                current = nxt
+                inside = True
+            if inside:
+                leave(current, admitting)
+
+        return SimulatedTrace(tuple(records), GroundTruth(tuple(unauthorized), tuple(overstays)))
+
+    def population_trace(
+        self,
+        subjects: Sequence[str],
+        *,
+        steps: int = 10,
+        dwell: int = 2,
+        stagger: int = 3,
+        p_tailgate: float = 0.0,
+        p_overstay: float = 0.0,
+    ) -> SimulatedTrace:
+        """Simulate a whole population, staggering their start times.
+
+        Returns one merged trace (records sorted by time) with the combined
+        ground truth.
+        """
+        all_records: List[MovementRecord] = []
+        unauthorized: List[Tuple[int, str, str]] = []
+        overstays: List[Tuple[str, str, int]] = []
+        for index, subject in enumerate(subjects):
+            trace = self.walk(
+                subject,
+                start_time=index * stagger,
+                steps=steps,
+                dwell=dwell,
+                p_tailgate=p_tailgate,
+                p_overstay=p_overstay,
+            )
+            all_records.extend(trace.records)
+            unauthorized.extend(trace.truth.unauthorized_entries)
+            overstays.extend(trace.truth.overstays)
+        all_records.sort(key=lambda record: (record.time, record.subject, record.kind.value))
+        return SimulatedTrace(
+            tuple(all_records), GroundTruth(tuple(unauthorized), tuple(overstays))
+        )

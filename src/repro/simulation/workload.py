@@ -1,0 +1,175 @@
+"""Authorization and access-request workload generators.
+
+The paper publishes no workloads; the benchmarks therefore generate synthetic
+authorization databases and request streams with seeded randomness.  The
+generator aims for realism along the dimensions that matter to the algorithms
+under test:
+
+* every subject gets authorizations on the entry locations (otherwise nothing
+  is reachable and Algorithm 1 degenerates),
+* interior locations are authorized with a configurable coverage fraction,
+* entry windows are placed inside a bounded horizon, exit windows extend the
+  entry window by a dwell allowance (respecting Definition 4's constraints),
+* entry budgets are small integers or unlimited.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.requests import AccessRequest
+from repro.locations.multilevel import LocationHierarchy
+from repro.temporal.chronon import FOREVER
+
+__all__ = ["WorkloadConfig", "AuthorizationWorkloadGenerator", "generate_subjects"]
+
+
+def generate_subjects(count: int, *, prefix: str = "user") -> List[str]:
+    """Generate *count* subject names (``user-000``, ``user-001``, …)."""
+    if count < 0:
+        raise SimulationError(f"subject count must be non-negative, got {count}")
+    width = max(3, len(str(max(count - 1, 0))))
+    return [f"{prefix}-{index:0{width}d}" for index in range(count)]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic authorization workload.
+
+    Parameters
+    ----------
+    horizon:
+        Length of the simulated period in chronons; every entry window starts
+        inside ``[0, horizon)``.
+    coverage:
+        Fraction of non-entry locations each subject is authorized for.
+    window_length:
+        Maximum length of an entry window (lengths are drawn uniformly from
+        ``[1, window_length]``).
+    dwell_allowance:
+        How far beyond the entry window the exit window may extend.
+    max_entries:
+        Upper bound of the per-authorization entry budget.
+    unlimited_fraction:
+        Fraction of authorizations that get an unlimited entry budget.
+    wide_open_entries:
+        When ``True``, entry windows on entry locations span the whole
+        horizon, which keeps the building broadly reachable (useful for the
+        enforcement benchmarks); when ``False`` entry locations are treated
+        like interior ones (more inaccessible locations — stressing
+        Algorithm 1).
+    """
+
+    horizon: int = 1_000
+    coverage: float = 0.8
+    window_length: int = 200
+    dwell_allowance: int = 100
+    max_entries: int = 3
+    unlimited_fraction: float = 0.2
+    wide_open_entries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise SimulationError("coverage must lie in [0, 1]")
+        if self.window_length <= 0 or self.dwell_allowance < 0:
+            raise SimulationError("window_length must be positive and dwell_allowance non-negative")
+        if self.max_entries < 1:
+            raise SimulationError("max_entries must be at least 1")
+        if not 0.0 <= self.unlimited_fraction <= 1.0:
+            raise SimulationError("unlimited_fraction must lie in [0, 1]")
+
+
+class AuthorizationWorkloadGenerator:
+    """Generate authorizations and access requests over a location hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: LocationHierarchy,
+        *,
+        config: WorkloadConfig = WorkloadConfig(),
+        seed: int = 0,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._config = config
+        self._rng = random.Random(seed)
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The workload parameters in use."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Authorizations
+    # ------------------------------------------------------------------ #
+    def authorizations_for_subject(self, subject: str) -> List[LocationTemporalAuthorization]:
+        """Generate this subject's authorization set."""
+        config = self._config
+        rng = self._rng
+        entry_locations = sorted(self._hierarchy.entry_locations)
+        interior = sorted(self._hierarchy.primitive_names - set(entry_locations))
+        chosen_interior = [loc for loc in interior if rng.random() < config.coverage]
+
+        authorizations: List[LocationTemporalAuthorization] = []
+        for location in entry_locations:
+            authorizations.append(self._make_authorization(subject, location, wide_open=config.wide_open_entries))
+        for location in chosen_interior:
+            authorizations.append(self._make_authorization(subject, location, wide_open=False))
+        return authorizations
+
+    def authorizations(self, subjects: Sequence[str]) -> List[LocationTemporalAuthorization]:
+        """Generate authorization sets for several subjects."""
+        result: List[LocationTemporalAuthorization] = []
+        for subject in subjects:
+            result.extend(self.authorizations_for_subject(subject))
+        return result
+
+    def _make_authorization(
+        self, subject: str, location: str, *, wide_open: bool
+    ) -> LocationTemporalAuthorization:
+        config = self._config
+        rng = self._rng
+        if wide_open:
+            entry = (0, config.horizon)
+        else:
+            start = rng.randrange(0, config.horizon)
+            length = rng.randint(1, config.window_length)
+            entry = (start, start + length)
+        exit_end = entry[1] + rng.randint(0, config.dwell_allowance)
+        exit_start = rng.randint(entry[0], entry[1])
+        if rng.random() < config.unlimited_fraction:
+            budget = UNLIMITED_ENTRIES
+        else:
+            budget = rng.randint(1, config.max_entries)
+        return LocationTemporalAuthorization((subject, location), entry, (exit_start, exit_end), budget)
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def requests(
+        self,
+        subjects: Sequence[str],
+        count: int,
+        *,
+        locations: Optional[Sequence[str]] = None,
+    ) -> List[AccessRequest]:
+        """Generate *count* random access requests across *subjects*."""
+        if count < 0:
+            raise SimulationError(f"request count must be non-negative, got {count}")
+        if not subjects:
+            raise SimulationError("at least one subject is required to generate requests")
+        pool = list(locations) if locations is not None else sorted(self._hierarchy.primitive_names)
+        rng = self._rng
+        return [
+            AccessRequest(
+                rng.randrange(0, self._config.horizon),
+                rng.choice(list(subjects)),
+                rng.choice(pool),
+            )
+            for _ in range(count)
+        ]

@@ -1,0 +1,33 @@
+"""Spatial substrate: geometry, location boundaries, simulated positioning.
+
+The paper assumes locations have absolute spatial coordinates and that an
+RFID-like infrastructure tracks user movement.  This package supplies a
+pure-Python geometric model, a boundary registry mapping coordinates to
+semantic locations, and a tracking simulator standing in for the positioning
+hardware (see DESIGN.md, substitutions).
+"""
+
+from repro.spatial.boundary import BoundaryMap, grid_boundaries
+from repro.spatial.geometry import Point, Polygon, Rectangle
+from repro.spatial.positioning import (
+    GaussianNoiseModel,
+    LocationObservation,
+    PositionFix,
+    ReaderEvent,
+    RfidReader,
+    TrackingSimulator,
+)
+
+__all__ = [
+    "Point",
+    "Polygon",
+    "Rectangle",
+    "BoundaryMap",
+    "grid_boundaries",
+    "PositionFix",
+    "LocationObservation",
+    "ReaderEvent",
+    "RfidReader",
+    "TrackingSimulator",
+    "GaussianNoiseModel",
+]

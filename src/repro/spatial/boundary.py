@@ -1,0 +1,168 @@
+"""Mapping between physical coordinates and semantic locations.
+
+A :class:`BoundaryMap` associates each primitive location with a spatial
+boundary (rectangle or polygon) in the building's coordinate system and
+answers the question the tracking infrastructure needs: *given a position
+fix, which location is the user in?*  This realizes the paper's statement
+that physical location information defines the spatial boundaries used to
+track users in different locations (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.errors import SpatialError, UnknownLocationError
+from repro.locations.location import LocationName, location_name
+from repro.locations.multilevel import LocationHierarchy
+from repro.spatial.geometry import Point, Polygon, Rectangle
+
+__all__ = ["BoundaryMap", "grid_boundaries"]
+
+Boundary = Union[Rectangle, Polygon]
+
+
+class BoundaryMap:
+    """Registry of spatial boundaries for primitive locations.
+
+    Parameters
+    ----------
+    hierarchy:
+        Optional location hierarchy.  When given, registrations are checked
+        against it so that a boundary can only be attached to a known
+        primitive location, and :meth:`coverage` can report which locations
+        are still missing a boundary.
+    """
+
+    def __init__(self, hierarchy: Optional[LocationHierarchy] = None) -> None:
+        self._hierarchy = hierarchy
+        self._boundaries: Dict[LocationName, Boundary] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, location: str, boundary: Boundary) -> None:
+        """Attach *boundary* to *location*, replacing any previous boundary."""
+        name = location_name(location)
+        if self._hierarchy is not None and not self._hierarchy.is_primitive(name):
+            raise UnknownLocationError(
+                f"cannot attach a boundary to {name!r}: not a primitive location of the hierarchy"
+            )
+        if not isinstance(boundary, (Rectangle, Polygon)):
+            raise SpatialError(
+                f"boundary must be a Rectangle or Polygon, got {type(boundary).__name__}"
+            )
+        self._boundaries[name] = boundary
+
+    def register_all(self, boundaries: Mapping[str, Boundary]) -> None:
+        """Attach several boundaries at once."""
+        for name, boundary in boundaries.items():
+            self.register(name, boundary)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def boundary_of(self, location: str) -> Boundary:
+        """Return the boundary registered for *location*."""
+        name = location_name(location)
+        try:
+            return self._boundaries[name]
+        except KeyError:
+            raise UnknownLocationError(f"no boundary registered for location {name!r}") from None
+
+    def has_boundary(self, location: str) -> bool:
+        """Return ``True`` if a boundary is registered for *location*."""
+        return location_name(location) in self._boundaries
+
+    def locate(self, point: Point) -> Optional[LocationName]:
+        """Return the location whose boundary contains *point*, or ``None``.
+
+        When boundaries overlap (e.g. a doorway shared by two rooms) the
+        location with the smallest boundary area wins, which matches the
+        intuition that the most specific room should be reported.
+        """
+        matches = [
+            (name, boundary)
+            for name, boundary in self._boundaries.items()
+            if boundary.contains(point)
+        ]
+        if not matches:
+            return None
+        matches.sort(key=lambda item: (_boundary_area(item[1]), item[0]))
+        return matches[0][0]
+
+    def locations(self) -> Tuple[LocationName, ...]:
+        """Names of all locations with a registered boundary."""
+        return tuple(sorted(self._boundaries))
+
+    def center_of(self, location: str) -> Point:
+        """A representative interior point of *location* (centroid of its boundary)."""
+        boundary = self.boundary_of(location)
+        if isinstance(boundary, Rectangle):
+            return boundary.center
+        return boundary.centroid
+
+    def coverage(self) -> Tuple[Tuple[LocationName, ...], Tuple[LocationName, ...]]:
+        """Return ``(covered, missing)`` location names relative to the hierarchy.
+
+        Without a hierarchy, *missing* is always empty.
+        """
+        covered = tuple(sorted(self._boundaries))
+        if self._hierarchy is None:
+            return covered, ()
+        missing = tuple(sorted(self._hierarchy.primitive_names - set(self._boundaries)))
+        return covered, missing
+
+    def __len__(self) -> int:
+        return len(self._boundaries)
+
+    def __contains__(self, location: object) -> bool:
+        try:
+            return location_name(location) in self._boundaries  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+
+def _boundary_area(boundary: Boundary) -> float:
+    return boundary.area
+
+
+def grid_boundaries(
+    locations: Iterable[str],
+    *,
+    cell_size: float = 10.0,
+    columns: int = 4,
+    origin: Point = Point(0.0, 0.0),
+    hierarchy: Optional[LocationHierarchy] = None,
+) -> BoundaryMap:
+    """Lay the given locations out on a rectangular grid of square rooms.
+
+    This is the standard synthetic floor plan used by the tracking simulator
+    and the benchmarks: it makes every location physically realizable without
+    requiring hand-drawn geometry.
+
+    Parameters
+    ----------
+    locations:
+        Primitive location names, laid out row-major.
+    cell_size:
+        Side length of each square room.
+    columns:
+        Number of rooms per row.
+    origin:
+        Lower-left corner of the first room.
+    hierarchy:
+        Optional hierarchy used to validate the location names.
+    """
+    if cell_size <= 0:
+        raise SpatialError("cell_size must be positive")
+    if columns <= 0:
+        raise SpatialError("columns must be positive")
+    boundary_map = BoundaryMap(hierarchy)
+    for index, location in enumerate(sorted(location_name(l) for l in locations)):
+        row, col = divmod(index, columns)
+        corner = Point(origin.x + col * cell_size, origin.y + row * cell_size)
+        boundary_map.register(
+            location, Rectangle.from_corner_and_size(corner, cell_size, cell_size)
+        )
+    return boundary_map

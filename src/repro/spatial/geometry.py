@@ -1,0 +1,225 @@
+"""Minimal 2-D geometry for physical location boundaries.
+
+Section 3.1: *"When represented physically, a location is described by its
+absolute spatial coordinates.  The physical location information are used to
+define the spatial boundaries of location so that it is possible to track
+users in different locations."*
+
+The reproduction does not depend on an external geometry package; this module
+provides exactly the primitives the tracking substrate needs: points,
+axis-aligned rectangles and simple polygons with point-in-polygon tests
+(ray casting, with boundary points counted as inside, which is the right
+convention for "is the user inside this room").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SpatialError
+
+__all__ = ["Point", "Rectangle", "Polygon"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the building's absolute coordinate system (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        return f"({self.x:g}, {self.y:g})"
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle, the common shape of rooms in floor plans."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise SpatialError(
+                f"rectangle extents are inverted: "
+                f"[{self.min_x}, {self.max_x}] x [{self.min_y}, {self.max_y}]"
+            )
+
+    @classmethod
+    def from_corner_and_size(cls, corner: Point, width: float, height: float) -> "Rectangle":
+        """Build a rectangle from its lower-left corner and its dimensions."""
+        if width < 0 or height < 0:
+            raise SpatialError("rectangle width and height must be non-negative")
+        return cls(corner.x, corner.y, corner.x + width, corner.y + height)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centroid of the rectangle."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Return ``True`` if *point* lies inside or on the boundary."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    __contains__ = contains
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Return ``True`` if the two rectangles share any area or boundary."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def to_polygon(self) -> "Polygon":
+        """Return the rectangle as a :class:`Polygon` (counter-clockwise)."""
+        return Polygon(
+            (
+                Point(self.min_x, self.min_y),
+                Point(self.max_x, self.min_y),
+                Point(self.max_x, self.max_y),
+                Point(self.min_x, self.max_y),
+            )
+        )
+
+
+class Polygon:
+    """A simple polygon given by its vertices in order (no self-intersections).
+
+    Point containment uses ray casting with an explicit edge test so that
+    points exactly on the boundary are treated as inside.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Iterable[Point]) -> None:
+        verts = tuple(
+            v if isinstance(v, Point) else Point(float(v[0]), float(v[1])) for v in vertices
+        )
+        if len(verts) < 3:
+            raise SpatialError(f"a polygon needs at least 3 vertices, got {len(verts)}")
+        self._vertices = verts
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        """The polygon's vertices in order."""
+        return self._vertices
+
+    @property
+    def area(self) -> float:
+        """Unsigned area (shoelace formula)."""
+        return abs(self._signed_area())
+
+    def _signed_area(self) -> float:
+        total = 0.0
+        verts = self._vertices
+        for i, current in enumerate(verts):
+            following = verts[(i + 1) % len(verts)]
+            total += current.x * following.y - following.x * current.y
+        return total / 2.0
+
+    @property
+    def centroid(self) -> Point:
+        """Centroid of the polygon (falls back to vertex mean for zero area)."""
+        signed = self._signed_area()
+        if abs(signed) < 1e-12:
+            xs = sum(v.x for v in self._vertices) / len(self._vertices)
+            ys = sum(v.y for v in self._vertices) / len(self._vertices)
+            return Point(xs, ys)
+        cx = cy = 0.0
+        verts = self._vertices
+        for i, current in enumerate(verts):
+            following = verts[(i + 1) % len(verts)]
+            cross = current.x * following.y - following.x * current.y
+            cx += (current.x + following.x) * cross
+            cy += (current.y + following.y) * cross
+        factor = 1.0 / (6.0 * signed)
+        return Point(cx * factor, cy * factor)
+
+    def bounding_box(self) -> Rectangle:
+        """Axis-aligned bounding rectangle of the polygon."""
+        xs = [v.x for v in self._vertices]
+        ys = [v.y for v in self._vertices]
+        return Rectangle(min(xs), min(ys), max(xs), max(ys))
+
+    def contains(self, point: Point) -> bool:
+        """Return ``True`` if *point* is inside the polygon or on its boundary."""
+        if self._on_boundary(point):
+            return True
+        inside = False
+        verts = self._vertices
+        n = len(verts)
+        j = n - 1
+        for i in range(n):
+            vi, vj = verts[i], verts[j]
+            intersects = (vi.y > point.y) != (vj.y > point.y)
+            if intersects:
+                x_cross = (vj.x - vi.x) * (point.y - vi.y) / (vj.y - vi.y) + vi.x
+                if point.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    __contains__ = contains
+
+    def _on_boundary(self, point: Point, tolerance: float = 1e-9) -> bool:
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a, b = verts[i], verts[(i + 1) % n]
+            if _point_on_segment(point, a, b, tolerance):
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Polygon):
+            return self._vertices == other._vertices
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self._vertices)} vertices, area={self.area:.2f})"
+
+
+def _point_on_segment(p: Point, a: Point, b: Point, tolerance: float) -> bool:
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if abs(cross) > tolerance:
+        return False
+    dot = (p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)
+    if dot < -tolerance:
+        return False
+    length_sq = (b.x - a.x) ** 2 + (b.y - a.y) ** 2
+    return dot <= length_sq + tolerance

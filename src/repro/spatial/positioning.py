@@ -1,0 +1,193 @@
+"""Simulated positioning and tracking infrastructure.
+
+The paper assumes an RFID-like tracking infrastructure: *"The ability of user
+tracking is also assumed in this research."*  Physical readers are hardware
+we do not have, so this module provides the closest synthetic equivalent that
+exercises the same code path:
+
+* :class:`PositionFix` — a raw (subject, point, time) observation, optionally
+  noisy, as a positioning system would emit;
+* :class:`RfidReader` / :class:`ReaderEvent` — door-mounted readers that
+  report subjects crossing between two locations;
+* :class:`TrackingSimulator` — converts a sequence of position fixes into the
+  ENTER/EXIT movement events the enforcement engine consumes, by resolving
+  fixes against a :class:`~repro.spatial.boundary.BoundaryMap` and detecting
+  location changes.
+
+The enforcement pipeline downstream of this module (movement database,
+monitor, alerts) is identical to what real hardware would drive; only the
+source of observations is synthetic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SpatialError
+from repro.locations.location import LocationName, location_name
+from repro.spatial.boundary import BoundaryMap
+from repro.spatial.geometry import Point
+
+__all__ = [
+    "PositionFix",
+    "ReaderEvent",
+    "RfidReader",
+    "LocationObservation",
+    "TrackingSimulator",
+    "GaussianNoiseModel",
+]
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """A raw positioning observation: *subject* was at *point* at *time*."""
+
+    time: int
+    subject: str
+    point: Point
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SpatialError(f"position fix time must be non-negative, got {self.time}")
+
+
+@dataclass(frozen=True)
+class LocationObservation:
+    """A position fix resolved to a semantic location (or ``None`` when outside)."""
+
+    time: int
+    subject: str
+    location: Optional[LocationName]
+
+
+@dataclass(frozen=True)
+class ReaderEvent:
+    """An event emitted by a door reader: *subject* crossed from one side to the other."""
+
+    time: int
+    subject: str
+    reader_id: str
+    from_location: Optional[LocationName]
+    to_location: Optional[LocationName]
+
+
+@dataclass(frozen=True)
+class RfidReader:
+    """A door-mounted reader between two locations (either side may be outdoors)."""
+
+    reader_id: str
+    side_a: Optional[LocationName]
+    side_b: Optional[LocationName]
+
+    def __post_init__(self) -> None:
+        if self.side_a is None and self.side_b is None:
+            raise SpatialError("a reader must be attached to at least one location")
+
+    def crossing(self, time: int, subject: str, entering_side_b: bool) -> ReaderEvent:
+        """Build the event for a subject crossing the reader.
+
+        *entering_side_b* is ``True`` when the subject moves from side A to
+        side B, ``False`` for the opposite direction.
+        """
+        if entering_side_b:
+            return ReaderEvent(time, subject, self.reader_id, self.side_a, self.side_b)
+        return ReaderEvent(time, subject, self.reader_id, self.side_b, self.side_a)
+
+
+@dataclass(frozen=True)
+class GaussianNoiseModel:
+    """Additive Gaussian noise applied to position fixes (metres of std-dev)."""
+
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise SpatialError("noise sigma must be non-negative")
+
+    def perturb(self, point: Point, rng: random.Random) -> Point:
+        """Return *point* displaced by zero-mean Gaussian noise."""
+        if self.sigma == 0.0:
+            return point
+        return Point(point.x + rng.gauss(0.0, self.sigma), point.y + rng.gauss(0.0, self.sigma))
+
+
+class TrackingSimulator:
+    """Resolve position fixes to locations and derive movement transitions.
+
+    Parameters
+    ----------
+    boundary_map:
+        Mapping from coordinates to locations.
+    noise:
+        Optional noise model applied to every fix before resolution.
+    seed:
+        Seed for the noise RNG (deterministic by default).
+    """
+
+    def __init__(
+        self,
+        boundary_map: BoundaryMap,
+        *,
+        noise: GaussianNoiseModel = GaussianNoiseModel(0.0),
+        seed: int = 0,
+    ) -> None:
+        self._boundary_map = boundary_map
+        self._noise = noise
+        self._rng = random.Random(seed)
+        #: last known location per subject (None = outside every boundary)
+        self._last_location: Dict[str, Optional[LocationName]] = {}
+
+    @property
+    def boundary_map(self) -> BoundaryMap:
+        """The boundary map used to resolve fixes."""
+        return self._boundary_map
+
+    def resolve(self, fix: PositionFix) -> LocationObservation:
+        """Resolve a single fix to a semantic location observation."""
+        observed_point = self._noise.perturb(fix.point, self._rng)
+        location = self._boundary_map.locate(observed_point)
+        return LocationObservation(fix.time, fix.subject, location)
+
+    def transitions(self, fixes: Iterable[PositionFix]) -> Iterator[Tuple[LocationObservation, Optional[LocationName]]]:
+        """Yield ``(observation, previous_location)`` for fixes that change location.
+
+        The previous location is ``None`` when the subject had not been
+        observed before or was outside every boundary.
+        """
+        for fix in sorted(fixes, key=lambda f: (f.time, f.subject)):
+            observation = self.resolve(fix)
+            previous = self._last_location.get(fix.subject)
+            if observation.location != previous:
+                self._last_location[fix.subject] = observation.location
+                yield observation, previous
+
+    def current_location(self, subject: str) -> Optional[LocationName]:
+        """Last location the subject was resolved to, or ``None``."""
+        return self._last_location.get(subject)
+
+    def fixes_for_path(
+        self,
+        subject: str,
+        locations: Sequence[str],
+        *,
+        start_time: int = 0,
+        dwell: int = 1,
+    ) -> List[PositionFix]:
+        """Fabricate position fixes that walk *subject* through *locations*.
+
+        Each visited location contributes one fix at its boundary centroid,
+        *dwell* chronons after the previous one.  This is the bridge the
+        simulator and the examples use to turn an intended walk into the raw
+        observations the tracking pipeline expects.
+        """
+        if dwell <= 0:
+            raise SpatialError("dwell must be positive")
+        fixes: List[PositionFix] = []
+        time = start_time
+        for loc in locations:
+            name = location_name(loc)
+            fixes.append(PositionFix(time, subject, self._boundary_map.center_of(name)))
+            time += dwell
+        return fixes

@@ -1,0 +1,43 @@
+"""Storage layer: the three databases of the Figure 3 architecture.
+
+* :mod:`repro.storage.authorization_db` — the Authorization Database,
+* :mod:`repro.storage.movement_db` — the Location & Movements Database,
+* :mod:`repro.storage.profile_db` — the User Profile Database,
+
+each with an in-memory and an SQLite backend behind a shared interface, plus
+the interval index used for time-based authorization lookups.
+"""
+
+from repro.storage.authorization_db import (
+    AuthorizationDatabase,
+    InMemoryAuthorizationDatabase,
+    SqliteAuthorizationDatabase,
+)
+from repro.storage.indexes import IntervalIndex
+from repro.storage.movement_db import (
+    InMemoryMovementDatabase,
+    MovementDatabase,
+    MovementKind,
+    MovementRecord,
+    SqliteMovementDatabase,
+)
+from repro.storage.profile_db import (
+    InMemoryUserProfileDatabase,
+    SqliteUserProfileDatabase,
+    UserProfileDatabase,
+)
+
+__all__ = [
+    "IntervalIndex",
+    "AuthorizationDatabase",
+    "InMemoryAuthorizationDatabase",
+    "SqliteAuthorizationDatabase",
+    "MovementDatabase",
+    "MovementKind",
+    "MovementRecord",
+    "InMemoryMovementDatabase",
+    "SqliteMovementDatabase",
+    "UserProfileDatabase",
+    "InMemoryUserProfileDatabase",
+    "SqliteUserProfileDatabase",
+]

@@ -1,0 +1,346 @@
+"""The Authorization Database of Figure 3.
+
+*"The authorization database stores all authorizations defined by the system
+administrators"* — plus, after rule evaluation, the derived authorizations.
+The database offers the lookups the access-control engine and Algorithm 1
+need:
+
+* all authorizations of a subject, of a location, or of a pair;
+* the authorizations valid (enterable) at a given time;
+* revocation, including cascading revocation of derived authorizations when
+  their base authorization is revoked (Example 1's supervisor change).
+
+Two implementations share the interface: an in-memory store with hash and
+interval indexes (:class:`InMemoryAuthorizationDatabase`) and an SQLite-backed
+store (:class:`SqliteAuthorizationDatabase`) for deployments that need
+persistence.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateRecordError, MissingRecordError, StorageError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.subjects import subject_name
+from repro.locations.location import location_name
+from repro.storage.indexes import IntervalIndex
+from repro.temporal.chronon import FOREVER, TimePoint
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "AuthorizationDatabase",
+    "InMemoryAuthorizationDatabase",
+    "SqliteAuthorizationDatabase",
+]
+
+
+class AuthorizationDatabase(ABC):
+    """Interface shared by the authorization-database backends."""
+
+    # -- writes --------------------------------------------------------- #
+    @abstractmethod
+    def add(self, authorization: LocationTemporalAuthorization) -> LocationTemporalAuthorization:
+        """Store an authorization; duplicate ids are rejected."""
+
+    def add_all(
+        self, authorizations: Iterable[LocationTemporalAuthorization]
+    ) -> List[LocationTemporalAuthorization]:
+        """Store several authorizations and return them."""
+        return [self.add(auth) for auth in authorizations]
+
+    @abstractmethod
+    def revoke(self, auth_id: str) -> LocationTemporalAuthorization:
+        """Remove the authorization with the given id and return it."""
+
+    def revoke_derived_from(self, base_auth_id: str) -> List[LocationTemporalAuthorization]:
+        """Revoke every authorization derived from *base_auth_id* (cascade)."""
+        doomed = [auth for auth in self.all() if auth.derived_from == base_auth_id]
+        return [self.revoke(auth.auth_id) for auth in doomed]
+
+    def revoke_cascading(self, auth_id: str) -> List[LocationTemporalAuthorization]:
+        """Revoke an authorization together with everything derived from it."""
+        revoked = [self.revoke(auth_id)]
+        revoked.extend(self.revoke_derived_from(auth_id))
+        return revoked
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every authorization."""
+
+    # -- reads ---------------------------------------------------------- #
+    @abstractmethod
+    def get(self, auth_id: str) -> LocationTemporalAuthorization:
+        """Return the authorization with the given id."""
+
+    @abstractmethod
+    def all(self) -> List[LocationTemporalAuthorization]:
+        """Return every stored authorization."""
+
+    @abstractmethod
+    def for_subject_location(self, subject: str, location: str) -> List[LocationTemporalAuthorization]:
+        """All authorizations of *subject* for *location*."""
+
+    @abstractmethod
+    def for_subject(self, subject: str) -> List[LocationTemporalAuthorization]:
+        """All authorizations of *subject*."""
+
+    @abstractmethod
+    def for_location(self, location: str) -> List[LocationTemporalAuthorization]:
+        """All authorizations concerning *location*."""
+
+    def enterable_at(
+        self, time: int, subject: Optional[str] = None, location: Optional[str] = None
+    ) -> List[LocationTemporalAuthorization]:
+        """Authorizations whose entry duration contains *time*, optionally filtered."""
+        if subject is not None and location is not None:
+            candidates = self.for_subject_location(subject, location)
+        elif subject is not None:
+            candidates = self.for_subject(subject)
+        elif location is not None:
+            candidates = self.for_location(location)
+        else:
+            candidates = self.all()
+        return [auth for auth in candidates if auth.permits_entry_at(time)]
+
+    def __len__(self) -> int:
+        return len(self.all())
+
+    def __iter__(self) -> Iterator[LocationTemporalAuthorization]:
+        return iter(self.all())
+
+    def __contains__(self, auth_id: object) -> bool:
+        try:
+            self.get(str(auth_id))
+            return True
+        except MissingRecordError:
+            return False
+
+
+class InMemoryAuthorizationDatabase(AuthorizationDatabase):
+    """Dictionary-backed authorization store with secondary indexes."""
+
+    def __init__(self, authorizations: Iterable[LocationTemporalAuthorization] = ()) -> None:
+        self._by_id: Dict[str, LocationTemporalAuthorization] = {}
+        self._by_pair: Dict[Tuple[str, str], List[str]] = {}
+        self._by_subject: Dict[str, List[str]] = {}
+        self._by_location: Dict[str, List[str]] = {}
+        self._entry_index: IntervalIndex[str] = IntervalIndex()
+        self.add_all(authorizations)
+
+    # -- writes --------------------------------------------------------- #
+    def add(self, authorization: LocationTemporalAuthorization) -> LocationTemporalAuthorization:
+        if authorization.auth_id in self._by_id:
+            raise DuplicateRecordError(
+                f"an authorization with id {authorization.auth_id!r} already exists"
+            )
+        self._by_id[authorization.auth_id] = authorization
+        key = (authorization.subject, authorization.location)
+        self._by_pair.setdefault(key, []).append(authorization.auth_id)
+        self._by_subject.setdefault(authorization.subject, []).append(authorization.auth_id)
+        self._by_location.setdefault(authorization.location, []).append(authorization.auth_id)
+        self._entry_index.add(authorization.entry_duration, authorization.auth_id)
+        return authorization
+
+    def revoke(self, auth_id: str) -> LocationTemporalAuthorization:
+        try:
+            authorization = self._by_id.pop(auth_id)
+        except KeyError:
+            raise MissingRecordError(f"no authorization with id {auth_id!r}") from None
+        key = (authorization.subject, authorization.location)
+        self._by_pair[key].remove(auth_id)
+        self._by_subject[authorization.subject].remove(auth_id)
+        self._by_location[authorization.location].remove(auth_id)
+        self._entry_index.remove(lambda payload: payload == auth_id)
+        return authorization
+
+    def clear(self) -> None:
+        self._by_id.clear()
+        self._by_pair.clear()
+        self._by_subject.clear()
+        self._by_location.clear()
+        self._entry_index = IntervalIndex()
+
+    # -- reads ---------------------------------------------------------- #
+    def get(self, auth_id: str) -> LocationTemporalAuthorization:
+        try:
+            return self._by_id[auth_id]
+        except KeyError:
+            raise MissingRecordError(f"no authorization with id {auth_id!r}") from None
+
+    def all(self) -> List[LocationTemporalAuthorization]:
+        return list(self._by_id.values())
+
+    def for_subject_location(self, subject: str, location: str) -> List[LocationTemporalAuthorization]:
+        key = (subject_name(subject), location_name(location))
+        return [self._by_id[auth_id] for auth_id in self._by_pair.get(key, ())]
+
+    def for_subject(self, subject: str) -> List[LocationTemporalAuthorization]:
+        return [self._by_id[auth_id] for auth_id in self._by_subject.get(subject_name(subject), ())]
+
+    def for_location(self, location: str) -> List[LocationTemporalAuthorization]:
+        return [self._by_id[auth_id] for auth_id in self._by_location.get(location_name(location), ())]
+
+    def enterable_at(
+        self, time: int, subject: Optional[str] = None, location: Optional[str] = None
+    ) -> List[LocationTemporalAuthorization]:
+        # The interval index narrows candidates to authorizations whose entry
+        # duration contains the time; the subject/location filters then apply.
+        candidates = [self._by_id[auth_id] for auth_id in self._entry_index.at(time) if auth_id in self._by_id]
+        if subject is not None:
+            wanted_subject = subject_name(subject)
+            candidates = [auth for auth in candidates if auth.subject == wanted_subject]
+        if location is not None:
+            wanted_location = location_name(location)
+            candidates = [auth for auth in candidates if auth.location == wanted_location]
+        return candidates
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+
+class SqliteAuthorizationDatabase(AuthorizationDatabase):
+    """SQLite-backed authorization store (``:memory:`` by default).
+
+    Interval endpoints that are ``FOREVER`` and unlimited entry budgets are
+    stored as SQL ``NULL``.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS authorizations (
+            auth_id      TEXT PRIMARY KEY,
+            subject      TEXT NOT NULL,
+            location     TEXT NOT NULL,
+            entry_start  INTEGER NOT NULL,
+            entry_end    INTEGER,
+            exit_start   INTEGER NOT NULL,
+            exit_end     INTEGER,
+            max_entries  INTEGER,
+            created_at   INTEGER NOT NULL,
+            derived_from TEXT,
+            rule_id      TEXT
+        );
+        CREATE INDEX IF NOT EXISTS idx_auth_pair ON authorizations (subject, location);
+        CREATE INDEX IF NOT EXISTS idx_auth_subject ON authorizations (subject);
+        CREATE INDEX IF NOT EXISTS idx_auth_location ON authorizations (location);
+        CREATE INDEX IF NOT EXISTS idx_auth_entry ON authorizations (entry_start, entry_end);
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+
+    # -- helpers -------------------------------------------------------- #
+    @staticmethod
+    def _to_row(auth: LocationTemporalAuthorization) -> Tuple:
+        return (
+            auth.auth_id,
+            auth.subject,
+            auth.location,
+            auth.entry_duration.start,
+            None if auth.entry_duration.is_unbounded else int(auth.entry_duration.end),
+            auth.exit_duration.start,
+            None if auth.exit_duration.is_unbounded else int(auth.exit_duration.end),
+            None if auth.max_entries is UNLIMITED_ENTRIES else int(auth.max_entries),
+            auth.created_at,
+            auth.derived_from,
+            auth.rule_id,
+        )
+
+    @staticmethod
+    def _from_row(row: Tuple) -> LocationTemporalAuthorization:
+        (
+            auth_id,
+            subject,
+            location,
+            entry_start,
+            entry_end,
+            exit_start,
+            exit_end,
+            max_entries,
+            created_at,
+            derived_from,
+            rule_id,
+        ) = row
+        return LocationTemporalAuthorization(
+            (subject, location),
+            TimeInterval(entry_start, FOREVER if entry_end is None else entry_end),
+            TimeInterval(exit_start, FOREVER if exit_end is None else exit_end),
+            UNLIMITED_ENTRIES if max_entries is None else max_entries,
+            created_at=created_at,
+            auth_id=auth_id,
+            derived_from=derived_from,
+            rule_id=rule_id,
+        )
+
+    def _query(self, where: str = "", parameters: Tuple = ()) -> List[LocationTemporalAuthorization]:
+        sql = "SELECT * FROM authorizations" + (f" WHERE {where}" if where else "") + " ORDER BY rowid"
+        rows = self._connection.execute(sql, parameters).fetchall()
+        return [self._from_row(row) for row in rows]
+
+    # -- writes --------------------------------------------------------- #
+    def add(self, authorization: LocationTemporalAuthorization) -> LocationTemporalAuthorization:
+        try:
+            self._connection.execute(
+                "INSERT INTO authorizations VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                self._to_row(authorization),
+            )
+        except sqlite3.IntegrityError as exc:
+            raise DuplicateRecordError(
+                f"an authorization with id {authorization.auth_id!r} already exists"
+            ) from exc
+        self._connection.commit()
+        return authorization
+
+    def revoke(self, auth_id: str) -> LocationTemporalAuthorization:
+        authorization = self.get(auth_id)
+        self._connection.execute("DELETE FROM authorizations WHERE auth_id = ?", (auth_id,))
+        self._connection.commit()
+        return authorization
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM authorizations")
+        self._connection.commit()
+
+    # -- reads ---------------------------------------------------------- #
+    def get(self, auth_id: str) -> LocationTemporalAuthorization:
+        rows = self._query("auth_id = ?", (auth_id,))
+        if not rows:
+            raise MissingRecordError(f"no authorization with id {auth_id!r}")
+        return rows[0]
+
+    def all(self) -> List[LocationTemporalAuthorization]:
+        return self._query()
+
+    def for_subject_location(self, subject: str, location: str) -> List[LocationTemporalAuthorization]:
+        return self._query("subject = ? AND location = ?", (subject_name(subject), location_name(location)))
+
+    def for_subject(self, subject: str) -> List[LocationTemporalAuthorization]:
+        return self._query("subject = ?", (subject_name(subject),))
+
+    def for_location(self, location: str) -> List[LocationTemporalAuthorization]:
+        return self._query("location = ?", (location_name(location),))
+
+    def enterable_at(
+        self, time: int, subject: Optional[str] = None, location: Optional[str] = None
+    ) -> List[LocationTemporalAuthorization]:
+        where = "entry_start <= ? AND (entry_end IS NULL OR entry_end >= ?)"
+        parameters: List = [time, time]
+        if subject is not None:
+            where += " AND subject = ?"
+            parameters.append(subject_name(subject))
+        if location is not None:
+            where += " AND location = ?"
+            parameters.append(location_name(location))
+        return self._query(where, tuple(parameters))
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM authorizations").fetchone()
+        return int(count)

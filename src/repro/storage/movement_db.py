@@ -1,0 +1,304 @@
+"""The Location & Movements Database of Figure 3.
+
+*"The location & movements database stores the location layout, as well as
+users' movements.  These data are then used for authorization validation,
+system status checking, etc."*
+
+The database records ENTER/EXIT movement events, answers the occupancy
+queries the access-control engine needs (current location of a subject,
+occupants of a location, number of entries a subject has used within an
+entry duration), and keeps the full movement history for the query engine
+and the audit reports.  The location layout itself is held as a
+:class:`~repro.locations.multilevel.LocationHierarchy` reference.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.core.subjects import subject_name
+from repro.locations.location import LocationName, location_name
+from repro.locations.multilevel import LocationHierarchy
+from repro.temporal.interval import TimeInterval
+
+__all__ = [
+    "MovementKind",
+    "MovementRecord",
+    "MovementDatabase",
+    "InMemoryMovementDatabase",
+    "SqliteMovementDatabase",
+]
+
+
+class MovementKind(str, Enum):
+    """The two movement transitions the trackers report."""
+
+    ENTER = "enter"
+    EXIT = "exit"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class MovementRecord:
+    """One observed movement: *subject* entered or exited *location* at *time*."""
+
+    time: int
+    subject: str
+    location: LocationName
+    kind: MovementKind
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time, int) or isinstance(self.time, bool) or self.time < 0:
+            raise StorageError(f"movement time must be a non-negative integer, got {self.time!r}")
+        object.__setattr__(self, "subject", subject_name(self.subject))
+        object.__setattr__(self, "location", location_name(self.location))
+        object.__setattr__(self, "kind", MovementKind(self.kind))
+
+    def __str__(self) -> str:
+        return f"{self.kind.value.upper()}({self.time}, {self.subject}, {self.location})"
+
+
+class MovementDatabase(ABC):
+    """Interface shared by the movement-database backends."""
+
+    def __init__(self, hierarchy: Optional[LocationHierarchy] = None) -> None:
+        self._hierarchy = hierarchy
+
+    @property
+    def hierarchy(self) -> Optional[LocationHierarchy]:
+        """The location layout this database tracks (may be ``None``)."""
+        return self._hierarchy
+
+    # -- writes --------------------------------------------------------- #
+    @abstractmethod
+    def record(self, record: MovementRecord) -> MovementRecord:
+        """Append one movement record (records must arrive in time order per subject)."""
+
+    def record_entry(self, time: int, subject: str, location: str) -> MovementRecord:
+        """Convenience: record that *subject* entered *location* at *time*."""
+        return self.record(MovementRecord(time, subject, location, MovementKind.ENTER))
+
+    def record_exit(self, time: int, subject: str, location: str) -> MovementRecord:
+        """Convenience: record that *subject* exited *location* at *time*."""
+        return self.record(MovementRecord(time, subject, location, MovementKind.EXIT))
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every movement record."""
+
+    # -- reads ---------------------------------------------------------- #
+    @abstractmethod
+    def history(
+        self,
+        *,
+        subject: Optional[str] = None,
+        location: Optional[str] = None,
+        window: Optional[TimeInterval] = None,
+    ) -> List[MovementRecord]:
+        """Movement records, optionally filtered by subject, location and window."""
+
+    @abstractmethod
+    def current_location(self, subject: str) -> Optional[LocationName]:
+        """The location the subject is currently inside, or ``None``."""
+
+    @abstractmethod
+    def occupants(self, location: str) -> List[str]:
+        """Subjects currently inside *location*."""
+
+    def entry_count(
+        self, subject: str, location: str, window: Optional[TimeInterval] = None
+    ) -> int:
+        """Number of times *subject* entered *location* (within *window* if given).
+
+        This is the counter Definition 7 checks against an authorization's
+        entry budget.
+        """
+        records = self.history(subject=subject, location=location, window=window)
+        return sum(1 for record in records if record.kind is MovementKind.ENTER)
+
+    def last_entry(self, subject: str, location: str) -> Optional[MovementRecord]:
+        """The most recent ENTER record of *subject* into *location*, if any."""
+        entries = [
+            record
+            for record in self.history(subject=subject, location=location)
+            if record.kind is MovementKind.ENTER
+        ]
+        return entries[-1] if entries else None
+
+    def subjects_inside(self) -> Dict[str, LocationName]:
+        """Mapping from every currently-inside subject to their location."""
+        result: Dict[str, LocationName] = {}
+        for record in self.history():
+            if record.kind is MovementKind.ENTER:
+                result[record.subject] = record.location
+            else:
+                result.pop(record.subject, None)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.history())
+
+
+class InMemoryMovementDatabase(MovementDatabase):
+    """List-backed movement store with per-subject occupancy tracking."""
+
+    def __init__(self, hierarchy: Optional[LocationHierarchy] = None) -> None:
+        super().__init__(hierarchy)
+        self._records: List[MovementRecord] = []
+        self._inside: Dict[str, LocationName] = {}
+        self._entry_counts: Dict[Tuple[str, str], int] = {}
+
+    def record(self, record: MovementRecord) -> MovementRecord:
+        if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
+            raise StorageError(
+                f"movement references unknown primitive location {record.location!r}"
+            )
+        self._records.append(record)
+        if record.kind is MovementKind.ENTER:
+            self._inside[record.subject] = record.location
+            key = (record.subject, record.location)
+            self._entry_counts[key] = self._entry_counts.get(key, 0) + 1
+        else:
+            if self._inside.get(record.subject) == record.location:
+                del self._inside[record.subject]
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._inside.clear()
+        self._entry_counts.clear()
+
+    def history(
+        self,
+        *,
+        subject: Optional[str] = None,
+        location: Optional[str] = None,
+        window: Optional[TimeInterval] = None,
+    ) -> List[MovementRecord]:
+        wanted_subject = subject_name(subject) if subject is not None else None
+        wanted_location = location_name(location) if location is not None else None
+        results = []
+        for record in self._records:
+            if wanted_subject is not None and record.subject != wanted_subject:
+                continue
+            if wanted_location is not None and record.location != wanted_location:
+                continue
+            if window is not None and not window.contains(record.time):
+                continue
+            results.append(record)
+        return results
+
+    def current_location(self, subject: str) -> Optional[LocationName]:
+        return self._inside.get(subject_name(subject))
+
+    def occupants(self, location: str) -> List[str]:
+        wanted = location_name(location)
+        return sorted(subject for subject, loc in self._inside.items() if loc == wanted)
+
+    def entry_count(
+        self, subject: str, location: str, window: Optional[TimeInterval] = None
+    ) -> int:
+        if window is None:
+            return self._entry_counts.get((subject_name(subject), location_name(location)), 0)
+        return super().entry_count(subject, location, window)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class SqliteMovementDatabase(MovementDatabase):
+    """SQLite-backed movement store (``:memory:`` by default)."""
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS movements (
+            seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+            time     INTEGER NOT NULL,
+            subject  TEXT NOT NULL,
+            location TEXT NOT NULL,
+            kind     TEXT NOT NULL CHECK (kind IN ('enter', 'exit'))
+        );
+        CREATE INDEX IF NOT EXISTS idx_mov_subject ON movements (subject, time);
+        CREATE INDEX IF NOT EXISTS idx_mov_location ON movements (location, time);
+    """
+
+    def __init__(self, path: str = ":memory:", hierarchy: Optional[LocationHierarchy] = None) -> None:
+        super().__init__(hierarchy)
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+
+    def record(self, record: MovementRecord) -> MovementRecord:
+        if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
+            raise StorageError(
+                f"movement references unknown primitive location {record.location!r}"
+            )
+        self._connection.execute(
+            "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
+            (record.time, record.subject, record.location, record.kind.value),
+        )
+        self._connection.commit()
+        return record
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM movements")
+        self._connection.commit()
+
+    def history(
+        self,
+        *,
+        subject: Optional[str] = None,
+        location: Optional[str] = None,
+        window: Optional[TimeInterval] = None,
+    ) -> List[MovementRecord]:
+        sql = "SELECT time, subject, location, kind FROM movements"
+        clauses: List[str] = []
+        parameters: List = []
+        if subject is not None:
+            clauses.append("subject = ?")
+            parameters.append(subject_name(subject))
+        if location is not None:
+            clauses.append("location = ?")
+            parameters.append(location_name(location))
+        if window is not None:
+            clauses.append("time >= ?")
+            parameters.append(window.start)
+            if not window.is_unbounded:
+                clauses.append("time <= ?")
+                parameters.append(int(window.end))
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY seq"
+        rows = self._connection.execute(sql, tuple(parameters)).fetchall()
+        return [MovementRecord(time, subj, loc, MovementKind(kind)) for time, subj, loc, kind in rows]
+
+    def current_location(self, subject: str) -> Optional[LocationName]:
+        row = self._connection.execute(
+            "SELECT location, kind FROM movements WHERE subject = ? ORDER BY seq DESC LIMIT 1",
+            (subject_name(subject),),
+        ).fetchone()
+        if row is None:
+            return None
+        loc, kind = row
+        return loc if kind == MovementKind.ENTER.value else None
+
+    def occupants(self, location: str) -> List[str]:
+        return sorted(
+            subject
+            for subject, loc in self.subjects_inside().items()
+            if loc == location_name(location)
+        )
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM movements").fetchone()
+        return int(count)

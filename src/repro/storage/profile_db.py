@@ -1,0 +1,194 @@
+"""The User Profile Database of Figure 3.
+
+*"The user profile database stores user profiles, which are used for creating
+authorizations, or deriving authorizations, etc."*  Subject operators such as
+``Supervisor_Of`` resolve against it.
+
+The in-memory backend is a thin persistence facade over
+:class:`~repro.core.subjects.SubjectDirectory`; the SQLite backend persists
+subjects, the supervision relation and group membership and rebuilds a
+directory on demand so that the derivation engine always works against the
+same in-memory interface.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import MissingRecordError, StorageError
+from repro.core.subjects import Subject, SubjectDirectory, subject_name
+
+__all__ = ["UserProfileDatabase", "InMemoryUserProfileDatabase", "SqliteUserProfileDatabase"]
+
+
+class UserProfileDatabase(ABC):
+    """Interface shared by the profile-database backends."""
+
+    # -- writes --------------------------------------------------------- #
+    @abstractmethod
+    def add_subject(self, subject: "Subject | str", **kwargs) -> Subject:
+        """Register a subject."""
+
+    @abstractmethod
+    def set_supervisor(self, subordinate: str, supervisor: str) -> None:
+        """Record the supervision relationship."""
+
+    @abstractmethod
+    def add_to_group(self, group: str, *members: str) -> None:
+        """Add subjects to a group."""
+
+    # -- reads ---------------------------------------------------------- #
+    @abstractmethod
+    def directory(self) -> SubjectDirectory:
+        """Return the directory view used by the rule operators."""
+
+    def get(self, name: str) -> Subject:
+        """Return the subject called *name*."""
+        return self.directory().get(name)
+
+    def supervisor_of(self, subject: str) -> Optional[Subject]:
+        """The direct supervisor of *subject*, or ``None``."""
+        return self.directory().supervisor_of(subject)
+
+    def members_of(self, group: str) -> List[Subject]:
+        """Members of *group*."""
+        return self.directory().members_of(group)
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            return subject_name(name) in self.directory()  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        return len(self.directory())
+
+
+class InMemoryUserProfileDatabase(UserProfileDatabase):
+    """Profile database backed directly by a :class:`SubjectDirectory`."""
+
+    def __init__(self, directory: Optional[SubjectDirectory] = None) -> None:
+        self._directory = directory if directory is not None else SubjectDirectory()
+
+    def add_subject(self, subject: "Subject | str", **kwargs) -> Subject:
+        return self._directory.add_subject(subject, **kwargs)
+
+    def set_supervisor(self, subordinate: str, supervisor: str) -> None:
+        self._directory.set_supervisor(subordinate, supervisor)
+
+    def add_to_group(self, group: str, *members: str) -> None:
+        self._directory.add_to_group(group, *members)
+
+    def directory(self) -> SubjectDirectory:
+        return self._directory
+
+
+class SqliteUserProfileDatabase(UserProfileDatabase):
+    """SQLite-backed profile store (``:memory:`` by default).
+
+    Profile attributes and roles are stored as JSON columns; the directory
+    view is rebuilt lazily and cached until the next write.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS subjects (
+            name         TEXT PRIMARY KEY,
+            display_name TEXT NOT NULL DEFAULT '',
+            roles        TEXT NOT NULL DEFAULT '[]',
+            attributes   TEXT NOT NULL DEFAULT '{}'
+        );
+        CREATE TABLE IF NOT EXISTS supervisors (
+            subordinate TEXT PRIMARY KEY REFERENCES subjects(name),
+            supervisor  TEXT NOT NULL REFERENCES subjects(name)
+        );
+        CREATE TABLE IF NOT EXISTS group_members (
+            group_name TEXT NOT NULL,
+            member     TEXT NOT NULL REFERENCES subjects(name),
+            PRIMARY KEY (group_name, member)
+        );
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+        self._cached_directory: Optional[SubjectDirectory] = None
+
+    def _invalidate(self) -> None:
+        self._cached_directory = None
+
+    def add_subject(self, subject: "Subject | str", **kwargs) -> Subject:
+        resolved = subject if isinstance(subject, Subject) else Subject(subject_name(subject), **kwargs)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO subjects (name, display_name, roles, attributes) VALUES (?, ?, ?, ?)",
+            (
+                resolved.name,
+                resolved.display_name,
+                json.dumps(sorted(resolved.roles)),
+                json.dumps(dict(resolved.attributes)),
+            ),
+        )
+        self._connection.commit()
+        self._invalidate()
+        return resolved
+
+    def set_supervisor(self, subordinate: str, supervisor: str) -> None:
+        for name in (subordinate, supervisor):
+            if not self._exists(subject_name(name)):
+                self.add_subject(name)
+        # Validate against the in-memory rules (self-supervision, cycles)
+        # before persisting.
+        probe = self.directory()
+        probe.set_supervisor(subordinate, supervisor)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO supervisors (subordinate, supervisor) VALUES (?, ?)",
+            (subject_name(subordinate), subject_name(supervisor)),
+        )
+        self._connection.commit()
+        self._invalidate()
+
+    def add_to_group(self, group: str, *members: str) -> None:
+        if not group or group.strip() != group:
+            raise StorageError(f"group name must be a non-empty trimmed string, got {group!r}")
+        for member in members:
+            name = subject_name(member)
+            if not self._exists(name):
+                self.add_subject(name)
+            self._connection.execute(
+                "INSERT OR IGNORE INTO group_members (group_name, member) VALUES (?, ?)",
+                (group, name),
+            )
+        self._connection.commit()
+        self._invalidate()
+
+    def _exists(self, name: str) -> bool:
+        row = self._connection.execute("SELECT 1 FROM subjects WHERE name = ?", (name,)).fetchone()
+        return row is not None
+
+    def directory(self) -> SubjectDirectory:
+        if self._cached_directory is not None:
+            return self._cached_directory
+        directory = SubjectDirectory()
+        for name, display_name, roles, attributes in self._connection.execute(
+            "SELECT name, display_name, roles, attributes FROM subjects ORDER BY name"
+        ):
+            directory.add_subject(
+                Subject(name, display_name, frozenset(json.loads(roles)), tuple(sorted(json.loads(attributes).items())))
+            )
+        for subordinate, supervisor in self._connection.execute(
+            "SELECT subordinate, supervisor FROM supervisors ORDER BY subordinate"
+        ):
+            directory.set_supervisor(subordinate, supervisor)
+        for group_name, member in self._connection.execute(
+            "SELECT group_name, member FROM group_members ORDER BY group_name, member"
+        ):
+            directory.add_to_group(group_name, member)
+        self._cached_directory = directory
+        return directory
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()

@@ -1,0 +1,37 @@
+"""Temporal substrate: chronons, time intervals, interval sets, calendars.
+
+This package implements the time model of Section 3.1 of the paper (chronons,
+time units, time intervals) plus the normalized interval-set algebra used by
+Algorithm 1 and a small periodic-expression vocabulary for realistic
+authorization workloads.
+"""
+
+from repro.temporal.calendar import (
+    CalendarScale,
+    DailyWindow,
+    PeriodicExpression,
+    WeeklyWindow,
+    business_hours,
+    expand_all,
+)
+from repro.temporal.chronon import CHRONON, FOREVER, Clock, TimePoint, TimeUnit, is_time_point, validate_time_point
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "CHRONON",
+    "FOREVER",
+    "Clock",
+    "TimePoint",
+    "TimeUnit",
+    "is_time_point",
+    "validate_time_point",
+    "TimeInterval",
+    "IntervalSet",
+    "PeriodicExpression",
+    "DailyWindow",
+    "WeeklyWindow",
+    "CalendarScale",
+    "business_hours",
+    "expand_all",
+]

@@ -1,0 +1,178 @@
+"""Periodic temporal expressions.
+
+The paper adopts TAM's chronon-based time model and leaves richer temporal
+expressions to future work.  Real deployments of a building-security system
+express authorizations such as *"weekdays, 09:00–17:00"*; this module provides
+that vocabulary while staying within the discrete-chronon substrate: a
+:class:`PeriodicExpression` expands to an :class:`~repro.temporal.interval_set.IntervalSet`
+over a bounded horizon, which the rest of the library consumes unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TemporalError
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "PeriodicExpression",
+    "DailyWindow",
+    "WeeklyWindow",
+    "CalendarScale",
+]
+
+
+@dataclass(frozen=True)
+class CalendarScale:
+    """Mapping between calendar units and chronons.
+
+    The default scale uses one chronon per minute, which keeps the worked
+    examples readable (a day is 1440 chronons).
+    """
+
+    chronons_per_minute: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chronons_per_minute <= 0:
+            raise TemporalError("chronons_per_minute must be positive")
+
+    @property
+    def minute(self) -> int:
+        return self.chronons_per_minute
+
+    @property
+    def hour(self) -> int:
+        return 60 * self.minute
+
+    @property
+    def day(self) -> int:
+        return 24 * self.hour
+
+    @property
+    def week(self) -> int:
+        return 7 * self.day
+
+
+class PeriodicExpression:
+    """Base class for periodic temporal expressions.
+
+    Subclasses implement :meth:`occurrences`, which yields the bounded
+    intervals of the expression inside ``[horizon_start, horizon_end]``.
+    """
+
+    def occurrences(self, horizon_start: int, horizon_end: int) -> Iterable[TimeInterval]:
+        raise NotImplementedError
+
+    def expand(self, horizon_start: int, horizon_end: int) -> IntervalSet:
+        """Expand the expression to an interval set over the given horizon."""
+        if horizon_end < horizon_start:
+            raise TemporalError(
+                f"horizon end ({horizon_end}) precedes horizon start ({horizon_start})"
+            )
+        return IntervalSet(self.occurrences(horizon_start, horizon_end))
+
+
+@dataclass(frozen=True)
+class DailyWindow(PeriodicExpression):
+    """A window that repeats every day, e.g. *every day 09:00–17:00*.
+
+    Parameters
+    ----------
+    start_minute, end_minute:
+        Minutes after midnight delimiting the window (inclusive start,
+        inclusive end).  ``end_minute`` must not precede ``start_minute``.
+    scale:
+        Calendar scale translating minutes/days to chronons.
+    """
+
+    start_minute: int
+    end_minute: int
+    scale: CalendarScale = CalendarScale()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_minute <= self.end_minute:
+            raise TemporalError(
+                "daily window requires 0 <= start_minute <= end_minute, got "
+                f"[{self.start_minute}, {self.end_minute}]"
+            )
+        if self.end_minute >= 24 * 60:
+            raise TemporalError("daily window must end before minute 1440")
+
+    def occurrences(self, horizon_start: int, horizon_end: int) -> Iterable[TimeInterval]:
+        day = self.scale.day
+        first_day = horizon_start // day
+        last_day = horizon_end // day
+        for day_index in range(first_day, last_day + 1):
+            start = day_index * day + self.start_minute * self.scale.minute
+            end = day_index * day + (self.end_minute + 1) * self.scale.minute - 1
+            clipped = TimeInterval(max(start, 0), end).clamp(horizon_start, horizon_end)
+            if clipped is not None:
+                yield clipped
+
+
+@dataclass(frozen=True)
+class WeeklyWindow(PeriodicExpression):
+    """A daily window restricted to selected days of the week.
+
+    Day ``0`` is the first day of the simulation calendar (there is no
+    assumption about which weekday chronon 0 falls on).
+    """
+
+    days_of_week: Tuple[int, ...]
+    start_minute: int
+    end_minute: int
+    scale: CalendarScale = CalendarScale()
+
+    def __post_init__(self) -> None:
+        if not self.days_of_week:
+            raise TemporalError("weekly window requires at least one day of week")
+        if any(d < 0 or d > 6 for d in self.days_of_week):
+            raise TemporalError("days of week must be in the range 0..6")
+        if not 0 <= self.start_minute <= self.end_minute or self.end_minute >= 24 * 60:
+            raise TemporalError(
+                "weekly window requires 0 <= start_minute <= end_minute < 1440"
+            )
+
+    def occurrences(self, horizon_start: int, horizon_end: int) -> Iterable[TimeInterval]:
+        day = self.scale.day
+        wanted = set(self.days_of_week)
+        first_day = horizon_start // day
+        last_day = horizon_end // day
+        for day_index in range(first_day, last_day + 1):
+            if day_index % 7 not in wanted:
+                continue
+            start = day_index * day + self.start_minute * self.scale.minute
+            end = day_index * day + (self.end_minute + 1) * self.scale.minute - 1
+            clipped = TimeInterval(max(start, 0), end).clamp(horizon_start, horizon_end)
+            if clipped is not None:
+                yield clipped
+
+
+def business_hours(
+    days: Optional[Sequence[int]] = None,
+    start_minute: int = 9 * 60,
+    end_minute: int = 17 * 60 - 1,
+    scale: CalendarScale = CalendarScale(),
+) -> PeriodicExpression:
+    """Convenience constructor for the common "business hours" expression.
+
+    Defaults to days 0–4 (a five-day working week) between 09:00 and 16:59.
+    """
+    selected: Tuple[int, ...] = tuple(days) if days is not None else (0, 1, 2, 3, 4)
+    return WeeklyWindow(selected, start_minute, end_minute, scale)
+
+
+def expand_all(
+    expressions: Iterable[PeriodicExpression], horizon_start: int, horizon_end: int
+) -> IntervalSet:
+    """Expand several periodic expressions and union the results."""
+    result = IntervalSet.empty()
+    for expression in expressions:
+        result = result.union(expression.expand(horizon_start, horizon_end))
+    return result
+
+
+__all__ += ["business_hours", "expand_all"]

@@ -1,0 +1,225 @@
+"""Chronons, time points and the simulation clock.
+
+Section 3.1 of the paper adopts the temporal model of Bertino et al.'s TAM:
+*"A time unit is a chronon or a fixed number of chronons, where a chronon
+refers to the smallest indivisible unit of time."*
+
+The reproduction models time points as non-negative integers counted in
+chronons.  Open-ended intervals (the paper writes ``[t, ∞]``) use the
+:data:`FOREVER` sentinel, which compares greater than every finite time
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import TemporalError
+
+__all__ = [
+    "FOREVER",
+    "TimePoint",
+    "is_time_point",
+    "validate_time_point",
+    "Clock",
+    "TimeUnit",
+]
+
+
+class _Forever:
+    """Sentinel representing positive temporal infinity.
+
+    The sentinel is a singleton: every instantiation returns the same object,
+    so identity comparison (``end is FOREVER``) is reliable even across
+    pickling.
+    """
+
+    _instance: "_Forever | None" = None
+
+    def __new__(cls) -> "_Forever":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_Forever, ())
+
+    # Ordering: FOREVER is strictly greater than every int and equal to itself.
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (int, _Forever)):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, _Forever):
+            return True
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, _Forever):
+            return False
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, (int, _Forever)):
+            return True
+        return NotImplemented
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Forever)
+
+    def __hash__(self) -> int:
+        return hash("repro.temporal.FOREVER")
+
+    def __add__(self, other: object) -> "_Forever":
+        if isinstance(other, (int, _Forever)):
+            return self
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "_Forever":
+        if isinstance(other, int):
+            return self
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "FOREVER"
+
+    def __str__(self) -> str:
+        return "∞"
+
+
+FOREVER = _Forever()
+"""Singleton sentinel for the paper's ``∞`` endpoint."""
+
+#: A time point is either a non-negative integer number of chronons or
+#: :data:`FOREVER`.
+TimePoint = Union[int, _Forever]
+
+
+def is_time_point(value: object) -> bool:
+    """Return ``True`` if *value* is a valid time point.
+
+    A valid time point is a non-negative ``int`` (``bool`` is rejected even
+    though it subclasses ``int``) or the :data:`FOREVER` sentinel.
+    """
+    if value is FOREVER:
+        return True
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_time_point(value: object, *, name: str = "time point") -> TimePoint:
+    """Validate *value* as a time point, raising :class:`TemporalError` otherwise."""
+    if not is_time_point(value):
+        raise TemporalError(
+            f"{name} must be a non-negative integer number of chronons or "
+            f"FOREVER, got {value!r}"
+        )
+    return value  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class TimeUnit:
+    """A time unit: a fixed number of chronons (Section 3.1).
+
+    The paper allows the granularity of authorizations to be coarser than a
+    single chronon.  A :class:`TimeUnit` converts between unit counts and
+    chronons.
+
+    Parameters
+    ----------
+    chronons:
+        Number of chronons per unit; must be a positive integer.
+    name:
+        Optional human-readable name (e.g. ``"minute"``).
+    """
+
+    chronons: int
+    name: str = "unit"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.chronons, int) or isinstance(self.chronons, bool) or self.chronons <= 0:
+            raise TemporalError(
+                f"a time unit must span a positive integer number of chronons, got {self.chronons!r}"
+            )
+
+    def to_chronons(self, units: int) -> int:
+        """Convert *units* of this granularity to chronons."""
+        if not isinstance(units, int) or isinstance(units, bool) or units < 0:
+            raise TemporalError(f"unit count must be a non-negative integer, got {units!r}")
+        return units * self.chronons
+
+    def from_chronons(self, chronons: int) -> int:
+        """Convert *chronons* to whole units, truncating any remainder."""
+        if not is_time_point(chronons) or chronons is FOREVER:
+            raise TemporalError(f"chronon count must be a finite time point, got {chronons!r}")
+        return int(chronons) // self.chronons
+
+
+CHRONON = TimeUnit(1, "chronon")
+"""The smallest indivisible unit of time."""
+
+
+@dataclass
+class Clock:
+    """A discrete simulation clock counted in chronons.
+
+    The enforcement engine and the movement monitor are driven by an
+    explicit clock rather than wall-clock time so that the worked examples of
+    the paper (Section 5) and the benchmarks are deterministic.
+
+    Parameters
+    ----------
+    now:
+        The current time, initially ``0``.
+    """
+
+    now: int = 0
+    _observers: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        validate_time_point(self.now, name="clock start time")
+        if self.now is FOREVER:
+            raise TemporalError("the clock cannot start at FOREVER")
+
+    def advance(self, delta: int = 1) -> int:
+        """Advance the clock by *delta* chronons and return the new time."""
+        if not isinstance(delta, int) or isinstance(delta, bool) or delta < 0:
+            raise TemporalError(f"clock can only advance by a non-negative integer, got {delta!r}")
+        self.now += delta
+        self._notify()
+        return self.now
+
+    def advance_to(self, time: int) -> int:
+        """Advance the clock to the absolute *time*, which must not be in the past."""
+        validate_time_point(time, name="target time")
+        if time is FOREVER:
+            raise TemporalError("cannot advance the clock to FOREVER")
+        if time < self.now:
+            raise TemporalError(
+                f"cannot move the clock backwards (now={self.now}, requested={time})"
+            )
+        self.now = int(time)
+        self._notify()
+        return self.now
+
+    def subscribe(self, callback) -> None:
+        """Register *callback(now)* to be invoked after every advance."""
+        self._observers.append(callback)
+
+    def _notify(self) -> None:
+        for callback in list(self._observers):
+            callback(self.now)
+
+    def ticks(self, until: int, step: int = 1) -> Iterator[int]:
+        """Advance the clock in *step*-sized increments up to *until*, yielding each time."""
+        if step <= 0:
+            raise TemporalError(f"step must be positive, got {step!r}")
+        while self.now < until:
+            yield self.advance(min(step, until - self.now))

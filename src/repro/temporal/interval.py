@@ -1,0 +1,236 @@
+"""Closed time intervals over discrete chronons.
+
+A *time interval* in the paper (Section 3.1) is a set of consecutive time
+units written ``[t_s, t_e]``.  Both endpoints are inclusive; the end point may
+be :data:`~repro.temporal.chronon.FOREVER` to model the paper's ``∞``.
+
+The binary UNION and INTERSECTION temporal operators of Section 4 are
+implemented here as :meth:`TimeInterval.union` and
+:meth:`TimeInterval.intersect`, with exactly the semantics of the paper:
+
+* ``UNION([t0, t1], [t2, t3])`` returns ``[t0, t3]`` when ``t2 <= t1`` and the
+  pair ``[t0, t1], [t2, t3]`` otherwise;
+* ``INTERSECTION([t0, t1], [t2, t3])`` returns ``[t2, t1]`` when ``t2 <= t1``
+  and ``NULL`` (``None`` here) otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidIntervalError, TemporalError
+from repro.temporal.chronon import FOREVER, TimePoint, is_time_point
+
+__all__ = ["TimeInterval"]
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A closed interval ``[start, end]`` of chronons.
+
+    Parameters
+    ----------
+    start:
+        First chronon contained in the interval (inclusive, finite).
+    end:
+        Last chronon contained in the interval (inclusive); may be
+        :data:`FOREVER`.
+
+    Raises
+    ------
+    InvalidIntervalError
+        If the endpoints are not valid time points or ``start > end``.
+    """
+
+    start: int
+    end: TimePoint
+
+    def __post_init__(self) -> None:
+        if not is_time_point(self.start) or self.start is FOREVER:
+            raise InvalidIntervalError(
+                f"interval start must be a finite non-negative integer, got {self.start!r}"
+            )
+        if not is_time_point(self.end):
+            raise InvalidIntervalError(
+                f"interval end must be a non-negative integer or FOREVER, got {self.end!r}"
+            )
+        if self.end is not FOREVER and self.end < self.start:
+            raise InvalidIntervalError(
+                f"interval end ({self.end}) precedes its start ({self.start})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuple(cls, pair: Tuple[TimePoint, TimePoint]) -> "TimeInterval":
+        """Build an interval from a ``(start, end)`` pair."""
+        start, end = pair
+        return cls(start, end)
+
+    @classmethod
+    def instant(cls, time: int) -> "TimeInterval":
+        """Build a degenerate interval containing the single chronon *time*."""
+        return cls(time, time)
+
+    @classmethod
+    def from_onwards(cls, start: int) -> "TimeInterval":
+        """Build the open-ended interval ``[start, ∞]``."""
+        return cls(start, FOREVER)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_unbounded(self) -> bool:
+        """``True`` if the interval extends to :data:`FOREVER`."""
+        return self.end is FOREVER
+
+    @property
+    def size(self) -> TimePoint:
+        """Number of time units in the interval (Section 3.1), ``FOREVER`` if unbounded."""
+        if self.is_unbounded:
+            return FOREVER
+        return int(self.end) - self.start + 1
+
+    def contains(self, time: int) -> bool:
+        """Return ``True`` if the chronon *time* lies inside the interval."""
+        if not is_time_point(time):
+            raise TemporalError(f"not a valid time point: {time!r}")
+        if time is FOREVER:
+            return self.is_unbounded
+        if self.is_unbounded:
+            return time >= self.start
+        return self.start <= time <= self.end
+
+    __contains__ = contains
+
+    def contains_interval(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if *other* is entirely inside this interval."""
+        if other.start < self.start:
+            return False
+        if self.is_unbounded:
+            return True
+        if other.is_unbounded:
+            return False
+        return other.end <= self.end
+
+    # ------------------------------------------------------------------ #
+    # Relations
+    # ------------------------------------------------------------------ #
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if the two intervals share at least one chronon."""
+        lo = max(self.start, other.start)
+        hi = self.end if other.is_unbounded else (other.end if self.is_unbounded else min(self.end, other.end))
+        if hi is FOREVER:
+            return True
+        return lo <= hi
+
+    def is_adjacent_to(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if the intervals touch without overlapping.
+
+        In discrete time ``[1, 5]`` and ``[6, 9]`` are adjacent: their union
+        is the contiguous interval ``[1, 9]``.
+        """
+        if self.overlaps(other):
+            return False
+        first, second = (self, other) if self.start <= other.start else (other, self)
+        if first.is_unbounded:
+            return False
+        return int(first.end) + 1 == second.start
+
+    def meets_or_overlaps(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if the intervals overlap or are adjacent."""
+        return self.overlaps(other) or self.is_adjacent_to(other)
+
+    def precedes(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if this interval ends strictly before *other* starts."""
+        if self.is_unbounded:
+            return False
+        return int(self.end) < other.start
+
+    # ------------------------------------------------------------------ #
+    # Operators (paper Section 4 semantics)
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Intersection of two intervals; ``None`` when they are disjoint.
+
+        This implements the paper's INTERSECTION operator generalized to
+        arbitrary argument order (the paper assumes ``t0 <= t2``).
+        """
+        start = max(self.start, other.start)
+        if self.is_unbounded and other.is_unbounded:
+            end: TimePoint = FOREVER
+        elif self.is_unbounded:
+            end = other.end
+        elif other.is_unbounded:
+            end = self.end
+        else:
+            end = min(self.end, other.end)
+        if end is not FOREVER and end < start:
+            return None
+        return TimeInterval(start, end)
+
+    def union(self, other: "TimeInterval") -> List["TimeInterval"]:
+        """Union of two intervals, as a list of one or two disjoint intervals.
+
+        Follows the paper's UNION operator: a single merged interval when the
+        inputs overlap (or are adjacent in discrete time), otherwise the two
+        inputs sorted by start.
+        """
+        if self.meets_or_overlaps(other):
+            start = min(self.start, other.start)
+            if self.is_unbounded or other.is_unbounded:
+                end: TimePoint = FOREVER
+            else:
+                end = max(int(self.end), int(other.end))
+            return [TimeInterval(start, end)]
+        return sorted([self, other])
+
+    def difference(self, other: "TimeInterval") -> List["TimeInterval"]:
+        """Chronons of this interval that are not in *other* (0, 1 or 2 intervals)."""
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [self]
+        pieces: List[TimeInterval] = []
+        if overlap.start > self.start:
+            pieces.append(TimeInterval(self.start, overlap.start - 1))
+        if not overlap.is_unbounded:
+            tail_start = int(overlap.end) + 1
+            if self.is_unbounded:
+                pieces.append(TimeInterval(tail_start, FOREVER))
+            elif tail_start <= int(self.end):
+                pieces.append(TimeInterval(tail_start, self.end))
+        return pieces
+
+    def shift(self, delta: int) -> "TimeInterval":
+        """Translate the interval by *delta* chronons (may be negative)."""
+        new_start = self.start + delta
+        if new_start < 0:
+            raise InvalidIntervalError(
+                f"shifting {self} by {delta} would move its start before time 0"
+            )
+        new_end = self.end if self.is_unbounded else int(self.end) + delta
+        return TimeInterval(new_start, new_end)
+
+    def clamp(self, lo: int, hi: TimePoint) -> Optional["TimeInterval"]:
+        """Restrict the interval to ``[lo, hi]``; ``None`` if nothing remains."""
+        return self.intersect(TimeInterval(lo, hi))
+
+    # ------------------------------------------------------------------ #
+    # Iteration / formatting
+    # ------------------------------------------------------------------ #
+    def iter_chronons(self) -> Iterator[int]:
+        """Iterate over the chronons of a bounded interval."""
+        if self.is_unbounded:
+            raise TemporalError("cannot enumerate the chronons of an unbounded interval")
+        return iter(range(self.start, int(self.end) + 1))
+
+    def to_tuple(self) -> Tuple[TimePoint, TimePoint]:
+        """Return the interval as a plain ``(start, end)`` tuple."""
+        return (self.start, self.end)
+
+    def __str__(self) -> str:
+        end = "∞" if self.is_unbounded else str(self.end)
+        return f"[{self.start}, {end}]"

@@ -1,0 +1,239 @@
+"""Normalized sets of disjoint time intervals.
+
+Algorithm 1 of the paper associates with every location an *overall grant
+time* and an *overall departure time*, each of which "consists of a set of
+time intervals".  :class:`IntervalSet` is that data structure: an immutable,
+normalized (sorted, disjoint, maximally coalesced) collection of
+:class:`~repro.temporal.interval.TimeInterval` values supporting the set
+algebra the fixpoint algorithm needs (union, intersection, difference,
+membership, emptiness and equality tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TemporalError
+from repro.temporal.chronon import FOREVER, TimePoint
+from repro.temporal.interval import TimeInterval
+
+__all__ = ["IntervalSet"]
+
+IntervalLike = Union[TimeInterval, Tuple[TimePoint, TimePoint]]
+
+
+def _coerce(interval: IntervalLike) -> TimeInterval:
+    if isinstance(interval, TimeInterval):
+        return interval
+    if isinstance(interval, tuple) and len(interval) == 2:
+        return TimeInterval(interval[0], interval[1])
+    raise TemporalError(f"cannot interpret {interval!r} as a time interval")
+
+
+class IntervalSet:
+    """An immutable union of disjoint, coalesced time intervals.
+
+    The constructor accepts intervals in any order, overlapping or adjacent;
+    they are normalized on construction so that two interval sets denoting the
+    same set of chronons always compare equal.
+
+    Examples
+    --------
+    >>> IntervalSet([(1, 5), (6, 9)]) == IntervalSet([(1, 9)])
+    True
+    >>> IntervalSet([(2, 35)]).union(IntervalSet([(20, 35)]))
+    IntervalSet([2, 35])
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[IntervalLike] = ()) -> None:
+        self._intervals: Tuple[TimeInterval, ...] = self._normalize(
+            _coerce(i) for i in intervals
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(intervals: Iterable[TimeInterval]) -> Tuple[TimeInterval, ...]:
+        items = sorted(intervals, key=lambda i: (i.start, 0 if i.is_unbounded else 1))
+        merged: List[TimeInterval] = []
+        for interval in items:
+            if not merged:
+                merged.append(interval)
+                continue
+            last = merged[-1]
+            if last.meets_or_overlaps(interval):
+                merged[-1] = last.union(interval)[0]
+            else:
+                merged.append(interval)
+        return tuple(merged)
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty interval set (the paper's ``null`` / ``φ``)."""
+        return cls(())
+
+    @classmethod
+    def everything(cls, start: int = 0) -> "IntervalSet":
+        """The interval set ``[start, ∞]`` covering all time from *start* on."""
+        return cls([TimeInterval(start, FOREVER)])
+
+    @classmethod
+    def single(cls, start: TimePoint, end: TimePoint) -> "IntervalSet":
+        """Interval set containing the single interval ``[start, end]``."""
+        return cls([TimeInterval(start, end)])
+
+    @classmethod
+    def from_interval(cls, interval: Optional[TimeInterval]) -> "IntervalSet":
+        """Interval set containing *interval*, or the empty set for ``None``."""
+        if interval is None:
+            return cls.empty()
+        return cls([interval])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def intervals(self) -> Tuple[TimeInterval, ...]:
+        """The normalized, sorted, disjoint intervals."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` if the set contains no chronon."""
+        return not self._intervals
+
+    @property
+    def is_unbounded(self) -> bool:
+        """``True`` if the set extends to :data:`FOREVER`."""
+        return bool(self._intervals) and self._intervals[-1].is_unbounded
+
+    @property
+    def earliest(self) -> Optional[int]:
+        """The earliest chronon in the set, or ``None`` if empty."""
+        return self._intervals[0].start if self._intervals else None
+
+    @property
+    def latest(self) -> Optional[TimePoint]:
+        """The latest chronon in the set (possibly ``FOREVER``), or ``None`` if empty."""
+        return self._intervals[-1].end if self._intervals else None
+
+    @property
+    def total_size(self) -> TimePoint:
+        """Total number of chronons covered, ``FOREVER`` if unbounded."""
+        if self.is_unbounded:
+            return FOREVER
+        return sum(int(i.size) for i in self._intervals)
+
+    def contains(self, time: int) -> bool:
+        """Return ``True`` if the chronon *time* belongs to the set."""
+        return any(interval.contains(time) for interval in self._intervals)
+
+    __contains__ = contains
+
+    def covers(self, other: "IntervalSet") -> bool:
+        """Return ``True`` if every chronon of *other* is in this set."""
+        return other.difference(self).is_empty
+
+    def first_contained_time(self, not_before: int = 0) -> Optional[int]:
+        """Earliest chronon >= *not_before* contained in the set, or ``None``."""
+        for interval in self._intervals:
+            if interval.is_unbounded or int(interval.end) >= not_before:
+                return max(interval.start, not_before)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Set algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: Union["IntervalSet", IntervalLike]) -> "IntervalSet":
+        """Union with another interval set or a single interval."""
+        other_set = other if isinstance(other, IntervalSet) else IntervalSet([other])
+        return IntervalSet(self._intervals + other_set._intervals)
+
+    def intersection(self, other: Union["IntervalSet", IntervalLike]) -> "IntervalSet":
+        """Intersection with another interval set or a single interval."""
+        other_set = other if isinstance(other, IntervalSet) else IntervalSet([other])
+        pieces: List[TimeInterval] = []
+        for a in self._intervals:
+            for b in other_set._intervals:
+                overlap = a.intersect(b)
+                if overlap is not None:
+                    pieces.append(overlap)
+        return IntervalSet(pieces)
+
+    def difference(self, other: Union["IntervalSet", IntervalLike]) -> "IntervalSet":
+        """Chronons of this set that are not in *other*."""
+        other_set = other if isinstance(other, IntervalSet) else IntervalSet([other])
+        remaining: List[TimeInterval] = list(self._intervals)
+        for b in other_set._intervals:
+            next_remaining: List[TimeInterval] = []
+            for a in remaining:
+                next_remaining.extend(a.difference(b))
+            remaining = next_remaining
+        return IntervalSet(remaining)
+
+    def complement(self, horizon_start: int = 0, horizon_end: TimePoint = FOREVER) -> "IntervalSet":
+        """Chronons in ``[horizon_start, horizon_end]`` that are *not* in the set."""
+        return IntervalSet([TimeInterval(horizon_start, horizon_end)]).difference(self)
+
+    def shift(self, delta: int) -> "IntervalSet":
+        """Translate every interval by *delta* chronons."""
+        return IntervalSet(interval.shift(delta) for interval in self._intervals)
+
+    def clamp(self, lo: int, hi: TimePoint) -> "IntervalSet":
+        """Restrict the set to the window ``[lo, hi]``."""
+        return self.intersection(TimeInterval(lo, hi))
+
+    # Operator sugar ---------------------------------------------------- #
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[TimeInterval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntervalSet):
+            return self._intervals == other._intervals
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "IntervalSet(φ)"
+        body = ", ".join(str(i) for i in self._intervals)
+        return f"IntervalSet({body})"
+
+    # ------------------------------------------------------------------ #
+    # Serialization helpers
+    # ------------------------------------------------------------------ #
+    def to_pairs(self) -> List[Tuple[TimePoint, Optional[int]]]:
+        """Return ``(start, end)`` pairs with ``None`` standing for FOREVER."""
+        return [
+            (i.start, None if i.is_unbounded else int(i.end)) for i in self._intervals
+        ]
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[int, Optional[int]]]) -> "IntervalSet":
+        """Inverse of :meth:`to_pairs`."""
+        return cls(
+            TimeInterval(start, FOREVER if end is None else end) for start, end in pairs
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for co-location analysis (contact tracing)."""
+
+import pytest
+
+from repro.analysis.contacts import contact_graph, find_contacts, stays_of
+from repro.storage.movement_db import InMemoryMovementDatabase
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+@pytest.fixture
+def movements():
+    db = InMemoryMovementDatabase()
+    # Patient zero: WardA 10-40, Cafeteria 50-70.
+    db.record_entry(10, "patient", "WardA")
+    db.record_exit(40, "patient", "WardA")
+    db.record_entry(50, "patient", "Cafeteria")
+    db.record_exit(70, "patient", "Cafeteria")
+    # Nurse: WardA 20-30 (overlaps patient), Cafeteria 80-90 (no overlap).
+    db.record_entry(20, "nurse", "WardA")
+    db.record_exit(30, "nurse", "WardA")
+    db.record_entry(80, "nurse", "Cafeteria")
+    db.record_exit(90, "nurse", "Cafeteria")
+    # Porter: Cafeteria 65-75 (brief overlap with the patient), still inside WardB.
+    db.record_entry(65, "porter", "Cafeteria")
+    db.record_exit(75, "porter", "Cafeteria")
+    db.record_entry(100, "porter", "WardB")
+    return db
+
+
+class TestStays:
+    def test_stays_are_reconstructed(self, movements):
+        stays = stays_of(movements, "patient")
+        assert [(s.location, s.start, s.end) for s in stays] == [("WardA", 10, 40), ("Cafeteria", 50, 70)]
+
+    def test_open_stay_ends_at_forever(self, movements):
+        porter_stays = stays_of(movements, "porter")
+        open_stay = [s for s in porter_stays if s.location == "WardB"][0]
+        assert open_stay.end is FOREVER
+
+    def test_unmatched_reentry_closes_previous_stay(self):
+        db = InMemoryMovementDatabase()
+        db.record_entry(0, "x", "Room")
+        db.record_entry(10, "x", "Room")  # tracker missed the exit
+        db.record_exit(20, "x", "Room")
+        stays = stays_of(db, "x")
+        assert [(s.start, s.end) for s in stays] == [(0, 10), (10, 20)]
+
+    def test_all_subjects(self, movements):
+        assert {s.subject for s in stays_of(movements)} == {"patient", "nurse", "porter"}
+
+
+class TestFindContacts:
+    def test_contacts_of_the_patient(self, movements):
+        contacts = find_contacts(movements, "patient")
+        by_other = {(c.other, c.location): c for c in contacts}
+        assert set(by_other) == {("nurse", "WardA"), ("porter", "Cafeteria")}
+        assert by_other[("nurse", "WardA")].overlap == TimeInterval(20, 30)
+        assert by_other[("porter", "Cafeteria")].overlap == TimeInterval(65, 70)
+
+    def test_min_overlap_filter(self, movements):
+        contacts = find_contacts(movements, "patient", min_overlap=8)
+        assert {c.other for c in contacts} == {"nurse"}
+
+    def test_window_restriction(self, movements):
+        # Only the cafeteria period of the patient.
+        contacts = find_contacts(movements, "patient", window=TimeInterval(45, 80))
+        assert {c.other for c in contacts} == {"porter"}
+
+    def test_subject_with_no_contacts(self, movements):
+        db = InMemoryMovementDatabase()
+        db.record_entry(0, "loner", "Room")
+        assert find_contacts(db, "loner") == []
+
+    def test_contact_durations(self, movements):
+        contacts = find_contacts(movements, "patient")
+        assert all(int(c.duration) >= 1 for c in contacts)
+
+
+class TestContactGraph:
+    def test_pairwise_totals_are_symmetric(self, movements):
+        graph = contact_graph(movements)
+        assert graph["patient"]["nurse"] == graph["nurse"]["patient"] == 11  # chronons 20..30
+        assert graph["patient"]["porter"] == 6  # chronons 65..70
+        assert "porter" not in graph.get("nurse", {})
+
+    def test_min_overlap(self, movements):
+        graph = contact_graph(movements, min_overlap=8)
+        assert "porter" not in graph.get("patient", {})
+        assert graph["patient"]["nurse"] == 11

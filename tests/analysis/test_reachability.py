@@ -1,0 +1,56 @@
+"""Unit tests for the reachability matrix report."""
+
+import pytest
+
+from repro.analysis.reachability import build_reachability_matrix
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.locations.layouts import figure4_hierarchy
+from repro.paper import fixtures as paper
+
+
+@pytest.fixture
+def matrix():
+    hierarchy = figure4_hierarchy()
+    auths = list(paper.table1_authorizations())
+    # Bob can only reach the entry location A.
+    auths.append(LocationTemporalAuthorization(("Bob", "A"), (0, 10), (0, 20)))
+    return build_reachability_matrix(hierarchy, ["Alice", "Bob", "Mallory"], auths)
+
+
+class TestMatrix:
+    def test_per_subject_summaries(self, matrix):
+        alice = matrix.per_subject["Alice"]
+        assert alice.accessible == {"A", "B", "D"}
+        assert alice.inaccessible == {"C"}
+        assert alice.coverage == pytest.approx(0.75)
+
+        bob = matrix.per_subject["Bob"]
+        assert bob.accessible == {"A"}
+        assert bob.coverage == pytest.approx(0.25)
+
+        mallory = matrix.per_subject["Mallory"]
+        assert mallory.accessible == frozenset()
+        assert mallory.coverage == 0.0
+
+    def test_reachable_by(self, matrix):
+        assert matrix.reachable_by("A") == ["Alice", "Bob"]
+        assert matrix.reachable_by("B") == ["Alice"]
+        assert matrix.reachable_by("C") == []
+
+    def test_dead_locations(self, matrix):
+        assert matrix.dead_locations() == ["C"]
+
+    def test_coverage_by_subject(self, matrix):
+        coverage = matrix.coverage_by_subject()
+        assert set(coverage) == {"Alice", "Bob", "Mallory"}
+        assert coverage["Alice"] > coverage["Bob"] > coverage["Mallory"]
+
+    def test_to_rows(self, matrix):
+        rows = matrix.to_rows()
+        assert rows[0][0] == "Alice"
+        assert rows[0][1] == 3 and rows[0][2] == 1
+        assert all(len(row) == 4 for row in rows)
+
+    def test_hierarchy_name_and_locations(self, matrix):
+        assert matrix.hierarchy_name == "Figure4"
+        assert matrix.locations == ("A", "B", "C", "D")

@@ -1,0 +1,72 @@
+"""Unit tests for the brute-force inaccessibility oracle."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_accessible, brute_force_inaccessible
+from repro.core.accessibility import find_inaccessible
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.locations.builder import LocationGraphBuilder
+from repro.locations.layouts import figure4_hierarchy
+from repro.paper import fixtures as paper
+from repro.temporal.interval import TimeInterval
+
+
+class TestOnPaperExample:
+    def test_matches_algorithm1_on_figure4(self):
+        hierarchy = figure4_hierarchy()
+        auths = paper.table1_authorizations()
+        oracle = brute_force_inaccessible(hierarchy, "Alice", auths)
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        assert oracle == report.inaccessible == {"C"}
+
+    def test_accessible_complement(self):
+        hierarchy = figure4_hierarchy()
+        auths = paper.table1_authorizations()
+        accessible = brute_force_accessible(hierarchy, "Alice", auths)
+        inaccessible = brute_force_inaccessible(hierarchy, "Alice", auths)
+        assert accessible | inaccessible == hierarchy.primitive_names
+        assert accessible & inaccessible == frozenset()
+
+    def test_accepts_bare_location_graph(self):
+        from repro.locations.layouts import figure4_graph
+
+        assert brute_force_inaccessible(figure4_graph(), "Alice", paper.table1_authorizations()) == {"C"}
+
+
+class TestModes:
+    def test_walk_mode_agrees_on_small_graph(self):
+        hierarchy = figure4_hierarchy()
+        auths = paper.table1_authorizations()
+        simple = brute_force_accessible(hierarchy, "Alice", auths)
+        walks = brute_force_accessible(hierarchy, "Alice", auths, allow_revisits=True, max_length=8)
+        assert simple == walks
+
+    def test_request_duration_restriction(self):
+        hierarchy = figure4_hierarchy()
+        auths = paper.table1_authorizations()
+        # With a request window entirely before every entry duration nothing is reachable.
+        nothing = brute_force_accessible(
+            hierarchy, "Alice", auths, request_duration=TimeInterval(0, 1)
+        )
+        assert nothing == frozenset()
+
+    def test_max_length_can_cut_off_routes(self):
+        graph = (
+            LocationGraphBuilder("Line")
+            .add_path("L0", "L1", "L2", "L3")
+            .mark_entry("L0")
+            .build()
+        )
+        auths = [
+            LocationTemporalAuthorization(("Alice", name), (0, 100), (0, 200))
+            for name in ("L0", "L1", "L2", "L3")
+        ]
+        full = brute_force_accessible(graph, "Alice", auths)
+        assert full == {"L0", "L1", "L2", "L3"}
+        clipped = brute_force_accessible(graph, "Alice", auths, max_length=1)
+        assert clipped == {"L0", "L1"}
+
+    def test_no_authorizations(self):
+        hierarchy = figure4_hierarchy()
+        assert brute_force_accessible(hierarchy, "Alice", []) == frozenset()
+        assert brute_force_inaccessible(hierarchy, "Alice", []) == hierarchy.primitive_names

@@ -1,0 +1,59 @@
+"""Unit tests for the TAM (temporal-only) baseline."""
+
+import pytest
+
+from repro.baselines.tam import TemporalAuthorization, TemporalOnlySystem, tam_view_of
+from repro.core.requests import DenialReason
+from repro.paper import fixtures as paper
+from repro.temporal.interval import TimeInterval
+
+
+class TestTemporalAuthorization:
+    def test_permits(self):
+        auth = TemporalAuthorization("Alice", "CAIS", TimeInterval(10, 20))
+        assert auth.permits(10)
+        assert auth.permits(20)
+        assert not auth.permits(21)
+
+    def test_projection_drops_exit_and_budget(self):
+        ltam_auth = paper.section5_authorizations()[0]  # A1 for Alice on CAIS
+        projected = tam_view_of(ltam_auth)
+        assert projected.subject == "Alice"
+        assert projected.object_name == "CAIS"
+        assert projected.validity == ltam_auth.entry_duration
+        # Nothing in the projection knows about the exit window or the budget.
+        assert not hasattr(projected, "exit_duration")
+        assert not hasattr(projected, "max_entries")
+
+
+class TestTemporalOnlySystem:
+    @pytest.fixture
+    def system(self):
+        return TemporalOnlySystem.from_ltam(paper.section5_authorizations())
+
+    def test_grants_within_validity(self, system):
+        assert system.check(10, "Alice", "CAIS").granted
+        assert system.check(16, "Bob", "CHIPES").granted
+        assert len(system) == 2
+
+    def test_denies_without_authorization(self, system):
+        decision = system.check(15, "Bob", "CAIS")
+        assert decision.reason is DenialReason.NO_AUTHORIZATION
+
+    def test_denies_outside_validity(self, system):
+        decision = system.check(40, "Bob", "CHIPES")
+        assert decision.reason is DenialReason.OUTSIDE_ENTRY_DURATION
+
+    def test_tam_over_grants_relative_to_ltam(self, system):
+        """The baseline's blind spot: TAM cannot exhaust an entry budget.
+
+        In the Section 5 timeline LTAM denies Bob's second entry at t=30
+        (budget of 1 already used); TAM, having no budget notion, grants it.
+        """
+        assert system.check(30, "Bob", "CHIPES").granted
+
+    def test_add_explicit_temporal_authorization(self):
+        system = TemporalOnlySystem()
+        system.add(TemporalAuthorization("Carol", "Lab1", TimeInterval(0, 5)))
+        assert system.check(3, "Carol", "Lab1").granted
+        assert not system.check(9, "Carol", "Lab1").granted

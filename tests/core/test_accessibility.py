@@ -1,0 +1,171 @@
+"""Unit tests for Algorithm 1 (FindInaccessible) including the Table 2 reproduction."""
+
+import pytest
+
+from repro.core.accessibility import find_inaccessible
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.grant import AuthorizationIndex
+from repro.locations.builder import LocationGraphBuilder
+from repro.locations.layouts import figure4_graph, figure4_hierarchy, ntu_campus_hierarchy
+from repro.paper import fixtures as paper
+from repro.storage.authorization_db import InMemoryAuthorizationDatabase
+from repro.temporal.interval_set import IntervalSet
+
+
+class TestFigure4WorkedExample:
+    """The paper's Section 6 example: Table 1 authorizations on the Figure 4 graph."""
+
+    def test_only_c_is_inaccessible(self):
+        report = find_inaccessible(figure4_hierarchy(), "Alice", paper.table1_authorizations())
+        assert report.inaccessible == paper.figure4_expected_inaccessible()
+        assert report.accessible == {"A", "B", "D"}
+
+    def test_final_grant_and_departure_times_match_table2(self):
+        report = find_inaccessible(figure4_hierarchy(), "Alice", paper.table1_authorizations())
+        for location, (grant, departure) in paper.table2_expected_times().items():
+            assert report.grant_time(location) == grant, location
+            assert report.departure_time(location) == departure, location
+
+    def test_accepts_bare_location_graph(self):
+        report = find_inaccessible(figure4_graph(), "Alice", paper.table1_authorizations())
+        assert report.inaccessible == {"C"}
+
+    def test_accepts_authorization_database_source(self):
+        db = InMemoryAuthorizationDatabase(paper.table1_authorizations())
+        report = find_inaccessible(figure4_hierarchy(), "Alice", db)
+        assert report.inaccessible == {"C"}
+
+    def test_trace_reproduces_the_update_sequence(self):
+        report = find_inaccessible(
+            figure4_hierarchy(), "Alice", paper.table1_authorizations(), trace=True
+        )
+        assert report.trace, "trace requested but empty"
+        updated = [row.updated for row in report.trace]
+        # The entry location is processed first, then B and D, then their
+        # neighbours; every location is updated at least once.
+        assert updated[0] == "A"
+        assert set(updated) == {"A", "B", "C", "D"}
+        # After the update of B the value matches the Table 2 row for B.
+        row_after_b = next(row for row in report.trace if row.updated == "B")
+        assert row_after_b.grants["B"] == IntervalSet([(40, 50)])
+        assert row_after_b.departures["B"] == IntervalSet([(55, 80)])
+        # C stays null through the whole trace.
+        assert all(row.grants["C"].is_empty for row in report.trace)
+        # Rows render to text for the benchmark report.
+        assert "Update" in report.trace[0].describe()
+
+    def test_trace_disabled_by_default(self):
+        report = find_inaccessible(figure4_hierarchy(), "Alice", paper.table1_authorizations())
+        assert report.trace == ()
+
+    def test_report_helpers(self):
+        report = find_inaccessible(figure4_hierarchy(), "Alice", paper.table1_authorizations())
+        assert report.is_inaccessible("C")
+        assert not report.is_inaccessible("A")
+        assert report.iterations >= 1
+        assert report.subject == "Alice"
+        assert report.times["A"].accessible
+
+
+class TestDegenerateAndEdgeCases:
+    def test_no_authorizations_means_everything_inaccessible(self):
+        report = find_inaccessible(figure4_hierarchy(), "Alice", [])
+        assert report.inaccessible == {"A", "B", "C", "D"}
+
+    def test_other_subjects_authorizations_are_ignored(self):
+        report = find_inaccessible(figure4_hierarchy(), "Mallory", paper.table1_authorizations())
+        assert report.inaccessible == {"A", "B", "C", "D"}
+
+    def test_entry_location_with_null_exit_blocks_the_rest(self):
+        # "an entry location is inaccessible to a subject if it has null exit
+        # duration for its authorization" — here A has no authorization at
+        # all, so A itself and everything beyond is inaccessible.
+        auths = [
+            LocationTemporalAuthorization(("Alice", "B"), (0, 10), (0, 20)),
+            LocationTemporalAuthorization(("Alice", "C"), (0, 10), (0, 20)),
+            LocationTemporalAuthorization(("Alice", "D"), (0, 10), (0, 20)),
+        ]
+        report = find_inaccessible(figure4_hierarchy(), "Alice", auths)
+        assert report.inaccessible == {"A", "B", "C", "D"}
+
+    def test_unlimited_defaults_make_everything_reachable(self):
+        hierarchy = ntu_campus_hierarchy()
+        auths = [
+            LocationTemporalAuthorization(("Alice", location), None, None)
+            for location in hierarchy.primitive_names
+        ]
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        assert report.inaccessible == frozenset()
+
+    def test_missing_interior_authorization_blocks_only_unreachable_part(self):
+        # Line graph E - F - G where F has no authorization: G becomes
+        # unreachable even though G itself is authorized.
+        graph = (
+            LocationGraphBuilder("Line")
+            .add_path("E", "F", "G")
+            .mark_entry("E")
+            .build()
+        )
+        auths = [
+            LocationTemporalAuthorization(("Alice", "E"), (0, 10), (0, 20)),
+            LocationTemporalAuthorization(("Alice", "G"), (0, 10), (0, 20)),
+        ]
+        report = find_inaccessible(graph, "Alice", auths)
+        assert report.inaccessible == {"F", "G"}
+        assert report.accessible == {"E"}
+
+    def test_second_entry_location_rescues_reachability(self):
+        # Same line graph but with G also an entry location: G is reachable
+        # directly, F stays unreachable (no authorization).
+        graph = (
+            LocationGraphBuilder("Line")
+            .add_path("E", "F", "G")
+            .mark_entry("E", "G")
+            .build()
+        )
+        auths = [
+            LocationTemporalAuthorization(("Alice", "E"), (0, 10), (0, 20)),
+            LocationTemporalAuthorization(("Alice", "G"), (0, 10), (0, 20)),
+        ]
+        report = find_inaccessible(graph, "Alice", auths)
+        assert report.inaccessible == {"F"}
+
+    def test_time_gap_makes_destination_unreachable(self):
+        # E reachable only during [0,10] with exit by 20, but F's entry window
+        # opens at 50 — too late to get there through E.
+        graph = LocationGraphBuilder("Gap").add_path("E", "F").mark_entry("E").build()
+        auths = [
+            LocationTemporalAuthorization(("Alice", "E"), (0, 10), (0, 20)),
+            LocationTemporalAuthorization(("Alice", "F"), (50, 60), (50, 80)),
+        ]
+        report = find_inaccessible(graph, "Alice", auths)
+        assert report.inaccessible == {"F"}
+
+    def test_multiple_routes_are_considered(self):
+        # C unreachable via B (timing) but reachable via D.
+        hierarchy = figure4_hierarchy()
+        auths = [
+            LocationTemporalAuthorization(("Alice", "A"), (0, 10), (5, 30)),
+            LocationTemporalAuthorization(("Alice", "B"), (100, 110), (100, 120)),
+            LocationTemporalAuthorization(("Alice", "D"), (10, 30), (15, 40)),
+            LocationTemporalAuthorization(("Alice", "C"), (20, 45), (20, 60)),
+        ]
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        assert "C" in report.accessible
+        assert "B" in report.inaccessible
+
+    def test_order_key_changes_trace_not_result(self):
+        auths = paper.table1_authorizations()
+        default = find_inaccessible(figure4_hierarchy(), "Alice", auths, trace=True)
+        reordered = find_inaccessible(
+            figure4_hierarchy(), "Alice", auths, trace=True, order_key=lambda name: -ord(name[0])
+        )
+        assert default.inaccessible == reordered.inaccessible
+        for location in "ABCD":
+            assert default.grant_time(location) == reordered.grant_time(location)
+
+    def test_index_source_equivalent_to_list_source(self):
+        auths = paper.table1_authorizations()
+        from_list = find_inaccessible(figure4_hierarchy(), "Alice", auths)
+        from_index = find_inaccessible(figure4_hierarchy(), "Alice", AuthorizationIndex(auths))
+        assert from_list.inaccessible == from_index.inaccessible

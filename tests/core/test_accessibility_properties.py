@@ -1,0 +1,118 @@
+"""Property-based tests for Algorithm 1 against the brute-force oracle and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_accessible
+from repro.core.accessibility import find_inaccessible
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import random_building
+
+
+@st.composite
+def small_scenarios(draw):
+    """A small random building plus a random authorization set for one subject."""
+    n_locations = draw(st.integers(min_value=2, max_value=6))
+    extra_edges = draw(st.integers(min_value=0, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    hierarchy = LocationHierarchy(
+        random_building("G", n_locations, extra_edges=extra_edges, seed=seed)
+    )
+    auths = []
+    for location in sorted(hierarchy.primitive_names):
+        if draw(st.booleans()):
+            entry_start = draw(st.integers(min_value=0, max_value=40))
+            entry_len = draw(st.integers(min_value=0, max_value=30))
+            exit_extra = draw(st.integers(min_value=0, max_value=30))
+            exit_start = draw(st.integers(min_value=entry_start, max_value=entry_start + entry_len))
+            auths.append(
+                LocationTemporalAuthorization(
+                    ("Alice", location),
+                    (entry_start, entry_start + entry_len),
+                    (exit_start, entry_start + entry_len + exit_extra),
+                    draw(st.sampled_from([1, 2, 3])),
+                )
+            )
+    return hierarchy, auths
+
+
+class TestAgainstBruteForce:
+    @given(small_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_brute_force_accessible_is_subset_of_algorithm(self, scenario):
+        """Route enumeration is sound: whatever it can reach, Algorithm 1 must also report reachable."""
+        hierarchy, auths = scenario
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        oracle = brute_force_accessible(hierarchy, "Alice", auths)
+        assert oracle <= report.accessible
+
+    @given(small_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_simple_path_and_walk_enumeration_agree_on_soundness(self, scenario):
+        hierarchy, auths = scenario
+        simple = brute_force_accessible(hierarchy, "Alice", auths)
+        walks = brute_force_accessible(hierarchy, "Alice", auths, allow_revisits=True, max_length=6)
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        assert simple <= walks or walks <= report.accessible
+        assert walks <= report.accessible
+
+
+class TestAlgorithmInvariants:
+    @given(small_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_of_locations(self, scenario):
+        hierarchy, auths = scenario
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        assert report.accessible | report.inaccessible == hierarchy.primitive_names
+        assert report.accessible & report.inaccessible == frozenset()
+
+    @given(small_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_unauthorized_locations_are_inaccessible(self, scenario):
+        hierarchy, auths = scenario
+        authorized_locations = {auth.location for auth in auths}
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        for location in hierarchy.primitive_names - authorized_locations:
+            assert location in report.inaccessible
+
+    @given(small_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_accessible_locations_have_nonempty_grant_times(self, scenario):
+        hierarchy, auths = scenario
+        report = find_inaccessible(hierarchy, "Alice", auths)
+        for location in report.accessible:
+            assert not report.grant_time(location).is_empty
+        for location in report.inaccessible:
+            assert report.grant_time(location).is_empty
+
+    @given(small_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_adding_authorizations_is_monotone(self, scenario):
+        """Granting more can never make previously accessible locations inaccessible."""
+        hierarchy, auths = scenario
+        before = find_inaccessible(hierarchy, "Alice", auths)
+        extra = [
+            LocationTemporalAuthorization(("Alice", location), (0, 100), (0, 200))
+            for location in sorted(hierarchy.primitive_names)[:2]
+        ]
+        after = find_inaccessible(hierarchy, "Alice", list(auths) + extra)
+        assert before.accessible <= after.accessible
+
+    @given(small_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_across_processing_orders(self, scenario):
+        hierarchy, auths = scenario
+        rng = random.Random(0)
+        names = sorted(hierarchy.primitive_names)
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        order = {name: index for index, name in enumerate(shuffled)}
+        default = find_inaccessible(hierarchy, "Alice", auths)
+        reordered = find_inaccessible(hierarchy, "Alice", auths, order_key=lambda n: order[n])
+        assert default.inaccessible == reordered.inaccessible
+        for location in names:
+            assert default.grant_time(location) == reordered.grant_time(location)
+            assert default.departure_time(location) == reordered.departure_time(location)

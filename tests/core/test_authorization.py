@@ -1,0 +1,182 @@
+"""Unit tests for Definitions 3 and 4: location(-temporal) authorizations."""
+
+import pytest
+
+from repro.errors import InvalidAuthorizationError
+from repro.core.authorization import (
+    UNLIMITED_ENTRIES,
+    LocationAuthorization,
+    LocationTemporalAuthorization,
+    departure_duration,
+    grant_duration,
+)
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+class TestLocationAuthorization:
+    def test_definition3_pair(self):
+        auth = LocationAuthorization("Alice", "CAIS")
+        assert auth.subject == "Alice"
+        assert auth.location == "CAIS"
+        assert str(auth) == "(Alice, CAIS)"
+
+    def test_equality(self):
+        assert LocationAuthorization("Alice", "CAIS") == LocationAuthorization("Alice", "CAIS")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(Exception):
+            LocationAuthorization("", "CAIS")
+
+
+class TestLocationTemporalAuthorization:
+    def test_section32_example(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 1)
+        assert auth.subject == "Alice"
+        assert auth.location == "CAIS"
+        assert auth.entry_duration == TimeInterval(5, 40)
+        assert auth.exit_duration == TimeInterval(20, 100)
+        assert auth.max_entries == 1
+
+    def test_accepts_location_authorization_object(self):
+        auth = LocationTemporalAuthorization(LocationAuthorization("Alice", "CAIS"), (0, 10), (0, 20))
+        assert auth.auth.location == "CAIS"
+
+    def test_default_entry_duration_starts_at_creation(self):
+        # "If the entry duration is not specified ... the subject can enter at
+        # any time after the creation of the authorization."
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), None, None, created_at=7)
+        assert auth.entry_duration == TimeInterval(7, FOREVER)
+        assert auth.exit_duration == TimeInterval(7, FOREVER)
+
+    def test_default_exit_duration_is_entry_start_to_forever(self):
+        # "the default value will be [t_i_1, ∞]"
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40))
+        assert auth.exit_duration == TimeInterval(5, FOREVER)
+
+    def test_default_entry_count_is_unlimited(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100))
+        assert auth.max_entries is UNLIMITED_ENTRIES
+        assert not auth.has_entry_limit
+
+    def test_exit_cannot_start_before_entry(self):
+        # Definition 4: t_o_s >= t_i_s.
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization(("Alice", "CAIS"), (10, 40), (5, 100))
+
+    def test_exit_cannot_end_before_entry_end(self):
+        # Definition 4: t_o_e >= t_i_e.
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization(("Alice", "CAIS"), (10, 40), (15, 30))
+
+    def test_bounded_exit_with_unbounded_entry_rejected(self):
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization(("Alice", "CAIS"), (10, FOREVER), (15, 30))
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_entry_budget(self, bad):
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization(("Alice", "CAIS"), (0, 10), (0, 20), bad)
+
+    def test_invalid_auth_argument(self):
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization("just a string", (0, 10), (0, 20))
+
+    def test_negative_created_at_rejected(self):
+        with pytest.raises(InvalidAuthorizationError):
+            LocationTemporalAuthorization(("Alice", "CAIS"), (0, 10), (0, 20), created_at=-1)
+
+    def test_permits_entry_and_exit(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 1)
+        assert auth.permits_entry_at(5)
+        assert auth.permits_entry_at(40)
+        assert not auth.permits_entry_at(41)
+        assert auth.permits_exit_at(20)
+        assert not auth.permits_exit_at(101)
+
+    def test_entries_remaining(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 2)
+        assert auth.entries_remaining(0) == 2
+        assert auth.entries_remaining(1) == 1
+        assert auth.entries_remaining(2) == 0
+        assert auth.entries_remaining(5) == 0
+
+    def test_entries_remaining_unlimited(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100))
+        assert auth.entries_remaining(1_000_000) is UNLIMITED_ENTRIES
+
+    def test_entries_remaining_rejects_negative(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 2)
+        with pytest.raises(InvalidAuthorizationError):
+            auth.entries_remaining(-1)
+
+    def test_equality_ignores_generated_ids(self):
+        a = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 1)
+        b = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.auth_id != b.auth_id
+
+    def test_ids_are_unique_by_default_but_can_be_fixed(self):
+        fixed = LocationTemporalAuthorization(("Alice", "CAIS"), (0, 1), (0, 2), auth_id="A1")
+        assert fixed.auth_id == "A1"
+
+    def test_replace_produces_derived_copy(self):
+        base = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 20), (15, 50), 2, auth_id="a1")
+        derived = base.replace(subject="Bob", derived_from="a1", rule_id="r1")
+        assert derived.subject == "Bob"
+        assert derived.location == "CAIS"
+        assert derived.entry_duration == base.entry_duration
+        assert derived.is_derived
+        assert derived.rule_id == "r1"
+        assert not base.is_derived
+
+    def test_str_uses_paper_notation(self):
+        auth = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100), 1)
+        assert str(auth) == "([5, 40], [20, 100], (Alice, CAIS), 1)"
+        unlimited = LocationTemporalAuthorization(("Alice", "CAIS"), (5, 40), (20, 100))
+        assert "∞" in str(unlimited)
+
+
+class TestGrantAndDepartureDurations:
+    """Section 6's definitions, on the fixture values of Table 1/Table 2."""
+
+    def make(self, entry, exit_):
+        return LocationTemporalAuthorization(("Alice", "X"), entry, exit_, 1)
+
+    def test_grant_duration_clips_to_window(self):
+        # B's authorization [40,60]/[55,80] examined in the window [20,50]
+        # (A's departure duration) gives grant [40,50] — the Table 2 value.
+        auth = self.make((40, 60), (55, 80))
+        assert grant_duration(auth, TimeInterval(20, 50)) == TimeInterval(40, 50)
+
+    def test_departure_duration_from_window(self):
+        auth = self.make((40, 60), (55, 80))
+        assert departure_duration(auth, TimeInterval(20, 50)) == TimeInterval(55, 80)
+
+    def test_grant_duration_null_when_disjoint(self):
+        # C's authorization [38,45] examined in D's departure window [20,30].
+        auth = self.make((38, 45), (70, 90))
+        assert grant_duration(auth, TimeInterval(20, 30)) is None
+        # ... and in B's departure window [55,80].
+        assert grant_duration(auth, TimeInterval(55, 80)) is None
+
+    def test_grant_duration_with_unbounded_window(self):
+        auth = self.make((5, 25), (10, 30))
+        assert grant_duration(auth, TimeInterval(0, FOREVER)) == TimeInterval(5, 25)
+        assert departure_duration(auth, TimeInterval(0, FOREVER)) == TimeInterval(10, 30)
+
+    def test_grant_duration_with_unbounded_entry(self):
+        auth = self.make((5, FOREVER), (10, FOREVER))
+        assert grant_duration(auth, TimeInterval(0, 50)) == TimeInterval(5, 50)
+        assert grant_duration(auth, TimeInterval(100, 200)) == TimeInterval(100, 200)
+
+    def test_departure_duration_null_when_exit_closed(self):
+        auth = self.make((0, 10), (0, 10))
+        assert departure_duration(auth, TimeInterval(20, 30)) is None
+
+    def test_method_forms_match_module_functions(self):
+        auth = self.make((2, 35), (20, 50))
+        window = TimeInterval(0, FOREVER)
+        assert auth.grant_duration(window) == grant_duration(auth, window)
+        assert auth.departure_duration(window) == departure_duration(auth, window)

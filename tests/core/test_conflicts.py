@@ -1,0 +1,136 @@
+"""Unit tests for conflict detection and resolution (the paper's deferred future work)."""
+
+import pytest
+
+from repro.errors import ConflictError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.conflicts import (
+    ConflictKind,
+    ResolutionStrategy,
+    detect_conflicts,
+    merge_pair,
+    resolve_conflicts,
+)
+from repro.temporal.interval import TimeInterval
+
+
+def auth(subject, location, entry, exit_, n=1, **kwargs):
+    return LocationTemporalAuthorization((subject, location), entry, exit_, n, **kwargs)
+
+
+class TestDetection:
+    def test_paper_example_overlap(self):
+        # The paper's example: Alice may enter CAIS during [5, 10] per one
+        # authorization and during [10, 11] per another.
+        first = auth("Alice", "CAIS", (5, 10), (5, 20))
+        second = auth("Alice", "CAIS", (10, 11), (10, 30))
+        conflicts = detect_conflicts([first, second])
+        assert len(conflicts) == 1
+        assert conflicts[0].kind is ConflictKind.OVERLAPPING_ENTRY
+        assert conflicts[0].subject == "Alice"
+        assert conflicts[0].location == "CAIS"
+        assert conflicts[0].involves(first.auth_id)
+
+    def test_duplicates_detected(self):
+        first = auth("Alice", "CAIS", (5, 10), (5, 20))
+        second = auth("Alice", "CAIS", (5, 10), (5, 20))
+        conflicts = detect_conflicts([first, second])
+        assert conflicts[0].kind is ConflictKind.DUPLICATE
+
+    def test_adjacent_detected_and_optional(self):
+        first = auth("Alice", "CAIS", (5, 9), (5, 20))
+        second = auth("Alice", "CAIS", (10, 11), (10, 30))
+        assert detect_conflicts([first, second])[0].kind is ConflictKind.ADJACENT_ENTRY
+        assert detect_conflicts([first, second], include_adjacent=False) == []
+
+    def test_different_subjects_or_locations_never_conflict(self):
+        conflicts = detect_conflicts(
+            [
+                auth("Alice", "CAIS", (5, 10), (5, 20)),
+                auth("Bob", "CAIS", (5, 10), (5, 20)),
+                auth("Alice", "CHIPES", (5, 10), (5, 20)),
+            ]
+        )
+        assert conflicts == []
+
+    def test_disjoint_windows_do_not_conflict(self):
+        conflicts = detect_conflicts(
+            [
+                auth("Alice", "CAIS", (5, 10), (5, 20)),
+                auth("Alice", "CAIS", (50, 60), (50, 80)),
+            ]
+        )
+        assert conflicts == []
+
+
+class TestMerge:
+    def test_merge_combines_windows_and_budget(self):
+        first = auth("Alice", "CAIS", (5, 10), (5, 20), 1)
+        second = auth("Alice", "CAIS", (10, 11), (10, 30), 2)
+        merged = merge_pair(first, second)
+        assert merged.entry_duration == TimeInterval(5, 11)
+        assert merged.exit_duration == TimeInterval(5, 30)
+        assert merged.max_entries == 2
+        assert merged.subject == "Alice"
+
+    def test_merge_with_unlimited_budget(self):
+        first = auth("Alice", "CAIS", (5, 10), (5, 20), 1)
+        second = LocationTemporalAuthorization(("Alice", "CAIS"), (8, 12), (8, 30))
+        assert merge_pair(first, second).max_entries is UNLIMITED_ENTRIES
+
+    def test_merge_across_pairs_rejected(self):
+        with pytest.raises(ConflictError):
+            merge_pair(
+                auth("Alice", "CAIS", (5, 10), (5, 20)),
+                auth("Bob", "CAIS", (5, 10), (5, 20)),
+            )
+
+
+class TestResolution:
+    def test_merge_strategy_collapses_chain(self):
+        chain = [
+            auth("Alice", "CAIS", (1, 5), (1, 10)),
+            auth("Alice", "CAIS", (4, 8), (4, 12)),
+            auth("Alice", "CAIS", (7, 12), (7, 20)),
+        ]
+        resolved, conflicts = resolve_conflicts(chain, strategy=ResolutionStrategy.MERGE)
+        assert len(resolved) == 1
+        assert resolved[0].entry_duration == TimeInterval(1, 12)
+        assert conflicts  # at least the conflicts that were fixed
+
+    def test_keep_first_strategy(self):
+        older = auth("Alice", "CAIS", (5, 10), (5, 20), created_at=0)
+        newer = auth("Alice", "CAIS", (8, 12), (8, 30), created_at=5)
+        resolved, _ = resolve_conflicts([newer, older], strategy=ResolutionStrategy.KEEP_FIRST)
+        assert resolved == [older]
+
+    def test_prefer_explicit_strategy(self):
+        explicit = auth("Alice", "CAIS", (5, 10), (5, 20), created_at=5)
+        derived = LocationTemporalAuthorization(
+            ("Alice", "CAIS"), (8, 12), (8, 30), 1, created_at=0, derived_from="base", rule_id="r"
+        )
+        resolved, _ = resolve_conflicts([derived, explicit], strategy=ResolutionStrategy.PREFER_EXPLICIT)
+        assert resolved == [explicit]
+
+    def test_prefer_explicit_falls_back_to_created_at(self):
+        older = auth("Alice", "CAIS", (5, 10), (5, 20), created_at=0)
+        newer = auth("Alice", "CAIS", (8, 12), (8, 30), created_at=3)
+        resolved, _ = resolve_conflicts([newer, older], strategy=ResolutionStrategy.PREFER_EXPLICIT)
+        assert resolved == [older]
+
+    def test_no_conflicts_returns_input_unchanged(self):
+        pool = [auth("Alice", "CAIS", (1, 5), (1, 10)), auth("Bob", "CAIS", (1, 5), (1, 10))]
+        resolved, conflicts = resolve_conflicts(pool)
+        assert resolved == pool
+        assert conflicts == []
+
+    def test_resolution_result_has_no_remaining_conflicts(self):
+        pool = [
+            auth("Alice", "CAIS", (1, 5), (1, 10)),
+            auth("Alice", "CAIS", (3, 9), (3, 12)),
+            auth("Alice", "CHIPES", (1, 5), (1, 10)),
+            auth("Alice", "CHIPES", (5, 9), (5, 12)),
+        ]
+        for strategy in ResolutionStrategy:
+            resolved, _ = resolve_conflicts(pool, strategy=strategy)
+            assert detect_conflicts(resolved) == []

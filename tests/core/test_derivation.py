@@ -1,0 +1,130 @@
+"""Unit tests for the derivation engine (rule evaluation, provenance, revocation)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.derivation import DerivationEngine
+from repro.core.operators.numeric import ConstantEntries
+from repro.core.operators.subject import SupervisorOf
+from repro.core.operators.temporal import Intersection
+from repro.core.rules import AuthorizationRule, OperatorTuple
+from repro.core.subjects import SubjectDirectory
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.paper import fixtures as paper
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+@pytest.fixture
+def engine(campus):
+    return DerivationEngine(paper.paper_directory(), campus)
+
+
+@pytest.fixture
+def a1():
+    return paper.example_base_authorization_a1()
+
+
+class TestRuleManagement:
+    def test_add_and_get(self, engine, a1):
+        rule = paper.example_rule_r1(a1)
+        engine.add_rule(rule)
+        assert engine.get_rule("r1") is rule
+        assert rule in engine.rules
+
+    def test_duplicate_rule_id_rejected(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        with pytest.raises(RuleError):
+            engine.add_rule(paper.example_rule_r1(a1))
+
+    def test_remove_rule(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        removed = engine.remove_rule("r1")
+        assert removed is not None
+        assert engine.remove_rule("r1") is None
+        with pytest.raises(RuleError):
+            engine.get_rule("r1")
+
+
+class TestDerivation:
+    def test_all_three_paper_rules_together(self, engine, a1):
+        for rule_fn in (paper.example_rule_r1, paper.example_rule_r2, paper.example_rule_r3):
+            engine.add_rule(rule_fn(a1))
+        result = engine.derive([a1], now=10)
+        assert paper.expected_derived_a2() in result.derived
+        assert paper.expected_derived_a3() in result.derived
+        assert result.count == len(result.derived)
+        # r3 derives the route locations for Alice.
+        r3_locations = {auth.location for auth in result.derived_by_rule("r3")}
+        assert r3_locations == {"SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS"}
+        assert result.derived_by_rule("unknown") == ()
+
+    def test_rule_with_unknown_base_is_skipped(self, engine, a1):
+        engine.add_rule(AuthorizationRule(0, "missing-base", OperatorTuple()))
+        result = engine.derive([a1], now=10)
+        assert result.derived == ()
+
+    def test_rule_bound_by_id_resolves_against_pool(self, engine, a1):
+        engine.add_rule(AuthorizationRule(0, a1.auth_id, OperatorTuple(op_subject=SupervisorOf())))
+        result = engine.derive([a1], now=5)
+        assert [auth.subject for auth in result.derived] == ["Bob"]
+
+    def test_duplicate_derivations_reported_once(self, engine, a1):
+        engine.add_rule(AuthorizationRule(0, a1, OperatorTuple(op_subject=SupervisorOf()), rule_id="x1"))
+        engine.add_rule(AuthorizationRule(0, a1, OperatorTuple(op_subject=SupervisorOf()), rule_id="x2"))
+        result = engine.derive([a1], now=5)
+        assert len(result.derived) == 1
+        assert len(result.batches) == 2
+
+    def test_inactive_rules_do_not_fire(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        assert engine.derive([a1], now=3).derived == ()
+
+    def test_provenance_tracking(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        result = engine.derive([a1], now=10)
+        derived_ids = engine.derived_auth_ids("r1")
+        assert len(derived_ids) == 1
+        assert derived_ids[0] == result.derived[0].auth_id
+
+    def test_revocation_set(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        result = engine.derive([a1], now=10)
+        pool = [a1, *result.derived]
+        doomed = engine.revocation_set(a1.auth_id, pool)
+        assert doomed == result.derived
+
+
+class TestClosure:
+    def test_chained_rules_reach_fixpoint(self, engine, campus):
+        # r-a derives an authorization for Bob from Alice's; r-b further
+        # narrows Bob's derived authorization (chained on the derived id).
+        alice = LocationTemporalAuthorization(("Alice", "CAIS"), (0, 100), (50, 200), 3, auth_id="seed")
+        first = AuthorizationRule(0, alice, OperatorTuple(op_subject=SupervisorOf()), rule_id="r-a")
+        engine.add_rule(first)
+        result_one = engine.derive([alice], now=1)
+        derived_for_bob = result_one.derived[0]
+        second = AuthorizationRule(
+            0,
+            derived_for_bob.auth_id,
+            OperatorTuple(op_entry=Intersection((10, 20)), exp_n=ConstantEntries(1)),
+            rule_id="r-b",
+        )
+        engine.add_rule(second)
+        closure = engine.derive_closure([alice], now=1, max_rounds=5)
+        entry_windows = {(auth.subject, str(auth.entry_duration)) for auth in closure.derived}
+        assert ("Bob", "[0, 100]") in entry_windows
+        assert ("Bob", "[10, 20]") in entry_windows
+
+    def test_closure_terminates_on_idempotent_rules(self, engine, a1):
+        engine.add_rule(paper.example_rule_r1(a1))
+        closure = engine.derive_closure([a1], now=10, max_rounds=10)
+        assert len(closure.derived) == 1
+
+    def test_closure_requires_positive_rounds(self, engine, a1):
+        with pytest.raises(RuleError):
+            engine.derive_closure([a1], max_rounds=0)

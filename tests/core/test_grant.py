@@ -1,0 +1,129 @@
+"""Unit tests for route grant/departure durations and the authorized-route check (Section 6)."""
+
+import pytest
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.grant import AuthorizationIndex, authorize_route, step_durations
+from repro.locations.layouts import figure4_hierarchy
+from repro.locations.routes import Route
+from repro.paper import fixtures as paper
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4_hierarchy()
+
+
+@pytest.fixture
+def table1_index():
+    return AuthorizationIndex(paper.table1_authorizations())
+
+
+class TestAuthorizationIndex:
+    def test_lookup_by_pair_and_subject(self, table1_index):
+        assert len(table1_index) == 4
+        assert len(table1_index.for_subject_location("Alice", "A")) == 1
+        assert table1_index.for_subject_location("Alice", "Z") == []
+        assert table1_index.for_subject_location("Bob", "A") == []
+        assert len(table1_index.for_subject("Alice")) == 4
+        assert table1_index.for_subject("Bob") == []
+
+    def test_add(self):
+        index = AuthorizationIndex()
+        index.add(LocationTemporalAuthorization(("Alice", "A"), (0, 5), (0, 10)))
+        assert len(index.for_subject_location("Alice", "A")) == 1
+
+
+class TestStepDurations:
+    def test_union_over_authorizations_and_window_pieces(self):
+        auths = [
+            LocationTemporalAuthorization(("Alice", "X"), (0, 10), (5, 20)),
+            LocationTemporalAuthorization(("Alice", "X"), (30, 40), (35, 50)),
+        ]
+        window = IntervalSet([(0, 8), (32, 60)])
+        grant, departure = step_durations(auths, window)
+        assert grant == IntervalSet([(0, 8), (32, 40)])
+        assert departure == IntervalSet([(5, 20), (35, 50)])
+
+    def test_empty_when_no_authorization_matches_window(self):
+        auths = [LocationTemporalAuthorization(("Alice", "X"), (0, 10), (5, 20))]
+        grant, departure = step_durations(auths, IntervalSet([(50, 60)]))
+        assert grant.is_empty
+        assert departure.is_empty
+
+    def test_empty_window_yields_empty_sets(self):
+        auths = [LocationTemporalAuthorization(("Alice", "X"), (0, 10), (5, 20))]
+        grant, departure = step_durations(auths, IntervalSet.empty())
+        assert grant.is_empty and departure.is_empty
+
+
+class TestAuthorizeRoute:
+    def test_route_a_b_is_authorized(self, table1_index):
+        # From the Table 2 worked example: A ([2,35]/[20,50]) then B ([40,60]/[55,80]).
+        result = authorize_route(["A", "B"], "Alice", table1_index)
+        assert result.authorized
+        assert result.grant_duration == IntervalSet([(2, 35)])
+        assert result.departure_duration == IntervalSet([(55, 80)])
+        assert result.blocking_location is None
+
+    def test_route_a_d_is_authorized(self, table1_index):
+        result = authorize_route(["A", "D"], "Alice", table1_index)
+        assert result.authorized
+        # D's grant within A's departure window [20,50] is [20,25].
+        assert result.steps[1].grant == IntervalSet([(20, 25)])
+
+    def test_route_to_c_is_never_authorized(self, table1_index):
+        # C is the paper's inaccessible location: neither via B nor via D.
+        for route in (["A", "B", "C"], ["A", "D", "C"]):
+            result = authorize_route(route, "Alice", table1_index)
+            assert not result.authorized
+            assert result.blocking_location == "C"
+
+    def test_unknown_subject_is_never_authorized(self, table1_index):
+        assert not authorize_route(["A", "B"], "Eve", table1_index).authorized
+
+    def test_route_accepts_route_object_and_plain_iterable_of_auths(self):
+        auths = paper.table1_authorizations()
+        result = authorize_route(Route(("A", "B")), "Alice", auths)
+        assert result.authorized
+
+    def test_request_duration_restricts_the_route(self, table1_index):
+        # With a request window that ends before A's entry opens, nothing works.
+        result = authorize_route(
+            ["A", "B"], "Alice", table1_index, request_duration=TimeInterval(0, 1)
+        )
+        assert not result.authorized
+        assert result.blocking_location == "A"
+
+    def test_single_location_route(self, table1_index):
+        result = authorize_route(["A"], "Alice", table1_index)
+        assert result.authorized
+        assert result.grant_duration == IntervalSet([(2, 35)])
+        # For a single-location route the departure set is still computed.
+        assert result.departure_duration == IntervalSet([(20, 50)])
+
+    def test_steps_after_block_are_marked_unreachable(self, table1_index):
+        result = authorize_route(["A", "B", "C", "D"], "Alice", table1_index)
+        assert not result.authorized
+        # C blocks; the following step (D) is evaluated against an empty window.
+        step_for_d = result.steps[3]
+        assert step_for_d.window.is_empty
+        assert not step_for_d.reachable
+
+    def test_exit_only_constraint_blocks_intermediate(self):
+        # An intermediate location whose exit window is already closed blocks
+        # the rest of the route even though it can be entered.
+        auths = [
+            LocationTemporalAuthorization(("Alice", "A"), (0, 100), (0, 100)),
+            # B can be entered late, but must be left by 10 — impossible when
+            # reached after 10.
+            LocationTemporalAuthorization(("Alice", "B"), (0, 10), (0, 10)),
+            LocationTemporalAuthorization(("Alice", "C"), (0, 100), (0, 100)),
+        ]
+        result = authorize_route(
+            ["A", "B", "C"], "Alice", auths, request_duration=TimeInterval(20, 80)
+        )
+        assert not result.authorized

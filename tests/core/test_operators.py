@@ -1,0 +1,199 @@
+"""Unit tests for the four operator families of Definition 5."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.core.authorization import UNLIMITED_ENTRIES
+from repro.core.operators.location import (
+    AllRouteFrom,
+    CustomLocationOperator,
+    EntryLocationsOf,
+    LocationsWithTag,
+    MembersOfComposite,
+    NeighborsOf,
+    SAME_LOCATION,
+)
+from repro.core.operators.numeric import (
+    AddEntries,
+    ConstantEntries,
+    CustomEntryExpression,
+    SAME_ENTRIES,
+    ScaleEntries,
+    UnlimitedEntries,
+)
+from repro.core.operators.subject import (
+    CustomSubjectOperator,
+    ManagementChainOf,
+    MembersOfGroup,
+    SAME_SUBJECT,
+    SubjectsWithRole,
+    SubordinatesOf,
+    SupervisorOf,
+)
+from repro.core.operators.temporal import (
+    CustomTemporalOperator,
+    Intersection,
+    Union_,
+    WHENEVER,
+    Whenever,
+    WheneverNot,
+)
+from repro.core.subjects import SubjectDirectory
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+@pytest.fixture
+def directory():
+    d = SubjectDirectory()
+    d.set_supervisor("Alice", "Bob")
+    d.set_supervisor("Bob", "Carol")
+    d.add_to_group("cleaners", "Dave", "Eve")
+    d.add_subject("Guard1", roles={"guard"})
+    return d
+
+
+class TestTemporalOperators:
+    def test_whenever_returns_input(self):
+        assert Whenever()((5, 20)) == [TimeInterval(5, 20)]
+        assert WHENEVER(TimeInterval(0, FOREVER)) == [TimeInterval(0, FOREVER)]
+
+    def test_whenever_not_two_pieces(self):
+        # WHENEVERNOT([t0,t1]) = [t_r, t0-1] and [t1+1, ∞]
+        assert WheneverNot()((10, 20), 3) == [TimeInterval(3, 9), TimeInterval(21, FOREVER)]
+
+    def test_whenever_not_when_base_starts_at_rule_validity(self):
+        assert WheneverNot()((0, 20), 0) == [TimeInterval(21, FOREVER)]
+
+    def test_whenever_not_of_unbounded_interval(self):
+        assert WheneverNot()(TimeInterval(10, FOREVER), 0) == [TimeInterval(0, 9)]
+
+    def test_union_merging_and_disjoint(self):
+        assert Union_((15, 30))((5, 20)) == [TimeInterval(5, 30)]
+        assert Union_((40, 50))((5, 20)) == [TimeInterval(5, 20), TimeInterval(40, 50)]
+
+    def test_intersection_example2(self):
+        assert Intersection((10, 30))((5, 20)) == [TimeInterval(10, 20)]
+
+    def test_intersection_disjoint_gives_nothing(self):
+        assert Intersection((30, 40))((5, 20)) == []
+
+    def test_custom_temporal_operator(self):
+        shift = CustomTemporalOperator(lambda interval, t_r: interval.shift(5), "SHIFT5")
+        assert shift((0, 10)) == [TimeInterval(5, 15)]
+        assert shift.name == "SHIFT5"
+        nothing = CustomTemporalOperator(lambda interval, t_r: None)
+        assert nothing((0, 10)) == []
+        many = CustomTemporalOperator(lambda interval, t_r: [(0, 1), (3, 4)])
+        assert many((0, 10)) == [TimeInterval(0, 1), TimeInterval(3, 4)]
+
+    def test_coercion_error(self):
+        with pytest.raises(RuleError):
+            Whenever()("garbage")
+
+
+class TestSubjectOperators:
+    def test_same_subject(self, directory):
+        assert SAME_SUBJECT("Alice", directory) == ["Alice"]
+
+    def test_supervisor_of(self, directory):
+        assert SupervisorOf()("Alice", directory) == ["Bob"]
+        assert SupervisorOf()("Carol", directory) == []
+
+    def test_subordinates_of(self, directory):
+        assert SubordinatesOf()("Bob", directory) == ["Alice"]
+
+    def test_management_chain(self, directory):
+        assert ManagementChainOf()("Alice", directory) == ["Bob", "Carol"]
+
+    def test_members_of_group(self, directory):
+        assert MembersOfGroup("cleaners")("Alice", directory) == ["Dave", "Eve"]
+        assert "cleaners" in MembersOfGroup("cleaners").name
+
+    def test_subjects_with_role(self, directory):
+        assert SubjectsWithRole("guard")("Alice", directory) == ["Guard1"]
+
+    def test_custom_subject_operator(self, directory):
+        buddy = CustomSubjectOperator(lambda subject, d: f"{subject}-buddy", "BUDDY")
+        assert buddy("Alice", directory) == ["Alice-buddy"]
+        nobody = CustomSubjectOperator(lambda subject, d: None)
+        assert nobody("Alice", directory) == []
+
+
+class TestLocationOperators:
+    def test_same_location(self, campus):
+        assert SAME_LOCATION("CAIS", campus) == ["CAIS"]
+
+    def test_all_route_from_shortest(self, campus):
+        # Example 3: grant all locations on the route from SCE.GO to CAIS.
+        derived = AllRouteFrom("SCE.GO")("CAIS", campus)
+        assert derived == ["CAIS", "SCE.GO", "SCE.SectionA", "SCE.SectionB"]
+
+    def test_all_route_from_all_routes(self, campus):
+        derived = AllRouteFrom("SCE.GO", shortest_only=False, max_length=5)("CAIS", campus)
+        assert {"CAIS", "SCE.GO", "SCE.SectionA", "SCE.SectionB"} <= set(derived)
+
+    def test_neighbors_of(self, campus):
+        derived = NeighborsOf()("CAIS", campus)
+        assert derived == ["CAIS", "SCE.SectionB"]
+        without_base = NeighborsOf(include_base=False)("CAIS", campus)
+        assert without_base == ["SCE.SectionB"]
+
+    def test_members_of_composite(self, campus):
+        derived = MembersOfComposite("SCE")("CAIS", campus)
+        assert set(derived) == campus.members_of("SCE")
+        implicit = MembersOfComposite()("Lab1", campus)
+        assert set(implicit) == campus.members_of("EEE")
+
+    def test_locations_with_tag(self, campus):
+        labs = LocationsWithTag("lab")("CAIS", campus)
+        assert set(labs) == {"CAIS", "CHIPES", "Lab1", "Lab2"}
+
+    def test_entry_locations_of(self, campus):
+        assert set(EntryLocationsOf()("CAIS", campus)) == set(campus.entry_locations)
+        assert set(EntryLocationsOf("EEE")("CAIS", campus)) == {"EEE.GO", "EEE.SectionC"}
+
+    def test_custom_location_operator(self, campus):
+        upper = CustomLocationOperator(lambda location, h: [location], "ID")
+        assert upper("CAIS", campus) == ["CAIS"]
+        nothing = CustomLocationOperator(lambda location, h: None)
+        assert nothing("CAIS", campus) == []
+
+
+class TestEntryExpressions:
+    def test_same_entries(self):
+        assert SAME_ENTRIES(3) == 3
+        assert SAME_ENTRIES(UNLIMITED_ENTRIES) is UNLIMITED_ENTRIES
+
+    def test_constant(self):
+        assert ConstantEntries(2)(99) == 2
+        with pytest.raises(RuleError):
+            ConstantEntries(0)
+
+    def test_unlimited(self):
+        assert UnlimitedEntries()(1) is UNLIMITED_ENTRIES
+
+    def test_add(self):
+        assert AddEntries(2)(3) == 5
+        assert AddEntries(-10)(3) == 1  # floored at one entry
+        assert AddEntries(1)(UNLIMITED_ENTRIES) is UNLIMITED_ENTRIES
+
+    def test_scale(self):
+        assert ScaleEntries(2.0)(3) == 6
+        assert ScaleEntries(0.1)(3) == 1
+        assert ScaleEntries(0.5)(UNLIMITED_ENTRIES) is UNLIMITED_ENTRIES
+        with pytest.raises(RuleError):
+            ScaleEntries(0)
+
+    def test_custom_expression_is_validated(self):
+        doubler = CustomEntryExpression(lambda n: n * 2, "DOUBLE")
+        assert doubler(2) == 4
+        broken = CustomEntryExpression(lambda n: -1)
+        with pytest.raises(RuleError):
+            broken(2)

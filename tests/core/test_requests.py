@@ -1,0 +1,70 @@
+"""Unit tests for access requests and decisions (Definitions 6 and 7)."""
+
+import pytest
+
+from repro.errors import EnforcementError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+
+
+AUTH = LocationTemporalAuthorization(("Alice", "CAIS"), (10, 20), (10, 50), 2, auth_id="A1")
+
+
+class TestAccessRequest:
+    def test_triple(self):
+        request = AccessRequest(10, "Alice", "CAIS")
+        assert request.as_triple() == (10, "Alice", "CAIS")
+        assert str(request) == "(10, Alice, CAIS)"
+
+    def test_request_ids_are_unique(self):
+        assert AccessRequest(0, "A", "X").request_id != AccessRequest(0, "A", "X").request_id
+
+    @pytest.mark.parametrize("bad_time", [-1, 1.5, None, True])
+    def test_invalid_times_rejected(self, bad_time):
+        with pytest.raises(EnforcementError):
+            AccessRequest(bad_time, "Alice", "CAIS")
+
+    def test_invalid_subject_or_location(self):
+        with pytest.raises(Exception):
+            AccessRequest(0, "", "CAIS")
+        with pytest.raises(Exception):
+            AccessRequest(0, "Alice", "")
+
+
+class TestAccessDecision:
+    def test_grant_constructor(self):
+        request = AccessRequest(10, "Alice", "CAIS")
+        decision = AccessDecision.grant(request, AUTH, entries_used=1)
+        assert decision.granted
+        assert bool(decision)
+        assert decision.authorization is AUTH
+        assert decision.reason is None
+        assert decision.entries_used == 1
+        assert "GRANT" in str(decision)
+
+    def test_deny_constructor(self):
+        request = AccessRequest(15, "Bob", "CAIS")
+        decision = AccessDecision.deny(request, DenialReason.NO_AUTHORIZATION)
+        assert not decision.granted
+        assert not bool(decision)
+        assert decision.reason is DenialReason.NO_AUTHORIZATION
+        assert "DENY" in str(decision)
+
+    def test_granted_decision_requires_authorization(self):
+        request = AccessRequest(10, "Alice", "CAIS")
+        with pytest.raises(EnforcementError):
+            AccessDecision(request, True, None, None)
+
+    def test_granted_decision_cannot_carry_reason(self):
+        request = AccessRequest(10, "Alice", "CAIS")
+        with pytest.raises(EnforcementError):
+            AccessDecision(request, True, AUTH, DenialReason.NO_AUTHORIZATION)
+
+    def test_denied_decision_requires_reason(self):
+        request = AccessRequest(10, "Alice", "CAIS")
+        with pytest.raises(EnforcementError):
+            AccessDecision(request, False, None, None)
+
+    def test_denial_reasons_are_strings(self):
+        assert str(DenialReason.ENTRY_LIMIT_EXHAUSTED) == "entry_limit_exhausted"
+        assert DenialReason("no_authorization") is DenialReason.NO_AUTHORIZATION

@@ -1,0 +1,87 @@
+"""Unit tests for JSON (de)serialization of authorizations."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidAuthorizationError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.serialization import (
+    authorization_from_dict,
+    authorization_to_dict,
+    dumps_authorizations,
+    load_authorizations,
+    loads_authorizations,
+    save_authorizations,
+)
+from repro.paper import fixtures as paper
+from repro.temporal.chronon import FOREVER
+
+
+class TestRoundTrips:
+    def test_single_authorization_roundtrip(self):
+        original = LocationTemporalAuthorization(
+            ("Alice", "CAIS"), (5, 40), (20, 100), 2, created_at=3, auth_id="A1", derived_from="base", rule_id="r1"
+        )
+        restored = authorization_from_dict(authorization_to_dict(original))
+        assert restored == original
+        assert restored.auth_id == "A1"
+        assert restored.derived_from == "base"
+        assert restored.rule_id == "r1"
+        assert restored.created_at == 3
+
+    def test_unbounded_and_unlimited_roundtrip(self):
+        original = LocationTemporalAuthorization(("Alice", "CAIS"), (5, FOREVER), None)
+        restored = authorization_from_dict(authorization_to_dict(original))
+        assert restored.entry_duration.is_unbounded
+        assert restored.exit_duration.is_unbounded
+        assert restored.max_entries is UNLIMITED_ENTRIES
+
+    def test_list_roundtrip_via_strings(self):
+        originals = paper.section5_authorizations() + paper.table1_authorizations()
+        restored = loads_authorizations(dumps_authorizations(originals))
+        assert sorted(restored, key=lambda a: a.auth_id) == sorted(originals, key=lambda a: a.auth_id)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "auths.json")
+        save_authorizations(paper.table1_authorizations(), path)
+        restored = load_authorizations(path)
+        assert {auth.auth_id for auth in restored} == {"T1-A", "T1-B", "T1-C", "T1-D"}
+
+
+class TestDocumentFormat:
+    def test_json_shape(self):
+        text = dumps_authorizations(paper.section5_authorizations())
+        documents = json.loads(text)
+        assert isinstance(documents, list)
+        assert {"auth_id", "subject", "location", "entry_duration", "exit_duration", "max_entries"} <= set(
+            documents[0]
+        )
+        # Stable ordering by auth_id.
+        assert [d["auth_id"] for d in documents] == sorted(d["auth_id"] for d in documents)
+
+    def test_defaults_in_sparse_documents(self):
+        auth = authorization_from_dict(
+            {"subject": "Alice", "location": "CAIS", "entry_duration": [5, 40]}
+        )
+        assert auth.exit_duration.start == 5
+        assert auth.exit_duration.is_unbounded
+        assert auth.max_entries is UNLIMITED_ENTRIES
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "not a dict",
+            {},
+            {"subject": "Alice"},
+            {"subject": "Alice", "location": "CAIS", "entry_duration": [5]},
+            {"subject": "Alice", "location": "CAIS", "entry_duration": "soon"},
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises(InvalidAuthorizationError):
+            authorization_from_dict(document)
+
+    def test_non_list_top_level_rejected(self):
+        with pytest.raises(InvalidAuthorizationError):
+            loads_authorizations('{"subject": "Alice"}')

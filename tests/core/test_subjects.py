@@ -1,0 +1,134 @@
+"""Unit tests for subjects and the subject directory (user profiles)."""
+
+import pytest
+
+from repro.errors import AuthorizationError, UnknownSubjectError
+from repro.core.subjects import Subject, SubjectDirectory, subject_name
+
+
+class TestSubject:
+    def test_basic(self):
+        alice = Subject("Alice", "Alice L.", {"researcher"}, {"office": "CAIS"})
+        assert alice.name == "Alice"
+        assert alice.has_role("researcher")
+        assert not alice.has_role("guard")
+        assert alice.attribute("office") == "CAIS"
+        assert alice.attribute("missing", "default") == "default"
+        assert str(alice) == "Alice"
+
+    def test_equality_and_hash(self):
+        assert Subject("Alice") == Subject("Alice")
+        assert hash(Subject("Alice")) == hash(Subject("Alice"))
+
+    @pytest.mark.parametrize("bad", ["", " padded", None, 42])
+    def test_invalid_names(self, bad):
+        with pytest.raises(AuthorizationError):
+            Subject(bad)
+
+    def test_subject_name_helper(self):
+        assert subject_name("Bob") == "Bob"
+        assert subject_name(Subject("Bob")) == "Bob"
+        with pytest.raises(AuthorizationError):
+            subject_name("")
+
+
+class TestDirectoryRegistration:
+    def test_add_and_get(self):
+        directory = SubjectDirectory()
+        directory.add_subject("Alice", roles={"researcher"})
+        assert directory.get("Alice").has_role("researcher")
+        assert "Alice" in directory
+        assert len(directory) == 1
+
+    def test_idempotent_re_registration(self):
+        directory = SubjectDirectory()
+        directory.add_subject(Subject("Alice"))
+        directory.add_subject(Subject("Alice"))
+        assert len(directory) == 1
+
+    def test_conflicting_re_registration_rejected(self):
+        directory = SubjectDirectory()
+        directory.add_subject(Subject("Alice"))
+        with pytest.raises(AuthorizationError):
+            directory.add_subject(Subject("Alice", roles={"guard"}))
+
+    def test_unknown_subject_lookup(self):
+        with pytest.raises(UnknownSubjectError):
+            SubjectDirectory().get("Ghost")
+
+    def test_iteration_and_names(self):
+        directory = SubjectDirectory()
+        directory.add_subject("Alice")
+        directory.add_subject("Bob")
+        assert {subject.name for subject in directory} == {"Alice", "Bob"}
+        assert directory.subject_names == {"Alice", "Bob"}
+
+
+class TestSupervision:
+    def test_supervisor_of(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        assert directory.supervisor_of("Alice").name == "Bob"
+        assert directory.supervisor_of("Bob") is None
+
+    def test_subordinates_of(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        directory.set_supervisor("Carol", "Bob")
+        assert [s.name for s in directory.subordinates_of("Bob")] == ["Alice", "Carol"]
+        assert directory.subordinates_of("Alice") == []
+
+    def test_management_chain(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        directory.set_supervisor("Bob", "Carol")
+        assert [s.name for s in directory.management_chain_of("Alice")] == ["Bob", "Carol"]
+
+    def test_self_supervision_rejected(self):
+        directory = SubjectDirectory()
+        with pytest.raises(AuthorizationError):
+            directory.set_supervisor("Alice", "Alice")
+
+    def test_cycles_rejected(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        directory.set_supervisor("Bob", "Carol")
+        with pytest.raises(AuthorizationError):
+            directory.set_supervisor("Carol", "Alice")
+
+    def test_supervisor_of_unknown_subject(self):
+        with pytest.raises(UnknownSubjectError):
+            SubjectDirectory().supervisor_of("Ghost")
+
+    def test_reassigning_supervisor(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        directory.set_supervisor("Alice", "Carol")
+        assert directory.supervisor_of("Alice").name == "Carol"
+        assert directory.subordinates_of("Bob") == []
+
+
+class TestGroupsAndRoles:
+    def test_groups(self):
+        directory = SubjectDirectory()
+        directory.add_to_group("cleaners", "Dave", "Eve")
+        assert [s.name for s in directory.members_of("cleaners")] == ["Dave", "Eve"]
+        assert directory.groups_of("Dave") == {"cleaners"}
+        assert directory.groups() == {"cleaners"}
+        assert directory.members_of("unknown") == []
+
+    def test_invalid_group_name(self):
+        with pytest.raises(AuthorizationError):
+            SubjectDirectory().add_to_group("", "Dave")
+
+    def test_groups_of_unknown_subject(self):
+        with pytest.raises(UnknownSubjectError):
+            SubjectDirectory().groups_of("Ghost")
+
+    def test_with_role(self):
+        directory = SubjectDirectory()
+        directory.add_subject("Guard1", roles={"guard"})
+        directory.add_subject("Guard2", roles={"guard"})
+        directory.add_subject("Alice")
+        assert [s.name for s in directory.with_role("guard")] == ["Guard1", "Guard2"]
+        assert directory.with_role("janitor") == []

@@ -1,0 +1,60 @@
+"""Unit tests for alerts and the alert sink."""
+
+import pytest
+
+from repro.engine.alerts import Alert, AlertKind, AlertSink
+
+
+class TestAlert:
+    def test_construction_and_str(self):
+        alert = Alert(10, AlertKind.OVERSTAY, "Alice", "CAIS", "late")
+        assert alert.kind is AlertKind.OVERSTAY
+        assert "overstay" in str(alert)
+        assert "Alice" in str(alert)
+
+    def test_kind_coercion_from_string(self):
+        alert = Alert(10, "unauthorized_entry", "Alice", "CAIS")
+        assert alert.kind is AlertKind.UNAUTHORIZED_ENTRY
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Alert(10, "meteor_strike", "Alice", "CAIS")
+
+
+class TestAlertSink:
+    def test_emit_collects_in_order(self):
+        sink = AlertSink()
+        first = sink.emit(Alert(1, AlertKind.OVERSTAY, "Alice", "CAIS"))
+        second = sink.emit(Alert(2, AlertKind.DENIED_REQUEST, "Bob", "Lab1"))
+        assert sink.alerts == (first, second)
+        assert len(sink) == 2
+        assert list(sink) == [first, second]
+
+    def test_filters(self):
+        sink = AlertSink()
+        sink.emit(Alert(1, AlertKind.OVERSTAY, "Alice", "CAIS"))
+        sink.emit(Alert(2, AlertKind.OVERSTAY, "Bob", "Lab1"))
+        sink.emit(Alert(3, AlertKind.UNAUTHORIZED_ENTRY, "Bob", "Lab1"))
+        assert len(sink.of_kind(AlertKind.OVERSTAY)) == 2
+        assert len(sink.for_subject("Bob")) == 2
+        assert sink.counts_by_kind() == {
+            AlertKind.OVERSTAY: 2,
+            AlertKind.UNAUTHORIZED_ENTRY: 1,
+        }
+
+    def test_callbacks(self):
+        sink = AlertSink()
+        seen = []
+        sink.subscribe(seen.append)
+        alert = sink.emit(Alert(1, AlertKind.OVERSTAY, "Alice", "CAIS"))
+        assert seen == [alert]
+
+    def test_clear_keeps_callbacks(self):
+        sink = AlertSink()
+        seen = []
+        sink.subscribe(seen.append)
+        sink.emit(Alert(1, AlertKind.OVERSTAY, "Alice", "CAIS"))
+        sink.clear()
+        assert len(sink) == 0
+        sink.emit(Alert(2, AlertKind.OVERSTAY, "Alice", "CAIS"))
+        assert len(seen) == 2

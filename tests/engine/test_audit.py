@@ -1,0 +1,70 @@
+"""Unit tests for the audit log."""
+
+import pytest
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+from repro.engine.alerts import Alert, AlertKind
+from repro.engine.audit import AuditEntryKind, AuditLog
+from repro.storage.movement_db import MovementKind, MovementRecord
+from repro.temporal.interval import TimeInterval
+
+
+AUTH = LocationTemporalAuthorization(("Alice", "CAIS"), (0, 20), (0, 50), 2, auth_id="A1")
+
+
+@pytest.fixture
+def log():
+    audit = AuditLog()
+    audit.record_decision(AccessDecision.grant(AccessRequest(10, "Alice", "CAIS"), AUTH))
+    audit.record_decision(AccessDecision.deny(AccessRequest(15, "Bob", "CAIS"), DenialReason.NO_AUTHORIZATION))
+    audit.record_movement(MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER))
+    audit.record_alert(Alert(60, AlertKind.OVERSTAY, "Alice", "CAIS"))
+    audit.record_derivation(5, "Alice", "rule r1 derived 1 authorization(s)")
+    return audit
+
+
+class TestAppend:
+    def test_entry_count_and_order(self, log):
+        assert len(log) == 5
+        times = [entry.time for entry in log]
+        assert times == [10, 15, 10, 60, 5]  # append order, not time order
+
+    def test_counts_by_kind(self, log):
+        counts = log.counts()
+        assert counts[AuditEntryKind.DECISION] == 2
+        assert counts[AuditEntryKind.MOVEMENT] == 1
+        assert counts[AuditEntryKind.ALERT] == 1
+        assert counts[AuditEntryKind.DERIVATION] == 1
+
+
+class TestQueries:
+    def test_of_kind(self, log):
+        assert len(log.of_kind(AuditEntryKind.DECISION)) == 2
+        assert len(log.of_kind("alert")) == 1
+
+    def test_for_subject(self, log):
+        assert len(log.for_subject("Alice")) == 4
+        assert len(log.for_subject("Bob")) == 1
+
+    def test_within_window(self, log):
+        assert len(log.within(TimeInterval(0, 20))) == 4
+        assert len(log.within(TimeInterval(50, 70))) == 1
+
+    def test_decisions_filtered_by_outcome(self, log):
+        assert len(log.decisions()) == 2
+        assert len(log.decisions(granted=True)) == 1
+        assert len(log.decisions(granted=False)) == 1
+
+    def test_alerts(self, log):
+        alerts = log.alerts()
+        assert len(alerts) == 1
+        assert alerts[0].kind is AlertKind.OVERSTAY
+
+    def test_entry_str(self, log):
+        assert "decision" in str(log.entries[0])
+
+    def test_clear(self, log):
+        log.clear()
+        assert len(log) == 0
+        assert log.decisions() == []

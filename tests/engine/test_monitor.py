@@ -1,0 +1,135 @@
+"""Unit tests for the movement monitor (continuous monitoring, Section 1 & 5)."""
+
+import pytest
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.engine.alerts import AlertKind, AlertSink
+from repro.engine.monitor import MovementMonitor
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.storage.authorization_db import InMemoryAuthorizationDatabase
+from repro.storage.movement_db import InMemoryMovementDatabase, MovementKind, MovementRecord
+
+
+@pytest.fixture
+def setup():
+    hierarchy = ntu_campus_hierarchy()
+    auth_db = InMemoryAuthorizationDatabase(
+        [
+            LocationTemporalAuthorization(("Alice", "CAIS"), (10, 20), (10, 50), 2, auth_id="A1"),
+            LocationTemporalAuthorization(("Bob", "CHIPES"), (5, 35), (20, 100), 1, auth_id="A2"),
+        ]
+    )
+    movement_db = InMemoryMovementDatabase(hierarchy)
+    monitor = MovementMonitor(auth_db, movement_db)
+    return monitor, auth_db, movement_db
+
+
+class TestEntries:
+    def test_authorized_entry_raises_no_alert(self, setup):
+        monitor, _, movement_db = setup
+        alerts = monitor.observe_entry(10, "Alice", "CAIS")
+        assert alerts == []
+        assert movement_db.current_location("Alice") == "CAIS"
+        session = monitor.sessions.current("Alice")
+        assert session is not None and session.is_authorized
+        assert session.authorization.auth_id == "A1"
+
+    def test_unauthorized_entry_raises_alert(self, setup):
+        monitor, _, movement_db = setup
+        alerts = monitor.observe_entry(10, "Mallory", "CAIS")
+        assert [a.kind for a in alerts] == [AlertKind.UNAUTHORIZED_ENTRY]
+        # The observation is still recorded: the database holds what happened.
+        assert movement_db.current_location("Mallory") == "CAIS"
+        assert not monitor.sessions.current("Mallory").is_authorized
+
+    def test_entry_outside_window_raises_alert(self, setup):
+        monitor, _, _ = setup
+        alerts = monitor.observe_entry(60, "Alice", "CAIS")
+        assert [a.kind for a in alerts] == [AlertKind.UNAUTHORIZED_ENTRY]
+
+    def test_tailgating_second_entry_beyond_budget(self, setup):
+        monitor, _, _ = setup
+        # Bob's authorization allows a single entry into CHIPES.
+        assert monitor.observe_entry(16, "Bob", "CHIPES") == []
+        monitor.observe_exit(20, "Bob", "CHIPES")
+        alerts = monitor.observe_entry(30, "Bob", "CHIPES")
+        assert [a.kind for a in alerts] == [AlertKind.UNAUTHORIZED_ENTRY]
+
+    def test_observe_dispatches_on_record_kind(self, setup):
+        monitor, _, _ = setup
+        assert monitor.observe(MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER)) == []
+        alerts = monitor.observe(MovementRecord(55, "Alice", "CAIS", MovementKind.EXIT))
+        assert [a.kind for a in alerts] == [AlertKind.EXIT_OUTSIDE_DURATION]
+
+
+class TestExits:
+    def test_exit_within_window_is_clean(self, setup):
+        monitor, _, movement_db = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        alerts = monitor.observe_exit(30, "Alice", "CAIS")
+        assert alerts == []
+        assert movement_db.current_location("Alice") is None
+        assert monitor.sessions.current("Alice") is None
+
+    def test_exit_after_exit_window_raises_alert(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        alerts = monitor.observe_exit(60, "Alice", "CAIS")
+        assert [a.kind for a in alerts] == [AlertKind.EXIT_OUTSIDE_DURATION]
+        assert alerts[0].authorization_id == "A1"
+
+    def test_exit_without_entry_raises_untracked_alert(self, setup):
+        monitor, _, _ = setup
+        alerts = monitor.observe_exit(10, "Alice", "CAIS")
+        assert [a.kind for a in alerts] == [AlertKind.UNTRACKED_EXIT]
+
+    def test_exit_from_wrong_location_raises_untracked_alert(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        alerts = monitor.observe_exit(15, "Alice", "CHIPES")
+        assert [a.kind for a in alerts] == [AlertKind.UNTRACKED_EXIT]
+
+
+class TestOverstays:
+    def test_overstay_detected_after_exit_window_closes(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        assert monitor.check_overstays(50) == []    # window closes at 50
+        alerts = monitor.check_overstays(51)
+        assert [a.kind for a in alerts] == [AlertKind.OVERSTAY]
+        assert alerts[0].subject == "Alice"
+
+    def test_overstay_alert_not_repeated(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        assert len(monitor.check_overstays(60)) == 1
+        assert monitor.check_overstays(61) == []
+        assert monitor.check_overstays(99) == []
+
+    def test_overstay_flag_resets_after_exit_and_reentry(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Alice", "CAIS")
+        monitor.check_overstays(60)
+        monitor.observe_exit(61, "Alice", "CAIS")
+        # Re-entering (even unauthorized now it's late) opens a new session.
+        monitor.observe_entry(70, "Alice", "CAIS")
+        # A later tick does not re-alert for the *old* stay; the new session
+        # has no authorization so it never overstays.
+        assert monitor.check_overstays(80) == []
+
+    def test_unauthorized_session_never_flagged_as_overstay(self, setup):
+        monitor, _, _ = setup
+        monitor.observe_entry(10, "Mallory", "CAIS")
+        assert monitor.check_overstays(1000) == []
+
+
+class TestSharedSink:
+    def test_alerts_accumulate_in_provided_sink(self, setup):
+        hierarchy = ntu_campus_hierarchy()
+        auth_db = InMemoryAuthorizationDatabase()
+        sink = AlertSink()
+        monitor = MovementMonitor(auth_db, InMemoryMovementDatabase(hierarchy), sink)
+        monitor.observe_entry(1, "Eve", "CAIS")
+        monitor.observe_exit(2, "Eve", "CAIS")
+        assert monitor.alert_sink is sink
+        assert [a.kind for a in sink.alerts] == [AlertKind.UNAUTHORIZED_ENTRY]

@@ -1,0 +1,98 @@
+"""Unit tests for the query-language tokenizer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.engine.query.ast import (
+    AccessibleQuery,
+    AuthorizationsQuery,
+    CanEnterQuery,
+    EntriesQuery,
+    InaccessibleQuery,
+    RouteQuery,
+    ViolationsQuery,
+    WhereIsQuery,
+    WhoIsInQuery,
+)
+from repro.engine.query.parser import parse, tokenize
+from repro.temporal.interval import TimeInterval
+
+
+class TestTokenizer:
+    def test_plain_tokens(self):
+        assert tokenize("WHO IS IN CAIS") == ["WHO", "IS", "IN", "CAIS"]
+
+    def test_quoted_names(self):
+        assert tokenize('WHERE IS "Alice Smith"') == ["WHERE", "IS", "Alice Smith"]
+
+    def test_whitespace_is_collapsed(self):
+        assert tokenize("  WHO   IS IN   CAIS  ") == ["WHO", "IS", "IN", "CAIS"]
+
+    @pytest.mark.parametrize("bad", ["", "   ", None, 42])
+    def test_invalid_input(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            tokenize(bad)
+
+
+class TestParsing:
+    def test_who_is_in(self):
+        assert parse("WHO IS IN CAIS") == WhoIsInQuery("CAIS", None)
+        assert parse("who is in CAIS at 15") == WhoIsInQuery("CAIS", 15)
+
+    def test_where_is(self):
+        assert parse("WHERE IS Alice") == WhereIsQuery("Alice", None)
+        assert parse("WHERE IS Alice AT 30") == WhereIsQuery("Alice", 30)
+
+    def test_can_enter(self):
+        assert parse("CAN Bob ENTER CHIPES AT 16") == CanEnterQuery("Bob", "CHIPES", 16)
+
+    def test_authorizations(self):
+        assert parse("AUTHORIZATIONS FOR Alice") == AuthorizationsQuery("Alice", None)
+        assert parse("AUTHORIZATIONS FOR Alice AT CAIS") == AuthorizationsQuery("Alice", "CAIS")
+
+    def test_accessibility_queries(self):
+        assert parse("INACCESSIBLE LOCATIONS FOR Alice") == InaccessibleQuery("Alice")
+        assert parse("INACCESSIBLE FOR Alice") == InaccessibleQuery("Alice")
+        assert parse("ACCESSIBLE FOR Alice") == AccessibleQuery("Alice")
+
+    def test_violations(self):
+        assert parse("VIOLATIONS") == ViolationsQuery(None, None)
+        assert parse("VIOLATIONS FOR Bob") == ViolationsQuery("Bob", None)
+        assert parse("VIOLATIONS BETWEEN 10 AND 50") == ViolationsQuery(None, TimeInterval(10, 50))
+        assert parse("VIOLATIONS FOR Bob BETWEEN 10 AND 50") == ViolationsQuery(
+            "Bob", TimeInterval(10, 50)
+        )
+
+    def test_entries(self):
+        assert parse("ENTRIES OF Bob INTO CHIPES") == EntriesQuery("Bob", "CHIPES")
+
+    def test_route(self):
+        assert parse("ROUTE FROM SCE.GO TO CAIS") == RouteQuery("SCE.GO", "CAIS", None)
+        assert parse("ROUTE FROM SCE.GO TO CAIS FOR Alice") == RouteQuery("SCE.GO", "CAIS", "Alice")
+
+    def test_keywords_are_case_insensitive(self):
+        assert parse("can Bob enter CHIPES at 16") == CanEnterQuery("Bob", "CHIPES", 16)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "HELLO WORLD",
+            "WHO IS CAIS",
+            "WHO IS IN",
+            "WHERE Alice",
+            "CAN Bob ENTER CHIPES",
+            "CAN Bob ENTER CHIPES AT noon",
+            "CAN Bob ENTER CHIPES AT -5",
+            "AUTHORIZATIONS Alice",
+            "VIOLATIONS BETWEEN 50 AND 10",
+            "ENTRIES OF Bob",
+            "ROUTE FROM SCE.GO",
+            "WHO IS IN CAIS AT 15 EXTRA",
+            "WHO IS IN FOR",
+        ],
+    )
+    def test_malformed_queries_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse(text)

@@ -1,0 +1,88 @@
+"""Unit tests for occupancy sessions and the session table."""
+
+import pytest
+
+from repro.errors import EnforcementError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.engine.session import OccupancySession, SessionTable
+
+
+AUTH = LocationTemporalAuthorization(("Alice", "CAIS"), (0, 20), (5, 30), 2, auth_id="A1")
+
+
+class TestOccupancySession:
+    def test_open_and_close(self):
+        session = OccupancySession("Alice", "CAIS", 10, AUTH)
+        assert session.is_open
+        assert session.is_authorized
+        session.close(15)
+        assert not session.is_open
+        assert session.exited_at == 15
+        assert session.duration() == 5
+
+    def test_double_close_rejected(self):
+        session = OccupancySession("Alice", "CAIS", 10)
+        session.close(12)
+        with pytest.raises(EnforcementError):
+            session.close(13)
+
+    def test_close_before_entry_rejected(self):
+        with pytest.raises(EnforcementError):
+            OccupancySession("Alice", "CAIS", 10).close(5)
+
+    def test_duration_of_open_session_needs_now(self):
+        session = OccupancySession("Alice", "CAIS", 10)
+        assert session.duration(now=14) == 4
+        with pytest.raises(EnforcementError):
+            session.duration()
+
+    def test_overstay_detection(self):
+        session = OccupancySession("Alice", "CAIS", 10, AUTH)
+        assert not session.overstayed_at(30)   # exit window closes at 30
+        assert session.overstayed_at(31)
+        session.close(20)
+        assert not session.overstayed_at(99)   # closed sessions never overstay
+
+    def test_unauthorized_session_never_overstays(self):
+        session = OccupancySession("Mallory", "CAIS", 10, None)
+        assert not session.is_authorized
+        assert not session.overstayed_at(1000)
+
+
+class TestSessionTable:
+    def test_open_close_current(self):
+        table = SessionTable()
+        session = table.open("Alice", "CAIS", 10, AUTH)
+        assert table.current("Alice") is session
+        assert len(table) == 1
+        closed = table.close("Alice", 20)
+        assert closed is session
+        assert table.current("Alice") is None
+        assert table.closed_sessions() == [session]
+
+    def test_close_unknown_subject_returns_none(self):
+        assert SessionTable().close("Ghost", 5) is None
+
+    def test_reopening_force_closes_previous_session(self):
+        table = SessionTable()
+        first = table.open("Alice", "CAIS", 10)
+        second = table.open("Alice", "Lab1", 15)
+        assert table.current("Alice") is second
+        assert first in table.closed_sessions()
+        assert first.exited_at == 15
+
+    def test_occupants(self):
+        table = SessionTable()
+        table.open("Alice", "CAIS", 10)
+        table.open("Bob", "CAIS", 11)
+        table.open("Carol", "Lab1", 12)
+        assert table.occupants("CAIS") == ["Alice", "Bob"]
+        assert table.occupants("Lab1") == ["Carol"]
+        assert table.occupants("Lab2") == []
+
+    def test_iteration_over_open_sessions(self):
+        table = SessionTable()
+        table.open("Alice", "CAIS", 10)
+        table.open("Bob", "Lab1", 11)
+        assert {session.subject for session in table} == {"Alice", "Bob"}
+        assert len(table.open_sessions()) == 2

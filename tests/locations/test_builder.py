@@ -1,0 +1,109 @@
+"""Unit tests for the location-graph and multilevel-graph builders."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.locations.builder import LocationGraphBuilder, MultilevelGraphBuilder
+from repro.locations.location import PrimitiveLocation
+from repro.locations.multilevel import LocationHierarchy
+
+
+class TestLocationGraphBuilder:
+    def test_basic_build(self):
+        graph = (
+            LocationGraphBuilder("G")
+            .add_locations("A", "B")
+            .add_edge("A", "B")
+            .mark_entry("A")
+            .build()
+        )
+        assert graph.location_names == {"A", "B"}
+        assert graph.entry_locations == {"A"}
+
+    def test_add_location_with_metadata_and_entry_flag(self):
+        graph = (
+            LocationGraphBuilder("G")
+            .add_location("Lobby", description="front desk", tags=("lobby",), entry=True)
+            .add_location("Office")
+            .add_edge("Lobby", "Office")
+            .build()
+        )
+        assert graph.get("Lobby").has_tag("lobby")
+        assert graph.is_entry("Lobby")
+
+    def test_add_edge_implicitly_creates_endpoints(self):
+        graph = LocationGraphBuilder("G").add_edge("A", "B").mark_entry("A").build()
+        assert graph.location_names == {"A", "B"}
+
+    def test_add_path_chains_edges(self):
+        graph = (
+            LocationGraphBuilder("G").add_path("A", "B", "C", "D").mark_entry("A").build()
+        )
+        assert graph.has_edge("A", "B")
+        assert graph.has_edge("C", "D")
+        assert not graph.has_edge("A", "C")
+
+    def test_accepts_primitive_location_objects(self):
+        graph = (
+            LocationGraphBuilder("G")
+            .add_location(PrimitiveLocation("X", tags={"lab"}), entry=True)
+            .build()
+        )
+        assert graph.get("X").has_tag("lab")
+
+    def test_missing_entry_fails_at_build_time(self):
+        with pytest.raises(GraphStructureError):
+            LocationGraphBuilder("G").add_locations("A").build()
+
+    def test_disconnected_fails_at_build_time(self):
+        builder = LocationGraphBuilder("G").add_locations("A", "B").mark_entry("A")
+        with pytest.raises(GraphStructureError):
+            builder.build()
+        # but is accepted when connectivity validation is off
+        graph = builder.build(validate_connectivity=False)
+        assert graph.location_names == {"A", "B"}
+
+
+class TestMultilevelGraphBuilder:
+    def test_build_with_prebuilt_children(self):
+        child_a = LocationGraphBuilder("A").add_edge("A.1", "A.2").mark_entry("A.1").build()
+        child_b = LocationGraphBuilder("B").add_edge("B.1", "B.2").mark_entry("B.1").build()
+        campus = (
+            MultilevelGraphBuilder("Campus")
+            .add_child(child_a, entry=True)
+            .add_child(child_b)
+            .connect("A", "B")
+            .build()
+        )
+        assert campus.child_names == {"A", "B"}
+        assert campus.entry_children == {"A"}
+
+    def test_build_with_nested_builders(self):
+        campus = (
+            MultilevelGraphBuilder("Campus")
+            .add_child(
+                LocationGraphBuilder("A").add_edge("A.1", "A.2").mark_entry("A.1"), entry=True
+            )
+            .add_child(LocationGraphBuilder("B").add_edge("B.1", "B.2").mark_entry("B.1"))
+            .connect("A", "B")
+            .build()
+        )
+        assert campus.get_child("A").location_names == {"A.1", "A.2"}
+
+    def test_duplicate_child_rejected(self):
+        builder = MultilevelGraphBuilder("Campus").add_child(
+            LocationGraphBuilder("A").add_edge("A.1", "A.2").mark_entry("A.1")
+        )
+        with pytest.raises(GraphStructureError):
+            builder.add_child(LocationGraphBuilder("A").add_edge("A.3", "A.4").mark_entry("A.3"))
+
+    def test_build_hierarchy_convenience(self):
+        hierarchy = (
+            MultilevelGraphBuilder("Campus")
+            .add_child(
+                LocationGraphBuilder("A").add_edge("A.1", "A.2").mark_entry("A.1"), entry=True
+            )
+            .build_hierarchy()
+        )
+        assert isinstance(hierarchy, LocationHierarchy)
+        assert hierarchy.primitive_names == {"A.1", "A.2"}

@@ -1,0 +1,153 @@
+"""Unit tests for LocationGraph (Definition 1)."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateLocationError,
+    GraphStructureError,
+    UnknownLocationError,
+)
+from repro.locations.graph import Edge, LocationGraph
+from repro.locations.location import PrimitiveLocation
+
+
+def simple_graph() -> LocationGraph:
+    return LocationGraph(
+        "G",
+        ["A", "B", "C"],
+        [("A", "B"), ("B", "C")],
+        ["A"],
+    )
+
+
+class TestEdge:
+    def test_key_is_order_independent(self):
+        assert Edge("A", "B").key == Edge("B", "A").key
+
+    def test_other_endpoint(self):
+        edge = Edge("A", "B")
+        assert edge.other("A") == "B"
+        assert edge.other("B") == "A"
+        with pytest.raises(UnknownLocationError):
+            edge.other("C")
+
+    def test_touches(self):
+        assert Edge("A", "B").touches("A")
+        assert not Edge("A", "B").touches("C")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphStructureError):
+            Edge("A", "A")
+
+    def test_iteration_and_str(self):
+        assert list(Edge("A", "B")) == ["A", "B"]
+        assert "A" in str(Edge("A", "B"))
+
+
+class TestConstruction:
+    def test_basic_graph(self):
+        graph = simple_graph()
+        assert len(graph) == 3
+        assert graph.location_names == {"A", "B", "C"}
+        assert graph.entry_locations == {"A"}
+
+    def test_accepts_primitive_location_objects(self):
+        graph = LocationGraph("G", [PrimitiveLocation("X", tags={"lab"})], [], ["X"])
+        assert graph.get("X").has_tag("lab")
+
+    def test_requires_at_least_one_location(self):
+        with pytest.raises(GraphStructureError):
+            LocationGraph("G", [], [], [])
+
+    def test_requires_entry_location(self):
+        with pytest.raises(GraphStructureError):
+            LocationGraph("G", ["A"], [], [])
+
+    def test_entry_must_be_member(self):
+        with pytest.raises(UnknownLocationError):
+            LocationGraph("G", ["A"], [], ["Z"])
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(DuplicateLocationError):
+            LocationGraph("G", ["A", "A"], [], ["A"])
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        with pytest.raises(UnknownLocationError):
+            LocationGraph("G", ["A", "B"], [("A", "Z")], ["A"])
+
+    def test_disconnected_graph_rejected(self):
+        # Definition 1 requires location graphs to be connected.
+        with pytest.raises(GraphStructureError):
+            LocationGraph("G", ["A", "B", "C"], [("A", "B")], ["A"])
+
+    def test_disconnected_graph_allowed_when_validation_disabled(self):
+        graph = LocationGraph(
+            "G", ["A", "B", "C"], [("A", "B")], ["A"], validate_connectivity=False
+        )
+        assert not graph.is_connected()
+
+
+class TestQueries:
+    def test_membership(self):
+        graph = simple_graph()
+        assert "A" in graph
+        assert "Z" not in graph
+        assert 42 not in graph
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownLocationError):
+            simple_graph().get("Z")
+
+    def test_neighbors_and_edges(self):
+        graph = simple_graph()
+        assert graph.neighbors("B") == {"A", "C"}
+        assert graph.has_edge("A", "B")
+        assert graph.has_edge("B", "A")  # edges are bidirectional
+        assert not graph.has_edge("A", "C")
+
+    def test_neighbors_of_unknown_raises(self):
+        with pytest.raises(UnknownLocationError):
+            simple_graph().neighbors("Z")
+
+    def test_degree_and_max_degree(self):
+        graph = simple_graph()
+        assert graph.degree("B") == 2
+        assert graph.degree("A") == 1
+        assert graph.max_degree() == 2
+
+    def test_is_entry(self):
+        graph = simple_graph()
+        assert graph.is_entry("A")
+        assert not graph.is_entry("B")
+
+    def test_composite_view(self):
+        composite = simple_graph().composite
+        assert composite.name == "G"
+        assert composite.members == {"A", "B", "C"}
+
+    def test_iteration(self):
+        assert set(simple_graph()) == {"A", "B", "C"}
+
+
+class TestPathsAndCopy:
+    def test_shortest_path(self):
+        graph = simple_graph()
+        assert graph.shortest_path("A", "C") == ["A", "B", "C"]
+        assert graph.shortest_path("A", "A") == ["A"]
+
+    def test_shortest_path_none_when_disconnected(self):
+        graph = LocationGraph(
+            "G", ["A", "B", "C"], [("A", "B")], ["A"], validate_connectivity=False
+        )
+        assert graph.shortest_path("A", "C") is None
+
+    def test_copy_preserves_structure(self):
+        graph = simple_graph()
+        clone = graph.copy(name="G2")
+        assert clone.name == "G2"
+        assert clone.location_names == graph.location_names
+        assert clone.entry_locations == graph.entry_locations
+        assert {e.key for e in clone.edges} == {e.key for e in graph.edges}
+
+    def test_repr_mentions_counts(self):
+        assert "locations=3" in repr(simple_graph())

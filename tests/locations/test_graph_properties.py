@@ -1,0 +1,87 @@
+"""Property-based tests over randomly generated buildings and routes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.routes import classify_route, find_all_routes, find_route, is_route
+from repro.locations.serialization import dumps, loads
+from repro.simulation.buildings import campus, grid_building, random_building, tree_building
+
+
+@st.composite
+def random_hierarchies(draw):
+    """Random connected buildings / small campuses wrapped in a hierarchy."""
+    style = draw(st.sampled_from(["random", "tree", "grid", "campus"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    if style == "grid":
+        rows = draw(st.integers(min_value=1, max_value=4))
+        cols = draw(st.integers(min_value=1, max_value=4))
+        return LocationHierarchy(grid_building("G", rows, cols))
+    if style == "tree":
+        n = draw(st.integers(min_value=1, max_value=12))
+        return LocationHierarchy(tree_building("T", n, seed=seed))
+    if style == "random":
+        n = draw(st.integers(min_value=1, max_value=12))
+        extra = draw(st.integers(min_value=0, max_value=4))
+        return LocationHierarchy(random_building("R", n, extra_edges=extra, seed=seed))
+    buildings = draw(st.integers(min_value=1, max_value=3))
+    return LocationHierarchy(campus("C", buildings, rooms_per_building=4, seed=seed))
+
+
+class TestGeneratedGraphInvariants:
+    @given(random_hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_flattened_graph_is_connected(self, hierarchy):
+        assert hierarchy.connected()
+
+    @given(random_hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_entry_locations_are_primitives(self, hierarchy):
+        assert hierarchy.entry_locations <= hierarchy.primitive_names
+        assert hierarchy.entry_locations  # never empty
+
+    @given(random_hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_is_symmetric(self, hierarchy):
+        for location in hierarchy.primitive_names:
+            for neighbor in hierarchy.neighbors(location):
+                assert location in hierarchy.neighbors(neighbor)
+
+    @given(random_hierarchies())
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip_preserves_adjacency(self, hierarchy):
+        restored = LocationHierarchy(loads(dumps(hierarchy.root)))
+        assert restored.primitive_names == hierarchy.primitive_names
+        for location in hierarchy.primitive_names:
+            assert restored.neighbors(location) == hierarchy.neighbors(location)
+
+
+class TestGeneratedRouteInvariants:
+    @given(random_hierarchies(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_shortest_route_exists_and_is_valid(self, hierarchy, data):
+        names = sorted(hierarchy.primitive_names)
+        source = data.draw(st.sampled_from(names))
+        destination = data.draw(st.sampled_from(names))
+        route = find_route(hierarchy, source, destination)
+        assert route is not None  # hierarchies are connected
+        assert route.source == source
+        assert route.destination == destination
+        assert is_route(hierarchy, route)
+        classify_route(hierarchy, route)  # must not raise
+
+    @given(random_hierarchies(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_all_routes_are_simple_paths_no_longer_than_bound(self, hierarchy, data):
+        names = sorted(hierarchy.primitive_names)
+        source = data.draw(st.sampled_from(names))
+        destination = data.draw(st.sampled_from(names))
+        shortest = find_route(hierarchy, source, destination)
+        routes = find_all_routes(hierarchy, source, destination, max_length=6, limit=25)
+        for route in routes:
+            assert is_route(hierarchy, route)
+            assert len(set(route.locations)) == len(route.locations)
+            assert route.length <= 6
+        if shortest is not None and shortest.length <= 6:
+            assert shortest in routes or len(routes) == 25

@@ -1,0 +1,98 @@
+"""Unit tests for the canonical paper layouts (Figures 1, 2 and 4)."""
+
+import pytest
+
+from repro.locations.layouts import (
+    EEE_LOCATIONS,
+    SCE_LOCATIONS,
+    eee_school,
+    figure4_graph,
+    figure4_hierarchy,
+    ntu_campus,
+    ntu_campus_hierarchy,
+    sce_school,
+    stub_school,
+)
+
+
+class TestSceSchool:
+    def test_locations_match_figure2(self):
+        graph = sce_school()
+        assert graph.location_names == set(SCE_LOCATIONS)
+
+    def test_entry_locations(self):
+        # Figure 2 draws SCE.GO and SCE.SectionC with double lines.
+        assert sce_school().entry_locations == {"SCE.GO", "SCE.SectionC"}
+
+    def test_explicit_edge_from_text(self):
+        # "The edge between SCE.SectionB and CAIS shows one to go ... directly"
+        assert sce_school().has_edge("SCE.SectionB", "CAIS")
+
+    def test_connected(self):
+        assert sce_school().is_connected()
+
+    def test_tags(self):
+        graph = sce_school()
+        assert graph.get("CAIS").has_tag("lab")
+        assert graph.get("SCE.GO").has_tag("office")
+
+
+class TestEeeSchool:
+    def test_locations_match_figure2(self):
+        assert eee_school().location_names == set(EEE_LOCATIONS)
+
+    def test_entry_locations(self):
+        assert eee_school().entry_locations == {"EEE.GO", "EEE.SectionC"}
+
+    def test_connected(self):
+        assert eee_school().is_connected()
+
+
+class TestStubSchool:
+    def test_structure(self):
+        graph = stub_school("SME")
+        assert graph.location_names == {"SME.Lobby", "SME.GO"}
+        assert graph.entry_locations == {"SME.Lobby"}
+        assert graph.is_connected()
+
+
+class TestNtuCampus:
+    def test_children_are_the_five_schools(self):
+        campus = ntu_campus()
+        assert campus.child_names == {"SCE", "EEE", "CEE", "SME", "NBS"}
+
+    def test_sce_eee_edge_required_by_complex_route(self):
+        assert ntu_campus().has_edge("SCE", "EEE")
+
+    def test_campus_is_connected(self):
+        ntu_campus().validate()  # raises on failure
+
+    def test_hierarchy_has_20_primitives(self):
+        assert len(ntu_campus_hierarchy()) == 20
+
+    def test_hierarchy_entry_locations_come_from_entry_children(self):
+        hierarchy = ntu_campus_hierarchy()
+        assert hierarchy.entry_locations == {"SCE.GO", "SCE.SectionC", "EEE.GO", "EEE.SectionC"}
+
+    def test_hierarchy_is_connected(self):
+        assert ntu_campus_hierarchy().connected()
+
+
+class TestFigure4:
+    def test_locations_and_entry(self):
+        graph = figure4_graph()
+        assert graph.location_names == {"A", "B", "C", "D"}
+        assert graph.entry_locations == {"A"}
+
+    def test_edges_inferred_from_table2_trace(self):
+        graph = figure4_graph()
+        # Updating A flags B and D; updating B and D flags C (and A).
+        assert graph.neighbors("A") == {"B", "D"}
+        assert graph.neighbors("C") == {"B", "D"}
+        assert not graph.has_edge("B", "D")
+        assert not graph.has_edge("A", "C")
+
+    def test_hierarchy_wrapper(self):
+        hierarchy = figure4_hierarchy()
+        assert hierarchy.entry_locations == {"A"}
+        assert hierarchy.connected()

@@ -1,0 +1,77 @@
+"""Unit tests for primitive and composite location objects."""
+
+import pytest
+
+from repro.errors import LocationError
+from repro.locations.location import (
+    CompositeLocation,
+    PrimitiveLocation,
+    location_name,
+    validate_location_name,
+)
+
+
+class TestValidation:
+    def test_valid_names(self):
+        assert validate_location_name("CAIS") == "CAIS"
+        assert validate_location_name("SCE.GO") == "SCE.GO"
+
+    @pytest.mark.parametrize("bad", ["", "  padded  ", 42, None, "trailing "])
+    def test_invalid_names(self, bad):
+        with pytest.raises(LocationError):
+            validate_location_name(bad)
+
+
+class TestPrimitiveLocation:
+    def test_basic_construction(self):
+        location = PrimitiveLocation("CAIS", "research centre", {"lab"})
+        assert location.name == "CAIS"
+        assert location.description == "research centre"
+        assert location.has_tag("lab")
+        assert not location.has_tag("office")
+
+    def test_tags_are_frozen(self):
+        location = PrimitiveLocation("CAIS", tags=["lab", "lab"])
+        assert location.tags == frozenset({"lab"})
+
+    def test_equality_and_hash(self):
+        assert PrimitiveLocation("CAIS") == PrimitiveLocation("CAIS")
+        assert hash(PrimitiveLocation("CAIS")) == hash(PrimitiveLocation("CAIS"))
+        assert PrimitiveLocation("CAIS") != PrimitiveLocation("CHIPES")
+
+    def test_str(self):
+        assert str(PrimitiveLocation("CAIS")) == "CAIS"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(LocationError):
+            PrimitiveLocation("")
+
+
+class TestCompositeLocation:
+    def test_members(self):
+        composite = CompositeLocation("SCE", {"SCE.GO", "CAIS"})
+        assert "CAIS" in composite
+        assert PrimitiveLocation("CAIS") in composite
+        assert "EEE.GO" not in composite
+
+    def test_cannot_contain_itself(self):
+        with pytest.raises(LocationError):
+            CompositeLocation("SCE", {"SCE"})
+
+    def test_member_names_validated(self):
+        with pytest.raises(LocationError):
+            CompositeLocation("SCE", {""})
+
+    def test_str(self):
+        assert str(CompositeLocation("NTU")) == "NTU"
+
+
+class TestLocationName:
+    def test_accepts_strings_and_objects(self):
+        assert location_name("CAIS") == "CAIS"
+        assert location_name(PrimitiveLocation("CAIS")) == "CAIS"
+        assert location_name(CompositeLocation("SCE")) == "SCE"
+
+    def test_rejects_invalid(self):
+        with pytest.raises(LocationError):
+            location_name("")

@@ -1,0 +1,187 @@
+"""Unit tests for multilevel location graphs and the flattened hierarchy (Definition 2)."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateLocationError,
+    GraphStructureError,
+    UnknownLocationError,
+)
+from repro.locations.graph import LocationGraph
+from repro.locations.layouts import ntu_campus, sce_school
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+
+
+def building(name: str, entries=("Lobby",)) -> LocationGraph:
+    return LocationGraph(
+        name,
+        [f"{name}.Lobby", f"{name}.Room1", f"{name}.Room2"],
+        [(f"{name}.Lobby", f"{name}.Room1"), (f"{name}.Room1", f"{name}.Room2")],
+        [f"{name}.{entry}" for entry in entries],
+    )
+
+
+def two_building_campus() -> MultilevelLocationGraph:
+    return MultilevelLocationGraph(
+        "Campus", [building("B1"), building("B2")], [("B1", "B2")], ["B1"]
+    )
+
+
+class TestMultilevelConstruction:
+    def test_basic(self):
+        campus = two_building_campus()
+        assert campus.child_names == {"B1", "B2"}
+        assert campus.entry_children == {"B1"}
+        assert campus.has_edge("B1", "B2")
+        assert len(campus) == 2
+
+    def test_entry_children_default_to_all(self):
+        campus = MultilevelLocationGraph("Campus", [building("B1"), building("B2")], [("B1", "B2")])
+        assert campus.entry_children == {"B1", "B2"}
+
+    def test_entry_locations_resolve_to_primitives(self):
+        campus = two_building_campus()
+        assert campus.entry_locations == {"B1.Lobby"}
+
+    def test_requires_children(self):
+        with pytest.raises(GraphStructureError):
+            MultilevelLocationGraph("Campus", [])
+
+    def test_children_must_be_disjoint(self):
+        overlapping = LocationGraph(
+            "B9", ["B1.Lobby", "B9.Room"], [("B1.Lobby", "B9.Room")], ["B1.Lobby"]
+        )
+        with pytest.raises(GraphStructureError):
+            MultilevelLocationGraph("Campus", [building("B1"), overlapping], [("B1", "B9")])
+
+    def test_duplicate_child_names_rejected(self):
+        duplicate = building("B1")
+        other = LocationGraph("B1", ["X"], [], ["X"])
+        with pytest.raises((DuplicateLocationError, GraphStructureError)):
+            MultilevelLocationGraph("Campus", [duplicate, other])
+
+    def test_edge_with_unknown_child_rejected(self):
+        with pytest.raises(UnknownLocationError):
+            MultilevelLocationGraph("Campus", [building("B1")], [("B1", "B9")])
+
+    def test_unknown_entry_child_rejected(self):
+        with pytest.raises(UnknownLocationError):
+            MultilevelLocationGraph("Campus", [building("B1")], [], ["B9"])
+
+    def test_disconnected_children_rejected(self):
+        with pytest.raises(GraphStructureError):
+            MultilevelLocationGraph("Campus", [building("B1"), building("B2")], [])
+
+    def test_child_neighbors(self):
+        campus = two_building_campus()
+        assert campus.child_neighbors("B1") == {"B2"}
+        with pytest.raises(UnknownLocationError):
+            campus.child_neighbors("B9")
+
+    def test_get_child(self):
+        campus = two_building_campus()
+        assert campus.get_child("B1").name == "B1"
+        with pytest.raises(UnknownLocationError):
+            campus.get_child("B9")
+
+    def test_nested_multilevel(self):
+        inner = two_building_campus()
+        outer = MultilevelLocationGraph("University", [inner, building("B3")], [("Campus", "B3")])
+        assert outer.child_names == {"Campus", "B3"}
+        assert "B1.Lobby" in outer.entry_locations
+
+
+class TestHierarchy:
+    def test_primitive_and_composite_membership(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.is_primitive("B1.Room1")
+        assert hierarchy.is_composite("B2")
+        assert hierarchy.is_composite("Campus")
+        assert "B1.Room1" in hierarchy
+        assert "nope" not in hierarchy
+        assert len(hierarchy) == 6
+
+    def test_wrapping_a_plain_location_graph(self):
+        hierarchy = LocationHierarchy(building("B1"))
+        assert hierarchy.primitive_names == {"B1.Lobby", "B1.Room1", "B1.Room2"}
+        assert hierarchy.entry_locations == {"B1.Lobby"}
+
+    def test_rejects_non_graph_root(self):
+        with pytest.raises(GraphStructureError):
+            LocationHierarchy("not a graph")
+
+    def test_graph_of_and_members_of(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.graph_of("B1.Room1").name == "B1"
+        assert hierarchy.members_of("B2") == {"B2.Lobby", "B2.Room1", "B2.Room2"}
+        assert hierarchy.members_of("Campus") == hierarchy.primitive_names
+
+    def test_unknown_lookups_raise(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        with pytest.raises(UnknownLocationError):
+            hierarchy.get_primitive("missing")
+        with pytest.raises(UnknownLocationError):
+            hierarchy.get_graph("missing")
+        with pytest.raises(UnknownLocationError):
+            hierarchy.graph_of("missing")
+        with pytest.raises(UnknownLocationError):
+            hierarchy.members_of("missing")
+        with pytest.raises(UnknownLocationError):
+            hierarchy.neighbors("missing")
+
+    def test_is_part_of(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.is_part_of("B1.Room1", "B1")
+        assert hierarchy.is_part_of("B1.Room1", "Campus")
+        assert hierarchy.is_part_of("B1", "Campus")
+        assert not hierarchy.is_part_of("B1.Room1", "B2")
+        assert not hierarchy.is_part_of("Campus", "Campus")
+
+    def test_ancestors(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.ancestors_of("B1.Room1") == ["B1", "Campus"]
+        assert hierarchy.ancestors_of("B1") == ["Campus"]
+        assert hierarchy.ancestors_of("Campus") == []
+
+    def test_flattened_adjacency_within_graph(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.are_adjacent("B1.Lobby", "B1.Room1")
+        assert not hierarchy.are_adjacent("B1.Lobby", "B1.Room2")
+
+    def test_flattened_adjacency_across_composites(self):
+        # Complex-route steps: entry locations of adjacent composites connect.
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.are_adjacent("B1.Lobby", "B2.Lobby")
+        assert not hierarchy.are_adjacent("B1.Room1", "B2.Room1")
+
+    def test_entry_location_checks(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.is_entry_location("B1.Lobby")
+        assert not hierarchy.is_entry_location("B1.Room1")
+        assert hierarchy.entry_locations_of("B2") == {"B2.Lobby"}
+        assert hierarchy.entry_locations == {"B1.Lobby"}
+
+    def test_connectivity_and_degrees(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert hierarchy.connected()
+        assert hierarchy.max_degree() >= 2
+        assert hierarchy.edge_count() == 5  # 2 intra-graph edges per building + 1 bridge
+
+    def test_ntu_campus_structure(self):
+        hierarchy = LocationHierarchy(ntu_campus())
+        # 7 SCE + 7 EEE + 2 each for the three stub schools.
+        assert len(hierarchy) == 20
+        assert hierarchy.is_part_of("CAIS", "SCE")
+        assert hierarchy.is_part_of("CAIS", "NTU")
+        # The complex-route bridge of the text: SCE.GO adjacent to EEE.GO.
+        assert hierarchy.are_adjacent("SCE.GO", "EEE.GO")
+
+    def test_duplicate_primitive_across_graphs_detected(self):
+        left = LocationGraph("L", ["X", "Y"], [("X", "Y")], ["X"])
+        right = LocationGraph("R", ["X"], [], ["X"])
+        with pytest.raises(GraphStructureError):
+            MultilevelLocationGraph("Top", [left, right], [("L", "R")])
+
+    def test_repr(self):
+        hierarchy = LocationHierarchy(two_building_campus())
+        assert "Campus" in repr(hierarchy)

@@ -1,0 +1,132 @@
+"""Unit tests for route objects, validation and search (Section 3.1)."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.locations.routes import (
+    Route,
+    RouteKind,
+    classify_route,
+    find_all_routes,
+    find_route,
+    is_route,
+    locations_on_routes,
+    routes_from_entries,
+)
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+class TestRouteObject:
+    def test_source_destination_length(self):
+        route = Route(("A", "B", "C"))
+        assert route.source == "A"
+        assert route.destination == "C"
+        assert route.length == 2
+        assert len(route) == 3
+
+    def test_steps(self):
+        assert list(Route(("A", "B", "C")).steps()) == [("A", "B"), ("B", "C")]
+
+    def test_covers_and_indexing(self):
+        route = Route(("A", "B"))
+        assert route.covers("B")
+        assert not route.covers("Z")
+        assert route[0] == "A"
+
+    def test_reversed(self):
+        assert Route(("A", "B", "C")).reversed() == Route(("C", "B", "A"))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(RouteError):
+            Route(())
+
+    def test_str_uses_angle_brackets(self):
+        assert str(Route(("A", "B"))) == "⟨A, B⟩"
+
+
+class TestPaperRoutes:
+    def test_simple_route_from_the_text(self, campus):
+        # "⟨SCE.Dean's Office, SCE.SectionA, SCE.SectionB, CAIS⟩ is a simple route"
+        route = ["SCE.DeanOffice", "SCE.SectionA", "SCE.SectionB", "CAIS"]
+        assert is_route(campus, route)
+        assert classify_route(campus, route) == RouteKind.SIMPLE
+
+    def test_complex_route_from_the_text(self, campus):
+        # "⟨EEE.Dean's Office, EEE.SectionA, EEE.GO, SCE.GO, SCE.SectionA, SCE.Dean's Office⟩"
+        route = [
+            "EEE.DeanOffice",
+            "EEE.SectionA",
+            "EEE.GO",
+            "SCE.GO",
+            "SCE.SectionA",
+            "SCE.DeanOffice",
+        ]
+        assert is_route(campus, route)
+        assert classify_route(campus, route) == RouteKind.COMPLEX
+
+    def test_non_adjacent_sequence_is_not_a_route(self, campus):
+        assert not is_route(campus, ["SCE.GO", "CAIS"])
+
+    def test_sequence_with_unknown_location_is_not_a_route(self, campus):
+        assert not is_route(campus, ["SCE.GO", "Narnia"])
+
+    def test_classify_rejects_invalid_route(self, campus):
+        with pytest.raises(RouteError):
+            classify_route(campus, ["SCE.GO", "CAIS"])
+
+
+class TestRouteSearch:
+    def test_find_route_shortest(self, campus):
+        route = find_route(campus, "SCE.GO", "CAIS")
+        assert route is not None
+        assert route.source == "SCE.GO"
+        assert route.destination == "CAIS"
+        assert route.length == 3  # GO -> SectionA -> SectionB -> CAIS
+
+    def test_find_route_to_self(self, campus):
+        assert find_route(campus, "CAIS", "CAIS") == Route(("CAIS",))
+
+    def test_find_route_crosses_schools(self, campus):
+        route = find_route(campus, "CAIS", "Lab1")
+        assert route is not None
+        assert classify_route(campus, route) == RouteKind.COMPLEX
+
+    def test_find_all_routes_contains_shortest(self, campus):
+        shortest = find_route(campus, "SCE.GO", "CAIS")
+        all_routes = find_all_routes(campus, "SCE.GO", "CAIS")
+        assert shortest in all_routes
+        assert all(route.source == "SCE.GO" and route.destination == "CAIS" for route in all_routes)
+        # Simple-path enumeration: no repeated locations within a route.
+        for route in all_routes:
+            assert len(set(route.locations)) == len(route.locations)
+
+    def test_find_all_routes_respects_max_length(self, campus):
+        bounded = find_all_routes(campus, "SCE.GO", "CAIS", max_length=3)
+        assert all(route.length <= 3 for route in bounded)
+        assert len(bounded) >= 1
+
+    def test_find_all_routes_respects_limit(self, campus):
+        limited = find_all_routes(campus, "SCE.GO", "CAIS", limit=1)
+        assert len(limited) == 1
+
+    def test_every_returned_route_is_valid(self, campus):
+        for route in find_all_routes(campus, "EEE.GO", "CHIPES", max_length=8, limit=20):
+            assert is_route(campus, route)
+
+    def test_routes_from_entries(self, campus):
+        per_entry = routes_from_entries(campus, "CAIS", max_length=6, limit_per_entry=5)
+        assert set(per_entry) == set(campus.entry_locations)
+        assert any(routes for routes in per_entry.values())
+
+    def test_locations_on_routes_shortest(self, campus):
+        covered = locations_on_routes(campus, "SCE.GO", "CAIS")
+        assert covered == {"SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS"}
+
+    def test_locations_on_routes_all(self, campus):
+        covered = locations_on_routes(campus, "SCE.GO", "CAIS", shortest_only=False, max_length=5)
+        assert {"SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS"} <= covered

@@ -1,0 +1,94 @@
+"""Unit tests for JSON (de)serialization of location layouts."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.locations.graph import LocationGraph
+from repro.locations.layouts import figure4_graph, ntu_campus, sce_school
+from repro.locations.multilevel import LocationHierarchy, MultilevelLocationGraph
+from repro.locations.serialization import (
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    hierarchy_roundtrip,
+    load,
+    loads,
+    save,
+)
+
+
+def assert_same_structure(original, restored):
+    """Structural equality check for (multilevel) location graphs."""
+    assert type(original) is type(restored)
+    assert original.name == restored.name
+    if isinstance(original, LocationGraph):
+        assert original.location_names == restored.location_names
+        assert original.entry_locations == restored.entry_locations
+        assert {e.key for e in original.edges} == {e.key for e in restored.edges}
+        for name, location in original.locations.items():
+            assert restored.get(name).tags == location.tags
+            assert restored.get(name).description == location.description
+    else:
+        assert original.child_names == restored.child_names
+        assert original.entry_children == restored.entry_children
+        assert {e.key for e in original.edges} == {e.key for e in restored.edges}
+        for name in original.child_names:
+            assert_same_structure(original.get_child(name), restored.get_child(name))
+
+
+class TestRoundTrips:
+    def test_location_graph_roundtrip(self):
+        original = sce_school()
+        assert_same_structure(original, loads(dumps(original)))
+
+    def test_figure4_roundtrip(self):
+        original = figure4_graph()
+        assert_same_structure(original, loads(dumps(original)))
+
+    def test_multilevel_roundtrip(self):
+        original = ntu_campus()
+        assert_same_structure(original, loads(dumps(original)))
+
+    def test_hierarchy_roundtrip_preserves_connectivity(self):
+        hierarchy = LocationHierarchy(ntu_campus())
+        restored = hierarchy_roundtrip(hierarchy)
+        assert restored.primitive_names == hierarchy.primitive_names
+        assert restored.entry_locations == hierarchy.entry_locations
+        for primitive in hierarchy.primitive_names:
+            assert restored.neighbors(primitive) == hierarchy.neighbors(primitive)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "campus.json"
+        save(ntu_campus(), str(path))
+        assert_same_structure(ntu_campus(), load(str(path)))
+
+
+class TestDocumentFormat:
+    def test_document_is_valid_json_with_kind(self):
+        document = json.loads(dumps(sce_school()))
+        assert document["kind"] == "location_graph"
+        assert document["name"] == "SCE"
+        assert {"locations", "edges", "entry_locations"} <= set(document)
+
+    def test_multilevel_document_nests_children(self):
+        document = json.loads(dumps(ntu_campus()))
+        assert document["kind"] == "multilevel_location_graph"
+        child_kinds = {child["kind"] for child in document["children"]}
+        assert child_kinds == {"location_graph"}
+
+    def test_dict_roundtrip(self):
+        document = graph_to_dict(figure4_graph())
+        assert_same_structure(figure4_graph(), graph_from_dict(document))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphStructureError):
+            graph_from_dict({"kind": "mystery", "name": "X"})
+
+    def test_unserializable_object_rejected(self):
+        with pytest.raises(GraphStructureError):
+            graph_to_dict("not a graph")
+
+    def test_output_is_deterministic(self):
+        assert dumps(ntu_campus()) == dumps(ntu_campus())

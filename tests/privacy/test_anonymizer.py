@@ -1,0 +1,94 @@
+"""Unit tests for movement-trace anonymization (pseudonyms, generalization, k-anonymity)."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.privacy.anonymizer import TraceAnonymizer
+from repro.storage.movement_db import MovementKind, MovementRecord
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+def trace():
+    return [
+        MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER),
+        MovementRecord(12, "Bob", "CHIPES", MovementKind.ENTER),
+        MovementRecord(14, "Carol", "SCE.SectionA", MovementKind.ENTER),
+        MovementRecord(18, "Alice", "CAIS", MovementKind.EXIT),
+        MovementRecord(40, "Dave", "Lab1", MovementKind.ENTER),
+    ]
+
+
+class TestBuildingBlocks:
+    def test_pseudonyms_are_stable_within_an_export(self, campus):
+        anonymizer = TraceAnonymizer(campus)
+        assert anonymizer.pseudonym_for("Alice") == anonymizer.pseudonym_for("Alice")
+        assert anonymizer.pseudonym_for("Alice") != anonymizer.pseudonym_for("Bob")
+        assert anonymizer.pseudonym_for("Alice").startswith("user-")
+
+    def test_pseudonyms_differ_across_salts(self, campus):
+        first = TraceAnonymizer(campus, salt="export-1").pseudonym_for("Alice")
+        second = TraceAnonymizer(campus, salt="export-2").pseudonym_for("Alice")
+        assert first != second
+
+    def test_generalization(self, campus):
+        anonymizer = TraceAnonymizer(campus)
+        assert anonymizer.generalize_location("CAIS") == "SCE"
+        assert anonymizer.generalize_location("Lab2") == "EEE"
+        with pytest.raises(PrivacyError):
+            anonymizer.generalize_location("Narnia")
+
+    def test_time_buckets(self, campus):
+        anonymizer = TraceAnonymizer(campus, time_bucket=10)
+        assert anonymizer.bucket(0) == 0
+        assert anonymizer.bucket(9) == 0
+        assert anonymizer.bucket(10) == 10
+        assert anonymizer.bucket(27) == 20
+
+    def test_invalid_parameters(self, campus):
+        with pytest.raises(PrivacyError):
+            TraceAnonymizer(campus, k=0)
+        with pytest.raises(PrivacyError):
+            TraceAnonymizer(campus, time_bucket=0)
+
+
+class TestAnonymization:
+    def test_k2_suppresses_singleton_groups(self, campus):
+        anonymizer = TraceAnonymizer(campus, k=2, time_bucket=10)
+        released = anonymizer.anonymize(trace())
+        # The (SCE, bucket 10) group has Alice, Bob and Carol (3 subjects);
+        # Dave alone in EEE at bucket 40 is suppressed.
+        composites = {record.composite for record in released}
+        assert composites == {"SCE"}
+        assert len(released) == 4
+
+    def test_k1_releases_everything_generalized(self, campus):
+        anonymizer = TraceAnonymizer(campus, k=1, time_bucket=10)
+        released = anonymizer.anonymize(trace())
+        assert len(released) == len(trace())
+        assert all(record.composite in {"SCE", "EEE"} for record in released)
+        assert all(record.pseudonym.startswith("user-") for record in released)
+
+    def test_released_records_contain_no_raw_names(self, campus):
+        anonymizer = TraceAnonymizer(campus, k=1)
+        released = anonymizer.anonymize(trace())
+        raw_subjects = {"Alice", "Bob", "Carol", "Dave"}
+        raw_locations = {"CAIS", "CHIPES", "SCE.SectionA", "Lab1"}
+        for record in released:
+            assert record.pseudonym not in raw_subjects
+            assert record.composite not in raw_locations
+
+    def test_suppression_rate(self, campus):
+        anonymizer = TraceAnonymizer(campus, k=2, time_bucket=10)
+        rate = anonymizer.suppression_rate(trace())
+        assert rate == pytest.approx(1 / 5)
+        assert TraceAnonymizer(campus).suppression_rate([]) == 0.0
+
+    def test_higher_k_suppresses_more(self, campus):
+        low = TraceAnonymizer(campus, k=2, time_bucket=10).suppression_rate(trace())
+        high = TraceAnonymizer(campus, k=4, time_bucket=10).suppression_rate(trace())
+        assert high >= low

@@ -1,0 +1,78 @@
+"""Unit tests for location-privacy release policies."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.privacy.policy import Granularity, ReleasePolicy
+
+
+@pytest.fixture(scope="module")
+def campus():
+    return ntu_campus_hierarchy()
+
+
+@pytest.fixture
+def policy(campus):
+    policy = ReleasePolicy(campus, default=Granularity.DENY)
+    policy.allow_application("security-console", Granularity.EXACT)
+    policy.allow_application("room-booking", Granularity.COMPOSITE)
+    policy.allow_application("cafeteria-display", Granularity.PRESENCE)
+    return policy
+
+
+class TestGranularityResolution:
+    def test_default_is_deny(self, policy):
+        assert policy.granularity_for("unknown-app", "Alice") is Granularity.DENY
+
+    def test_application_rules(self, policy):
+        assert policy.granularity_for("security-console", "Alice") is Granularity.EXACT
+        assert policy.granularity_for("room-booking", "Alice") is Granularity.COMPOSITE
+
+    def test_subject_opt_out_is_stricter(self, policy):
+        policy.restrict_subject("Alice", Granularity.PRESENCE)
+        # Subject restriction wins over the more permissive application rule.
+        assert policy.granularity_for("security-console", "Alice") is Granularity.PRESENCE
+        assert policy.granularity_for("cafeteria-display", "Alice") is Granularity.PRESENCE
+
+    def test_subject_restriction_does_not_loosen(self, policy):
+        policy.restrict_subject("Bob", Granularity.EXACT)
+        assert policy.granularity_for("room-booking", "Bob") is Granularity.COMPOSITE
+
+    def test_invalid_application_name(self, policy):
+        with pytest.raises(PrivacyError):
+            policy.allow_application("", Granularity.EXACT)
+
+
+class TestRelease:
+    def test_exact_release(self, policy):
+        decision = policy.release("security-console", "Alice", "CAIS")
+        assert decision.released
+        assert decision.granularity is Granularity.EXACT
+        assert decision.released_value == "CAIS"
+
+    def test_composite_generalization(self, policy):
+        decision = policy.release("room-booking", "Alice", "CAIS")
+        assert decision.released_value == "SCE"
+        assert decision.granularity is Granularity.COMPOSITE
+
+    def test_presence_only(self, policy):
+        decision = policy.release("cafeteria-display", "Alice", "CAIS")
+        assert decision.released_value == "present"
+
+    def test_deny_releases_nothing(self, policy):
+        decision = policy.release("unknown-app", "Alice", "CAIS")
+        assert not decision.released
+        assert decision.released_value is None
+
+    def test_untracked_subject_reports_absent(self, policy):
+        decision = policy.release("security-console", "Alice", None)
+        assert decision.released_value == "absent"
+
+    def test_generalize_unknown_location(self, policy):
+        with pytest.raises(PrivacyError):
+            policy.generalize("Narnia")
+
+    def test_generalize_maps_to_containing_school(self, policy):
+        assert policy.generalize("Lab1") == "EEE"
+        assert policy.generalize("SCE.GO") == "SCE"

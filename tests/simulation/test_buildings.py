@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic building and campus generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import (
+    campus,
+    campus_hierarchy,
+    corridor_building,
+    grid_building,
+    random_building,
+    tree_building,
+)
+
+
+class TestCorridorBuilding:
+    def test_structure(self):
+        graph = corridor_building("B", 3)
+        assert len(graph) == 6
+        assert graph.entry_locations == {"B.Corridor0"}
+        assert graph.is_connected()
+        assert graph.has_edge("B.Corridor0", "B.Room0")
+        assert graph.has_edge("B.Corridor0", "B.Corridor1")
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            corridor_building("B", 0)
+
+
+class TestGridBuilding:
+    def test_structure_and_entries(self):
+        graph = grid_building("G", 3, 4, entries=2)
+        assert len(graph) == 12
+        assert graph.entry_locations == {"G.R0C0", "G.R0C1"}
+        assert graph.is_connected()
+        # 4-neighbour connectivity, not diagonal.
+        assert graph.has_edge("G.R0C0", "G.R0C1")
+        assert graph.has_edge("G.R0C0", "G.R1C0")
+        assert not graph.has_edge("G.R0C0", "G.R1C1")
+
+    def test_single_cell(self):
+        graph = grid_building("G", 1, 1)
+        assert len(graph) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            grid_building("G", 0, 3)
+        with pytest.raises(SimulationError):
+            grid_building("G", 2, 3, entries=5)
+
+
+class TestTreeAndRandomBuildings:
+    def test_tree_is_connected_and_acyclic(self):
+        graph = tree_building("T", 15, seed=3)
+        assert len(graph) == 15
+        assert graph.is_connected()
+        assert len(graph.edges) == 14  # a tree has n-1 edges
+
+    def test_tree_determinism(self):
+        a = tree_building("T", 10, seed=5)
+        b = tree_building("T", 10, seed=5)
+        assert {e.key for e in a.edges} == {e.key for e in b.edges}
+
+    def test_random_building_connected_with_extra_edges(self):
+        graph = random_building("R", 12, extra_edges=5, seed=9)
+        assert graph.is_connected()
+        assert len(graph.edges) >= 11
+        assert len(graph.edges) <= 16
+
+    def test_random_building_multiple_entries(self):
+        graph = random_building("R", 6, entries=3, seed=1)
+        assert len(graph.entry_locations) == 3
+
+    def test_random_building_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            random_building("R", 3, extra_edges=-1)
+        with pytest.raises(SimulationError):
+            random_building("R", 3, entries=9)
+
+
+class TestCampus:
+    def test_campus_structure(self):
+        top = campus("C", 4, rooms_per_building=4, style="grid")
+        assert len(top) == 4
+        hierarchy = LocationHierarchy(top)
+        assert hierarchy.connected()
+        assert len(hierarchy) == 16
+
+    @pytest.mark.parametrize("style", ["grid", "corridor", "tree", "random"])
+    def test_all_styles_build_valid_hierarchies(self, style):
+        hierarchy = campus_hierarchy("C", 3, rooms_per_building=5, seed=2, style=style)
+        assert hierarchy.connected()
+        assert hierarchy.entry_locations
+
+    def test_single_building_campus(self):
+        hierarchy = campus_hierarchy("C", 1, rooms_per_building=4)
+        assert hierarchy.connected()
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SimulationError):
+            campus("C", 2, style="escher")
+
+    def test_determinism(self):
+        a = campus_hierarchy("C", 3, rooms_per_building=6, seed=4, style="random")
+        b = campus_hierarchy("C", 3, rooms_per_building=6, seed=4, style="random")
+        assert a.primitive_names == b.primitive_names
+        for name in a.primitive_names:
+            assert a.neighbors(name) == b.neighbors(name)

@@ -1,0 +1,117 @@
+"""Unit tests for the movement simulator (compliant walks and injected violations)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.simulation.buildings import campus_hierarchy
+from repro.simulation.movement import MovementSimulator
+from repro.simulation.workload import AuthorizationWorkloadGenerator, WorkloadConfig, generate_subjects
+from repro.storage.movement_db import MovementKind
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return campus_hierarchy("C", 2, rooms_per_building=6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def permissive_auths(hierarchy):
+    # Unlimited access everywhere: compliant walks never get stuck.
+    return [
+        LocationTemporalAuthorization(("walker", location), (0, 10_000), (0, 20_000))
+        for location in hierarchy.primitive_names
+    ]
+
+
+class TestCompliantWalks:
+    def test_walk_produces_alternating_consistent_records(self, hierarchy, permissive_auths):
+        simulator = MovementSimulator(hierarchy, permissive_auths, seed=1)
+        trace = simulator.walk("walker", steps=8, dwell=2)
+        assert len(trace) >= 2
+        # Every ENTER is eventually matched; times never decrease.
+        times = [record.time for record in trace]
+        assert times == sorted(times)
+        # Consecutive entered locations are adjacent in the hierarchy.
+        entered = [r.location for r in trace if r.kind is MovementKind.ENTER]
+        for a, b in zip(entered, entered[1:]):
+            assert hierarchy.are_adjacent(a, b)
+
+    def test_compliant_walk_has_no_violations(self, hierarchy, permissive_auths):
+        simulator = MovementSimulator(hierarchy, permissive_auths, seed=2)
+        trace = simulator.walk("walker", steps=10)
+        assert trace.truth.violation_count == 0
+
+    def test_walk_without_authorizations_never_starts(self, hierarchy):
+        simulator = MovementSimulator(hierarchy, [], seed=3)
+        trace = simulator.walk("stranger", steps=5, p_tailgate=0.0)
+        assert len(trace) == 0
+        assert trace.truth.violation_count == 0
+
+    def test_walk_determinism(self, hierarchy, permissive_auths):
+        a = MovementSimulator(hierarchy, permissive_auths, seed=9).walk("walker", steps=6)
+        b = MovementSimulator(hierarchy, permissive_auths, seed=9).walk("walker", steps=6)
+        assert a.records == b.records
+
+    def test_invalid_parameters(self, hierarchy, permissive_auths):
+        simulator = MovementSimulator(hierarchy, permissive_auths)
+        with pytest.raises(SimulationError):
+            simulator.walk("walker", steps=-1)
+        with pytest.raises(SimulationError):
+            simulator.walk("walker", dwell=0)
+        with pytest.raises(SimulationError):
+            simulator.walk("walker", p_tailgate=2.0)
+
+
+class TestInjectedViolations:
+    def test_tailgating_produces_ground_truth_entries(self, hierarchy):
+        simulator = MovementSimulator(hierarchy, [], seed=4)
+        trace = simulator.walk("intruder", steps=6, p_tailgate=1.0)
+        assert len(trace) > 0
+        assert len(trace.truth.unauthorized_entries) >= 1
+        # Every labelled unauthorized entry corresponds to an ENTER record.
+        entered = {(r.time, r.subject, r.location) for r in trace if r.kind is MovementKind.ENTER}
+        assert set(trace.truth.unauthorized_entries) <= entered
+
+    def test_overstay_injection(self, hierarchy):
+        auths = [
+            LocationTemporalAuthorization(("sleepy", location), (0, 100), (0, 120))
+            for location in hierarchy.primitive_names
+        ]
+        simulator = MovementSimulator(hierarchy, auths, seed=5)
+        trace = simulator.walk("sleepy", steps=4, p_overstay=1.0)
+        assert len(trace.truth.overstays) >= 1
+        # The labelled overstay exits after the recorded deadline.
+        for subject, location, deadline in trace.truth.overstays:
+            exits = [
+                r for r in trace
+                if r.kind is MovementKind.EXIT and r.subject == subject and r.location == location
+            ]
+            assert any(r.time > deadline for r in exits)
+
+    def test_entry_budget_is_respected_by_compliant_walker(self, hierarchy):
+        # One-entry budgets: once used, the walker cannot re-enter, so at most
+        # one ENTER per location appears in a fully compliant walk.
+        auths = [
+            LocationTemporalAuthorization(("walker", location), (0, 10_000), (0, 20_000), 1)
+            for location in hierarchy.primitive_names
+        ]
+        simulator = MovementSimulator(hierarchy, auths, seed=6)
+        trace = simulator.walk("walker", steps=20, p_tailgate=0.0)
+        entered = [r.location for r in trace if r.kind is MovementKind.ENTER]
+        assert len(entered) == len(set(entered))
+
+
+class TestPopulationTraces:
+    def test_population_trace_merges_and_sorts(self, hierarchy):
+        subjects = generate_subjects(6)
+        generator = AuthorizationWorkloadGenerator(
+            hierarchy, config=WorkloadConfig(horizon=400, coverage=0.9), seed=8
+        )
+        auths = generator.authorizations(subjects)
+        simulator = MovementSimulator(hierarchy, auths, seed=8)
+        trace = simulator.population_trace(subjects, steps=5, p_tailgate=0.2, p_overstay=0.2)
+        times = [record.time for record in trace]
+        assert times == sorted(times)
+        assert {record.subject for record in trace} <= set(subjects)
+        assert trace.truth.violation_count >= 0

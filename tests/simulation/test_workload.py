@@ -1,0 +1,122 @@
+"""Unit tests for the authorization and request workload generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.authorization import UNLIMITED_ENTRIES
+from repro.simulation.buildings import campus_hierarchy
+from repro.simulation.workload import (
+    AuthorizationWorkloadGenerator,
+    WorkloadConfig,
+    generate_subjects,
+)
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return campus_hierarchy("C", 3, rooms_per_building=6, seed=1)
+
+
+class TestGenerateSubjects:
+    def test_names_are_unique_and_ordered(self):
+        subjects = generate_subjects(12)
+        assert len(subjects) == len(set(subjects)) == 12
+        assert subjects[0] == "user-000"
+        assert subjects[11] == "user-011"
+
+    def test_custom_prefix(self):
+        assert generate_subjects(2, prefix="guard") == ["guard-000", "guard-001"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_subjects(-1)
+
+
+class TestWorkloadConfig:
+    def test_defaults_are_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0},
+            {"coverage": 1.5},
+            {"coverage": -0.1},
+            {"window_length": 0},
+            {"dwell_allowance": -1},
+            {"max_entries": 0},
+            {"unlimited_fraction": 2.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(**kwargs)
+
+
+class TestAuthorizationGeneration:
+    def test_every_subject_gets_entry_location_grants(self, hierarchy):
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=3)
+        auths = generator.authorizations_for_subject("user-001")
+        granted_locations = {auth.location for auth in auths}
+        assert hierarchy.entry_locations <= granted_locations
+
+    def test_coverage_controls_interior_grants(self, hierarchy):
+        sparse = AuthorizationWorkloadGenerator(
+            hierarchy, config=WorkloadConfig(coverage=0.0), seed=3
+        ).authorizations_for_subject("u")
+        dense = AuthorizationWorkloadGenerator(
+            hierarchy, config=WorkloadConfig(coverage=1.0), seed=3
+        ).authorizations_for_subject("u")
+        assert len(sparse) == len(hierarchy.entry_locations)
+        assert len(dense) == len(hierarchy.primitive_names)
+
+    def test_generated_authorizations_satisfy_definition4(self, hierarchy):
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=11)
+        for auth in generator.authorizations(generate_subjects(4)):
+            assert auth.exit_duration.start >= auth.entry_duration.start
+            assert auth.exit_duration.end >= auth.entry_duration.end
+            assert auth.max_entries is UNLIMITED_ENTRIES or auth.max_entries >= 1
+            assert hierarchy.is_primitive(auth.location)
+
+    def test_determinism(self, hierarchy):
+        a = AuthorizationWorkloadGenerator(hierarchy, seed=7).authorizations(["x", "y"])
+        b = AuthorizationWorkloadGenerator(hierarchy, seed=7).authorizations(["x", "y"])
+        assert a == b
+
+    def test_different_seeds_differ(self, hierarchy):
+        a = AuthorizationWorkloadGenerator(hierarchy, seed=1).authorizations(["x"])
+        b = AuthorizationWorkloadGenerator(hierarchy, seed=2).authorizations(["x"])
+        assert a != b
+
+    def test_wide_open_entries_flag(self, hierarchy):
+        config = WorkloadConfig(wide_open_entries=True, horizon=300)
+        generator = AuthorizationWorkloadGenerator(hierarchy, config=config, seed=5)
+        for auth in generator.authorizations_for_subject("u"):
+            if auth.location in hierarchy.entry_locations:
+                assert auth.entry_duration.start == 0
+                assert int(auth.entry_duration.end) == 300
+
+
+class TestRequestGeneration:
+    def test_requests_respect_horizon_and_pools(self, hierarchy):
+        generator = AuthorizationWorkloadGenerator(
+            hierarchy, config=WorkloadConfig(horizon=100), seed=13
+        )
+        requests = generator.requests(["a", "b"], 50)
+        assert len(requests) == 50
+        assert all(0 <= request.time < 100 for request in requests)
+        assert all(request.subject in {"a", "b"} for request in requests)
+        assert all(hierarchy.is_primitive(request.location) for request in requests)
+
+    def test_requests_with_location_pool(self, hierarchy):
+        some = sorted(hierarchy.primitive_names)[:2]
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=13)
+        requests = generator.requests(["a"], 20, locations=some)
+        assert {request.location for request in requests} <= set(some)
+
+    def test_invalid_request_parameters(self, hierarchy):
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=13)
+        with pytest.raises(SimulationError):
+            generator.requests([], 5)
+        with pytest.raises(SimulationError):
+            generator.requests(["a"], -1)

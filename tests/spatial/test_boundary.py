@@ -1,0 +1,102 @@
+"""Unit tests for boundary maps (coordinates -> semantic locations)."""
+
+import pytest
+
+from repro.errors import SpatialError, UnknownLocationError
+from repro.locations.layouts import figure4_hierarchy
+from repro.spatial.boundary import BoundaryMap, grid_boundaries
+from repro.spatial.geometry import Point, Polygon, Rectangle
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("Lab", Rectangle(0, 0, 10, 10))
+        assert boundary_map.has_boundary("Lab")
+        assert boundary_map.boundary_of("Lab") == Rectangle(0, 0, 10, 10)
+        assert "Lab" in boundary_map
+        assert len(boundary_map) == 1
+
+    def test_register_all(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register_all({"A": Rectangle(0, 0, 1, 1), "B": Rectangle(2, 0, 3, 1)})
+        assert boundary_map.locations() == ("A", "B")
+
+    def test_register_validates_against_hierarchy(self):
+        hierarchy = figure4_hierarchy()
+        boundary_map = BoundaryMap(hierarchy)
+        boundary_map.register("A", Rectangle(0, 0, 1, 1))
+        with pytest.raises(UnknownLocationError):
+            boundary_map.register("NotARoom", Rectangle(0, 0, 1, 1))
+
+    def test_register_rejects_non_geometry(self):
+        with pytest.raises(SpatialError):
+            BoundaryMap().register("A", "not a shape")
+
+    def test_boundary_of_unknown_raises(self):
+        with pytest.raises(UnknownLocationError):
+            BoundaryMap().boundary_of("missing")
+
+
+class TestLocate:
+    def test_point_resolves_to_containing_location(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("A", Rectangle(0, 0, 10, 10))
+        boundary_map.register("B", Rectangle(20, 0, 30, 10))
+        assert boundary_map.locate(Point(5, 5)) == "A"
+        assert boundary_map.locate(Point(25, 5)) == "B"
+        assert boundary_map.locate(Point(15, 5)) is None
+
+    def test_overlapping_boundaries_prefer_smallest(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("Building", Rectangle(0, 0, 100, 100))
+        boundary_map.register("Room", Rectangle(10, 10, 20, 20))
+        assert boundary_map.locate(Point(15, 15)) == "Room"
+        assert boundary_map.locate(Point(50, 50)) == "Building"
+
+    def test_polygon_boundaries_supported(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("Triangle", Polygon([(0, 0), (10, 0), (0, 10)]))
+        assert boundary_map.locate(Point(1, 1)) == "Triangle"
+        assert boundary_map.locate(Point(9, 9)) is None
+
+    def test_center_of(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("A", Rectangle(0, 0, 10, 10))
+        boundary_map.register("T", Polygon([(0, 0), (3, 0), (0, 3)]))
+        assert boundary_map.center_of("A") == Point(5, 5)
+        assert boundary_map.locate(boundary_map.center_of("T")) == "T"
+
+
+class TestCoverageAndGrid:
+    def test_coverage_reports_missing_locations(self):
+        hierarchy = figure4_hierarchy()
+        boundary_map = BoundaryMap(hierarchy)
+        boundary_map.register("A", Rectangle(0, 0, 1, 1))
+        covered, missing = boundary_map.coverage()
+        assert covered == ("A",)
+        assert missing == ("B", "C", "D")
+
+    def test_coverage_without_hierarchy_has_no_missing(self):
+        boundary_map = BoundaryMap()
+        boundary_map.register("X", Rectangle(0, 0, 1, 1))
+        assert boundary_map.coverage() == (("X",), ())
+
+    def test_grid_boundaries_cover_all_locations(self):
+        hierarchy = figure4_hierarchy()
+        boundary_map = grid_boundaries(hierarchy.primitive_names, hierarchy=hierarchy, columns=2)
+        covered, missing = boundary_map.coverage()
+        assert missing == ()
+        assert len(covered) == 4
+
+    def test_grid_boundaries_are_disjoint_cells(self):
+        boundary_map = grid_boundaries(["A", "B", "C"], cell_size=5.0, columns=2)
+        # Each centre resolves to its own location.
+        for name in ("A", "B", "C"):
+            assert boundary_map.locate(boundary_map.center_of(name)) == name
+
+    def test_grid_boundaries_validate_parameters(self):
+        with pytest.raises(SpatialError):
+            grid_boundaries(["A"], cell_size=0)
+        with pytest.raises(SpatialError):
+            grid_boundaries(["A"], columns=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the 2-D geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import Point, Polygon, Rectangle
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(2, -1) == Point(3, 1)
+
+    def test_as_tuple_and_str(self):
+        assert Point(1.5, 2.0).as_tuple() == (1.5, 2.0)
+        assert str(Point(1, 2)) == "(1, 2)"
+
+    def test_ordering(self):
+        assert Point(0, 0) < Point(1, 0)
+
+
+class TestRectangle:
+    def test_dimensions(self):
+        rect = Rectangle(0, 0, 4, 3)
+        assert rect.width == 4
+        assert rect.height == 3
+        assert rect.area == 12
+        assert rect.center == Point(2.0, 1.5)
+
+    def test_from_corner_and_size(self):
+        rect = Rectangle.from_corner_and_size(Point(1, 1), 2, 3)
+        assert rect == Rectangle(1, 1, 3, 4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SpatialError):
+            Rectangle.from_corner_and_size(Point(0, 0), -1, 1)
+
+    def test_inverted_extents_rejected(self):
+        with pytest.raises(SpatialError):
+            Rectangle(5, 0, 0, 5)
+
+    def test_contains_boundary_and_interior(self):
+        rect = Rectangle(0, 0, 10, 10)
+        assert rect.contains(Point(5, 5))
+        assert rect.contains(Point(0, 0))
+        assert rect.contains(Point(10, 10))
+        assert Point(5, 5) in rect
+        assert not rect.contains(Point(10.1, 5))
+
+    def test_intersects(self):
+        assert Rectangle(0, 0, 5, 5).intersects(Rectangle(4, 4, 8, 8))
+        assert Rectangle(0, 0, 5, 5).intersects(Rectangle(5, 5, 8, 8))  # touching counts
+        assert not Rectangle(0, 0, 5, 5).intersects(Rectangle(6, 6, 8, 8))
+
+    def test_to_polygon(self):
+        polygon = Rectangle(0, 0, 2, 2).to_polygon()
+        assert polygon.area == pytest.approx(4.0)
+        assert polygon.contains(Point(1, 1))
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(SpatialError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_accepts_tuples(self):
+        polygon = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert polygon.area == pytest.approx(16.0)
+
+    def test_triangle_area_and_centroid(self):
+        triangle = Polygon([Point(0, 0), Point(4, 0), Point(0, 4)])
+        assert triangle.area == pytest.approx(8.0)
+        centroid = triangle.centroid
+        assert centroid.x == pytest.approx(4 / 3)
+        assert centroid.y == pytest.approx(4 / 3)
+
+    def test_contains_interior_boundary_exterior(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert square.contains(Point(5, 5))
+        assert square.contains(Point(0, 5))       # on an edge
+        assert square.contains(Point(10, 10))     # on a vertex
+        assert not square.contains(Point(11, 5))
+        assert Point(1, 1) in square
+
+    def test_concave_polygon_containment(self):
+        # An L-shaped room.
+        shape = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert shape.contains(Point(1, 3))
+        assert shape.contains(Point(3, 1))
+        assert not shape.contains(Point(3, 3))
+
+    def test_bounding_box(self):
+        triangle = Polygon([(1, 1), (5, 2), (3, 6)])
+        assert triangle.bounding_box() == Rectangle(1, 1, 5, 6)
+
+    def test_equality_and_hash(self):
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([(0, 0), (1, 0), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Polygon([(0, 0), (2, 0), (0, 2)])
+
+    def test_degenerate_polygon_centroid_falls_back(self):
+        flat = Polygon([(0, 0), (1, 0), (2, 0)])
+        assert flat.centroid == Point(1.0, 0.0)

@@ -1,0 +1,120 @@
+"""Unit tests for the simulated positioning / tracking substrate."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.locations.layouts import figure4_hierarchy
+from repro.spatial.boundary import grid_boundaries
+from repro.spatial.geometry import Point
+from repro.spatial.positioning import (
+    GaussianNoiseModel,
+    PositionFix,
+    RfidReader,
+    TrackingSimulator,
+)
+
+
+@pytest.fixture
+def tracker():
+    hierarchy = figure4_hierarchy()
+    boundary_map = grid_boundaries(hierarchy.primitive_names, hierarchy=hierarchy, columns=2, cell_size=10.0)
+    return TrackingSimulator(boundary_map)
+
+
+class TestPositionFix:
+    def test_negative_time_rejected(self):
+        with pytest.raises(SpatialError):
+            PositionFix(-1, "Alice", Point(0, 0))
+
+
+class TestRfidReader:
+    def test_crossing_directions(self):
+        reader = RfidReader("door-1", "A", "B")
+        into_b = reader.crossing(5, "Alice", entering_side_b=True)
+        assert (into_b.from_location, into_b.to_location) == ("A", "B")
+        into_a = reader.crossing(6, "Alice", entering_side_b=False)
+        assert (into_a.from_location, into_a.to_location) == ("B", "A")
+
+    def test_reader_needs_at_least_one_side(self):
+        with pytest.raises(SpatialError):
+            RfidReader("door-1", None, None)
+
+    def test_outdoor_side_allowed(self):
+        reader = RfidReader("front-door", None, "A")
+        event = reader.crossing(1, "Alice", entering_side_b=True)
+        assert event.from_location is None
+        assert event.to_location == "A"
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_identity(self):
+        import random
+
+        model = GaussianNoiseModel(0.0)
+        assert model.perturb(Point(1, 2), random.Random(0)) == Point(1, 2)
+
+    def test_noise_perturbs_deterministically_with_seed(self):
+        import random
+
+        model = GaussianNoiseModel(1.0)
+        a = model.perturb(Point(0, 0), random.Random(42))
+        b = model.perturb(Point(0, 0), random.Random(42))
+        assert a == b
+        assert a != Point(0, 0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(SpatialError):
+            GaussianNoiseModel(-0.1)
+
+
+class TestTrackingSimulator:
+    def test_resolve_maps_fix_to_location(self, tracker):
+        center = tracker.boundary_map.center_of("A")
+        observation = tracker.resolve(PositionFix(3, "Alice", center))
+        assert observation.location == "A"
+        assert observation.subject == "Alice"
+        assert observation.time == 3
+
+    def test_resolve_outside_all_boundaries(self, tracker):
+        observation = tracker.resolve(PositionFix(0, "Alice", Point(-100, -100)))
+        assert observation.location is None
+
+    def test_transitions_only_on_location_change(self, tracker):
+        a = tracker.boundary_map.center_of("A")
+        b = tracker.boundary_map.center_of("B")
+        fixes = [
+            PositionFix(0, "Alice", a),
+            PositionFix(1, "Alice", a),   # still in A: no transition
+            PositionFix(2, "Alice", b),
+            PositionFix(3, "Alice", b),
+        ]
+        transitions = list(tracker.transitions(fixes))
+        assert [(obs.location, previous) for obs, previous in transitions] == [("A", None), ("B", "A")]
+        assert tracker.current_location("Alice") == "B"
+
+    def test_transitions_sorted_by_time(self, tracker):
+        a = tracker.boundary_map.center_of("A")
+        b = tracker.boundary_map.center_of("B")
+        fixes = [PositionFix(5, "Alice", b), PositionFix(0, "Alice", a)]
+        transitions = list(tracker.transitions(fixes))
+        assert [obs.location for obs, _ in transitions] == ["A", "B"]
+
+    def test_fixes_for_path_walk(self, tracker):
+        fixes = tracker.fixes_for_path("Alice", ["A", "B", "C"], start_time=10, dwell=5)
+        assert [fix.time for fix in fixes] == [10, 15, 20]
+        resolved = [tracker.resolve(fix).location for fix in fixes]
+        assert resolved == ["A", "B", "C"]
+
+    def test_fixes_for_path_rejects_bad_dwell(self, tracker):
+        with pytest.raises(SpatialError):
+            tracker.fixes_for_path("Alice", ["A"], dwell=0)
+
+    def test_noisy_tracking_stays_close(self):
+        hierarchy = figure4_hierarchy()
+        boundary_map = grid_boundaries(
+            hierarchy.primitive_names, hierarchy=hierarchy, columns=2, cell_size=50.0
+        )
+        noisy = TrackingSimulator(boundary_map, noise=GaussianNoiseModel(0.5), seed=3)
+        center = boundary_map.center_of("A")
+        # With half-metre noise in 50 m rooms the fix still resolves to A.
+        assert noisy.resolve(PositionFix(0, "Alice", center)).location == "A"

@@ -1,0 +1,146 @@
+"""Unit tests for the Authorization Database (in-memory and SQLite backends)."""
+
+import pytest
+
+from repro.errors import DuplicateRecordError, MissingRecordError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.storage.authorization_db import (
+    InMemoryAuthorizationDatabase,
+    SqliteAuthorizationDatabase,
+)
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+BACKENDS = [InMemoryAuthorizationDatabase, SqliteAuthorizationDatabase]
+
+
+def sample_auths():
+    return [
+        LocationTemporalAuthorization(("Alice", "CAIS"), (10, 20), (10, 50), 2, auth_id="A1"),
+        LocationTemporalAuthorization(("Bob", "CHIPES"), (5, 35), (20, 100), 1, auth_id="A2"),
+        LocationTemporalAuthorization(("Alice", "CHIPES"), (0, FOREVER), None, auth_id="A3"),
+    ]
+
+
+@pytest.fixture(params=BACKENDS, ids=["memory", "sqlite"])
+def db(request):
+    database = request.param()
+    database.add_all(sample_auths())
+    return database
+
+
+class TestWrites:
+    def test_add_and_len(self, db):
+        assert len(db) == 3
+
+    def test_duplicate_id_rejected(self, db):
+        with pytest.raises(DuplicateRecordError):
+            db.add(LocationTemporalAuthorization(("Eve", "CAIS"), (0, 1), (0, 2), auth_id="A1"))
+
+    def test_revoke(self, db):
+        revoked = db.revoke("A1")
+        assert revoked.auth_id == "A1"
+        assert len(db) == 2
+        assert "A1" not in db
+        with pytest.raises(MissingRecordError):
+            db.revoke("A1")
+
+    def test_clear(self, db):
+        db.clear()
+        assert len(db) == 0
+        assert db.all() == []
+
+    def test_cascading_revocation(self, db):
+        derived = LocationTemporalAuthorization(
+            ("Bob", "CAIS"), (10, 20), (10, 50), 2, auth_id="D1", derived_from="A1", rule_id="r1"
+        )
+        db.add(derived)
+        revoked = db.revoke_cascading("A1")
+        assert {auth.auth_id for auth in revoked} == {"A1", "D1"}
+        assert "D1" not in db
+
+    def test_revoke_derived_from_only(self, db):
+        derived = LocationTemporalAuthorization(
+            ("Bob", "CAIS"), (10, 20), (10, 50), 2, auth_id="D1", derived_from="A1", rule_id="r1"
+        )
+        db.add(derived)
+        revoked = db.revoke_derived_from("A1")
+        assert [auth.auth_id for auth in revoked] == ["D1"]
+        assert "A1" in db
+
+
+class TestReads:
+    def test_get_roundtrips_every_field(self, db):
+        auth = db.get("A2")
+        assert auth.subject == "Bob"
+        assert auth.location == "CHIPES"
+        assert auth.entry_duration == TimeInterval(5, 35)
+        assert auth.exit_duration == TimeInterval(20, 100)
+        assert auth.max_entries == 1
+
+    def test_get_roundtrips_unbounded_and_unlimited(self, db):
+        auth = db.get("A3")
+        assert auth.entry_duration.is_unbounded
+        assert auth.exit_duration.is_unbounded
+        assert auth.max_entries is UNLIMITED_ENTRIES
+
+    def test_get_missing(self, db):
+        with pytest.raises(MissingRecordError):
+            db.get("ZZZ")
+
+    def test_for_subject_location(self, db):
+        assert [a.auth_id for a in db.for_subject_location("Alice", "CAIS")] == ["A1"]
+        assert db.for_subject_location("Alice", "Lab1") == []
+
+    def test_for_subject(self, db):
+        assert {a.auth_id for a in db.for_subject("Alice")} == {"A1", "A3"}
+        assert db.for_subject("Mallory") == []
+
+    def test_for_location(self, db):
+        assert {a.auth_id for a in db.for_location("CHIPES")} == {"A2", "A3"}
+
+    def test_iteration_and_contains(self, db):
+        assert {auth.auth_id for auth in db} == {"A1", "A2", "A3"}
+        assert "A2" in db
+        assert "nope" not in db
+
+
+class TestEnterableAt:
+    def test_filter_by_time_only(self, db):
+        assert {a.auth_id for a in db.enterable_at(15)} == {"A1", "A2", "A3"}
+        assert {a.auth_id for a in db.enterable_at(40)} == {"A3"}
+
+    def test_filter_by_subject_and_location(self, db):
+        assert {a.auth_id for a in db.enterable_at(15, subject="Alice")} == {"A1", "A3"}
+        assert {a.auth_id for a in db.enterable_at(15, location="CHIPES")} == {"A2", "A3"}
+        assert {a.auth_id for a in db.enterable_at(15, subject="Alice", location="CAIS")} == {"A1"}
+        assert db.enterable_at(40, subject="Alice", location="CAIS") == []
+
+    def test_revoked_authorizations_not_returned(self, db):
+        db.revoke("A1")
+        assert db.enterable_at(15, subject="Alice", location="CAIS") == []
+
+
+class TestSqliteSpecific:
+    def test_persistence_to_file(self, tmp_path):
+        path = str(tmp_path / "auth.db")
+        first = SqliteAuthorizationDatabase(path)
+        first.add_all(sample_auths())
+        first.close()
+        second = SqliteAuthorizationDatabase(path)
+        assert len(second) == 3
+        assert second.get("A1").subject == "Alice"
+        second.close()
+
+    def test_parity_with_memory_backend(self):
+        memory = InMemoryAuthorizationDatabase(sample_auths())
+        sqlite = SqliteAuthorizationDatabase()
+        sqlite.add_all(sample_auths())
+        for time in (0, 5, 15, 40, 200):
+            assert {a.auth_id for a in memory.enterable_at(time)} == {
+                a.auth_id for a in sqlite.enterable_at(time)
+            }
+        assert {a.auth_id for a in memory.for_subject("Alice")} == {
+            a.auth_id for a in sqlite.for_subject("Alice")
+        }

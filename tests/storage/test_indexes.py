@@ -1,0 +1,62 @@
+"""Unit tests for the interval index used by the authorization database."""
+
+import pytest
+
+from repro.storage.indexes import IntervalIndex
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+@pytest.fixture
+def index():
+    idx = IntervalIndex()
+    idx.add(TimeInterval(0, 10), "early")
+    idx.add(TimeInterval(5, 20), "middle")
+    idx.add(TimeInterval(50, FOREVER), "open")
+    return idx
+
+
+class TestStabbing:
+    def test_point_queries(self, index):
+        assert sorted(index.at(0)) == ["early"]
+        assert sorted(index.at(7)) == ["early", "middle"]
+        assert sorted(index.at(15)) == ["middle"]
+        assert index.at(30) == []
+        assert index.at(1_000_000) == ["open"]
+
+    def test_boundaries_are_inclusive(self, index):
+        assert "early" in index.at(10)
+        assert "middle" in index.at(5)
+        assert "open" in index.at(50)
+
+
+class TestOverlap:
+    def test_window_queries(self, index):
+        assert sorted(index.overlapping(TimeInterval(0, 4))) == ["early"]
+        assert sorted(index.overlapping(TimeInterval(8, 60))) == ["early", "middle", "open"]
+        assert index.overlapping(TimeInterval(25, 40)) == []
+
+    def test_unbounded_window(self, index):
+        assert sorted(index.overlapping(TimeInterval(0, FOREVER))) == ["early", "middle", "open"]
+        assert sorted(index.overlapping(TimeInterval(30, FOREVER))) == ["open"]
+
+
+class TestMutation:
+    def test_remove_by_predicate(self, index):
+        removed = index.remove(lambda payload: payload == "middle")
+        assert removed == 1
+        assert len(index) == 2
+        assert index.at(15) == []
+
+    def test_remove_nothing(self, index):
+        assert index.remove(lambda payload: False) == 0
+        assert len(index) == 3
+
+    def test_iteration(self, index):
+        assert set(index) == {"early", "middle", "open"}
+
+    def test_empty_index(self):
+        empty = IntervalIndex()
+        assert len(empty) == 0
+        assert empty.at(5) == []
+        assert empty.overlapping(TimeInterval(0, 10)) == []

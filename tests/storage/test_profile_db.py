@@ -1,0 +1,101 @@
+"""Unit tests for the User Profile Database (in-memory and SQLite backends)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.core.subjects import Subject, SubjectDirectory
+from repro.storage.profile_db import InMemoryUserProfileDatabase, SqliteUserProfileDatabase
+
+
+BACKENDS = [InMemoryUserProfileDatabase, SqliteUserProfileDatabase]
+
+
+@pytest.fixture(params=BACKENDS, ids=["memory", "sqlite"])
+def db(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_add_and_get_subject(self, db):
+        db.add_subject(Subject("Alice", "Alice L.", {"researcher"}, {"office": "CAIS"}))
+        subject = db.get("Alice")
+        assert subject.display_name == "Alice L."
+        assert subject.has_role("researcher")
+        assert subject.attribute("office") == "CAIS"
+        assert "Alice" in db
+        assert len(db) == 1
+
+    def test_supervisor_relation(self, db):
+        db.set_supervisor("Alice", "Bob")
+        assert db.supervisor_of("Alice").name == "Bob"
+        assert db.supervisor_of("Bob") is None
+        assert [s.name for s in db.directory().subordinates_of("Bob")] == ["Alice"]
+
+    def test_groups(self, db):
+        db.add_to_group("cleaners", "Dave", "Eve")
+        assert [s.name for s in db.members_of("cleaners")] == ["Dave", "Eve"]
+        assert db.directory().groups_of("Dave") == {"cleaners"}
+
+    def test_invalid_group_name(self, db):
+        with pytest.raises(Exception):
+            db.add_to_group("", "Dave")
+
+    def test_self_supervision_rejected(self, db):
+        with pytest.raises(Exception):
+            db.set_supervisor("Alice", "Alice")
+
+    def test_supervision_cycle_rejected(self, db):
+        db.set_supervisor("Alice", "Bob")
+        db.set_supervisor("Bob", "Carol")
+        with pytest.raises(Exception):
+            db.set_supervisor("Carol", "Alice")
+
+    def test_directory_view_supports_rule_operators(self, db):
+        db.set_supervisor("Alice", "Bob")
+        directory = db.directory()
+        assert isinstance(directory, SubjectDirectory)
+        assert directory.supervisor_of("Alice").name == "Bob"
+
+
+class TestInMemorySpecific:
+    def test_wraps_existing_directory(self):
+        directory = SubjectDirectory()
+        directory.set_supervisor("Alice", "Bob")
+        db = InMemoryUserProfileDatabase(directory)
+        assert db.supervisor_of("Alice").name == "Bob"
+        assert db.directory() is directory
+
+
+class TestSqliteSpecific:
+    def test_roundtrip_of_roles_and_attributes(self):
+        db = SqliteUserProfileDatabase()
+        db.add_subject(Subject("Alice", "Alice L.", {"researcher", "staff"}, {"office": "CAIS"}))
+        restored = db.get("Alice")
+        assert restored.roles == {"researcher", "staff"}
+        assert restored.attribute("office") == "CAIS"
+
+    def test_persistence_to_file(self, tmp_path):
+        path = str(tmp_path / "profiles.db")
+        first = SqliteUserProfileDatabase(path)
+        first.set_supervisor("Alice", "Bob")
+        first.add_to_group("cleaners", "Dave")
+        first.close()
+        second = SqliteUserProfileDatabase(path)
+        assert second.supervisor_of("Alice").name == "Bob"
+        assert [s.name for s in second.members_of("cleaners")] == ["Dave"]
+        second.close()
+
+    def test_directory_cache_invalidation_on_write(self):
+        db = SqliteUserProfileDatabase()
+        db.add_subject("Alice")
+        before = db.directory()
+        db.set_supervisor("Alice", "Bob")
+        after = db.directory()
+        assert after.supervisor_of("Alice").name == "Bob"
+        assert before is not after
+
+    def test_reregistration_updates_profile(self):
+        db = SqliteUserProfileDatabase()
+        db.add_subject(Subject("Alice"))
+        db.add_subject(Subject("Alice", display_name="Alice L."))
+        assert db.get("Alice").display_name == "Alice L."

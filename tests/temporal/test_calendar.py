@@ -1,0 +1,97 @@
+"""Unit tests for periodic temporal expressions (calendar extension)."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.calendar import (
+    CalendarScale,
+    DailyWindow,
+    WeeklyWindow,
+    business_hours,
+    expand_all,
+)
+from repro.temporal.interval_set import IntervalSet
+
+
+class TestCalendarScale:
+    def test_default_scale(self):
+        scale = CalendarScale()
+        assert scale.minute == 1
+        assert scale.hour == 60
+        assert scale.day == 1440
+        assert scale.week == 7 * 1440
+
+    def test_scaled_chronons(self):
+        scale = CalendarScale(chronons_per_minute=2)
+        assert scale.hour == 120
+        assert scale.day == 2880
+
+    def test_invalid_scale(self):
+        with pytest.raises(TemporalError):
+            CalendarScale(0)
+
+
+class TestDailyWindow:
+    def test_single_day_expansion(self):
+        window = DailyWindow(start_minute=60, end_minute=119)  # 01:00-01:59
+        expanded = window.expand(0, 1439)
+        assert expanded == IntervalSet([(60, 119)])
+
+    def test_multiple_days(self):
+        window = DailyWindow(start_minute=0, end_minute=59)
+        expanded = window.expand(0, 2 * 1440 - 1)
+        assert expanded == IntervalSet([(0, 59), (1440, 1499)])
+
+    def test_horizon_clipping(self):
+        window = DailyWindow(start_minute=0, end_minute=1439 // 1)
+        with pytest.raises(TemporalError):
+            DailyWindow(start_minute=0, end_minute=1440)
+        clipped = DailyWindow(start_minute=100, end_minute=200).expand(150, 180)
+        assert clipped == IntervalSet([(150, 180)])
+
+    def test_invalid_window(self):
+        with pytest.raises(TemporalError):
+            DailyWindow(start_minute=10, end_minute=5)
+
+    def test_inverted_horizon_rejected(self):
+        with pytest.raises(TemporalError):
+            DailyWindow(0, 10).expand(100, 50)
+
+
+class TestWeeklyWindow:
+    def test_only_selected_days_appear(self):
+        window = WeeklyWindow(days_of_week=(0, 2), start_minute=0, end_minute=59)
+        expanded = window.expand(0, 3 * 1440 - 1)  # days 0, 1, 2
+        assert expanded == IntervalSet([(0, 59), (2 * 1440, 2 * 1440 + 59)])
+
+    def test_wraps_after_a_week(self):
+        window = WeeklyWindow(days_of_week=(0,), start_minute=0, end_minute=0)
+        expanded = window.expand(0, 8 * 1440)
+        assert expanded == IntervalSet([(0, 0), (7 * 1440, 7 * 1440)])
+
+    def test_invalid_day(self):
+        with pytest.raises(TemporalError):
+            WeeklyWindow(days_of_week=(7,), start_minute=0, end_minute=10)
+
+    def test_empty_days(self):
+        with pytest.raises(TemporalError):
+            WeeklyWindow(days_of_week=(), start_minute=0, end_minute=10)
+
+
+class TestBusinessHoursAndExpandAll:
+    def test_business_hours_skips_weekend_days(self):
+        expression = business_hours()
+        expanded = expression.expand(0, 7 * 1440 - 1)
+        # Five working days in the first week.
+        assert len(expanded.intervals) == 5
+
+    def test_business_hours_window_minutes(self):
+        expression = business_hours(days=(0,), start_minute=540, end_minute=1019)
+        expanded = expression.expand(0, 1439)
+        assert expanded == IntervalSet([(540, 1019)])
+
+    def test_expand_all_unions_expressions(self):
+        morning = DailyWindow(0, 59)
+        evening = DailyWindow(1200, 1259)
+        combined = expand_all([morning, evening], 0, 1439)
+        assert combined == IntervalSet([(0, 59), (1200, 1259)])

@@ -1,0 +1,137 @@
+"""Unit tests for chronons, the FOREVER sentinel and the simulation clock."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.chronon import CHRONON, FOREVER, Clock, TimeUnit, is_time_point, validate_time_point
+
+
+class TestForever:
+    def test_forever_is_greater_than_any_int(self):
+        assert FOREVER > 0
+        assert FOREVER > 10**12
+        assert not (FOREVER < 5)
+
+    def test_forever_compares_with_itself(self):
+        assert FOREVER == FOREVER
+        assert FOREVER >= FOREVER
+        assert FOREVER <= FOREVER
+        assert not (FOREVER > FOREVER)
+        assert not (FOREVER < FOREVER)
+
+    def test_int_comparisons_against_forever(self):
+        assert 5 < FOREVER
+        assert 5 <= FOREVER
+        assert not (5 > FOREVER)
+        assert not (5 >= FOREVER)
+        assert 5 != FOREVER
+
+    def test_forever_is_a_singleton_even_after_pickling(self):
+        clone = pickle.loads(pickle.dumps(FOREVER))
+        assert clone is FOREVER
+
+    def test_forever_arithmetic_saturates(self):
+        assert FOREVER + 5 is FOREVER
+        assert 5 + FOREVER is FOREVER
+        assert FOREVER - 3 is FOREVER
+
+    def test_forever_repr_and_str(self):
+        assert repr(FOREVER) == "FOREVER"
+        assert str(FOREVER) == "∞"
+
+    def test_forever_hash_is_stable(self):
+        assert hash(FOREVER) == hash(FOREVER)
+
+
+class TestTimePointValidation:
+    def test_non_negative_ints_are_time_points(self):
+        assert is_time_point(0)
+        assert is_time_point(42)
+
+    def test_forever_is_a_time_point(self):
+        assert is_time_point(FOREVER)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "5", None, True, False])
+    def test_invalid_time_points(self, bad):
+        assert not is_time_point(bad)
+
+    def test_validate_raises_with_name(self):
+        with pytest.raises(TemporalError, match="entry time"):
+            validate_time_point(-3, name="entry time")
+
+    def test_validate_passes_through_valid_values(self):
+        assert validate_time_point(7) == 7
+        assert validate_time_point(FOREVER) is FOREVER
+
+
+class TestTimeUnit:
+    def test_chronon_constant(self):
+        assert CHRONON.chronons == 1
+
+    def test_conversion_roundtrip(self):
+        minute = TimeUnit(60, "minute")
+        assert minute.to_chronons(5) == 300
+        assert minute.from_chronons(300) == 5
+
+    def test_from_chronons_truncates(self):
+        minute = TimeUnit(60, "minute")
+        assert minute.from_chronons(119) == 1
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True])
+    def test_invalid_unit_size(self, bad):
+        with pytest.raises(TemporalError):
+            TimeUnit(bad)
+
+    def test_negative_unit_count_rejected(self):
+        with pytest.raises(TemporalError):
+            TimeUnit(10).to_chronons(-1)
+
+    def test_from_chronons_rejects_forever(self):
+        with pytest.raises(TemporalError):
+            TimeUnit(10).from_chronons(FOREVER)
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0
+
+    def test_advance_returns_new_time(self):
+        clock = Clock()
+        assert clock.advance(5) == 5
+        assert clock.advance() == 6
+
+    def test_advance_to_absolute_time(self):
+        clock = Clock(now=3)
+        assert clock.advance_to(10) == 10
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(now=10)
+        with pytest.raises(TemporalError):
+            clock.advance_to(5)
+
+    def test_cannot_advance_by_negative_delta(self):
+        with pytest.raises(TemporalError):
+            Clock().advance(-1)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(TemporalError):
+            Clock(now=-1)
+
+    def test_observers_are_notified(self):
+        clock = Clock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(2)
+        clock.advance(3)
+        assert seen == [2, 5]
+
+    def test_ticks_iterates_in_steps(self):
+        clock = Clock()
+        assert list(clock.ticks(10, step=4)) == [4, 8, 10]
+        assert clock.now == 10
+
+    def test_ticks_rejects_nonpositive_step(self):
+        with pytest.raises(TemporalError):
+            list(Clock().ticks(5, step=0))

@@ -1,0 +1,181 @@
+"""Unit tests for TimeInterval, including the paper's UNION/INTERSECTION semantics."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError, TemporalError
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+
+
+class TestConstruction:
+    def test_basic_interval(self):
+        interval = TimeInterval(5, 40)
+        assert interval.start == 5
+        assert interval.end == 40
+
+    def test_instant(self):
+        assert TimeInterval.instant(7) == TimeInterval(7, 7)
+
+    def test_from_onwards_is_unbounded(self):
+        assert TimeInterval.from_onwards(3).is_unbounded
+
+    def test_from_tuple(self):
+        assert TimeInterval.from_tuple((1, 2)) == TimeInterval(1, 2)
+
+    def test_inverted_endpoints_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(10, 5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(-1, 5)
+
+    def test_forever_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(FOREVER, FOREVER)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(1.5, 3)
+
+
+class TestProperties:
+    def test_size_counts_inclusive_units(self):
+        # Section 3.1: the size is the number of time units in the interval.
+        assert TimeInterval(5, 9).size == 5
+        assert TimeInterval(3, 3).size == 1
+
+    def test_unbounded_size_is_forever(self):
+        assert TimeInterval(0, FOREVER).size is FOREVER
+
+    def test_contains_endpoints(self):
+        interval = TimeInterval(5, 10)
+        assert interval.contains(5)
+        assert interval.contains(10)
+        assert 7 in interval
+        assert 4 not in interval
+        assert 11 not in interval
+
+    def test_unbounded_contains_everything_after_start(self):
+        interval = TimeInterval(5, FOREVER)
+        assert interval.contains(10**9)
+        assert not interval.contains(4)
+        assert FOREVER in interval
+
+    def test_contains_rejects_invalid_time(self):
+        with pytest.raises(TemporalError):
+            TimeInterval(0, 1).contains(-2)
+
+    def test_contains_interval(self):
+        assert TimeInterval(0, 10).contains_interval(TimeInterval(2, 8))
+        assert not TimeInterval(0, 10).contains_interval(TimeInterval(2, 12))
+        assert TimeInterval(0, FOREVER).contains_interval(TimeInterval(5, FOREVER))
+        assert not TimeInterval(0, 10).contains_interval(TimeInterval(0, FOREVER))
+
+
+class TestRelations:
+    def test_overlaps(self):
+        assert TimeInterval(0, 5).overlaps(TimeInterval(5, 9))
+        assert not TimeInterval(0, 5).overlaps(TimeInterval(6, 9))
+        assert TimeInterval(0, FOREVER).overlaps(TimeInterval(100, 200))
+
+    def test_adjacency_in_discrete_time(self):
+        assert TimeInterval(1, 5).is_adjacent_to(TimeInterval(6, 9))
+        assert TimeInterval(6, 9).is_adjacent_to(TimeInterval(1, 5))
+        assert not TimeInterval(1, 5).is_adjacent_to(TimeInterval(7, 9))
+        assert not TimeInterval(1, 5).is_adjacent_to(TimeInterval(5, 9))
+
+    def test_precedes(self):
+        assert TimeInterval(0, 4).precedes(TimeInterval(5, 9))
+        assert not TimeInterval(0, 5).precedes(TimeInterval(5, 9))
+        assert not TimeInterval(0, FOREVER).precedes(TimeInterval(5, 9))
+
+
+class TestPaperOperators:
+    """The UNION and INTERSECTION semantics given verbatim in Section 4."""
+
+    def test_union_merges_when_t2_le_t1(self):
+        # UNION([t0,t1],[t2,t3]) = [t0,t3] if t2 <= t1
+        assert TimeInterval(0, 10).union(TimeInterval(5, 20)) == [TimeInterval(0, 20)]
+
+    def test_union_keeps_both_when_disjoint(self):
+        assert TimeInterval(0, 4).union(TimeInterval(10, 20)) == [
+            TimeInterval(0, 4),
+            TimeInterval(10, 20),
+        ]
+
+    def test_union_merges_adjacent_intervals(self):
+        assert TimeInterval(0, 4).union(TimeInterval(5, 9)) == [TimeInterval(0, 9)]
+
+    def test_union_with_unbounded(self):
+        assert TimeInterval(0, 10).union(TimeInterval(5, FOREVER)) == [TimeInterval(0, FOREVER)]
+
+    def test_intersection_when_overlapping(self):
+        # INTERSECTION([t0,t1],[t2,t3]) = [t2,t1] if t2 <= t1
+        assert TimeInterval(0, 10).intersect(TimeInterval(5, 20)) == TimeInterval(5, 10)
+
+    def test_intersection_null_when_disjoint(self):
+        assert TimeInterval(0, 4).intersect(TimeInterval(10, 20)) is None
+
+    def test_intersection_example2_of_paper(self):
+        # Example 2: INTERSECTION([10, 30]) applied to [5, 20] gives [10, 20].
+        assert TimeInterval(5, 20).intersect(TimeInterval(10, 30)) == TimeInterval(10, 20)
+
+    def test_intersection_commutes(self):
+        a, b = TimeInterval(3, 12), TimeInterval(7, 30)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_intersection_with_unbounded(self):
+        assert TimeInterval(5, FOREVER).intersect(TimeInterval(0, 10)) == TimeInterval(5, 10)
+        assert TimeInterval(5, FOREVER).intersect(TimeInterval(10, FOREVER)) == TimeInterval(10, FOREVER)
+
+
+class TestDifferenceShiftClamp:
+    def test_difference_middle_cut(self):
+        assert TimeInterval(0, 10).difference(TimeInterval(3, 6)) == [
+            TimeInterval(0, 2),
+            TimeInterval(7, 10),
+        ]
+
+    def test_difference_no_overlap(self):
+        assert TimeInterval(0, 5).difference(TimeInterval(10, 20)) == [TimeInterval(0, 5)]
+
+    def test_difference_total_cover(self):
+        assert TimeInterval(3, 6).difference(TimeInterval(0, 10)) == []
+
+    def test_difference_of_unbounded(self):
+        assert TimeInterval(0, FOREVER).difference(TimeInterval(5, 10)) == [
+            TimeInterval(0, 4),
+            TimeInterval(11, FOREVER),
+        ]
+
+    def test_shift(self):
+        assert TimeInterval(5, 10).shift(3) == TimeInterval(8, 13)
+        assert TimeInterval(5, 10).shift(-5) == TimeInterval(0, 5)
+
+    def test_shift_below_zero_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(2, 5).shift(-3)
+
+    def test_clamp(self):
+        assert TimeInterval(0, 100).clamp(10, 20) == TimeInterval(10, 20)
+        assert TimeInterval(0, 5).clamp(10, 20) is None
+
+
+class TestMisc:
+    def test_iter_chronons(self):
+        assert list(TimeInterval(3, 6).iter_chronons()) == [3, 4, 5, 6]
+
+    def test_iter_chronons_unbounded_rejected(self):
+        with pytest.raises(TemporalError):
+            TimeInterval(0, FOREVER).iter_chronons()
+
+    def test_str_uses_infinity_symbol(self):
+        assert str(TimeInterval(1, FOREVER)) == "[1, ∞]"
+        assert str(TimeInterval(1, 9)) == "[1, 9]"
+
+    def test_ordering_by_start(self):
+        assert sorted([TimeInterval(5, 6), TimeInterval(1, 9)])[0] == TimeInterval(1, 9)
+
+    def test_to_tuple(self):
+        assert TimeInterval(1, 2).to_tuple() == (1, 2)

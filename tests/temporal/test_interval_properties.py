@@ -1,0 +1,114 @@
+"""Property-based tests for the interval and interval-set algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+MAX_T = 200
+
+
+@st.composite
+def intervals(draw, max_time=MAX_T, allow_unbounded=True):
+    start = draw(st.integers(min_value=0, max_value=max_time))
+    if allow_unbounded and draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+        return TimeInterval(start, FOREVER)
+    end = draw(st.integers(min_value=start, max_value=max_time + 50))
+    return TimeInterval(start, end)
+
+
+@st.composite
+def interval_sets(draw, max_intervals=5):
+    return IntervalSet(draw(st.lists(intervals(), max_size=max_intervals)))
+
+
+def chronons_of(interval_set: IntervalSet, horizon: int = MAX_T + 60) -> set:
+    """Reference semantics: the set of chronons (up to a horizon) in the interval set."""
+    return {t for t in range(horizon) if interval_set.contains(t)}
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_intersection_is_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_is_contained_in_both(self, a, b):
+        overlap = a.intersect(b)
+        if overlap is not None:
+            assert a.contains_interval(overlap)
+            assert b.contains_interval(overlap)
+
+    @given(intervals(), intervals())
+    def test_union_covers_both_inputs(self, a, b):
+        union_set = IntervalSet(a.union(b))
+        assert union_set.covers(IntervalSet([a]))
+        assert union_set.covers(IntervalSet([b]))
+
+    @given(intervals(), intervals())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(intervals(), intervals())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        for piece in a.difference(b):
+            assert piece.intersect(b) is None
+            assert a.contains_interval(piece)
+
+
+class TestIntervalSetProperties:
+    @given(interval_sets())
+    def test_normalization_is_idempotent(self, interval_set):
+        assert IntervalSet(interval_set.intervals) == interval_set
+
+    @given(interval_sets())
+    def test_intervals_are_sorted_and_disjoint(self, interval_set):
+        items = interval_set.intervals
+        for first, second in zip(items, items[1:]):
+            assert first.start <= second.start
+            assert not first.meets_or_overlaps(second)
+
+    @given(interval_sets(), interval_sets())
+    def test_union_matches_chronon_semantics(self, a, b):
+        assert chronons_of(a | b) == chronons_of(a) | chronons_of(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_intersection_matches_chronon_semantics(self, a, b):
+        assert chronons_of(a & b) == chronons_of(a) & chronons_of(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_difference_matches_chronon_semantics(self, a, b):
+        assert chronons_of(a - b) == chronons_of(a) - chronons_of(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_union_is_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    def test_union_is_associative(self, a, b, c):
+        assert ((a | b) | c) == (a | (b | c))
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    def test_intersection_distributes_over_union(self, a, b, c):
+        assert (a & (b | c)) == ((a & b) | (a & c))
+
+    @given(interval_sets())
+    def test_difference_with_self_is_empty(self, a):
+        assert (a - a).is_empty
+
+    @given(interval_sets())
+    def test_union_with_self_is_identity(self, a):
+        assert (a | a) == a
+
+    @given(interval_sets())
+    def test_complement_partitions_the_horizon(self, a):
+        bounded = a.clamp(0, MAX_T)
+        complement = bounded.complement(0, MAX_T)
+        assert (bounded & complement).is_empty
+        assert (bounded | complement) == IntervalSet([(0, MAX_T)])
+
+    @given(interval_sets(), st.integers(min_value=0, max_value=MAX_T))
+    def test_contains_agrees_with_membership_of_some_interval(self, a, t):
+        assert a.contains(t) == any(interval.contains(t) for interval in a.intervals)

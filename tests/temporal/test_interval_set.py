@@ -1,0 +1,153 @@
+"""Unit tests for IntervalSet, the data structure behind Algorithm 1's T_g / T_d."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.chronon import FOREVER
+from repro.temporal.interval import TimeInterval
+from repro.temporal.interval_set import IntervalSet
+
+
+class TestNormalization:
+    def test_overlapping_inputs_coalesce(self):
+        assert IntervalSet([(0, 10), (5, 20)]) == IntervalSet([(0, 20)])
+
+    def test_adjacent_inputs_coalesce(self):
+        assert IntervalSet([(1, 5), (6, 9)]) == IntervalSet([(1, 9)])
+
+    def test_disjoint_inputs_stay_separate(self):
+        interval_set = IntervalSet([(10, 20), (0, 5)])
+        assert interval_set.intervals == (TimeInterval(0, 5), TimeInterval(10, 20))
+
+    def test_input_order_is_irrelevant(self):
+        assert IntervalSet([(10, 20), (0, 5)]) == IntervalSet([(0, 5), (10, 20)])
+
+    def test_accepts_timeinterval_objects_and_tuples(self):
+        assert IntervalSet([TimeInterval(0, 5)]) == IntervalSet([(0, 5)])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TemporalError):
+            IntervalSet(["nonsense"])
+
+    def test_unbounded_absorbs_later_intervals(self):
+        assert IntervalSet([(0, FOREVER), (10, 20)]) == IntervalSet([(0, FOREVER)])
+
+
+class TestIntrospection:
+    def test_empty_set(self):
+        empty = IntervalSet.empty()
+        assert empty.is_empty
+        assert not empty
+        assert len(empty) == 0
+        assert empty.earliest is None
+        assert empty.latest is None
+        assert empty.total_size == 0
+
+    def test_everything(self):
+        everything = IntervalSet.everything()
+        assert everything.is_unbounded
+        assert everything.contains(0)
+        assert everything.contains(10**9)
+
+    def test_single_and_from_interval(self):
+        assert IntervalSet.single(3, 9) == IntervalSet([(3, 9)])
+        assert IntervalSet.from_interval(None) == IntervalSet.empty()
+        assert IntervalSet.from_interval(TimeInterval(1, 2)) == IntervalSet([(1, 2)])
+
+    def test_earliest_latest_total_size(self):
+        interval_set = IntervalSet([(0, 4), (10, 14)])
+        assert interval_set.earliest == 0
+        assert interval_set.latest == 14
+        assert interval_set.total_size == 10
+
+    def test_contains_and_membership(self):
+        interval_set = IntervalSet([(0, 4), (10, 14)])
+        assert 3 in interval_set
+        assert 10 in interval_set
+        assert 7 not in interval_set
+
+    def test_covers(self):
+        big = IntervalSet([(0, 20)])
+        small = IntervalSet([(2, 4), (10, 12)])
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_first_contained_time(self):
+        interval_set = IntervalSet([(5, 8), (20, 30)])
+        assert interval_set.first_contained_time() == 5
+        assert interval_set.first_contained_time(7) == 7
+        assert interval_set.first_contained_time(10) == 20
+        assert interval_set.first_contained_time(31) is None
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(0, 5)])
+        b = IntervalSet([(10, 15)])
+        assert (a | b) == IntervalSet([(0, 5), (10, 15)])
+
+    def test_union_with_single_interval(self):
+        assert IntervalSet([(0, 5)]).union((3, 12)) == IntervalSet([(0, 12)])
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        assert (a & b) == IntervalSet([(5, 10), (20, 25)])
+
+    def test_intersection_empty_when_disjoint(self):
+        assert (IntervalSet([(0, 5)]) & IntervalSet([(10, 20)])).is_empty
+
+    def test_difference(self):
+        a = IntervalSet([(0, 20)])
+        b = IntervalSet([(5, 8), (15, 30)])
+        assert (a - b) == IntervalSet([(0, 4), (9, 14)])
+
+    def test_difference_with_unbounded(self):
+        assert IntervalSet([(0, FOREVER)]) - IntervalSet([(10, FOREVER)]) == IntervalSet([(0, 9)])
+
+    def test_complement(self):
+        interval_set = IntervalSet([(5, 10)])
+        assert interval_set.complement(0, 20) == IntervalSet([(0, 4), (11, 20)])
+        assert interval_set.complement() == IntervalSet([(0, 4), (11, FOREVER)])
+
+    def test_shift(self):
+        assert IntervalSet([(0, 5), (10, 12)]).shift(3) == IntervalSet([(3, 8), (13, 15)])
+
+    def test_clamp(self):
+        assert IntervalSet([(0, 5), (10, 20)]).clamp(4, 12) == IntervalSet([(4, 5), (10, 12)])
+
+    def test_set_identities(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        # A = (A ∩ B) ∪ (A \ B)
+        assert (a & b) | (a - b) == a
+
+    def test_empty_is_identity_for_union(self):
+        a = IntervalSet([(3, 9)])
+        assert a | IntervalSet.empty() == a
+
+    def test_empty_is_absorbing_for_intersection(self):
+        a = IntervalSet([(3, 9)])
+        assert (a & IntervalSet.empty()).is_empty
+
+
+class TestDunderAndSerialization:
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 5), (6, 9)])
+        b = IntervalSet([(0, 9)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_sorted_intervals(self):
+        interval_set = IntervalSet([(10, 12), (0, 2)])
+        assert list(interval_set) == [TimeInterval(0, 2), TimeInterval(10, 12)]
+
+    def test_repr_of_empty_uses_phi(self):
+        assert "φ" in repr(IntervalSet.empty())
+
+    def test_pairs_roundtrip(self):
+        interval_set = IntervalSet([(0, 5), (10, FOREVER)])
+        assert IntervalSet.from_pairs(interval_set.to_pairs()) == interval_set
+
+    def test_equality_against_other_types(self):
+        assert IntervalSet([(0, 1)]) != "not a set"

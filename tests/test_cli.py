@@ -1,0 +1,113 @@
+"""Unit tests for the administrator CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import save_authorizations
+from repro.locations.layouts import figure4_graph, ntu_campus
+from repro.locations.serialization import save as save_layout
+from repro.paper import fixtures as paper
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    layout_path = str(tmp_path / "campus.json")
+    auths_path = str(tmp_path / "auths.json")
+    save_layout(ntu_campus(), layout_path)
+    save_authorizations(paper.section5_authorizations(), auths_path)
+    return layout_path, auths_path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestValidateLayout:
+    def test_valid_layout(self, deployment):
+        layout_path, _ = deployment
+        code, output = run_cli("validate-layout", layout_path)
+        assert code == 0
+        assert "OK" in output
+        assert "20 primitive locations" in output
+
+    def test_missing_file(self, tmp_path):
+        code, output = run_cli("validate-layout", str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "error" in output
+
+
+class TestInaccessible:
+    def test_figure4_example(self, tmp_path):
+        layout_path = str(tmp_path / "fig4.json")
+        auths_path = str(tmp_path / "table1.json")
+        save_layout(figure4_graph(), layout_path)
+        save_authorizations(paper.table1_authorizations(), auths_path)
+        code, output = run_cli(
+            "inaccessible", "--layout", layout_path, "--auths", auths_path, "--subject", "Alice"
+        )
+        assert code == 0
+        assert "inaccessible : C" in output
+        assert "A, B, D" in output
+
+
+class TestCheck:
+    def test_granted_request(self, deployment):
+        layout_path, auths_path = deployment
+        code, output = run_cli(
+            "check", "--layout", layout_path, "--auths", auths_path,
+            "--subject", "Alice", "--location", "CAIS", "--time", "15",
+        )
+        assert code == 0
+        assert "GRANTED" in output
+
+    def test_denied_request(self, deployment):
+        layout_path, auths_path = deployment
+        code, output = run_cli(
+            "check", "--layout", layout_path, "--auths", auths_path,
+            "--subject", "Bob", "--location", "CAIS", "--time", "15",
+        )
+        assert code == 2
+        assert "DENIED" in output
+        assert "no_authorization" in output
+
+
+class TestQuery:
+    def test_authorizations_query(self, deployment):
+        layout_path, auths_path = deployment
+        code, output = run_cli(
+            "query", "--layout", layout_path, "--auths", auths_path, "AUTHORIZATIONS FOR Alice"
+        )
+        assert code == 0
+        assert "CAIS" in output
+
+    def test_malformed_query_reports_error(self, deployment):
+        layout_path, auths_path = deployment
+        code, output = run_cli(
+            "query", "--layout", layout_path, "--auths", auths_path, "HELLO WORLD"
+        )
+        assert code == 1
+        assert "error" in output
+
+
+class TestExampleCampus:
+    def test_writes_usable_files(self, tmp_path):
+        layout_path = str(tmp_path / "ntu.json")
+        auths_path = str(tmp_path / "auths.json")
+        code, output = run_cli("example-campus", "--out", layout_path, "--auths-out", auths_path)
+        assert code == 0
+        # The generated files immediately work with the other commands.
+        code, output = run_cli(
+            "check", "--layout", layout_path, "--auths", auths_path,
+            "--subject", "Alice", "--location", "CAIS", "--time", "15",
+        )
+        assert code == 0
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
