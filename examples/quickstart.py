@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Quickstart: protect a small office with LTAM in ~60 lines.
+"""Quickstart: protect a small office with the LTAM PDP/PEP API in ~60 lines.
 
-The script builds a tiny location graph, grants two location-temporal
-authorizations, evaluates access requests, feeds movement observations to the
-continuous monitor, and asks the query engine a few questions.
+The script builds a tiny location graph, assembles an engine with the fluent
+``Ltam.builder()``, grants authorizations with the ``grant(...)`` sentence
+builder, evaluates access requests (printing each decision's per-stage
+trace), feeds movement observations to the continuous monitor, and asks the
+query engine a few questions.
+
+Migration note: this example previously drove ``AccessControlEngine``
+directly — ``check_request`` is now ``decide``, ``request_access`` is
+``enforce``, ``request_and_enter`` is ``enforce_and_enter``.  The old class
+still works (it is a thin shim over :class:`repro.api.Ltam`), but new code
+should start from :mod:`repro.api`.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import AccessControlEngine, LocationTemporalAuthorization
+from repro.api import Ltam, grant
 from repro.engine import QueryEngine
 from repro.locations import LocationGraphBuilder, LocationHierarchy
 
@@ -31,20 +39,28 @@ def build_office() -> LocationHierarchy:
 
 
 def main() -> None:
-    engine = AccessControlEngine(build_office())
+    # Dana the developer: free run of the office during the working day, and
+    # one visit to the server room between 9:00 and 10:00 (minutes 60-120)
+    # that must end by minute 150.
+    engine = (
+        Ltam.builder()
+        .hierarchy(build_office())
+        .grant(grant("Dana").at("Lobby").during(0, 480).exit_between(0, 540))
+        .grant(grant("Dana").at("Corridor").during(0, 480).exit_between(0, 540))
+        .grant(grant("Dana").at("DevOffice").during(0, 480).exit_between(0, 540))
+        .grant(grant("Dana").at("ServerRoom").during(60, 120).exit_between(60, 150).entries(1))
+        .build()
+    )
 
-    # Dana the developer: free run of the office during the working day.
-    for room in ("Lobby", "Corridor", "DevOffice"):
-        engine.grant(LocationTemporalAuthorization(("Dana", room), (0, 480), (0, 540)))
-    # ... and one visit to the server room between 9:00 and 10:00 (minutes 60-120),
-    # which must end by minute 150.
-    engine.grant(LocationTemporalAuthorization(("Dana", "ServerRoom"), (60, 120), (60, 150), 1))
-
-    print("== Access requests (Definition 7) ==")
+    print("== Access decisions (Definition 7, with per-stage traces) ==")
     for time, room in [(10, "Lobby"), (70, "ServerRoom"), (200, "ServerRoom")]:
-        decision = engine.request_access(time, "Dana", room)
+        decision = engine.enforce((time, "Dana", room))
         outcome = "GRANTED" if decision.granted else f"DENIED ({decision.reason})"
-        print(f"t={time:<4} Dana -> {room:<11} {outcome}")
+        print(f"t={time:<4} Dana -> {room:<11} {outcome}  [decided by: {decision.deciding_stage}]")
+
+    # The same decisions, evaluated as one batch (shared lookups).
+    batch = engine.decide_many([(10, "Dana", "Lobby"), (70, "Dana", "ServerRoom")])
+    print(f"batch of {len(batch)} decisions: {[d.granted for d in batch]}")
 
     print("\n== Continuous monitoring ==")
     engine.observe_entry(10, "Dana", "Lobby")

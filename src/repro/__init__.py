@@ -2,7 +2,34 @@
 
 Yu & Lim, Secure Data Management (SDM 2004), VLDB 2004 Workshop, LNCS 3178.
 
-The package is organised as described in DESIGN.md:
+The public entry point is :mod:`repro.api`, which splits Figure 3's access
+control engine XACML-style:
+
+* :class:`~repro.api.pdp.DecisionPoint` (PDP) evaluates access requests
+  through an ordered, pluggable pipeline of decision stages
+  (known-location, candidate-lookup, entry-window, entry-budget, plus
+  extension stages for capacity limits and conflict resolution); every
+  :class:`~repro.api.decision.Decision` carries a per-stage trace naming
+  the stage that granted or denied it.
+* :class:`~repro.api.pep.EnforcementPoint` (PEP) owns the side effects:
+  audit entries, denial alerts, and movement observations feeding the
+  continuous monitor.
+* :class:`~repro.api.builder.Ltam` composes both over the Figure 3
+  databases, built fluently::
+
+      from repro.api import Ltam, grant
+
+      engine = Ltam.builder().hierarchy(campus).backend("sqlite", path).build()
+      engine.grant(grant("alice").at("meeting-room").during(9, 17).entries(3))
+      decision = engine.decide((10, "alice", "meeting-room"))
+      decisions = engine.decide_many(requests)   # batched, shared lookups
+
+The seed's :class:`~repro.engine.access_control.AccessControlEngine` remains
+as a thin shim over :class:`~repro.api.builder.Ltam` — ``check_request`` is
+now ``decide``, ``request_access`` is ``enforce``, ``request_and_enter`` is
+``enforce_and_enter`` (see its module docstring for the migration table).
+
+Supporting packages, as described in DESIGN.md:
 
 * :mod:`repro.temporal` — chronons, time intervals, interval sets, calendars;
 * :mod:`repro.locations` — location graphs, multilevel graphs, routes, layouts;
@@ -10,8 +37,9 @@ The package is organised as described in DESIGN.md:
 * :mod:`repro.core` — authorizations, rules, derivation, conflicts,
   grant durations, the inaccessible-location algorithm;
 * :mod:`repro.storage` — the authorization, movement and profile databases;
-* :mod:`repro.engine` — the access-control engine, movement monitor, alerts,
-  audit log and query engine;
+* :mod:`repro.api` — the PDP/PEP decision pipeline and fluent builders;
+* :mod:`repro.engine` — monitor, alerts, audit log, query engine, and the
+  backwards-compatible access-control engine;
 * :mod:`repro.privacy` — location-privacy policies and anonymization;
 * :mod:`repro.simulation` — synthetic buildings, workloads and movement traces;
 * :mod:`repro.baselines` — card-reader, TAM and brute-force baselines;
@@ -35,6 +63,13 @@ from repro.core import (
     authorize_route,
     find_inaccessible,
 )
+from repro.api import (
+    Decision,
+    DecisionPoint,
+    EnforcementPoint,
+    Ltam,
+    grant,
+)
 from repro.engine import AccessControlEngine, AlertKind, QueryEngine
 from repro.locations import (
     LocationGraph,
@@ -48,7 +83,7 @@ from repro.locations import (
 )
 from repro.temporal import FOREVER, Clock, IntervalSet, TimeInterval
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
@@ -79,6 +114,12 @@ __all__ = [
     "OperatorTuple",
     "authorize_route",
     "find_inaccessible",
+    # api (PDP/PEP)
+    "Ltam",
+    "Decision",
+    "DecisionPoint",
+    "EnforcementPoint",
+    "grant",
     # engine
     "AccessControlEngine",
     "AlertKind",

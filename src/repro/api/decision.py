@@ -1,0 +1,128 @@
+"""Decisions with per-stage evaluation traces.
+
+The decision pipeline (:mod:`repro.api.pdp`) evaluates an access request by
+running it through an ordered list of stages.  Each stage reports a
+:class:`StageResult`; the sequence of results forms the **trace** of the
+final :class:`Decision`, so every grant or denial can be explained by naming
+the stage that produced it (XACML-style explainability on top of the paper's
+Definition 7).
+
+:class:`Decision` subclasses the seed's
+:class:`~repro.core.requests.AccessDecision`, so everything that consumed an
+``AccessDecision`` (the audit log, the query engine, the benchmarks) keeps
+working unchanged while new callers can inspect ``decision.trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.requests import AccessDecision, AccessRequest, DenialReason
+
+__all__ = ["StageOutcome", "StageResult", "Decision"]
+
+
+class StageOutcome(str, Enum):
+    """What a pipeline stage concluded about the request."""
+
+    #: The stage authorizes the request; evaluation stops with a grant.
+    GRANT = "grant"
+    #: The stage rejects the request; evaluation stops with a denial.
+    DENY = "deny"
+    #: The stage passed; evaluation continues with the next stage.
+    CONTINUE = "continue"
+    #: The stage does not apply to this request (e.g. no capacity configured).
+    SKIP = "skip"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's verdict, kept in the decision trace.
+
+    Parameters
+    ----------
+    stage:
+        Name of the stage that produced this result.
+    outcome:
+        The stage's verdict.
+    detail:
+        Human-readable explanation of the verdict.
+    reason:
+        The denial reason when ``outcome`` is :data:`StageOutcome.DENY`.
+    authorization:
+        The admitting authorization when ``outcome`` is
+        :data:`StageOutcome.GRANT`.
+    entries_used:
+        Entry count consumed under the matching authorization (grant), or the
+        largest count seen among exhausted candidates (denial).
+    """
+
+    stage: str
+    outcome: StageOutcome
+    detail: str = ""
+    reason: Optional[DenialReason] = None
+    authorization: Optional[LocationTemporalAuthorization] = None
+    entries_used: int = 0
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.stage}] {self.outcome.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class Decision(AccessDecision):
+    """An :class:`~repro.core.requests.AccessDecision` with a per-stage trace.
+
+    ``Decision`` is substitutable anywhere an ``AccessDecision`` is expected;
+    the extra ``trace`` records, in evaluation order, what every pipeline
+    stage concluded, ending with the stage that granted or denied.
+    """
+
+    trace: Tuple[StageResult, ...] = ()
+
+    @property
+    def deciding_stage(self) -> Optional[str]:
+        """Name of the stage that granted or denied the request."""
+        for result in reversed(self.trace):
+            if result.outcome in (StageOutcome.GRANT, StageOutcome.DENY):
+                return result.stage
+        return None
+
+    def explain(self) -> str:
+        """Multi-line rendering of the decision and its trace."""
+        header = str(self)
+        if not self.trace:
+            return header
+        lines = [header]
+        lines.extend(f"  {result}" for result in self.trace)
+        return "\n".join(lines)
+
+    @classmethod
+    def granted_by(
+        cls,
+        request: AccessRequest,
+        authorization: LocationTemporalAuthorization,
+        *,
+        entries_used: int = 0,
+        trace: Tuple[StageResult, ...] = (),
+    ) -> "Decision":
+        """Build a granting decision carrying *trace*."""
+        return cls(request, True, authorization, None, entries_used, trace)
+
+    @classmethod
+    def denied_by(
+        cls,
+        request: AccessRequest,
+        reason: DenialReason,
+        *,
+        entries_used: int = 0,
+        trace: Tuple[StageResult, ...] = (),
+    ) -> "Decision":
+        """Build a denying decision carrying *trace*."""
+        return cls(request, False, None, reason, entries_used, trace)

@@ -1,0 +1,242 @@
+"""The Policy Decision Point: pipeline evaluation and batch decisions.
+
+:class:`DecisionPoint` is the XACML-style PDP of the redesigned API.  It owns
+an ordered pipeline of :class:`~repro.api.stages.DecisionStage` objects and
+evaluates access requests against them, producing
+:class:`~repro.api.decision.Decision` objects whose traces name the stage
+that granted or denied each request.  It performs **no side effects** — audit
+and alerting belong to the :class:`~repro.api.pep.EnforcementPoint`.
+
+Attribute access is abstracted behind a :class:`PolicyInformationPoint` (the
+XACML PIP): the stages never see the databases directly, only the lookup
+functions.  That indirection is what makes the batch API fast —
+:meth:`DecisionPoint.decide_many` evaluates a whole request list against a
+memoizing snapshot of the PIP, so candidate lookups and entry-count scans are
+shared across all requests that touch the same ``(subject, location)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EnforcementError
+from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.requests import AccessRequest, DenialReason
+from repro.temporal.interval import TimeInterval
+from repro.api.decision import Decision, StageOutcome, StageResult
+from repro.api.stages import DecisionStage, EvaluationContext, default_pipeline
+
+__all__ = ["PolicyInformationPoint", "DecisionPoint"]
+
+
+class PolicyInformationPoint:
+    """The attribute services the decision stages consult (XACML's PIP).
+
+    Parameters
+    ----------
+    is_primitive:
+        ``location -> bool`` — membership in the protected hierarchy.
+    candidates_for:
+        ``(subject, location) -> sequence of authorizations``.
+    entry_count:
+        ``(subject, location, window) -> int`` — entries consumed within a
+        window (Definition 7's counter).
+    capacity_of:
+        ``location -> Optional[int]`` — configured occupancy limit, if any.
+    occupancy_of:
+        ``location -> int`` — current number of occupants.
+    """
+
+    __slots__ = ("is_primitive", "candidates_for", "entry_count", "capacity_of", "occupancy_of")
+
+    def __init__(
+        self,
+        *,
+        is_primitive: Callable[[str], bool],
+        candidates_for: Callable[[str, str], Sequence[LocationTemporalAuthorization]],
+        entry_count: Callable[[str, str, TimeInterval], int],
+        capacity_of: Optional[Callable[[str], Optional[int]]] = None,
+        occupancy_of: Optional[Callable[[str], int]] = None,
+    ) -> None:
+        self.is_primitive = is_primitive
+        self.candidates_for = candidates_for
+        self.entry_count = entry_count
+        self.capacity_of = capacity_of if capacity_of is not None else lambda location: None
+        self.occupancy_of = occupancy_of if occupancy_of is not None else lambda location: 0
+
+    @classmethod
+    def for_components(
+        cls,
+        hierarchy,
+        authorization_db,
+        movement_db,
+        *,
+        capacity_of: Optional[Callable[[str], Optional[int]]] = None,
+        occupancy_of: Optional[Callable[[str], int]] = None,
+    ) -> "PolicyInformationPoint":
+        """Wire a PIP from the hierarchy and the Figure 3 databases."""
+        return cls(
+            is_primitive=hierarchy.is_primitive,
+            candidates_for=authorization_db.for_subject_location,
+            entry_count=movement_db.entry_count,
+            capacity_of=capacity_of,
+            occupancy_of=occupancy_of
+            if occupancy_of is not None
+            else lambda location: len(movement_db.occupants(location)),
+        )
+
+    def cached(self) -> "PolicyInformationPoint":
+        """A memoizing snapshot of this PIP for batch evaluation.
+
+        Safe only while the underlying databases do not change — decisions
+        are pure, so a batch of them satisfies that by construction.
+        """
+        base = self
+        primitive_cache: Dict[str, bool] = {}
+        candidate_cache: Dict[Tuple[str, str], Sequence[LocationTemporalAuthorization]] = {}
+        count_cache: Dict[Tuple[str, str, TimeInterval], int] = {}
+        occupancy_cache: Dict[str, int] = {}
+
+        def is_primitive(location: str) -> bool:
+            try:
+                return primitive_cache[location]
+            except KeyError:
+                primitive_cache[location] = result = base.is_primitive(location)
+                return result
+
+        def candidates_for(subject: str, location: str) -> Sequence[LocationTemporalAuthorization]:
+            key = (subject, location)
+            try:
+                return candidate_cache[key]
+            except KeyError:
+                candidate_cache[key] = result = tuple(base.candidates_for(subject, location))
+                return result
+
+        def entry_count(subject: str, location: str, window: TimeInterval) -> int:
+            key = (subject, location, window)
+            try:
+                return count_cache[key]
+            except KeyError:
+                count_cache[key] = result = base.entry_count(subject, location, window)
+                return result
+
+        def occupancy_of(location: str) -> int:
+            try:
+                return occupancy_cache[location]
+            except KeyError:
+                occupancy_cache[location] = result = base.occupancy_of(location)
+                return result
+
+        return PolicyInformationPoint(
+            is_primitive=is_primitive,
+            candidates_for=candidates_for,
+            entry_count=entry_count,
+            capacity_of=base.capacity_of,
+            occupancy_of=occupancy_of,
+        )
+
+
+class DecisionPoint:
+    """Evaluate access requests through an ordered, pluggable stage pipeline.
+
+    Parameters
+    ----------
+    info:
+        The :class:`PolicyInformationPoint` supplying attributes to stages.
+    stages:
+        The pipeline, in evaluation order; defaults to the classic
+        Definition 7 pipeline of :func:`~repro.api.stages.default_pipeline`.
+        The final stage must produce a GRANT or DENY for every request.
+    """
+
+    def __init__(
+        self,
+        info: PolicyInformationPoint,
+        stages: Optional[Sequence[DecisionStage]] = None,
+    ) -> None:
+        self._info = info
+        self._stages: Tuple[DecisionStage, ...] = (
+            tuple(stages) if stages is not None else default_pipeline()
+        )
+        if not self._stages:
+            raise EnforcementError("a decision pipeline needs at least one stage")
+        for stage in self._stages:
+            if not hasattr(stage, "name") or not callable(getattr(stage, "evaluate", None)):
+                raise EnforcementError(
+                    f"{stage!r} is not a decision stage (needs a .name and an evaluate(context) method)"
+                )
+
+    @classmethod
+    def for_components(
+        cls,
+        hierarchy,
+        authorization_db,
+        movement_db,
+        *,
+        stages: Optional[Sequence[DecisionStage]] = None,
+        capacity_of: Optional[Callable[[str], Optional[int]]] = None,
+        occupancy_of: Optional[Callable[[str], int]] = None,
+    ) -> "DecisionPoint":
+        """Build a PDP directly from the hierarchy and databases."""
+        info = PolicyInformationPoint.for_components(
+            hierarchy,
+            authorization_db,
+            movement_db,
+            capacity_of=capacity_of,
+            occupancy_of=occupancy_of,
+        )
+        return cls(info, stages)
+
+    @property
+    def stages(self) -> Tuple[DecisionStage, ...]:
+        """The pipeline, in evaluation order."""
+        return self._stages
+
+    @property
+    def info(self) -> PolicyInformationPoint:
+        """The policy-information point backing this PDP."""
+        return self._info
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def decide(
+        self, request: AccessRequest, *, info: Optional[PolicyInformationPoint] = None
+    ) -> Decision:
+        """Evaluate one request; pure (no audit, no alerts, no recording)."""
+        active = info if info is not None else self._info
+        context = EvaluationContext(request, active)
+        trace: List[StageResult] = []
+        for stage in self._stages:
+            result = stage.evaluate(context)
+            trace.append(result)
+            if result.outcome is StageOutcome.GRANT:
+                return Decision.granted_by(
+                    request,
+                    result.authorization,
+                    entries_used=result.entries_used,
+                    trace=tuple(trace),
+                )
+            if result.outcome is StageOutcome.DENY:
+                return Decision.denied_by(
+                    request,
+                    result.reason if result.reason is not None else DenialReason.NO_AUTHORIZATION,
+                    entries_used=result.entries_used,
+                    trace=tuple(trace),
+                )
+        raise EnforcementError(
+            f"decision pipeline fell through without a verdict for {request} — "
+            "the final stage must GRANT or DENY every request it sees"
+        )
+
+    def decide_many(self, requests: Iterable[AccessRequest]) -> List[Decision]:
+        """Evaluate a batch of requests, sharing lookups across the batch.
+
+        The whole batch is evaluated against one memoizing PIP snapshot, so
+        every candidate lookup and entry-count scan is performed once per
+        distinct key instead of once per request.  Decisions are returned in
+        request order and are identical to what per-request :meth:`decide`
+        calls would produce.
+        """
+        info = self._info.cached()
+        return [self.decide(request, info=info) for request in requests]

@@ -1,0 +1,155 @@
+"""The Policy Enforcement Point: the side-effect layer.
+
+:class:`EnforcementPoint` is the single owner of everything the decision
+pipeline must never do: writing the audit log, emitting alerts, and feeding
+movement observations to the continuous monitor.  The seed engine interleaved
+these concerns with decision logic inside ``request_access`` /
+``observe_entry``; here they live behind one object so a deployment can swap
+the PDP pipeline without touching enforcement, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.core.requests import AccessRequest
+from repro.core.subjects import subject_name
+from repro.engine.alerts import Alert, AlertKind, AlertSink
+from repro.engine.audit import AuditLog
+from repro.locations.location import location_name
+from repro.api.decision import Decision
+from repro.api.pdp import DecisionPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.monitor import MovementMonitor
+    from repro.storage.movement_db import MovementDatabase
+
+__all__ = ["EnforcementPoint"]
+
+
+class EnforcementPoint:
+    """Enforce decisions: audit, alert, and record observed movements.
+
+    Parameters
+    ----------
+    decision_point:
+        The PDP consulted for every enforcement.
+    monitor:
+        The continuous movement monitor fed by ``observe_entry``/``observe_exit``.
+    movement_db:
+        The movement database (read back for audit records after an
+        observation).
+    audit:
+        Audit log; created when omitted.
+    alerts:
+        Alert sink for denied-request alerts; created when omitted.
+    """
+
+    def __init__(
+        self,
+        decision_point: DecisionPoint,
+        monitor: "MovementMonitor",
+        movement_db: "MovementDatabase",
+        *,
+        audit: Optional[AuditLog] = None,
+        alerts: Optional[AlertSink] = None,
+    ) -> None:
+        self._pdp = decision_point
+        self._monitor = monitor
+        self._movement_db = movement_db
+        self._audit = audit if audit is not None else AuditLog()
+        self._alerts = alerts if alerts is not None else AlertSink()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def decision_point(self) -> DecisionPoint:
+        """The PDP this PEP enforces."""
+        return self._pdp
+
+    @property
+    def audit(self) -> AuditLog:
+        """The audit log this PEP writes."""
+        return self._audit
+
+    @property
+    def alert_sink(self) -> AlertSink:
+        """The sink receiving denied-request alerts."""
+        return self._alerts
+
+    # ------------------------------------------------------------------ #
+    # Enforcement
+    # ------------------------------------------------------------------ #
+    def enforce(self, request: AccessRequest) -> Decision:
+        """Decide *request*, audit the outcome, and alert on denial."""
+        decision = self._pdp.decide(request)
+        return self._record(decision)
+
+    def enforce_many(self, requests: Iterable[AccessRequest]) -> List[Decision]:
+        """Batch :meth:`enforce`: decide via the batch PDP path, then audit each."""
+        decisions = self._pdp.decide_many(requests)
+        for decision in decisions:
+            self._record(decision)
+        return decisions
+
+    def enforce_and_enter(self, request: AccessRequest) -> Decision:
+        """Enforce *request* and, when granted, record the entry observation."""
+        decision = self.enforce(request)
+        if decision.granted:
+            self.observe_entry(request.time, request.subject, request.location)
+        return decision
+
+    def _record(self, decision: Decision) -> Decision:
+        self._audit.record_decision(decision)
+        if not decision.granted:
+            request = decision.request
+            alert = self._alerts.emit(
+                Alert(
+                    request.time,
+                    AlertKind.DENIED_REQUEST,
+                    request.subject,
+                    request.location,
+                    str(decision.reason),
+                )
+            )
+            self._audit.record_alert(alert)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Movement observation (continuous monitoring)
+    # ------------------------------------------------------------------ #
+    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Record that *subject* was observed entering *location* at *time*."""
+        alerts = self._monitor.observe_entry(time, subject, location)
+        self._audit_movement(time, subject, location)
+        for alert in alerts:
+            self._audit.record_alert(alert)
+        return alerts
+
+    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Record that *subject* was observed leaving *location* at *time*."""
+        alerts = self._monitor.observe_exit(time, subject, location)
+        self._audit_movement(time, subject, location)
+        for alert in alerts:
+            self._audit.record_alert(alert)
+        return alerts
+
+    def _audit_movement(self, time: int, subject: str, location: str) -> None:
+        """Audit the latest movement record, tolerating an empty history.
+
+        A movement database may legitimately have recorded nothing (a
+        filtering or sampling backend, a replica that dropped the write); the
+        seed engine crashed with ``IndexError`` here.  The miss itself is
+        worth auditing, so it is recorded as a note instead.
+        """
+        history = self._movement_db.history(subject=subject, location=location)
+        if history:
+            self._audit.record_movement(history[-1])
+        else:
+            self._audit.record_note(
+                time,
+                subject_name(subject),
+                f"movement observed at {location_name(location)!r} "
+                "but the movement database recorded nothing for it",
+            )

@@ -1,0 +1,280 @@
+"""The pluggable stages of the decision pipeline.
+
+Definition 7's monolithic check is decomposed into small, ordered stages —
+each one a tiny object with a ``name`` and an ``evaluate(context)`` method.
+The classic pipeline reproduces the seed engine's behavior exactly:
+
+1. :class:`KnownLocationStage` — the requested location must be a primitive
+   location of the protected hierarchy;
+2. :class:`CandidateLookupStage` — at least one authorization must exist for
+   the ``(subject, location)`` pair;
+3. :class:`EntryWindowStage` — at least one candidate's entry duration must
+   contain the request time;
+4. :class:`EntryBudgetStage` — the first admissible candidate with budget
+   remaining grants the request (terminal stage).
+
+Two extension stages cover scenarios the seed engine hard-coded around:
+:class:`CapacityStage` (deny when the location is full, instead of merely
+alerting after the fact) and :class:`ConflictResolutionStage` (collapse
+conflicting candidate authorizations with a Section 4 resolution strategy
+before the budget check).
+
+Stages communicate through an :class:`EvaluationContext` that carries the
+request, the attribute services (a policy-information view, see
+:class:`~repro.api.pdp.PolicyInformationPoint`) and the candidate sets
+produced so far.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple, runtime_checkable
+
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.conflicts import ResolutionStrategy, resolve_conflicts
+from repro.core.requests import DenialReason
+from repro.api.decision import StageOutcome, StageResult
+
+__all__ = [
+    "EvaluationContext",
+    "DecisionStage",
+    "KnownLocationStage",
+    "CandidateLookupStage",
+    "EntryWindowStage",
+    "EntryBudgetStage",
+    "CapacityStage",
+    "ConflictResolutionStage",
+    "default_pipeline",
+]
+
+
+class EvaluationContext:
+    """Mutable scratchpad threaded through the pipeline for one request.
+
+    Attributes
+    ----------
+    request:
+        The access request under evaluation.
+    info:
+        The attribute services (candidate lookup, entry counting, capacity)
+        the stages consult — a
+        :class:`~repro.api.pdp.PolicyInformationPoint` or anything
+        duck-compatible with it.
+    candidates:
+        Authorizations stored for the request's ``(subject, location)`` pair,
+        populated by :class:`CandidateLookupStage` and possibly rewritten by
+        :class:`ConflictResolutionStage`.
+    admissible:
+        The candidates whose entry duration contains the request time,
+        populated by :class:`EntryWindowStage`.
+    """
+
+    __slots__ = ("request", "info", "candidates", "admissible")
+
+    def __init__(self, request, info) -> None:
+        self.request = request
+        self.info = info
+        self.candidates: List[LocationTemporalAuthorization] = []
+        self.admissible: List[LocationTemporalAuthorization] = []
+
+
+@runtime_checkable
+class DecisionStage(Protocol):
+    """Protocol every pipeline stage implements."""
+
+    name: str
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        """Judge the request, returning this stage's verdict."""
+        ...  # pragma: no cover - protocol
+
+
+class KnownLocationStage:
+    """Deny requests for locations outside the protected hierarchy."""
+
+    name = "known-location"
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        location = context.request.location
+        if not context.info.is_primitive(location):
+            return StageResult(
+                self.name,
+                StageOutcome.DENY,
+                detail=f"{location!r} is not a primitive location of the protected hierarchy",
+                reason=DenialReason.UNKNOWN_LOCATION,
+            )
+        return StageResult(
+            self.name, StageOutcome.CONTINUE, detail=f"{location!r} is a protected primitive location"
+        )
+
+
+class CandidateLookupStage:
+    """Fetch the stored authorizations for the ``(subject, location)`` pair."""
+
+    name = "candidate-lookup"
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        request = context.request
+        context.candidates = list(context.info.candidates_for(request.subject, request.location))
+        if not context.candidates:
+            return StageResult(
+                self.name,
+                StageOutcome.DENY,
+                detail=f"no authorization stored for ({request.subject}, {request.location})",
+                reason=DenialReason.NO_AUTHORIZATION,
+            )
+        return StageResult(
+            self.name,
+            StageOutcome.CONTINUE,
+            detail=f"{len(context.candidates)} candidate authorization(s)",
+        )
+
+
+class ConflictResolutionStage:
+    """Collapse conflicting candidates with a Section 4 resolution strategy.
+
+    Works on whichever candidate pool is current — the raw candidates when
+    placed before :class:`EntryWindowStage`, the admissible (in-window) set
+    when placed after it — so that, e.g., two overlapping grants merge into
+    one authorization spanning both windows instead of being budget-checked
+    independently.
+    """
+
+    name = "conflict-resolution"
+
+    def __init__(
+        self,
+        strategy: ResolutionStrategy = ResolutionStrategy.MERGE,
+        *,
+        include_adjacent: bool = False,
+    ) -> None:
+        self._strategy = ResolutionStrategy(strategy)
+        self._include_adjacent = include_adjacent
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        pool_name = "admissible" if context.admissible else "candidates"
+        pool = getattr(context, pool_name)
+        if len(pool) < 2:
+            return StageResult(self.name, StageOutcome.SKIP, detail="fewer than two candidates")
+        resolved, conflicts = resolve_conflicts(
+            pool,
+            strategy=self._strategy,
+            include_adjacent=self._include_adjacent,
+        )
+        if not conflicts:
+            return StageResult(
+                self.name,
+                StageOutcome.CONTINUE,
+                detail=f"no conflicts among {len(pool)} candidate(s)",
+            )
+        setattr(context, pool_name, list(resolved))
+        return StageResult(
+            self.name,
+            StageOutcome.CONTINUE,
+            detail=(
+                f"resolved {len(conflicts)} conflict(s) via {self._strategy.value}; "
+                f"{len(resolved)} candidate(s) remain"
+            ),
+        )
+
+
+class EntryWindowStage:
+    """Keep only the candidates whose entry duration contains the request time."""
+
+    name = "entry-window"
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        time = context.request.time
+        context.admissible = [auth for auth in context.candidates if auth.permits_entry_at(time)]
+        if not context.admissible:
+            return StageResult(
+                self.name,
+                StageOutcome.DENY,
+                detail=f"none of {len(context.candidates)} candidate(s) permits entry at t={time}",
+                reason=DenialReason.OUTSIDE_ENTRY_DURATION,
+            )
+        return StageResult(
+            self.name,
+            StageOutcome.CONTINUE,
+            detail=f"{len(context.admissible)} candidate(s) enterable at t={time}",
+        )
+
+
+class CapacityStage:
+    """Deny admission when the location is already at its occupancy limit.
+
+    The seed engine only *alerted* on over-capacity after the entry happened;
+    putting this stage in the pipeline turns the limit into an admission
+    constraint.  Skips when no limit is configured for the location.
+    """
+
+    name = "capacity"
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        location = context.request.location
+        limit = context.info.capacity_of(location)
+        if limit is None:
+            return StageResult(
+                self.name, StageOutcome.SKIP, detail=f"no capacity limit configured for {location!r}"
+            )
+        occupants = context.info.occupancy_of(location)
+        if occupants >= limit:
+            return StageResult(
+                self.name,
+                StageOutcome.DENY,
+                detail=f"{occupants} occupant(s) already inside; limit is {limit}",
+                reason=DenialReason.OVER_CAPACITY,
+            )
+        return StageResult(
+            self.name, StageOutcome.CONTINUE, detail=f"occupancy {occupants}/{limit}"
+        )
+
+
+class EntryBudgetStage:
+    """Terminal stage: grant via the first admissible candidate with budget left.
+
+    Mirrors Definition 7's entry counting — entries are counted within each
+    authorization's entry duration, and the first candidate (in storage
+    order) with remaining budget admits the request.  In a custom pipeline
+    without :class:`EntryWindowStage` the raw candidates are judged instead
+    (an empty admissible set here can only mean the window stage never ran —
+    when it runs and filters everything out, it denies by itself).
+    """
+
+    name = "entry-budget"
+
+    def evaluate(self, context: EvaluationContext) -> StageResult:
+        request = context.request
+        pool = context.admissible if context.admissible else context.candidates
+        exhausted_used = 0
+        for authorization in pool:
+            used = context.info.entry_count(
+                request.subject, request.location, authorization.entry_duration
+            )
+            remaining = authorization.entries_remaining(used)
+            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
+                left = "unlimited" if remaining is UNLIMITED_ENTRIES else str(int(remaining))
+                return StageResult(
+                    self.name,
+                    StageOutcome.GRANT,
+                    detail=f"granted via {authorization.auth_id}; {used} entr(y/ies) used, {left} remaining",
+                    authorization=authorization,
+                    entries_used=used,
+                )
+            exhausted_used = max(exhausted_used, used)
+        return StageResult(
+            self.name,
+            StageOutcome.DENY,
+            detail=f"entry budget exhausted on all {len(pool)} admissible candidate(s)",
+            reason=DenialReason.ENTRY_LIMIT_EXHAUSTED,
+            entries_used=exhausted_used,
+        )
+
+
+def default_pipeline() -> Tuple["DecisionStage", ...]:
+    """The classic Definition 7 pipeline, byte-for-byte compatible with the seed engine."""
+    return (
+        KnownLocationStage(),
+        CandidateLookupStage(),
+        EntryWindowStage(),
+        EntryBudgetStage(),
+    )

@@ -26,8 +26,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api import Ltam
 from repro.core.serialization import dumps_authorizations, load_authorizations
-from repro.engine.access_control import AccessControlEngine
 from repro.engine.query.evaluator import QueryEngine
 from repro.errors import LTAMError
 from repro.locations.layouts import ntu_campus
@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--subject", required=True)
     check.add_argument("--location", required=True)
     check.add_argument("--time", type=int, required=True)
+    check.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the per-stage decision trace (which pipeline stage granted/denied)",
+    )
 
     query = commands.add_parser("query", help="run a query-language statement against the deployment")
     deployment_arguments(query)
@@ -79,9 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_engine(layout_path: str, auths_path: str) -> AccessControlEngine:
+def _load_engine(layout_path: str, auths_path: str) -> Ltam:
     hierarchy = LocationHierarchy(load_layout(layout_path))
-    engine = AccessControlEngine(hierarchy)
+    engine = Ltam.builder().hierarchy(hierarchy).build()
     engine.grant_all(load_authorizations(auths_path))
     return engine
 
@@ -111,12 +116,15 @@ def _command_inaccessible(args: argparse.Namespace, out) -> int:
 
 def _command_check(args: argparse.Namespace, out) -> int:
     engine = _load_engine(args.layout, args.auths)
-    decision = engine.request_access(args.time, args.subject, args.location, record=False)
+    decision = engine.decide((args.time, args.subject, args.location))
     if decision.granted:
         print(f"GRANTED via {decision.authorization.auth_id}: {decision.authorization}", file=out)
-        return 0
-    print(f"DENIED ({decision.reason})", file=out)
-    return 2
+    else:
+        print(f"DENIED ({decision.reason})", file=out)
+    if args.explain:
+        for result in decision.trace:
+            print(f"  {result}", file=out)
+    return 0 if decision.granted else 2
 
 
 def _command_query(args: argparse.Namespace, out) -> int:

@@ -62,6 +62,8 @@ class DenialReason(str, Enum):
     ALREADY_INSIDE = "already_inside"
     #: The location is not a primitive location of the protected hierarchy.
     UNKNOWN_LOCATION = "unknown_location"
+    #: The location is at its occupancy limit (CapacityStage extension).
+    OVER_CAPACITY = "over_capacity"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

@@ -1,17 +1,23 @@
 """Enforcement layer: access-control engine, monitor, alerts, audit, queries.
 
 Implements the system architecture of Figure 3 on top of the storage layer:
-the Access Control Engine (request checking, rule derivation), the continuous
-movement monitor with its security alerts, occupancy sessions, the audit log,
-and the Query Engine with its small query language.
+the continuous movement monitor with its security alerts, occupancy sessions,
+the audit log, and the Query Engine with its small query language.  The
+decision/enforcement split itself (PDP/PEP) lives in :mod:`repro.api`;
+:class:`AccessControlEngine` remains here as the backwards-compatible facade
+over it.
 """
 
-from repro.engine.access_control import AccessControlEngine
+from typing import TYPE_CHECKING
+
 from repro.engine.alerts import Alert, AlertKind, AlertSink
 from repro.engine.audit import AuditEntry, AuditEntryKind, AuditLog
 from repro.engine.monitor import MovementMonitor
 from repro.engine.query import QueryEngine, QueryResult, parse
 from repro.engine.session import OccupancySession, SessionTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.access_control import AccessControlEngine
 
 __all__ = [
     "AccessControlEngine",
@@ -28,3 +34,15 @@ __all__ = [
     "QueryResult",
     "parse",
 ]
+
+
+def __getattr__(name: str):
+    # AccessControlEngine is imported lazily: it is built on repro.api, which
+    # in turn imports this package's monitor/audit/alerts submodules — eager
+    # import here would be circular.
+    if name == "AccessControlEngine":
+        from repro.engine.access_control import AccessControlEngine
+
+        globals()["AccessControlEngine"] = AccessControlEngine
+        return AccessControlEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

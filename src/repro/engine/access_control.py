@@ -1,260 +1,74 @@
-"""The Access Control Engine (Figure 3).
+"""The Access Control Engine (Figure 3) — backwards-compatible facade.
 
-Section 5 gives the engine three jobs:
+Section 5 gives the engine three jobs: check access requests against the
+authorization database (Definition 7), monitor movements for violations, and
+derive authorizations from newly specified rules.  Those jobs now live in the
+PDP/PEP layers of :mod:`repro.api`:
 
-1. check the authorization database for an authorization matching an access
-   request (Definition 7), consulting the movement database for the entry
-   count already consumed;
-2. invoke the query machinery to find out whether the user has violated any
-   authorization (unauthorized accesses, over-staying) — delegated to the
-   :class:`~repro.engine.monitor.MovementMonitor`;
-3. evaluate newly specified rules against existing authorizations and user
-   profiles and add the derived authorizations to the authorization database.
+* decisions run through the pluggable stage pipeline of
+  :class:`~repro.api.pdp.DecisionPoint` (and return
+  :class:`~repro.api.decision.Decision` objects carrying a per-stage trace);
+* side effects (audit, alerts, movement recording) belong to
+  :class:`~repro.api.pep.EnforcementPoint`;
+* construction is fluent via :meth:`~repro.api.builder.Ltam.builder`.
 
-:class:`AccessControlEngine` wires the three databases, the monitor, the
-derivation engine and the audit log together and is the main entry point of
-the library (see ``examples/quickstart.py``).
+:class:`AccessControlEngine` subclasses :class:`~repro.api.builder.Ltam` and
+only adds the seed's method names, so existing code keeps working unchanged.
+
+Migration guide (old → new):
+
+==============================  =======================================
+``check_request(request)``      ``decide(request)``
+``request_access(t, s, l)``     ``enforce((t, s, l))``
+``request_access(..., record=False)``  ``decide((t, s, l))``
+``request_and_enter(t, s, l)``  ``enforce_and_enter((t, s, l))``
+``AccessControlEngine(h)``      ``Ltam.builder().hierarchy(h).build()``
+==============================  =======================================
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
-
-from repro.errors import EnforcementError
-from repro.core.accessibility import AccessibilityReport, find_inaccessible
-from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
-from repro.core.derivation import DerivationEngine, DerivationResult
-from repro.core.requests import AccessDecision, AccessRequest, DenialReason
-from repro.core.rules import AuthorizationRule
-from repro.core.subjects import SubjectDirectory, subject_name
-from repro.engine.alerts import Alert, AlertKind, AlertSink
-from repro.engine.audit import AuditLog
-from repro.engine.monitor import MovementMonitor
-from repro.locations.location import location_name
-from repro.locations.multilevel import LocationHierarchy
-from repro.storage.authorization_db import AuthorizationDatabase, InMemoryAuthorizationDatabase
-from repro.storage.movement_db import InMemoryMovementDatabase, MovementDatabase
-from repro.storage.profile_db import InMemoryUserProfileDatabase, UserProfileDatabase
-from repro.temporal.chronon import Clock
+from repro.core.requests import AccessDecision, AccessRequest
+from repro.api.builder import Ltam
 
 __all__ = ["AccessControlEngine"]
 
 
-class AccessControlEngine:
+class AccessControlEngine(Ltam):
     """End-to-end enforcement of LTAM authorizations over a location hierarchy.
 
-    Parameters
-    ----------
-    hierarchy:
-        The protected location layout.
-    authorization_db, movement_db, profile_db:
-        The three databases of Figure 3; in-memory backends are created when
-        omitted.
-    clock:
-        Simulation clock; created at time 0 when omitted.
-    alert_sink:
-        Destination for monitor alerts; created when omitted.
-    audit_log:
-        Audit log; created when omitted.
+    A thin, backwards-compatible shim over :class:`~repro.api.builder.Ltam`:
+    every decision still runs through the PDP pipeline (so it carries a
+    trace) and every side effect through the PEP; only the seed's method
+    names are added here.  See the module docstring for the migration table.
     """
 
-    def __init__(
-        self,
-        hierarchy: LocationHierarchy,
-        *,
-        authorization_db: Optional[AuthorizationDatabase] = None,
-        movement_db: Optional[MovementDatabase] = None,
-        profile_db: Optional[UserProfileDatabase] = None,
-        clock: Optional[Clock] = None,
-        alert_sink: Optional[AlertSink] = None,
-        audit_log: Optional[AuditLog] = None,
-    ) -> None:
-        self.hierarchy = hierarchy
-        self.authorization_db = authorization_db if authorization_db is not None else InMemoryAuthorizationDatabase()
-        self.movement_db = movement_db if movement_db is not None else InMemoryMovementDatabase(hierarchy)
-        self.profile_db = profile_db if profile_db is not None else InMemoryUserProfileDatabase()
-        self.clock = clock if clock is not None else Clock()
-        self.alerts = alert_sink if alert_sink is not None else AlertSink()
-        self.audit = audit_log if audit_log is not None else AuditLog()
-        self.monitor = MovementMonitor(self.authorization_db, self.movement_db, self.alerts)
-        self._rules: List[AuthorizationRule] = []
-        self.derivation = DerivationEngine(self.profile_db.directory(), hierarchy)
-        # Overstay checks run automatically as simulation time advances.
-        self.clock.subscribe(self.monitor.check_overstays)
-
     # ------------------------------------------------------------------ #
-    # Administration
-    # ------------------------------------------------------------------ #
-    def grant(self, authorization: LocationTemporalAuthorization) -> LocationTemporalAuthorization:
-        """Store an authorization, validating its location against the hierarchy."""
-        if not self.hierarchy.is_primitive(authorization.location):
-            raise EnforcementError(
-                f"authorization {authorization.auth_id!r} references {authorization.location!r}, "
-                "which is not a primitive location of the protected hierarchy"
-            )
-        return self.authorization_db.add(authorization)
-
-    def grant_all(
-        self, authorizations: Iterable[LocationTemporalAuthorization]
-    ) -> List[LocationTemporalAuthorization]:
-        """Store several authorizations."""
-        return [self.grant(auth) for auth in authorizations]
-
-    def revoke(self, auth_id: str, *, cascade: bool = True) -> List[LocationTemporalAuthorization]:
-        """Revoke an authorization, cascading to derived authorizations by default."""
-        if cascade:
-            return self.authorization_db.revoke_cascading(auth_id)
-        return [self.authorization_db.revoke(auth_id)]
-
-    def add_rule(self, rule: AuthorizationRule, *, derive_now: bool = True) -> DerivationResult:
-        """Register an authorization rule and (by default) derive immediately.
-
-        Section 5: *"When the administrator specifies new rules, the access
-        control engine will evaluate the new rules on the existing
-        authorizations and user profiles.  The derived authorizations are
-        then added to the authorization database."*
-        """
-        self._rules.append(rule)
-        if not derive_now:
-            return DerivationResult((), (), ())
-        return self.derive_authorizations(rules=[rule])
-
-    @property
-    def rules(self) -> Tuple[AuthorizationRule, ...]:
-        """Every rule registered with the engine."""
-        return tuple(self._rules)
-
-    def derive_authorizations(
-        self, *, rules: Optional[Sequence[AuthorizationRule]] = None
-    ) -> DerivationResult:
-        """Run (selected) rules against the stored authorizations and persist the results."""
-        # The directory may have changed since construction (profile updates),
-        # so refresh the derivation engine's view of it and re-register the
-        # engine's rules against the fresh directory.
-        self.derivation = DerivationEngine(self.profile_db.directory(), self.hierarchy)
-        for rule in self._rules:
-            self.derivation.add_rule(rule)
-        selected = list(rules) if rules is not None else list(self._rules)
-        result = self.derivation.derive(
-            self.authorization_db.all(), now=self.clock.now, rules=selected
-        )
-        stored = 0
-        existing = set(self.authorization_db.all())
-        for authorization in result.derived:
-            if authorization in existing:
-                continue
-            self.authorization_db.add(authorization)
-            existing.add(authorization)
-            stored += 1
-        for batch in result.batches:
-            self.audit.record_derivation(
-                self.clock.now,
-                batch.base.subject,
-                f"rule {batch.rule_id} derived {len(batch.derived)} authorization(s)",
-            )
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Request evaluation (Definition 7)
+    # Request evaluation (Definition 7) — legacy names
     # ------------------------------------------------------------------ #
     def check_request(self, request: AccessRequest) -> AccessDecision:
-        """Evaluate an access request without recording anything."""
-        if not self.hierarchy.is_primitive(request.location):
-            return AccessDecision.deny(request, DenialReason.UNKNOWN_LOCATION)
+        """Evaluate an access request without recording anything.
 
-        candidates = self.authorization_db.for_subject_location(request.subject, request.location)
-        if not candidates:
-            return AccessDecision.deny(request, DenialReason.NO_AUTHORIZATION)
-
-        in_window = [auth for auth in candidates if auth.permits_entry_at(request.time)]
-        if not in_window:
-            return AccessDecision.deny(request, DenialReason.OUTSIDE_ENTRY_DURATION)
-
-        exhausted_used = 0
-        for authorization in in_window:
-            used = self.movement_db.entry_count(
-                request.subject, request.location, authorization.entry_duration
-            )
-            remaining = authorization.entries_remaining(used)
-            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
-                return AccessDecision.grant(request, authorization, entries_used=used)
-            exhausted_used = max(exhausted_used, used)
-        return AccessDecision.deny(
-            request, DenialReason.ENTRY_LIMIT_EXHAUSTED, entries_used=exhausted_used
-        )
+        Legacy alias of :meth:`~repro.api.builder.Ltam.decide`.
+        """
+        return self.decide(request)
 
     def request_access(
         self, time: int, subject: str, location: str, *, record: bool = True
     ) -> AccessDecision:
-        """Evaluate the access request ``(time, subject, location)`` and audit it."""
-        request = AccessRequest(time, subject_name(subject), location_name(location))
-        decision = self.check_request(request)
+        """Evaluate the access request ``(time, subject, location)`` and audit it.
+
+        Legacy alias of :meth:`~repro.api.builder.Ltam.enforce`
+        (or :meth:`~repro.api.builder.Ltam.decide` when ``record=False``).
+        """
+        request = AccessRequest(time, subject, location)
         if record:
-            self.audit.record_decision(decision)
-            if not decision.granted:
-                alert = self.alerts.emit(
-                    Alert(
-                        time,
-                        AlertKind.DENIED_REQUEST,
-                        request.subject,
-                        request.location,
-                        str(decision.reason),
-                    )
-                )
-                self.audit.record_alert(alert)
-        return decision
-
-    # ------------------------------------------------------------------ #
-    # Movement observation (continuous monitoring)
-    # ------------------------------------------------------------------ #
-    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
-        """Record that *subject* was observed entering *location* at *time*."""
-        alerts = self.monitor.observe_entry(time, subject, location)
-        self.audit.record_movement(self.movement_db.history(subject=subject, location=location)[-1])
-        for alert in alerts:
-            self.audit.record_alert(alert)
-        return alerts
-
-    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
-        """Record that *subject* was observed leaving *location* at *time*."""
-        alerts = self.monitor.observe_exit(time, subject, location)
-        self.audit.record_movement(self.movement_db.history(subject=subject, location=location)[-1])
-        for alert in alerts:
-            self.audit.record_alert(alert)
-        return alerts
+            return self.enforce(request)
+        return self.decide(request)
 
     def request_and_enter(self, time: int, subject: str, location: str) -> AccessDecision:
-        """Convenience: pose a request and, when granted, record the entry."""
-        decision = self.request_access(time, subject, location)
-        if decision.granted:
-            self.observe_entry(time, subject, location)
-        return decision
+        """Convenience: pose a request and, when granted, record the entry.
 
-    def set_capacity(self, location: str, limit: int) -> None:
-        """Set an occupancy limit for *location* (monitored continuously)."""
-        if not self.hierarchy.is_primitive(location):
-            raise EnforcementError(f"{location!r} is not a primitive location of the protected hierarchy")
-        self.monitor.set_capacity(location, limit)
-
-    def tick(self, delta: int = 1) -> int:
-        """Advance the clock (overstay checks run via the clock subscription)."""
-        return self.clock.advance(delta)
-
-    def advance_to(self, time: int) -> int:
-        """Advance the clock to an absolute time."""
-        return self.clock.advance_to(time)
-
-    # ------------------------------------------------------------------ #
-    # Reasoning
-    # ------------------------------------------------------------------ #
-    def inaccessible_locations(self, subject: str) -> AccessibilityReport:
-        """Run Algorithm 1 for *subject* against the stored authorizations."""
-        return find_inaccessible(self.hierarchy, subject, self.authorization_db)
-
-    def where_is(self, subject: str) -> Optional[str]:
-        """The location the subject is currently inside, or ``None``."""
-        return self.movement_db.current_location(subject)
-
-    def occupants(self, location: str) -> List[str]:
-        """Subjects currently inside *location*."""
-        return self.movement_db.occupants(location)
+        Legacy alias of :meth:`~repro.api.builder.Ltam.enforce_and_enter`.
+        """
+        return self.enforce_and_enter(AccessRequest(time, subject, location))

@@ -27,6 +27,7 @@ class AuditEntryKind(str, Enum):
     MOVEMENT = "movement"
     ALERT = "alert"
     DERIVATION = "derivation"
+    NOTE = "note"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -77,6 +78,12 @@ class AuditLog:
     def record_derivation(self, time: int, subject: str, description: str) -> AuditEntry:
         """Record a rule-derivation action (free-text description)."""
         entry = AuditEntry(time, AuditEntryKind.DERIVATION, subject_name(subject), description)
+        self._entries.append(entry)
+        return entry
+
+    def record_note(self, time: int, subject: str, description: str) -> AuditEntry:
+        """Record a free-text operational note (e.g. an anomaly worth keeping)."""
+        entry = AuditEntry(time, AuditEntryKind.NOTE, subject_name(subject), description)
         self._entries.append(entry)
         return entry
 

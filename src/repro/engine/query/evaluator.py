@@ -11,11 +11,10 @@ sink, and the location hierarchy — and returns tabular
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError
 from repro.core.authorization import UNLIMITED_ENTRIES
-from repro.engine.access_control import AccessControlEngine
 from repro.engine.query.ast import (
     AccessibleQuery,
     AuthorizationsQuery,
@@ -33,6 +32,9 @@ from repro.engine.query.parser import parse
 from repro.locations.routes import find_route
 from repro.core.grant import authorize_route
 from repro.storage.movement_db import MovementKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.access_control import AccessControlEngine
 from repro.temporal.interval import TimeInterval
 
 __all__ = ["QueryEngine"]
@@ -101,9 +103,7 @@ class QueryEngine:
         return location
 
     def _can_enter(self, query: CanEnterQuery) -> QueryResult:
-        decision = self._engine.request_access(
-            query.time, query.subject, query.location, record=False
-        )
+        decision = self._engine.decide((query.time, query.subject, query.location))
         reason = "" if decision.granted else str(decision.reason)
         rows = ((query.subject, query.location, query.time, decision.granted, reason),)
         return QueryResult(

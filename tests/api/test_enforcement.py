@@ -1,0 +1,82 @@
+"""Tests for the PEP: audit/alert ownership and observation guarding."""
+
+import pytest
+
+from repro.core.requests import AccessRequest
+from repro.engine.alerts import AlertKind
+from repro.engine.audit import AuditEntryKind
+from repro.api import Ltam, grant
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.storage.movement_db import InMemoryMovementDatabase
+
+
+@pytest.fixture
+def engine():
+    built = Ltam.builder().hierarchy(ntu_campus_hierarchy()).build()
+    built.grant(grant("Alice").at("CAIS").during(10, 20).exit_between(10, 50).entries(2))
+    return built
+
+
+class TestEnforce:
+    def test_enforce_audits_the_decision(self, engine):
+        decision = engine.enforce((15, "Alice", "CAIS"))
+        assert decision.granted
+        assert len(engine.audit.decisions()) == 1
+        assert engine.audit.decisions()[0] is decision
+
+    def test_denials_alert_and_audit(self, engine):
+        engine.enforce((15, "Bob", "CAIS"))
+        assert [alert.kind for alert in engine.alerts] == [AlertKind.DENIED_REQUEST]
+        assert len(engine.audit.decisions(granted=False)) == 1
+
+    def test_decide_is_pure(self, engine):
+        engine.decide((15, "Bob", "CAIS"))
+        assert len(engine.audit) == 0
+        assert len(engine.alerts) == 0
+
+    def test_enforce_many_audits_every_decision(self, engine):
+        requests = [(15, "Alice", "CAIS"), (15, "Bob", "CAIS"), (5, "Alice", "CAIS")]
+        decisions = engine.enforce_many(requests)
+        assert [decision.granted for decision in decisions] == [True, False, False]
+        assert len(engine.audit.decisions()) == 3
+        assert len(engine.alerts) == 2
+
+    def test_enforce_and_enter_records_the_entry(self, engine):
+        decision = engine.enforce_and_enter(AccessRequest(15, "Alice", "CAIS"))
+        assert decision.granted
+        assert engine.where_is("Alice") == "CAIS"
+        assert engine.movement_db.entry_count("Alice", "CAIS") == 1
+
+
+class _DroppingMovementDatabase(InMemoryMovementDatabase):
+    """A movement backend that acknowledges but never stores records."""
+
+    def record(self, record):
+        return record
+
+
+class TestObservationGuard:
+    def test_observation_with_empty_history_audits_a_note(self):
+        hierarchy = ntu_campus_hierarchy()
+        engine = Ltam(hierarchy, movement_db=_DroppingMovementDatabase(hierarchy))
+        engine.grant(grant("Alice").at("CAIS").during(10, 20))
+        # The seed engine crashed with IndexError here (history(...)[-1] on
+        # an empty history); the PEP audits the miss instead.
+        engine.observe_entry(15, "Alice", "CAIS")
+        notes = engine.audit.of_kind(AuditEntryKind.NOTE)
+        assert len(notes) == 1
+        assert "recorded nothing" in str(notes[0].payload)
+        assert engine.audit.of_kind(AuditEntryKind.MOVEMENT) == []
+
+    def test_observation_with_history_audits_the_movement(self, engine):
+        engine.observe_entry(15, "Alice", "CAIS")
+        movements = engine.audit.of_kind(AuditEntryKind.MOVEMENT)
+        assert len(movements) == 1
+        assert movements[0].subject == "Alice"
+
+    def test_exit_observation_guarded_too(self):
+        hierarchy = ntu_campus_hierarchy()
+        engine = Ltam(hierarchy, movement_db=_DroppingMovementDatabase(hierarchy))
+        engine.grant(grant("Alice").at("CAIS").during(10, 20))
+        engine.observe_exit(16, "Alice", "CAIS")
+        assert len(engine.audit.of_kind(AuditEntryKind.NOTE)) == 1

@@ -1,0 +1,180 @@
+"""Tests for the fluent construction layer: Ltam.builder() and grant()."""
+
+import pytest
+
+from repro.errors import EnforcementError, InvalidAuthorizationError
+from repro.core.authorization import UNLIMITED_ENTRIES
+from repro.temporal.chronon import FOREVER
+from repro.api import CapacityStage, EntryBudgetStage, KnownLocationStage, Ltam, grant
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.paper import fixtures as paper
+from repro.storage.authorization_db import SqliteAuthorizationDatabase
+from repro.storage.movement_db import SqliteMovementDatabase
+from repro.storage.profile_db import SqliteUserProfileDatabase
+
+
+class TestLtamBuilder:
+    def test_minimal_build(self):
+        engine = Ltam.builder().hierarchy(ntu_campus_hierarchy()).build()
+        assert engine.hierarchy.is_primitive("CAIS")
+        assert [stage.name for stage in engine.pdp.stages] == [
+            "known-location",
+            "candidate-lookup",
+            "entry-window",
+            "entry-budget",
+        ]
+
+    def test_hierarchy_required(self):
+        with pytest.raises(EnforcementError):
+            Ltam.builder().build()
+
+    def test_accepts_raw_graph(self):
+        from repro.locations.layouts import ntu_campus
+
+        engine = Ltam.builder().hierarchy(ntu_campus()).build()
+        assert engine.hierarchy.is_primitive("CAIS")
+
+    def test_sqlite_backend(self, tmp_path):
+        path = str(tmp_path / "ltam.db")
+        engine = (
+            Ltam.builder()
+            .hierarchy(ntu_campus_hierarchy())
+            .backend("sqlite", path)
+            .grant(grant("Alice").at("CAIS").during(10, 20).entries(2))
+            .build()
+        )
+        assert isinstance(engine.authorization_db, SqliteAuthorizationDatabase)
+        assert isinstance(engine.movement_db, SqliteMovementDatabase)
+        assert isinstance(engine.profile_db, SqliteUserProfileDatabase)
+        assert engine.decide((15, "Alice", "CAIS")).granted
+        # The three stores share one file and survive a reopen.
+        reopened = SqliteAuthorizationDatabase(path)
+        assert len(reopened) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EnforcementError):
+            Ltam.builder().backend("redis")
+        with pytest.raises(EnforcementError):
+            Ltam.builder().backend("memory", "/some/path")
+
+    def test_stage_inserts_before_terminal_stage(self):
+        engine = (
+            Ltam.builder().hierarchy(ntu_campus_hierarchy()).stage(CapacityStage()).build()
+        )
+        names = [stage.name for stage in engine.pdp.stages]
+        assert names == [
+            "known-location",
+            "candidate-lookup",
+            "entry-window",
+            "capacity",
+            "entry-budget",
+        ]
+
+    def test_pipeline_replaces_stages(self):
+        engine = (
+            Ltam.builder()
+            .hierarchy(ntu_campus_hierarchy())
+            .pipeline(KnownLocationStage(), EntryBudgetStage())
+            .build()
+        )
+        assert [stage.name for stage in engine.pdp.stages] == ["known-location", "entry-budget"]
+
+    def test_pipeline_without_window_stage_judges_raw_candidates(self):
+        from repro.api import CandidateLookupStage
+
+        engine = (
+            Ltam.builder()
+            .hierarchy(ntu_campus_hierarchy())
+            .pipeline(KnownLocationStage(), CandidateLookupStage(), EntryBudgetStage())
+            .grant(grant("alice").at("CAIS"))
+            .build()
+        )
+        # No EntryWindowStage: the budget stage falls back to the raw
+        # candidates instead of denying on an empty admissible set.
+        decision = engine.decide((10, "alice", "CAIS"))
+        assert decision.granted
+        assert decision.deciding_stage == "entry-budget"
+
+    def test_rules_derive_at_build_time(self):
+        base = paper.example_base_authorization_a1()
+        builder = (
+            Ltam.builder()
+            .hierarchy(ntu_campus_hierarchy())
+            .grant(base)
+            .rule(paper.example_rule_r1(base))
+        )
+        engine = builder.build()
+        engine.profile_db.set_supervisor("Alice", "Bob")
+        engine.advance_to(10)  # the rule is specified at t=7
+        engine.derive_authorizations()
+        assert engine.authorization_db.for_subject_location("Bob", "CAIS")
+
+    def test_capacity_configured_at_build_time(self):
+        engine = (
+            Ltam.builder().hierarchy(ntu_campus_hierarchy()).capacity("CAIS", 3).build()
+        )
+        assert engine.monitor.capacity_of("CAIS") == 3
+
+
+class TestAuthorizationBuilder:
+    def test_full_sentence(self):
+        auth = (
+            grant("alice")
+            .at("CAIS")
+            .during(9, 17)
+            .exit_between(9, 20)
+            .entries(3)
+            .created_at(1)
+            .with_id("g-1")
+            .build()
+        )
+        assert auth.subject == "alice"
+        assert auth.location == "CAIS"
+        assert (auth.entry_duration.start, auth.entry_duration.end) == (9, 17)
+        assert (auth.exit_duration.start, auth.exit_duration.end) == (9, 20)
+        assert auth.max_entries == 3
+        assert auth.created_at == 1
+        assert auth.auth_id == "g-1"
+
+    def test_definition4_defaults(self):
+        auth = grant("alice").at("CAIS").created_at(5).build()
+        assert auth.entry_duration.start == 5
+        assert auth.entry_duration.end is FOREVER
+        assert auth.exit_duration.end is FOREVER
+        assert auth.max_entries is UNLIMITED_ENTRIES
+
+    def test_until_shorthand(self):
+        auth = grant("alice").at("CAIS").during(9, 17).until(25).build()
+        assert (auth.exit_duration.start, auth.exit_duration.end) == (9, 25)
+
+    def test_until_is_clause_order_independent(self):
+        before = grant("alice").at("CAIS").until(25).during(9, 17).build()
+        after = grant("alice").at("CAIS").during(9, 17).until(25).build()
+        assert before == after
+        assert (before.exit_duration.start, before.exit_duration.end) == (9, 25)
+
+    def test_exit_between_overrides_until(self):
+        auth = grant("alice").at("CAIS").during(9, 17).until(25).exit_between(10, 30).build()
+        assert (auth.exit_duration.start, auth.exit_duration.end) == (10, 30)
+
+    def test_unlimited_entries_reset(self):
+        auth = grant("alice").at("CAIS").entries(2).unlimited_entries().build()
+        assert auth.max_entries is UNLIMITED_ENTRIES
+
+    def test_location_required(self):
+        with pytest.raises(EnforcementError):
+            grant("alice").build()
+
+    def test_definition4_constraints_still_enforced(self):
+        with pytest.raises(InvalidAuthorizationError):
+            grant("alice").at("CAIS").during(10, 20).exit_between(0, 5).build()
+
+    def test_engine_accepts_builder_directly(self):
+        engine = Ltam.builder().hierarchy(ntu_campus_hierarchy()).build()
+        stored = engine.grant(grant("alice").at("CAIS").during(0, 10))
+        assert engine.authorization_db.get(stored.auth_id).subject == "alice"
+
+    def test_engine_rejects_unknown_location(self):
+        engine = Ltam.builder().hierarchy(ntu_campus_hierarchy()).build()
+        with pytest.raises(EnforcementError):
+            engine.grant(grant("alice").at("Narnia").during(0, 10))

@@ -1,0 +1,96 @@
+"""The legacy engine facade: shim behavior, derivation caching, traces."""
+
+import pytest
+
+from repro.api import Decision, Ltam
+from repro.core.requests import AccessRequest, DenialReason
+from repro.engine.access_control import AccessControlEngine
+from repro.locations.layouts import ntu_campus_hierarchy
+from repro.paper import fixtures as paper
+from repro.storage.profile_db import SqliteUserProfileDatabase
+
+
+@pytest.fixture
+def engine():
+    return AccessControlEngine(ntu_campus_hierarchy())
+
+
+class TestShim:
+    def test_engine_is_an_ltam(self, engine):
+        assert isinstance(engine, Ltam)
+
+    def test_legacy_decisions_carry_traces(self, engine):
+        engine.grant_all(paper.section5_authorizations())
+        decision = engine.check_request(AccessRequest(15, "Alice", "CAIS"))
+        assert isinstance(decision, Decision)
+        assert decision.deciding_stage == "entry-budget"
+        denied = engine.request_access(15, "Mallory", "CAIS", record=False)
+        assert denied.reason is DenialReason.NO_AUTHORIZATION
+        assert denied.deciding_stage == "candidate-lookup"
+
+    def test_request_access_records_only_when_asked(self, engine):
+        engine.grant_all(paper.section5_authorizations())
+        engine.request_access(15, "Alice", "CAIS", record=False)
+        assert len(engine.audit) == 0
+        engine.request_access(15, "Alice", "CAIS")
+        assert len(engine.audit.decisions()) == 1
+
+
+class TestDerivationCaching:
+    def test_cached_engine_reused_while_profiles_unchanged(self, engine):
+        base = paper.example_base_authorization_a1()
+        engine.grant(base)
+        engine.profile_db.set_supervisor("Alice", "Bob")
+        engine.advance_to(10)
+        engine.add_rule(paper.example_rule_r1(base))
+        first = engine.derivation
+        engine.derive_authorizations()
+        engine.derive_authorizations()
+        # The in-memory profile directory mutates in place, so the cached
+        # derivation engine stays valid and is not rebuilt per call.
+        assert engine.derivation is first
+
+    def test_in_memory_profile_changes_visible_through_cache(self, engine):
+        base = paper.example_base_authorization_a1()
+        engine.grant(base)
+        engine.profile_db.set_supervisor("Alice", "Bob")
+        engine.advance_to(10)
+        engine.add_rule(paper.example_rule_r1(base))
+        cached = engine.derivation
+        engine.profile_db.set_supervisor("Alice", "Carol")
+        engine.derive_authorizations()
+        assert engine.derivation is cached
+        subjects = {a.subject for a in engine.authorization_db.for_location("CAIS")}
+        assert "Carol" in subjects
+
+    def test_sqlite_profile_change_rebuilds_the_engine(self):
+        engine = AccessControlEngine(
+            ntu_campus_hierarchy(), profile_db=SqliteUserProfileDatabase()
+        )
+        base = paper.example_base_authorization_a1()
+        engine.grant(base)
+        engine.profile_db.set_supervisor("Alice", "Bob")
+        engine.advance_to(10)
+        engine.add_rule(paper.example_rule_r1(base))
+        stale = engine.derivation
+        # A write invalidates the SQLite directory cache; the derivation
+        # engine must follow the fresh directory object.
+        engine.profile_db.set_supervisor("Alice", "Carol")
+        engine.derive_authorizations()
+        assert engine.derivation is not stale
+        subjects = {a.subject for a in engine.authorization_db.for_location("CAIS")}
+        assert "Carol" in subjects
+
+    def test_rules_survive_a_rebuild(self):
+        engine = AccessControlEngine(
+            ntu_campus_hierarchy(), profile_db=SqliteUserProfileDatabase()
+        )
+        base = paper.example_base_authorization_a1()
+        engine.grant(base)
+        engine.profile_db.set_supervisor("Alice", "Bob")
+        engine.advance_to(10)
+        rule = paper.example_rule_r1(base)
+        engine.add_rule(rule)
+        engine.profile_db.set_supervisor("Alice", "Carol")
+        rebuilt = engine.derivation
+        assert [r.rule_id for r in rebuilt.rules] == [rule.rule_id]

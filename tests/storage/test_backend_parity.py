@@ -1,0 +1,125 @@
+"""Backend parity: the in-memory and SQLite authorization stores must agree.
+
+Every query the access-control engine issues — pair lookup, cascading
+revocation, valid-at-time — is run against both backends loaded with the
+same authorization set, and the answers are compared structurally.
+"""
+
+import pytest
+
+from repro.errors import DuplicateRecordError, MissingRecordError
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.storage.authorization_db import (
+    InMemoryAuthorizationDatabase,
+    SqliteAuthorizationDatabase,
+)
+
+BACKENDS = {
+    "memory": InMemoryAuthorizationDatabase,
+    "sqlite": SqliteAuthorizationDatabase,
+}
+
+
+def seed_authorizations():
+    return [
+        LocationTemporalAuthorization(("Alice", "CAIS"), (10, 20), (10, 50), 2, auth_id="a1"),
+        LocationTemporalAuthorization(("Alice", "CAIS"), (100, 200), (100, 250), auth_id="a2"),
+        LocationTemporalAuthorization(("Alice", "CHIPES"), (0, 40), (0, 60), 1, auth_id="a3"),
+        LocationTemporalAuthorization(("Bob", "CAIS"), (15, 30), (15, 90), 3, auth_id="a4"),
+        LocationTemporalAuthorization(
+            ("Bob", "CHIPES"), (5, 25), (5, 35), UNLIMITED_ENTRIES,
+            auth_id="a5", derived_from="a4", rule_id="r1",
+        ),
+        LocationTemporalAuthorization(
+            ("Carol", "CAIS"), (0, 10), (0, 20), 1, auth_id="a6", derived_from="a4",
+        ),
+    ]
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def db(request):
+    database = BACKENDS[request.param]()
+    database.add_all(seed_authorizations())
+    return database
+
+
+@pytest.fixture
+def both():
+    memory = InMemoryAuthorizationDatabase()
+    sqlite = SqliteAuthorizationDatabase()
+    for backend in (memory, sqlite):
+        backend.add_all(seed_authorizations())
+    return memory, sqlite
+
+
+def by_id(authorizations):
+    return {auth.auth_id: auth for auth in authorizations}
+
+
+class TestSingleBackendBehavior:
+    def test_pair_lookup(self, db):
+        assert {a.auth_id for a in db.for_subject_location("Alice", "CAIS")} == {"a1", "a2"}
+        assert db.for_subject_location("Alice", "Narnia") == []
+
+    def test_subject_and_location_lookup(self, db):
+        assert {a.auth_id for a in db.for_subject("Bob")} == {"a4", "a5"}
+        assert {a.auth_id for a in db.for_location("CAIS")} == {"a1", "a2", "a4", "a6"}
+
+    def test_duplicate_id_rejected(self, db):
+        with pytest.raises(DuplicateRecordError):
+            db.add(LocationTemporalAuthorization(("Eve", "CAIS"), (0, 1), (0, 2), auth_id="a1"))
+
+    def test_missing_id_raises(self, db):
+        with pytest.raises(MissingRecordError):
+            db.get("nope")
+        with pytest.raises(MissingRecordError):
+            db.revoke("nope")
+
+    def test_cascading_revoke(self, db):
+        revoked = db.revoke_cascading("a4")
+        assert {a.auth_id for a in revoked} == {"a4", "a5", "a6"}
+        assert "a5" not in db
+        assert {a.auth_id for a in db.all()} == {"a1", "a2", "a3"}
+
+    def test_enterable_at(self, db):
+        assert {a.auth_id for a in db.enterable_at(15)} == {"a1", "a3", "a4", "a5"}
+        assert {a.auth_id for a in db.enterable_at(15, subject="Alice")} == {"a1", "a3"}
+        assert {a.auth_id for a in db.enterable_at(15, location="CAIS")} == {"a1", "a4"}
+        assert {a.auth_id for a in db.enterable_at(15, subject="Alice", location="CAIS")} == {"a1"}
+
+
+class TestCrossBackendParity:
+    def test_pair_lookup_parity(self, both):
+        memory, sqlite = both
+        for subject, location in [("Alice", "CAIS"), ("Bob", "CHIPES"), ("Carol", "CAIS"), ("Eve", "CAIS")]:
+            assert by_id(memory.for_subject_location(subject, location)) == by_id(
+                sqlite.for_subject_location(subject, location)
+            )
+
+    def test_round_trip_preserves_fields(self, both):
+        memory, sqlite = both
+        for auth_id in ("a1", "a2", "a5"):
+            left, right = memory.get(auth_id), sqlite.get(auth_id)
+            assert left == right
+            assert left.derived_from == right.derived_from
+            assert left.rule_id == right.rule_id
+            assert left.created_at == right.created_at
+            assert (left.max_entries is UNLIMITED_ENTRIES) == (right.max_entries is UNLIMITED_ENTRIES)
+
+    def test_cascading_revoke_parity(self, both):
+        memory, sqlite = both
+        removed_memory = {a.auth_id for a in memory.revoke_cascading("a4")}
+        removed_sqlite = {a.auth_id for a in sqlite.revoke_cascading("a4")}
+        assert removed_memory == removed_sqlite
+        assert by_id(memory.all()) == by_id(sqlite.all())
+
+    def test_enterable_at_parity(self, both):
+        memory, sqlite = both
+        for time in (0, 5, 15, 40, 150, 1000):
+            assert by_id(memory.enterable_at(time)) == by_id(sqlite.enterable_at(time))
+            assert by_id(memory.enterable_at(time, subject="Alice")) == by_id(
+                sqlite.enterable_at(time, subject="Alice")
+            )
+            assert by_id(memory.enterable_at(time, location="CHIPES")) == by_id(
+                sqlite.enterable_at(time, location="CHIPES")
+            )
