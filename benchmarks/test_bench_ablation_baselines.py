@@ -103,10 +103,10 @@ def test_tam_baseline_over_grants(benchmark, scenario, table_printer):
     """TAM has no entry budgets or exit windows: it grants a superset of LTAM."""
     hierarchy, authorizations, trace, requests = scenario
     ltam = make_ltam(hierarchy, authorizations)
-    # Consume budgets by replaying the trace first.
-    for record in trace:
-        if record.kind is MovementKind.ENTER:
-            ltam.movement_db.record_entry(record.time, record.subject, record.location)
+    # Consume budgets by replaying the trace first (batched: one commit).
+    ltam.movement_db.record_many(
+        record for record in trace if record.kind is MovementKind.ENTER
+    )
     tam = TemporalOnlySystem.from_ltam(authorizations)
 
     def evaluate():

@@ -2,15 +2,27 @@
 
 The PDP's :meth:`~repro.api.pdp.DecisionPoint.decide_many` evaluates the
 whole batch against a memoizing snapshot of the policy-information point, so
-candidate lookups and entry-count scans are shared across every request
-touching the same ``(subject, location)`` pair.  The benchmark poses
-10k synthetic requests (with a seeded movement history, so Definition 7's
-entry counting has real work to do) both ways and asserts that
+candidate lookups and entry counts are shared across every request touching
+the same ``(subject, location)`` pair.  The benchmark poses 10k synthetic
+requests (with a seeded movement history) both ways and asserts that
 
 * the two paths produce identical decisions,
 * every batched decision carries a per-stage trace naming the deciding
   stage, and
-* the batch path is at least 1.5× faster than the per-request loop.
+* on the SQLite backend, the batch path is at least 1.5x faster than the
+  per-request loop (~2x measured: the snapshot amortizes the per-request
+  candidate-lookup queries), while on the in-memory backend it must simply
+  never lose.
+
+Cost-model note: when this benchmark was written the entry-count reads
+replayed movement history, so the snapshot's memoization amortized O(n)
+scans and bought 2-3x on *any* backend.  The event-indexed
+:class:`~repro.storage.occupancy.OccupancyService` made those reads O(1) —
+the per-request loop itself got ~50x faster — so on the in-memory backend
+the batch advantage is now bounded by pipeline overhead (~1.2x measured),
+and the strong floor moved to the backend where per-request lookups still
+cost something.  The storage-read speedup itself is asserted in
+``test_bench_occupancy_reads.py``.
 """
 
 import random
@@ -29,7 +41,8 @@ from repro.simulation.workload import (
 )
 
 REQUEST_COUNT = 10_000
-SPEEDUP_FLOOR = 1.5
+SQLITE_SPEEDUP_FLOOR = 1.5
+MEMORY_SPEEDUP_FLOOR = 0.9  # batching must never meaningfully lose
 
 
 def targeted_requests(engine, generator, subjects, count: int, *, seed: int):
@@ -58,10 +71,15 @@ def targeted_requests(engine, generator, subjects, count: int, *, seed: int):
     return requests
 
 
-def build_deployment(request_count: int = REQUEST_COUNT, *, movement_count: int = 1_000):
+def build_deployment(
+    request_count: int = REQUEST_COUNT, *, movement_count: int = 1_000, backend: str = "memory"
+):
     """An engine with synthetic authorizations, movement history, and requests."""
     hierarchy = LocationHierarchy(grid_building("B", 5, 5))
-    engine = Ltam.builder().hierarchy(hierarchy).build()
+    builder = Ltam.builder().hierarchy(hierarchy)
+    if backend != "memory":
+        builder = builder.backend(backend)
+    engine = builder.build()
     subjects = generate_subjects(40)
     generator = AuthorizationWorkloadGenerator(
         hierarchy,
@@ -90,9 +108,7 @@ def _best_of(runs: int, fn):
     return best_seconds, result
 
 
-def test_batch_matches_loop_and_is_faster(table_printer):
-    engine, requests = build_deployment()
-
+def _compare_batch_to_loop(engine, requests, table_printer, *, label, floor):
     loop_seconds, loop_decisions = _best_of(
         3, lambda: [engine.decide(request) for request in requests]
     )
@@ -114,7 +130,7 @@ def test_batch_matches_loop_and_is_faster(table_printer):
     speedup = loop_seconds / batch_seconds if batch_seconds > 0 else float("inf")
     granted = sum(1 for decision in batch_decisions if decision.granted)
     table_printer(
-        "Batch decisions vs per-request loop (10k requests)",
+        f"Batch decisions vs per-request loop (10k requests, {label})",
         ("path", "seconds", "decisions/s"),
         (
             ("per-request loop", f"{loop_seconds:.3f}", f"{len(requests) / loop_seconds:,.0f}"),
@@ -122,9 +138,23 @@ def test_batch_matches_loop_and_is_faster(table_printer):
             ("speedup", f"{speedup:.2f}x", f"granted {granted}/{len(requests)}"),
         ),
     )
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"decide_many was only {speedup:.2f}x faster than the per-request loop "
-        f"(floor: {SPEEDUP_FLOOR}x)"
+    assert speedup >= floor, (
+        f"[{label}] decide_many was only {speedup:.2f}x faster than the per-request "
+        f"loop (floor: {floor}x)"
+    )
+
+
+def test_batch_matches_loop_and_is_faster_sqlite(table_printer):
+    engine, requests = build_deployment(backend="sqlite")
+    _compare_batch_to_loop(
+        engine, requests, table_printer, label="sqlite", floor=SQLITE_SPEEDUP_FLOOR
+    )
+
+
+def test_batch_matches_loop_in_memory(table_printer):
+    engine, requests = build_deployment()
+    _compare_batch_to_loop(
+        engine, requests, table_printer, label="memory", floor=MEMORY_SPEEDUP_FLOOR
     )
 
 

@@ -15,7 +15,6 @@ from repro.simulation.buildings import campus_hierarchy
 from repro.simulation.movement import MovementSimulator
 from repro.simulation.workload import AuthorizationWorkloadGenerator, WorkloadConfig, generate_subjects
 from repro.storage.authorization_db import InMemoryAuthorizationDatabase
-from repro.storage.movement_db import MovementKind
 
 SEED = 5
 
@@ -33,11 +32,9 @@ def deployment():
     trace = MovementSimulator(hierarchy, authorizations, seed=SEED).population_trace(
         subjects, steps=5, p_tailgate=0.1
     )
-    for record in trace:
-        if record.kind is MovementKind.ENTER:
-            engine.observe_entry(record.time, record.subject, record.location)
-        else:
-            engine.observe_exit(record.time, record.subject, record.location)
+    # Batch observation path: the whole simulated trace lands in one
+    # movement-database transaction.
+    engine.observe_many(trace)
     return engine, subjects, authorizations
 
 

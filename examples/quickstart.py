@@ -71,6 +71,13 @@ def main() -> None:
     for alert in engine.alerts:
         print(f"ALERT: {alert}")
 
+    print("\n== Occupancy (event-indexed reads) ==")
+    # where_is/occupancy/occupants are O(1)-ish projection reads — they never
+    # replay the movement history, however long this deployment runs.
+    print(f"where is Dana?        {engine.where_is('Dana')}")
+    print(f"ServerRoom occupancy: {engine.occupancy('ServerRoom')} "
+          f"(occupants: {engine.occupants('ServerRoom')})")
+
     print("\n== Queries ==")
     queries = QueryEngine(engine)
     for text in (

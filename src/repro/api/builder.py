@@ -274,6 +274,16 @@ class Ltam:
         """Record that *subject* was observed leaving *location* at *time*."""
         return self.pep.observe_exit(time, subject, location)
 
+    def observe_many(self, records):
+        """Feed a whole movement trace to the monitor in one storage transaction.
+
+        Accepts an iterable of
+        :class:`~repro.storage.movement_db.MovementRecord` (e.g. a
+        :class:`~repro.simulation.movement.SimulatedTrace`); on the SQLite
+        backend the entire trace commits once instead of per observation.
+        """
+        return self.pep.observe_many(records)
+
     def set_capacity(self, location: str, limit: int) -> None:
         """Set an occupancy limit for *location* (monitored continuously)."""
         if not self.hierarchy.is_primitive(location):
@@ -304,6 +314,10 @@ class Ltam:
     def occupants(self, location: str) -> List[str]:
         """Subjects currently inside *location*."""
         return self.movement_db.occupants(location)
+
+    def occupancy(self, location: str) -> int:
+        """Number of subjects currently inside *location* (O(1) projection read)."""
+        return self.movement_db.occupancy(location)
 
 
 class LtamBuilder:

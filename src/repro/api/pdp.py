@@ -74,15 +74,26 @@ class PolicyInformationPoint:
         capacity_of: Optional[Callable[[str], Optional[int]]] = None,
         occupancy_of: Optional[Callable[[str], int]] = None,
     ) -> "PolicyInformationPoint":
-        """Wire a PIP from the hierarchy and the Figure 3 databases."""
+        """Wire a PIP from the hierarchy and the Figure 3 databases.
+
+        Every movement-database lookup goes through the backend's
+        event-indexed :class:`~repro.storage.occupancy.OccupancyService`
+        projection: ``entry_count`` is O(1) unwindowed / O(log n) windowed,
+        and ``occupancy_of`` defaults to the O(1) occupancy counter instead
+        of materializing (and counting) the occupant list.
+        """
+        occupancy_counter = getattr(movement_db, "occupancy", None)
+        if occupancy_of is None:
+            if callable(occupancy_counter):
+                occupancy_of = occupancy_counter
+            else:  # duck-typed movement stores without the O(1) counter
+                occupancy_of = lambda location: len(movement_db.occupants(location))
         return cls(
             is_primitive=hierarchy.is_primitive,
             candidates_for=authorization_db.for_subject_location,
             entry_count=movement_db.entry_count,
             capacity_of=capacity_of,
-            occupancy_of=occupancy_of
-            if occupancy_of is not None
-            else lambda location: len(movement_db.occupants(location)),
+            occupancy_of=occupancy_of,
         )
 
     def cached(self) -> "PolicyInformationPoint":

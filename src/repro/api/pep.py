@@ -22,7 +22,7 @@ from repro.api.pdp import DecisionPoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.monitor import MovementMonitor
-    from repro.storage.movement_db import MovementDatabase
+    from repro.storage.movement_db import MovementDatabase, MovementRecord
 
 __all__ = ["EnforcementPoint"]
 
@@ -135,6 +135,23 @@ class EnforcementPoint:
             self._audit.record_alert(alert)
         return alerts
 
+    def observe_many(self, records: Iterable["MovementRecord"]) -> List[Alert]:
+        """Batch observation path: one storage transaction for the whole trace.
+
+        Audit entries are written only after the batch commits (movements
+        first, then alerts): if a mid-batch failure rolls the transaction
+        back, the audit log never attests to movements that were undone —
+        the per-record path does not need this because each observation
+        commits before it is audited.
+        """
+        observed: List["MovementRecord"] = []
+        alerts = self._monitor.observe_many(records, on_record=observed.append)
+        for record in observed:
+            self._audit.record_movement(record)
+        for alert in alerts:
+            self._audit.record_alert(alert)
+        return alerts
+
     def _audit_movement(self, time: int, subject: str, location: str) -> None:
         """Audit the latest movement record, tolerating an empty history.
 
@@ -142,10 +159,14 @@ class EnforcementPoint:
         filtering or sampling backend, a replica that dropped the write); the
         seed engine crashed with ``IndexError`` here.  The miss itself is
         worth auditing, so it is recorded as a note instead.
+
+        The read is the O(1) ``last_movement`` projection lookup, not a
+        history scan — this runs on every observation, making it the
+        hottest read of the enforcement path.
         """
-        history = self._movement_db.history(subject=subject, location=location)
-        if history:
-            self._audit.record_movement(history[-1])
+        last = self._movement_db.last_movement(subject, location)
+        if last is not None:
+            self._audit.record_movement(last)
         else:
             self._audit.record_note(
                 time,

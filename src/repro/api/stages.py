@@ -23,6 +23,13 @@ Stages communicate through an :class:`EvaluationContext` that carries the
 request, the attribute services (a policy-information view, see
 :class:`~repro.api.pdp.PolicyInformationPoint`) and the candidate sets
 produced so far.
+
+Cost model: every movement-database attribute a stage consults resolves
+against the event-indexed
+:class:`~repro.storage.occupancy.OccupancyService` projection —
+``occupancy_of`` is O(1) (:class:`CapacityStage`) and ``entry_count`` is
+O(1) unwindowed / O(log n) windowed (:class:`EntryBudgetStage`) — so a
+stage evaluation never scales with the length of the movement history.
 """
 
 from __future__ import annotations

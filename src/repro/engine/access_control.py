@@ -24,6 +24,12 @@ Migration guide (old → new):
 ``request_and_enter(t, s, l)``  ``enforce_and_enter((t, s, l))``
 ``AccessControlEngine(h)``      ``Ltam.builder().hierarchy(h).build()``
 ==============================  =======================================
+
+Occupancy reads (``where_is``, ``occupants``, ``occupancy``, the entry
+counting behind every decision) are served by the movement database's
+event-indexed :class:`~repro.storage.occupancy.OccupancyService` projection
+— O(1)/O(log n) per read — rather than by replaying movement history, so
+the legacy facade scales the same way the new API does.
 """
 
 from __future__ import annotations
@@ -72,3 +78,14 @@ class AccessControlEngine(Ltam):
         Legacy alias of :meth:`~repro.api.builder.Ltam.enforce_and_enter`.
         """
         return self.enforce_and_enter(AccessRequest(time, subject, location))
+
+    # ------------------------------------------------------------------ #
+    # Occupancy reads — legacy names
+    # ------------------------------------------------------------------ #
+    def current_occupancy(self, location: str) -> int:
+        """Number of subjects currently inside *location*.
+
+        Legacy alias of :meth:`~repro.api.builder.Ltam.occupancy` — an O(1)
+        read of the occupancy projection.
+        """
+        return self.occupancy(location)

@@ -99,6 +99,24 @@ class MovementMonitor:
             return self.observe_entry(record.time, record.subject, record.location)
         return self.observe_exit(record.time, record.subject, record.location)
 
+    def observe_many(self, records: Iterable[MovementRecord], *, on_record=None) -> List[Alert]:
+        """Process a batch of observations inside one storage transaction.
+
+        Alert logic runs record by record (entry counting must see each
+        prior entry), but every movement write lands in a single
+        :meth:`~repro.storage.movement_db.MovementDatabase.bulk` scope — one
+        commit on the SQLite backend instead of one per observation.
+        *on_record*, when given, runs after each observation inside the same
+        scope (the enforcement point hangs its per-record audit on it).
+        """
+        alerts: List[Alert] = []
+        with self._movement_db.bulk():
+            for record in records:
+                alerts.extend(self.observe(record))
+                if on_record is not None:
+                    on_record(record)
+        return alerts
+
     def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
         """Process an observed entry of *subject* into *location* at *time*."""
         subject = subject_name(subject)

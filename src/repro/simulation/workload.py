@@ -23,7 +23,7 @@ from repro.errors import SimulationError
 from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
 from repro.core.requests import AccessRequest
 from repro.locations.multilevel import LocationHierarchy
-from repro.temporal.chronon import FOREVER
+from repro.storage.movement_db import MovementKind, MovementRecord
 
 __all__ = ["WorkloadConfig", "AuthorizationWorkloadGenerator", "generate_subjects"]
 
@@ -147,6 +147,54 @@ class AuthorizationWorkloadGenerator:
         else:
             budget = rng.randint(1, config.max_entries)
         return LocationTemporalAuthorization((subject, location), entry, (exit_start, exit_end), budget)
+
+    # ------------------------------------------------------------------ #
+    # Movement traces
+    # ------------------------------------------------------------------ #
+    def movement_events(
+        self,
+        subjects: Sequence[str],
+        count: int,
+        *,
+        start_time: int = 0,
+        max_step: int = 2,
+        locations: Optional[Sequence[str]] = None,
+    ) -> List[MovementRecord]:
+        """Generate a *count*-event ENTER/EXIT stream for occupancy workloads.
+
+        The stream is globally time-ordered (hence per-subject time-ordered)
+        and occupancy-consistent: a subject outside the building enters a
+        random location, a subject inside exits the location they are in —
+        no mismatched exits, so the trace loads cleanly even into a strict
+        movement database.  Time advances by ``0..max_step`` chronons per
+        event, so a 100k-event trace spans a proportionally long horizon
+        (the shape the windowed entry-count reads are benchmarked against).
+        """
+        if count < 0:
+            raise SimulationError(f"event count must be non-negative, got {count}")
+        if not subjects:
+            raise SimulationError("at least one subject is required to generate movements")
+        if max_step < 0:
+            raise SimulationError(f"max_step must be non-negative, got {max_step}")
+        pool = list(locations) if locations is not None else sorted(self._hierarchy.primitive_names)
+        if not pool:
+            raise SimulationError("at least one location is required to generate movements")
+        rng = self._rng
+        subjects = list(subjects)
+        inside: dict = {}
+        time = start_time
+        records: List[MovementRecord] = []
+        for _ in range(count):
+            subject = rng.choice(subjects)
+            location = inside.pop(subject, None)
+            if location is not None:
+                records.append(MovementRecord(time, subject, location, MovementKind.EXIT))
+            else:
+                location = rng.choice(pool)
+                inside[subject] = location
+                records.append(MovementRecord(time, subject, location, MovementKind.ENTER))
+            time += rng.randint(0, max_step)
+        return records
 
     # ------------------------------------------------------------------ #
     # Requests

@@ -5,7 +5,45 @@
 * :mod:`repro.storage.profile_db` — the User Profile Database,
 
 each with an in-memory and an SQLite backend behind a shared interface, plus
-the interval index used for time-based authorization lookups.
+the indexes used for time-based authorization lookups.
+
+Architecture note — the occupancy read model
+--------------------------------------------
+
+Every authorization decision reads the movement database (Definition 7);
+those reads are served by an **event-indexed projection**, not by replaying
+history:
+
+* :class:`~repro.storage.occupancy.OccupancyService` is the single
+  incremental projection both movement backends fold every record into —
+  the current occupancy map, per-(subject, location) entry counters, entry
+  timelines, last entry/movement per pair, and per-location time-bucketed
+  entry histograms.  The raw movement log stays the source of truth.
+* The in-memory backend answers every occupancy read from the projection:
+  O(1) ``current_location`` / ``occupancy`` / unwindowed ``entry_count``,
+  O(log n) windowed ``entry_count`` (timeline bisection).
+* The SQLite backend mirrors the projection into derived tables
+  (``occ_current``, ``occ_entry_counts``) **in the same transaction** as
+  each insert, primes the in-process projection from them on reopen
+  (O(#pairs), no O(n) replay), and answers windowed entry counts with an
+  SQL ``COUNT(*)`` over a partial index on ENTER rows.
+  ``record_many()`` batches inserts with ``executemany`` and one commit.
+* :class:`~repro.storage.indexes.IntervalIndex` is an augmented interval
+  tree (AVL + max-end) giving the authorization database O(log n + k)
+  stabbing and overlap queries over entry durations.
+
+Which PDP stage consumes which index:
+
+=============================  ==============================================
+Pipeline stage                 Index consulted
+=============================  ==============================================
+``known-location``             hierarchy primitive set (hash)
+``candidate-lookup``           authorization hash index on (subject, location)
+``entry-window``               candidates' entry durations (``IntervalIndex``
+                               backs time-valid lookups / ``enterable_at``)
+``capacity``                   ``OccupancyService`` occupancy map (O(1))
+``entry-budget``               ``OccupancyService`` entry counters/timelines
+=============================  ==============================================
 """
 
 from repro.storage.authorization_db import (
@@ -21,6 +59,7 @@ from repro.storage.movement_db import (
     MovementRecord,
     SqliteMovementDatabase,
 )
+from repro.storage.occupancy import OccupancyAnomaly, OccupancyService
 from repro.storage.profile_db import (
     InMemoryUserProfileDatabase,
     SqliteUserProfileDatabase,
@@ -29,6 +68,8 @@ from repro.storage.profile_db import (
 
 __all__ = [
     "IntervalIndex",
+    "OccupancyAnomaly",
+    "OccupancyService",
     "AuthorizationDatabase",
     "InMemoryAuthorizationDatabase",
     "SqliteAuthorizationDatabase",

@@ -10,20 +10,33 @@ occupants of a location, number of entries a subject has used within an
 entry duration), and keeps the full movement history for the query engine
 and the audit reports.  The location layout itself is held as a
 :class:`~repro.locations.multilevel.LocationHierarchy` reference.
+
+Every hot read is served by the event-indexed
+:class:`~repro.storage.occupancy.OccupancyService` projection that both
+backends fold each record into — occupancy and unwindowed entry counts are
+O(1), windowed entry counts O(log n) (bisection in memory, an indexed SQL
+``COUNT(*)`` on SQLite) — instead of replaying the movement history.  The
+full history remains the source of truth: the projection can always be
+rebuilt from it, and the SQLite backend additionally persists the projection
+in derived tables (``occ_current``, ``occ_entry_counts``) updated in the
+same transaction as each insert, so reopening a database file does not
+require an O(n) replay.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.core.subjects import subject_name
 from repro.locations.location import LocationName, location_name
 from repro.locations.multilevel import LocationHierarchy
+from repro.storage.occupancy import OccupancyAnomaly, OccupancyService
 from repro.temporal.interval import TimeInterval
 
 __all__ = [
@@ -66,20 +79,103 @@ class MovementRecord:
 
 
 class MovementDatabase(ABC):
-    """Interface shared by the movement-database backends."""
+    """Interface shared by the movement-database backends.
 
-    def __init__(self, hierarchy: Optional[LocationHierarchy] = None) -> None:
+    Both backends maintain an :class:`OccupancyService` projection; the
+    base class serves every occupancy read from it.  With ``strict=True``
+    an EXIT that contradicts the tracked occupancy (subject inside a
+    different location, or not inside at all) raises
+    :class:`~repro.errors.StorageError` instead of being recorded with an
+    anomaly note — with an identical message on every backend.
+    """
+
+    def __init__(self, hierarchy: Optional[LocationHierarchy] = None, *, strict: bool = False) -> None:
         self._hierarchy = hierarchy
+        self._strict = strict
+        self._occupancy = self._service_factory()
+
+    def _service_factory(self) -> OccupancyService:
+        return OccupancyService()
 
     @property
     def hierarchy(self) -> Optional[LocationHierarchy]:
         """The location layout this database tracks (may be ``None``)."""
         return self._hierarchy
 
+    @property
+    def strict(self) -> bool:
+        """Whether inconsistent exits raise instead of being noted."""
+        return self._strict
+
+    @property
+    def occupancy_service(self) -> OccupancyService:
+        """The event-indexed projection serving this database's hot reads."""
+        return self._occupancy
+
+    @property
+    def anomalies(self) -> Tuple[OccupancyAnomaly, ...]:
+        """Inconsistent-exit notes collected by the projection."""
+        return self._occupancy.anomalies
+
+    # -- write-side validation ------------------------------------------ #
+    def _validate_record(self, record: MovementRecord) -> None:
+        if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
+            raise StorageError(
+                f"movement references unknown primitive location {record.location!r}"
+            )
+
+    def _check_strict_exit(self, record: MovementRecord) -> None:
+        if not self._strict:
+            return
+        anomaly = self._occupancy.check_exit(record)
+        if anomaly is not None:
+            raise StorageError(f"inconsistent exit rejected: {anomaly}")
+
+    def _validate_batch(self, records: List[MovementRecord]) -> None:
+        """Validate a whole batch up front so strict batches are all-or-nothing.
+
+        Strict exits are checked by replaying the batch onto a scratch
+        projection seeded with the current occupancy, so the error message
+        is the one :meth:`OccupancyService.check_exit` produces — identical
+        to the single-record path on every backend.
+        """
+        for record in records:
+            self._validate_record(record)
+        if not self._strict:
+            return
+        scratch = OccupancyService(track_timelines=False)
+        scratch.load(
+            inside={
+                subject: (location, self._occupancy.inside_since(subject) or 0)
+                for subject, location in self._occupancy.subjects_inside().items()
+            },
+            entry_counts={},
+        )
+        for record in records:
+            anomaly = scratch.check_exit(record)
+            if anomaly is not None:
+                raise StorageError(f"inconsistent exit rejected: {anomaly}")
+            scratch.apply(record)
+
     # -- writes --------------------------------------------------------- #
     @abstractmethod
     def record(self, record: MovementRecord) -> MovementRecord:
         """Append one movement record (records must arrive in time order per subject)."""
+
+    def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
+        """Append a batch of movement records with one storage round-trip.
+
+        The batch is validated up front (unknown locations and, in strict
+        mode, inconsistent exits reject the whole batch before anything is
+        written), then applied in order inside a single :meth:`bulk` scope —
+        one transaction/commit on the SQLite backend.
+        """
+        batch = list(records)
+        self._validate_batch(batch)
+        with self.bulk():
+            for record in batch:
+                self.record(record)
+        return batch
 
     def record_entry(self, time: int, subject: str, location: str) -> MovementRecord:
         """Convenience: record that *subject* entered *location* at *time*."""
@@ -88,6 +184,11 @@ class MovementDatabase(ABC):
     def record_exit(self, time: int, subject: str, location: str) -> MovementRecord:
         """Convenience: record that *subject* exited *location* at *time*."""
         return self.record(MovementRecord(time, subject, location, MovementKind.EXIT))
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Scope several writes into one storage transaction (no-op by default)."""
+        yield
 
     @abstractmethod
     def clear(self) -> None:
@@ -104,13 +205,17 @@ class MovementDatabase(ABC):
     ) -> List[MovementRecord]:
         """Movement records, optionally filtered by subject, location and window."""
 
-    @abstractmethod
     def current_location(self, subject: str) -> Optional[LocationName]:
-        """The location the subject is currently inside, or ``None``."""
+        """The location the subject is currently inside, or ``None`` — O(1)."""
+        return self._occupancy.current_location(subject_name(subject))
 
-    @abstractmethod
     def occupants(self, location: str) -> List[str]:
-        """Subjects currently inside *location*."""
+        """Subjects currently inside *location*, sorted — O(k log k)."""
+        return self._occupancy.occupants(location_name(location))
+
+    def occupancy(self, location: str) -> int:
+        """Number of subjects currently inside *location* — O(1)."""
+        return self._occupancy.occupancy(location_name(location))
 
     def entry_count(
         self, subject: str, location: str, window: Optional[TimeInterval] = None
@@ -118,62 +223,45 @@ class MovementDatabase(ABC):
         """Number of times *subject* entered *location* (within *window* if given).
 
         This is the counter Definition 7 checks against an authorization's
-        entry budget.
+        entry budget — O(1) unwindowed, O(log n) windowed.
         """
-        records = self.history(subject=subject, location=location, window=window)
-        return sum(1 for record in records if record.kind is MovementKind.ENTER)
+        return self._occupancy.entry_count(subject_name(subject), location_name(location), window)
 
     def last_entry(self, subject: str, location: str) -> Optional[MovementRecord]:
-        """The most recent ENTER record of *subject* into *location*, if any."""
-        entries = [
-            record
-            for record in self.history(subject=subject, location=location)
-            if record.kind is MovementKind.ENTER
-        ]
-        return entries[-1] if entries else None
+        """The most recent ENTER record of *subject* into *location*, if any — O(1)."""
+        return self._occupancy.last_entry(subject_name(subject), location_name(location))
+
+    def last_movement(self, subject: str, location: str) -> Optional[MovementRecord]:
+        """The most recent movement (either kind) of the pair, if any — O(1)."""
+        return self._occupancy.last_movement(subject_name(subject), location_name(location))
 
     def subjects_inside(self) -> Dict[str, LocationName]:
         """Mapping from every currently-inside subject to their location."""
-        result: Dict[str, LocationName] = {}
-        for record in self.history():
-            if record.kind is MovementKind.ENTER:
-                result[record.subject] = record.location
-            else:
-                result.pop(record.subject, None)
-        return result
+        return self._occupancy.subjects_inside()
 
     def __len__(self) -> int:
         return len(self.history())
 
 
 class InMemoryMovementDatabase(MovementDatabase):
-    """List-backed movement store with per-subject occupancy tracking."""
+    """List-backed movement store; every occupancy read hits the projection."""
 
-    def __init__(self, hierarchy: Optional[LocationHierarchy] = None) -> None:
-        super().__init__(hierarchy)
+    def __init__(
+        self, hierarchy: Optional[LocationHierarchy] = None, *, strict: bool = False
+    ) -> None:
+        super().__init__(hierarchy, strict=strict)
         self._records: List[MovementRecord] = []
-        self._inside: Dict[str, LocationName] = {}
-        self._entry_counts: Dict[Tuple[str, str], int] = {}
 
     def record(self, record: MovementRecord) -> MovementRecord:
-        if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
-            raise StorageError(
-                f"movement references unknown primitive location {record.location!r}"
-            )
+        self._validate_record(record)
+        self._check_strict_exit(record)
         self._records.append(record)
-        if record.kind is MovementKind.ENTER:
-            self._inside[record.subject] = record.location
-            key = (record.subject, record.location)
-            self._entry_counts[key] = self._entry_counts.get(key, 0) + 1
-        else:
-            if self._inside.get(record.subject) == record.location:
-                del self._inside[record.subject]
+        self._occupancy.apply(record)
         return record
 
     def clear(self) -> None:
         self._records.clear()
-        self._inside.clear()
-        self._entry_counts.clear()
+        self._occupancy.clear()
 
     def history(
         self,
@@ -195,26 +283,30 @@ class InMemoryMovementDatabase(MovementDatabase):
             results.append(record)
         return results
 
-    def current_location(self, subject: str) -> Optional[LocationName]:
-        return self._inside.get(subject_name(subject))
-
-    def occupants(self, location: str) -> List[str]:
-        wanted = location_name(location)
-        return sorted(subject for subject, loc in self._inside.items() if loc == wanted)
-
-    def entry_count(
-        self, subject: str, location: str, window: Optional[TimeInterval] = None
-    ) -> int:
-        if window is None:
-            return self._entry_counts.get((subject_name(subject), location_name(location)), 0)
-        return super().entry_count(subject, location, window)
-
     def __len__(self) -> int:
         return len(self._records)
 
 
 class SqliteMovementDatabase(MovementDatabase):
-    """SQLite-backed movement store (``:memory:`` by default)."""
+    """SQLite-backed movement store (``:memory:`` by default).
+
+    Besides the append-only ``movements`` log, the backend maintains two
+    derived tables — ``occ_current`` (the occupancy map) and
+    ``occ_entry_counts`` (per-pair entry counters and last entry time) —
+    updated in the **same transaction** as each insert.  On open they prime
+    the in-process :class:`OccupancyService` in O(#subjects + #pairs)
+    instead of replaying the log; windowed entry counts are answered by an
+    SQL ``COUNT(*)`` over the partial index on ENTER rows.
+
+    Concurrency contract: movement writes to a given database file must go
+    through **one** ``SqliteMovementDatabase`` instance (the projection is
+    primed at open and advanced only by this instance's own writes — another
+    writer's rows would be invisible to the hot reads until reopen).  Other
+    connections to the same file — the authorization and profile stores of a
+    shared-path deployment — may read and write freely; WAL journaling keeps
+    them live while a batch transaction is open here.  Multi-writer ingest is
+    the sharding follow-on tracked in ROADMAP.md.
+    """
 
     _SCHEMA = """
         CREATE TABLE IF NOT EXISTS movements (
@@ -226,30 +318,274 @@ class SqliteMovementDatabase(MovementDatabase):
         );
         CREATE INDEX IF NOT EXISTS idx_mov_subject ON movements (subject, time);
         CREATE INDEX IF NOT EXISTS idx_mov_location ON movements (location, time);
+        CREATE INDEX IF NOT EXISTS idx_mov_entries
+            ON movements (subject, location, time) WHERE kind = 'enter';
+        CREATE INDEX IF NOT EXISTS idx_mov_pair_seq ON movements (subject, location, seq);
+        CREATE TABLE IF NOT EXISTS occ_current (
+            subject  TEXT PRIMARY KEY,
+            location TEXT NOT NULL,
+            since    INTEGER NOT NULL
+        );
+        CREATE TABLE IF NOT EXISTS occ_entry_counts (
+            subject         TEXT NOT NULL,
+            location        TEXT NOT NULL,
+            entries         INTEGER NOT NULL,
+            last_entry_time INTEGER,
+            PRIMARY KEY (subject, location)
+        );
+        CREATE TABLE IF NOT EXISTS occ_meta (
+            key   TEXT PRIMARY KEY,
+            value INTEGER NOT NULL
+        );
     """
 
-    def __init__(self, path: str = ":memory:", hierarchy: Optional[LocationHierarchy] = None) -> None:
-        super().__init__(hierarchy)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        hierarchy: Optional[LocationHierarchy] = None,
+        *,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(hierarchy, strict=strict)
         self._connection = sqlite3.connect(path)
+        # WAL lets other connections to the same file (the authorization and
+        # profile stores of a shared-path deployment) keep reading while a
+        # bulk()/record_many transaction is open; a no-op for ":memory:".
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA busy_timeout=5000")
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
+        self._in_bulk = False
+        self._load_service()
+
+    def _service_factory(self) -> OccupancyService:
+        # Windowed entry counts run as indexed SQL COUNT(*) queries, so the
+        # projection skips the timelines and reopening stays O(#pairs).
+        return OccupancyService(track_timelines=False)
+
+    def _max_seq(self) -> int:
+        """The newest movement seq — O(log n), it is the integer primary key."""
+        (max_seq,) = self._connection.execute(
+            "SELECT COALESCE(MAX(seq), 0) FROM movements"
+        ).fetchone()
+        return int(max_seq)
+
+    def _stamp_applied(self) -> None:
+        """Record (inside the open transaction) how far the derived tables reach."""
+        self._connection.execute(
+            "INSERT INTO occ_meta (key, value) VALUES ('applied_seq', ?)"
+            " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (self._max_seq(),),
+        )
+
+    def _load_service(self) -> None:
+        """Prime the projection from the derived tables (rebuilding them if stale).
+
+        Staleness is detected by comparing the stamped ``applied_seq`` with
+        the log's maximum seq — both O(log n) index lookups, so reopening a
+        healthy database stays O(#subjects + #pairs).
+        """
+        row = self._connection.execute(
+            "SELECT value FROM occ_meta WHERE key = 'applied_seq'"
+        ).fetchone()
+        applied = int(row[0]) if row is not None else 0
+        if applied != self._max_seq():
+            # A database written before the derived tables existed (or by a
+            # crashed writer): rebuild the projection from the log once.
+            self._rebuild_derived()
+        inside = {
+            subject: (location, since)
+            for subject, location, since in self._connection.execute(
+                "SELECT subject, location, since FROM occ_current"
+            )
+        }
+        counts = {
+            (subject, location): (count, last_time)
+            for subject, location, count, last_time in self._connection.execute(
+                "SELECT subject, location, entries, last_entry_time FROM occ_entry_counts"
+            )
+        }
+        self._occupancy.load(inside=inside, entry_counts=counts)
+
+    def _rebuild_derived(self) -> None:
+        """Replay the movement log into fresh derived tables (one-time migration)."""
+        replay = OccupancyService(track_timelines=False)
+        for time, subject, location, kind in self._connection.execute(
+            "SELECT time, subject, location, kind FROM movements ORDER BY seq"
+        ):
+            replay.apply(MovementRecord(time, subject, location, MovementKind(kind)))
+        self._connection.execute("DELETE FROM occ_current")
+        self._connection.execute("DELETE FROM occ_entry_counts")
+        self._connection.executemany(
+            "INSERT INTO occ_current (subject, location, since) VALUES (?, ?, ?)",
+            [
+                (subject, location, replay.inside_since(subject) or 0)
+                for subject, location in replay.subjects_inside().items()
+            ],
+        )
+        count_rows = []
+        for (subject, location), count in replay.entry_counts().items():
+            last = replay.last_entry(subject, location)
+            count_rows.append((subject, location, count, last.time if last else None))
+        self._connection.executemany(
+            "INSERT INTO occ_entry_counts (subject, location, entries, last_entry_time)"
+            " VALUES (?, ?, ?, ?)",
+            count_rows,
+        )
+        self._stamp_applied()
+        self._connection.commit()
+
+    # -- writes --------------------------------------------------------- #
+    def _apply_derived(self, record: MovementRecord) -> None:
+        """Mirror one record into the derived tables (inside the open transaction)."""
+        if record.kind is MovementKind.ENTER:
+            self._connection.execute(
+                "INSERT INTO occ_current (subject, location, since) VALUES (?, ?, ?)"
+                " ON CONFLICT(subject) DO UPDATE SET"
+                " location = excluded.location, since = excluded.since",
+                (record.subject, record.location, record.time),
+            )
+            self._connection.execute(
+                "INSERT INTO occ_entry_counts (subject, location, entries, last_entry_time)"
+                " VALUES (?, ?, 1, ?)"
+                " ON CONFLICT(subject, location) DO UPDATE SET"
+                " entries = entries + 1, last_entry_time = excluded.last_entry_time",
+                (record.subject, record.location, record.time),
+            )
+        elif self._occupancy.current_location(record.subject) == record.location:
+            # Consistent exit; an anomalous one leaves the occupancy map alone
+            # (mirroring OccupancyService semantics).
+            self._connection.execute(
+                "DELETE FROM occ_current WHERE subject = ?", (record.subject,)
+            )
 
     def record(self, record: MovementRecord) -> MovementRecord:
-        if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
-            raise StorageError(
-                f"movement references unknown primitive location {record.location!r}"
-            )
+        self._validate_record(record)
+        self._check_strict_exit(record)
         self._connection.execute(
             "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
             (record.time, record.subject, record.location, record.kind.value),
         )
-        self._connection.commit()
+        self._apply_derived(record)
+        self._occupancy.apply(record)
+        if not self._in_bulk:
+            self._stamp_applied()
+            self._connection.commit()
         return record
+
+    def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
+        """Batch insert with ``executemany`` and a single commit.
+
+        The movement log is appended with one ``executemany``; the derived
+        tables are then synced from the final projection state with one
+        ``executemany`` per table over just the touched keys — O(batch)
+        Python, O(distinct keys) SQL, one transaction.
+        """
+        batch = list(records)
+        self._validate_batch(batch)
+        if self._in_bulk:
+            # The enclosing bulk() scope owns the transaction (and rollback).
+            self._write_batch(batch)
+            return batch
+        state = self._occupancy.snapshot()
+        try:
+            self._write_batch(batch)
+            self._connection.commit()
+        except Exception:
+            self._connection.rollback()
+            self._occupancy.restore(state)
+            raise
+        return batch
+
+    def _write_batch(self, batch: List[MovementRecord]) -> None:
+        """Append *batch* and sync the projection/derived tables (no commit)."""
+        self._connection.executemany(
+            "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
+            [(r.time, r.subject, r.location, r.kind.value) for r in batch],
+        )
+        for record in batch:
+            self._occupancy.apply(record)
+        self._sync_derived(
+            subjects={record.subject for record in batch},
+            pairs={
+                (record.subject, record.location)
+                for record in batch
+                if record.kind is MovementKind.ENTER
+            },
+        )
+        self._stamp_applied()
+
+    def _sync_derived(self, *, subjects: set, pairs: set) -> None:
+        """Write the projection's state for the touched keys into the derived tables."""
+        gone = [(subject,) for subject in subjects if self._occupancy.current_location(subject) is None]
+        present = [
+            (subject, self._occupancy.current_location(subject), self._occupancy.inside_since(subject))
+            for subject in subjects
+            if self._occupancy.current_location(subject) is not None
+        ]
+        if gone:
+            self._connection.executemany("DELETE FROM occ_current WHERE subject = ?", gone)
+        if present:
+            self._connection.executemany(
+                "INSERT INTO occ_current (subject, location, since) VALUES (?, ?, ?)"
+                " ON CONFLICT(subject) DO UPDATE SET"
+                " location = excluded.location, since = excluded.since",
+                present,
+            )
+        count_rows = []
+        for subject, location in pairs:
+            last = self._occupancy.last_entry(subject, location)
+            count_rows.append(
+                (
+                    subject,
+                    location,
+                    self._occupancy.entry_count(subject, location),
+                    last.time if last is not None else None,
+                )
+            )
+        if count_rows:
+            self._connection.executemany(
+                "INSERT INTO occ_entry_counts (subject, location, entries, last_entry_time)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT(subject, location) DO UPDATE SET"
+                " entries = excluded.entries, last_entry_time = excluded.last_entry_time",
+                count_rows,
+            )
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Defer the commit until the end of the scope (one transaction).
+
+        On failure the SQL transaction rolls back and the projection is
+        restored from a snapshot taken at scope entry — committed state,
+        including in-process anomaly notes and histograms, survives intact.
+        """
+        if self._in_bulk:
+            yield
+            return
+        self._in_bulk = True
+        state = self._occupancy.snapshot()
+        try:
+            yield
+        except Exception:
+            self._connection.rollback()
+            self._occupancy.restore(state)
+            raise
+        else:
+            self._stamp_applied()
+            self._connection.commit()
+        finally:
+            self._in_bulk = False
 
     def clear(self) -> None:
         self._connection.execute("DELETE FROM movements")
+        self._connection.execute("DELETE FROM occ_current")
+        self._connection.execute("DELETE FROM occ_entry_counts")
+        self._stamp_applied()
         self._connection.commit()
+        self._occupancy.clear()
 
+    # -- reads ---------------------------------------------------------- #
     def history(
         self,
         *,
@@ -278,22 +614,52 @@ class SqliteMovementDatabase(MovementDatabase):
         rows = self._connection.execute(sql, tuple(parameters)).fetchall()
         return [MovementRecord(time, subj, loc, MovementKind(kind)) for time, subj, loc, kind in rows]
 
-    def current_location(self, subject: str) -> Optional[LocationName]:
+    def entry_count(
+        self, subject: str, location: str, window: Optional[TimeInterval] = None
+    ) -> int:
+        if window is None:
+            return self._occupancy.entry_count(subject_name(subject), location_name(location))
+        # SQL-side count over the partial ENTER index — O(log n + k) in SQLite.
+        sql = (
+            "SELECT COUNT(*) FROM movements"
+            " WHERE subject = ? AND location = ? AND kind = 'enter' AND time >= ?"
+        )
+        parameters: List = [subject_name(subject), location_name(location), window.start]
+        if not window.is_unbounded:
+            sql += " AND time <= ?"
+            parameters.append(int(window.end))
+        (count,) = self._connection.execute(sql, tuple(parameters)).fetchone()
+        return int(count)
+
+    def last_movement(self, subject: str, location: str) -> Optional[MovementRecord]:
+        record = self._occupancy.last_movement(subject_name(subject), location_name(location))
+        if record is not None:
+            return record
+        # Not seen by this process (reopened database): indexed point lookup.
         row = self._connection.execute(
-            "SELECT location, kind FROM movements WHERE subject = ? ORDER BY seq DESC LIMIT 1",
-            (subject_name(subject),),
+            "SELECT time, subject, location, kind FROM movements"
+            " WHERE subject = ? AND location = ? ORDER BY seq DESC LIMIT 1",
+            (subject_name(subject), location_name(location)),
         ).fetchone()
         if row is None:
             return None
-        loc, kind = row
-        return loc if kind == MovementKind.ENTER.value else None
+        time, subj, loc, kind = row
+        return MovementRecord(time, subj, loc, MovementKind(kind))
 
-    def occupants(self, location: str) -> List[str]:
-        return sorted(
-            subject
-            for subject, loc in self.subjects_inside().items()
-            if loc == location_name(location)
-        )
+    def last_entry(self, subject: str, location: str) -> Optional[MovementRecord]:
+        record = self._occupancy.last_entry(subject_name(subject), location_name(location))
+        if record is not None:
+            return record
+        row = self._connection.execute(
+            "SELECT time, subject, location FROM movements"
+            " WHERE subject = ? AND location = ? AND kind = 'enter'"
+            " ORDER BY seq DESC LIMIT 1",
+            (subject_name(subject), location_name(location)),
+        ).fetchone()
+        if row is None:
+            return None
+        time, subj, loc = row
+        return MovementRecord(time, subj, loc, MovementKind.ENTER)
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""

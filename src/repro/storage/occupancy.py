@@ -1,0 +1,335 @@
+"""The event-indexed occupancy read model shared by the movement backends.
+
+Every authorization decision consults the location & movements database —
+current location, occupants of a location, entries consumed within a window
+(Definition 7).  Replaying the movement history on each of those reads makes
+the hot path O(n) in the trace length; :class:`OccupancyService` instead
+maintains a single incremental projection that both movement-database
+backends update on every :meth:`~repro.storage.movement_db.MovementDatabase.record`:
+
+* the **current occupancy map** (subject → location, location → occupant
+  set) — O(1) ``current_location`` / ``occupancy`` and O(k) ``occupants``;
+* **per-(subject, location) entry counters** — O(1) unwindowed
+  ``entry_count`` (Definition 7's budget counter);
+* **per-pair entry timelines** (sorted entry times) — O(log n) windowed
+  ``entry_count`` via bisection;
+* the **last entry / last movement** per pair — O(1) ``last_entry`` and the
+  audit trail's "latest movement" read;
+* **time-bucketed entry histograms** per location — O(1)-per-event upkeep
+  for occupancy-trend and capacity reporting reads.
+
+The projection also normalizes the backends' disagreement about inconsistent
+EXIT events: an exit for a subject tracked inside a *different* location (or
+not tracked at all) is recorded as an :class:`OccupancyAnomaly` note — and
+raises :class:`~repro.errors.StorageError` when the owning database was
+opened ``strict=True`` — identically for the in-memory and SQLite backends.
+
+Anomaly notes and entry histograms are **in-process observability state**:
+they accumulate for the lifetime of the owning database object and start
+empty again when a persistent SQLite file is reopened (the occupancy map
+and entry counters, by contrast, are persisted in the derived tables).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import StorageError
+from repro.temporal.interval import TimeInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.movement_db import MovementRecord
+
+__all__ = ["OccupancyAnomaly", "OccupancyService"]
+
+#: Default width (in chronons) of the entry-histogram buckets.
+DEFAULT_HISTOGRAM_BUCKET = 64
+
+
+@dataclass(frozen=True)
+class OccupancyAnomaly:
+    """A movement event that contradicts the tracked occupancy state."""
+
+    time: int
+    subject: str
+    location: str
+    note: str
+
+    def __str__(self) -> str:
+        return f"[t={self.time}] {self.subject} @ {self.location}: {self.note}"
+
+
+class OccupancyService:
+    """Incremental occupancy projection over a stream of movement records.
+
+    Parameters
+    ----------
+    track_timelines:
+        Keep per-pair sorted entry-time lists for O(log n) windowed entry
+        counts.  The SQLite backend disables this and answers windowed
+        counts with an indexed SQL ``COUNT(*)`` instead, so a reopened
+        database does not need an O(n) replay.
+    histogram_bucket:
+        Width, in chronons, of the per-location entry-histogram buckets.
+    """
+
+    __slots__ = (
+        "_track_timelines",
+        "_bucket",
+        "_inside",
+        "_inside_since",
+        "_occupants",
+        "_entry_counts",
+        "_last_entry",
+        "_last_movement",
+        "_timelines",
+        "_histograms",
+        "_anomalies",
+    )
+
+    def __init__(
+        self,
+        *,
+        track_timelines: bool = True,
+        histogram_bucket: int = DEFAULT_HISTOGRAM_BUCKET,
+    ) -> None:
+        if not isinstance(histogram_bucket, int) or histogram_bucket < 1:
+            raise StorageError(
+                f"histogram bucket width must be a positive integer, got {histogram_bucket!r}"
+            )
+        self._track_timelines = track_timelines
+        self._bucket = histogram_bucket
+        self.clear()
+
+    # ------------------------------------------------------------------ #
+    # Projection upkeep
+    # ------------------------------------------------------------------ #
+    def check_exit(self, record: "MovementRecord") -> Optional[OccupancyAnomaly]:
+        """The anomaly an EXIT record would introduce, without applying it."""
+        from repro.storage.movement_db import MovementKind
+
+        if record.kind is not MovementKind.EXIT:
+            return None
+        tracked = self._inside.get(record.subject)
+        if tracked is None:
+            return OccupancyAnomaly(
+                record.time,
+                record.subject,
+                record.location,
+                "exit observed but the subject is not tracked inside any location",
+            )
+        if tracked != record.location:
+            return OccupancyAnomaly(
+                record.time,
+                record.subject,
+                record.location,
+                f"exit observed while the subject is tracked inside {tracked!r}",
+            )
+        return None
+
+    def apply(self, record: "MovementRecord") -> None:
+        """Fold one movement record into the projection (O(log n) worst case)."""
+        from repro.storage.movement_db import MovementKind
+
+        subject, location = record.subject, record.location
+        pair = (subject, location)
+        if record.kind is MovementKind.ENTER:
+            previous = self._inside.get(subject)
+            if previous is not None:
+                self._occupants[previous].discard(subject)
+            self._inside[subject] = location
+            self._inside_since[subject] = record.time
+            self._occupants.setdefault(location, set()).add(subject)
+            self._entry_counts[pair] = self._entry_counts.get(pair, 0) + 1
+            self._last_entry[pair] = record
+            if self._track_timelines:
+                timeline = self._timelines.setdefault(pair, [])
+                if not timeline or timeline[-1] <= record.time:
+                    timeline.append(record.time)
+                else:  # out-of-order arrival: keep the timeline sorted
+                    bisect.insort(timeline, record.time)
+            histogram = self._histograms.setdefault(location, {})
+            bucket = record.time // self._bucket
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        else:
+            anomaly = self.check_exit(record)
+            if anomaly is not None:
+                # The bogus exit is noted but does not evict the subject from
+                # wherever they are actually tracked (if anywhere).
+                self._anomalies.append(anomaly)
+                self._last_movement[pair] = record
+                return
+            self._inside.pop(subject, None)
+            self._inside_since.pop(subject, None)
+            occupants = self._occupants.get(location)
+            if occupants is not None:
+                occupants.discard(subject)
+        self._last_movement[pair] = record
+
+    def apply_many(self, records: Iterable["MovementRecord"]) -> None:
+        """Fold a batch of records, in order."""
+        for record in records:
+            self.apply(record)
+
+    def clear(self) -> None:
+        """Reset the projection to the empty state."""
+        self._inside: Dict[str, str] = {}
+        self._inside_since: Dict[str, int] = {}
+        self._occupants: Dict[str, Set[str]] = {}
+        self._entry_counts: Dict[Tuple[str, str], int] = {}
+        self._last_entry: Dict[Tuple[str, str], "MovementRecord"] = {}
+        self._last_movement: Dict[Tuple[str, str], "MovementRecord"] = {}
+        self._timelines: Dict[Tuple[str, str], List[int]] = {}
+        self._histograms: Dict[str, Dict[int, int]] = {}
+        self._anomalies: List[OccupancyAnomaly] = []
+
+    def load(
+        self,
+        *,
+        inside: Dict[str, Tuple[str, int]],
+        entry_counts: Dict[Tuple[str, str], Tuple[int, Optional[int]]],
+    ) -> None:
+        """Prime the projection from persisted derived state.
+
+        Used by the SQLite backend on reopen: *inside* maps subject →
+        (location, since) and *entry_counts* maps (subject, location) →
+        (count, last entry time).  Timelines and histograms are not primed —
+        a timeline-less service answers windowed counts through the backend.
+        """
+        from repro.storage.movement_db import MovementKind, MovementRecord
+
+        self.clear()
+        for subject, (location, since) in inside.items():
+            self._inside[subject] = location
+            self._inside_since[subject] = since
+            self._occupants.setdefault(location, set()).add(subject)
+        for (subject, location), (count, last_time) in entry_counts.items():
+            self._entry_counts[(subject, location)] = count
+            if last_time is not None:
+                self._last_entry[(subject, location)] = MovementRecord(
+                    last_time, subject, location, MovementKind.ENTER
+                )
+
+    def snapshot(self) -> tuple:
+        """An opaque copy of the full projection state (see :meth:`restore`)."""
+        return (
+            dict(self._inside),
+            dict(self._inside_since),
+            {location: set(members) for location, members in self._occupants.items()},
+            dict(self._entry_counts),
+            dict(self._last_entry),
+            dict(self._last_movement),
+            {pair: list(times) for pair, times in self._timelines.items()},
+            {location: dict(buckets) for location, buckets in self._histograms.items()},
+            list(self._anomalies),
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Roll the projection back to a :meth:`snapshot`.
+
+        Used by the SQLite backend when a batch transaction rolls back:
+        unlike re-priming from the derived tables, this preserves the
+        in-process-only state (anomaly notes, histograms, last movements)
+        belonging to records that *did* commit.
+        """
+        (
+            inside,
+            inside_since,
+            occupants,
+            entry_counts,
+            last_entry,
+            last_movement,
+            timelines,
+            histograms,
+            anomalies,
+        ) = state
+        self._inside = dict(inside)
+        self._inside_since = dict(inside_since)
+        self._occupants = {location: set(members) for location, members in occupants.items()}
+        self._entry_counts = dict(entry_counts)
+        self._last_entry = dict(last_entry)
+        self._last_movement = dict(last_movement)
+        self._timelines = {pair: list(times) for pair, times in timelines.items()}
+        self._histograms = {location: dict(buckets) for location, buckets in histograms.items()}
+        self._anomalies = list(anomalies)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    @property
+    def tracks_timelines(self) -> bool:
+        """Whether windowed entry counts can be answered from the timelines."""
+        return self._track_timelines
+
+    def current_location(self, subject: str) -> Optional[str]:
+        """The location *subject* is tracked inside, or ``None`` — O(1)."""
+        return self._inside.get(subject)
+
+    def inside_since(self, subject: str) -> Optional[int]:
+        """The entry time of the subject's current stay, or ``None`` — O(1)."""
+        return self._inside_since.get(subject)
+
+    def occupants(self, location: str) -> List[str]:
+        """Sorted subjects currently inside *location* — O(k log k)."""
+        return sorted(self._occupants.get(location, ()))
+
+    def occupancy(self, location: str) -> int:
+        """Number of subjects currently inside *location* — O(1)."""
+        return len(self._occupants.get(location, ()))
+
+    def subjects_inside(self) -> Dict[str, str]:
+        """A copy of the current subject → location occupancy map."""
+        return dict(self._inside)
+
+    def entry_count(
+        self, subject: str, location: str, window: Optional[TimeInterval] = None
+    ) -> int:
+        """Entries of *subject* into *location*, optionally within *window*.
+
+        O(1) without a window; O(log n) with one (bisection over the pair's
+        entry timeline).  Raises :class:`StorageError` for windowed queries
+        when timelines are disabled — the owning backend answers those.
+        """
+        pair = (subject, location)
+        if window is None:
+            return self._entry_counts.get(pair, 0)
+        if not self._track_timelines:
+            raise StorageError(
+                "windowed entry counts need timelines; this projection was "
+                "built with track_timelines=False (the backend answers these)"
+            )
+        timeline = self._timelines.get(pair)
+        if not timeline:
+            return 0
+        lo = bisect.bisect_left(timeline, window.start)
+        if window.is_unbounded:
+            return len(timeline) - lo
+        return bisect.bisect_right(timeline, int(window.end)) - lo
+
+    def entry_counts(self) -> Dict[Tuple[str, str], int]:
+        """A copy of the per-(subject, location) entry counters."""
+        return dict(self._entry_counts)
+
+    def last_entry(self, subject: str, location: str) -> Optional["MovementRecord"]:
+        """The most recent ENTER of *subject* into *location* — O(1)."""
+        return self._last_entry.get((subject, location))
+
+    def last_movement(self, subject: str, location: str) -> Optional["MovementRecord"]:
+        """The most recent movement (either kind) of the pair — O(1)."""
+        return self._last_movement.get((subject, location))
+
+    def entry_histogram(self, location: str) -> Dict[int, int]:
+        """Entries into *location* per time bucket (bucket index → count)."""
+        return dict(self._histograms.get(location, ()))
+
+    @property
+    def histogram_bucket(self) -> int:
+        """The width, in chronons, of the histogram buckets."""
+        return self._bucket
+
+    @property
+    def anomalies(self) -> Tuple[OccupancyAnomaly, ...]:
+        """Every inconsistent-exit note recorded so far."""
+        return tuple(self._anomalies)

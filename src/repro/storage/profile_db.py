@@ -113,6 +113,10 @@ class SqliteUserProfileDatabase(UserProfileDatabase):
 
     def __init__(self, path: str = ":memory:") -> None:
         self._connection = sqlite3.connect(path)
+        # Match the movement store: WAL keeps reads of a shared database file
+        # live while another connection holds a batch write transaction.
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA busy_timeout=5000")
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
         self._cached_directory: Optional[SubjectDirectory] = None

@@ -1,4 +1,14 @@
-"""Unit tests for the interval index used by the authorization database."""
+"""Unit tests for the interval index used by the authorization database.
+
+The index is now an augmented interval tree (AVL + max-end); the original
+sorted-list behavior suite is carried over unchanged so the swap is
+behavior-proven, and the tree-specific cases (rebalancing inserts,
+predicate removal rebuilds, unbounded windows, FOREVER ends, ordering
+stability) are layered on top — including a randomized comparison against
+a brute-force scan.
+"""
+
+import random
 
 import pytest
 
@@ -29,6 +39,32 @@ class TestStabbing:
         assert "middle" in index.at(5)
         assert "open" in index.at(50)
 
+    def test_results_ordered_by_start_then_insertion(self):
+        idx = IntervalIndex()
+        idx.add(TimeInterval(5, 30), "b1")
+        idx.add(TimeInterval(0, 30), "a")
+        idx.add(TimeInterval(5, 30), "b2")  # same start as b1, inserted later
+        idx.add(TimeInterval(2, 30), "ab")
+        assert idx.at(10) == ["a", "ab", "b1", "b2"]
+        assert list(idx) == ["a", "ab", "b1", "b2"]
+
+    def test_stab_at_forever_hits_exactly_the_unbounded_intervals(self, index):
+        # FOREVER is a valid time point; it stabs the unbounded entries only
+        # (the same answer TimeInterval.contains gives).
+        assert index.at(FOREVER) == ["open"]
+        empty = IntervalIndex()
+        assert empty.at(FOREVER) == []
+
+    def test_long_lived_interval_found_behind_many_later_starts(self):
+        # The old prefix walk scanned everything started before t; the tree
+        # must still find an early, still-live interval among them.
+        idx = IntervalIndex()
+        idx.add(TimeInterval(0, FOREVER), "anchor")
+        for start in range(1, 200):
+            idx.add(TimeInterval(start, start + 1), f"short-{start}")
+        hits = idx.at(10_000)
+        assert hits == ["anchor"]
+
 
 class TestOverlap:
     def test_window_queries(self, index):
@@ -39,6 +75,19 @@ class TestOverlap:
     def test_unbounded_window(self, index):
         assert sorted(index.overlapping(TimeInterval(0, FOREVER))) == ["early", "middle", "open"]
         assert sorted(index.overlapping(TimeInterval(30, FOREVER))) == ["open"]
+
+    def test_unbounded_window_against_unbounded_entries(self):
+        idx = IntervalIndex()
+        idx.add(TimeInterval(0, FOREVER), "a")
+        idx.add(TimeInterval(100, FOREVER), "b")
+        idx.add(TimeInterval(5, 10), "bounded")
+        assert sorted(idx.overlapping(TimeInterval(0, FOREVER))) == ["a", "b", "bounded"]
+        assert sorted(idx.overlapping(TimeInterval(50, FOREVER))) == ["a", "b"]
+        assert sorted(idx.overlapping(TimeInterval(7, 7))) == ["a", "bounded"]
+
+    def test_degenerate_window(self, index):
+        assert sorted(index.overlapping(TimeInterval.instant(5))) == ["early", "middle"]
+        assert index.overlapping(TimeInterval.instant(49)) == []
 
 
 class TestMutation:
@@ -52,11 +101,77 @@ class TestMutation:
         assert index.remove(lambda payload: False) == 0
         assert len(index) == 3
 
+    def test_remove_everything(self, index):
+        assert index.remove(lambda payload: True) == 3
+        assert len(index) == 0
+        assert index.at(7) == []
+        assert list(index) == []
+
+    def test_remove_forever_entry_keeps_bounded_ones(self, index):
+        assert index.remove(lambda payload: payload == "open") == 1
+        assert index.at(1_000_000) == []
+        assert sorted(index.at(7)) == ["early", "middle"]
+
+    def test_queries_still_correct_after_removal_rebuild(self):
+        idx = IntervalIndex()
+        for start in range(100):
+            idx.add(TimeInterval(start, start + 10), start)
+        removed = idx.remove(lambda payload: payload % 3 == 0)
+        assert removed == 34
+        assert len(idx) == 66
+        for t in (0, 15, 50, 105):
+            expect = sorted(
+                p for p in range(100) if p % 3 != 0 and p <= t <= p + 10
+            )
+            assert sorted(idx.at(t)) == expect
+
     def test_iteration(self, index):
         assert set(index) == {"early", "middle", "open"}
+
+    def test_intervals_accessor_round_trips(self, index):
+        pairs = index.intervals()
+        assert [payload for _, payload in pairs] == list(index)
+        rebuilt = IntervalIndex()
+        for interval, payload in pairs:
+            rebuilt.add(interval, payload)
+        for t in (0, 7, 15, 30, 50, 10_000):
+            assert rebuilt.at(t) == index.at(t)
 
     def test_empty_index(self):
         empty = IntervalIndex()
         assert len(empty) == 0
         assert empty.at(5) == []
         assert empty.overlapping(TimeInterval(0, 10)) == []
+        assert empty.overlapping(TimeInterval(0, FOREVER)) == []
+
+
+class TestAgainstBruteForce:
+    def test_randomized_parity_with_linear_scan(self):
+        rng = random.Random(1234)
+        idx = IntervalIndex()
+        entries = []
+        for payload in range(500):
+            start = rng.randrange(0, 1_000)
+            end = FOREVER if rng.random() < 0.1 else start + rng.randrange(0, 200)
+            interval = TimeInterval(start, end)
+            idx.add(interval, payload)
+            entries.append((interval, payload))
+        for t in range(0, 1_400, 37):
+            assert sorted(idx.at(t)) == sorted(
+                p for interval, p in entries if interval.contains(t)
+            )
+        for _ in range(50):
+            lo = rng.randrange(0, 1_200)
+            hi = FOREVER if rng.random() < 0.2 else lo + rng.randrange(0, 300)
+            window = TimeInterval(lo, hi)
+            assert sorted(idx.overlapping(window)) == sorted(
+                p for interval, p in entries if interval.overlaps(window)
+            )
+        # Remove half at random; parity must survive the rebuild.
+        doomed = set(rng.sample(range(500), 250))
+        assert idx.remove(lambda p: p in doomed) == 250
+        entries = [(interval, p) for interval, p in entries if p not in doomed]
+        for t in range(0, 1_400, 53):
+            assert sorted(idx.at(t)) == sorted(
+                p for interval, p in entries if interval.contains(t)
+            )

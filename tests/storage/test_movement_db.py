@@ -122,6 +122,72 @@ class TestHistoryAndCounting:
         assert db.last_entry("Alice", "CHIPES") is None
 
 
+class TestBatchRecording:
+    def test_record_many_matches_loop(self, db):
+        records = [
+            MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER),
+            MovementRecord(16, "Bob", "CHIPES", MovementKind.ENTER),
+            MovementRecord(20, "Bob", "CHIPES", MovementKind.EXIT),
+            MovementRecord(25, "Bob", "CHIPES", MovementKind.ENTER),
+            MovementRecord(40, "Alice", "CAIS", MovementKind.EXIT),
+        ]
+        returned = db.record_many(records)
+        assert returned == records
+        assert len(db) == 5
+        assert db.history() == records
+        assert db.current_location("Bob") == "CHIPES"
+        assert db.entry_count("Bob", "CHIPES") == 2
+        assert db.entry_count("Bob", "CHIPES", TimeInterval(0, 20)) == 1
+
+    def test_record_many_empty(self, db):
+        assert db.record_many([]) == []
+        assert len(db) == 0
+
+    def test_record_many_rejects_unknown_location_up_front(self):
+        hierarchy = figure4_hierarchy()
+        for backend in (InMemoryMovementDatabase(hierarchy), SqliteMovementDatabase(":memory:", hierarchy)):
+            with pytest.raises(StorageError):
+                backend.record_many(
+                    [
+                        MovementRecord(0, "Alice", "A", MovementKind.ENTER),
+                        MovementRecord(1, "Alice", "NotARoom", MovementKind.ENTER),
+                    ]
+                )
+            # Validation happens before anything is written.
+            assert len(backend) == 0
+
+    def test_bulk_groups_writes(self, db):
+        with db.bulk():
+            db.record_entry(1, "Alice", "CAIS")
+            db.record_entry(2, "Bob", "CAIS")
+        assert db.occupants("CAIS") == ["Alice", "Bob"]
+
+
+class TestOccupancyReads:
+    def test_occupancy_counter(self, db):
+        load_sample(db)
+        assert db.occupancy("CHIPES") == 1
+        assert db.occupancy("CAIS") == 0
+        assert db.occupancy("Nowhere") == 0
+
+    def test_last_movement(self, db):
+        load_sample(db)
+        last = db.last_movement("Alice", "CAIS")
+        assert last is not None and last.time == 40 and last.kind is MovementKind.EXIT
+        assert db.last_movement("Ghost", "CAIS") is None
+
+    def test_mismatched_exit_is_noted(self, db):
+        db.record_entry(1, "Alice", "CAIS")
+        db.record_exit(2, "Alice", "CHIPES")
+        assert db.current_location("Alice") == "CAIS"
+        assert len(db.anomalies) == 1
+        assert "CAIS" in db.anomalies[0].note
+
+    def test_occupancy_service_exposed(self, db):
+        load_sample(db)
+        assert db.occupancy_service.subjects_inside() == {"Bob": "CHIPES"}
+
+
 class TestSqlitePersistence:
     def test_reopen_preserves_history(self, tmp_path):
         path = str(tmp_path / "movements.db")

@@ -1,0 +1,340 @@
+"""The event-indexed occupancy read model: unit tests and backend parity.
+
+Both movement-database backends fold every record into a shared
+:class:`~repro.storage.occupancy.OccupancyService` projection; these tests
+pin the projection's semantics (occupancy map, entry counters/timelines,
+last entry/movement, anomaly notes, strict mode) and assert the in-memory
+and SQLite backends answer every projection-served read identically —
+including after the SQLite backend reopens a file and reprimes itself from
+its derived tables instead of replaying the log.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.movement_db import (
+    InMemoryMovementDatabase,
+    MovementKind,
+    MovementRecord,
+    SqliteMovementDatabase,
+)
+from repro.storage.occupancy import OccupancyService
+from repro.temporal.interval import TimeInterval
+
+
+def both_backends(**kwargs):
+    return (
+        InMemoryMovementDatabase(**kwargs),
+        SqliteMovementDatabase(":memory:", **kwargs),
+    )
+
+
+def sample_records():
+    return [
+        MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER),
+        MovementRecord(16, "Bob", "CHIPES", MovementKind.ENTER),
+        MovementRecord(20, "Bob", "CHIPES", MovementKind.EXIT),
+        MovementRecord(25, "Bob", "CHIPES", MovementKind.ENTER),
+        MovementRecord(30, "Carol", "CAIS", MovementKind.ENTER),
+        MovementRecord(40, "Alice", "CAIS", MovementKind.EXIT),
+        MovementRecord(55, "Alice", "CHIPES", MovementKind.ENTER),
+    ]
+
+
+class TestOccupancyService:
+    def test_projection_tracks_occupancy(self):
+        service = OccupancyService()
+        service.apply_many(sample_records())
+        assert service.current_location("Alice") == "CHIPES"
+        assert service.current_location("Ghost") is None
+        assert service.occupants("CAIS") == ["Carol"]
+        assert service.occupants("CHIPES") == ["Alice", "Bob"]
+        assert service.occupancy("CHIPES") == 2
+        assert service.subjects_inside() == {
+            "Alice": "CHIPES",
+            "Bob": "CHIPES",
+            "Carol": "CAIS",
+        }
+        assert service.inside_since("Alice") == 55
+
+    def test_entry_counters_and_windows(self):
+        service = OccupancyService()
+        service.apply_many(sample_records())
+        assert service.entry_count("Bob", "CHIPES") == 2
+        assert service.entry_count("Bob", "CHIPES", TimeInterval(0, 20)) == 1
+        assert service.entry_count("Bob", "CHIPES", TimeInterval.from_onwards(17)) == 1
+        assert service.entry_count("Alice", "CAIS", TimeInterval(10, 10)) == 1
+        assert service.entry_count("Nobody", "CAIS") == 0
+        assert service.entry_count("Nobody", "CAIS", TimeInterval(0, 100)) == 0
+
+    def test_last_entry_and_last_movement(self):
+        service = OccupancyService()
+        service.apply_many(sample_records())
+        assert service.last_entry("Bob", "CHIPES").time == 25
+        assert service.last_movement("Bob", "CHIPES").time == 25
+        assert service.last_movement("Alice", "CAIS").kind is MovementKind.EXIT
+        assert service.last_entry("Alice", "CAIS").time == 10
+        assert service.last_entry("Ghost", "CAIS") is None
+
+    def test_out_of_order_entry_keeps_timeline_sorted(self):
+        service = OccupancyService()
+        service.apply(MovementRecord(50, "Alice", "CAIS", MovementKind.ENTER))
+        service.apply(MovementRecord(10, "Alice", "CAIS", MovementKind.ENTER))
+        service.apply(MovementRecord(30, "Alice", "CAIS", MovementKind.ENTER))
+        assert service.entry_count("Alice", "CAIS", TimeInterval(0, 35)) == 2
+
+    def test_entry_histogram_buckets(self):
+        service = OccupancyService(histogram_bucket=10)
+        service.apply_many(sample_records())
+        # CAIS entries at t=10 and t=30 -> buckets 1 and 3.
+        assert service.entry_histogram("CAIS") == {1: 1, 3: 1}
+        # CHIPES entries at t=16, 25, 55 -> buckets 1, 2, 5.
+        assert service.entry_histogram("CHIPES") == {1: 1, 2: 1, 5: 1}
+        assert service.entry_histogram("Nowhere") == {}
+        with pytest.raises(StorageError):
+            OccupancyService(histogram_bucket=0)
+
+    def test_windowed_counts_rejected_without_timelines(self):
+        service = OccupancyService(track_timelines=False)
+        service.apply(MovementRecord(5, "Alice", "CAIS", MovementKind.ENTER))
+        assert service.entry_count("Alice", "CAIS") == 1
+        with pytest.raises(StorageError):
+            service.entry_count("Alice", "CAIS", TimeInterval(0, 10))
+
+    def test_anomalous_exits_are_noted_not_applied(self):
+        service = OccupancyService()
+        service.apply(MovementRecord(1, "Alice", "CAIS", MovementKind.ENTER))
+        # Exit from a location Alice is not inside: noted, occupancy kept.
+        service.apply(MovementRecord(2, "Alice", "CHIPES", MovementKind.EXIT))
+        assert service.current_location("Alice") == "CAIS"
+        # Exit with no tracked entry at all: noted, still a no-op.
+        service.apply(MovementRecord(3, "Bob", "CAIS", MovementKind.EXIT))
+        assert service.current_location("Bob") is None
+        notes = service.anomalies
+        assert len(notes) == 2
+        assert "tracked inside 'CAIS'" in notes[0].note
+        assert "not tracked inside any location" in notes[1].note
+
+    def test_clear_resets_everything(self):
+        service = OccupancyService()
+        service.apply_many(sample_records())
+        service.clear()
+        assert service.subjects_inside() == {}
+        assert service.entry_count("Bob", "CHIPES") == 0
+        assert service.anomalies == ()
+        assert service.entry_histogram("CAIS") == {}
+
+
+class TestBackendParity:
+    """Both backends must answer every projection read identically."""
+
+    @pytest.fixture
+    def loaded(self):
+        memory, sqlite = both_backends()
+        for db in (memory, sqlite):
+            db.record_many(sample_records())
+        yield memory, sqlite
+        sqlite.close()
+
+    def test_occupancy_reads_agree(self, loaded):
+        memory, sqlite = loaded
+        assert memory.subjects_inside() == sqlite.subjects_inside()
+        for location in ("CAIS", "CHIPES", "Nowhere"):
+            assert memory.occupants(location) == sqlite.occupants(location)
+            assert memory.occupancy(location) == sqlite.occupancy(location)
+        for subject in ("Alice", "Bob", "Carol", "Ghost"):
+            assert memory.current_location(subject) == sqlite.current_location(subject)
+
+    def test_entry_counts_agree(self, loaded):
+        memory, sqlite = loaded
+        windows = (
+            None,
+            TimeInterval(0, 20),
+            TimeInterval(17, 60),
+            TimeInterval.from_onwards(26),
+            TimeInterval.instant(25),
+        )
+        for subject in ("Alice", "Bob", "Carol", "Ghost"):
+            for location in ("CAIS", "CHIPES"):
+                for window in windows:
+                    assert memory.entry_count(subject, location, window) == sqlite.entry_count(
+                        subject, location, window
+                    ), (subject, location, window)
+
+    def test_last_reads_agree(self, loaded):
+        memory, sqlite = loaded
+        for subject in ("Alice", "Bob", "Ghost"):
+            for location in ("CAIS", "CHIPES"):
+                assert memory.last_entry(subject, location) == sqlite.last_entry(subject, location)
+                assert memory.last_movement(subject, location) == sqlite.last_movement(
+                    subject, location
+                )
+
+    def test_mismatched_exit_keeps_tracked_location_on_both(self):
+        memory, sqlite = both_backends()
+        for db in (memory, sqlite):
+            db.record_entry(1, "Alice", "CAIS")
+            db.record_exit(2, "Alice", "CHIPES")  # bogus: tracked inside CAIS
+        # The seed backends disagreed here (SQLite forgot the location, the
+        # in-memory store kept it); the shared projection pins one answer.
+        assert memory.current_location("Alice") == "CAIS"
+        assert sqlite.current_location("Alice") == "CAIS"
+        assert memory.occupants("CAIS") == sqlite.occupants("CAIS") == ["Alice"]
+        for db in (memory, sqlite):
+            assert len(db.anomalies) == 1
+            assert "tracked inside 'CAIS'" in db.anomalies[0].note
+        sqlite.close()
+
+    def test_strict_mode_raises_identically(self):
+        memory, sqlite = both_backends(strict=True)
+        for db in (memory, sqlite):
+            db.record_entry(1, "Alice", "CAIS")
+        errors = []
+        for db in (memory, sqlite):
+            with pytest.raises(StorageError) as excinfo:
+                db.record_exit(2, "Alice", "CHIPES")
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+        assert "inconsistent exit rejected" in errors[0]
+        # Nothing was recorded, the subject is still tracked.
+        for db in (memory, sqlite):
+            assert len(db) == 1
+            assert db.current_location("Alice") == "CAIS"
+        sqlite.close()
+
+    def test_strict_record_many_is_all_or_nothing(self):
+        for db in both_backends(strict=True):
+            with pytest.raises(StorageError):
+                db.record_many(
+                    [
+                        MovementRecord(1, "Alice", "CAIS", MovementKind.ENTER),
+                        MovementRecord(2, "Bob", "CAIS", MovementKind.EXIT),  # bogus
+                    ]
+                )
+            assert len(db) == 0
+            assert db.current_location("Alice") is None
+
+
+class TestSqliteDerivedTables:
+    def test_reopen_primes_projection_from_derived_tables(self, tmp_path):
+        path = str(tmp_path / "movements.db")
+        first = SqliteMovementDatabase(path)
+        first.record_many(sample_records())
+        first.close()
+
+        second = SqliteMovementDatabase(path)
+        memory = InMemoryMovementDatabase()
+        memory.record_many(sample_records())
+        assert second.subjects_inside() == memory.subjects_inside()
+        for location in ("CAIS", "CHIPES"):
+            assert second.occupants(location) == memory.occupants(location)
+        for subject in ("Alice", "Bob", "Carol"):
+            for location in ("CAIS", "CHIPES"):
+                assert second.entry_count(subject, location) == memory.entry_count(
+                    subject, location
+                )
+                assert second.entry_count(
+                    subject, location, TimeInterval(0, 30)
+                ) == memory.entry_count(subject, location, TimeInterval(0, 30))
+                assert second.last_entry(subject, location) == memory.last_entry(
+                    subject, location
+                )
+                assert second.last_movement(subject, location) == memory.last_movement(
+                    subject, location
+                )
+        second.close()
+
+    def test_stale_derived_tables_are_rebuilt(self, tmp_path):
+        # A database written before the derived tables existed: movement rows
+        # present, projection tables empty.  Opening must heal it.
+        import sqlite3
+
+        path = str(tmp_path / "legacy.db")
+        connection = sqlite3.connect(path)
+        connection.executescript(
+            """
+            CREATE TABLE movements (
+                seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+                time     INTEGER NOT NULL,
+                subject  TEXT NOT NULL,
+                location TEXT NOT NULL,
+                kind     TEXT NOT NULL CHECK (kind IN ('enter', 'exit'))
+            );
+            """
+        )
+        connection.executemany(
+            "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
+            [(r.time, r.subject, r.location, r.kind.value) for r in sample_records()],
+        )
+        connection.commit()
+        connection.close()
+
+        db = SqliteMovementDatabase(path)
+        assert db.subjects_inside() == {
+            "Alice": "CHIPES",
+            "Bob": "CHIPES",
+            "Carol": "CAIS",
+        }
+        assert db.entry_count("Bob", "CHIPES") == 2
+        assert db.last_entry("Bob", "CHIPES").time == 25
+        db.close()
+
+    def test_clear_resets_derived_tables(self, tmp_path):
+        path = str(tmp_path / "cleared.db")
+        db = SqliteMovementDatabase(path)
+        db.record_many(sample_records())
+        db.clear()
+        assert len(db) == 0
+        assert db.subjects_inside() == {}
+        db.close()
+        reopened = SqliteMovementDatabase(path)
+        assert reopened.subjects_inside() == {}
+        assert reopened.entry_count("Bob", "CHIPES") == 0
+        reopened.close()
+
+    def test_bulk_scope_commits_once_and_rolls_back_cleanly(self):
+        db = SqliteMovementDatabase(":memory:")
+        with db.bulk():
+            db.record_entry(1, "Alice", "CAIS")
+            db.record_entry(2, "Bob", "CAIS")
+        assert db.occupants("CAIS") == ["Alice", "Bob"]
+        # A failure inside the scope rolls back and restores the projection.
+        with pytest.raises(StorageError):
+            with db.bulk():
+                db.record_entry(3, "Carol", "CAIS")
+                raise StorageError("boom")
+        assert len(db) == 2
+        assert db.occupants("CAIS") == ["Alice", "Bob"]
+        db.close()
+
+    def test_record_many_joins_enclosing_bulk_transaction(self):
+        # record_many inside bulk() must not commit on its own: a failure at
+        # the end of the scope undoes the whole scope, batch included.
+        db = SqliteMovementDatabase(":memory:")
+        db.record_entry(0, "Zed", "CAIS")
+        with pytest.raises(StorageError):
+            with db.bulk():
+                db.record_many([MovementRecord(1, "Alice", "CAIS", MovementKind.ENTER)])
+                db.record_entry(2, "Bob", "CAIS")
+                raise StorageError("boom")
+        assert len(db) == 1
+        assert db.occupants("CAIS") == ["Zed"]
+        db.close()
+
+    def test_rollback_preserves_committed_anomalies_and_histograms(self):
+        db = SqliteMovementDatabase(":memory:")
+        db.record_entry(1, "Alice", "CAIS")
+        db.record_exit(2, "Alice", "CHIPES")  # committed anomalous exit
+        assert len(db.anomalies) == 1
+        histogram_before = db.occupancy_service.entry_histogram("CAIS")
+        assert histogram_before != {}
+        with pytest.raises(StorageError):
+            with db.bulk():
+                db.record_entry(3, "Bob", "CAIS")
+                raise StorageError("boom")
+        # The rolled-back scope must not erase in-process state that belongs
+        # to records which did commit.
+        assert len(db.anomalies) == 1
+        assert db.occupancy_service.entry_histogram("CAIS") == histogram_before
+        assert db.current_location("Alice") == "CAIS"
+        db.close()
