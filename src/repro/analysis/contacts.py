@@ -57,7 +57,9 @@ def stays_of(movement_db: MovementDatabase, subject: Optional[str] = None) -> Li
     wanted = subject_name(subject) if subject is not None else None
     open_stays: Dict[Tuple[str, LocationName], int] = {}
     stays: List[Stay] = []
-    for record in movement_db.history(subject=wanted):
+    # Contact tracing must see the whole log — stays predating a
+    # compacting checkpoint live in the archive.
+    for record in movement_db.history(subject=wanted, include_archived=True):
         key = (record.subject, record.location)
         if record.kind is MovementKind.ENTER:
             # An unmatched previous entry is closed implicitly at the new entry time.

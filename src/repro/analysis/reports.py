@@ -132,7 +132,7 @@ def detection_stats(alerts: Iterable[Alert], truth: GroundTruth) -> DetectionSta
 def busiest_locations(movement_db: MovementDatabase, *, top: int = 5) -> List[Tuple[str, int]]:
     """Locations ranked by number of recorded entries (descending)."""
     counts: Dict[str, int] = {}
-    for record in movement_db.history():
+    for record in movement_db.history(include_archived=True):
         if record.kind is MovementKind.ENTER:
             counts[record.location] = counts.get(record.location, 0) + 1
     ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))

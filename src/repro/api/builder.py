@@ -51,8 +51,10 @@ from repro.storage.authorization_db import (
 from repro.storage.movement_db import (
     InMemoryMovementDatabase,
     MovementDatabase,
+    ShardedInMemoryMovementDatabase,
     SqliteMovementDatabase,
 )
+from repro.storage.sharding import resolve_shard_count
 from repro.storage.profile_db import (
     InMemoryUserProfileDatabase,
     SqliteUserProfileDatabase,
@@ -284,6 +286,28 @@ class Ltam:
         """
         return self.pep.observe_many(records)
 
+    def observe_stream(self, **knobs):
+        """Open a streaming observe path (queue-fed group commit) into the PEP.
+
+        Returns a :class:`~repro.storage.ingest.MovementIngestor`; tracker
+        adapters ``submit()`` observations at line rate, a background writer
+        lands them in batched storage transactions (monitoring and audit
+        included), and closing the stream flushes everything accepted::
+
+            with engine.observe_stream(batch_size=512) as stream:
+                for record in tracker_feed:
+                    stream.submit(record)
+
+        Keyword arguments are those of
+        :meth:`~repro.api.pep.EnforcementPoint.ingestor` (``batch_size``,
+        ``max_latency``, ``queue_size``).
+        """
+        return self.pep.ingestor(**knobs)
+
+    def checkpoint(self, *, compact: bool = True):
+        """Checkpoint the movement database (see :meth:`MovementDatabase.checkpoint`)."""
+        return self.movement_db.checkpoint(compact=compact)
+
     def set_capacity(self, location: str, limit: int) -> None:
         """Set an occupancy limit for *location* (monitored continuously)."""
         if not self.hierarchy.is_primitive(location):
@@ -334,6 +358,7 @@ class LtamBuilder:
         self._hierarchy: Optional[LocationHierarchy] = None
         self._backend = "memory"
         self._backend_path: Optional[str] = None
+        self._shards = None
         self._stages: Optional[List[DecisionStage]] = None
         self._rules: List[AuthorizationRule] = []
         self._grants: List[Union[LocationTemporalAuthorization, AuthorizationBuilder]] = []
@@ -364,6 +389,20 @@ class LtamBuilder:
             raise EnforcementError("the in-memory backend does not take a path")
         self._backend = kind
         self._backend_path = path
+        return self
+
+    def shards(self, shards) -> "LtamBuilder":
+        """Shard the movement store's occupancy layer by subject.
+
+        *shards* is a positive integer or ``"auto"`` (one shard per CPU
+        core).  On the memory backend this selects the
+        :class:`~repro.storage.movement_db.ShardedInMemoryMovementDatabase`
+        — log and projection both sharded, so ``observe_stream()`` /
+        ``record_many`` ingest from multiple threads in parallel.  On the
+        SQLite backend the in-process projection is sharded (the log stays
+        the single-writer SQLite connection).
+        """
+        self._shards = resolve_shard_count(shards)
         return self
 
     def pipeline(self, *stages: DecisionStage) -> "LtamBuilder":
@@ -432,8 +471,10 @@ class LtamBuilder:
         if self._backend == "sqlite":
             path = self._backend_path if self._backend_path is not None else ":memory:"
             authorization_db = SqliteAuthorizationDatabase(path)
-            movement_db = SqliteMovementDatabase(path, self._hierarchy)
+            movement_db = SqliteMovementDatabase(path, self._hierarchy, shards=self._shards)
             profile_db = SqliteUserProfileDatabase(path)
+        elif self._shards is not None:
+            movement_db = ShardedInMemoryMovementDatabase(self._hierarchy, shards=self._shards)
         engine = Ltam(
             self._hierarchy,
             authorization_db=authorization_db,

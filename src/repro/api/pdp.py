@@ -45,9 +45,23 @@ class PolicyInformationPoint:
         ``location -> Optional[int]`` — configured occupancy limit, if any.
     occupancy_of:
         ``location -> int`` — current number of occupants.
+    enterable_candidates:
+        ``(subject, location, time) -> sequence of authorizations`` whose
+        entry duration contains *time*, in the same storage order
+        ``candidates_for`` uses — the time-first lookup
+        :class:`~repro.api.stages.CandidateLookupStage` can use to skip
+        expired grants.  ``None`` when the attribute source cannot answer
+        time-first queries (stages fall back to ``candidates_for``).
     """
 
-    __slots__ = ("is_primitive", "candidates_for", "entry_count", "capacity_of", "occupancy_of")
+    __slots__ = (
+        "is_primitive",
+        "candidates_for",
+        "entry_count",
+        "capacity_of",
+        "occupancy_of",
+        "enterable_candidates",
+    )
 
     def __init__(
         self,
@@ -57,12 +71,16 @@ class PolicyInformationPoint:
         entry_count: Callable[[str, str, TimeInterval], int],
         capacity_of: Optional[Callable[[str], Optional[int]]] = None,
         occupancy_of: Optional[Callable[[str], int]] = None,
+        enterable_candidates: Optional[
+            Callable[[str, str, int], Sequence[LocationTemporalAuthorization]]
+        ] = None,
     ) -> None:
         self.is_primitive = is_primitive
         self.candidates_for = candidates_for
         self.entry_count = entry_count
         self.capacity_of = capacity_of if capacity_of is not None else lambda location: None
         self.occupancy_of = occupancy_of if occupancy_of is not None else lambda location: 0
+        self.enterable_candidates = enterable_candidates
 
     @classmethod
     def for_components(
@@ -88,12 +106,19 @@ class PolicyInformationPoint:
                 occupancy_of = occupancy_counter
             else:  # duck-typed movement stores without the O(1) counter
                 occupancy_of = lambda location: len(movement_db.occupants(location))
+        enterable_candidates = None
+        enterable_at = getattr(authorization_db, "enterable_at", None)
+        if callable(enterable_at):
+            enterable_candidates = lambda subject, location, time: enterable_at(
+                time, subject=subject, location=location
+            )
         return cls(
             is_primitive=hierarchy.is_primitive,
             candidates_for=authorization_db.for_subject_location,
             entry_count=movement_db.entry_count,
             capacity_of=capacity_of,
             occupancy_of=occupancy_of,
+            enterable_candidates=enterable_candidates,
         )
 
     def cached(self) -> "PolicyInformationPoint":
@@ -138,12 +163,30 @@ class PolicyInformationPoint:
                 occupancy_cache[location] = result = base.occupancy_of(location)
                 return result
 
+        enterable_candidates = None
+        if base.enterable_candidates is not None:
+            enterable_cache: Dict[
+                Tuple[str, str, int], Sequence[LocationTemporalAuthorization]
+            ] = {}
+            base_enterable = base.enterable_candidates
+
+            def enterable_candidates(
+                subject: str, location: str, time: int
+            ) -> Sequence[LocationTemporalAuthorization]:
+                key = (subject, location, time)
+                try:
+                    return enterable_cache[key]
+                except KeyError:
+                    enterable_cache[key] = result = tuple(base_enterable(subject, location, time))
+                    return result
+
         return PolicyInformationPoint(
             is_primitive=is_primitive,
             candidates_for=candidates_for,
             entry_count=entry_count,
             capacity_of=base.capacity_of,
             occupancy_of=occupancy_of,
+            enterable_candidates=enterable_candidates,
         )
 
 

@@ -17,6 +17,12 @@ from repro.core.subjects import subject_name
 from repro.engine.alerts import Alert, AlertKind, AlertSink
 from repro.engine.audit import AuditLog
 from repro.locations.location import location_name
+from repro.storage.ingest import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_QUEUE_SIZE,
+    MovementIngestor,
+)
 from repro.api.decision import Decision
 from repro.api.pdp import DecisionPoint
 
@@ -151,6 +157,29 @@ class EnforcementPoint:
         for alert in alerts:
             self._audit.record_alert(alert)
         return alerts
+
+    def ingestor(
+        self,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> MovementIngestor:
+        """A streaming observe path: queue-fed group commits into this PEP.
+
+        The returned :class:`~repro.storage.ingest.MovementIngestor` feeds
+        :meth:`observe_many` from a background writer — tracker adapters
+        ``submit()`` records at line rate and batches land as one storage
+        transaction each (flushed by size or by ``max_latency``), with the
+        monitor's alerting and the audit trail intact.  Close the ingestor
+        (or use it as a context manager) to flush everything accepted.
+        """
+        return MovementIngestor(
+            self.observe_many,
+            batch_size=batch_size,
+            max_latency=max_latency,
+            queue_size=queue_size,
+        )
 
     def _audit_movement(self, time: int, subject: str, location: str) -> None:
         """Audit the latest movement record, tolerating an empty history.

@@ -115,24 +115,84 @@ class KnownLocationStage:
 
 
 class CandidateLookupStage:
-    """Fetch the stored authorizations for the ``(subject, location)`` pair."""
+    """Fetch the stored authorizations for the ``(subject, location)`` pair.
+
+    With ``time_first=True`` (and a PIP exposing ``enterable_candidates``)
+    the lookup stabs the interval index with the request time instead of
+    fetching every stored grant: a subject carrying many *expired* grants
+    for a location gets only the time-valid candidates — the dead ones are
+    pruned by the index, never materialized, and :class:`EntryWindowStage`
+    has nothing left to filter.  Decisions are unchanged for the default
+    pipeline shape: candidates come back in storage order, and an empty
+    stab falls back to the full fetch so the denial reason still
+    distinguishes "no grant at all" (``NO_AUTHORIZATION``) from "none
+    valid now" (``OUTSIDE_ENTRY_DURATION``).
+
+    Caveat: a :class:`ConflictResolutionStage` placed *before*
+    :class:`EntryWindowStage` is documented to operate on the raw
+    candidate pool, expired grants included — time-first pruning removes
+    those grants from its merge input and can change what the merged
+    authorization permits.  Keep ``time_first=False`` in pipelines that
+    resolve conflicts ahead of the window filter.
+    """
 
     name = "candidate-lookup"
 
+    def __init__(self, *, time_first: bool = False) -> None:
+        self._time_first = time_first
+
+    @property
+    def time_first(self) -> bool:
+        """Whether this stage stabs the entry-interval index first."""
+        return self._time_first
+
     def evaluate(self, context: EvaluationContext) -> StageResult:
         request = context.request
+        if self._time_first:
+            enterable = getattr(context.info, "enterable_candidates", None)
+            if enterable is not None:
+                live = list(enterable(request.subject, request.location, request.time))
+                if live:
+                    context.candidates = live
+                    return StageResult(
+                        self.name,
+                        StageOutcome.CONTINUE,
+                        detail=(
+                            f"{len(live)} candidate(s) enterable at t={request.time}"
+                            " (time-first interval lookup)"
+                        ),
+                    )
+                # Nothing live: fall through to the full fetch, which tells
+                # "no authorization" apart from "all outside their windows".
+                context.candidates = list(
+                    context.info.candidates_for(request.subject, request.location)
+                )
+                if context.candidates:
+                    return StageResult(
+                        self.name,
+                        StageOutcome.DENY,
+                        detail=(
+                            f"none of {len(context.candidates)} candidate(s) permits entry"
+                            f" at t={request.time} (time-first interval lookup)"
+                        ),
+                        reason=DenialReason.OUTSIDE_ENTRY_DURATION,
+                    )
+                return self._deny_no_authorization(request)
         context.candidates = list(context.info.candidates_for(request.subject, request.location))
         if not context.candidates:
-            return StageResult(
-                self.name,
-                StageOutcome.DENY,
-                detail=f"no authorization stored for ({request.subject}, {request.location})",
-                reason=DenialReason.NO_AUTHORIZATION,
-            )
+            return self._deny_no_authorization(request)
         return StageResult(
             self.name,
             StageOutcome.CONTINUE,
             detail=f"{len(context.candidates)} candidate authorization(s)",
+        )
+
+    def _deny_no_authorization(self, request) -> StageResult:
+        return StageResult(
+            self.name,
+            StageOutcome.DENY,
+            detail=f"no authorization stored for ({request.subject}, {request.location})",
+            reason=DenialReason.NO_AUTHORIZATION,
         )
 
 

@@ -18,11 +18,13 @@ Usage examples::
     python -m repro.cli query --layout campus.json --auths auths.json \
         "AUTHORIZATIONS FOR Alice"
     python -m repro.cli example-campus --out campus.json --auths-out auths.json
+    python -m repro.cli checkpoint --db /var/lib/ltam.db
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -35,6 +37,7 @@ from repro.locations.multilevel import LocationHierarchy
 from repro.locations.serialization import dumps as dumps_layout
 from repro.locations.serialization import load as load_layout
 from repro.paper.fixtures import section5_authorizations
+from repro.storage.movement_db import SqliteMovementDatabase
 
 __all__ = ["main", "build_parser"]
 
@@ -80,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     example.add_argument("--out", required=True, help="where to write the layout JSON")
     example.add_argument("--auths-out", required=True, help="where to write the authorizations JSON")
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="checkpoint/compact a SQLite movement database (bounds replay and recovery cost)",
+    )
+    checkpoint.add_argument("--db", required=True, help="path to the SQLite deployment database")
+    checkpoint.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="persist the snapshot but leave the movement log in place (no archiving)",
+    )
 
     return parser
 
@@ -134,6 +148,28 @@ def _command_query(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_checkpoint(args: argparse.Namespace, out) -> int:
+    if not os.path.exists(args.db):
+        # sqlite3.connect would silently create an empty database here — an
+        # operator typo must fail loudly, not checkpoint a fresh file.
+        print(f"error: no database at {args.db!r}", file=out)
+        return 1
+    database = SqliteMovementDatabase(args.db)
+    try:
+        before = len(database)
+        receipt = database.checkpoint(compact=not args.no_compact)
+        print(f"{args.db}: {receipt}", file=out)
+        print(
+            f"live log: {before} -> {len(database)} record(s); "
+            f"archive: {database.archived_count} record(s); "
+            f"replay bound: {database.events_since_checkpoint} event(s) since checkpoint",
+            file=out,
+        )
+    finally:
+        database.close()
+    return 0
+
+
 def _command_example(args: argparse.Namespace, out) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(dumps_layout(ntu_campus()))
@@ -149,6 +185,7 @@ _HANDLERS = {
     "check": _command_check,
     "query": _command_query,
     "example-campus": _command_example,
+    "checkpoint": _command_checkpoint,
 }
 
 

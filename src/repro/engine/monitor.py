@@ -23,6 +23,7 @@ recorded in the movement database.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.authorization import LocationTemporalAuthorization, UNLIMITED_ENTRIES
@@ -60,6 +61,11 @@ class MovementMonitor:
         self._movement_db = movement_db
         self._alerts = alert_sink if alert_sink is not None else AlertSink()
         self._sessions = SessionTable()
+        # Observation handling mutates the session table and the movement
+        # store together; the streaming observe path runs it from a
+        # background writer thread, so the monitor serializes on this lock
+        # (reentrant: observe_many wraps the per-record handlers).
+        self._observe_lock = threading.RLock()
         #: subjects already flagged for overstaying their current session, so
         #: repeated ticks do not re-alert for the same stay.
         self._overstay_flagged: set = set()
@@ -110,15 +116,20 @@ class MovementMonitor:
         scope (the enforcement point hangs its per-record audit on it).
         """
         alerts: List[Alert] = []
-        with self._movement_db.bulk():
-            for record in records:
-                alerts.extend(self.observe(record))
-                if on_record is not None:
-                    on_record(record)
+        with self._observe_lock:
+            with self._movement_db.bulk():
+                for record in records:
+                    alerts.extend(self.observe(record))
+                    if on_record is not None:
+                        on_record(record)
         return alerts
 
     def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
         """Process an observed entry of *subject* into *location* at *time*."""
+        with self._observe_lock:
+            return self._observe_entry(time, subject, location)
+
+    def _observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
         subject = subject_name(subject)
         location = location_name(location)
         alerts: List[Alert] = []
@@ -161,6 +172,10 @@ class MovementMonitor:
 
     def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
         """Process an observed exit of *subject* from *location* at *time*."""
+        with self._observe_lock:
+            return self._observe_exit(time, subject, location)
+
+    def _observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
         subject = subject_name(subject)
         location = location_name(location)
         alerts: List[Alert] = []
@@ -200,6 +215,11 @@ class MovementMonitor:
 
     def check_overstays(self, now: int) -> List[Alert]:
         """Raise an overstay alert for every open session past its exit window."""
+        with self._observe_lock:
+            return self._check_overstays(now)
+
+    def _check_overstays(self, now: int) -> List[Alert]:
+        """The overstay sweep, run under the observation lock."""
         alerts: List[Alert] = []
         for session in self._sessions.open_sessions():
             if session.subject in self._overstay_flagged:

@@ -76,7 +76,8 @@ class QueryEngine:
     def _occupants_at(self, location: str, time: int) -> List[str]:
         """Replay the movement history up to *time* to find occupants then."""
         inside: Dict[str, str] = {}
-        for record in self._engine.movement_db.history():
+        # Point-in-time replay needs the full log, archive included.
+        for record in self._engine.movement_db.history(include_archived=True):
             if record.time > time:
                 break
             if record.kind is MovementKind.ENTER:
@@ -96,7 +97,7 @@ class QueryEngine:
 
     def _location_at(self, subject: str, time: int) -> Optional[str]:
         location: Optional[str] = None
-        for record in self._engine.movement_db.history(subject=subject):
+        for record in self._engine.movement_db.history(subject=subject, include_archived=True):
             if record.time > time:
                 break
             location = record.location if record.kind is MovementKind.ENTER else None

@@ -80,6 +80,10 @@ class MissingRecordError(StorageError):
     """Raised when a looked-up record does not exist."""
 
 
+class IngestError(StorageError):
+    """Raised by the streaming ingest path (closed ingestor, failed batches)."""
+
+
 class EnforcementError(LTAMError):
     """Raised by the access-control engine and movement monitor."""
 

@@ -24,6 +24,7 @@ from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthoriz
 from repro.core.requests import AccessRequest
 from repro.locations.multilevel import LocationHierarchy
 from repro.storage.movement_db import MovementKind, MovementRecord
+from repro.storage.sharding import stable_hash
 
 __all__ = ["WorkloadConfig", "AuthorizationWorkloadGenerator", "generate_subjects"]
 
@@ -195,6 +196,40 @@ class AuthorizationWorkloadGenerator:
                 records.append(MovementRecord(time, subject, location, MovementKind.ENTER))
             time += rng.randint(0, max_step)
         return records
+
+    def movement_streams(
+        self,
+        subjects: Sequence[str],
+        count: int,
+        *,
+        trackers: int = 4,
+        start_time: int = 0,
+        max_step: int = 2,
+        locations: Optional[Sequence[str]] = None,
+    ) -> List[List[MovementRecord]]:
+        """Split a :meth:`movement_events` trace into per-tracker feeds.
+
+        Models a deployment where each subject's badge reports to one of
+        *trackers* tracker gateways: the global trace is partitioned by a
+        stable hash of the subject, so every stream is time-ordered, the
+        streams are disjoint by subject, and concatenating them replays to
+        the same occupancy state as the original trace.  This is the input
+        shape of the parallel-ingest benchmark (one writer thread per
+        stream) and of ``observe_stream()`` demos.
+        """
+        if trackers < 1:
+            raise SimulationError(f"tracker count must be positive, got {trackers}")
+        events = self.movement_events(
+            subjects, count, start_time=start_time, max_step=max_step, locations=locations
+        )
+        streams: List[List[MovementRecord]] = [[] for _ in range(trackers)]
+        assignment: dict = {}
+        for record in events:
+            tracker = assignment.get(record.subject)
+            if tracker is None:
+                tracker = assignment[record.subject] = stable_hash(record.subject) % trackers
+            streams[tracker].append(record)
+        return streams
 
     # ------------------------------------------------------------------ #
     # Requests

@@ -30,7 +30,38 @@ history:
   ``record_many()`` batches inserts with ``executemany`` and one commit.
 * :class:`~repro.storage.indexes.IntervalIndex` is an augmented interval
   tree (AVL + max-end) giving the authorization database O(log n + k)
-  stabbing and overlap queries over entry durations.
+  stabbing and overlap queries over entry durations; removals tombstone
+  in O(log n) and compact amortized, so revocation churn never rebuilds
+  per call.
+
+Scaling the projection — sharding, checkpoints, streaming
+---------------------------------------------------------
+
+Three knobs turn the single-projection read model into the ingest-scale
+subsystem of a production deployment:
+
+* **Sharding** (:mod:`repro.storage.sharding`): ``shards=N`` (or
+  ``"auto"`` = CPU count) splits the projection into N shard-local
+  projections keyed by a consistent hash on the subject; a subject's whole
+  state lives in one shard, so point reads stay O(1)/O(log n) while
+  cross-shard reads (``occupants``, ``subjects_inside``, histograms) merge
+  lazily.  :class:`~repro.storage.movement_db.ShardedInMemoryMovementDatabase`
+  shards the log too — ``record_many`` batches from multiple writer
+  threads land under per-shard locks, in parallel.
+* **Checkpoint/compaction**:
+  :meth:`~repro.storage.movement_db.MovementDatabase.checkpoint` persists
+  the projection snapshot (SQLite: ``occ_checkpoint`` tables; memory: a
+  pickle-free tuple) and archives the covered log prefix, so ``history()``
+  replays and SQLite crash recovery cost O(events since the checkpoint)
+  instead of O(all time).  ``history(include_archived=True)`` and windowed
+  entry counts still see the full log (the archive keeps the same partial
+  indexes).  The CLI exposes this as ``repro checkpoint --db ...``.
+* **Streaming ingest** (:mod:`repro.storage.ingest`):
+  :class:`~repro.storage.ingest.MovementIngestor` is a bounded-queue
+  group-commit writer — trackers ``submit()`` at line rate, batches flush
+  by size or max latency into ``record_many``/``observe_many``, and a
+  rejected batch is dropped whole (all-or-nothing sinks) and surfaced on
+  ``flush()``/``close()``.  ``Ltam.observe_stream()`` wires it to the PEP.
 
 Which PDP stage consumes which index:
 
@@ -52,11 +83,14 @@ from repro.storage.authorization_db import (
     SqliteAuthorizationDatabase,
 )
 from repro.storage.indexes import IntervalIndex
+from repro.storage.ingest import BatchFailure, MovementIngestor
 from repro.storage.movement_db import (
+    Checkpoint,
     InMemoryMovementDatabase,
     MovementDatabase,
     MovementKind,
     MovementRecord,
+    ShardedInMemoryMovementDatabase,
     SqliteMovementDatabase,
 )
 from repro.storage.occupancy import OccupancyAnomaly, OccupancyService
@@ -65,11 +99,17 @@ from repro.storage.profile_db import (
     SqliteUserProfileDatabase,
     UserProfileDatabase,
 )
+from repro.storage.sharding import HashRing, ShardedOccupancyService
 
 __all__ = [
     "IntervalIndex",
     "OccupancyAnomaly",
     "OccupancyService",
+    "HashRing",
+    "ShardedOccupancyService",
+    "MovementIngestor",
+    "BatchFailure",
+    "Checkpoint",
     "AuthorizationDatabase",
     "InMemoryAuthorizationDatabase",
     "SqliteAuthorizationDatabase",
@@ -77,6 +117,7 @@ __all__ = [
     "MovementKind",
     "MovementRecord",
     "InMemoryMovementDatabase",
+    "ShardedInMemoryMovementDatabase",
     "SqliteMovementDatabase",
     "UserProfileDatabase",
     "InMemoryUserProfileDatabase",

@@ -128,6 +128,16 @@ class InMemoryAuthorizationDatabase(AuthorizationDatabase):
         self._by_subject: Dict[str, List[str]] = {}
         self._by_location: Dict[str, List[str]] = {}
         self._entry_index: IntervalIndex[str] = IntervalIndex()
+        # Per-(subject, location) interval trees over entry durations: the
+        # time-first candidate lookup stabs these with the request time, so
+        # a subject with hundreds of expired grants for a location touches
+        # O(log g + live) of them instead of filtering all g.
+        self._pair_entry_index: Dict[Tuple[str, str], IntervalIndex[str]] = {}
+        # Insertion sequence per id: stabbing results are re-sorted to
+        # storage order so time-first lookups pick the same grant the
+        # storage-order scan would.
+        self._seq_of: Dict[str, int] = {}
+        self._next_seq = 0
         self.add_all(authorizations)
 
     # -- writes --------------------------------------------------------- #
@@ -142,6 +152,12 @@ class InMemoryAuthorizationDatabase(AuthorizationDatabase):
         self._by_subject.setdefault(authorization.subject, []).append(authorization.auth_id)
         self._by_location.setdefault(authorization.location, []).append(authorization.auth_id)
         self._entry_index.add(authorization.entry_duration, authorization.auth_id)
+        pair_index = self._pair_entry_index.get(key)
+        if pair_index is None:
+            pair_index = self._pair_entry_index[key] = IntervalIndex()
+        pair_index.add(authorization.entry_duration, authorization.auth_id)
+        self._seq_of[authorization.auth_id] = self._next_seq
+        self._next_seq += 1
         return authorization
 
     def revoke(self, auth_id: str) -> LocationTemporalAuthorization:
@@ -153,7 +169,15 @@ class InMemoryAuthorizationDatabase(AuthorizationDatabase):
         self._by_pair[key].remove(auth_id)
         self._by_subject[authorization.subject].remove(auth_id)
         self._by_location[authorization.location].remove(auth_id)
-        self._entry_index.remove(lambda payload: payload == auth_id)
+        # Targeted O(log n) tombstone removals — the grant's entry duration
+        # is known, so neither tree needs a full predicate scan.
+        self._entry_index.remove_one(authorization.entry_duration, auth_id)
+        pair_index = self._pair_entry_index.get(key)
+        if pair_index is not None:
+            pair_index.remove_one(authorization.entry_duration, auth_id)
+            if not len(pair_index):
+                del self._pair_entry_index[key]
+        self._seq_of.pop(auth_id, None)
         return authorization
 
     def clear(self) -> None:
@@ -162,6 +186,9 @@ class InMemoryAuthorizationDatabase(AuthorizationDatabase):
         self._by_subject.clear()
         self._by_location.clear()
         self._entry_index = IntervalIndex()
+        self._pair_entry_index.clear()
+        self._seq_of.clear()
+        self._next_seq = 0
 
     # -- reads ---------------------------------------------------------- #
     def get(self, auth_id: str) -> LocationTemporalAuthorization:
@@ -186,8 +213,20 @@ class InMemoryAuthorizationDatabase(AuthorizationDatabase):
     def enterable_at(
         self, time: int, subject: Optional[str] = None, location: Optional[str] = None
     ) -> List[LocationTemporalAuthorization]:
-        # The interval index narrows candidates to authorizations whose entry
-        # duration contains the time; the subject/location filters then apply.
+        if subject is not None and location is not None:
+            # Time-first pair lookup: stab the pair's own interval tree —
+            # O(log g + live) in the pair's grant count — then restore
+            # storage order so callers see the same candidate order as
+            # for_subject_location (grant selection depends on it).
+            key = (subject_name(subject), location_name(location))
+            pair_index = self._pair_entry_index.get(key)
+            if pair_index is None:
+                return []
+            hits = pair_index.at(time)
+            hits.sort(key=self._seq_of.__getitem__)
+            return [self._by_id[auth_id] for auth_id in hits]
+        # The global interval index narrows candidates to authorizations
+        # whose entry duration contains the time; the filters then apply.
         candidates = [self._by_id[auth_id] for auth_id in self._entry_index.at(time) if auth_id in self._by_id]
         if subject is not None:
             wanted_subject = subject_name(subject)
@@ -229,7 +268,13 @@ class SqliteAuthorizationDatabase(AuthorizationDatabase):
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: the streaming observe path
+        # (MovementIngestor) drives enforcement — and therefore these
+        # stores — from its background writer thread while the constructing
+        # thread keeps reading.  The sqlite3 module serializes statement
+        # execution internally, so sharing the connection is safe; write
+        # discipline (one logical writer) is unchanged.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         # Match the movement store: WAL keeps reads of a shared database file
         # live while another connection holds a batch write transaction.
         self._connection.execute("PRAGMA journal_mode=WAL")

@@ -14,6 +14,13 @@ max-end augmentation lets stabbing (:meth:`IntervalIndex.at`) and overlap
 intervals all end before the query — O(log n + k) for k hits, instead of the
 old start-sorted prefix walk that was O(n) whenever early intervals stayed
 live (exactly the shape of long-lived authorizations).
+
+Removal uses **tombstones**: a removed entry is only marked dead (queries
+skip it when reporting; the max-end pruning bound is merely loosened), and
+the tree is rebuilt compact when dead nodes outnumber live ones — so a
+revocation-heavy workload pays O(log n) per targeted :meth:`remove_one`
+plus an O(n) rebuild amortized over O(n) removals, instead of the previous
+O(n) rebuild on *every* removal.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ _INF = float("inf")
 class _Node(Generic[T]):
     """One interval of the tree, augmented with its subtree's maximum end."""
 
-    __slots__ = ("start", "end", "seq", "payload", "left", "right", "height", "max_end")
+    __slots__ = ("start", "end", "seq", "payload", "left", "right", "height", "max_end", "dead")
 
     def __init__(self, start: int, end: float, seq: int, payload: T) -> None:
         self.start = start
@@ -45,6 +52,7 @@ class _Node(Generic[T]):
         self.right: Optional["_Node[T]"] = None
         self.height = 1
         self.max_end = end
+        self.dead = False
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -129,10 +137,15 @@ class IntervalIndex(Generic[T]):
     sorted-list index this tree replaced.
     """
 
+    #: Dead nodes are tolerated until they both exceed this floor and
+    #: outnumber the live nodes; then the tree is rebuilt compact.
+    _COMPACT_FLOOR = 16
+
     def __init__(self) -> None:
         self._root: Optional[_Node[T]] = None
         self._size = 0
         self._seq = 0
+        self._dead = 0
 
     def add(self, interval: TimeInterval, payload: T) -> None:
         """Insert *payload* under *interval* — O(log n)."""
@@ -145,23 +158,73 @@ class IntervalIndex(Generic[T]):
     def remove(self, predicate) -> int:
         """Remove every entry whose payload satisfies *predicate*; return the count.
 
-        O(n): the surviving nodes are collected in order and rebuilt into a
-        balanced tree (removal is rare — cascading revocations — while the
-        stabbing reads this tree serves run on every decision).
+        One O(n) marking scan, no rebuild: matches become tombstones, and
+        compaction is deferred until dead nodes outnumber live ones.  When
+        the caller knows the entry's interval, :meth:`remove_one` skips the
+        scan too.
         """
-        kept: List[_Node[T]] = []
         removed = 0
         for node in self._nodes_inorder():
-            if predicate(node.payload):
+            if not node.dead and predicate(node.payload):
+                node.dead = True
                 removed += 1
-            else:
-                kept.append(node)
         if removed:
-            for node in kept:
-                node.left = node.right = None
-            self._root = _build_balanced(kept, 0, len(kept) - 1)
-            self._size = len(kept)
+            self._size -= removed
+            self._dead += removed
+            self._maybe_compact()
         return removed
+
+    def remove_one(self, interval: TimeInterval, payload: T) -> bool:
+        """Tombstone the entry stored under exactly (*interval*, *payload*).
+
+        Descends by interval start — O(log n + t) for t same-start entries —
+        which is what keeps revocation-heavy workloads off the O(n) scan of
+        :meth:`remove`: the authorization database knows the revoked grant's
+        entry duration and passes it here.  Returns whether an entry died.
+        """
+        start = interval.start
+        end = _INF if interval.is_unbounded else int(interval.end)
+        stack: List[_Node[T]] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            if start < node.start:
+                if node.left is not None:
+                    stack.append(node.left)
+                continue
+            if start > node.start:
+                if node.right is not None:
+                    stack.append(node.right)
+                continue
+            # Equal starts: matching seqs may sit on either side.
+            if not node.dead and node.end == end and node.payload == payload:
+                node.dead = True
+                self._size -= 1
+                self._dead += 1
+                self._maybe_compact()
+                return True
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return False
+
+    def _maybe_compact(self) -> None:
+        """Rebuild without tombstones once they dominate — amortized O(1) per removal."""
+        if self._dead < self._COMPACT_FLOOR or self._dead <= self._size:
+            return
+        kept = [node for node in self._nodes_inorder() if not node.dead]
+        for node in kept:
+            node.left = node.right = None
+        self._root = _build_balanced(kept, 0, len(kept) - 1)
+        self._size = len(kept)
+        self._dead = 0
+
+    @property
+    def tombstones(self) -> int:
+        """How many dead nodes the tree currently carries (observability)."""
+        return self._dead
 
     def at(self, time) -> List[T]:
         """Payloads whose interval contains the chronon *time* — O(log n + k).
@@ -185,7 +248,7 @@ class IntervalIndex(Generic[T]):
                 stack.append((node, True))
                 if node.left is not None:
                     stack.append((node.left, False))
-            elif node.start <= stab <= node.end:
+            elif not node.dead and node.start <= stab <= node.end:
                 results.append(node.payload)
         return results
 
@@ -207,7 +270,7 @@ class IntervalIndex(Generic[T]):
                 stack.append((node, True))
                 if node.left is not None:
                     stack.append((node.left, False))
-            elif node.start <= hi and node.end >= lo:
+            elif not node.dead and node.start <= hi and node.end >= lo:
                 results.append(node.payload)
         return results
 
@@ -215,6 +278,8 @@ class IntervalIndex(Generic[T]):
         """Every (interval, payload) pair, ordered by start then insertion."""
         pairs: List[Tuple[TimeInterval, T]] = []
         for node in self._nodes_inorder():
+            if node.dead:
+                continue
             end = FOREVER if node.end == _INF else int(node.end)
             pairs.append((TimeInterval(node.start, end), node.payload))
         return pairs
@@ -234,4 +299,4 @@ class IntervalIndex(Generic[T]):
         return self._size
 
     def __iter__(self) -> Iterator[T]:
-        return iter(node.payload for node in self._nodes_inorder())
+        return iter(node.payload for node in self._nodes_inorder() if not node.dead)

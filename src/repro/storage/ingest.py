@@ -1,0 +1,295 @@
+"""The streaming observe path: a bounded-queue, group-commit ingestor.
+
+Tracker hardware emits movement observations continuously; feeding them to
+the engine one blocking ``observe_entry`` call at a time couples the
+tracker's line rate to the full enforcement round-trip (monitor, storage
+commit, audit).  :class:`MovementIngestor` decouples the two with the
+classic group-commit shape:
+
+* producers :meth:`~MovementIngestor.submit` records into a **bounded**
+  queue (backpressure instead of unbounded memory when the writer falls
+  behind);
+* one background writer thread drains the queue and hands the records to
+  the sink — :meth:`~repro.storage.movement_db.MovementDatabase.record_many`
+  or :meth:`~repro.api.pep.EnforcementPoint.observe_many` — in batches,
+  flushing whenever ``batch_size`` records have accumulated **or** the
+  oldest queued record has waited ``max_latency`` seconds (so a trickle of
+  events still lands promptly);
+* :meth:`~MovementIngestor.flush` is a synchronous barrier, and closing the
+  ingestor (or leaving its ``with`` block) flushes everything accepted so
+  far before the thread exits.
+
+Failure semantics follow the sink.  ``record_many`` is all-or-nothing, and
+``observe_many`` runs inside the movement database's ``bulk()`` scope —
+transactional on SQLite and on the plain in-memory backend — so a failing
+batch (e.g. a strict-mode inconsistent exit) leaves the *movement store*
+exactly as if the batch were never submitted; it is recorded as a
+:class:`BatchFailure` and re-raised as :class:`~repro.errors.IngestError`
+by the next ``flush()``/``close()``.  Two caveats: the monitor's
+in-process session/alert state may retain the records an ``observe_many``
+batch processed *before* the failing one (sessions are observability
+state, not storage), and the sharded in-memory store's ``bulk()`` is a
+no-op (its own ``record_many`` validates up front instead).  Later batches
+keep flowing; an enforcement pipeline must not stop observing the building
+because one tracker emitted garbage.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import IngestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.movement_db import MovementRecord
+
+__all__ = ["BatchFailure", "MovementIngestor"]
+
+#: Default flush triggers: a batch this large, or a record this old (seconds).
+DEFAULT_BATCH_SIZE = 256
+DEFAULT_MAX_LATENCY = 0.05
+DEFAULT_QUEUE_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One batch the sink rejected: the error and how many records it dropped."""
+
+    error: Exception
+    dropped: int
+
+    def __str__(self) -> str:
+        return f"batch of {self.dropped} record(s) failed: {self.error}"
+
+
+class _Flush:
+    """Queue sentinel: flush what is buffered, then set the event."""
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
+_CLOSE = object()
+
+
+class MovementIngestor:
+    """Queue-fed group-commit writer over a batch sink.
+
+    Parameters
+    ----------
+    sink:
+        ``records -> None`` batch consumer; must be all-or-nothing
+        (``record_many`` and ``observe_many`` are).  Called only from the
+        writer thread, so a sink that is not thread-safe is fine as long as
+        nothing else drives it concurrently.
+    batch_size:
+        Flush as soon as this many records are buffered.
+    max_latency:
+        Flush when the oldest buffered record has waited this many seconds,
+        even if the batch is not full.
+    queue_size:
+        Bound of the submission queue; :meth:`submit` blocks (backpressure)
+        when the writer is this far behind.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[Sequence["MovementRecord"]], object],
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise IngestError(f"batch size must be positive, got {batch_size!r}")
+        if max_latency <= 0:
+            raise IngestError(f"max latency must be positive, got {max_latency!r}")
+        if queue_size < 1:
+            raise IngestError(f"queue size must be positive, got {queue_size!r}")
+        self._sink = sink
+        self._batch_size = batch_size
+        self._max_latency = max_latency
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._failures: List[BatchFailure] = []
+        self._failure_lock = threading.Lock()
+        # Serializes the closed-check-then-enqueue of submit()/flush()
+        # against close(), so nothing lands behind the _CLOSE sentinel and
+        # a flush marker can never be orphaned; also makes the submitted
+        # counter exact under multiple producer threads.
+        self._lifecycle_lock = threading.Lock()
+        self._submitted = 0
+        self._written = 0
+        self._closed = False
+        self._writer = threading.Thread(
+            target=self._run, name="movement-ingestor", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------ #
+    # Producer API
+    # ------------------------------------------------------------------ #
+    def submit(self, record: "MovementRecord") -> None:
+        """Queue one record for ingestion (blocks when the queue is full).
+
+        Backpressure note: a full queue blocks *inside* the lifecycle lock;
+        that is safe because the writer thread keeps draining until it sees
+        the close sentinel, which cannot be enqueued while we hold the lock.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise IngestError("cannot submit to a closed ingestor")
+            self._queue.put(record)
+            self._submitted += 1
+
+    def submit_many(self, records: Iterable["MovementRecord"]) -> int:
+        """Queue an iterable of records; returns how many were accepted."""
+        count = 0
+        for record in records:
+            self.submit(record)
+            count += 1
+        return count
+
+    def flush(self, *, raise_failures: bool = True) -> None:
+        """Block until everything submitted so far has reached the sink.
+
+        With ``raise_failures`` (the default), re-raises the batches the
+        sink rejected since the last flush as one :class:`IngestError`.
+        """
+        marker = _Flush()
+        with self._lifecycle_lock:
+            if self._closed:
+                raise IngestError("cannot flush a closed ingestor")
+            self._queue.put(marker)
+        marker.done.wait()
+        if raise_failures:
+            self._raise_failures()
+
+    def close(self, *, raise_failures: bool = True) -> None:
+        """Flush pending records, stop the writer thread, surface failures.
+
+        Idempotent; the flush-on-close guarantee is what lets a tracker
+        adapter simply ``with pep.ingestor() as stream: ...`` and know every
+        accepted observation is durable when the block exits.
+        """
+        with self._lifecycle_lock:
+            closing = not self._closed
+            if closing:
+                self._closed = True
+                self._queue.put(_CLOSE)
+        if closing:
+            self._writer.join()
+        if raise_failures:
+            self._raise_failures()
+
+    def __enter__(self) -> "MovementIngestor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Let an exception already unwinding the with-block take precedence
+        # over (but not hide) batch failures.
+        self.close(raise_failures=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def submitted(self) -> int:
+        """Records accepted by :meth:`submit` so far."""
+        return self._submitted
+
+    @property
+    def written(self) -> int:
+        """Records the sink has durably accepted so far."""
+        return self._written
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to rejected batches so far."""
+        with self._failure_lock:
+            return sum(failure.dropped for failure in self._failures)
+
+    @property
+    def failures(self) -> Tuple[BatchFailure, ...]:
+        """The batch failures not yet surfaced by a flush/close."""
+        with self._failure_lock:
+            return tuple(self._failures)
+
+    def _raise_failures(self) -> None:
+        with self._failure_lock:
+            failures, self._failures = self._failures, []
+        if failures:
+            detail = "; ".join(str(failure) for failure in failures)
+            error = IngestError(
+                f"{len(failures)} ingest batch(es) were rejected and dropped: {detail}"
+            )
+            error.failures = failures  # type: ignore[attr-defined]
+            raise error from failures[0].error
+
+    # ------------------------------------------------------------------ #
+    # Writer thread
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        buffer: List["MovementRecord"] = []
+        deadline: Optional[float] = None
+        while True:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                self._write(buffer)
+                buffer, deadline = [], None
+                continue
+            if item is _CLOSE:
+                # Drain everything that raced the close: records enqueued
+                # by a submit() that passed its closed-check late are still
+                # written (flush-on-close durability), and flush() markers
+                # are released instead of leaving their callers waiting.
+                markers: List[_Flush] = []
+                while True:
+                    try:
+                        straggler = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if isinstance(straggler, _Flush):
+                        markers.append(straggler)
+                    elif straggler is not _CLOSE:
+                        buffer.append(straggler)
+                self._write(buffer)
+                for marker in markers:
+                    marker.done.set()
+                return
+            if isinstance(item, _Flush):
+                self._write(buffer)
+                buffer, deadline = [], None
+                item.done.set()
+                continue
+            if not buffer:
+                deadline = time.monotonic() + self._max_latency
+            buffer.append(item)
+            if len(buffer) >= self._batch_size:
+                self._write(buffer)
+                buffer, deadline = [], None
+
+    def _write(self, batch: List["MovementRecord"]) -> None:
+        if not batch:
+            return
+        try:
+            self._sink(batch)
+        except Exception as exc:  # noqa: BLE001 - surfaced via flush/close
+            with self._failure_lock:
+                self._failures.append(BatchFailure(exc, len(batch)))
+        else:
+            self._written += len(batch)

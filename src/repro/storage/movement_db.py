@@ -21,11 +21,29 @@ rebuilt from it, and the SQLite backend additionally persists the projection
 in derived tables (``occ_current``, ``occ_entry_counts``) updated in the
 same transaction as each insert, so reopening a database file does not
 require an O(n) replay.
+
+Two scale features sit on top of the projection:
+
+* **Sharding** — a backend built with ``shards=N`` (or ``shards="auto"``,
+  one shard per CPU core) partitions its projection into N shard-local
+  projections keyed by a consistent hash on the subject
+  (:class:`~repro.storage.sharding.ShardedOccupancyService`).
+  :class:`ShardedInMemoryMovementDatabase` additionally shards the log
+  itself, so ``record_many`` batches from multiple writer threads ingest
+  in parallel — shard locks are the only contention points.
+* **Checkpoint/compaction** — :meth:`MovementDatabase.checkpoint` persists
+  the projection snapshot (SQLite: the ``occ_checkpoint`` tables; memory:
+  a pickle-free tuple) and, with ``compact=True``, archives the log prefix
+  it covers.  Replay-style reads (``history()``, audit replays, crash
+  recovery of the SQLite derived tables) then cost O(events since the
+  checkpoint) instead of O(all time); ``history(include_archived=True)``
+  still reaches the full log.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -37,13 +55,16 @@ from repro.core.subjects import subject_name
 from repro.locations.location import LocationName, location_name
 from repro.locations.multilevel import LocationHierarchy
 from repro.storage.occupancy import OccupancyAnomaly, OccupancyService
+from repro.storage.sharding import ShardedOccupancyService, resolve_shard_count
 from repro.temporal.interval import TimeInterval
 
 __all__ = [
+    "Checkpoint",
     "MovementKind",
     "MovementRecord",
     "MovementDatabase",
     "InMemoryMovementDatabase",
+    "ShardedInMemoryMovementDatabase",
     "SqliteMovementDatabase",
 ]
 
@@ -58,9 +79,15 @@ class MovementKind(str, Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MovementRecord:
-    """One observed movement: *subject* entered or exited *location* at *time*."""
+    """One observed movement: *subject* entered or exited *location* at *time*.
+
+    ``slots=True`` because movement records are the unit the ingest hot
+    loops iterate — slot attribute reads are measurably cheaper than dict
+    lookups at 100k-events-per-batch scale, and a long trace holds millions
+    of these alive at once.
+    """
 
     time: int
     subject: str
@@ -78,6 +105,27 @@ class MovementRecord:
         return f"{self.kind.value.upper()}({self.time}, {self.subject}, {self.location})"
 
 
+@dataclass(frozen=True)
+class Checkpoint:
+    """The receipt a :meth:`MovementDatabase.checkpoint` call returns.
+
+    *position* is the log position (event count / max seq) the checkpoint
+    covers; *archived* is how many log records this call moved to the
+    archive; *subjects_inside* and *pairs* size the persisted snapshot.
+    """
+
+    position: int
+    archived: int
+    subjects_inside: int
+    pairs: int
+
+    def __str__(self) -> str:
+        return (
+            f"checkpoint @ {self.position}: {self.archived} event(s) archived, "
+            f"{self.subjects_inside} subject(s) inside, {self.pairs} (subject, location) pair(s)"
+        )
+
+
 class MovementDatabase(ABC):
     """Interface shared by the movement-database backends.
 
@@ -89,12 +137,21 @@ class MovementDatabase(ABC):
     anomaly note — with an identical message on every backend.
     """
 
-    def __init__(self, hierarchy: Optional[LocationHierarchy] = None, *, strict: bool = False) -> None:
+    def __init__(
+        self,
+        hierarchy: Optional[LocationHierarchy] = None,
+        *,
+        strict: bool = False,
+        shards=None,
+    ) -> None:
         self._hierarchy = hierarchy
         self._strict = strict
+        self._shards = resolve_shard_count(shards)
         self._occupancy = self._service_factory()
 
-    def _service_factory(self) -> OccupancyService:
+    def _service_factory(self):
+        if self._shards is not None:
+            return ShardedOccupancyService(self._shards)
         return OccupancyService()
 
     @property
@@ -108,9 +165,19 @@ class MovementDatabase(ABC):
         return self._strict
 
     @property
-    def occupancy_service(self) -> OccupancyService:
-        """The event-indexed projection serving this database's hot reads."""
+    def occupancy_service(self):
+        """The event-indexed projection serving this database's hot reads.
+
+        An :class:`OccupancyService`, or a
+        :class:`~repro.storage.sharding.ShardedOccupancyService` (same read
+        API) when the database was built with ``shards=...``.
+        """
         return self._occupancy
+
+    @property
+    def shard_count(self) -> int:
+        """How many projection shards this database runs (1 when unsharded)."""
+        return self._shards if self._shards is not None else 1
 
     @property
     def anomalies(self) -> Tuple[OccupancyAnomaly, ...]:
@@ -192,7 +259,31 @@ class MovementDatabase(ABC):
 
     @abstractmethod
     def clear(self) -> None:
-        """Remove every movement record."""
+        """Remove every movement record (including the archive and checkpoint state)."""
+
+    # -- checkpoint / compaction ---------------------------------------- #
+    def checkpoint(self, *, compact: bool = True) -> Checkpoint:
+        """Persist the projection snapshot and (optionally) archive the log prefix.
+
+        After a compacting checkpoint, replay-style reads — :meth:`history`
+        without ``include_archived``, audit replays over it, and the SQLite
+        backend's crash-recovery rebuild — cost O(events since the
+        checkpoint) instead of O(all time).  The archived prefix stays
+        reachable through ``history(include_archived=True)``; occupancy,
+        entry counts (windowed included) and last-entry reads are unaffected
+        because the projection/derived state already covers the archive.
+        """
+        raise StorageError(f"{type(self).__name__} does not support checkpointing")
+
+    @property
+    def archived_count(self) -> int:
+        """Movement records moved to the archive by compacting checkpoints."""
+        return 0
+
+    @property
+    def events_since_checkpoint(self) -> int:
+        """Log records not yet covered by a checkpoint (the replay bound)."""
+        return len(self)
 
     # -- reads ---------------------------------------------------------- #
     @abstractmethod
@@ -202,8 +293,14 @@ class MovementDatabase(ABC):
         subject: Optional[str] = None,
         location: Optional[str] = None,
         window: Optional[TimeInterval] = None,
+        include_archived: bool = False,
     ) -> List[MovementRecord]:
-        """Movement records, optionally filtered by subject, location and window."""
+        """Movement records, optionally filtered by subject, location and window.
+
+        With ``include_archived=True`` the records archived by compacting
+        checkpoints are included (full-log audit replays); by default only
+        the live log — events since the last compaction — is scanned.
+        """
 
     def current_location(self, subject: str) -> Optional[LocationName]:
         """The location the subject is currently inside, or ``None`` — O(1)."""
@@ -243,25 +340,149 @@ class MovementDatabase(ABC):
         return len(self.history())
 
 
+def _filter_records(
+    records: Iterable[MovementRecord],
+    subject: Optional[str],
+    location: Optional[str],
+    window: Optional[TimeInterval],
+) -> List[MovementRecord]:
+    """Apply the shared ``history()`` filters to an iterable of records."""
+    wanted_subject = subject_name(subject) if subject is not None else None
+    wanted_location = location_name(location) if location is not None else None
+    results = []
+    for record in records:
+        if wanted_subject is not None and record.subject != wanted_subject:
+            continue
+        if wanted_location is not None and record.location != wanted_location:
+            continue
+        if window is not None and not window.contains(record.time):
+            continue
+        results.append(record)
+    return results
+
+
 class InMemoryMovementDatabase(MovementDatabase):
-    """List-backed movement store; every occupancy read hits the projection."""
+    """List-backed movement store; every occupancy read hits the projection.
+
+    :meth:`checkpoint` snapshots the projection as a pickle-free tuple
+    (:attr:`checkpoint_state`) and, when compacting, moves the live log into
+    the archive list — ``history()`` then scans only events since the
+    checkpoint, while the projection keeps every read (windowed entry counts
+    included) exact because its timelines were never rebuilt from the log.
+    """
 
     def __init__(
         self, hierarchy: Optional[LocationHierarchy] = None, *, strict: bool = False
     ) -> None:
         super().__init__(hierarchy, strict=strict)
         self._records: List[MovementRecord] = []
+        self._archive: List[MovementRecord] = []
+        self._total_recorded = 0
+        self._checkpoint_position = 0
+        self._checkpoint_state: Optional[tuple] = None
+        self._in_bulk = False
+        # Same transaction discipline as the SQLite backend: the streaming
+        # writer's bulk()/record_many scopes and a foreground checkpoint()/
+        # clear() serialize here (reentrant for records written inside a
+        # same-thread bulk() scope).
+        self._txn_lock = threading.RLock()
 
     def record(self, record: MovementRecord) -> MovementRecord:
-        self._validate_record(record)
-        self._check_strict_exit(record)
-        self._records.append(record)
-        self._occupancy.apply(record)
-        return record
+        with self._txn_lock:
+            self._validate_record(record)
+            self._check_strict_exit(record)
+            self._records.append(record)
+            self._total_recorded += 1
+            self._occupancy.apply(record)
+            return record
+
+    def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
+        """Batch append: one validation pass, one list extend, one batch fold.
+
+        Skips the per-record ``record()`` dispatch of the base implementation
+        — the batch is validated up front (all-or-nothing in strict mode,
+        same as the base path), appended with one ``extend`` and folded with
+        :meth:`OccupancyService.apply_many`'s hoisted loop.
+        """
+        batch = list(records)
+        with self._txn_lock:
+            self._validate_batch(batch)
+            self._records.extend(batch)
+            self._total_recorded += len(batch)
+            self._occupancy.apply_many(batch)
+            return batch
+
+    @contextmanager
+    def bulk(self) -> Iterator[None]:
+        """Make a multi-write scope all-or-nothing, mirroring SQLite's.
+
+        On failure the records appended inside the scope are truncated away
+        and the projection is restored from a snapshot taken at entry — so
+        ``observe_many``/ingest batches that die mid-way (a strict-mode
+        inconsistent exit) leave the *store* exactly as it was, on this
+        backend just like on SQLite.
+        """
+        if self._in_bulk:
+            yield
+            return
+        with self._txn_lock:
+            mark = len(self._records)
+            recorded = self._total_recorded
+            state = self._occupancy.snapshot()
+            self._in_bulk = True
+            try:
+                yield
+            except Exception:
+                del self._records[mark:]
+                self._total_recorded = recorded
+                self._occupancy.restore(state)
+                raise
+            finally:
+                self._in_bulk = False
+
+    def checkpoint(self, *, compact: bool = True) -> Checkpoint:
+        with self._txn_lock:
+            if self._in_bulk:
+                raise StorageError("cannot checkpoint inside an open bulk() scope")
+            return self._checkpoint_locked(compact)
+
+    def _checkpoint_locked(self, compact: bool) -> Checkpoint:
+        position = self._total_recorded
+        self._checkpoint_state = self._occupancy.snapshot()
+        archived = 0
+        if compact:
+            archived = len(self._records)
+            self._archive.extend(self._records)
+            self._records.clear()
+        self._checkpoint_position = position
+        return Checkpoint(
+            position,
+            archived,
+            len(self._occupancy.subjects_inside()),
+            len(self._occupancy.entry_counts()),
+        )
+
+    @property
+    def checkpoint_state(self) -> Optional[tuple]:
+        """The projection snapshot persisted by the last :meth:`checkpoint`."""
+        return self._checkpoint_state
+
+    @property
+    def archived_count(self) -> int:
+        return len(self._archive)
+
+    @property
+    def events_since_checkpoint(self) -> int:
+        return self._total_recorded - self._checkpoint_position
 
     def clear(self) -> None:
-        self._records.clear()
-        self._occupancy.clear()
+        with self._txn_lock:
+            self._records.clear()
+            self._archive.clear()
+            self._total_recorded = 0
+            self._checkpoint_position = 0
+            self._checkpoint_state = None
+            self._occupancy.clear()
 
     def history(
         self,
@@ -269,22 +490,201 @@ class InMemoryMovementDatabase(MovementDatabase):
         subject: Optional[str] = None,
         location: Optional[str] = None,
         window: Optional[TimeInterval] = None,
+        include_archived: bool = False,
     ) -> List[MovementRecord]:
-        wanted_subject = subject_name(subject) if subject is not None else None
-        wanted_location = location_name(location) if location is not None else None
-        results = []
-        for record in self._records:
-            if wanted_subject is not None and record.subject != wanted_subject:
-                continue
-            if wanted_location is not None and record.location != wanted_location:
-                continue
-            if window is not None and not window.contains(record.time):
-                continue
-            results.append(record)
-        return results
+        source: Iterable[MovementRecord] = self._records
+        if include_archived and self._archive:
+            source = self._archive + self._records
+        return _filter_records(source, subject, location, window)
 
     def __len__(self) -> int:
         return len(self._records)
+
+
+class ShardedInMemoryMovementDatabase(MovementDatabase):
+    """Sharded in-memory movement store for parallel multi-thread ingest.
+
+    Both the occupancy projection *and* the movement log are partitioned
+    into ``shards`` shard-local slices keyed by a consistent hash on the
+    subject (``"auto"`` = one shard per CPU core).  A ``record_many`` batch
+    is partitioned once, then each partition's log append **and** projection
+    fold happen as one atomic unit under that shard's lock — so writer
+    threads (one per tracker feed) only contend when their batches collide
+    on a shard, and a checkpoint walking the shards always sees a log that
+    matches its projection.
+
+    Log order: each batch atomically reserves a position in the global
+    sequence, which linearizes concurrent batches; within a batch, each
+    shard's partition keeps its arrival order.  :meth:`history` merges the
+    shard logs back into a **globally time-ordered** record list (stable
+    sort over the segment merge): per-subject event order is always exactly
+    the ingest order (a subject lives whole in one shard, and records
+    arrive in time order per subject), while the interleaving of equal-time
+    events from *different* subjects may differ from the original batch
+    interleaving.  Occupancy semantics only depend on per-subject order, so
+    every projection read is identical to the unsharded store's.
+
+    ``strict=True`` serializes ingest on a validation lock (the batch
+    pre-check must observe a frozen occupancy map to reject inconsistent
+    exits all-or-nothing); parallel throughput is a non-strict feature.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Optional[LocationHierarchy] = None,
+        *,
+        strict: bool = False,
+        shards="auto",
+    ) -> None:
+        super().__init__(hierarchy, strict=strict, shards="auto" if shards is None else shards)
+        count = self._occupancy.shard_count
+        # Shard-local logs hold (batch_seq, records) segments — one append
+        # per batch partition, no per-record bookkeeping on the hot path.
+        self._shard_records: List[List[Tuple[int, List[MovementRecord]]]] = [
+            [] for _ in range(count)
+        ]
+        self._seq_lock = threading.Lock()
+        self._next_seq = 1
+        self._strict_lock = threading.Lock()
+        #: archived segments as (batch_seq, shard_index, records).
+        self._archive: List[Tuple[int, int, List[MovementRecord]]] = []
+        self._checkpoint_position = 0
+        self._checkpoint_state: Optional[tuple] = None
+
+    def _service_factory(self):
+        return ShardedOccupancyService(self._shards)
+
+    # -- writes --------------------------------------------------------- #
+    def record(self, record: MovementRecord) -> MovementRecord:
+        self.record_many((record,))
+        return record
+
+    def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
+        batch = list(records)
+        if self._strict:
+            # Strict validation replays the batch against the *current*
+            # occupancy, which must not move until the batch lands.
+            with self._strict_lock:
+                self._validate_batch(batch)
+                self._ingest(batch)
+        else:
+            self._validate_batch(batch)
+            self._ingest(batch)
+        return batch
+
+    def _ingest(self, batch: List[MovementRecord]) -> None:
+        if not batch:
+            return
+        with self._seq_lock:
+            base = self._next_seq
+            self._next_seq += len(batch)
+        # Partition once (memoized shard lookup), then land each partition
+        # as one log segment + one projection fold under its shard's lock —
+        # this plus apply_many is the ingest hot path.
+        for index, records in self._occupancy.partition(batch).items():
+            with self._occupancy.locked_shard(index) as projection:
+                self._shard_records[index].append((base, records))
+                projection.apply_many(records)
+
+    # -- checkpoint ------------------------------------------------------ #
+    def checkpoint(self, *, compact: bool = True) -> Checkpoint:
+        """Shard-by-shard checkpoint: snapshot + archive under each shard lock.
+
+        Shards hold disjoint subjects, so per-shard atomicity is global
+        consistency; the shards are visited sequentially and writers to
+        other shards are never blocked.  Under concurrent writers the
+        checkpoint is a **consistent per-shard cut**, not a global log
+        prefix: ``position`` counts exactly the events the snapshot/archive
+        covers (counted under each shard's lock, never the in-flight
+        batches a writer has reserved seqs for but not yet landed), so
+        ``events_since_checkpoint`` over-approximates — it never claims
+        coverage of an event the checkpoint missed.
+        """
+        state = []
+        covered = self.archived_count
+        archived_now = 0
+        for index in range(len(self._shard_records)):
+            with self._occupancy.locked_shard(index) as projection:
+                shard_log = self._shard_records[index]
+                for _, records in shard_log:
+                    covered += len(records)
+                if compact:
+                    for batch_seq, records in shard_log:
+                        archived_now += len(records)
+                        self._archive.append((batch_seq, index, records))
+                    shard_log.clear()
+                state.append(projection.snapshot())
+        self._checkpoint_state = tuple(state)
+        self._checkpoint_position = covered
+        if compact:
+            self._archive.sort(key=lambda entry: (entry[0], entry[1]))
+        return Checkpoint(
+            covered,
+            archived_now,
+            len(self._occupancy.subjects_inside()),
+            len(self._occupancy.entry_counts()),
+        )
+
+    @property
+    def checkpoint_state(self) -> Optional[tuple]:
+        """The per-shard projection snapshots from the last :meth:`checkpoint`."""
+        return self._checkpoint_state
+
+    @property
+    def archived_count(self) -> int:
+        return sum(len(records) for _, _, records in self._archive)
+
+    @property
+    def events_since_checkpoint(self) -> int:
+        with self._seq_lock:
+            recorded = self._next_seq - 1
+        return recorded - self._checkpoint_position
+
+    def clear(self) -> None:
+        for index in range(len(self._shard_records)):
+            with self._occupancy.locked_shard(index) as projection:
+                self._shard_records[index].clear()
+                projection.clear()
+        self._archive.clear()
+        with self._seq_lock:
+            self._next_seq = 1
+        self._checkpoint_position = 0
+        self._checkpoint_state = None
+
+    # -- reads ---------------------------------------------------------- #
+    def history(
+        self,
+        *,
+        subject: Optional[str] = None,
+        location: Optional[str] = None,
+        window: Optional[TimeInterval] = None,
+        include_archived: bool = False,
+    ) -> List[MovementRecord]:
+        segments: List[Tuple[int, int, List[MovementRecord]]] = []
+        if include_archived:
+            segments.extend(self._archive)
+        for index in range(len(self._shard_records)):
+            with self._occupancy.locked_shard(index):
+                segments.extend(
+                    (batch_seq, index, records)
+                    for batch_seq, records in self._shard_records[index]
+                )
+        segments.sort(key=lambda entry: (entry[0], entry[1]))
+        merged: List[MovementRecord] = []
+        for _, _, records in segments:
+            merged.extend(records)
+        # Stable time sort: consumers (the query engine's point-in-time
+        # replays) rely on a globally time-ordered history, and segment
+        # order alone interleaves same-batch shards arbitrarily.  Records
+        # arrive in time order per subject (the record() contract), so the
+        # stable sort preserves every subject's event order.
+        merged.sort(key=lambda record: record.time)
+        return _filter_records(merged, subject, location, window)
+
+    def __len__(self) -> int:
+        return sum(
+            len(records) for shard_log in self._shard_records for _, records in shard_log
+        )
 
 
 class SqliteMovementDatabase(MovementDatabase):
@@ -301,7 +701,16 @@ class SqliteMovementDatabase(MovementDatabase):
     Concurrency contract: movement writes to a given database file must go
     through **one** ``SqliteMovementDatabase`` instance (the projection is
     primed at open and advanced only by this instance's own writes — another
-    writer's rows would be invisible to the hot reads until reopen).  Other
+    writer's rows would be invisible to the hot reads until reopen).
+    Transactions on this instance serialize on an internal lock, so a
+    foreground ``checkpoint()``/``clear()`` never interleaves a streaming
+    writer's open batch.  Reads are **read-uncommitted with respect to this
+    instance's own in-flight batch**: while a ``bulk()``/``record_many``
+    transaction is open, same-connection SQL reads and the incrementally
+    updated projection both see the partial batch (rolled back again if the
+    batch fails) — deliberate, because serializing every decision-path read
+    against whole ingest batches would trade hot-path latency for a
+    consistency level the monitor does not need.  Other
     connections to the same file — the authorization and profile stores of a
     shared-path deployment — may read and write freely; WAL journaling keeps
     them live while a batch transaction is open here.  Multi-writer ingest is
@@ -337,6 +746,29 @@ class SqliteMovementDatabase(MovementDatabase):
             key   TEXT PRIMARY KEY,
             value INTEGER NOT NULL
         );
+        CREATE TABLE IF NOT EXISTS movements_archive (
+            seq      INTEGER PRIMARY KEY,
+            time     INTEGER NOT NULL,
+            subject  TEXT NOT NULL,
+            location TEXT NOT NULL,
+            kind     TEXT NOT NULL CHECK (kind IN ('enter', 'exit'))
+        );
+        CREATE INDEX IF NOT EXISTS idx_arc_entries
+            ON movements_archive (subject, location, time) WHERE kind = 'enter';
+        CREATE INDEX IF NOT EXISTS idx_arc_pair_seq
+            ON movements_archive (subject, location, seq);
+        CREATE TABLE IF NOT EXISTS occ_checkpoint (
+            subject  TEXT PRIMARY KEY,
+            location TEXT NOT NULL,
+            since    INTEGER NOT NULL
+        );
+        CREATE TABLE IF NOT EXISTS occ_checkpoint_counts (
+            subject         TEXT NOT NULL,
+            location        TEXT NOT NULL,
+            entries         INTEGER NOT NULL,
+            last_entry_time INTEGER,
+            PRIMARY KEY (subject, location)
+        );
     """
 
     def __init__(
@@ -345,9 +777,16 @@ class SqliteMovementDatabase(MovementDatabase):
         hierarchy: Optional[LocationHierarchy] = None,
         *,
         strict: bool = False,
+        shards=None,
     ) -> None:
-        super().__init__(hierarchy, strict=strict)
-        self._connection = sqlite3.connect(path)
+        super().__init__(hierarchy, strict=strict, shards=shards)
+        # check_same_thread=False: the streaming observe path
+        # (MovementIngestor) drives enforcement — and therefore these
+        # stores — from its background writer thread while the constructing
+        # thread keeps reading.  The sqlite3 module serializes statement
+        # execution internally, so sharing the connection is safe; write
+        # discipline (one logical writer) is unchanged.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         # WAL lets other connections to the same file (the authorization and
         # profile stores of a shared-path deployment) keep reading while a
         # bulk()/record_many transaction is open; a no-op for ":memory:".
@@ -356,43 +795,65 @@ class SqliteMovementDatabase(MovementDatabase):
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
         self._in_bulk = False
+        # One transaction at a time on the shared connection: the streaming
+        # writer's bulk()/record_many scopes and a foreground checkpoint()/
+        # clear() must not interleave their commits (reentrant, so record()
+        # calls nested inside a same-thread bulk() scope pass through).
+        self._txn_lock = threading.RLock()
         self._load_service()
 
-    def _service_factory(self) -> OccupancyService:
+    def _service_factory(self):
         # Windowed entry counts run as indexed SQL COUNT(*) queries, so the
         # projection skips the timelines and reopening stays O(#pairs).
+        if self._shards is not None:
+            return ShardedOccupancyService(self._shards, track_timelines=False)
         return OccupancyService(track_timelines=False)
 
+    def _meta(self, key: str) -> int:
+        row = self._connection.execute(
+            "SELECT value FROM occ_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def _set_meta(self, key: str, value: int) -> None:
+        self._connection.execute(
+            "INSERT INTO occ_meta (key, value) VALUES (?, ?)"
+            " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    def _checkpoint_seq(self) -> int:
+        """The log seq the persisted checkpoint covers (0 = no checkpoint)."""
+        return self._meta("checkpoint_seq")
+
     def _max_seq(self) -> int:
-        """The newest movement seq — O(log n), it is the integer primary key."""
+        """The newest log seq — O(log n) over the live log's integer primary key.
+
+        After a compacting checkpoint the live log may be empty while the
+        checkpoint covers earlier seqs, so the checkpoint seq is the floor.
+        """
         (max_seq,) = self._connection.execute(
             "SELECT COALESCE(MAX(seq), 0) FROM movements"
         ).fetchone()
-        return int(max_seq)
+        return max(int(max_seq), self._checkpoint_seq())
 
     def _stamp_applied(self) -> None:
         """Record (inside the open transaction) how far the derived tables reach."""
-        self._connection.execute(
-            "INSERT INTO occ_meta (key, value) VALUES ('applied_seq', ?)"
-            " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
-            (self._max_seq(),),
-        )
+        self._set_meta("applied_seq", self._max_seq())
 
     def _load_service(self) -> None:
-        """Prime the projection from the derived tables (rebuilding them if stale).
+        """Prime the projection from the derived tables (recovering them if stale).
 
         Staleness is detected by comparing the stamped ``applied_seq`` with
         the log's maximum seq — both O(log n) index lookups, so reopening a
-        healthy database stays O(#subjects + #pairs).
+        healthy database stays O(#subjects + #pairs).  A stale database (one
+        written before the derived tables existed, or by a writer that did
+        not maintain them) is recovered by replaying the log **from the
+        persisted checkpoint**, i.e. in O(events since the checkpoint), not
+        O(all time).
         """
-        row = self._connection.execute(
-            "SELECT value FROM occ_meta WHERE key = 'applied_seq'"
-        ).fetchone()
-        applied = int(row[0]) if row is not None else 0
-        if applied != self._max_seq():
-            # A database written before the derived tables existed (or by a
-            # crashed writer): rebuild the projection from the log once.
-            self._rebuild_derived()
+        if self._meta("applied_seq") != self._max_seq():
+            self._recover_derived()
         inside = {
             subject: (location, since)
             for subject, location, since in self._connection.execute(
@@ -407,11 +868,33 @@ class SqliteMovementDatabase(MovementDatabase):
         }
         self._occupancy.load(inside=inside, entry_counts=counts)
 
-    def _rebuild_derived(self) -> None:
-        """Replay the movement log into fresh derived tables (one-time migration)."""
+    def _recover_derived(self) -> None:
+        """Rebuild the derived tables: checkpoint state + replay of the log suffix.
+
+        The replay projection is primed from the ``occ_checkpoint`` tables
+        and only the movements past the checkpoint seq are folded in — with
+        no checkpoint ever taken (seq 0, empty tables) this degrades to the
+        full-log replay that migrates pre-derived-table databases.
+        """
+        checkpoint_seq = self._checkpoint_seq()
         replay = OccupancyService(track_timelines=False)
+        replay.load(
+            inside={
+                subject: (location, since)
+                for subject, location, since in self._connection.execute(
+                    "SELECT subject, location, since FROM occ_checkpoint"
+                )
+            },
+            entry_counts={
+                (subject, location): (count, last_time)
+                for subject, location, count, last_time in self._connection.execute(
+                    "SELECT subject, location, entries, last_entry_time FROM occ_checkpoint_counts"
+                )
+            },
+        )
         for time, subject, location, kind in self._connection.execute(
-            "SELECT time, subject, location, kind FROM movements ORDER BY seq"
+            "SELECT time, subject, location, kind FROM movements WHERE seq > ? ORDER BY seq",
+            (checkpoint_seq,),
         ):
             replay.apply(MovementRecord(time, subject, location, MovementKind(kind)))
         self._connection.execute("DELETE FROM occ_current")
@@ -434,6 +917,65 @@ class SqliteMovementDatabase(MovementDatabase):
         )
         self._stamp_applied()
         self._connection.commit()
+
+    # -- checkpoint / compaction ---------------------------------------- #
+    def checkpoint(self, *, compact: bool = True) -> Checkpoint:
+        """Persist the projection snapshot and archive the covered log prefix.
+
+        One transaction: the live derived tables (which are exactly the
+        projection at the current log position) are copied into the
+        ``occ_checkpoint`` tables SQL-side, the checkpoint seq is stamped,
+        and with ``compact=True`` the covered ``movements`` rows move into
+        ``movements_archive``.  Crash recovery and ``history()`` replays are
+        then bounded by events past this checkpoint.
+        """
+        with self._txn_lock:
+            if self._in_bulk:
+                raise StorageError("cannot checkpoint inside an open bulk() scope")
+            return self._checkpoint_locked(compact)
+
+    def _checkpoint_locked(self, compact: bool) -> Checkpoint:
+        connection = self._connection
+        position = self._max_seq()
+        connection.execute("DELETE FROM occ_checkpoint")
+        connection.execute(
+            "INSERT INTO occ_checkpoint (subject, location, since)"
+            " SELECT subject, location, since FROM occ_current"
+        )
+        connection.execute("DELETE FROM occ_checkpoint_counts")
+        connection.execute(
+            "INSERT INTO occ_checkpoint_counts (subject, location, entries, last_entry_time)"
+            " SELECT subject, location, entries, last_entry_time FROM occ_entry_counts"
+        )
+        self._set_meta("checkpoint_seq", position)
+        archived = 0
+        if compact:
+            (archived,) = connection.execute(
+                "SELECT COUNT(*) FROM movements WHERE seq <= ?", (position,)
+            ).fetchone()
+            connection.execute(
+                "INSERT INTO movements_archive (seq, time, subject, location, kind)"
+                " SELECT seq, time, subject, location, kind FROM movements WHERE seq <= ?",
+                (position,),
+            )
+            connection.execute("DELETE FROM movements WHERE seq <= ?", (position,))
+        self._stamp_applied()
+        connection.commit()
+        (subjects_inside,) = connection.execute("SELECT COUNT(*) FROM occ_checkpoint").fetchone()
+        (pairs,) = connection.execute("SELECT COUNT(*) FROM occ_checkpoint_counts").fetchone()
+        return Checkpoint(position, int(archived), int(subjects_inside), int(pairs))
+
+    @property
+    def archived_count(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM movements_archive").fetchone()
+        return int(count)
+
+    @property
+    def events_since_checkpoint(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM movements WHERE seq > ?", (self._checkpoint_seq(),)
+        ).fetchone()
+        return int(count)
 
     # -- writes --------------------------------------------------------- #
     def _apply_derived(self, record: MovementRecord) -> None:
@@ -460,18 +1002,19 @@ class SqliteMovementDatabase(MovementDatabase):
             )
 
     def record(self, record: MovementRecord) -> MovementRecord:
-        self._validate_record(record)
-        self._check_strict_exit(record)
-        self._connection.execute(
-            "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
-            (record.time, record.subject, record.location, record.kind.value),
-        )
-        self._apply_derived(record)
-        self._occupancy.apply(record)
-        if not self._in_bulk:
-            self._stamp_applied()
-            self._connection.commit()
-        return record
+        with self._txn_lock:
+            self._validate_record(record)
+            self._check_strict_exit(record)
+            self._connection.execute(
+                "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
+                (record.time, record.subject, record.location, record.kind.value),
+            )
+            self._apply_derived(record)
+            self._occupancy.apply(record)
+            if not self._in_bulk:
+                self._stamp_applied()
+                self._connection.commit()
+            return record
 
     def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
         """Batch insert with ``executemany`` and a single commit.
@@ -482,20 +1025,21 @@ class SqliteMovementDatabase(MovementDatabase):
         Python, O(distinct keys) SQL, one transaction.
         """
         batch = list(records)
-        self._validate_batch(batch)
-        if self._in_bulk:
-            # The enclosing bulk() scope owns the transaction (and rollback).
-            self._write_batch(batch)
+        with self._txn_lock:
+            self._validate_batch(batch)
+            if self._in_bulk:
+                # The enclosing bulk() scope owns the transaction (and rollback).
+                self._write_batch(batch)
+                return batch
+            state = self._occupancy.snapshot()
+            try:
+                self._write_batch(batch)
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                self._occupancy.restore(state)
+                raise
             return batch
-        state = self._occupancy.snapshot()
-        try:
-            self._write_batch(batch)
-            self._connection.commit()
-        except Exception:
-            self._connection.rollback()
-            self._occupancy.restore(state)
-            raise
-        return batch
 
     def _write_batch(self, batch: List[MovementRecord]) -> None:
         """Append *batch* and sync the projection/derived tables (no commit)."""
@@ -563,24 +1107,33 @@ class SqliteMovementDatabase(MovementDatabase):
         if self._in_bulk:
             yield
             return
-        self._in_bulk = True
-        state = self._occupancy.snapshot()
-        try:
-            yield
-        except Exception:
-            self._connection.rollback()
-            self._occupancy.restore(state)
-            raise
-        else:
-            self._stamp_applied()
-            self._connection.commit()
-        finally:
-            self._in_bulk = False
+        with self._txn_lock:
+            self._in_bulk = True
+            state = self._occupancy.snapshot()
+            try:
+                yield
+            except Exception:
+                self._connection.rollback()
+                self._occupancy.restore(state)
+                raise
+            else:
+                self._stamp_applied()
+                self._connection.commit()
+            finally:
+                self._in_bulk = False
 
     def clear(self) -> None:
+        with self._txn_lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
         self._connection.execute("DELETE FROM movements")
+        self._connection.execute("DELETE FROM movements_archive")
         self._connection.execute("DELETE FROM occ_current")
         self._connection.execute("DELETE FROM occ_entry_counts")
+        self._connection.execute("DELETE FROM occ_checkpoint")
+        self._connection.execute("DELETE FROM occ_checkpoint_counts")
+        self._set_meta("checkpoint_seq", 0)
         self._stamp_applied()
         self._connection.commit()
         self._occupancy.clear()
@@ -592,8 +1145,15 @@ class SqliteMovementDatabase(MovementDatabase):
         subject: Optional[str] = None,
         location: Optional[str] = None,
         window: Optional[TimeInterval] = None,
+        include_archived: bool = False,
     ) -> List[MovementRecord]:
-        sql = "SELECT time, subject, location, kind FROM movements"
+        source = "movements"
+        if include_archived:
+            source = (
+                "(SELECT seq, time, subject, location, kind FROM movements_archive"
+                " UNION ALL SELECT seq, time, subject, location, kind FROM movements)"
+            )
+        sql = f"SELECT time, subject, location, kind FROM {source}"
         clauses: List[str] = []
         parameters: List = []
         if subject is not None:
@@ -619,47 +1179,56 @@ class SqliteMovementDatabase(MovementDatabase):
     ) -> int:
         if window is None:
             return self._occupancy.entry_count(subject_name(subject), location_name(location))
-        # SQL-side count over the partial ENTER index — O(log n + k) in SQLite.
-        sql = (
-            "SELECT COUNT(*) FROM movements"
-            " WHERE subject = ? AND location = ? AND kind = 'enter' AND time >= ?"
-        )
-        parameters: List = [subject_name(subject), location_name(location), window.start]
-        if not window.is_unbounded:
-            sql += " AND time <= ?"
-            parameters.append(int(window.end))
-        (count,) = self._connection.execute(sql, tuple(parameters)).fetchone()
-        return int(count)
+        # SQL-side count over the partial ENTER indexes — O(log n + k) in
+        # SQLite.  The archive is counted too (same partial index shape), so
+        # windows reaching past a compaction stay exact; an empty archive
+        # costs one O(log 1) probe.
+        total = 0
+        for table in ("movements", "movements_archive"):
+            sql = (
+                f"SELECT COUNT(*) FROM {table}"
+                " WHERE subject = ? AND location = ? AND kind = 'enter' AND time >= ?"
+            )
+            parameters: List = [subject_name(subject), location_name(location), window.start]
+            if not window.is_unbounded:
+                sql += " AND time <= ?"
+                parameters.append(int(window.end))
+            (count,) = self._connection.execute(sql, tuple(parameters)).fetchone()
+            total += int(count)
+        return total
 
     def last_movement(self, subject: str, location: str) -> Optional[MovementRecord]:
         record = self._occupancy.last_movement(subject_name(subject), location_name(location))
         if record is not None:
             return record
-        # Not seen by this process (reopened database): indexed point lookup.
-        row = self._connection.execute(
-            "SELECT time, subject, location, kind FROM movements"
-            " WHERE subject = ? AND location = ? ORDER BY seq DESC LIMIT 1",
-            (subject_name(subject), location_name(location)),
-        ).fetchone()
-        if row is None:
-            return None
-        time, subj, loc, kind = row
-        return MovementRecord(time, subj, loc, MovementKind(kind))
+        # Not seen by this process (reopened database): indexed point
+        # lookups, live log first, then the compacted archive.
+        for table in ("movements", "movements_archive"):
+            row = self._connection.execute(
+                f"SELECT time, subject, location, kind FROM {table}"
+                " WHERE subject = ? AND location = ? ORDER BY seq DESC LIMIT 1",
+                (subject_name(subject), location_name(location)),
+            ).fetchone()
+            if row is not None:
+                time, subj, loc, kind = row
+                return MovementRecord(time, subj, loc, MovementKind(kind))
+        return None
 
     def last_entry(self, subject: str, location: str) -> Optional[MovementRecord]:
         record = self._occupancy.last_entry(subject_name(subject), location_name(location))
         if record is not None:
             return record
-        row = self._connection.execute(
-            "SELECT time, subject, location FROM movements"
-            " WHERE subject = ? AND location = ? AND kind = 'enter'"
-            " ORDER BY seq DESC LIMIT 1",
-            (subject_name(subject), location_name(location)),
-        ).fetchone()
-        if row is None:
-            return None
-        time, subj, loc = row
-        return MovementRecord(time, subj, loc, MovementKind.ENTER)
+        for table in ("movements", "movements_archive"):
+            row = self._connection.execute(
+                f"SELECT time, subject, location FROM {table}"
+                " WHERE subject = ? AND location = ? AND kind = 'enter'"
+                " ORDER BY seq DESC LIMIT 1",
+                (subject_name(subject), location_name(location)),
+            ).fetchone()
+            if row is not None:
+                time, subj, loc = row
+                return MovementRecord(time, subj, loc, MovementKind.ENTER)
+        return None
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""

@@ -169,9 +169,74 @@ class OccupancyService:
         self._last_movement[pair] = record
 
     def apply_many(self, records: Iterable["MovementRecord"]) -> None:
-        """Fold a batch of records, in order."""
+        """Fold a batch of records, in order — the streaming-ingest hot loop.
+
+        Semantically identical to calling :meth:`apply` per record, but the
+        loop body is inlined with every instance attribute bound to a local
+        once per batch: at tracker line rate the per-record attribute and
+        method dispatch of the one-at-a-time path dominates the actual dict
+        work, and hoisting it roughly halves the cost per event.
+        """
+        from repro.storage.movement_db import MovementKind
+
+        enter = MovementKind.ENTER
+        inside = self._inside
+        inside_since = self._inside_since
+        occupants = self._occupants
+        entry_counts = self._entry_counts
+        last_entry = self._last_entry
+        last_movement = self._last_movement
+        timelines = self._timelines if self._track_timelines else None
+        histograms = self._histograms
+        bucket_width = self._bucket
+        anomalies = self._anomalies
+        insort = bisect.insort
         for record in records:
-            self.apply(record)
+            subject = record.subject
+            location = record.location
+            pair = (subject, location)
+            if record.kind is enter:
+                previous = inside.get(subject)
+                if previous is not None:
+                    occupants[previous].discard(subject)
+                inside[subject] = location
+                inside_since[subject] = record.time
+                members = occupants.get(location)
+                if members is None:
+                    occupants[location] = {subject}
+                else:
+                    members.add(subject)
+                entry_counts[pair] = entry_counts.get(pair, 0) + 1
+                last_entry[pair] = record
+                if timelines is not None:
+                    timeline = timelines.get(pair)
+                    if timeline is None:
+                        timelines[pair] = [record.time]
+                    elif timeline[-1] <= record.time:
+                        timeline.append(record.time)
+                    else:  # out-of-order arrival: keep the timeline sorted
+                        insort(timeline, record.time)
+                histogram = histograms.get(location)
+                if histogram is None:
+                    histogram = histograms[location] = {}
+                bucket = record.time // bucket_width
+                histogram[bucket] = histogram.get(bucket, 0) + 1
+            else:
+                tracked = inside.get(subject)
+                if tracked != location:
+                    if tracked is None:
+                        note = "exit observed but the subject is not tracked inside any location"
+                    else:
+                        note = f"exit observed while the subject is tracked inside {tracked!r}"
+                    anomalies.append(OccupancyAnomaly(record.time, subject, location, note))
+                    last_movement[pair] = record
+                    continue
+                del inside[subject]
+                inside_since.pop(subject, None)
+                members = occupants.get(location)
+                if members is not None:
+                    members.discard(subject)
+            last_movement[pair] = record
 
     def clear(self) -> None:
         """Reset the projection to the empty state."""

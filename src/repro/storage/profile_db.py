@@ -112,7 +112,13 @@ class SqliteUserProfileDatabase(UserProfileDatabase):
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False: the streaming observe path
+        # (MovementIngestor) drives enforcement — and therefore these
+        # stores — from its background writer thread while the constructing
+        # thread keeps reading.  The sqlite3 module serializes statement
+        # execution internally, so sharing the connection is safe; write
+        # discipline (one logical writer) is unchanged.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         # Match the movement store: WAL keeps reads of a shared database file
         # live while another connection holds a batch write transaction.
         self._connection.execute("PRAGMA journal_mode=WAL")

@@ -6,10 +6,13 @@ from repro.errors import EnforcementError
 from repro.core.authorization import LocationTemporalAuthorization
 from repro.core.requests import AccessDecision, AccessRequest, DenialReason
 from repro.api import (
+    CandidateLookupStage,
     CapacityStage,
     ConflictResolutionStage,
     Decision,
     DecisionPoint,
+    EntryBudgetStage,
+    EntryWindowStage,
     KnownLocationStage,
     Ltam,
     StageOutcome,
@@ -186,3 +189,117 @@ class TestConflictResolutionStage:
         decision = engine.decide((5, "Alice", "CAIS"))
         outcomes = {result.stage: result.outcome for result in decision.trace}
         assert outcomes["conflict-resolution"] is StageOutcome.SKIP
+
+
+class TestTimeFirstCandidateLookup:
+    """CandidateLookupStage(time_first=True): interval-stab candidate lookup.
+
+    Decisions (outcome, reason, granting authorization) must match the
+    storage-order pipeline on every request; the expired grants are simply
+    never materialized.
+    """
+
+    def _engines(self, grants):
+        classic = Ltam.builder().hierarchy(ntu_campus_hierarchy()).build()
+        time_first = (
+            Ltam.builder()
+            .hierarchy(ntu_campus_hierarchy())
+            .pipeline(
+                KnownLocationStage(),
+                CandidateLookupStage(time_first=True),
+                EntryWindowStage(),
+                EntryBudgetStage(),
+            )
+            .build()
+        )
+        for engine in (classic, time_first):
+            engine.grant_all(list(grants))
+        return classic, time_first
+
+    def _many_expired_grants(self):
+        grants = []
+        for index in range(40):  # long-dead windows
+            grants.append(
+                grant("alice")
+                .at("CAIS")
+                .during(index, index + 1)
+                .entries(1)
+                .with_id(f"expired-{index}")
+                .build()
+            )
+        grants.append(
+            grant("alice").at("CAIS").during(500, 600).entries(2).with_id("live").build()
+        )
+        return grants
+
+    def test_decision_parity_across_a_request_sweep(self):
+        classic, time_first = self._engines(self._many_expired_grants())
+        for time in range(0, 700, 7):
+            lhs = classic.decide((time, "alice", "CAIS"))
+            rhs = time_first.decide((time, "alice", "CAIS"))
+            assert lhs.granted == rhs.granted, time
+            if lhs.granted:
+                assert lhs.authorization.auth_id == rhs.authorization.auth_id
+            else:
+                assert lhs.reason == rhs.reason
+
+    def test_expired_grants_are_not_materialized(self):
+        _, time_first = self._engines(self._many_expired_grants())
+        decision = time_first.decide((550, "alice", "CAIS"))
+        assert decision.granted
+        lookup = next(r for r in decision.trace if r.stage == "candidate-lookup")
+        assert "time-first" in lookup.detail
+        assert "1 candidate(s)" in lookup.detail  # 40 expired grants pruned
+
+    def test_denial_reasons_survive_the_fast_path(self):
+        classic, time_first = self._engines(self._many_expired_grants())
+        # All grants expired at t=300: outside-entry-duration, not no-auth.
+        for engine in (classic, time_first):
+            decision = engine.decide((300, "alice", "CAIS"))
+            assert not decision.granted
+            assert decision.reason is DenialReason.OUTSIDE_ENTRY_DURATION
+        # No grants at all for Bob at CAIS.
+        for engine in (classic, time_first):
+            decision = engine.decide((300, "bob", "CAIS"))
+            assert not decision.granted
+            assert decision.reason is DenialReason.NO_AUTHORIZATION
+
+    def test_grant_selection_follows_storage_order(self):
+        # Two live overlapping grants: the first stored must win on both paths.
+        grants = [
+            grant("alice").at("CAIS").during(0, 100).entries(1).with_id("first").build(),
+            grant("alice").at("CAIS").during(0, 100).entries(1).with_id("second").build(),
+        ]
+        classic, time_first = self._engines(grants)
+        assert classic.decide((10, "alice", "CAIS")).authorization.auth_id == "first"
+        assert time_first.decide((10, "alice", "CAIS")).authorization.auth_id == "first"
+
+    def test_parity_after_revocation(self):
+        classic, time_first = self._engines(self._many_expired_grants())
+        for engine in (classic, time_first):
+            engine.revoke("live")
+        for engine in (classic, time_first):
+            decision = engine.decide((550, "alice", "CAIS"))
+            assert not decision.granted
+            assert decision.reason is DenialReason.OUTSIDE_ENTRY_DURATION
+
+    def test_batch_path_memoizes_time_first_lookups(self):
+        _, time_first = self._engines(self._many_expired_grants())
+        requests = [AccessRequest(550, "alice", "CAIS") for _ in range(100)]
+        decisions = time_first.decide_many(requests)
+        assert all(decision.granted for decision in decisions)
+
+    def test_time_first_without_pip_support_falls_back(self):
+        from repro.api.pdp import PolicyInformationPoint
+        from repro.api.stages import EvaluationContext
+
+        info = PolicyInformationPoint(
+            is_primitive=lambda location: True,
+            candidates_for=lambda subject, location: [],
+            entry_count=lambda subject, location, window: 0,
+        )
+        assert info.enterable_candidates is None
+        stage = CandidateLookupStage(time_first=True)
+        result = stage.evaluate(EvaluationContext(AccessRequest(5, "alice", "CAIS"), info))
+        assert result.outcome is StageOutcome.DENY
+        assert result.reason is DenialReason.NO_AUTHORIZATION

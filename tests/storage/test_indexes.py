@@ -175,3 +175,87 @@ class TestAgainstBruteForce:
             assert sorted(idx.at(t)) == sorted(
                 p for interval, p in entries if interval.contains(t)
             )
+
+
+class TestTombstones:
+    """Removal marks tombstones; compaction is deferred and amortized."""
+
+    def test_remove_one_by_interval_and_payload(self):
+        idx = IntervalIndex()
+        idx.add(TimeInterval(5, 10), "a")
+        idx.add(TimeInterval(5, 10), "b")
+        idx.add(TimeInterval(5, 20), "c")
+        assert idx.remove_one(TimeInterval(5, 10), "b") is True
+        assert idx.at(7) == ["a", "c"]
+        assert len(idx) == 2
+        # Already removed / never present: no-ops.
+        assert idx.remove_one(TimeInterval(5, 10), "b") is False
+        assert idx.remove_one(TimeInterval(5, 10), "zzz") is False
+        assert idx.remove_one(TimeInterval(99, 100), "a") is False
+        assert len(idx) == 2
+
+    def test_remove_one_distinguishes_same_start_different_end(self):
+        idx = IntervalIndex()
+        idx.add(TimeInterval(3, 8), "short")
+        idx.add(TimeInterval(3, FOREVER), "long")
+        assert idx.remove_one(TimeInterval(3, 8), "short") is True
+        assert idx.at(5) == ["long"]
+        assert idx.at(1_000_000) == ["long"]
+
+    def test_tombstones_deferred_then_compacted(self):
+        idx = IntervalIndex()
+        for payload in range(100):
+            idx.add(TimeInterval(payload, payload + 10), payload)
+        # Remove a minority: tombstones accumulate, no rebuild yet.
+        for payload in range(30):
+            assert idx.remove_one(TimeInterval(payload, payload + 10), payload)
+        assert idx.tombstones == 30
+        assert len(idx) == 70
+        # Push dead past live: the tree compacts itself along the way
+        # (tombstones reset at the compaction point, then re-accumulate).
+        for payload in range(30, 71):
+            assert idx.remove_one(TimeInterval(payload, payload + 10), payload)
+        assert idx.tombstones < 30
+        assert len(idx) == 29
+        assert list(idx) == list(range(71, 100))
+
+    def test_queries_and_iteration_skip_tombstones(self):
+        idx = IntervalIndex()
+        for payload in range(20):
+            idx.add(TimeInterval(0, 100), payload)
+        idx.remove(lambda p: p % 2 == 0)
+        assert idx.at(50) == list(range(1, 20, 2))
+        assert idx.overlapping(TimeInterval(0, 1_000)) == list(range(1, 20, 2))
+        assert [p for _, p in idx.intervals()] == list(range(1, 20, 2))
+        assert list(idx) == list(range(1, 20, 2))
+
+    def test_adds_after_tombstoning_keep_order(self):
+        idx = IntervalIndex()
+        idx.add(TimeInterval(0, 10), "first")
+        idx.add(TimeInterval(0, 10), "second")
+        idx.remove_one(TimeInterval(0, 10), "first")
+        idx.add(TimeInterval(0, 10), "third")
+        assert idx.at(5) == ["second", "third"]
+
+    def test_randomized_churn_parity(self):
+        rng = random.Random(99)
+        idx = IntervalIndex()
+        alive = {}
+        next_payload = 0
+        for round_number in range(2_000):
+            if alive and rng.random() < 0.45:
+                payload, interval = alive.popitem()
+                assert idx.remove_one(interval, payload) is True
+            else:
+                start = rng.randrange(0, 500)
+                end = FOREVER if rng.random() < 0.05 else start + rng.randrange(0, 80)
+                interval = TimeInterval(start, end)
+                idx.add(interval, next_payload)
+                alive[next_payload] = interval
+                next_payload += 1
+            if round_number % 100 == 0:
+                t = rng.randrange(0, 600)
+                assert sorted(idx.at(t)) == sorted(
+                    p for p, interval in alive.items() if interval.contains(t)
+                )
+        assert len(idx) == len(alive)

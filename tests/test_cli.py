@@ -111,3 +111,61 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCheckpoint:
+    def _seeded_db(self, tmp_path):
+        from repro.storage.movement_db import (
+            MovementKind,
+            MovementRecord,
+            SqliteMovementDatabase,
+        )
+
+        path = str(tmp_path / "deployment.db")
+        database = SqliteMovementDatabase(path)
+        database.record_many(
+            [
+                MovementRecord(index, f"user-{index % 5}", "lobby", MovementKind.ENTER)
+                if index % 2 == 0
+                else MovementRecord(index, f"user-{index % 5}", "lobby", MovementKind.EXIT)
+                for index in range(50)
+            ]
+        )
+        database.close()
+        return path
+
+    def test_checkpoint_compacts_the_log(self, tmp_path):
+        from repro.storage.movement_db import SqliteMovementDatabase
+
+        path = self._seeded_db(tmp_path)
+        code, output = run_cli("checkpoint", "--db", path)
+        assert code == 0
+        assert "checkpoint @ 50" in output
+        assert "50 event(s) archived" in output
+        assert "live log: 50 -> 0" in output
+        reopened = SqliteMovementDatabase(path)
+        assert len(reopened) == 0
+        assert reopened.archived_count == 50
+        assert reopened.entry_count("user-0", "lobby") == 5
+        reopened.close()
+
+    def test_no_compact_leaves_the_log(self, tmp_path):
+        from repro.storage.movement_db import SqliteMovementDatabase
+
+        path = self._seeded_db(tmp_path)
+        code, output = run_cli("checkpoint", "--db", path, "--no-compact")
+        assert code == 0
+        assert "0 event(s) archived" in output
+        reopened = SqliteMovementDatabase(path)
+        assert len(reopened) == 50
+        assert reopened.events_since_checkpoint == 0
+        reopened.close()
+
+    def test_missing_database_path_fails_instead_of_creating_one(self, tmp_path):
+        import os
+
+        missing = str(tmp_path / "typo.db")
+        code, output = run_cli("checkpoint", "--db", missing)
+        assert code == 1
+        assert "error" in output
+        assert not os.path.exists(missing)
