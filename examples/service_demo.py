@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The network deployment: one authorization server, two tracker processes.
+
+The script boots an :class:`~repro.service.server.LtamServer` over a
+synthetic campus with a decision cache and a checkpoint policy, forks two
+tracker *processes* that ship their movement streams through
+``observe_batch`` (the ROADMAP's multi-process ingest shape), and then acts
+as a gate client: decisions (cached and invalidated event-wise), queries,
+a checkpoint, and the health document.
+
+Run with::
+
+    python examples/service_demo.py
+"""
+
+import multiprocessing
+
+from repro.api import Ltam
+from repro.service import DecisionCache, LtamServer, RemotePdp, RemotePep, ServiceClient
+from repro.simulation.buildings import campus_hierarchy
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+from repro.storage.ingest import CheckpointPolicy
+
+SEED = 2026
+SUBJECTS = 30
+TRACKERS = 2
+EVENTS = 6_000
+
+
+def run_tracker(name: str, host: str, port: int, stream) -> None:
+    """One tracker process: stream observations through a remote ingestor."""
+    pep = RemotePep(host, port)
+    with pep.ingestor(mode="record", batch_size=512) as ingestor:
+        for record in stream:
+            ingestor.submit(record)
+    pep.close()
+    print(f"  [{name}] shipped {len(stream)} observations")
+
+
+def main() -> None:
+    hierarchy = campus_hierarchy("Campus", 3, rooms_per_building=6, seed=SEED)
+    subjects = generate_subjects(SUBJECTS)
+    workload = AuthorizationWorkloadGenerator(hierarchy, seed=SEED)
+    engine = Ltam.builder().hierarchy(hierarchy).build()
+    engine.grant_all(workload.authorizations(subjects))
+    streams = workload.movement_streams(subjects, EVENTS, trackers=TRACKERS)
+
+    server = LtamServer(
+        engine,
+        cache=DecisionCache(),
+        checkpoint_policy=CheckpointPolicy(every_events=2_000, retain_archived=4_000),
+    )
+    server.start()
+    host, port = server.address
+    print(f"server: {host}:{port} (cache on, checkpoint every 2000 events)")
+
+    try:
+        # Two tracker processes ship their feeds concurrently.
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=run_tracker, args=(f"tracker-{i}", host, port, stream))
+            for i, stream in enumerate(streams)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        with ServiceClient(host, port) as client:
+            # No barrier needed: each tracker's ingestor ships its batches
+            # as waited frames, so everything landed before join() returned.
+            print(f"movement log: {len(engine.movement_db)} live record(s), "
+                  f"{engine.movement_db.archived_count} archived by scheduled checkpoints")
+
+            subject = subjects[0]
+            location = sorted(hierarchy.primitive_names)[0]
+            decision = client.decide((15, subject, location))
+            print(f"decide: {decision}")
+            print(f"  deciding stage: {decision.deciding_stage}")
+            client.decide((15, subject, location))  # served from the cache
+            where = client.query(f'WHERE IS "{subject}"')
+            print(f"query WHERE IS {subject}: {where.scalar!r}")
+            receipt = client.checkpoint()
+            print(f"checkpoint: {receipt}")
+            health = client.health()
+            print(f"health: decisions={health['stats']['decisions']} "
+                  f"cache_hits={health['cache']['hits']} "
+                  f"ingested={health['ingest'].get('record', {}).get('written', 0)}")
+
+        pdp = RemotePdp(host, port)
+        grants = sum(d.granted for d in pdp.decide_many(workload.requests(subjects, 200)))
+        print(f"remote batch decide: {grants}/200 granted")
+        pdp.close()
+    finally:
+        server.stop()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

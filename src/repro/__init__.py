@@ -38,6 +38,9 @@ Supporting packages, as described in DESIGN.md:
   grant durations, the inaccessible-location algorithm;
 * :mod:`repro.storage` — the authorization, movement and profile databases;
 * :mod:`repro.api` — the PDP/PEP decision pipeline and fluent builders;
+* :mod:`repro.service` — the network boundary: an asyncio authorization
+  server with a decision cache, remote PDP/PEP clients, and the NDJSON
+  wire codec (``repro serve`` on the CLI);
 * :mod:`repro.engine` — monitor, alerts, audit log, query engine, and the
   backwards-compatible access-control engine;
 * :mod:`repro.privacy` — location-privacy policies and anonymization;

@@ -146,6 +146,7 @@ class Ltam:
         self._rules: List[AuthorizationRule] = []
         self._derivation: Optional[DerivationEngine] = None
         self._derivation_directory = None
+        self._cache_unsubscribe = None
         # Overstay checks run automatically as simulation time advances.
         self.clock.subscribe(self.monitor.check_overstays)
 
@@ -168,7 +169,9 @@ class Ltam:
                 f"authorization {authorization.auth_id!r} references {authorization.location!r}, "
                 "which is not a primitive location of the protected hierarchy"
             )
-        return self.authorization_db.add(authorization)
+        stored = self.authorization_db.add(authorization)
+        self.pdp.invalidate_cached(stored.subject, stored.location)
+        return stored
 
     def grant_all(
         self,
@@ -180,8 +183,12 @@ class Ltam:
     def revoke(self, auth_id: str, *, cascade: bool = True) -> List[LocationTemporalAuthorization]:
         """Revoke an authorization, cascading to derived authorizations by default."""
         if cascade:
-            return self.authorization_db.revoke_cascading(auth_id)
-        return [self.authorization_db.revoke(auth_id)]
+            revoked = self.authorization_db.revoke_cascading(auth_id)
+        else:
+            revoked = [self.authorization_db.revoke(auth_id)]
+        for authorization in revoked:
+            self.pdp.invalidate_cached(authorization.subject, authorization.location)
+        return revoked
 
     def add_rule(self, rule: AuthorizationRule, *, derive_now: bool = True) -> DerivationResult:
         """Register an authorization rule and (by default) derive immediately.
@@ -233,6 +240,7 @@ class Ltam:
             if authorization in existing:
                 continue
             self.authorization_db.add(authorization)
+            self.pdp.invalidate_cached(authorization.subject, authorization.location)
             existing.add(authorization)
         for batch in result.batches:
             self.audit.record_derivation(
@@ -300,13 +308,51 @@ class Ltam:
 
         Keyword arguments are those of
         :meth:`~repro.api.pep.EnforcementPoint.ingestor` (``batch_size``,
-        ``max_latency``, ``queue_size``).
+        ``max_latency``, ``queue_size``, and ``checkpoint_policy`` for
+        scheduled checkpointing piggybacked on the writer thread).
         """
         return self.pep.ingestor(**knobs)
 
     def checkpoint(self, *, compact: bool = True):
         """Checkpoint the movement database (see :meth:`MovementDatabase.checkpoint`)."""
         return self.movement_db.checkpoint(compact=compact)
+
+    def attach_decision_cache(self, cache=None):
+        """Attach a decision cache to the PDP and connect its invalidation.
+
+        With no argument a fresh
+        :class:`~repro.service.cache.DecisionCache` is created.  The cache
+        is subscribed to the movement database's mutation notifications
+        (event-wise eviction on every observation/ingest), and the
+        administrative paths (:meth:`grant`, :meth:`revoke`, rule
+        derivation, :meth:`set_capacity`) invalidate through the PDP hooks —
+        so repeated :meth:`decide` calls on hot keys skip the pipeline while
+        staying parity-correct.  A previously attached cache is detached
+        (and unsubscribed) first.  Returns the cache.
+        """
+        self.detach_decision_cache()
+        if cache is None:
+            from repro.service.cache import DecisionCache  # avoid a circular import
+
+            cache = DecisionCache()
+        self.pdp.attach_cache(cache)
+        connect = getattr(cache, "connect", None)
+        if callable(connect):
+            self._cache_unsubscribe = connect(self.movement_db)
+        return cache
+
+    def detach_decision_cache(self):
+        """Detach the PDP's decision cache and unsubscribe its invalidation.
+
+        Without this, a replaced cache would stay subscribed to movement
+        notifications forever — held alive and paying its eviction lock on
+        every write.  Returns the detached cache (``None`` when absent).
+        """
+        cache = self.pdp.detach_cache()
+        if self._cache_unsubscribe is not None:
+            self._cache_unsubscribe()
+            self._cache_unsubscribe = None
+        return cache
 
     def set_capacity(self, location: str, limit: int) -> None:
         """Set an occupancy limit for *location* (monitored continuously)."""
@@ -315,6 +361,7 @@ class Ltam:
                 f"{location!r} is not a primitive location of the protected hierarchy"
             )
         self.monitor.set_capacity(location, limit)
+        self.pdp.invalidate_cached(location=location)
 
     def tick(self, delta: int = 1) -> int:
         """Advance the clock (overstay checks run via the clock subscription)."""

@@ -207,8 +207,11 @@ class DecisionPoint:
         self,
         info: PolicyInformationPoint,
         stages: Optional[Sequence[DecisionStage]] = None,
+        *,
+        cache=None,
     ) -> None:
         self._info = info
+        self._cache = cache
         self._stages: Tuple[DecisionStage, ...] = (
             tuple(stages) if stages is not None else default_pipeline()
         )
@@ -252,13 +255,89 @@ class DecisionPoint:
         return self._info
 
     # ------------------------------------------------------------------ #
+    # Decision cache hook points
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self):
+        """The attached decision cache, or ``None``."""
+        return self._cache
+
+    def attach_cache(self, cache):
+        """Attach a decision cache consulted by :meth:`decide`/:meth:`decide_many`.
+
+        *cache* is duck-typed: it needs ``lookup(request) -> Optional[Decision]``
+        and ``store(request, decision)`` (plus, for the administrative
+        invalidation hooks, ``invalidate_pair``/``invalidate_location``/
+        ``clear``) — :class:`repro.service.cache.DecisionCache` is the
+        reference implementation.  The caller owns invalidation: connect the
+        cache to the movement database's mutation notifications (or accept
+        stale decisions).  Returns the cache for chaining.
+        """
+        self._cache = cache
+        return cache
+
+    def detach_cache(self):
+        """Detach and return the decision cache (``None`` when absent)."""
+        cache, self._cache = self._cache, None
+        return cache
+
+    def invalidate_cached(self, subject: Optional[str] = None, location: Optional[str] = None) -> int:
+        """Evict cached decisions after an administrative mutation.
+
+        With a (subject, location) pair, only that pair's keys; with just a
+        location, every key of the location; with neither, everything.
+        No-op (0) without an attached cache.
+        """
+        cache = self._cache
+        if cache is None:
+            return 0
+        if location is None:
+            return cache.clear()
+        if subject is None:
+            return cache.invalidate_location(location)
+        return cache.invalidate_pair(subject, location)
+
+    # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
     def decide(
         self, request: AccessRequest, *, info: Optional[PolicyInformationPoint] = None
     ) -> Decision:
-        """Evaluate one request; pure (no audit, no alerts, no recording)."""
-        active = info if info is not None else self._info
+        """Evaluate one request; pure (no audit, no alerts, no recording).
+
+        With an attached cache (and no explicit *info* snapshot) a repeated
+        key is answered from the cache — the returned decision is the one
+        computed for the equal earlier request, traces and all.
+        """
+        cache = self._cache
+        token = None
+        if cache is not None and info is None:
+            cached = cache.lookup(request)
+            if cached is not None:
+                return cached
+            # Capture the invalidation token BEFORE evaluating: a mutation
+            # landing mid-evaluation must make the store a no-op, or a
+            # decision computed from pre-mutation state would be cached
+            # after its eviction already ran.
+            token = self._generation_token(cache, request)
+        decision = self._evaluate(request, info if info is not None else self._info)
+        if cache is not None and info is None:
+            self._store_cached(cache, request, decision, token)
+        return decision
+
+    @staticmethod
+    def _generation_token(cache, request: AccessRequest):
+        generation_of = getattr(cache, "generation", None)
+        return generation_of(request.location) if callable(generation_of) else None
+
+    @staticmethod
+    def _store_cached(cache, request: AccessRequest, decision: Decision, token) -> None:
+        if token is not None:
+            cache.store(request, decision, generation=token)
+        else:  # duck-typed caches without invalidation generations
+            cache.store(request, decision)
+
+    def _evaluate(self, request: AccessRequest, active: PolicyInformationPoint) -> Decision:
         context = EvaluationContext(request, active)
         trace: List[StageResult] = []
         for stage in self._stages:
@@ -290,7 +369,32 @@ class DecisionPoint:
         every candidate lookup and entry-count scan is performed once per
         distinct key instead of once per request.  Decisions are returned in
         request order and are identical to what per-request :meth:`decide`
-        calls would produce.
+        calls would produce.  With an attached cache, hits are served first
+        and only the misses run the pipeline (against one shared snapshot).
         """
-        info = self._info.cached()
-        return [self.decide(request, info=info) for request in requests]
+        requests = list(requests)
+        cache = self._cache
+        if cache is None:
+            info = self._info.cached()
+            return [self.decide(request, info=info) for request in requests]
+        decisions: List[Optional[Decision]] = [None] * len(requests)
+        misses: List[int] = []
+        for index, request in enumerate(requests):
+            cached = cache.lookup(request)
+            if cached is not None:
+                decisions[index] = cached
+            else:
+                misses.append(index)
+        if misses:
+            # Tokens for every miss are captured before the memoizing
+            # snapshot is built: the snapshot may read any miss's state at
+            # any point of the loop below.
+            tokens = {
+                index: self._generation_token(cache, requests[index]) for index in misses
+            }
+            info = self._info.cached()
+            for index in misses:
+                decision = self._evaluate(requests[index], info)
+                self._store_cached(cache, requests[index], decision, tokens[index])
+                decisions[index] = decision
+        return decisions  # type: ignore[return-value]

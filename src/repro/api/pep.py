@@ -21,6 +21,7 @@ from repro.storage.ingest import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_MAX_LATENCY,
     DEFAULT_QUEUE_SIZE,
+    CheckpointPolicy,
     MovementIngestor,
 )
 from repro.api.decision import Decision
@@ -164,6 +165,7 @@ class EnforcementPoint:
         batch_size: int = DEFAULT_BATCH_SIZE,
         max_latency: float = DEFAULT_MAX_LATENCY,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
     ) -> MovementIngestor:
         """A streaming observe path: queue-fed group commits into this PEP.
 
@@ -173,13 +175,21 @@ class EnforcementPoint:
         transaction each (flushed by size or by ``max_latency``), with the
         monitor's alerting and the audit trail intact.  Close the ingestor
         (or use it as a context manager) to flush everything accepted.
+
+        With a :class:`~repro.storage.ingest.CheckpointPolicy`, the writer
+        thread additionally checkpoints the movement database every N
+        written events and/or M seconds (compaction + archive retention per
+        the policy) — between batches, never inside one.
         """
-        return MovementIngestor(
-            self.observe_many,
-            batch_size=batch_size,
-            max_latency=max_latency,
-            queue_size=queue_size,
-        )
+        knobs = {
+            "batch_size": batch_size,
+            "max_latency": max_latency,
+            "queue_size": queue_size,
+        }
+        if checkpoint_policy is not None:
+            knobs["checkpoint_policy"] = checkpoint_policy
+            knobs["checkpoint"] = checkpoint_policy.bound(self._movement_db)
+        return MovementIngestor(self.observe_many, **knobs)
 
     def _audit_movement(self, time: int, subject: str, location: str) -> None:
         """Audit the latest movement record, tolerating an empty history.

@@ -19,6 +19,8 @@ Usage examples::
         "AUTHORIZATIONS FOR Alice"
     python -m repro.cli example-campus --out campus.json --auths-out auths.json
     python -m repro.cli checkpoint --db /var/lib/ltam.db
+    python -m repro.cli serve --layout campus.json --auths auths.json \
+        --db /var/lib/ltam.db --port 7471
 """
 
 from __future__ import annotations
@@ -37,6 +39,9 @@ from repro.locations.multilevel import LocationHierarchy
 from repro.locations.serialization import dumps as dumps_layout
 from repro.locations.serialization import load as load_layout
 from repro.paper.fixtures import section5_authorizations
+from repro.service.cache import DecisionCache
+from repro.service.server import DEFAULT_PORT, LtamServer
+from repro.storage.ingest import CheckpointPolicy
 from repro.storage.movement_db import SqliteMovementDatabase
 
 __all__ = ["main", "build_parser"]
@@ -93,6 +98,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compact",
         action="store_true",
         help="persist the snapshot but leave the movement log in place (no archiving)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the engine over TCP (decide/observe/query; see repro.service)",
+    )
+    serve.add_argument("--layout", required=True, help="path to the layout JSON file")
+    serve.add_argument("--auths", help="path to an authorizations JSON file to load")
+    serve.add_argument(
+        "--db",
+        help="SQLite database path for the three stores (omit for in-memory backends)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the decision cache (every decide runs the pipeline)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=65536,
+        help="decision-cache entry cap (default 65536)",
+    )
+    serve.add_argument(
+        "--checkpoint-every-events",
+        type=int,
+        help="checkpoint the movement store every N ingested events",
+    )
+    serve.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        help="checkpoint the movement store every N seconds of ingest",
+    )
+    serve.add_argument(
+        "--retain-archived",
+        type=int,
+        help=(
+            "cap the movement archive at N records after each scheduled checkpoint; "
+            "pruned history is gone — size it to cover the longest entry window "
+            "whose budget must stay exactly enforced"
+        ),
     )
 
     return parser
@@ -170,6 +223,57 @@ def _command_checkpoint(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    hierarchy = LocationHierarchy(load_layout(args.layout))
+    builder = Ltam.builder().hierarchy(hierarchy)
+    if args.db is not None:
+        builder = builder.backend("sqlite", args.db)
+    engine = builder.build()
+    if args.auths is not None:
+        engine.grant_all(load_authorizations(args.auths))
+
+    cache = None if args.no_cache else DecisionCache(maxsize=args.cache_size)
+    checkpoint_policy = None
+    if args.checkpoint_every_events is not None or args.checkpoint_every_seconds is not None:
+        checkpoint_policy = CheckpointPolicy(
+            every_events=args.checkpoint_every_events,
+            every_seconds=args.checkpoint_every_seconds,
+            retain_archived=args.retain_archived,
+        )
+    elif args.retain_archived is not None:
+        print("error: --retain-archived needs a checkpoint trigger (--checkpoint-every-*)", file=out)
+        return 1
+
+    server = LtamServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        checkpoint_policy=checkpoint_policy,
+    )
+    server.start()
+    host, port = server.address
+    backend = "sqlite" if args.db is not None else "memory"
+    # The address line is a contract: supervisors (and the CI smoke) read it
+    # to learn the bound port, so it is printed first and flushed.
+    print(
+        f"serving on {host}:{port} "
+        f"(backend={backend}, cache={'off' if cache is None else 'on'})",
+        file=out,
+    )
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.stop()
+    return 0
+
+
 def _command_example(args: argparse.Namespace, out) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(dumps_layout(ntu_campus()))
@@ -186,6 +290,7 @@ _HANDLERS = {
     "query": _command_query,
     "example-campus": _command_example,
     "checkpoint": _command_checkpoint,
+    "serve": _command_serve,
 }
 
 

@@ -5,6 +5,7 @@ from repro.engine.query.ast import (
     AuthorizationsQuery,
     CanEnterQuery,
     EntriesQuery,
+    HistoryScope,
     InaccessibleQuery,
     Query,
     QueryResult,
@@ -17,6 +18,7 @@ from repro.engine.query.evaluator import QueryEngine
 from repro.engine.query.parser import parse, tokenize
 
 __all__ = [
+    "HistoryScope",
     "Query",
     "QueryResult",
     "QueryEngine",

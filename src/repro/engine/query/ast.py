@@ -12,11 +12,13 @@ engine's databases.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 from typing import Optional, Tuple, Union
 
 from repro.temporal.interval import TimeInterval
 
 __all__ = [
+    "HistoryScope",
     "Query",
     "WhoIsInQuery",
     "WhereIsQuery",
@@ -35,20 +37,44 @@ class Query:
     """Marker base class for all query AST nodes."""
 
 
+class HistoryScope(str, Enum):
+    """How much movement history a point-in-time replay may read.
+
+    ``ARCHIVED`` (the default) spans the full log — live records plus the
+    prefix moved to the archive by compacting checkpoints; ``LIVE``
+    restricts the replay to events since the last compaction, trading
+    completeness for a bounded scan.  Queries that read the projection
+    (current occupancy, entry counters) are scope-insensitive.
+    """
+
+    LIVE = "live"
+    ARCHIVED = "archived"
+
+    @property
+    def include_archived(self) -> bool:
+        """The ``history(include_archived=...)`` flag this scope maps to."""
+        return self is HistoryScope.ARCHIVED
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
 @dataclass(frozen=True)
 class WhoIsInQuery(Query):
-    """``WHO IS IN <location> [AT <time>]`` — occupants of a location."""
+    """``WHO IS IN <location> [AT <time>] [LIVE|ARCHIVED]`` — occupants of a location."""
 
     location: str
     time: Optional[int] = None
+    scope: HistoryScope = HistoryScope.ARCHIVED
 
 
 @dataclass(frozen=True)
 class WhereIsQuery(Query):
-    """``WHERE IS <subject> [AT <time>]`` — a subject's (historical) location."""
+    """``WHERE IS <subject> [AT <time>] [LIVE|ARCHIVED]`` — a subject's (historical) location."""
 
     subject: str
     time: Optional[int] = None
+    scope: HistoryScope = HistoryScope.ARCHIVED
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ from repro.engine.query.ast import (
     AuthorizationsQuery,
     CanEnterQuery,
     EntriesQuery,
+    HistoryScope,
     InaccessibleQuery,
     Query,
     QueryResult,
@@ -69,15 +70,22 @@ class QueryEngine:
         if query.time is None:
             occupants = self._engine.occupants(query.location)
         else:
-            occupants = self._occupants_at(query.location, query.time)
+            occupants = self._occupants_at(query.location, query.time, query.scope)
         rows = tuple((subject,) for subject in occupants)
         return QueryResult("who_is_in", ("subject",), rows)
 
-    def _occupants_at(self, location: str, time: int) -> List[str]:
-        """Replay the movement history up to *time* to find occupants then."""
+    def _occupants_at(self, location: str, time: int, scope: HistoryScope) -> List[str]:
+        """Replay the movement history up to *time* to find occupants then.
+
+        The statement's scope chooses the replay span: the default
+        ``ARCHIVED`` reads the full log (archive included), ``LIVE`` only
+        the events since the last compaction — bounded, but blind to state
+        established before the checkpoint.
+        """
         inside: Dict[str, str] = {}
-        # Point-in-time replay needs the full log, archive included.
-        for record in self._engine.movement_db.history(include_archived=True):
+        for record in self._engine.movement_db.history(
+            include_archived=scope.include_archived
+        ):
             if record.time > time:
                 break
             if record.kind is MovementKind.ENTER:
@@ -91,13 +99,15 @@ class QueryEngine:
         if query.time is None:
             location = self._engine.where_is(query.subject)
         else:
-            location = self._location_at(query.subject, query.time)
+            location = self._location_at(query.subject, query.time, query.scope)
         rows = ((query.subject, location),) if location is not None else ()
         return QueryResult("where_is", ("subject", "location"), rows, scalar=location)
 
-    def _location_at(self, subject: str, time: int) -> Optional[str]:
+    def _location_at(self, subject: str, time: int, scope: HistoryScope) -> Optional[str]:
         location: Optional[str] = None
-        for record in self._engine.movement_db.history(subject=subject, include_archived=True):
+        for record in self._engine.movement_db.history(
+            subject=subject, include_archived=scope.include_archived
+        ):
             if record.time > time:
                 break
             location = record.location if record.kind is MovementKind.ENTER else None

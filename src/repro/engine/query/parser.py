@@ -5,8 +5,8 @@ are case-insensitive, names may be double-quoted to include spaces):
 
 .. code-block:: text
 
-    query := WHO IS IN <location> [AT <time>]
-           | WHERE IS <subject> [AT <time>]
+    query := WHO IS IN <location> [AT <time>] [scope]
+           | WHERE IS <subject> [AT <time>] [scope]
            | CAN <subject> ENTER <location> AT <time>
            | AUTHORIZATIONS FOR <subject> [AT <location>]
            | INACCESSIBLE [LOCATIONS] FOR <subject>
@@ -14,6 +14,18 @@ are case-insensitive, names may be double-quoted to include spaces):
            | VIOLATIONS [FOR <subject>] [BETWEEN <time> AND <time>]
            | ENTRIES OF <subject> INTO <location>
            | ROUTE FROM <location> TO <location> [FOR <subject>]
+
+    scope := LIVE | ARCHIVED
+
+The optional trailing scope bounds how much movement history a
+point-in-time replay reads: ``ARCHIVED`` (the default) spans the full log
+including compacted checkpoints' archive, ``LIVE`` only the events since
+the last compaction.
+
+Like every keyword of the language, ``LIVE`` and ``ARCHIVED`` are reserved
+words — a subject or location literally named ``Live``/``Archived`` must be
+double-quoted (``WHERE IS "Live"``), exactly as for names containing
+spaces.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from repro.engine.query.ast import (
     AuthorizationsQuery,
     CanEnterQuery,
     EntriesQuery,
+    HistoryScope,
     InaccessibleQuery,
     Query,
     RouteQuery,
@@ -63,6 +76,8 @@ _KEYWORDS = {
     "ROUTE",
     "FROM",
     "TO",
+    "LIVE",
+    "ARCHIVED",
 }
 
 
@@ -145,6 +160,14 @@ class _Cursor:
             raise QuerySyntaxError(f"unexpected trailing tokens {trailing!r} in {self._text!r}")
 
 
+def _accept_scope(cursor: _Cursor) -> HistoryScope:
+    """Consume an optional trailing LIVE/ARCHIVED scope (default: full history)."""
+    token = cursor.accept_keyword("LIVE", "ARCHIVED")
+    if token == "LIVE":
+        return HistoryScope.LIVE
+    return HistoryScope.ARCHIVED
+
+
 def parse(text: str) -> Query:
     """Parse a query string into its AST node.
 
@@ -164,15 +187,17 @@ def parse(text: str) -> Query:
         cursor.expect_keyword("IN")
         location = cursor.take_name("location")
         time = cursor.take_time() if cursor.accept_keyword("AT") else None
+        scope = _accept_scope(cursor)
         cursor.finish()
-        return WhoIsInQuery(location, time)
+        return WhoIsInQuery(location, time, scope)
 
     if head == "WHERE":
         cursor.expect_keyword("IS")
         subject = cursor.take_name("subject")
         time = cursor.take_time() if cursor.accept_keyword("AT") else None
+        scope = _accept_scope(cursor)
         cursor.finish()
-        return WhereIsQuery(subject, time)
+        return WhereIsQuery(subject, time, scope)
 
     if head == "CAN":
         subject = cursor.take_name("subject")

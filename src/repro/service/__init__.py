@@ -1,0 +1,79 @@
+"""repro.service — the PDP/PEP over a network boundary.
+
+Architecture note
+-----------------
+
+Everything before this package runs the engine *embedded*: trackers, policy
+clients and administrators share one process with the
+:class:`~repro.api.builder.Ltam` engine.  The XACML-style deployment the
+PR 1 redesign was built for puts the PDP behind a **service boundary**
+instead — one authorization server, a fleet of remote enforcement points —
+and this package is that boundary, closing the ROADMAP's "multi-process
+ingest" item:
+
+.. code-block:: text
+
+    tracker proc A ──observe_batch──▶ ┌──────────────────────────────┐
+    tracker proc B ──observe_batch──▶ │  LtamServer  (asyncio, TCP)  │
+                                      │   ├─ MovementIngestor ──────▶│ one writer,
+    gate client ──decide/decide_many▶ │   ├─ DecisionCache           │ group commits,
+    admin client ──query/checkpoint─▶ │   └─ Ltam (PDP/PEP/monitor)  │ scheduled
+                                      └──────────────────────────────┘ checkpoints
+
+* :mod:`repro.service.protocol` — the wire codec: newline-delimited JSON
+  frames round-tripping requests, :class:`~repro.api.decision.Decision`
+  objects (per-stage traces included), movement records, alerts, query
+  results, checkpoint receipts, and **typed errors** (a remote
+  ``StorageError`` raises as ``StorageError``, a rejected ingest batch
+  comes back with its records for retry/dead-lettering).
+* :mod:`repro.service.server` — :class:`LtamServer`, a stdlib-only asyncio
+  server over an embedded engine.  Ops: ``decide``, ``decide_many``,
+  ``observe``, ``observe_batch`` (feeding the existing
+  :class:`~repro.storage.ingest.MovementIngestor`; ``monitor`` and raw
+  ``record`` sinks), ``query``, ``checkpoint``, ``health``.
+* :mod:`repro.service.cache` — :class:`DecisionCache`: decisions keyed by
+  (subject, location, action, time bucket), served without re-running the
+  pipeline or re-encoding the response; **event-wise invalidation** via the
+  movement database's mutation notifications evicts only the locations a
+  movement can affect, so hot read traffic stays parity-correct under
+  interleaved ingest.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`, a
+  :class:`ConnectionPool`, and :class:`RemotePdp`/:class:`RemotePep`
+  mirroring the embedded APIs; ``RemotePep.ingestor()`` gives tracker
+  adapters the same streaming interface they had in-process.
+
+Run a server with ``repro serve --layout campus.json --auths auths.json``
+(see the CLI) or in-process::
+
+    from repro.service import DecisionCache, LtamServer, RemotePdp
+
+    with LtamServer(engine, cache=DecisionCache()) as server:
+        host, port = server.address
+        pdp = RemotePdp(host, port)
+        decision = pdp.decide((10, "alice", "meeting-room"))
+"""
+
+from repro.service.cache import CachedDecision, DecisionCache
+from repro.service.client import ConnectionPool, RemotePdp, RemotePep, ServiceClient
+from repro.service.errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service.server import DEFAULT_PORT, LtamServer
+
+__all__ = [
+    "CachedDecision",
+    "DecisionCache",
+    "ServiceClient",
+    "ConnectionPool",
+    "RemotePdp",
+    "RemotePep",
+    "LtamServer",
+    "DEFAULT_PORT",
+    "ServiceError",
+    "ProtocolError",
+    "ServiceConnectionError",
+    "RemoteServiceError",
+]

@@ -1,0 +1,301 @@
+"""The decision cache: hot read traffic skips the pipeline entirely.
+
+A production gate fleet re-checks the same (subject, location) pairs far
+more often than the underlying state changes.  :class:`DecisionCache` keys
+decisions by ``(subject, location, action, time bucket)`` and serves repeat
+requests without re-running the decision pipeline — while staying
+**parity-correct** through event-wise invalidation:
+
+* the cache :meth:`connect`\\ s to the movement database's mutation
+  notifications (:meth:`~repro.storage.movement_db.MovementDatabase.subscribe`)
+  and, for every applied movement, evicts **only the keys of the locations
+  that movement can affect** — the record's location (entry counters and
+  occupancy) and, for an ENTER while the subject was tracked elsewhere, the
+  previous location (its occupancy changed too).  Hot keys elsewhere in the
+  building survive;
+* administrative mutations (grant/revoke) invalidate through the
+  :meth:`~repro.api.pdp.DecisionPoint` hook points (pair-wise) or
+  :meth:`clear`.
+
+The default ``bucket=1`` caches at chronon granularity — exact: a hit is a
+request with the very same (subject, location, action, time).  A wider
+bucket trades exactness for hit rate: every request inside a bucket is
+served the decision computed for the first one, which is only safe when the
+deployment's entry windows and budgets are aligned to bucket multiples.
+
+Entries optionally carry a *payload*, opaque to the cache — the network
+server stores the pre-serialized wire form of the decision there, so cache
+hits skip response re-encoding too (the dominant cost once the pipeline is
+skipped).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.service.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.decision import Decision
+    from repro.core.requests import AccessRequest
+    from repro.storage.movement_db import MovementDatabase, MovementNotice
+
+__all__ = ["CachedDecision", "DecisionCache", "DEFAULT_ACTION"]
+
+#: The one action the paper's model knows; the key slot exists so a
+#: multi-action deployment (enter/exit/stay) can share one cache.
+DEFAULT_ACTION = "enter"
+
+
+class CachedDecision(NamedTuple):
+    """One cache entry: the decision plus an opaque owner-attached payload
+    (the server stores pre-serialized wire fragments there)."""
+
+    decision: "Decision"
+    payload: Optional[Any]
+
+
+class DecisionCache:
+    """LRU decision cache with event-wise, location-scoped invalidation.
+
+    Parameters
+    ----------
+    bucket:
+        Width, in chronons, of the time bucket in the key.  The default of
+        ``1`` is exact (see the module note on wider buckets).
+    maxsize:
+        Entry cap; least-recently-used entries are evicted beyond it.
+
+    Thread safety: all operations take one internal lock — lookups run on
+    the serving thread while invalidations arrive from ingest writer
+    threads.
+    """
+
+    def __init__(self, *, bucket: int = 1, maxsize: int = 65536) -> None:
+        if not isinstance(bucket, int) or isinstance(bucket, bool) or bucket < 1:
+            raise ServiceError(f"cache bucket width must be a positive integer, got {bucket!r}")
+        if not isinstance(maxsize, int) or isinstance(maxsize, bool) or maxsize < 1:
+            raise ServiceError(f"cache maxsize must be a positive integer, got {maxsize!r}")
+        self._bucket = bucket
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[str, str, str, int], CachedDecision]" = OrderedDict()
+        self._by_location: Dict[str, Set[Tuple[str, str, str, int]]] = {}
+        self._lock = threading.Lock()
+        # Invalidation generations: bumped per location on every eviction
+        # (and on every movement notice, cached keys or not) so an in-flight
+        # store computed from pre-invalidation state can be detected and
+        # dropped (see :meth:`generation` / the ``generation=`` store knob).
+        self._generations: Dict[str, int] = {}
+        self._epoch = 0
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._stale_stores = 0
+        self._invalidated = 0
+        self._evicted = 0
+
+    # ------------------------------------------------------------------ #
+    # Core get/put
+    # ------------------------------------------------------------------ #
+    def _key(self, subject: str, location: str, time: int, action: str) -> Tuple[str, str, str, int]:
+        return (subject, location, action, time // self._bucket)
+
+    def get(
+        self, subject: str, location: str, time: int, *, action: str = DEFAULT_ACTION
+    ) -> Optional[CachedDecision]:
+        """The cached entry for the key, or ``None`` (counts hit/miss)."""
+        key = self._key(subject, location, time, action)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def generation(self, location: str) -> Tuple[int, int]:
+        """An invalidation token for *location*, to be captured **before**
+        evaluating a decision and handed back to :meth:`put`/:meth:`store`.
+
+        Evaluation and invalidation race: a decision computed from
+        pre-movement state must not be cached after the movement's eviction
+        already ran (it would never be evicted again for that movement).
+        The token is compared at store time; a moved generation drops the
+        store instead.
+        """
+        with self._lock:
+            return (self._epoch, self._generations.get(location, 0))
+
+    def put(
+        self,
+        subject: str,
+        location: str,
+        time: int,
+        decision: "Decision",
+        *,
+        payload: Optional[Dict[str, Any]] = None,
+        action: str = DEFAULT_ACTION,
+        generation: Optional[Tuple[int, int]] = None,
+    ) -> bool:
+        """Cache *decision* (and optionally its wire encoding) for the key.
+
+        With a *generation* token from :meth:`generation`, the store is
+        dropped (returning ``False``) when the location was invalidated
+        since the token was captured — the decision may predate the
+        mutation that evicted it.
+        """
+        key = self._key(subject, location, time, action)
+        with self._lock:
+            if generation is not None and generation != (
+                self._epoch,
+                self._generations.get(key[1], 0),
+            ):
+                self._stale_stores += 1
+                return False
+            if key not in self._entries and len(self._entries) >= self._maxsize:
+                old_key, _ = self._entries.popitem(last=False)
+                self._discard_index(old_key)
+                self._evicted += 1
+            self._entries[key] = CachedDecision(decision, payload)
+            self._entries.move_to_end(key)
+            self._by_location.setdefault(key[1], set()).add(key)
+            self._stores += 1
+            return True
+
+    def _discard_index(self, key: Tuple[str, str, str, int]) -> None:
+        keys = self._by_location.get(key[1])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_location[key[1]]
+
+    # ------------------------------------------------------------------ #
+    # PDP hook points (duck-typed: the PDP never imports this module)
+    # ------------------------------------------------------------------ #
+    def lookup(self, request: "AccessRequest") -> Optional["Decision"]:
+        """The cached decision for *request*, or ``None``."""
+        entry = self.get(request.subject, request.location, request.time)
+        return entry.decision if entry is not None else None
+
+    def store(
+        self,
+        request: "AccessRequest",
+        decision: "Decision",
+        *,
+        generation: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Cache the decision just computed for *request*.
+
+        Pass the :meth:`generation` token captured before evaluation so a
+        store racing an invalidation is dropped, not resurrected.  An
+        existing entry for the key is left alone: it is still valid (an
+        invalidation would have evicted it), decisions for an equal key are
+        parity-equal, and it may carry a server-attached wire payload this
+        payload-less store must not demote.
+        """
+        key = self._key(request.subject, request.location, request.time, DEFAULT_ACTION)
+        with self._lock:
+            if key in self._entries:
+                return
+        self.put(
+            request.subject, request.location, request.time, decision, generation=generation
+        )
+
+    # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate_location(self, location: str) -> int:
+        """Evict every key of *location*; returns how many were evicted."""
+        with self._lock:
+            return self._invalidate_location_locked(location)
+
+    def _invalidate_location_locked(self, location: str) -> int:
+        # Bump the generation even when nothing is cached: an in-flight
+        # evaluation for this location may be about to store.
+        self._generations[location] = self._generations.get(location, 0) + 1
+        keys = self._by_location.pop(location, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        self._invalidated += len(keys)
+        return len(keys)
+
+    def invalidate_pair(self, subject: str, location: str) -> int:
+        """Evict the keys of one (subject, location) pair (grant/revoke hook)."""
+        with self._lock:
+            self._generations[location] = self._generations.get(location, 0) + 1
+            keys = self._by_location.get(location)
+            if not keys:
+                return 0
+            doomed = [key for key in keys if key[0] == subject]
+            for key in doomed:
+                self._entries.pop(key, None)
+                keys.discard(key)
+            if not keys:
+                del self._by_location[location]
+            self._invalidated += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Evict everything (coarse invalidation for bulk admin changes)."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._by_location.clear()
+            self._generations.clear()
+            self._epoch += 1
+            self._invalidated += count
+            return count
+
+    # ------------------------------------------------------------------ #
+    # Event-wise invalidation from the movement store
+    # ------------------------------------------------------------------ #
+    def on_movements(self, notices: Sequence["MovementNotice"]) -> int:
+        """Movement-mutation listener: evict only the locations a batch touches."""
+        affected: Set[str] = set()
+        for notice in notices:
+            affected.update(notice.affected_locations)
+        evicted = 0
+        with self._lock:
+            for location in affected:
+                evicted += self._invalidate_location_locked(location)
+        return evicted
+
+    def connect(self, movement_db: "MovementDatabase"):
+        """Subscribe to *movement_db*'s mutations; returns the unsubscriber."""
+        return movement_db.subscribe(self.on_movements)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def bucket(self) -> int:
+        """The time-bucket width (chronons) of the cache key."""
+        return self._bucket
+
+    @property
+    def maxsize(self) -> int:
+        """The entry cap."""
+        return self._maxsize
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters: hits, misses, stores, stale_stores, invalidated, evicted, size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "stale_stores": self._stale_stores,
+                "invalidated": self._invalidated,
+                "evicted": self._evicted,
+                "size": len(self._entries),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,440 @@
+"""Blocking clients for the authorization service.
+
+Three layers, lowest first:
+
+* :class:`ServiceClient` — one socket, one request/response at a time
+  (serialized on an internal lock), typed errors re-raised client-side;
+* :class:`ConnectionPool` — a small LIFO pool of clients, so concurrent
+  callers (decision threads, the remote ingestor's writer) don't serialize
+  on one socket and broken connections are discarded transparently;
+* :class:`RemotePdp` / :class:`RemotePep` — drop-in mirrors of the embedded
+  :class:`~repro.api.pdp.DecisionPoint` and the observation side of
+  :class:`~repro.api.pep.EnforcementPoint`, over a pool.
+
+``RemotePep.ingestor()`` composes with the existing
+:class:`~repro.storage.ingest.MovementIngestor`: tracker adapters
+``submit()`` locally at line rate, the local writer thread groups records
+into ``observe_batch`` frames, and a batch the *server* rejects surfaces on
+the local flush as the same typed :class:`~repro.errors.IngestError` — with
+the dropped records attached — that an embedded ingestor would raise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.requests import AccessRequest
+from repro.engine.alerts import Alert
+from repro.engine.query.ast import QueryResult
+from repro.api.decision import Decision
+from repro.storage.ingest import (
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_QUEUE_SIZE,
+    CheckpointPolicy,
+    MovementIngestor,
+)
+from repro.storage.movement_db import Checkpoint, MovementKind, MovementRecord
+from repro.service.errors import ProtocolError, ServiceConnectionError
+from repro.service.protocol import (
+    alert_from_dict,
+    checkpoint_from_dict,
+    decision_from_dict,
+    decode_frame,
+    encode_frame,
+    error_from_dict,
+    query_result_from_dict,
+    record_to_wire,
+    records_to_wire,
+    request_to_dict,
+)
+from repro.service.server import DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ConnectionPool", "RemotePdp", "RemotePep"]
+
+#: Anything the remote decide APIs accept as a request.
+RequestLike = Union[AccessRequest, Tuple[int, str, str]]
+
+#: Default local batch size for the remote ingestor (one wire frame each).
+DEFAULT_REMOTE_BATCH_SIZE = 4096
+
+
+def _coerce_request(request: RequestLike) -> AccessRequest:
+    if isinstance(request, AccessRequest):
+        return request
+    if isinstance(request, tuple) and len(request) == 3:
+        time, subject, location = request
+        return AccessRequest(time, subject, location)
+    raise ProtocolError(
+        f"cannot interpret {request!r} as an access request; "
+        "pass an AccessRequest or a (time, subject, location) triple"
+    )
+
+
+class ServiceClient:
+    """One blocking connection to an :class:`~repro.service.server.LtamServer`.
+
+    Thread-safe: concurrent calls serialize on an internal lock (use a
+    :class:`ConnectionPool` when callers should not wait on each other).
+    Typed server errors re-raise as their library classes.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._address = (host, port)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        try:
+            self._sock: Optional[socket.socket] = socket.create_connection(
+                self._address, timeout=timeout
+            )
+        except OSError as exc:
+            raise ServiceConnectionError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` this client talks to."""
+        return self._address
+
+    @property
+    def closed(self) -> bool:
+        """Whether the connection has been closed (by us or by a failure)."""
+        return self._sock is None
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._reader.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def call(self, op: str, **payload: Any) -> Any:
+        """One request/response round trip; returns the ``result`` payload."""
+        message_id = next(self._ids)
+        frame = encode_frame({"op": op, "id": message_id, **payload})
+        with self._lock:
+            if self._sock is None:
+                raise ServiceConnectionError("the client connection is closed")
+            try:
+                self._sock.sendall(frame)
+                line = self._reader.readline()
+            except OSError as exc:
+                self._close_locked()
+                raise ServiceConnectionError(f"request failed: {exc}") from exc
+            if not line:
+                self._close_locked()
+                raise ServiceConnectionError("the server closed the connection")
+            response = decode_frame(line)
+            if response.get("id") != message_id:
+                # A previous call was interrupted between send and read and
+                # left its response buffered: the stream is desynchronized —
+                # returning this response to the wrong caller would hand out
+                # another request's decision.  Close instead.
+                self._close_locked()
+                raise ServiceConnectionError(
+                    f"out-of-sync response (got id {response.get('id')!r}, "
+                    f"expected {message_id!r}); connection dropped"
+                )
+        if response.get("ok"):
+            return response.get("result")
+        raise error_from_dict(response.get("error") or {})
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def decide(self, request: RequestLike, *, trace: bool = True) -> Decision:
+        """Remote :meth:`~repro.api.pdp.DecisionPoint.decide`."""
+        payload = self.call(
+            "decide", request=request_to_dict(_coerce_request(request)), trace=trace
+        )
+        return decision_from_dict(payload)
+
+    def decide_many(self, requests: Iterable[RequestLike], *, trace: bool = True) -> List[Decision]:
+        """Remote :meth:`~repro.api.pdp.DecisionPoint.decide_many` (one frame)."""
+        payload = self.call(
+            "decide_many",
+            requests=[request_to_dict(_coerce_request(r)) for r in requests],
+            trace=trace,
+        )
+        return [decision_from_dict(item) for item in payload.get("decisions", ())]
+
+    def observe(self, record: MovementRecord) -> List[Alert]:
+        """Synchronous single observation through the server's PEP; returns alerts."""
+        payload = self.call("observe", record=record_to_wire(record))
+        return [alert_from_dict(item) for item in payload.get("alerts", ())]
+
+    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Remote :meth:`~repro.api.pep.EnforcementPoint.observe_entry`."""
+        return self.observe(MovementRecord(time, subject, location, MovementKind.ENTER))
+
+    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Remote :meth:`~repro.api.pep.EnforcementPoint.observe_exit`."""
+        return self.observe(MovementRecord(time, subject, location, MovementKind.EXIT))
+
+    def observe_batch(
+        self,
+        records: Sequence[MovementRecord],
+        *,
+        mode: str = "monitor",
+        wait: bool = False,
+    ) -> Dict[str, Any]:
+        """Ship a batch into the server's ingestor; returns the ingest receipt.
+
+        With ``wait=True`` the call is a flush barrier: it returns only when
+        everything submitted so far has reached storage, re-raising rejected
+        batches as :class:`~repro.errors.IngestError` with their records.
+        ``mode="record"`` is the raw log-shipping sink (no monitor/alerts).
+        """
+        return self.call("observe_batch", records=records_to_wire(records), mode=mode, wait=wait)
+
+    def flush(self, *, mode: str = "monitor") -> Dict[str, Any]:
+        """Barrier for previously shipped batches (an empty waiting batch)."""
+        return self.observe_batch((), mode=mode, wait=True)
+
+    def query(self, text: str) -> QueryResult:
+        """Evaluate a query-language statement server-side."""
+        return query_result_from_dict(self.call("query", text=text))
+
+    def checkpoint(self, *, compact: bool = True, retain: Optional[int] = None) -> Checkpoint:
+        """Flush pending ingest server-side, then checkpoint the movement store.
+
+        With *retain*, the server additionally prunes the movement archive
+        down to at most that many records — only when the checkpoint
+        compacts (*retain* is ignored with ``compact=False``, matching
+        :class:`~repro.storage.ingest.CheckpointPolicy`).
+        """
+        return checkpoint_from_dict(self.call("checkpoint", compact=compact, retain=retain))
+
+    def health(self) -> Dict[str, Any]:
+        """The server's health/stats document."""
+        return self.call("health")
+
+
+class ConnectionPool:
+    """A small LIFO pool of :class:`ServiceClient` connections.
+
+    Leased clients beyond *size* are created on demand and closed on
+    release instead of pooled, so a burst never deadlocks; clients whose
+    transport failed are discarded, not returned.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        size: int = 4,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        if size < 1:
+            raise ProtocolError(f"pool size must be positive, got {size!r}")
+        self._host = host
+        self._port = port
+        self._size = size
+        self._timeout = timeout
+        self._idle: List[ServiceClient] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @contextmanager
+    def lease(self):
+        """Context manager handing out a connected client.
+
+        Only transport failures discard the connection; a typed server
+        error (a rejected batch, a query syntax error) completed its
+        request/response cycle, so the connection stays pooled.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceConnectionError("the connection pool is closed")
+            client = self._idle.pop() if self._idle else None
+        if client is None or client.closed:
+            client = ServiceClient(self._host, self._port, timeout=self._timeout)
+        try:
+            yield client
+        except ServiceConnectionError:
+            client.close()
+            client = None
+            raise
+        finally:
+            if client is not None:
+                with self._lock:
+                    if not self._closed and not client.closed and len(self._idle) < self._size:
+                        self._idle.append(client)
+                        client = None
+                if client is not None:
+                    client.close()
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further leases."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _Remote:
+    """Shared pool plumbing of the remote PDP/PEP facades."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        pool: Optional[ConnectionPool] = None,
+        pool_size: int = 4,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._owns_pool = pool is None
+        self._pool = (
+            pool
+            if pool is not None
+            else ConnectionPool(host, port, size=pool_size, timeout=timeout)
+        )
+
+    @property
+    def pool(self) -> ConnectionPool:
+        """The connection pool in use (shareable between facades)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Close the pool if this facade created it."""
+        if self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemotePdp(_Remote):
+    """The embedded :class:`~repro.api.pdp.DecisionPoint` API, over the wire.
+
+    ``decide``/``decide_many`` signatures and :class:`Decision` results
+    (traces included) match the embedded PDP; what differs is *where* the
+    pipeline runs — and that the server may serve a cached decision, whose
+    echoed request metadata (``request_id``) is the priming request's.
+    """
+
+    def decide(self, request: RequestLike, *, trace: bool = True) -> Decision:
+        """Evaluate one request on the server."""
+        with self._pool.lease() as client:
+            return client.decide(request, trace=trace)
+
+    def decide_many(self, requests: Iterable[RequestLike], *, trace: bool = True) -> List[Decision]:
+        """Evaluate a batch on the server (one frame, server-side batch path)."""
+        with self._pool.lease() as client:
+            return client.decide_many(requests, trace=trace)
+
+    def health(self) -> Dict[str, Any]:
+        """The server's health document (round-trip + liveness probe)."""
+        with self._pool.lease() as client:
+            return client.health()
+
+
+class RemotePep(_Remote):
+    """The observation side of the embedded PEP, over the wire.
+
+    ``observe_entry``/``observe_exit`` are synchronous (alerts returned);
+    ``observe_many`` ships one waited batch; :meth:`ingestor` returns a
+    local :class:`~repro.storage.ingest.MovementIngestor` whose sink ships
+    record frames — the fully streaming tracker-adapter path.
+    """
+
+    def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Observe one entry through the server's monitor; returns its alerts."""
+        with self._pool.lease() as client:
+            return client.observe_entry(time, subject, location)
+
+    def observe_exit(self, time: int, subject: str, location: str) -> List[Alert]:
+        """Observe one exit through the server's monitor; returns its alerts."""
+        with self._pool.lease() as client:
+            return client.observe_exit(time, subject, location)
+
+    def observe_many(
+        self, records: Sequence[MovementRecord], *, mode: str = "monitor"
+    ) -> Dict[str, Any]:
+        """Ship one batch and wait for it to land; returns the ingest receipt.
+
+        Unlike the embedded ``observe_many`` this cannot return the alerts —
+        they are raised (and audited) server-side; query them remotely with
+        ``VIOLATIONS`` or read the receipt counts here.
+        """
+        with self._pool.lease() as client:
+            return client.observe_batch(records, mode=mode, wait=True)
+
+    def ingestor(
+        self,
+        *,
+        mode: str = "monitor",
+        batch_size: int = DEFAULT_REMOTE_BATCH_SIZE,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+    ) -> MovementIngestor:
+        """A local streaming ingestor whose sink ships batches to the server.
+
+        Each local group commit becomes one waited ``observe_batch`` frame;
+        server-side rejections surface on the local ``flush()``/``close()``
+        with the dropped records attached.  A *checkpoint_policy* here
+        schedules **remote** checkpoints (the ``checkpoint`` op) from the
+        local writer thread; retention still applies server-side.
+        """
+        pool = self._pool
+
+        def ship(batch: Sequence[MovementRecord]) -> None:
+            with pool.lease() as client:
+                client.observe_batch(batch, mode=mode, wait=True)
+
+        extra: Dict[str, Any] = {}
+        if checkpoint_policy is not None:
+
+            def remote_checkpoint() -> Checkpoint:
+                with pool.lease() as client:
+                    return client.checkpoint(
+                        compact=checkpoint_policy.compact,
+                        retain=checkpoint_policy.retain_archived,
+                    )
+
+            extra = {"checkpoint_policy": checkpoint_policy, "checkpoint": remote_checkpoint}
+        return MovementIngestor(
+            ship,
+            batch_size=batch_size,
+            max_latency=max_latency,
+            queue_size=queue_size,
+            **extra,
+        )

@@ -1,0 +1,39 @@
+"""Errors of the network service layer.
+
+The service layer distinguishes three failure families:
+
+* :class:`ProtocolError` — a frame or payload that does not conform to the
+  wire protocol (malformed JSON, unknown op, missing fields);
+* :class:`ServiceConnectionError` — the transport failed (connect refused,
+  connection reset, server closed mid-request);
+* :class:`RemoteServiceError` — the server reported a failure that does not
+  map to one of the library's typed errors.
+
+Typed library errors (:class:`~repro.errors.StorageError`,
+:class:`~repro.errors.IngestError`, :class:`~repro.errors.QuerySyntaxError`,
+…) cross the wire **as themselves**: the protocol layer serializes the error
+class name and re-raises the matching class client-side, so remote callers
+keep the same ``except`` clauses they would use embedded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LTAMError
+
+__all__ = ["ServiceError", "ProtocolError", "ServiceConnectionError", "RemoteServiceError"]
+
+
+class ServiceError(LTAMError):
+    """Base class for network-service failures."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame or payload violates the service protocol."""
+
+
+class ServiceConnectionError(ServiceError):
+    """The transport to/from the service failed."""
+
+
+class RemoteServiceError(ServiceError):
+    """The server reported an error with no matching typed error class."""

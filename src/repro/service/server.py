@@ -1,0 +1,739 @@
+"""The network authorization server: one engine, many remote PEPs.
+
+:class:`LtamServer` puts an embedded :class:`~repro.api.builder.Ltam`
+engine behind a TCP boundary — a stdlib-only asyncio server speaking the
+newline-delimited JSON protocol of :mod:`repro.service.protocol`.  The
+design follows the deployment the ROADMAP's "multi-process ingest" item
+asks for:
+
+* **decisions** (``decide`` / ``decide_many``) run the PDP pipeline
+  inline on the event loop — they are pure, fast reads.  With a
+  :class:`~repro.service.cache.DecisionCache` attached, hits skip both the
+  pipeline *and* response re-encoding (entries carry their wire form), and
+  the cache subscribes to the movement store's mutation notifications so an
+  observe/ingest evicts exactly the locations it touched;
+* **ingest** (``observe_batch``) feeds the existing
+  :class:`~repro.storage.ingest.MovementIngestor`: many tracker processes
+  ship record batches over their sockets into per-connection ingestors
+  whose group commits serialize on the movement store's transaction lock
+  (one logical writer).  ``mode="monitor"`` runs the full
+  enforcement-point observation (alerts + audit); ``mode="record"`` is the
+  raw log-shipping path straight into ``record_many``.  A rejected batch
+  comes back to **the client that submitted it** — per-connection
+  ingestors keep failure attribution honest — as a typed
+  :class:`~repro.errors.IngestError` with the dropped records attached for
+  retry/dead-lettering;
+* a :class:`~repro.storage.ingest.CheckpointPolicy` piggybacks scheduled
+  checkpoints (and archive retention) on the ingest writer thread;
+* ``observe`` is the synchronous single-observation path (alerts returned),
+  ``query`` evaluates the LTAM query language, ``checkpoint`` flushes
+  pending ingest then checkpoints, and ``health`` reports counters.
+
+Concurrency: decide and health run inline on the loop (no interleaving
+mid-decision); every op that can block — ingest submission (queue
+backpressure), single observes (the monitor lock), query replays, and
+checkpoints (flush barrier + compaction) — runs in the default executor so
+one slow call never stalls other connections.  The engine tolerates this
+exactly as it tolerates the embedded streaming observe path — foreground
+reads race the background writer benignly (see the movement database's
+concurrency contract).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.query.evaluator import QueryEngine
+from repro.errors import IngestError
+from repro.storage.ingest import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_QUEUE_SIZE,
+    CheckpointPolicy,
+    MovementIngestor,
+)
+from repro.storage.movement_db import MovementKind
+from repro.service.cache import DecisionCache
+from repro.service.errors import ProtocolError, ServiceError
+from repro.service.protocol import (
+    alert_to_dict,
+    checkpoint_to_dict,
+    decision_to_dict,
+    decode_frame,
+    encode_frame,
+    error_to_dict,
+    query_result_to_dict,
+    record_from_wire,
+    records_from_wire,
+    request_from_dict,
+    strip_trace,
+)
+
+__all__ = ["LtamServer", "DEFAULT_PORT", "DEFAULT_FRAME_LIMIT", "INGEST_MODES"]
+
+#: Default service port ("LTAM" on a phone keypad, roughly).
+DEFAULT_PORT = 7471
+
+#: Maximum frame size (bytes) — a 64k-record observe_batch fits comfortably.
+DEFAULT_FRAME_LIMIT = 1 << 24
+
+#: The two ingest sinks ``observe_batch`` can feed.
+INGEST_MODES = ("monitor", "record")
+
+
+class _RawResult:
+    """A handler result that is already serialized JSON text.
+
+    The decide path serves cache hits as **pre-serialized fragments** —
+    skipping the pipeline is only half the win; at hot-pool rates the JSON
+    re-encoding of an unchanged decision costs as much as the lookup, so
+    the envelope is assembled by string joining instead of re-dumping.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+
+def _dumps(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, separators=(",", ":"), ensure_ascii=False)
+
+
+def _fold_ingest(totals_by_mode: Dict[str, Dict[str, int]], mode: str, ingestor) -> None:
+    """Accumulate one ingestor's counters into the per-mode totals."""
+    totals = totals_by_mode.setdefault(
+        mode,
+        {
+            "submitted": 0,
+            "written": 0,
+            "dropped": 0,
+            "checkpoints": 0,
+            "checkpoint_errors": 0,
+            "clients": 0,
+        },
+    )
+    totals["submitted"] += ingestor.submitted
+    totals["written"] += ingestor.written
+    totals["dropped"] += ingestor.dropped
+    totals["checkpoints"] += ingestor.checkpoints
+    totals["checkpoint_errors"] += len(ingestor.checkpoint_errors)
+    totals["clients"] += 1
+
+
+class _SharedCheckpoint:
+    """One policy clock for the whole server, shared by every ingestor.
+
+    Trigger counters live per ingestor, so with N tracker connections a
+    naively-wired policy would checkpoint ~N times more often than
+    configured.  This gate re-checks the *database's* replay bound (and a
+    shared wall clock) before running, so a trigger another connection's
+    checkpoint already covered becomes a no-op.
+    """
+
+    __slots__ = ("_policy", "_movement_db", "_lock", "_last_run")
+
+    def __init__(self, policy: CheckpointPolicy, movement_db) -> None:
+        self._policy = policy
+        self._movement_db = movement_db
+        self._lock = threading.Lock()
+        self._last_run = float("-inf")
+
+    def __call__(self):
+        policy = self._policy
+        with self._lock:
+            pending = self._movement_db.events_since_checkpoint
+            if pending == 0:
+                return None
+            due = (
+                policy.every_events is not None and pending >= policy.every_events
+            ) or (
+                policy.every_seconds is not None
+                and time.monotonic() - self._last_run >= policy.every_seconds
+            )
+            if not due:
+                return None
+            receipt = policy.run(self._movement_db)
+            self._last_run = time.monotonic()
+            return receipt
+
+
+class _Connection:
+    """Per-connection server state: this client's ingestors.
+
+    Ingestors are **per connection** so failure attribution is honest: a
+    rejected batch surfaces (with its records) on the flush of the client
+    that submitted it — never on another tracker's barrier — and one
+    client's poison batch cannot be group-committed together with a
+    neighbor's records.
+    """
+
+    __slots__ = ("ingestors",)
+
+    def __init__(self) -> None:
+        self.ingestors: Dict[str, MovementIngestor] = {}
+
+
+class LtamServer:
+    """Serve an embedded :class:`~repro.api.builder.Ltam` engine over TCP.
+
+    Parameters
+    ----------
+    engine:
+        The engine to expose.  The server takes over its streaming-ingest
+        path; other in-process use (reads, administration) remains valid.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    cache:
+        Optional :class:`DecisionCache`.  When given, the server consults
+        it for ``decide``/``decide_many`` and connects it to the movement
+        database's mutation notifications for event-wise invalidation.
+    checkpoint_policy:
+        Optional :class:`~repro.storage.ingest.CheckpointPolicy` applied to
+        the server's ingestors (scheduled checkpoints + archive retention).
+    ingest_batch_size, ingest_max_latency, ingest_queue_size:
+        Group-commit knobs of the server-side ingestors.
+
+    Run it in-process (``with LtamServer(engine) as server: ...``) for tests
+    and embedding, or via ``repro serve`` for a standalone process.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: Optional[DecisionCache] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        ingest_batch_size: int = DEFAULT_BATCH_SIZE,
+        ingest_max_latency: float = DEFAULT_MAX_LATENCY,
+        ingest_queue_size: int = DEFAULT_QUEUE_SIZE,
+        frame_limit: int = DEFAULT_FRAME_LIMIT,
+    ) -> None:
+        self._engine = engine
+        self._host = host
+        self._port = port
+        self._cache = cache
+        self._checkpoint_policy = checkpoint_policy
+        self._ingest_knobs = {
+            "batch_size": ingest_batch_size,
+            "max_latency": ingest_max_latency,
+            "queue_size": ingest_queue_size,
+        }
+        self._frame_limit = frame_limit
+        self._queries = QueryEngine(engine)
+        #: live per-connection ingestors (flushed by checkpoint, closed on stop).
+        self._ingestors: List[Tuple[str, MovementIngestor]] = []
+        #: per-mode counters folded in from retired (disconnected) ingestors.
+        self._ingest_totals: Dict[str, Dict[str, int]] = {}
+        self._ingest_lock = threading.Lock()
+        self._shared_checkpoint = (
+            _SharedCheckpoint(checkpoint_policy, engine.movement_db)
+            if checkpoint_policy is not None
+            else None
+        )
+        self._unsubscribe = None
+        self._cache_attached = False
+        self._connect_cache()
+        self._stats = {"decisions": 0, "cache_hits": 0, "observed": 0, "queries": 0}
+        self._stats_lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._crash: Optional[BaseException] = None
+        self._abandoned = False
+
+    def _connect_cache(self) -> None:
+        """Wire the cache for invalidation from EVERY mutation path.
+
+        Attaching through the engine (when it supports it) hooks the
+        administrative paths too — grant/revoke/derive/set_capacity on a
+        served engine must evict, not just movement ingest.  The engine's
+        attach also subscribes the movement-store notifications.
+        """
+        if self._cache is None:
+            return
+        attach = getattr(self._engine, "attach_decision_cache", None)
+        if callable(attach):
+            if getattr(getattr(self._engine, "pdp", None), "cache", None) is not self._cache:
+                attach(self._cache)
+            self._cache_attached = True
+        elif self._unsubscribe is None:  # duck-typed engines: movement-only wiring
+            self._unsubscribe = self._cache.connect(self._engine.movement_db)
+
+    def _disconnect_cache(self) -> None:
+        if self._cache is None:
+            return
+        if self._cache_attached:
+            detach = getattr(self._engine, "detach_decision_cache", None)
+            if callable(detach) and getattr(self._engine.pdp, "cache", None) is self._cache:
+                detach()
+            self._cache_attached = False
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def _bump(self, key: str, count: int = 1) -> None:
+        # Handlers run on the loop thread and on executor threads; dict
+        # read-modify-write is not atomic across them.
+        with self._stats_lock:
+            self._stats[key] += count
+
+    def _snapshot_stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return dict(self._stats)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The embedded engine this server exposes."""
+        return self._engine
+
+    @property
+    def cache(self) -> Optional[DecisionCache]:
+        """The decision cache, if one is attached."""
+        return self._cache
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; available once started."""
+        if self._address is None:
+            raise ServiceError("the server has not been started")
+        return self._address
+
+    def start(self) -> "LtamServer":
+        """Start serving on a background thread; returns once bound.
+
+        A stopped server can be started again (fresh bind; with ``port=0``
+        the new ephemeral port is reported by :attr:`address`).
+        """
+        if self._thread is not None:
+            raise ServiceError("the server was already started")
+        self._started.clear()
+        self._startup_error = None
+        self._crash = None
+        self._abandoned = False
+        self._address = None
+        self._connect_cache()  # reconnect after a stop() (idempotent)
+        self._thread = threading.Thread(target=self._run, name="ltam-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            # The thread may still bind later; tell it to shut down instead
+            # of leaving an orphaned listener the caller believes dead.
+            self._abandoned = True
+            if self._loop is not None and self._stop_event is not None:
+                try:
+                    self._loop.call_soon_threadsafe(self._stop_event.set)
+                except RuntimeError:
+                    pass
+            self._thread = None
+            raise ServiceError("the server did not start within 10 seconds")
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise ServiceError(f"the server failed to start: {error}") from error
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, flush and close the ingestors, detach the cache."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=10)
+        self._thread = None
+        self.close_ingestors()
+        self._disconnect_cache()
+
+    def close_ingestors(self) -> None:
+        """Flush and close every server-side ingestor (failures kept queryable)."""
+        with self._ingest_lock:
+            ingestors, self._ingestors = self._ingestors, []
+        for _, ingestor in ingestors:
+            if not ingestor.closed:
+                ingestor.close(raise_failures=False)
+        with self._ingest_lock:
+            for mode, ingestor in ingestors:
+                self._retire_locked(mode, ingestor)
+
+    def __enter__(self) -> "LtamServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def wait(self) -> None:
+        """Block until the server stops (for foreground ``repro serve``).
+
+        Raises :class:`ServiceError` if the serve loop died on an
+        unexpected exception — a supervisor must see a crash, not a clean
+        exit with refused connections.
+        """
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        if self._crash is not None:
+            raise ServiceError(f"the server crashed: {self._crash}") from self._crash
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()/wait()
+            if self._address is None:
+                self._startup_error = exc  # never bound: a startup failure
+            else:
+                self._crash = exc  # died mid-serve: surfaced by wait()
+        finally:
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self._host, self._port, limit=self._frame_limit
+        )
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started_at = time.monotonic()
+        self._started.set()
+        if self._abandoned:  # start() gave up while we were binding
+            server.close()
+            await server.wait_closed()
+            return
+        async with server:
+            await self._stop_event.wait()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            await self._client_loop(reader, writer)
+        except asyncio.CancelledError:
+            # Loop shutdown cancels connection tasks mid-read; ending the
+            # task cleanly (instead of cancelled) keeps asyncio's stream
+            # callback from logging spurious CancelledErrors.  Nothing else
+            # ever cancels these tasks.
+            pass
+
+    async def _client_loop(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        loop = asyncio.get_running_loop()
+        connection = _Connection()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Over-limit frame: the stream is desynchronized beyond
+                    # repair — report once and drop the connection.
+                    writer.write(
+                        encode_frame(
+                            {
+                                "id": None,
+                                "ok": False,
+                                "error": error_to_dict(
+                                    ProtocolError(
+                                        f"frame exceeds the {self._frame_limit}-byte limit"
+                                    )
+                                ),
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                writer.write(await self._respond(loop, connection, line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if connection.ingestors:
+                # Flush-on-close durability per client; off the loop because
+                # close() joins the writer thread.
+                await loop.run_in_executor(None, self._close_connection_ingestors, connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _close_connection_ingestors(self, connection: _Connection) -> None:
+        retired = connection.ingestors
+        connection.ingestors = {}
+        for ingestor in retired.values():
+            ingestor.close(raise_failures=False)
+        with self._ingest_lock:
+            self._ingestors = [
+                (mode, ingestor)
+                for mode, ingestor in self._ingestors
+                if ingestor not in retired.values()
+            ]
+            for mode, ingestor in retired.items():
+                self._retire_locked(mode, ingestor)
+
+    def _retire_locked(self, mode: str, ingestor: MovementIngestor) -> None:
+        """Fold a closed ingestor into the cumulative totals exactly once.
+
+        A disconnecting client and a concurrent :meth:`close_ingestors`
+        (server stop) may both retire the same ingestor; the marker keeps
+        the counters from double-counting.
+        """
+        if getattr(ingestor, "_ltam_server_folded", False):
+            return
+        ingestor._ltam_server_folded = True  # type: ignore[attr-defined]
+        _fold_ingest(self._ingest_totals, mode, ingestor)
+
+    #: operations that may block (queue backpressure, flush barriers,
+    #: monitor/storage locks, full-log query replays) and therefore run in
+    #: the executor, off the event loop.  Only the cached/pure-read decide
+    #: path and health stay inline.
+    _BLOCKING_OPS = frozenset({"observe", "observe_batch", "query", "checkpoint"})
+
+    async def _respond(
+        self, loop: asyncio.AbstractEventLoop, connection: _Connection, line: bytes
+    ) -> bytes:
+        message_id: Any = None
+        try:
+            message = decode_frame(line)
+            message_id = message.get("id")
+            op = message.get("op")
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            if op in self._BLOCKING_OPS:
+                result = await loop.run_in_executor(None, handler, self, connection, message)
+            else:
+                result = handler(self, connection, message)
+            if isinstance(result, _RawResult):
+                envelope = '{"id":%s,"ok":true,"result":%s}\n' % (_dumps(message_id), result.text)
+                return envelope.encode("utf-8")
+            return encode_frame({"id": message_id, "ok": True, "result": result})
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a frame
+            return encode_frame({"id": message_id, "ok": False, "error": error_to_dict(exc)})
+
+    # ------------------------------------------------------------------ #
+    # Operation handlers
+    # ------------------------------------------------------------------ #
+    def _cached_fragment(self, raw_request: Any, include_trace: bool) -> Optional[str]:
+        """The pre-serialized decision for a raw request dict, or ``None``.
+
+        The cache key is read straight off the wire dict — constructing and
+        re-validating an :class:`AccessRequest` costs more than the lookup
+        itself.  Anything malformed (missing fields, unhashable values)
+        simply misses; the miss path validates properly and raises the
+        typed error.
+        """
+        try:
+            time_value = raw_request["time"]
+            if type(time_value) is not int or time_value < 0:
+                # bool/float times hash-equal valid int keys (True == 1,
+                # 10.0 == 10); they must take the miss path so validation
+                # rejects them exactly like it would against a cold cache.
+                return None
+            entry = self._cache.get(
+                raw_request["subject"], raw_request["location"], time_value
+            )
+        except (TypeError, KeyError):
+            return None
+        if entry is None or entry.payload is None:
+            return None
+        self._bump("cache_hits")
+        full, stripped = entry.payload
+        return full if include_trace else stripped
+
+    def _prime_cache(self, request, decision, include_trace: bool, token) -> str:
+        encoded = decision_to_dict(decision)
+        payload = (_dumps(encoded), _dumps(strip_trace(encoded)))
+        # The token was captured before evaluation; a mutation that landed
+        # mid-evaluation makes this store a no-op instead of resurrecting a
+        # pre-mutation decision the eviction already covered.
+        self._cache.put(
+            request.subject,
+            request.location,
+            request.time,
+            decision,
+            payload=payload,
+            generation=token,
+        )
+        return payload[0] if include_trace else payload[1]
+
+    def _op_decide(self, connection, message: Dict[str, Any]) -> _RawResult:
+        include_trace = bool(message.get("trace", True))
+        self._bump("decisions")
+        raw_request = message.get("request")
+        if self._cache is not None:
+            fragment = self._cached_fragment(raw_request, include_trace)
+            if fragment is not None:
+                return _RawResult(fragment)
+        request = request_from_dict(raw_request)
+        if self._cache is not None:
+            token = self._cache.generation(request.location)
+            decision = self._engine.pdp.decide(request)
+            return _RawResult(self._prime_cache(request, decision, include_trace, token))
+        decision = self._engine.pdp.decide(request)
+        return _RawResult(_dumps(decision_to_dict(decision, include_trace=include_trace)))
+
+    def _op_decide_many(self, connection, message: Dict[str, Any]) -> _RawResult:
+        raw_requests = message.get("requests", ())
+        include_trace = bool(message.get("trace", True))
+        self._bump("decisions", len(raw_requests))
+        if self._cache is None:
+            requests = [request_from_dict(item) for item in raw_requests]
+            fragments = [
+                _dumps(decision_to_dict(decision, include_trace=include_trace))
+                for decision in self._engine.pdp.decide_many(requests)
+            ]
+            return _RawResult('{"decisions":[%s]}' % ",".join(fragments))
+        fragments: List[Optional[str]] = []
+        misses: List[Tuple[int, Any]] = []
+        for raw_request in raw_requests:
+            fragment = self._cached_fragment(raw_request, include_trace)
+            fragments.append(fragment)
+            if fragment is None:
+                misses.append((len(fragments) - 1, raw_request))
+        if misses:
+            requests = [request_from_dict(raw) for _, raw in misses]
+            # Tokens before the batch evaluation: its memoizing snapshot may
+            # read any miss's state at any point of the batch.
+            tokens = [self._cache.generation(request.location) for request in requests]
+            decisions = self._engine.pdp.decide_many(requests)
+            for (position, _), request, decision, token in zip(
+                misses, requests, decisions, tokens
+            ):
+                fragments[position] = self._prime_cache(request, decision, include_trace, token)
+        return _RawResult('{"decisions":[%s]}' % ",".join(fragments))
+
+    def _op_observe(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        record = record_from_wire(message.get("record"))
+        pep = self._engine.pep
+        if record.kind is MovementKind.ENTER:
+            alerts = pep.observe_entry(record.time, record.subject, record.location)
+        else:
+            alerts = pep.observe_exit(record.time, record.subject, record.location)
+        self._bump("observed")
+        return {"alerts": [alert_to_dict(alert) for alert in alerts]}
+
+    def _ingestor(self, connection: _Connection, mode: str) -> MovementIngestor:
+        ingestor = connection.ingestors.get(mode)
+        if ingestor is None or ingestor.closed:
+            sink = (
+                self._engine.pep.observe_many
+                if mode == "monitor"
+                else self._engine.movement_db.record_many
+            )
+            extra: Dict[str, Any] = {}
+            if self._checkpoint_policy is not None:
+                # The shared gate keeps N connections' per-ingestor triggers
+                # from multiplying the configured checkpoint rate.
+                extra = {
+                    "checkpoint_policy": self._checkpoint_policy,
+                    "checkpoint": self._shared_checkpoint,
+                }
+            ingestor = MovementIngestor(sink, **self._ingest_knobs, **extra)
+            connection.ingestors[mode] = ingestor
+            with self._ingest_lock:
+                self._ingestors.append((mode, ingestor))
+        return ingestor
+
+    def _op_observe_batch(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        records = records_from_wire(message.get("records", ()))
+        mode = message.get("mode", "monitor")
+        if mode not in INGEST_MODES:
+            raise ProtocolError(
+                f"unknown ingest mode {mode!r}; expected one of {', '.join(INGEST_MODES)}"
+            )
+        existing = connection.ingestors.get(mode)
+        if not records and (existing is None or existing.closed):
+            # A defensive flush on a connection that never ingested: nothing
+            # to barrier — don't spawn a writer thread just to flush it.
+            return {"accepted": 0, "submitted": 0, "written": 0, "dropped": 0, "checkpoints": 0}
+        ingestor = self._ingestor(connection, mode)
+        accepted = ingestor.submit_many(records)
+        self._bump("observed", accepted)
+        if message.get("wait", False):
+            # Raises IngestError with the rejected records attached; the
+            # protocol layer ships them back for client-side retry.  The
+            # ingestor is this connection's own, so the failures belong to
+            # the client that submitted them.
+            ingestor.flush()
+        return {
+            "accepted": accepted,
+            "submitted": ingestor.submitted,
+            "written": ingestor.written,
+            "dropped": ingestor.dropped,
+            "checkpoints": ingestor.checkpoints,
+        }
+
+    def _op_query(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        text = message.get("text")
+        result = self._queries.evaluate(text)
+        self._bump("queries")
+        return query_result_to_dict(result)
+
+    def _op_checkpoint(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        # Land everything accepted so far — every connection's ingestors —
+        # before stamping the checkpoint.  Runs in the executor (blocking op).
+        with self._ingest_lock:
+            ingestors = [ingestor for _, ingestor in self._ingestors]
+        for ingestor in ingestors:
+            if ingestor.closed:
+                continue
+            try:
+                ingestor.flush(raise_failures=False)
+            except IngestError:
+                # Closed concurrently by its disconnecting client: that
+                # close already flushed everything it had accepted.
+                pass
+        compact = bool(message.get("compact", True))
+        receipt = self._engine.checkpoint(compact=compact)
+        retain = message.get("retain")
+        # Retention only accompanies compacting checkpoints (the
+        # CheckpointPolicy contract): a snapshot-only checkpoint must not
+        # destroy the existing archive.
+        if retain is not None and compact:
+            self._engine.movement_db.prune_archive(retain)
+        return checkpoint_to_dict(receipt)
+
+    def _op_health(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._ingest_lock:
+            # Cumulative per mode: retired (disconnected) ingestors' folded
+            # totals plus every live connection's counters.
+            ingest: Dict[str, Dict[str, int]] = {
+                mode: dict(totals) for mode, totals in self._ingest_totals.items()
+            }
+            for mode, ingestor in self._ingestors:
+                _fold_ingest(ingest, mode, ingestor)
+        uptime = time.monotonic() - self._started_at if self._started_at is not None else 0.0
+        return {
+            "status": "ok",
+            "uptime": uptime,
+            "backend": type(self._engine.movement_db).__name__,
+            "stats": self._snapshot_stats(),
+            "cache": self._cache.stats if self._cache is not None else None,
+            "ingest": ingest,
+        }
+
+    _HANDLERS = {
+        "decide": _op_decide,
+        "decide_many": _op_decide_many,
+        "observe": _op_observe,
+        "observe_batch": _op_observe_batch,
+        "query": _op_query,
+        "checkpoint": _op_checkpoint,
+        "health": _op_health,
+    }

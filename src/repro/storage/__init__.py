@@ -83,12 +83,13 @@ from repro.storage.authorization_db import (
     SqliteAuthorizationDatabase,
 )
 from repro.storage.indexes import IntervalIndex
-from repro.storage.ingest import BatchFailure, MovementIngestor
+from repro.storage.ingest import BatchFailure, CheckpointPolicy, MovementIngestor
 from repro.storage.movement_db import (
     Checkpoint,
     InMemoryMovementDatabase,
     MovementDatabase,
     MovementKind,
+    MovementNotice,
     MovementRecord,
     ShardedInMemoryMovementDatabase,
     SqliteMovementDatabase,
@@ -109,7 +110,9 @@ __all__ = [
     "ShardedOccupancyService",
     "MovementIngestor",
     "BatchFailure",
+    "CheckpointPolicy",
     "Checkpoint",
+    "MovementNotice",
     "AuthorizationDatabase",
     "InMemoryAuthorizationDatabase",
     "SqliteAuthorizationDatabase",

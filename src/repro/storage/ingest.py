@@ -17,7 +17,11 @@ classic group-commit shape:
   events still lands promptly);
 * :meth:`~MovementIngestor.flush` is a synchronous barrier, and closing the
   ingestor (or leaving its ``with`` block) flushes everything accepted so
-  far before the thread exits.
+  far before the thread exits;
+* an optional :class:`CheckpointPolicy` piggybacks movement-database
+  checkpointing on the same writer thread — every N written events and/or
+  M seconds, between batches, with an archive-retention cap so compaction
+  does not just move the unbounded growth into ``movements_archive``.
 
 Failure semantics follow the sink.  ``record_many`` is all-or-nothing, and
 ``observe_many`` runs inside the movement database's ``bulk()`` scope —
@@ -47,7 +51,7 @@ from repro.errors import IngestError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.movement_db import MovementRecord
 
-__all__ = ["BatchFailure", "MovementIngestor"]
+__all__ = ["BatchFailure", "CheckpointPolicy", "MovementIngestor"]
 
 #: Default flush triggers: a batch this large, or a record this old (seconds).
 DEFAULT_BATCH_SIZE = 256
@@ -57,13 +61,96 @@ DEFAULT_QUEUE_SIZE = 8192
 
 @dataclass(frozen=True)
 class BatchFailure:
-    """One batch the sink rejected: the error and how many records it dropped."""
+    """One batch the sink rejected: the error, the drop count, and the records.
+
+    *records* carries the batch itself, so a caller that catches the
+    :class:`~repro.errors.IngestError` a flush raises can retry the failed
+    records (after fixing the cause) or route them to a dead letter — the
+    remote ingest path ships them back to the submitting client for exactly
+    that purpose.
+    """
 
     error: Exception
     dropped: int
+    records: Tuple["MovementRecord", ...] = ()
 
     def __str__(self) -> str:
         return f"batch of {self.dropped} record(s) failed: {self.error}"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the ingest writer should checkpoint the movement database.
+
+    Parameters
+    ----------
+    every_events:
+        Checkpoint once this many records have been written since the last
+        checkpoint.
+    every_seconds:
+        Checkpoint when this much time has passed since the last checkpoint
+        **and** at least one record has been written since (an idle stream
+        never checkpoints an unchanged database).
+    retain_archived:
+        Archive-retention cap: after each compacting checkpoint, prune the
+        ``movements_archive`` down to at most this many records, so the
+        archive stops growing without bound.  ``None`` keeps everything.
+    compact:
+        Whether the scheduled checkpoints compact (archive the covered log
+        prefix); retention only applies to compacting checkpoints.
+
+    At least one of *every_events* / *every_seconds* is required.  The policy
+    piggybacks on the ingestor's writer thread — no extra thread, and a
+    checkpoint never lands inside an open batch transaction.
+    """
+
+    every_events: Optional[int] = None
+    every_seconds: Optional[float] = None
+    retain_archived: Optional[int] = None
+    compact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every_events is None and self.every_seconds is None:
+            raise IngestError(
+                "a checkpoint policy needs a trigger: every_events and/or every_seconds"
+            )
+        if self.every_events is not None and (
+            not isinstance(self.every_events, int)
+            or isinstance(self.every_events, bool)
+            or self.every_events < 1
+        ):
+            raise IngestError(f"every_events must be a positive integer, got {self.every_events!r}")
+        if self.every_seconds is not None and not self.every_seconds > 0:
+            raise IngestError(f"every_seconds must be positive, got {self.every_seconds!r}")
+        if self.retain_archived is not None and (
+            not isinstance(self.retain_archived, int)
+            or isinstance(self.retain_archived, bool)
+            or self.retain_archived < 0
+        ):
+            raise IngestError(
+                f"retain_archived must be a non-negative integer, got {self.retain_archived!r}"
+            )
+
+    def run(self, movement_db) -> object:
+        """Checkpoint *movement_db* under this policy (compaction + retention).
+
+        Retention note: pruned archive records are gone — point-in-time
+        query replays and windowed entry counts whose windows reach past the
+        pruned era see fewer events.  Size ``retain_archived`` to cover the
+        longest entry window whose budget must stay exactly enforced.
+        """
+        receipt = movement_db.checkpoint(compact=self.compact)
+        if self.compact and self.retain_archived is not None:
+            movement_db.prune_archive(self.retain_archived)
+        return receipt
+
+    def bound(self, movement_db) -> Callable[[], object]:
+        """A zero-argument checkpoint callable for :class:`MovementIngestor`.
+
+        The single wiring point for policy-driven checkpointing — pass
+        ``checkpoint_policy=policy, checkpoint=policy.bound(db)``.
+        """
+        return lambda: self.run(movement_db)
 
 
 class _Flush:
@@ -94,8 +181,18 @@ class MovementIngestor:
         Flush when the oldest buffered record has waited this many seconds,
         even if the batch is not full.
     queue_size:
-        Bound of the submission queue; :meth:`submit` blocks (backpressure)
-        when the writer is this far behind.
+        Bound, in **records**, of the submission queue; :meth:`submit` and
+        :meth:`submit_many` block (backpressure) when the writer is this
+        many records behind.  A single batch larger than the bound is
+        admitted alone rather than deadlocking.
+    checkpoint_policy:
+        Optional :class:`CheckpointPolicy`; the writer thread runs
+        *checkpoint* between batches whenever the policy comes due.
+    checkpoint:
+        Zero-argument callable performing the checkpoint (typically
+        ``lambda: policy.run(movement_db)`` — the enforcement point wires
+        this).  Required when a policy is given.  Checkpoint errors never
+        stop ingest; they are surfaced via :attr:`checkpoint_errors`.
     """
 
     def __init__(
@@ -105,6 +202,8 @@ class MovementIngestor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         max_latency: float = DEFAULT_MAX_LATENCY,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        checkpoint: Optional[Callable[[], object]] = None,
     ) -> None:
         if batch_size < 1:
             raise IngestError(f"batch size must be positive, got {batch_size!r}")
@@ -112,10 +211,24 @@ class MovementIngestor:
             raise IngestError(f"max latency must be positive, got {max_latency!r}")
         if queue_size < 1:
             raise IngestError(f"queue size must be positive, got {queue_size!r}")
+        if checkpoint_policy is not None and checkpoint is None:
+            raise IngestError("a checkpoint policy needs a checkpoint callable to run")
         self._sink = sink
         self._batch_size = batch_size
         self._max_latency = max_latency
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._checkpoint_policy = checkpoint_policy
+        self._checkpoint = checkpoint
+        self._checkpoints = 0
+        self._checkpoint_errors: List[Exception] = []
+        self._events_since_checkpoint = 0
+        self._last_checkpoint = time.monotonic()
+        # Backpressure is accounted in records, not queue items: batches
+        # travel as single items (one hand-off per submit_many), so the
+        # queue itself is unbounded and this pair enforces the record bound.
+        self._queue_bound = queue_size
+        self._queued_records = 0
+        self._capacity = threading.Condition()
+        self._queue: "queue.Queue" = queue.Queue()
         self._failures: List[BatchFailure] = []
         self._failure_lock = threading.Lock()
         # Serializes the closed-check-then-enqueue of submit()/flush()
@@ -134,26 +247,55 @@ class MovementIngestor:
     # ------------------------------------------------------------------ #
     # Producer API
     # ------------------------------------------------------------------ #
-    def submit(self, record: "MovementRecord") -> None:
-        """Queue one record for ingestion (blocks when the queue is full).
+    def _reserve(self, count: int) -> None:
+        """Block until *count* records fit under the queue bound.
 
-        Backpressure note: a full queue blocks *inside* the lifecycle lock;
-        that is safe because the writer thread keeps draining until it sees
-        the close sentinel, which cannot be enqueued while we hold the lock.
+        A batch larger than the whole bound is admitted once the queue is
+        empty (never deadlocks).  Waiting here can happen while holding the
+        lifecycle lock — safe for the same reason blocking on a bounded
+        queue was: the writer keeps draining (and releasing capacity)
+        without ever needing that lock, and the close sentinel cannot be
+        enqueued while a submitter holds it.
         """
+        with self._capacity:
+            while self._queued_records > 0 and self._queued_records + count > self._queue_bound:
+                self._capacity.wait()
+            self._queued_records += count
+
+    def _release(self, count: int) -> None:
+        with self._capacity:
+            self._queued_records -= count
+            self._capacity.notify_all()
+
+    def submit(self, record: "MovementRecord") -> None:
+        """Queue one record for ingestion (blocks when the queue is full)."""
         with self._lifecycle_lock:
             if self._closed:
                 raise IngestError("cannot submit to a closed ingestor")
+            self._reserve(1)
             self._queue.put(record)
             self._submitted += 1
 
     def submit_many(self, records: Iterable["MovementRecord"]) -> int:
-        """Queue an iterable of records; returns how many were accepted."""
-        count = 0
-        for record in records:
-            self.submit(record)
-            count += 1
-        return count
+        """Queue a batch of records as one item; returns how many were accepted.
+
+        The whole batch reaches the writer in one hand-off — at
+        remote-ingest rates the per-record queue round-trip of repeated
+        :meth:`submit` calls costs more than the storage write itself — but
+        still counts record-by-record against the queue bound
+        (backpressure).  The batch stays one flush unit: it is appended to
+        the writer's buffer atomically, so a sink failure reports it whole.
+        """
+        batch = list(records)
+        if not batch:
+            return 0
+        with self._lifecycle_lock:
+            if self._closed:
+                raise IngestError("cannot submit to a closed ingestor")
+            self._reserve(len(batch))
+            self._queue.put(batch)
+            self._submitted += len(batch)
+        return len(batch)
 
     def flush(self, *, raise_failures: bool = True) -> None:
         """Block until everything submitted so far has reached the sink.
@@ -225,6 +367,17 @@ class MovementIngestor:
         with self._failure_lock:
             return tuple(self._failures)
 
+    @property
+    def checkpoints(self) -> int:
+        """How many scheduled checkpoints the writer thread has completed."""
+        return self._checkpoints
+
+    @property
+    def checkpoint_errors(self) -> Tuple[Exception, ...]:
+        """Errors raised by scheduled checkpoints (ingest kept flowing)."""
+        with self._failure_lock:
+            return tuple(self._checkpoint_errors)
+
     def _raise_failures(self) -> None:
         with self._failure_lock:
             failures, self._failures = self._failures, []
@@ -246,11 +399,17 @@ class MovementIngestor:
             timeout = None
             if deadline is not None:
                 timeout = max(0.0, deadline - time.monotonic())
+            checkpoint_timeout = self._checkpoint_timeout()
+            if checkpoint_timeout is not None:
+                timeout = (
+                    checkpoint_timeout if timeout is None else min(timeout, checkpoint_timeout)
+                )
             try:
                 item = self._queue.get(timeout=timeout)
             except queue.Empty:
                 self._write(buffer)
                 buffer, deadline = [], None
+                self._maybe_checkpoint()
                 continue
             if item is _CLOSE:
                 # Drain everything that raced the close: records enqueued
@@ -265,23 +424,35 @@ class MovementIngestor:
                         break
                     if isinstance(straggler, _Flush):
                         markers.append(straggler)
+                    elif isinstance(straggler, list):
+                        self._release(len(straggler))
+                        buffer.extend(straggler)
                     elif straggler is not _CLOSE:
+                        self._release(1)
                         buffer.append(straggler)
                 self._write(buffer)
                 for marker in markers:
                     marker.done.set()
+                self._maybe_checkpoint()
                 return
             if isinstance(item, _Flush):
                 self._write(buffer)
                 buffer, deadline = [], None
                 item.done.set()
+                self._maybe_checkpoint()
                 continue
             if not buffer:
                 deadline = time.monotonic() + self._max_latency
-            buffer.append(item)
+            if isinstance(item, list):  # a submit_many batch, handed off whole
+                self._release(len(item))
+                buffer.extend(item)
+            else:
+                self._release(1)
+                buffer.append(item)
             if len(buffer) >= self._batch_size:
                 self._write(buffer)
                 buffer, deadline = [], None
+                self._maybe_checkpoint()
 
     def _write(self, batch: List["MovementRecord"]) -> None:
         if not batch:
@@ -290,6 +461,48 @@ class MovementIngestor:
             self._sink(batch)
         except Exception as exc:  # noqa: BLE001 - surfaced via flush/close
             with self._failure_lock:
-                self._failures.append(BatchFailure(exc, len(batch)))
+                self._failures.append(BatchFailure(exc, len(batch), tuple(batch)))
         else:
             self._written += len(batch)
+            self._events_since_checkpoint += len(batch)
+
+    # ------------------------------------------------------------------ #
+    # Scheduled checkpoints (writer thread only)
+    # ------------------------------------------------------------------ #
+    def _checkpoint_timeout(self) -> Optional[float]:
+        """Seconds until the time-based checkpoint trigger, or ``None``.
+
+        Only meaningful when records have landed since the last checkpoint —
+        an idle stream sleeps on the queue indefinitely instead of waking to
+        re-checkpoint an unchanged database.
+        """
+        policy = self._checkpoint_policy
+        if policy is None or policy.every_seconds is None or self._events_since_checkpoint == 0:
+            return None
+        return max(0.0, self._last_checkpoint + policy.every_seconds - time.monotonic())
+
+    def _maybe_checkpoint(self) -> None:
+        policy = self._checkpoint_policy
+        if policy is None or self._events_since_checkpoint == 0:
+            return
+        due = (
+            policy.every_events is not None
+            and self._events_since_checkpoint >= policy.every_events
+        ) or (
+            policy.every_seconds is not None
+            and time.monotonic() - self._last_checkpoint >= policy.every_seconds
+        )
+        if not due:
+            return
+        try:
+            self._checkpoint()
+        except Exception as exc:  # noqa: BLE001 - ingest must keep flowing
+            with self._failure_lock:
+                self._checkpoint_errors.append(exc)
+        else:
+            self._checkpoints += 1
+        finally:
+            # Reset either way: a failing checkpoint retries at the next
+            # trigger instead of after every batch.
+            self._events_since_checkpoint = 0
+            self._last_checkpoint = time.monotonic()

@@ -48,7 +48,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.core.subjects import subject_name
@@ -61,6 +61,7 @@ from repro.temporal.interval import TimeInterval
 __all__ = [
     "Checkpoint",
     "MovementKind",
+    "MovementNotice",
     "MovementRecord",
     "MovementDatabase",
     "InMemoryMovementDatabase",
@@ -106,6 +107,30 @@ class MovementRecord:
 
 
 @dataclass(frozen=True)
+class MovementNotice:
+    """One applied movement, as announced to mutation subscribers.
+
+    *previous_location* is where the projection tracked the subject
+    immediately before this record was folded in (``None`` when the subject
+    was outside).  Subscribers that cache occupancy-derived reads need it:
+    an ENTER while the subject was tracked elsewhere silently changes the
+    occupancy of **both** locations.
+    """
+
+    record: MovementRecord
+    previous_location: Optional[LocationName] = None
+
+    @property
+    def affected_locations(self) -> Tuple[LocationName, ...]:
+        """Every location whose occupancy-derived reads this movement may change."""
+        record = self.record
+        previous = self.previous_location
+        if previous is not None and previous != record.location:
+            return (record.location, previous)
+        return (record.location,)
+
+
+@dataclass(frozen=True)
 class Checkpoint:
     """The receipt a :meth:`MovementDatabase.checkpoint` call returns.
 
@@ -148,6 +173,7 @@ class MovementDatabase(ABC):
         self._strict = strict
         self._shards = resolve_shard_count(shards)
         self._occupancy = self._service_factory()
+        self._movement_listeners: List = []
 
     def _service_factory(self):
         if self._shards is not None:
@@ -183,6 +209,70 @@ class MovementDatabase(ABC):
     def anomalies(self) -> Tuple[OccupancyAnomaly, ...]:
         """Inconsistent-exit notes collected by the projection."""
         return self._occupancy.anomalies
+
+    # -- mutation notifications ----------------------------------------- #
+    def subscribe(self, listener) -> "Callable[[], None]":
+        """Register *listener* for movement mutations; returns an unsubscriber.
+
+        The listener is called with a sequence of :class:`MovementNotice`
+        after each write lands — one call per record on the single-record
+        path, one per batch on the batch paths.  Notifications are **eviction
+        hints, not durable truth**: a batch inside an enclosing ``bulk()``
+        scope notifies as soon as it is applied, so a later rollback leaves
+        subscribers having over-invalidated (safe for caches) rather than
+        under-invalidated.  Listeners run on the writing thread and must not
+        raise.
+        """
+        self._movement_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._movement_listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, notices: List[MovementNotice]) -> None:
+        if not notices:
+            return
+        for listener in list(self._movement_listeners):
+            listener(notices)
+
+    def _notices_for(self, batch: List[MovementRecord]) -> List[MovementNotice]:
+        """Notices for *batch*, with previous locations evolving through it.
+
+        Must be called **before** the batch is folded into the projection:
+        each record's previous location is read from the live projection for
+        the subject's first record in the batch, then tracked through the
+        batch itself.
+        """
+        if not self._movement_listeners:
+            return []
+        tracked: Dict[str, Optional[str]] = {}
+        notices: List[MovementNotice] = []
+        current_location = self._occupancy.current_location
+        for record in batch:
+            subject = record.subject
+            if subject in tracked:
+                previous = tracked[subject]
+            else:
+                previous = current_location(subject)
+            notices.append(MovementNotice(record, previous))
+            if record.kind is MovementKind.ENTER:
+                tracked[subject] = record.location
+            elif previous == record.location:
+                # A consistent exit evicts; an anomalous one leaves the
+                # tracked location alone (mirroring the projection).
+                tracked[subject] = None
+            else:
+                tracked[subject] = previous
+        return notices
+
+    def _notice_for(self, record: MovementRecord) -> List[MovementNotice]:
+        if not self._movement_listeners:
+            return []
+        return [MovementNotice(record, self._occupancy.current_location(record.subject))]
 
     # -- write-side validation ------------------------------------------ #
     def _validate_record(self, record: MovementRecord) -> None:
@@ -279,6 +369,23 @@ class MovementDatabase(ABC):
     def archived_count(self) -> int:
         """Movement records moved to the archive by compacting checkpoints."""
         return 0
+
+    def prune_archive(self, retain: int) -> int:
+        """Drop the oldest archived records until at most *retain* remain.
+
+        Compacting checkpoints bound the *live* log but let the archive grow
+        without bound; retention caps it.  Returns how many records were
+        dropped.  Dropped records are gone for good —
+        ``history(include_archived=True)`` and archive-backed windowed entry
+        counts no longer see them (the projection's counters, which already
+        folded them in, stay exact).
+        """
+        if not isinstance(retain, int) or isinstance(retain, bool) or retain < 0:
+            raise StorageError(f"archive retention must be a non-negative integer, got {retain!r}")
+        return self._prune_archive(retain)
+
+    def _prune_archive(self, retain: int) -> int:
+        raise StorageError(f"{type(self).__name__} does not keep an archive to prune")
 
     @property
     def events_since_checkpoint(self) -> int:
@@ -391,9 +498,11 @@ class InMemoryMovementDatabase(MovementDatabase):
         with self._txn_lock:
             self._validate_record(record)
             self._check_strict_exit(record)
+            notices = self._notice_for(record)
             self._records.append(record)
             self._total_recorded += 1
             self._occupancy.apply(record)
+            self._notify(notices)
             return record
 
     def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
@@ -407,9 +516,11 @@ class InMemoryMovementDatabase(MovementDatabase):
         batch = list(records)
         with self._txn_lock:
             self._validate_batch(batch)
+            notices = self._notices_for(batch)
             self._records.extend(batch)
             self._total_recorded += len(batch)
             self._occupancy.apply_many(batch)
+            self._notify(notices)
             return batch
 
     @contextmanager
@@ -470,6 +581,14 @@ class InMemoryMovementDatabase(MovementDatabase):
     @property
     def archived_count(self) -> int:
         return len(self._archive)
+
+    def _prune_archive(self, retain: int) -> int:
+        with self._txn_lock:
+            excess = len(self._archive) - retain
+            if excess <= 0:
+                return 0
+            del self._archive[:excess]
+            return excess
 
     @property
     def events_since_checkpoint(self) -> int:
@@ -546,8 +665,11 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         self._seq_lock = threading.Lock()
         self._next_seq = 1
         self._strict_lock = threading.Lock()
-        #: archived segments as (batch_seq, shard_index, records).
+        #: archived segments as (batch_seq, shard_index, records); guarded by
+        #: _archive_lock — a scheduled checkpoint on the ingest writer thread
+        #: and a foreground/remote prune or history() may touch it together.
         self._archive: List[Tuple[int, int, List[MovementRecord]]] = []
+        self._archive_lock = threading.Lock()
         self._checkpoint_position = 0
         self._checkpoint_state: Optional[tuple] = None
 
@@ -566,10 +688,16 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
             # occupancy, which must not move until the batch lands.
             with self._strict_lock:
                 self._validate_batch(batch)
+                notices = self._notices_for(batch)
                 self._ingest(batch)
         else:
             self._validate_batch(batch)
+            # Under concurrent writers the previous-location reads race other
+            # shards' batches, but subjects are writer-disjoint per the
+            # tracker-stream contract, so each subject's chain is exact.
+            notices = self._notices_for(batch)
             self._ingest(batch)
+        self._notify(notices)
         return batch
 
     def _ingest(self, batch: List[MovementRecord]) -> None:
@@ -609,15 +737,17 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
                 for _, records in shard_log:
                     covered += len(records)
                 if compact:
-                    for batch_seq, records in shard_log:
-                        archived_now += len(records)
-                        self._archive.append((batch_seq, index, records))
+                    with self._archive_lock:
+                        for batch_seq, records in shard_log:
+                            archived_now += len(records)
+                            self._archive.append((batch_seq, index, records))
                     shard_log.clear()
                 state.append(projection.snapshot())
         self._checkpoint_state = tuple(state)
         self._checkpoint_position = covered
         if compact:
-            self._archive.sort(key=lambda entry: (entry[0], entry[1]))
+            with self._archive_lock:
+                self._archive.sort(key=lambda entry: (entry[0], entry[1]))
         return Checkpoint(
             covered,
             archived_now,
@@ -632,7 +762,26 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
 
     @property
     def archived_count(self) -> int:
-        return sum(len(records) for _, _, records in self._archive)
+        with self._archive_lock:
+            return sum(len(records) for _, _, records in self._archive)
+
+    def _prune_archive(self, retain: int) -> int:
+        # Segments are kept sorted oldest-first by (batch seq, shard); drop
+        # from the front, slicing the boundary segment for an exact cap.
+        with self._archive_lock:
+            excess = sum(len(records) for _, _, records in self._archive) - retain
+            if excess <= 0:
+                return 0
+            dropped = 0
+            while dropped < excess and self._archive:
+                batch_seq, index, records = self._archive[0]
+                take = min(excess - dropped, len(records))
+                if take == len(records):
+                    self._archive.pop(0)
+                else:
+                    self._archive[0] = (batch_seq, index, records[take:])
+                dropped += take
+            return dropped
 
     @property
     def events_since_checkpoint(self) -> int:
@@ -645,7 +794,8 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
             with self._occupancy.locked_shard(index) as projection:
                 self._shard_records[index].clear()
                 projection.clear()
-        self._archive.clear()
+        with self._archive_lock:
+            self._archive.clear()
         with self._seq_lock:
             self._next_seq = 1
         self._checkpoint_position = 0
@@ -662,7 +812,8 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
     ) -> List[MovementRecord]:
         segments: List[Tuple[int, int, List[MovementRecord]]] = []
         if include_archived:
-            segments.extend(self._archive)
+            with self._archive_lock:
+                segments.extend(self._archive)
         for index in range(len(self._shard_records)):
             with self._occupancy.locked_shard(index):
                 segments.extend(
@@ -970,6 +1121,19 @@ class SqliteMovementDatabase(MovementDatabase):
         (count,) = self._connection.execute("SELECT COUNT(*) FROM movements_archive").fetchone()
         return int(count)
 
+    def _prune_archive(self, retain: int) -> int:
+        with self._txn_lock:
+            excess = self.archived_count - retain
+            if excess <= 0:
+                return 0
+            self._connection.execute(
+                "DELETE FROM movements_archive WHERE seq IN"
+                " (SELECT seq FROM movements_archive ORDER BY seq LIMIT ?)",
+                (excess,),
+            )
+            self._connection.commit()
+            return excess
+
     @property
     def events_since_checkpoint(self) -> int:
         (count,) = self._connection.execute(
@@ -1005,6 +1169,7 @@ class SqliteMovementDatabase(MovementDatabase):
         with self._txn_lock:
             self._validate_record(record)
             self._check_strict_exit(record)
+            notices = self._notice_for(record)
             self._connection.execute(
                 "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
                 (record.time, record.subject, record.location, record.kind.value),
@@ -1014,6 +1179,7 @@ class SqliteMovementDatabase(MovementDatabase):
             if not self._in_bulk:
                 self._stamp_applied()
                 self._connection.commit()
+            self._notify(notices)
             return record
 
     def record_many(self, records: Iterable[MovementRecord]) -> List[MovementRecord]:
@@ -1027,9 +1193,11 @@ class SqliteMovementDatabase(MovementDatabase):
         batch = list(records)
         with self._txn_lock:
             self._validate_batch(batch)
+            notices = self._notices_for(batch)
             if self._in_bulk:
                 # The enclosing bulk() scope owns the transaction (and rollback).
                 self._write_batch(batch)
+                self._notify(notices)
                 return batch
             state = self._occupancy.snapshot()
             try:
@@ -1039,6 +1207,7 @@ class SqliteMovementDatabase(MovementDatabase):
                 self._connection.rollback()
                 self._occupancy.restore(state)
                 raise
+            self._notify(notices)
             return batch
 
     def _write_batch(self, batch: List[MovementRecord]) -> None:

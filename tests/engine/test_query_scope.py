@@ -1,0 +1,88 @@
+"""LIVE/ARCHIVED scope modifiers: grammar and evaluator behavior."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.engine.query import HistoryScope, QueryEngine, parse
+from repro.engine.query.ast import WhereIsQuery, WhoIsInQuery
+from repro.api import Ltam
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import grid_building
+
+
+class TestGrammar:
+    def test_default_scope_is_full_history(self):
+        query = parse("WHO IS IN Lobby AT 10")
+        assert isinstance(query, WhoIsInQuery)
+        assert query.scope is HistoryScope.ARCHIVED
+        assert query.scope.include_archived
+
+    @pytest.mark.parametrize(
+        "text, scope",
+        [
+            ("WHO IS IN Lobby AT 10 LIVE", HistoryScope.LIVE),
+            ("WHO IS IN Lobby AT 10 ARCHIVED", HistoryScope.ARCHIVED),
+            ("who is in Lobby at 10 live", HistoryScope.LIVE),  # case-insensitive
+        ],
+    )
+    def test_who_is_in_scope(self, text, scope):
+        query = parse(text)
+        assert query.scope is scope
+
+    @pytest.mark.parametrize(
+        "text, scope",
+        [
+            ("WHERE IS Alice AT 10 LIVE", HistoryScope.LIVE),
+            ("WHERE IS Alice AT 10 ARCHIVED", HistoryScope.ARCHIVED),
+            ("WHERE IS Alice LIVE", HistoryScope.LIVE),  # scope without AT parses too
+        ],
+    )
+    def test_where_is_scope(self, text, scope):
+        query = parse(text)
+        assert isinstance(query, WhereIsQuery)
+        assert query.scope is scope
+
+    def test_scope_must_be_trailing(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("WHO IS IN Lobby LIVE AT 10")
+
+    def test_scope_keyword_is_reserved_as_a_name(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("WHERE IS LIVE")  # LIVE cannot be a subject name
+
+
+class TestEvaluation:
+    @pytest.fixture
+    def engine(self):
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        # Pre-checkpoint era: Alice settles into R0C0.
+        engine.movement_db.record_entry(1, "Alice", "B.R0C0")
+        engine.movement_db.record_entry(2, "Bob", "B.R0C1")
+        engine.checkpoint()  # compacts: the era above moves to the archive
+        # Post-checkpoint era: only Bob moves.
+        engine.movement_db.record_exit(10, "Bob", "B.R0C1")
+        return engine
+
+    def test_default_replay_spans_the_archive(self, engine):
+        queries = QueryEngine(engine)
+        assert queries.evaluate("WHERE IS Alice AT 5").scalar == "B.R0C0"
+        assert queries.evaluate("WHO IS IN B.R0C0 AT 5").rows == (("Alice",),)
+
+    def test_live_replay_sees_only_events_since_compaction(self, engine):
+        queries = QueryEngine(engine)
+        # Alice's entry lives in the archive: a LIVE replay cannot see it.
+        assert queries.evaluate("WHERE IS Alice AT 5 LIVE").scalar is None
+        assert queries.evaluate("WHO IS IN B.R0C0 AT 5 LIVE").rows == ()
+        # Explicit ARCHIVED matches the default.
+        assert (
+            queries.evaluate("WHERE IS Alice AT 5 ARCHIVED").scalar
+            == queries.evaluate("WHERE IS Alice AT 5").scalar
+        )
+
+    def test_scope_does_not_affect_projection_reads(self, engine):
+        queries = QueryEngine(engine)
+        # No AT time: the current-occupancy projection answers; the archive
+        # was already folded in, so both scopes agree.
+        assert queries.evaluate("WHERE IS Alice LIVE").scalar == "B.R0C0"
+        assert queries.evaluate("WHERE IS Alice").scalar == "B.R0C0"

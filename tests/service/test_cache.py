@@ -1,0 +1,253 @@
+"""DecisionCache behavior: keying, LRU bounds, event-wise invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import AccessRequest, DenialReason
+from repro.api.decision import Decision
+from repro.service.cache import DecisionCache
+from repro.service.errors import ServiceError
+from repro.storage.movement_db import (
+    InMemoryMovementDatabase,
+    MovementKind,
+    MovementRecord,
+)
+
+
+def _decision(time=15, subject="Alice", location="CAIS"):
+    return Decision.denied_by(
+        AccessRequest(time, subject, location), DenialReason.NO_AUTHORIZATION
+    )
+
+
+def test_get_put_and_stats():
+    cache = DecisionCache()
+    assert cache.get("Alice", "CAIS", 15) is None
+    decision = _decision()
+    cache.put("Alice", "CAIS", 15, decision, payload={"granted": False})
+    entry = cache.get("Alice", "CAIS", 15)
+    assert entry.decision is decision and entry.payload == {"granted": False}
+    assert cache.get("Alice", "CAIS", 16) is None  # bucket=1: exact time keys
+    assert cache.get("Bob", "CAIS", 15) is None
+    stats = cache.stats
+    assert stats["hits"] == 1 and stats["misses"] == 3 and stats["size"] == 1
+
+
+def test_bucket_groups_times():
+    cache = DecisionCache(bucket=10)
+    cache.put("Alice", "CAIS", 15, _decision())
+    assert cache.get("Alice", "CAIS", 11) is not None  # same bucket
+    assert cache.get("Alice", "CAIS", 21) is None  # next bucket
+
+
+def test_constructor_validation():
+    with pytest.raises(ServiceError):
+        DecisionCache(bucket=0)
+    with pytest.raises(ServiceError):
+        DecisionCache(maxsize=0)
+
+
+def test_lru_eviction_order():
+    cache = DecisionCache(maxsize=2)
+    cache.put("a", "L", 1, _decision(1, "a", "L"))
+    cache.put("b", "L", 2, _decision(2, "b", "L"))
+    assert cache.get("a", "L", 1) is not None  # refresh "a": now "b" is LRU
+    cache.put("c", "L", 3, _decision(3, "c", "L"))
+    assert cache.get("b", "L", 2) is None
+    assert cache.get("a", "L", 1) is not None
+    assert cache.get("c", "L", 3) is not None
+    assert cache.stats["evicted"] == 1 and len(cache) == 2
+
+
+def test_invalidate_location_evicts_only_that_location():
+    cache = DecisionCache()
+    cache.put("Alice", "CAIS", 15, _decision())
+    cache.put("Alice", "Lab", 15, _decision(15, "Alice", "Lab"))
+    assert cache.invalidate_location("CAIS") == 1
+    assert cache.get("Alice", "CAIS", 15) is None
+    assert cache.get("Alice", "Lab", 15) is not None
+
+
+def test_invalidate_pair_is_subject_scoped():
+    cache = DecisionCache()
+    cache.put("Alice", "CAIS", 15, _decision())
+    cache.put("Bob", "CAIS", 15, _decision(15, "Bob", "CAIS"))
+    assert cache.invalidate_pair("Alice", "CAIS") == 1
+    assert cache.get("Alice", "CAIS", 15) is None
+    assert cache.get("Bob", "CAIS", 15) is not None
+
+
+def test_clear():
+    cache = DecisionCache()
+    cache.put("Alice", "CAIS", 15, _decision())
+    cache.put("Bob", "Lab", 3, _decision(3, "Bob", "Lab"))
+    assert cache.clear() == 2 and len(cache) == 0
+
+
+def test_pdp_hooks_lookup_store():
+    cache = DecisionCache()
+    request = AccessRequest(15, "Alice", "CAIS")
+    assert cache.lookup(request) is None
+    decision = _decision()
+    cache.store(request, decision)
+    assert cache.lookup(request) is decision
+    # A different request with the same key is served the cached decision.
+    assert cache.lookup(AccessRequest(15, "Alice", "CAIS")) is decision
+
+
+def test_connect_evicts_on_movements():
+    cache = DecisionCache()
+    db = InMemoryMovementDatabase()
+    unsubscribe = cache.connect(db)
+    cache.put("Alice", "CAIS", 15, _decision())
+    cache.put("Bob", "Lab", 15, _decision(15, "Bob", "Lab"))
+    db.record_entry(16, "Alice", "CAIS")
+    assert cache.get("Alice", "CAIS", 15) is None  # CAIS evicted
+    assert cache.get("Bob", "Lab", 15) is not None  # Lab untouched
+    unsubscribe()
+    cache.put("Bob", "Lab", 15, _decision(15, "Bob", "Lab"))
+    db.record_entry(17, "Carol", "Lab")
+    assert cache.get("Bob", "Lab", 15) is not None  # unsubscribed: no eviction
+
+
+def test_enter_while_elsewhere_evicts_both_locations():
+    """An ENTER with the subject tracked elsewhere changes two occupancies."""
+    cache = DecisionCache()
+    db = InMemoryMovementDatabase()
+    cache.connect(db)
+    db.record_entry(1, "Alice", "Lab")
+    cache.put("Bob", "Lab", 5, _decision(5, "Bob", "Lab"))
+    cache.put("Bob", "CAIS", 5, _decision(5, "Bob", "CAIS"))
+    cache.put("Bob", "Gym", 5, _decision(5, "Bob", "Gym"))
+    # Alice jumps Lab -> CAIS without an exit record: occupancy of both changes.
+    db.record_entry(6, "Alice", "CAIS")
+    assert cache.get("Bob", "Lab", 5) is None
+    assert cache.get("Bob", "CAIS", 5) is None
+    assert cache.get("Bob", "Gym", 5) is not None
+
+
+def test_batch_record_many_evicts_touched_locations_only():
+    cache = DecisionCache()
+    db = InMemoryMovementDatabase()
+    cache.connect(db)
+    cache.put("x", "A", 1, _decision(1, "x", "A"))
+    cache.put("x", "B", 1, _decision(1, "x", "B"))
+    cache.put("x", "C", 1, _decision(1, "x", "C"))
+    db.record_many(
+        [
+            MovementRecord(2, "Alice", "A", MovementKind.ENTER),
+            MovementRecord(3, "Alice", "A", MovementKind.EXIT),
+            MovementRecord(4, "Alice", "B", MovementKind.ENTER),
+        ]
+    )
+    assert cache.get("x", "A", 1) is None
+    assert cache.get("x", "B", 1) is None
+    assert cache.get("x", "C", 1) is not None
+
+
+class TestGenerationTokens:
+    """A store racing an invalidation must be dropped, not resurrected."""
+
+    def test_store_dropped_when_location_invalidated_after_token(self):
+        cache = DecisionCache()
+        token = cache.generation("CAIS")
+        # The mutation lands (and evicts) between evaluation start and store.
+        cache.invalidate_location("CAIS")
+        assert not cache.put("Alice", "CAIS", 15, _decision(), generation=token)
+        assert cache.get("Alice", "CAIS", 15) is None
+        assert cache.stats["stale_stores"] == 1
+
+    def test_store_accepted_when_generation_unmoved(self):
+        cache = DecisionCache()
+        token = cache.generation("CAIS")
+        assert cache.put("Alice", "CAIS", 15, _decision(), generation=token)
+        assert cache.get("Alice", "CAIS", 15) is not None
+
+    def test_movement_notice_bumps_generation_even_with_no_cached_keys(self):
+        cache = DecisionCache()
+        db = InMemoryMovementDatabase()
+        cache.connect(db)
+        token = cache.generation("CAIS")
+        db.record_entry(1, "Alice", "CAIS")  # nothing cached for CAIS yet
+        assert not cache.put("Bob", "CAIS", 15, _decision(15, "Bob", "CAIS"), generation=token)
+
+    def test_clear_moves_every_generation(self):
+        cache = DecisionCache()
+        token = cache.generation("Lab")
+        cache.clear()
+        assert not cache.put("Alice", "Lab", 1, _decision(1, "Alice", "Lab"), generation=token)
+
+    def test_pair_invalidation_bumps_the_location(self):
+        cache = DecisionCache()
+        token = cache.generation("CAIS")
+        cache.invalidate_pair("Alice", "CAIS")
+        assert not cache.put("Bob", "CAIS", 1, _decision(1, "Bob", "CAIS"), generation=token)
+
+    def test_pdp_decide_store_respects_a_mid_evaluation_mutation(self):
+        """End-to-end: mutate the store mid-pipeline; the decision must not be cached."""
+        from repro.api import Ltam, grant
+        from repro.api.stages import default_pipeline
+        from repro.locations.multilevel import LocationHierarchy
+        from repro.simulation.buildings import grid_building
+
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        engine.grant(grant("alice").at("B.R0C0").during(0, 100).entries(5))
+        cache = engine.attach_decision_cache()
+
+        class MutateMidPipeline:
+            """A stage that simulates a concurrent observe during evaluation."""
+
+            name = "mutate-mid-pipeline"
+            fired = False
+
+            def evaluate(self, context):
+                from repro.api.decision import StageOutcome, StageResult
+
+                if not MutateMidPipeline.fired:
+                    MutateMidPipeline.fired = True
+                    engine.movement_db.record_entry(1, "alice", "B.R0C0")
+                return StageResult(self.name, StageOutcome.CONTINUE)
+
+        engine.pdp._stages = (MutateMidPipeline(),) + tuple(default_pipeline())
+        decision = engine.decide((10, "alice", "B.R0C0"))
+        assert decision.granted
+        # The mid-evaluation mutation invalidated 'B.R0C0'; the stale
+        # decision (computed partly against pre-mutation state) must NOT
+        # have been cached.
+        assert cache.get("alice", "B.R0C0", 10) is None
+        assert cache.stats["stale_stores"] >= 1
+
+
+class TestEngineCacheLifecycle:
+    def test_detach_decision_cache_unsubscribes(self):
+        from repro.api import Ltam
+        from repro.locations.multilevel import LocationHierarchy
+        from repro.simulation.buildings import grid_building
+
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        first = engine.attach_decision_cache()
+        assert engine.detach_decision_cache() is first
+        first.put("x", "B.R0C0", 1, _decision(1, "x", "B.R0C0"))
+        engine.movement_db.record_entry(2, "alice", "B.R0C0")
+        # Detached: the old cache no longer hears movement notifications.
+        assert first.get("x", "B.R0C0", 1) is not None
+        assert engine.pdp.cache is None
+
+    def test_reattach_replaces_the_subscription(self):
+        from repro.api import Ltam
+        from repro.locations.multilevel import LocationHierarchy
+        from repro.simulation.buildings import grid_building
+
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        first = engine.attach_decision_cache()
+        second = engine.attach_decision_cache()
+        assert engine.pdp.cache is second
+        first.put("x", "B.R0C0", 1, _decision(1, "x", "B.R0C0"))
+        second.put("x", "B.R0C0", 1, _decision(1, "x", "B.R0C0"))
+        engine.movement_db.record_entry(2, "alice", "B.R0C0")
+        assert first.get("x", "B.R0C0", 1) is not None  # unsubscribed
+        assert second.get("x", "B.R0C0", 1) is None  # live subscription

@@ -1,0 +1,502 @@
+"""Server-vs-embedded parity over the wire, including under cache invalidation.
+
+Every test builds two identically seeded engines — one behind an
+:class:`LtamServer`, one embedded as the oracle — and checks that remote
+calls produce exactly the decisions/state the embedded engine produces.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.alerts import AlertKind
+from repro.errors import IngestError, QuerySyntaxError
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import grid_building
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+from repro.api import Ltam
+from repro.engine.query.evaluator import QueryEngine
+from repro.service import (
+    DecisionCache,
+    LtamServer,
+    RemotePdp,
+    RemotePep,
+    ServiceClient,
+    ServiceConnectionError,
+)
+from repro.storage.movement_db import (
+    InMemoryMovementDatabase,
+    MovementKind,
+    MovementRecord,
+)
+
+SUBJECT_COUNT = 40
+HISTORY_EVENTS = 2_000
+
+
+def _hierarchy() -> LocationHierarchy:
+    return LocationHierarchy(grid_building("B", 4, 4))
+
+
+def _seeded_engine(hierarchy=None) -> Ltam:
+    hierarchy = hierarchy if hierarchy is not None else _hierarchy()
+    generator = AuthorizationWorkloadGenerator(hierarchy, seed=11)
+    subjects = generate_subjects(SUBJECT_COUNT)
+    engine = Ltam.builder().hierarchy(hierarchy).build()
+    engine.grant_all(generator.authorizations(subjects))
+    engine.movement_db.record_many(generator.movement_events(subjects, HISTORY_EVENTS))
+    return engine
+
+
+def _request_pool(hierarchy, count=300, seed=23):
+    generator = AuthorizationWorkloadGenerator(hierarchy, seed=seed)
+    return generator.requests(generate_subjects(SUBJECT_COUNT), count)
+
+
+def _auth_key(authorization):
+    """Semantic identity of an authorization (auto-generated ids differ
+    between separately built engines, so they are excluded)."""
+    if authorization is None:
+        return None
+    return (
+        authorization.subject,
+        authorization.location,
+        str(authorization.entry_duration),
+        str(authorization.exit_duration),
+        authorization.max_entries,
+    )
+
+
+def assert_decisions_match(remote, local):
+    assert remote.granted == local.granted
+    assert remote.reason == local.reason
+    assert remote.entries_used == local.entries_used
+    assert _auth_key(remote.authorization) == _auth_key(local.authorization)
+    assert remote.deciding_stage == local.deciding_stage
+    assert [(r.stage, r.outcome) for r in remote.trace] == [
+        (r.stage, r.outcome) for r in local.trace
+    ]
+
+
+@pytest.fixture
+def oracle():
+    return _seeded_engine()
+
+
+@pytest.fixture
+def server():
+    with LtamServer(_seeded_engine()) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as connected:
+        yield connected
+
+
+class TestDecisionParity:
+    def test_decide_matches_embedded_on_workload_requests(self, client, oracle):
+        requests = _request_pool(oracle.hierarchy, count=120)
+        for request in requests:
+            assert_decisions_match(client.decide(request), oracle.decide(request))
+
+    def test_decide_many_matches_embedded(self, client, oracle):
+        requests = _request_pool(oracle.hierarchy, count=300)
+        remote = client.decide_many(requests)
+        local = oracle.decide_many(requests)
+        assert len(remote) == len(local) == len(requests)
+        for r, l in zip(remote, local):
+            assert_decisions_match(r, l)
+
+    def test_decide_without_trace(self, client, oracle):
+        request = _request_pool(oracle.hierarchy, count=1)[0]
+        remote = client.decide(request, trace=False)
+        local = oracle.decide(request)
+        assert remote.trace == ()
+        assert remote.granted == local.granted and remote.reason == local.reason
+
+
+class TestCachedParity:
+    def test_cached_server_stays_parity_correct_under_invalidation(self, oracle):
+        """Interleave invalidating observes with decides; zero divergence."""
+        hierarchy = _hierarchy()
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=77)
+        subjects = generate_subjects(SUBJECT_COUNT)
+        future = generator.movement_events(subjects, 900, start_time=10)
+        pool = _request_pool(hierarchy, count=150, seed=31)
+        with LtamServer(_seeded_engine(), cache=DecisionCache()) as running:
+            with ServiceClient(*running.address) as client:
+                for round_index in range(3):
+                    # Decide twice: the second pass is served from the cache.
+                    for remote_batch in (
+                        client.decide_many(pool),
+                        client.decide_many(pool),
+                    ):
+                        local = oracle.decide_many(pool)
+                        for r, l in zip(remote_batch, local):
+                            assert_decisions_match(r, l)
+                    chunk = future[round_index * 300 : (round_index + 1) * 300]
+                    client.observe_batch(chunk, mode="record", wait=True)
+                    oracle.movement_db.record_many(chunk)
+                health = client.health()
+                assert health["cache"]["hits"] > 0
+                assert health["cache"]["invalidated"] > 0
+
+    def test_cache_hit_serves_identical_payload(self, oracle):
+        request = _request_pool(oracle.hierarchy, count=1)[0]
+        with LtamServer(_seeded_engine(), cache=DecisionCache()) as running:
+            with ServiceClient(*running.address) as client:
+                first = client.decide(request)
+                second = client.decide(request)
+                assert_decisions_match(second, first)
+                assert running.cache.stats["hits"] == 1
+
+
+class TestObservation:
+    def test_observe_returns_the_embedded_alerts(self, client, oracle):
+        # An unauthorized subject entering raises the same alert remotely.
+        remote_alerts = client.observe_entry(5, "intruder", "B.R0C0")
+        local_alerts = oracle.observe_entry(5, "intruder", "B.R0C0")
+        assert [a.kind for a in remote_alerts] == [a.kind for a in local_alerts]
+        assert remote_alerts[0].kind is AlertKind.UNAUTHORIZED_ENTRY
+
+    def test_observe_batch_monitor_mode_matches_observe_many(self, server, client, oracle):
+        trace = AuthorizationWorkloadGenerator(oracle.hierarchy, seed=5).movement_events(
+            generate_subjects(10, prefix="guest"), 200
+        )
+        receipt = client.observe_batch(trace, wait=True)
+        assert receipt["written"] == len(trace) and receipt["dropped"] == 0
+        oracle.observe_many(trace)
+        remote_db = server.engine.movement_db
+        assert remote_db.subjects_inside() == oracle.movement_db.subjects_inside()
+        assert (
+            remote_db.occupancy_service.entry_counts()
+            == oracle.movement_db.occupancy_service.entry_counts()
+        )
+
+    def test_observe_batch_record_mode_skips_the_monitor(self, server, client):
+        before = len(server.engine.alerts.alerts)
+        client.observe_batch(
+            [MovementRecord(5, "stranger", "B.R0C0", MovementKind.ENTER)],
+            mode="record",
+            wait=True,
+        )
+        assert len(server.engine.movement_db.history(subject="stranger")) == 1
+        assert len(server.engine.alerts.alerts) == before  # no monitor, no alerts
+
+    def test_rejected_batch_comes_back_with_records_and_can_be_retried(self):
+        hierarchy = _hierarchy()
+        engine = Ltam(
+            hierarchy, movement_db=InMemoryMovementDatabase(hierarchy, strict=True)
+        )
+        bad = [MovementRecord(5, "ghost", "B.R0C0", MovementKind.EXIT)]
+        with LtamServer(engine) as running:
+            with ServiceClient(*running.address) as client:
+                with pytest.raises(IngestError) as excinfo:
+                    client.observe_batch(bad, mode="record", wait=True)
+                (failure,) = excinfo.value.failures
+                assert list(failure.records) == bad
+                # Dead-letter handling: fix the cause, retry the records.
+                fixed = [
+                    MovementRecord(4, "ghost", "B.R0C0", MovementKind.ENTER)
+                ] + list(failure.records)
+                receipt = client.observe_batch(fixed, mode="record", wait=True)
+                # The raising flush drained the failure; the retry drops nothing.
+                assert receipt["dropped"] == 0
+        assert len(engine.movement_db.history(subject="ghost")) == 2
+
+
+class TestQueryCheckpointHealth:
+    def test_query_over_the_wire_matches_local(self, server, client):
+        local = QueryEngine(server.engine)
+        for text in (
+            "WHO IS IN B.R0C0",
+            "ENTRIES OF user-000 INTO B.R0C0",
+            "AUTHORIZATIONS FOR user-001",
+            "WHERE IS user-002 AT 100",
+            "WHERE IS user-002 AT 100 LIVE",
+        ):
+            assert client.query(text) == local.evaluate(text)
+
+    def test_query_syntax_error_is_typed_client_side(self, client):
+        with pytest.raises(QuerySyntaxError):
+            client.query("FROB THE KNOB")
+
+    def test_checkpoint_op_flushes_then_compacts(self, server, client):
+        total = len(server.engine.movement_db)
+        client.observe_batch(
+            [MovementRecord(999, "user-000", "B.R0C0", MovementKind.ENTER)],
+            mode="record",
+        )  # not waited: the checkpoint op must flush it first
+        receipt = client.checkpoint()
+        assert receipt.archived == total + 1
+        assert server.engine.movement_db.archived_count == total + 1
+
+    def test_checkpoint_op_retention(self, server, client):
+        client.checkpoint(retain=10)
+        assert server.engine.movement_db.archived_count == 10
+
+    def test_health_document(self, client):
+        client.decide((5, "user-000", "B.R0C0"))
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime"] >= 0
+        assert health["backend"] == "InMemoryMovementDatabase"
+        assert health["stats"]["decisions"] == 1
+        assert health["cache"] is None  # this server runs uncached
+
+    def test_unknown_op_is_a_protocol_error(self, client):
+        from repro.service.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            client.call("frobnicate")
+
+
+class TestRemoteFacades:
+    def test_remote_pdp_mirrors_embedded(self, server, oracle):
+        host, port = server.address
+        with RemotePdp(host, port) as pdp:
+            requests = _request_pool(oracle.hierarchy, count=60)
+            for r, l in zip(pdp.decide_many(requests), oracle.decide_many(requests)):
+                assert_decisions_match(r, l)
+            assert pdp.health()["status"] == "ok"
+
+    def test_remote_pep_streaming_ingest_from_two_threads(self, server, oracle):
+        host, port = server.address
+        generator = AuthorizationWorkloadGenerator(oracle.hierarchy, seed=9)
+        streams = generator.movement_streams(
+            generate_subjects(20, prefix="t"), 1_000, trackers=2
+        )
+        with RemotePep(host, port) as pep:
+            def pump(stream):
+                with pep.ingestor(mode="record", batch_size=128) as ingestor:
+                    for record in stream:
+                        ingestor.submit(record)
+
+            threads = [threading.Thread(target=pump, args=(s,)) for s in streams]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        oracle_db = InMemoryMovementDatabase(oracle.hierarchy)
+        for stream in streams:
+            oracle_db.record_many(stream)
+        server_db = server.engine.movement_db
+        assert (
+            sum(len(s) for s in streams)
+            == len(server_db.history(subject=None)) - HISTORY_EVENTS
+        )
+        for subject, location in oracle_db.subjects_inside().items():
+            assert server_db.current_location(subject) == location
+
+    def test_remote_pep_observe_entry_exit(self, server, oracle):
+        host, port = server.address
+        with RemotePep(host, port) as pep:
+            alerts = pep.observe_entry(5, "user-000", "B.R0C0")
+            local = oracle.observe_entry(5, "user-000", "B.R0C0")
+            assert [a.kind for a in alerts] == [a.kind for a in local]
+            pep.observe_exit(6, "user-000", "B.R0C0")
+        assert server.engine.movement_db.current_location("user-000") is None
+
+
+class TestTransport:
+    def test_connect_refused_is_a_connection_error(self):
+        with pytest.raises(ServiceConnectionError):
+            ServiceClient("127.0.0.1", 1, timeout=0.5)
+
+    def test_closed_client_raises(self, client):
+        client.close()
+        with pytest.raises(ServiceConnectionError):
+            client.health()
+
+    def test_large_decide_many_frame(self, client, oracle):
+        requests = _request_pool(oracle.hierarchy, count=3_000)
+        remote = client.decide_many(requests, trace=False)
+        local = oracle.decide_many(requests)
+        assert [d.granted for d in remote] == [d.granted for d in local]
+
+
+class TestPerConnectionIngest:
+    def test_failures_are_attributed_to_the_submitting_client(self):
+        """Client B's flush must never surface (or retry) client A's records."""
+        hierarchy = _hierarchy()
+        engine = Ltam(hierarchy, movement_db=InMemoryMovementDatabase(hierarchy, strict=True))
+        poison = [MovementRecord(5, "ghost", "B.R0C0", MovementKind.EXIT)]
+        good = [MovementRecord(5, "real", "B.R0C0", MovementKind.ENTER)]
+        with LtamServer(engine) as running:
+            with ServiceClient(*running.address) as client_a, ServiceClient(
+                *running.address
+            ) as client_b:
+                client_a.observe_batch(poison, mode="record")  # not waited
+                receipt = client_b.observe_batch(good, mode="record", wait=True)
+                assert receipt["dropped"] == 0  # B never sees A's failure
+                with pytest.raises(IngestError) as excinfo:
+                    client_a.flush(mode="record")  # A's own barrier reports it
+                (failure,) = excinfo.value.failures
+                assert list(failure.records) == poison
+        assert engine.movement_db.current_location("real") == "B.R0C0"
+
+    def test_disconnect_flushes_the_connection_ingestor(self, server):
+        record = MovementRecord(7, "drifter", "B.R0C0", MovementKind.ENTER)
+        with ServiceClient(*server.address) as client:
+            client.observe_batch([record], mode="record")  # never waited
+        # Closing the connection closes (and flushes) its ingestor.
+        deadline = __import__("time").monotonic() + 5
+        while __import__("time").monotonic() < deadline:
+            if server.engine.movement_db.current_location("drifter") == "B.R0C0":
+                break
+            __import__("time").sleep(0.02)
+        assert server.engine.movement_db.current_location("drifter") == "B.R0C0"
+
+
+class TestRestart:
+    def test_stopped_server_restarts_on_a_fresh_port(self):
+        engine = _seeded_engine()
+        server = LtamServer(engine)
+        server.start()
+        first = server.address
+        server.stop()
+        server.start()
+        second = server.address
+        try:
+            assert second != first or second[1] != 0
+            with ServiceClient(*second) as client:
+                assert client.health()["status"] == "ok"
+        finally:
+            server.stop()
+
+
+class TestAdminInvalidation:
+    def test_revoke_on_a_served_engine_evicts_the_server_cache(self):
+        """In-process administration must invalidate the server's cache."""
+        engine = _seeded_engine()
+        with LtamServer(engine, cache=DecisionCache()) as running:
+            with ServiceClient(*running.address) as client:
+                request = None
+                for candidate in _request_pool(engine.hierarchy, count=50):
+                    if engine.decide(candidate).granted:
+                        request = candidate
+                        break
+                assert request is not None
+                first = client.decide(request)
+                assert first.granted
+                engine.revoke(first.authorization.auth_id)
+                after = client.decide(request)
+                assert not after.granted  # not served from a stale cache entry
+                local = engine.decide(request)
+                assert after.granted == local.granted and after.reason == local.reason
+        # Stopping the server detaches the cache from the engine again.
+        assert engine.pdp.cache is None
+
+    def test_set_capacity_on_a_served_engine_evicts_the_location(self):
+        from repro.api.stages import CapacityStage, default_pipeline
+
+        hierarchy = _hierarchy()
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=11)
+        subjects = generate_subjects(SUBJECT_COUNT)
+        stages = list(default_pipeline())
+        stages.insert(3, CapacityStage())
+        engine = Ltam.builder().hierarchy(hierarchy).pipeline(*stages).build()
+        engine.grant_all(generator.authorizations(subjects))
+        with LtamServer(engine, cache=DecisionCache()) as running:
+            with ServiceClient(*running.address) as client:
+                request = None
+                for candidate in _request_pool(hierarchy, count=80):
+                    if engine.decide(candidate).granted:
+                        request = candidate
+                        break
+                assert client.decide(request).granted
+                engine.observe_entry(request.time, "squatter", request.location)
+                engine.set_capacity(request.location, 1)  # now full
+                decision = client.decide(request)
+                assert not decision.granted
+                assert str(decision.reason) == "over_capacity"
+
+
+class TestPoolRetention:
+    def test_typed_errors_do_not_discard_the_connection(self, server):
+        from repro.service import ConnectionPool
+
+        with ConnectionPool(*server.address, size=2) as pool:
+            with pool.lease() as client:
+                client.health()
+            first_socket = client
+            for _ in range(3):
+                with pytest.raises(QuerySyntaxError):
+                    with pool.lease() as client:
+                        assert client is first_socket  # same pooled connection
+                        client.query("FROB THE KNOB")
+            with pool.lease() as client:
+                assert client is first_socket
+                assert client.health()["status"] == "ok"
+
+
+class TestServerCheckpointPolicy:
+    def test_scheduled_checkpoints_fire_through_the_server(self, tmp_path):
+        import time as _time
+
+        from repro.storage.ingest import CheckpointPolicy
+
+        hierarchy = _hierarchy()
+        engine = (
+            Ltam.builder()
+            .hierarchy(hierarchy)
+            .backend("sqlite", str(tmp_path / "served.db"))
+            .build()
+        )
+        trace = AuthorizationWorkloadGenerator(hierarchy, seed=13).movement_events(
+            generate_subjects(10, prefix="cp"), 300
+        )
+        policy = CheckpointPolicy(every_events=100, retain_archived=150)
+        with LtamServer(engine, checkpoint_policy=policy) as running:
+            with ServiceClient(*running.address) as client:
+                client.observe_batch(trace, mode="record", wait=True)
+                # The checkpoint runs on the writer thread right after the
+                # flushed write; give it a moment, then read health.
+                deadline = _time.monotonic() + 5
+                while _time.monotonic() < deadline:
+                    ingest = client.health()["ingest"]["record"]
+                    if ingest["checkpoints"] >= 1:
+                        break
+                    _time.sleep(0.05)
+                assert ingest["checkpoints"] >= 1, ingest
+                assert ingest["checkpoint_errors"] == 0, ingest
+        assert engine.movement_db.archived_count <= 150
+        assert engine.movement_db.events_since_checkpoint <= 300 - 100
+
+
+class TestWireValidationEdges:
+    def test_float_time_rejected_even_on_a_warm_cache(self, oracle):
+        """A wrong-typed time must not be served by hash-equal cache keys."""
+        from repro.errors import EnforcementError
+
+        request = None
+        for candidate in _request_pool(oracle.hierarchy, count=20):
+            request = candidate
+            break
+        with LtamServer(_seeded_engine(), cache=DecisionCache()) as running:
+            with ServiceClient(*running.address) as client:
+                client.decide(request)  # warm the exact int-time key
+                bad = {
+                    "time": float(request.time),
+                    "subject": request.subject,
+                    "location": request.location,
+                }
+                with pytest.raises(EnforcementError):
+                    client.call("decide", request=bad)
+                with pytest.raises(EnforcementError):
+                    client.call("decide", request={**bad, "time": True})
+
+    def test_empty_flush_does_not_spawn_an_ingestor(self, server, client):
+        receipt = client.flush(mode="record")
+        assert receipt == {
+            "accepted": 0,
+            "submitted": 0,
+            "written": 0,
+            "dropped": 0,
+            "checkpoints": 0,
+        }
+        assert client.health()["ingest"] == {}  # no writer thread was created

@@ -169,3 +169,72 @@ class TestCheckpoint:
         assert code == 1
         assert "error" in output
         assert not os.path.exists(missing)
+
+
+class TestServe:
+    def _spawn(self, *argv):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+
+    def test_serve_boots_and_answers(self, deployment):
+        import re
+
+        from repro.service import ServiceClient
+
+        layout_path, auths_path = deployment
+        process = self._spawn(
+            "--layout", layout_path, "--auths", auths_path, "--port", "0"
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"serving on 127\.0\.0\.1:(\d+) \(backend=memory, cache=on\)", banner)
+            assert match, f"unexpected serve banner: {banner!r}"
+            port = int(match.group(1))
+            with ServiceClient("127.0.0.1", port) as client:
+                decision = client.decide((15, "Alice", "CAIS"))
+                assert decision.granted
+                client.observe_entry(15, "Alice", "CAIS")
+                assert client.query("ENTRIES OF Alice INTO CAIS").scalar == 1
+                assert client.health()["status"] == "ok"
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_serve_parser_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--layout", "campus.json",
+                "--db", "deploy.db",
+                "--port", "7471",
+                "--no-cache",
+                "--checkpoint-every-events", "5000",
+                "--retain-archived", "100000",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.db == "deploy.db" and args.port == 7471
+        assert args.no_cache and args.checkpoint_every_events == 5000
+        assert args.retain_archived == 100000
+
+    def test_retention_without_trigger_fails(self, deployment):
+        layout_path, _ = deployment
+        code, output = run_cli(
+            "serve", "--layout", layout_path, "--retain-archived", "10", "--port", "0"
+        )
+        assert code == 1
+        assert "checkpoint trigger" in output
