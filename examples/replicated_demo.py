@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Replicated serving: two coherent replicas over one SQLite file.
+
+The script builds the PR 5 topology in one process:
+
+* **replica A** — the writer: it ingests movement traffic, hosts the
+  invalidation bus in-process, and takes the administrative mutations;
+* **replica B** — a read replica over the *same* SQLite file: it serves
+  (cached) decisions and the PEP-routed ``enforce`` op, staying coherent
+  through the bus (event-wise cache eviction + projection ``pickup()``).
+
+It then demonstrates the three coherence mechanisms end to end: an observe
+on A evicting B's cache, an admin revoke on A invalidating B, and the
+``sync`` barrier closing the coherence window on demand — plus the
+``CACHED`` audit attestation of a re-served ``enforce`` decision.
+
+Run with::
+
+    python examples/replicated_demo.py
+
+The same topology runs as separate processes via the CLI::
+
+    repro serve --layout c.json --auths a.json --db shared.db --bus 7472
+    repro serve --layout c.json --db shared.db --port 7473 --peers 127.0.0.1:7472
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import Ltam
+from repro.engine.audit import AuditEntryKind
+from repro.service import DecisionCache, InvalidationBus, LtamServer, ServiceClient
+from repro.simulation.buildings import campus_hierarchy
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+
+SEED = 2026
+SUBJECTS = 30
+EVENTS = 4_000
+
+
+def main() -> None:
+    hierarchy = campus_hierarchy("Campus", 3, rooms_per_building=6, seed=SEED)
+    subjects = generate_subjects(SUBJECTS)
+    workload = AuthorizationWorkloadGenerator(hierarchy, seed=SEED)
+    path = str(Path(tempfile.mkdtemp(prefix="ltam-replicated-")) / "shared.db")
+
+    # Replica A: the writer, hosting the bus in-process.
+    engine_a = Ltam.builder().hierarchy(hierarchy).backend("sqlite", path).build()
+    engine_a.grant_all(workload.authorizations(subjects))
+    server_a = LtamServer(
+        engine_a, cache=DecisionCache(), bus=InvalidationBus(), replica_id="writer"
+    )
+    server_a.start()
+    bus_host, bus_port = server_a.coherence.bus.address
+    print(f"replica A (writer): {server_a.address[0]}:{server_a.address[1]}, "
+          f"bus on {bus_host}:{bus_port}")
+
+    # Replica B: a read replica over the same file, joined to the bus.
+    engine_b = Ltam.builder().hierarchy(hierarchy).backend("sqlite", path).build()
+    server_b = LtamServer(
+        engine_b, cache=DecisionCache(), bus=(bus_host, bus_port), replica_id="reader"
+    )
+    server_b.start()
+    print(f"replica B (reader): {server_b.address[0]}:{server_b.address[1]}")
+
+    try:
+        with ServiceClient(*server_a.address) as client_a, ServiceClient(
+            *server_b.address
+        ) as client_b:
+            # The writer ingests a trace; B follows through bus + pickup().
+            trace = workload.movement_events(subjects, EVENTS)
+            client_a.observe_batch(trace, mode="record", wait=True)
+            barrier = client_b.sync()
+            print(f"B synced to the writer: {barrier}")
+
+            subject = subjects[0]
+            location = sorted(hierarchy.primitive_names)[0]
+            request = (15, subject, location)
+            decision = client_b.decide(request)
+            print(f"B decide: {decision}")
+            client_b.decide(request)
+            print(f"B cache after repeat: {server_b.cache.stats}")
+
+            # An observe on A evicts the affected keys on B — event-wise.
+            client_a.observe_entry(16, subject, location)
+            client_b.sync()
+            print(f"B cache after A's observe: {server_b.cache.stats}")
+
+            # enforce: audited server-side; a cache hit carries a CACHED marker.
+            first, first_cached = client_b.enforce_detail(request)
+            second, second_cached = client_b.enforce_detail(request)
+            print(f"B enforce: cached={first_cached} then cached={second_cached}")
+            cached_notes = [
+                entry
+                for entry in engine_b.audit.of_kind(AuditEntryKind.NOTE)
+                if "CACHED" in str(entry.payload)
+            ]
+            print(f"B audit: {len(engine_b.audit.of_kind(AuditEntryKind.DECISION))} "
+                  f"decision(s), CACHED note: {cached_notes[-1].payload!r}")
+
+            # An admin mutation on A invalidates B over the bus.
+            if first.granted:
+                engine_a.revoke(first.authorization.auth_id)
+                client_b.sync()
+                after = client_b.decide(request)
+                print(f"B decide after A revoked: granted={after.granted}")
+
+            health = client_b.health()
+            print(f"B coherence: connected={health['coherence']['connected']} "
+                  f"picked_up={health['coherence']['picked_up']} "
+                  f"last_seen=bus-seq-{health['coherence']['last_seen']}")
+    finally:
+        server_b.stop()
+        server_a.stop()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

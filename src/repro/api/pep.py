@@ -107,6 +107,31 @@ class EnforcementPoint:
             self.observe_entry(request.time, request.subject, request.location)
         return decision
 
+    def attest(self, decision: Decision, *, cached_generation=None) -> Decision:
+        """Audit an already-computed decision exactly as :meth:`enforce` would.
+
+        The network server's ``enforce`` op serves repeated requests from
+        its decision cache; an audited deployment must still see **every**
+        enforcement in the log, so a cache hit is re-audited here — the
+        decision entry plus, with *cached_generation*, a ``CACHED`` note
+        naming the invalidation-generation token the entry was computed
+        under.  An auditor can thereby distinguish a freshly evaluated
+        decision from a re-served one and tell exactly which invalidation
+        era produced it.  Denials re-emit their alert too: each enforcement
+        of a denied request is an event the guards should see, cached or
+        not.
+        """
+        self._record(decision)
+        if cached_generation is not None:
+            request = decision.request
+            self._audit.record_note(
+                request.time,
+                request.subject,
+                f"CACHED decision for {request.location!r} re-served from cache "
+                f"generation {tuple(cached_generation)!r}",
+            )
+        return decision
+
     def _record(self, decision: Decision) -> Decision:
         self._audit.record_decision(decision)
         if not decision.granted:
@@ -188,7 +213,9 @@ class EnforcementPoint:
         }
         if checkpoint_policy is not None:
             knobs["checkpoint_policy"] = checkpoint_policy
-            knobs["checkpoint"] = checkpoint_policy.bound(self._movement_db)
+            # The alert sink rides along so archive prunes retire the alerts
+            # of the pruned era (VIOLATIONS never outlives its movements).
+            knobs["checkpoint"] = checkpoint_policy.bound(self._movement_db, self._alerts)
         return MovementIngestor(self.observe_many, **knobs)
 
     def _audit_movement(self, time: int, subject: str, location: str) -> None:

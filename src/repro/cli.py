@@ -39,6 +39,7 @@ from repro.locations.multilevel import LocationHierarchy
 from repro.locations.serialization import dumps as dumps_layout
 from repro.locations.serialization import load as load_layout
 from repro.paper.fixtures import section5_authorizations
+from repro.service.bus import DEFAULT_SYNC_INTERVAL, InvalidationBus
 from repro.service.cache import DecisionCache
 from repro.service.server import DEFAULT_PORT, LtamServer
 from repro.storage.ingest import CheckpointPolicy
@@ -147,6 +148,34 @@ def build_parser() -> argparse.ArgumentParser:
             "whose budget must stay exactly enforced"
         ),
     )
+    replication = serve.add_mutually_exclusive_group()
+    replication.add_argument(
+        "--bus",
+        type=int,
+        metavar="PORT",
+        help=(
+            "host the replica invalidation bus in-process on PORT (0 picks a free "
+            "port) and attach this replica to it; peers join with --peers"
+        ),
+    )
+    replication.add_argument(
+        "--peers",
+        metavar="HOST:PORT",
+        help="join the replica invalidation bus at HOST:PORT (see --bus)",
+    )
+    serve.add_argument(
+        "--replica-id",
+        help="this replica's identity on the invalidation bus (generated when omitted)",
+    )
+    serve.add_argument(
+        "--sync-interval",
+        type=float,
+        default=None,
+        help=(
+            "period in seconds of the replica coherence sync tick "
+            f"(default {DEFAULT_SYNC_INTERVAL}; bounds the coherence window under bus loss)"
+        ),
+    )
 
     return parser
 
@@ -244,11 +273,33 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         print("error: --retain-archived needs a checkpoint trigger (--checkpoint-every-*)", file=out)
         return 1
 
+    bus = None
+    if args.bus is not None or args.peers is not None:
+        if args.db is None:
+            # Replication only works over a shared store: with in-memory
+            # backends each replica's projection diverges permanently (the
+            # bus would evict caches against state pickup() can never sync).
+            print(
+                "error: --bus/--peers require --db (replicas share one SQLite file)",
+                file=out,
+            )
+            return 1
+        if args.bus is not None:
+            bus = InvalidationBus(host=args.host, port=args.bus)
+        else:
+            bus = args.peers
+    sync_interval = (
+        args.sync_interval if args.sync_interval is not None else DEFAULT_SYNC_INTERVAL
+    )
+
     server = LtamServer(
         engine,
         host=args.host,
         port=args.port,
         cache=cache,
+        bus=bus,
+        replica_id=args.replica_id,
+        sync_interval=sync_interval,
         checkpoint_policy=checkpoint_policy,
     )
     server.start()
@@ -261,6 +312,15 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         f"(backend={backend}, cache={'off' if cache is None else 'on'})",
         file=out,
     )
+    if server.coherence is not None:
+        # Second contract line: replicas' supervisors read the bus address
+        # (the hosted bus's real port when --bus 0 picked one).
+        replica = server.coherence.replica_id
+        if args.bus is not None:
+            bus_host, bus_port = server.coherence.bus.address
+            print(f"bus on {bus_host}:{bus_port} (replica {replica})", file=out)
+        else:
+            print(f"bus via {args.peers} (replica {replica})", file=out)
     try:
         out.flush()
     except (AttributeError, OSError):

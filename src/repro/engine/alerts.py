@@ -103,6 +103,25 @@ class AlertSink:
             counts[alert.kind] = counts.get(alert.kind, 0) + 1
         return counts
 
+    def prune_before(self, time: Optional[int]) -> int:
+        """Drop alerts raised strictly before *time*; returns how many.
+
+        Alert retention follows archive pruning: when
+        :meth:`~repro.storage.movement_db.MovementDatabase.prune_archive`
+        drops a movement era, the alerts attesting to it point at history
+        that can no longer be replayed — a scheduled
+        :class:`~repro.storage.ingest.CheckpointPolicy` passes the store's
+        ``oldest_retained_time`` here so ``VIOLATIONS`` never outlives the
+        movements it reports on.  ``None`` is a no-op (nothing was pruned).
+        """
+        if time is None:
+            return 0
+        kept = [alert for alert in self._alerts if alert.time >= time]
+        dropped = len(self._alerts) - len(kept)
+        if dropped:
+            self._alerts[:] = kept
+        return dropped
+
     def clear(self) -> None:
         """Forget every collected alert (callbacks stay registered)."""
         self._alerts.clear()

@@ -110,18 +110,33 @@ class AccessibleQuery(Query):
 
 @dataclass(frozen=True)
 class ViolationsQuery(Query):
-    """``VIOLATIONS [FOR <subject>] [BETWEEN <t1> AND <t2>]`` — recorded alerts."""
+    """``VIOLATIONS [FOR <subject>] [BETWEEN <t1> AND <t2>] [LIVE|ARCHIVED]``.
+
+    Recorded alerts.  ``ARCHIVED`` (the default) reports every retained
+    alert; ``LIVE`` only those raised after the movement store's archived
+    era (times past
+    :attr:`~repro.storage.movement_db.MovementDatabase.archived_through`) —
+    the alerts whose underlying movements are still in the live log.
+    """
 
     subject: Optional[str] = None
     window: Optional[TimeInterval] = None
+    scope: HistoryScope = HistoryScope.ARCHIVED
 
 
 @dataclass(frozen=True)
 class EntriesQuery(Query):
-    """``ENTRIES OF <subject> INTO <location>`` — consumed entry count."""
+    """``ENTRIES OF <subject> INTO <location>`` [LIVE|ARCHIVED]``.
+
+    Consumed entry count.  ``ARCHIVED`` (the default) is the projection's
+    exact lifetime counter — it folded in every entry ever recorded, even
+    ones whose log rows were later archived or pruned; ``LIVE`` counts only
+    the ENTER records still in the live log (since the last compaction).
+    """
 
     subject: str
     location: str
+    scope: HistoryScope = HistoryScope.ARCHIVED
 
 
 @dataclass(frozen=True)

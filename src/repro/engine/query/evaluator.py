@@ -158,6 +158,18 @@ class QueryEngine:
 
     def _violations(self, query: ViolationsQuery) -> QueryResult:
         alerts = list(self._engine.alerts.alerts)
+        if query.scope is HistoryScope.LIVE:
+            # Only alerts raised after the archived era: the ones whose
+            # underlying movements are still in the live log.  The boundary
+            # is the movement store's archived_through time; with no
+            # compaction yet, everything is live.  Boundary-time alerts are
+            # *included*: movement times may repeat, so an alert at exactly
+            # archived_through can belong to a live-era movement — for a
+            # security surface, over-reporting the boundary chronon beats
+            # hiding a live violation.
+            boundary = getattr(self._engine.movement_db, "archived_through", None)
+            if boundary is not None:
+                alerts = [alert for alert in alerts if alert.time >= boundary]
         if query.subject is not None:
             alerts = [alert for alert in alerts if alert.subject == query.subject]
         if query.window is not None:
@@ -169,7 +181,20 @@ class QueryEngine:
         return QueryResult("violations", ("time", "kind", "subject", "location", "message"), rows)
 
     def _entries(self, query: EntriesQuery) -> QueryResult:
-        count = self._engine.movement_db.entry_count(query.subject, query.location)
+        if query.scope is HistoryScope.LIVE:
+            # Count the ENTER rows still in the live log — bounded by the
+            # last compaction, blind to archived entries.  The default
+            # (ARCHIVED) stays the projection's O(1) lifetime counter, which
+            # is exact even past archive pruning.
+            count = sum(
+                1
+                for record in self._engine.movement_db.history(
+                    subject=query.subject, location=query.location
+                )
+                if record.kind is MovementKind.ENTER
+            )
+        else:
+            count = self._engine.movement_db.entry_count(query.subject, query.location)
         rows = ((query.subject, query.location, count),)
         return QueryResult("entries", ("subject", "location", "entries"), rows, scalar=count)
 

@@ -11,16 +11,21 @@ are case-insensitive, names may be double-quoted to include spaces):
            | AUTHORIZATIONS FOR <subject> [AT <location>]
            | INACCESSIBLE [LOCATIONS] FOR <subject>
            | ACCESSIBLE [LOCATIONS] FOR <subject>
-           | VIOLATIONS [FOR <subject>] [BETWEEN <time> AND <time>]
-           | ENTRIES OF <subject> INTO <location>
+           | VIOLATIONS [FOR <subject>] [BETWEEN <time> AND <time>] [scope]
+           | ENTRIES OF <subject> INTO <location> [scope]
            | ROUTE FROM <location> TO <location> [FOR <subject>]
 
     scope := LIVE | ARCHIVED
 
-The optional trailing scope bounds how much movement history a
-point-in-time replay reads: ``ARCHIVED`` (the default) spans the full log
-including compacted checkpoints' archive, ``LIVE`` only the events since
-the last compaction.
+The optional trailing scope bounds how much history a statement reads.  For
+the point-in-time replays (``WHO IS IN``/``WHERE IS``), ``ARCHIVED`` (the
+default) spans the full movement log including compacted checkpoints'
+archive, ``LIVE`` only the events since the last compaction.  For the
+alert- and counter-backed statements: ``VIOLATIONS ... LIVE`` reports only
+alerts raised after the archived era (alert retention itself follows
+archive pruning — see :meth:`~repro.engine.alerts.AlertSink.prune_before`),
+and ``ENTRIES ... LIVE`` counts only the ENTER records still in the live
+log, while the default remains the projection's exact lifetime counter.
 
 Like every keyword of the language, ``LIVE`` and ``ARCHIVED`` are reserved
 words — a subject or location literally named ``Live``/``Archived`` must be
@@ -232,16 +237,18 @@ def parse(text: str) -> Query:
             if end < start:
                 raise QuerySyntaxError(f"BETWEEN window is inverted: [{start}, {end}]")
             window = TimeInterval(start, end)
+        scope = _accept_scope(cursor)
         cursor.finish()
-        return ViolationsQuery(subject, window)
+        return ViolationsQuery(subject, window, scope)
 
     if head == "ENTRIES":
         cursor.expect_keyword("OF")
         subject = cursor.take_name("subject")
         cursor.expect_keyword("INTO")
         location = cursor.take_name("location")
+        scope = _accept_scope(cursor)
         cursor.finish()
-        return EntriesQuery(subject, location)
+        return EntriesQuery(subject, location, scope)
 
     # head == "ROUTE"
     cursor.expect_keyword("FROM")

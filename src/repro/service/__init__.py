@@ -42,8 +42,47 @@ ingest" item:
   mirroring the embedded APIs; ``RemotePep.ingestor()`` gives tracker
   adapters the same streaming interface they had in-process.
 
+Replicated serving (the invalidation bus)
+-----------------------------------------
+
+One server saturates one process; replicated serving runs **several**
+``LtamServer`` replicas over one SQLite file, with :mod:`repro.service.bus`
+keeping their decision caches coherent:
+
+.. code-block:: text
+
+    gate fleet ──decide/enforce──▶ replica A ──┐ publish/subscribe
+    tracker fleet ──observe_batch▶ (writer)    ├──▶ InvalidationBus
+    gate fleet ──decide/enforce──▶ replica B ──┘    (seq-stamped fan-out,
+                                       │             bounded replay buffer)
+                                       ▼ pickup()
+                                one SQLite file
+
+* every replica **publishes** its movement-store mutation notices and its
+  cache's administrative evictions to the bus, and **applies** the other
+  replicas' events by evicting its own cache and calling the movement
+  store's ``pickup()`` (folding the file's committed rows into the local
+  projection);
+* events carry a monotonic bus ``seq``; a replica that detects a gap
+  requests a replay from the hub's bounded buffer, and an uncoverable gap
+  or a reconnect triggers a **full resync** (pickup to the file's high
+  water + cache clear) — so lost frames degrade coherence to a wider
+  window, never to serving stale state forever;
+* per-replica **generation fencing** (the cache's invalidation tokens)
+  guarantees a decide that raced a bus eviction can never store — and a
+  later hit can never resurrect — a pre-mutation decision;
+* the ``sync`` op is the **barrier** that closes the coherence window on
+  demand; a background sync tick bounds it even under total bus loss.
+
+The ``enforce`` op routes remote decisions through the
+:class:`~repro.api.pep.EnforcementPoint`, so audited deployments get one
+audit entry per enforcement over the wire too; a decision served from the
+cache is re-audited with a ``CACHED`` note carrying the entry's originating
+cache generation (see :meth:`~repro.api.pep.EnforcementPoint.attest`).
+
 Run a server with ``repro serve --layout campus.json --auths auths.json``
-(see the CLI) or in-process::
+(hosting a bus with ``--bus PORT``, joining one with ``--peers HOST:PORT``)
+or in-process::
 
     from repro.service import DecisionCache, LtamServer, RemotePdp
 
@@ -53,6 +92,13 @@ Run a server with ``repro serve --layout campus.json --auths auths.json``
         decision = pdp.decide((10, "alice", "meeting-room"))
 """
 
+from repro.service.bus import (
+    DEFAULT_BUS_PORT,
+    BusLink,
+    CoherentDecisionCache,
+    InvalidationBus,
+    ReplicaCoherence,
+)
 from repro.service.cache import CachedDecision, DecisionCache
 from repro.service.client import ConnectionPool, RemotePdp, RemotePep, ServiceClient
 from repro.service.errors import (
@@ -71,7 +117,12 @@ __all__ = [
     "RemotePdp",
     "RemotePep",
     "LtamServer",
+    "InvalidationBus",
+    "BusLink",
+    "CoherentDecisionCache",
+    "ReplicaCoherence",
     "DEFAULT_PORT",
+    "DEFAULT_BUS_PORT",
     "ServiceError",
     "ProtocolError",
     "ServiceConnectionError",

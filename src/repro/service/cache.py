@@ -51,10 +51,17 @@ DEFAULT_ACTION = "enter"
 
 class CachedDecision(NamedTuple):
     """One cache entry: the decision plus an opaque owner-attached payload
-    (the server stores pre-serialized wire fragments there)."""
+    (the server stores pre-serialized wire fragments there).
+
+    *generation* is the invalidation token captured before the decision was
+    evaluated — the entry's **originating generation**.  The server's
+    ``enforce`` op attests cache hits with it, so the audit log names the
+    exact invalidation era a re-served decision was computed in.
+    """
 
     decision: "Decision"
     payload: Optional[Any]
+    generation: Optional[Tuple[int, int]] = None
 
 
 class DecisionCache:
@@ -159,7 +166,7 @@ class DecisionCache:
                 old_key, _ = self._entries.popitem(last=False)
                 self._discard_index(old_key)
                 self._evicted += 1
-            self._entries[key] = CachedDecision(decision, payload)
+            self._entries[key] = CachedDecision(decision, payload, generation)
             self._entries.move_to_end(key)
             self._by_location.setdefault(key[1], set()).add(key)
             self._stores += 1

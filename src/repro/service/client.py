@@ -22,6 +22,7 @@ the dropped records attached — that an embedded ingestor would raise.
 from __future__ import annotations
 
 import itertools
+import select
 import socket
 import threading
 from contextlib import contextmanager
@@ -113,6 +114,29 @@ class ServiceClient:
         """Whether the connection has been closed (by us or by a failure)."""
         return self._sock is None
 
+    def alive(self) -> bool:
+        """Probe the transport without a round trip.
+
+        A pooled connection whose server restarted looks healthy until the
+        first request explodes mid-lease; this peeks the socket instead: an
+        idle healthy connection has nothing to read, a dead one is readable
+        with EOF (and a desynchronized one has stray bytes — equally
+        unusable).  :class:`ConnectionPool` calls this on checkout so a
+        server restart costs a reconnect, not a failed request.
+        """
+        sock = self._sock
+        if sock is None:
+            return False
+        try:
+            readable, _, _ = select.select([sock], [], [], 0)
+            if not readable:
+                return True
+            # Readable while idle: either EOF (peer closed) or stray data
+            # (a desynchronized stream) — both mean the connection is done.
+            return False
+        except (OSError, ValueError):
+            return False
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
         with self._lock:
@@ -182,6 +206,34 @@ class ServiceClient:
             trace=trace,
         )
         return [decision_from_dict(item) for item in payload.get("decisions", ())]
+
+    def enforce(self, request: RequestLike, *, trace: bool = True) -> Decision:
+        """Remote :meth:`~repro.api.pep.EnforcementPoint.enforce`.
+
+        Unlike :meth:`decide`, the server audits the outcome (and alerts on
+        denial); a decision served from the server's cache is re-audited
+        with a ``CACHED`` marker carrying its originating cache generation.
+        Use :meth:`enforce_detail` to also learn whether the hit was cached.
+        """
+        return self.enforce_detail(request, trace=trace)[0]
+
+    def enforce_detail(
+        self, request: RequestLike, *, trace: bool = True
+    ) -> Tuple[Decision, bool]:
+        """Like :meth:`enforce`, returning ``(decision, was_cached)``."""
+        payload = self.call(
+            "enforce", request=request_to_dict(_coerce_request(request)), trace=trace
+        )
+        return decision_from_dict(payload.get("decision")), bool(payload.get("cached"))
+
+    def sync(self) -> Dict[str, Any]:
+        """The replica coherence barrier (see the server's ``sync`` op).
+
+        Returns ``{"applied": n, "position": p, "high_water": h}``; after it
+        returns, every mutation committed-and-published before the call is
+        reflected in this server's decisions.
+        """
+        return self.call("sync")
 
     def observe(self, record: MovementRecord) -> List[Alert]:
         """Synchronous single observation through the server's PEP; returns alerts."""
@@ -268,12 +320,27 @@ class ConnectionPool:
         Only transport failures discard the connection; a typed server
         error (a rejected batch, a query syntax error) completed its
         request/response cycle, so the connection stays pooled.
+
+        Checkout runs a zero-round-trip liveness probe
+        (:meth:`ServiceClient.alive`): connections killed by a server
+        restart are discarded here instead of failing their next request —
+        previously a restart surfaced as a :class:`ServiceConnectionError`
+        whose timing depended on which pooled socket the lease happened to
+        hand out.
         """
-        with self._lock:
-            if self._closed:
-                raise ServiceConnectionError("the connection pool is closed")
-            client = self._idle.pop() if self._idle else None
-        if client is None or client.closed:
+        client = None
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ServiceConnectionError("the connection pool is closed")
+                client = self._idle.pop() if self._idle else None
+            if client is None:
+                break
+            if client.alive():
+                break
+            client.close()  # a dead or desynchronized leftover; keep draining
+            client = None
+        if client is None:
             client = ServiceClient(self._host, self._port, timeout=self._timeout)
         try:
             yield client
@@ -374,6 +441,13 @@ class RemotePep(_Remote):
     local :class:`~repro.storage.ingest.MovementIngestor` whose sink ships
     record frames — the fully streaming tracker-adapter path.
     """
+
+    def enforce(self, request: RequestLike, *, trace: bool = True) -> Decision:
+        """Remote :meth:`~repro.api.pep.EnforcementPoint.enforce`: the
+        decision is audited (and alerted on denial) **server-side**; cache
+        hits are re-audited with a ``CACHED`` generation marker."""
+        with self._pool.lease() as client:
+            return client.enforce(request, trace=trace)
 
     def observe_entry(self, time: int, subject: str, location: str) -> List[Alert]:
         """Observe one entry through the server's monitor; returns its alerts."""

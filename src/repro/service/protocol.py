@@ -67,7 +67,17 @@ __all__ = [
 ]
 
 #: The operations the service understands.
-OPS = ("decide", "decide_many", "observe", "observe_batch", "query", "checkpoint", "health")
+OPS = (
+    "decide",
+    "decide_many",
+    "enforce",
+    "observe",
+    "observe_batch",
+    "query",
+    "checkpoint",
+    "sync",
+    "health",
+)
 
 
 # --------------------------------------------------------------------- #

@@ -57,6 +57,7 @@ from repro.storage.ingest import (
     MovementIngestor,
 )
 from repro.storage.movement_db import MovementKind
+from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
 from repro.service.errors import ProtocolError, ServiceError
 from repro.service.protocol import (
@@ -135,11 +136,12 @@ class _SharedCheckpoint:
     checkpoint already covered becomes a no-op.
     """
 
-    __slots__ = ("_policy", "_movement_db", "_lock", "_last_run")
+    __slots__ = ("_policy", "_movement_db", "_alert_sink", "_lock", "_last_run")
 
-    def __init__(self, policy: CheckpointPolicy, movement_db) -> None:
+    def __init__(self, policy: CheckpointPolicy, movement_db, alert_sink=None) -> None:
         self._policy = policy
         self._movement_db = movement_db
+        self._alert_sink = alert_sink
         self._lock = threading.Lock()
         self._last_run = float("-inf")
 
@@ -157,7 +159,7 @@ class _SharedCheckpoint:
             )
             if not due:
                 return None
-            receipt = policy.run(self._movement_db)
+            receipt = policy.run(self._movement_db, self._alert_sink)
             self._last_run = time.monotonic()
             return receipt
 
@@ -192,6 +194,20 @@ class LtamServer:
         Optional :class:`DecisionCache`.  When given, the server consults
         it for ``decide``/``decide_many`` and connects it to the movement
         database's mutation notifications for event-wise invalidation.
+    bus:
+        Join (or host) a replica invalidation bus: a ``(host, port)`` /
+        ``"host:port"`` address of a running
+        :class:`~repro.service.bus.InvalidationBus`, or an
+        :class:`~repro.service.bus.InvalidationBus` instance this server
+        should host in-process.  With a bus, the server's mutations fan out
+        to every attached replica's cache, remote mutations evict this
+        server's cache, and (on a shared SQLite file) the projection follows
+        the writer via :meth:`~repro.storage.movement_db.SqliteMovementDatabase.pickup`.
+    replica_id:
+        This server's identity on the bus (generated when omitted).
+    sync_interval:
+        Period of the coherence layer's background sync tick (see
+        :class:`~repro.service.bus.ReplicaCoherence`).
     checkpoint_policy:
         Optional :class:`~repro.storage.ingest.CheckpointPolicy` applied to
         the server's ingestors (scheduled checkpoints + archive retention).
@@ -209,6 +225,9 @@ class LtamServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache: Optional[DecisionCache] = None,
+        bus=None,
+        replica_id: Optional[str] = None,
+        sync_interval: Optional[float] = DEFAULT_SYNC_INTERVAL,
         checkpoint_policy: Optional[CheckpointPolicy] = None,
         ingest_batch_size: int = DEFAULT_BATCH_SIZE,
         ingest_max_latency: float = DEFAULT_MAX_LATENCY,
@@ -218,6 +237,18 @@ class LtamServer:
         self._engine = engine
         self._host = host
         self._port = port
+        self._coherence: Optional[ReplicaCoherence] = None
+        if bus is not None:
+            self._coherence = ReplicaCoherence(
+                engine,
+                cache,
+                bus=bus,
+                replica_id=replica_id,
+                sync_interval=sync_interval,
+            )
+            # The engine (and the decide path) must see the publishing
+            # wrapper so administrative evictions fan out to the peers.
+            cache = self._coherence.cache if cache is not None else None
         self._cache = cache
         self._checkpoint_policy = checkpoint_policy
         self._ingest_knobs = {
@@ -233,7 +264,9 @@ class LtamServer:
         self._ingest_totals: Dict[str, Dict[str, int]] = {}
         self._ingest_lock = threading.Lock()
         self._shared_checkpoint = (
-            _SharedCheckpoint(checkpoint_policy, engine.movement_db)
+            _SharedCheckpoint(
+                checkpoint_policy, engine.movement_db, getattr(engine, "alerts", None)
+            )
             if checkpoint_policy is not None
             else None
         )
@@ -246,6 +279,7 @@ class LtamServer:
         self._address: Optional[Tuple[str, int]] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
@@ -302,8 +336,14 @@ class LtamServer:
 
     @property
     def cache(self) -> Optional[DecisionCache]:
-        """The decision cache, if one is attached."""
+        """The decision cache, if one is attached (with a bus: the
+        publishing :class:`~repro.service.bus.CoherentDecisionCache`)."""
         return self._cache
+
+    @property
+    def coherence(self) -> Optional[ReplicaCoherence]:
+        """The replica coherence layer, when this server joined a bus."""
+        return self._coherence
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -326,24 +366,35 @@ class LtamServer:
         self._abandoned = False
         self._address = None
         self._connect_cache()  # reconnect after a stop() (idempotent)
-        self._thread = threading.Thread(target=self._run, name="ltam-server", daemon=True)
-        self._thread.start()
-        if not self._started.wait(timeout=10):
-            # The thread may still bind later; tell it to shut down instead
-            # of leaving an orphaned listener the caller believes dead.
-            self._abandoned = True
-            if self._loop is not None and self._stop_event is not None:
-                try:
-                    self._loop.call_soon_threadsafe(self._stop_event.set)
-                except RuntimeError:
-                    pass
-            self._thread = None
-            raise ServiceError("the server did not start within 10 seconds")
-        if self._startup_error is not None:
-            error = self._startup_error
-            self._thread.join(timeout=5)
-            self._thread = None
-            raise ServiceError(f"the server failed to start: {error}") from error
+        if self._coherence is not None:
+            self._coherence.start()
+        try:
+            self._thread = threading.Thread(target=self._run, name="ltam-server", daemon=True)
+            self._thread.start()
+            if not self._started.wait(timeout=10):
+                # The thread may still bind later; tell it to shut down instead
+                # of leaving an orphaned listener the caller believes dead.
+                self._abandoned = True
+                if self._loop is not None and self._stop_event is not None:
+                    try:
+                        self._loop.call_soon_threadsafe(self._stop_event.set)
+                    except RuntimeError:
+                        pass
+                self._thread = None
+                raise ServiceError("the server did not start within 10 seconds")
+            if self._startup_error is not None:
+                error = self._startup_error
+                self._thread.join(timeout=5)
+                self._thread = None
+                raise ServiceError(f"the server failed to start: {error}") from error
+        except BaseException:
+            # A failed start must not leak the coherence machinery: the bus
+            # link thread, the sync ticker and a hosted hub's port would
+            # otherwise outlive a server the caller believes dead (and block
+            # a retry with "the invalidation bus was already started").
+            if self._coherence is not None:
+                self._coherence.stop()
+            raise
         return self
 
     def stop(self) -> None:
@@ -358,6 +409,8 @@ class LtamServer:
         self._thread.join(timeout=10)
         self._thread = None
         self.close_ingestors()
+        if self._coherence is not None:
+            self._coherence.stop()
         self._disconnect_cache()
 
     def close_ingestors(self) -> None:
@@ -404,6 +457,7 @@ class LtamServer:
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._writers = set()
         server = await asyncio.start_server(
             self._handle_client, self._host, self._port, limit=self._frame_limit
         )
@@ -416,6 +470,16 @@ class LtamServer:
             return
         async with server:
             await self._stop_event.wait()
+            # Closing the listener is not enough: accepted connections would
+            # keep their sockets half-open (the loop exits before their
+            # transports run the close), so clients — pools especially —
+            # could not tell this server is gone.  Abort them and give the
+            # loop one tick to run the connection_lost callbacks.
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            await asyncio.sleep(0)
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -433,6 +497,7 @@ class LtamServer:
     async def _client_loop(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         loop = asyncio.get_running_loop()
         connection = _Connection()
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -462,6 +527,7 @@ class LtamServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._writers.discard(writer)
             if connection.ingestors:
                 # Flush-on-close durability per client; off the loop because
                 # close() joins the writer thread.
@@ -501,8 +567,13 @@ class LtamServer:
     #: operations that may block (queue backpressure, flush barriers,
     #: monitor/storage locks, full-log query replays) and therefore run in
     #: the executor, off the event loop.  Only the cached/pure-read decide
-    #: path and health stay inline.
-    _BLOCKING_OPS = frozenset({"observe", "observe_batch", "query", "checkpoint"})
+    #: path and health stay inline; ``enforce`` is side-effecting (audit
+    #: writes, denial alerts through user-registered sink callbacks), so it
+    #: goes to the executor like ``observe`` even though its decision half
+    #: is decide-fast.
+    _BLOCKING_OPS = frozenset(
+        {"enforce", "observe", "observe_batch", "query", "checkpoint", "sync"}
+    )
 
     async def _respond(
         self, loop: asyncio.AbstractEventLoop, connection: _Connection, line: bytes
@@ -529,8 +600,8 @@ class LtamServer:
     # ------------------------------------------------------------------ #
     # Operation handlers
     # ------------------------------------------------------------------ #
-    def _cached_fragment(self, raw_request: Any, include_trace: bool) -> Optional[str]:
-        """The pre-serialized decision for a raw request dict, or ``None``.
+    def _cached_entry(self, raw_request: Any):
+        """The cache entry for a raw request dict, or ``None``.
 
         The cache key is read straight off the wire dict — constructing and
         re-validating an :class:`AccessRequest` costs more than the lookup
@@ -551,6 +622,13 @@ class LtamServer:
         except (TypeError, KeyError):
             return None
         if entry is None or entry.payload is None:
+            return None
+        return entry
+
+    def _cached_fragment(self, raw_request: Any, include_trace: bool) -> Optional[str]:
+        """The pre-serialized decision for a raw request dict, or ``None``."""
+        entry = self._cached_entry(raw_request)
+        if entry is None:
             return None
         self._bump("cache_hits")
         full, stripped = entry.payload
@@ -617,6 +695,58 @@ class LtamServer:
             ):
                 fragments[position] = self._prime_cache(request, decision, include_trace, token)
         return _RawResult('{"decisions":[%s]}' % ",".join(fragments))
+
+    def _op_enforce(self, connection, message: Dict[str, Any]) -> _RawResult:
+        """PEP-routed decide: every enforcement lands in the audit log.
+
+        A cache hit is **re-audited** through
+        :meth:`~repro.api.pep.EnforcementPoint.attest` with the entry's
+        originating generation — an audited deployment sees one decision
+        entry (plus a ``CACHED`` note) per enforcement, never a silent
+        cache short-circuit.  The response wraps the decision with a
+        ``cached`` flag so remote enforcement points can surface it.
+        """
+        include_trace = bool(message.get("trace", True))
+        self._bump("decisions")
+        raw_request = message.get("request")
+        pep = self._engine.pep
+        if self._cache is not None:
+            entry = self._cached_entry(raw_request)
+            if entry is not None:
+                self._bump("cache_hits")
+                pep.attest(entry.decision, cached_generation=entry.generation)
+                full, stripped = entry.payload
+                fragment = full if include_trace else stripped
+                return _RawResult('{"cached":true,"decision":%s}' % fragment)
+        request = request_from_dict(raw_request)
+        if self._cache is not None:
+            token = self._cache.generation(request.location)
+            decision = pep.enforce(request)
+            fragment = self._prime_cache(request, decision, include_trace, token)
+            return _RawResult('{"cached":false,"decision":%s}' % fragment)
+        decision = pep.enforce(request)
+        return _RawResult(
+            '{"cached":false,"decision":%s}'
+            % _dumps(decision_to_dict(decision, include_trace=include_trace))
+        )
+
+    def _op_sync(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """The coherence barrier: drain the bus, pick up the shared store.
+
+        On a bus-attached replica this closes the coherence window (see
+        :meth:`~repro.service.bus.ReplicaCoherence.sync`); standalone it
+        still folds any foreign rows committed to a shared SQLite file.
+        """
+        if self._coherence is not None:
+            applied = self._coherence.sync()
+        else:
+            applied = len(self._engine.movement_db.pickup())
+        movement_db = self._engine.movement_db
+        return {
+            "applied": applied,
+            "position": movement_db.applied_position,
+            "high_water": movement_db.high_water,
+        }
 
     def _op_observe(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
         record = record_from_wire(message.get("record"))
@@ -725,15 +855,18 @@ class LtamServer:
             "backend": type(self._engine.movement_db).__name__,
             "stats": self._snapshot_stats(),
             "cache": self._cache.stats if self._cache is not None else None,
+            "coherence": self._coherence.stats if self._coherence is not None else None,
             "ingest": ingest,
         }
 
     _HANDLERS = {
         "decide": _op_decide,
         "decide_many": _op_decide_many,
+        "enforce": _op_enforce,
         "observe": _op_observe,
         "observe_batch": _op_observe_batch,
         "query": _op_query,
         "checkpoint": _op_checkpoint,
+        "sync": _op_sync,
         "health": _op_health,
     }

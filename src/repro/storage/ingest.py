@@ -131,26 +131,44 @@ class CheckpointPolicy:
                 f"retain_archived must be a non-negative integer, got {self.retain_archived!r}"
             )
 
-    def run(self, movement_db) -> object:
+    def run(self, movement_db, alert_sink=None) -> object:
         """Checkpoint *movement_db* under this policy (compaction + retention).
 
         Retention note: pruned archive records are gone — point-in-time
         query replays and windowed entry counts whose windows reach past the
         pruned era see fewer events.  Size ``retain_archived`` to cover the
         longest entry window whose budget must stay exactly enforced.
+
+        With an *alert_sink*, **alert retention follows archive pruning**:
+        after the prune, alerts older than the store's
+        ``oldest_retained_time`` are dropped too — they attest to movements
+        that no longer exist anywhere in the log.
         """
         receipt = movement_db.checkpoint(compact=self.compact)
         if self.compact and self.retain_archived is not None:
-            movement_db.prune_archive(self.retain_archived)
+            pruned = movement_db.prune_archive(self.retain_archived)
+            if pruned and alert_sink is not None:
+                horizon = movement_db.oldest_retained_time
+                if horizon is None:
+                    # The prune emptied the store entirely (retain_archived
+                    # small enough to cover nothing): every movement through
+                    # the archived boundary is gone, so the matching alerts
+                    # must go too — without this, the most aggressive
+                    # retention setting would be the one that leaks alerts.
+                    boundary = movement_db.archived_through
+                    horizon = boundary + 1 if boundary is not None else None
+                alert_sink.prune_before(horizon)
         return receipt
 
-    def bound(self, movement_db) -> Callable[[], object]:
+    def bound(self, movement_db, alert_sink=None) -> Callable[[], object]:
         """A zero-argument checkpoint callable for :class:`MovementIngestor`.
 
         The single wiring point for policy-driven checkpointing — pass
-        ``checkpoint_policy=policy, checkpoint=policy.bound(db)``.
+        ``checkpoint_policy=policy, checkpoint=policy.bound(db)``.  The
+        enforcement point passes its alert sink so scheduled prunes retire
+        the matching alerts (see :meth:`run`).
         """
-        return lambda: self.run(movement_db)
+        return lambda: self.run(movement_db, alert_sink)
 
 
 class _Flush:

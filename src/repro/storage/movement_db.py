@@ -129,6 +129,36 @@ class MovementNotice:
             return (record.location, previous)
         return (record.location,)
 
+    def to_wire(self) -> List:
+        """Compact wire form ``[time, subject, location, kind, previous]``.
+
+        Notices cross process boundaries on the replica invalidation bus
+        (:mod:`repro.service.bus`); the array form mirrors the movement
+        record's wire shape with the previous location appended.
+        """
+        record = self.record
+        return [
+            record.time,
+            record.subject,
+            record.location,
+            record.kind.value,
+            self.previous_location,
+        ]
+
+    @staticmethod
+    def from_wire(item) -> "MovementNotice":
+        """Rebuild (and re-validate) a notice from its wire array."""
+        if not isinstance(item, (list, tuple)) or len(item) != 5:
+            raise StorageError(
+                f"a movement notice must be a [time, subject, location, kind, previous] "
+                f"array, got {item!r}"
+            )
+        time, subject, location, kind, previous = item
+        return MovementNotice(
+            MovementRecord(time, subject, location, kind),
+            location_name(previous) if previous is not None else None,
+        )
+
 
 @dataclass(frozen=True)
 class Checkpoint:
@@ -249,6 +279,14 @@ class MovementDatabase(ABC):
         """
         if not self._movement_listeners:
             return []
+        return self._trace_notices(batch)
+
+    def _trace_notices(self, batch: List[MovementRecord]) -> List[MovementNotice]:
+        """Unconditionally build the notices for *batch* (see :meth:`_notices_for`).
+
+        :meth:`pickup` needs the notices even with no subscribers attached —
+        the caller (the replica coherence layer) returns them upward.
+        """
         tracked: Dict[str, Optional[str]] = {}
         notices: List[MovementNotice] = []
         current_location = self._occupancy.current_location
@@ -273,6 +311,35 @@ class MovementDatabase(ABC):
         if not self._movement_listeners:
             return []
         return [MovementNotice(record, self._occupancy.current_location(record.subject))]
+
+    # -- replication positions ------------------------------------------ #
+    @property
+    def high_water(self) -> int:
+        """Position of the newest movement this store knows about.
+
+        On the SQLite backend this reads the **file**, so a replica sharing
+        the database with a writer process sees the writer's committed
+        position — the number :meth:`pickup` catches the local projection up
+        to.  On purely in-process backends it equals the local position.
+        """
+        return self.applied_position
+
+    @property
+    def applied_position(self) -> int:
+        """Position of the newest movement folded into *this* projection."""
+        return len(self)
+
+    def pickup(self) -> List[MovementNotice]:
+        """Fold movements another process appended into this projection.
+
+        Backends without a shared storage medium have nothing to pick up and
+        return ``[]``.  The SQLite backend reads the shared file's rows past
+        :attr:`applied_position`, folds them into the in-process projection,
+        and **notifies subscribers** with their notices — so an attached
+        decision cache evicts exactly the keys the foreign writes touched.
+        Returns the applied notices (empty when already caught up).
+        """
+        return []
 
     # -- write-side validation ------------------------------------------ #
     def _validate_record(self, record: MovementRecord) -> None:
@@ -388,6 +455,30 @@ class MovementDatabase(ABC):
         raise StorageError(f"{type(self).__name__} does not keep an archive to prune")
 
     @property
+    def archived_through(self) -> Optional[int]:
+        """The largest movement time ever covered by a compacting checkpoint.
+
+        This is the LIVE/ARCHIVED boundary the query engine's scoped
+        statements use: everything at or before this time belongs to the
+        archived era.  ``None`` when no compaction has happened (every
+        record is live).  Pruning the archive does not move the boundary —
+        the pruned era stays archived, it just stops being replayable.
+        """
+        return None
+
+    @property
+    def oldest_retained_time(self) -> Optional[int]:
+        """The smallest movement time still reachable anywhere in the store.
+
+        After an archive prune, alerts older than this horizon attest to
+        movements that no longer exist — alert retention
+        (:meth:`~repro.engine.alerts.AlertSink.prune_before`) follows it.
+        ``None`` when the store holds no records at all.
+        """
+        times = [record.time for record in self.history(include_archived=True)]
+        return min(times) if times else None
+
+    @property
     def events_since_checkpoint(self) -> int:
         """Log records not yet covered by a checkpoint (the replay bound)."""
         return len(self)
@@ -487,6 +578,7 @@ class InMemoryMovementDatabase(MovementDatabase):
         self._total_recorded = 0
         self._checkpoint_position = 0
         self._checkpoint_state: Optional[tuple] = None
+        self._archived_through: Optional[int] = None
         self._in_bulk = False
         # Same transaction discipline as the SQLite backend: the streaming
         # writer's bulk()/record_many scopes and a foreground checkpoint()/
@@ -563,6 +655,10 @@ class InMemoryMovementDatabase(MovementDatabase):
         archived = 0
         if compact:
             archived = len(self._records)
+            if self._records:
+                newest = max(record.time for record in self._records)
+                if self._archived_through is None or newest > self._archived_through:
+                    self._archived_through = newest
             self._archive.extend(self._records)
             self._records.clear()
         self._checkpoint_position = position
@@ -582,6 +678,10 @@ class InMemoryMovementDatabase(MovementDatabase):
     def archived_count(self) -> int:
         return len(self._archive)
 
+    @property
+    def archived_through(self) -> Optional[int]:
+        return self._archived_through
+
     def _prune_archive(self, retain: int) -> int:
         with self._txn_lock:
             excess = len(self._archive) - retain
@@ -594,6 +694,10 @@ class InMemoryMovementDatabase(MovementDatabase):
     def events_since_checkpoint(self) -> int:
         return self._total_recorded - self._checkpoint_position
 
+    @property
+    def applied_position(self) -> int:
+        return self._total_recorded
+
     def clear(self) -> None:
         with self._txn_lock:
             self._records.clear()
@@ -601,6 +705,7 @@ class InMemoryMovementDatabase(MovementDatabase):
             self._total_recorded = 0
             self._checkpoint_position = 0
             self._checkpoint_state = None
+            self._archived_through = None
             self._occupancy.clear()
 
     def history(
@@ -664,6 +769,7 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         ]
         self._seq_lock = threading.Lock()
         self._next_seq = 1
+        self._recorded_total = 0
         self._strict_lock = threading.Lock()
         #: archived segments as (batch_seq, shard_index, records); guarded by
         #: _archive_lock — a scheduled checkpoint on the ingest writer thread
@@ -672,6 +778,7 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         self._archive_lock = threading.Lock()
         self._checkpoint_position = 0
         self._checkpoint_state: Optional[tuple] = None
+        self._archived_through: Optional[int] = None
 
     def _service_factory(self):
         return ShardedOccupancyService(self._shards)
@@ -706,6 +813,7 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         with self._seq_lock:
             base = self._next_seq
             self._next_seq += len(batch)
+            self._recorded_total += len(batch)
         # Partition once (memoized shard lookup), then land each partition
         # as one log segment + one projection fold under its shard's lock —
         # this plus apply_many is the ingest hot path.
@@ -740,6 +848,9 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
                     with self._archive_lock:
                         for batch_seq, records in shard_log:
                             archived_now += len(records)
+                            newest = max(record.time for record in records)
+                            if self._archived_through is None or newest > self._archived_through:
+                                self._archived_through = newest
                             self._archive.append((batch_seq, index, records))
                     shard_log.clear()
                 state.append(projection.snapshot())
@@ -765,6 +876,10 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         with self._archive_lock:
             return sum(len(records) for _, _, records in self._archive)
 
+    @property
+    def archived_through(self) -> Optional[int]:
+        return self._archived_through
+
     def _prune_archive(self, retain: int) -> int:
         # Segments are kept sorted oldest-first by (batch seq, shard); drop
         # from the front, slicing the boundary segment for an exact cap.
@@ -789,6 +904,14 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
             recorded = self._next_seq - 1
         return recorded - self._checkpoint_position
 
+    @property
+    def applied_position(self) -> int:
+        # Monotonic like the other backends: the total ever recorded, not
+        # the currently retained count — archive pruning must never make a
+        # position go backwards (consumers diff positions to count events).
+        with self._seq_lock:
+            return self._recorded_total
+
     def clear(self) -> None:
         for index in range(len(self._shard_records)):
             with self._occupancy.locked_shard(index) as projection:
@@ -798,8 +921,10 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
             self._archive.clear()
         with self._seq_lock:
             self._next_seq = 1
+            self._recorded_total = 0
         self._checkpoint_position = 0
         self._checkpoint_state = None
+        self._archived_through = None
 
     # -- reads ---------------------------------------------------------- #
     def history(
@@ -853,6 +978,11 @@ class SqliteMovementDatabase(MovementDatabase):
     through **one** ``SqliteMovementDatabase`` instance (the projection is
     primed at open and advanced only by this instance's own writes — another
     writer's rows would be invisible to the hot reads until reopen).
+    Read-only replica instances over the same file can nevertheless *follow*
+    the writer: :meth:`pickup` folds the file's committed rows past this
+    instance's :attr:`applied_position` into the projection (and notifies
+    subscribers), which is what the replica invalidation bus of
+    :mod:`repro.service.bus` drives.
     Transactions on this instance serialize on an internal lock, so a
     foreground ``checkpoint()``/``clear()`` never interleaves a streaming
     writer's open batch.  Reads are **read-uncommitted with respect to this
@@ -946,6 +1076,13 @@ class SqliteMovementDatabase(MovementDatabase):
         self._connection.executescript(self._SCHEMA)
         self._connection.commit()
         self._in_bulk = False
+        #: True while _pickup_locked is notifying subscribers: those notices
+        #: describe FOREIGN rows this instance just folded in.  Listeners
+        #: that re-broadcast local mutations (the replica coherence layer)
+        #: check it so a pickup — including the pickup-before-write the
+        #: local write paths run — never echoes other replicas' events back
+        #: onto the bus under this replica's origin.
+        self.notifying_pickup = False
         # One transaction at a time on the shared connection: the streaming
         # writer's bulk()/record_many scopes and a foreground checkpoint()/
         # clear() must not interleave their commits (reentrant, so record()
@@ -965,6 +1102,12 @@ class SqliteMovementDatabase(MovementDatabase):
             "SELECT value FROM occ_meta WHERE key = ?", (key,)
         ).fetchone()
         return int(row[0]) if row is not None else 0
+
+    def _meta_opt(self, key: str) -> Optional[int]:
+        row = self._connection.execute(
+            "SELECT value FROM occ_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return int(row[0]) if row is not None else None
 
     def _set_meta(self, key: str, value: int) -> None:
         self._connection.execute(
@@ -1018,6 +1161,9 @@ class SqliteMovementDatabase(MovementDatabase):
             )
         }
         self._occupancy.load(inside=inside, entry_counts=counts)
+        #: the log seq this instance's projection has folded in; a replica
+        #: sharing the file with a writer advances it through pickup().
+        self._applied_seq = self._max_seq()
 
     def _recover_derived(self) -> None:
         """Rebuild the derived tables: checkpoint state + replay of the log suffix.
@@ -1104,6 +1250,15 @@ class SqliteMovementDatabase(MovementDatabase):
             (archived,) = connection.execute(
                 "SELECT COUNT(*) FROM movements WHERE seq <= ?", (position,)
             ).fetchone()
+            if archived:
+                # The LIVE/ARCHIVED boundary of the scoped query statements;
+                # persisted so a reopened database keeps the same answer.
+                (newest,) = connection.execute(
+                    "SELECT MAX(time) FROM movements WHERE seq <= ?", (position,)
+                ).fetchone()
+                previous = self._meta_opt("archived_through")
+                if previous is None or int(newest) > previous:
+                    self._set_meta("archived_through", int(newest))
             connection.execute(
                 "INSERT INTO movements_archive (seq, time, subject, location, kind)"
                 " SELECT seq, time, subject, location, kind FROM movements WHERE seq <= ?",
@@ -1120,6 +1275,10 @@ class SqliteMovementDatabase(MovementDatabase):
     def archived_count(self) -> int:
         (count,) = self._connection.execute("SELECT COUNT(*) FROM movements_archive").fetchone()
         return int(count)
+
+    @property
+    def archived_through(self) -> Optional[int]:
+        return self._meta_opt("archived_through")
 
     def _prune_archive(self, retain: int) -> int:
         with self._txn_lock:
@@ -1140,6 +1299,83 @@ class SqliteMovementDatabase(MovementDatabase):
             "SELECT COUNT(*) FROM movements WHERE seq > ?", (self._checkpoint_seq(),)
         ).fetchone()
         return int(count)
+
+    # -- replica pickup -------------------------------------------------- #
+    @property
+    def high_water(self) -> int:
+        """The newest **committed** log seq in the file (any writer's)."""
+        with self._txn_lock:
+            return self._max_seq()
+
+    @property
+    def applied_position(self) -> int:
+        return self._applied_seq
+
+    @property
+    def oldest_retained_time(self) -> Optional[int]:
+        (oldest,) = self._connection.execute(
+            "SELECT MIN(t) FROM (SELECT MIN(time) AS t FROM movements"
+            " UNION ALL SELECT MIN(time) AS t FROM movements_archive)"
+        ).fetchone()
+        return int(oldest) if oldest is not None else None
+
+    def pickup(self) -> List[MovementNotice]:
+        """Fold rows another replica committed to the shared file into this
+        instance's projection, notifying subscribers with their notices.
+
+        This is the cross-process half of the replica coherence story: the
+        writer replica's ``record``/``record_many`` keep the derived tables
+        authoritative, while every *other* replica calls ``pickup()`` (on an
+        invalidation-bus event, on bus gap/reconnect, or on a periodic sync
+        tick) to catch its in-process projection — and therefore its hot
+        decision reads — up to the file's committed high water.  The emitted
+        notices flow through the normal mutation-notification path, so an
+        attached :class:`~repro.service.cache.DecisionCache` evicts exactly
+        the keys the foreign writes touched (and bumps their invalidation
+        generations, fencing in-flight stores).
+
+        The derived tables are left alone — they are the writer's to
+        maintain.  Returns the applied notices; ``[]`` when caught up.
+        """
+        with self._txn_lock:
+            if self._in_bulk:
+                # Never interleave foreign rows into an open local batch;
+                # the next sync tick retries after the transaction closes.
+                return []
+            return self._pickup_locked()
+
+    def _pickup_locked(self) -> List[MovementNotice]:
+        """The :meth:`pickup` body; callers hold the transaction lock.
+
+        The local write paths run this **before writing** too: a replica
+        whose own insert's seq would jump past foreign committed rows must
+        fold them first, or those rows would fall forever outside the
+        ``seq > applied`` pickup window — silently desyncing the projection
+        of any replica that both reads and writes.
+        """
+        rows = self._connection.execute(
+            "SELECT seq, time, subject, location, kind FROM movements WHERE seq > ?"
+            " UNION ALL"
+            " SELECT seq, time, subject, location, kind FROM movements_archive"
+            " WHERE seq > ? ORDER BY seq",
+            (self._applied_seq, self._applied_seq),
+        ).fetchall()
+        if not rows:
+            return []
+        records = [
+            MovementRecord(time, subject, location, MovementKind(kind))
+            for _, time, subject, location, kind in rows
+        ]
+        notices = self._trace_notices(records)
+        for record in records:
+            self._occupancy.apply(record)
+        self._applied_seq = rows[-1][0]
+        self.notifying_pickup = True
+        try:
+            self._notify(notices)
+        finally:
+            self.notifying_pickup = False
+        return notices
 
     # -- writes --------------------------------------------------------- #
     def _apply_derived(self, record: MovementRecord) -> None:
@@ -1167,15 +1403,21 @@ class SqliteMovementDatabase(MovementDatabase):
 
     def record(self, record: MovementRecord) -> MovementRecord:
         with self._txn_lock:
+            if not self._in_bulk:
+                # Fold foreign committed rows first: our insert's seq will
+                # move applied past them, which would orphan them otherwise.
+                self._pickup_locked()
             self._validate_record(record)
             self._check_strict_exit(record)
             notices = self._notice_for(record)
-            self._connection.execute(
+            cursor = self._connection.execute(
                 "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
                 (record.time, record.subject, record.location, record.kind.value),
             )
             self._apply_derived(record)
             self._occupancy.apply(record)
+            if cursor.lastrowid:
+                self._applied_seq = cursor.lastrowid
             if not self._in_bulk:
                 self._stamp_applied()
                 self._connection.commit()
@@ -1192,6 +1434,8 @@ class SqliteMovementDatabase(MovementDatabase):
         """
         batch = list(records)
         with self._txn_lock:
+            if not self._in_bulk:
+                self._pickup_locked()  # pickup-before-write (see _pickup_locked)
             self._validate_batch(batch)
             notices = self._notices_for(batch)
             if self._in_bulk:
@@ -1200,12 +1444,14 @@ class SqliteMovementDatabase(MovementDatabase):
                 self._notify(notices)
                 return batch
             state = self._occupancy.snapshot()
+            applied = self._applied_seq
             try:
                 self._write_batch(batch)
                 self._connection.commit()
             except Exception:
                 self._connection.rollback()
                 self._occupancy.restore(state)
+                self._applied_seq = applied
                 raise
             self._notify(notices)
             return batch
@@ -1226,6 +1472,9 @@ class SqliteMovementDatabase(MovementDatabase):
                 if record.kind is MovementKind.ENTER
             },
         )
+        # Same-connection reads see the uncommitted inserts, so this is the
+        # batch's final seq even inside the open transaction.
+        self._applied_seq = self._max_seq()
         self._stamp_applied()
 
     def _sync_derived(self, *, subjects: set, pairs: set) -> None:
@@ -1277,13 +1526,16 @@ class SqliteMovementDatabase(MovementDatabase):
             yield
             return
         with self._txn_lock:
+            self._pickup_locked()  # pickup-before-write (see _pickup_locked)
             self._in_bulk = True
             state = self._occupancy.snapshot()
+            applied = self._applied_seq
             try:
                 yield
             except Exception:
                 self._connection.rollback()
                 self._occupancy.restore(state)
+                self._applied_seq = applied
                 raise
             else:
                 self._stamp_applied()
@@ -1303,9 +1555,11 @@ class SqliteMovementDatabase(MovementDatabase):
         self._connection.execute("DELETE FROM occ_checkpoint")
         self._connection.execute("DELETE FROM occ_checkpoint_counts")
         self._set_meta("checkpoint_seq", 0)
+        self._connection.execute("DELETE FROM occ_meta WHERE key = 'archived_through'")
         self._stamp_applied()
         self._connection.commit()
         self._occupancy.clear()
+        self._applied_seq = self._max_seq()
 
     # -- reads ---------------------------------------------------------- #
     def history(

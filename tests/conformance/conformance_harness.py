@@ -1,0 +1,406 @@
+"""The cross-topology differential harness.
+
+One deterministic workload — a seeded authorization set (shared objects, so
+auth ids are identical everywhere), a `workload.movement_events()` trace cut
+into rounds, a decision stream, and a query script — is replayed against
+every serving topology the system supports, and the transcripts must be
+**byte-identical**: every decision (trace included), every query result, on
+every topology, serialized to canonical JSON.
+
+The topologies:
+
+* ``embedded-memory`` — the reference: an in-process engine over the plain
+  in-memory movement store;
+* ``embedded-sqlite`` — same engine over a SQLite file;
+* ``sharded`` — the sharded in-memory movement store (log + projection
+  partitioned by subject);
+* ``server`` — one cached ``LtamServer`` spoken to over the wire;
+* ``replicas`` — two cached ``LtamServer`` replicas over one shared SQLite
+  file, coherent through the invalidation bus: observes and queries go to
+  replica A, **decisions are served by replica B**, with the ``sync`` op as
+  the round barrier.
+
+With ``REPRO_CONFORMANCE_SUBPROCESS=1`` the replica topology spawns two real
+``repro serve`` processes (joined by ``--bus``/``--peers``) instead of
+in-process servers — the CI job runs that mode.
+
+The one canonicalization: ``request_id`` is stripped before comparison.  It
+is client-side echo metadata, and a cache hit legitimately echoes the
+priming request's id (documented on :class:`repro.service.client.RemotePdp`);
+everything else — grant/deny, reason, entries used, the admitting
+authorization, the full per-stage trace — must match byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import Ltam
+from repro.engine.query.evaluator import QueryEngine
+from repro.core.serialization import dumps_authorizations
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.serialization import dumps as dumps_layout
+from repro.service import DecisionCache, InvalidationBus, LtamServer, ServiceClient
+from repro.service.protocol import (
+    decision_to_dict,
+    query_result_to_dict,
+    request_to_dict,
+)
+from repro.simulation.buildings import grid_building
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+
+TOPOLOGIES = ("embedded-memory", "embedded-sqlite", "sharded", "server", "replicas")
+
+SUBJECT_COUNT = 36
+ROUNDS = 4
+EVENTS_PER_ROUND = 400
+DECIDES_PER_ROUND = 150
+#: The round after which every topology takes a compacting checkpoint —
+#: LIVE/ARCHIVED-scoped queries diverge meaningfully from there on.
+CHECKPOINT_AFTER_ROUND = 1
+
+SUBPROCESS_ENV = "REPRO_CONFORMANCE_SUBPROCESS"
+
+
+def subprocess_replicas() -> bool:
+    return os.environ.get(SUBPROCESS_ENV, "") not in ("", "0")
+
+
+# --------------------------------------------------------------------- #
+# The workload script
+# --------------------------------------------------------------------- #
+class Workload:
+    """The deterministic script every topology replays."""
+
+    def __init__(self, seed: int = 11) -> None:
+        self.graph = grid_building("B", 4, 4)
+        self.hierarchy = LocationHierarchy(self.graph)
+        self.subjects = generate_subjects(SUBJECT_COUNT)
+        generator = AuthorizationWorkloadGenerator(self.hierarchy, seed=seed)
+        #: one shared authorization list — granted everywhere, so the
+        #: auto-generated auth ids agree across topologies.
+        self.authorizations = generator.authorizations(self.subjects)
+        events = generator.movement_events(self.subjects, ROUNDS * EVENTS_PER_ROUND)
+        decide_gen = AuthorizationWorkloadGenerator(self.hierarchy, seed=seed + 1)
+        self.rounds: List[Tuple[list, list, List[str]]] = []
+        for index in range(ROUNDS):
+            chunk = events[index * EVENTS_PER_ROUND : (index + 1) * EVENTS_PER_ROUND]
+            requests = decide_gen.requests(self.subjects, DECIDES_PER_ROUND)
+            self.rounds.append((chunk, requests, self._round_queries(chunk)))
+
+    def _round_queries(self, chunk) -> List[str]:
+        locations = sorted(self.hierarchy.primitive_names)
+        at = chunk[len(chunk) // 2].time
+        queries: List[str] = []
+        for location in locations[:3]:
+            queries.append(f"WHO IS IN {location} AT {at}")
+            queries.append(f"WHO IS IN {location} AT {at} LIVE")
+            queries.append(f"WHO IS IN {location}")
+        for subject in self.subjects[:4]:
+            queries.append(f"WHERE IS {subject} AT {at}")
+            queries.append(f"WHERE IS {subject}")
+            queries.append(f"ENTRIES OF {subject} INTO {locations[0]}")
+            queries.append(f"ENTRIES OF {subject} INTO {locations[0]} LIVE")
+            queries.append(f"CAN {subject} ENTER {locations[1]} AT {at}")
+        queries.append(f"VIOLATIONS FOR {self.subjects[0]}")
+        queries.append(f"AUTHORIZATIONS FOR {self.subjects[1]}")
+        return queries
+
+
+# --------------------------------------------------------------------- #
+# Canonical serialization (the "byte-identical" definition)
+# --------------------------------------------------------------------- #
+def canonical_decision(payload: Dict) -> str:
+    payload = dict(payload)
+    request = dict(payload.get("request") or {})
+    request.pop("request_id", None)
+    payload["request"] = request
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_query(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class Transcript:
+    """Everything a topology produced, in canonical form."""
+
+    def __init__(self) -> None:
+        self.decisions: List[str] = []
+        self.queries: List[str] = []
+
+    def first_divergence(self, other: "Transcript") -> Optional[str]:
+        for kind, mine, theirs in (
+            ("decision", self.decisions, other.decisions),
+            ("query", self.queries, other.queries),
+        ):
+            if len(mine) != len(theirs):
+                return f"{kind} count differs: {len(mine)} vs {len(theirs)}"
+            for index, (a, b) in enumerate(zip(mine, theirs)):
+                if a != b:
+                    return f"{kind}[{index}] differs:\n  {a}\n  {b}"
+        return None
+
+
+# --------------------------------------------------------------------- #
+# Topology runners
+# --------------------------------------------------------------------- #
+class EmbeddedTopology:
+    """Reference runner: everything in-process, no cache."""
+
+    def __init__(self, name: str, *, backend: Optional[str] = None, shards=None) -> None:
+        self.name = name
+        self._backend = backend
+        self._shards = shards
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        builder = Ltam.builder().hierarchy(workload.hierarchy)
+        if self._backend == "sqlite":
+            builder = builder.backend("sqlite", str(tmp_path / f"{self.name}.db"))
+        if self._shards is not None:
+            builder = builder.shards(self._shards)
+        self.engine = builder.build()
+        self.engine.grant_all(workload.authorizations)
+        self._queries = QueryEngine(self.engine)
+
+    def observe(self, records) -> None:
+        self.engine.observe_many(records)
+
+    def decide(self, requests) -> List[str]:
+        return [
+            canonical_decision(decision_to_dict(decision))
+            for decision in self.engine.decide_many(requests)
+        ]
+
+    def query(self, texts) -> List[str]:
+        return [
+            canonical_query(query_result_to_dict(self._queries.evaluate(text)))
+            for text in texts
+        ]
+
+    def checkpoint(self) -> None:
+        self.engine.checkpoint()
+
+    def sync(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+
+class ServerTopology:
+    """One cached server; every interaction crosses the wire."""
+
+    name = "server"
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        engine = Ltam.builder().hierarchy(workload.hierarchy).build()
+        engine.grant_all(workload.authorizations)
+        self._server = LtamServer(engine, cache=DecisionCache())
+        self._server.start()
+        self._client = ServiceClient(*self._server.address, timeout=60.0)
+
+    def observe(self, records) -> None:
+        self._client.observe_batch(records, mode="monitor", wait=True)
+
+    def decide(self, requests) -> List[str]:
+        raw = self._client.call(
+            "decide_many",
+            requests=[request_to_dict(request) for request in requests],
+            trace=True,
+        )
+        return [canonical_decision(payload) for payload in raw["decisions"]]
+
+    def query(self, texts) -> List[str]:
+        return [
+            canonical_query(self._client.call("query", text=text)) for text in texts
+        ]
+
+    def checkpoint(self) -> None:
+        self._client.checkpoint()
+
+    def sync(self) -> None:
+        self._client.sync()
+
+    def stop(self) -> None:
+        self._client.close()
+        self._server.stop()
+
+
+class ReplicaTopology:
+    """Two cached replicas over one SQLite file + the invalidation bus.
+
+    Observes, queries and checkpoints go to replica A (the writer);
+    **decisions are served by replica B** — the replica that never saw the
+    mutations locally and is only correct if the bus + pickup machinery
+    works.  ``sync()`` (the wire op) is the round barrier.
+    """
+
+    name = "replicas"
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        path = str(tmp_path / "replicas.db")
+        engine_a = (
+            Ltam.builder().hierarchy(workload.hierarchy).backend("sqlite", path).build()
+        )
+        engine_a.grant_all(workload.authorizations)
+        bus = InvalidationBus()
+        self._server_a = LtamServer(
+            engine_a, cache=DecisionCache(), bus=bus, replica_id="conf-a"
+        )
+        self._server_a.start()
+        engine_b = (
+            Ltam.builder().hierarchy(workload.hierarchy).backend("sqlite", path).build()
+        )
+        self._server_b = LtamServer(
+            engine_b, cache=DecisionCache(), bus=bus.address, replica_id="conf-b"
+        )
+        self._server_b.start()
+        self.client_a = ServiceClient(*self._server_a.address, timeout=60.0)
+        self.client_b = ServiceClient(*self._server_b.address, timeout=60.0)
+
+    def observe(self, records) -> None:
+        self.client_a.observe_batch(records, mode="monitor", wait=True)
+
+    def decide(self, requests) -> List[str]:
+        raw = self.client_b.call(
+            "decide_many",
+            requests=[request_to_dict(request) for request in requests],
+            trace=True,
+        )
+        return [canonical_decision(payload) for payload in raw["decisions"]]
+
+    def query(self, texts) -> List[str]:
+        return [
+            canonical_query(self.client_a.call("query", text=text)) for text in texts
+        ]
+
+    def checkpoint(self) -> None:
+        self.client_a.checkpoint()
+
+    def sync(self) -> None:
+        self.client_b.sync()
+
+    def stop(self) -> None:
+        self.client_b.close()
+        self.client_a.close()
+        self._server_b.stop()
+        self._server_a.stop()
+
+
+class SubprocessReplicaTopology(ReplicaTopology):
+    """The replica topology with real ``repro serve`` processes.
+
+    Replica A hosts the bus (``--bus 0``) and loads the authorizations into
+    the shared SQLite file; replica B joins via ``--peers``.  The bound
+    ports are read from the two banner lines the CLI prints.
+    """
+
+    name = "replicas"
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        layout = tmp_path / "layout.json"
+        auths = tmp_path / "auths.json"
+        layout.write_text(dumps_layout(workload.graph), encoding="utf-8")
+        auths.write_text(
+            dumps_authorizations(workload.authorizations), encoding="utf-8"
+        )
+        path = str(tmp_path / "replicas.db")
+        self._procs: List[subprocess.Popen] = []
+        env = dict(os.environ)
+        out_a = self._spawn(
+            tmp_path,
+            "a",
+            ["--layout", str(layout), "--auths", str(auths), "--db", path,
+             "--port", "0", "--bus", "0", "--replica-id", "conf-a"],
+            env,
+        )
+        port_a = self._await_banner(out_a, r"serving on [^:]+:(\d+) ")
+        bus_port = self._await_banner(out_a, r"bus on [^:]+:(\d+) ")
+        out_b = self._spawn(
+            tmp_path,
+            "b",
+            ["--layout", str(layout), "--db", path, "--port", "0",
+             "--peers", f"127.0.0.1:{bus_port}", "--replica-id", "conf-b"],
+            env,
+        )
+        port_b = self._await_banner(out_b, r"serving on [^:]+:(\d+) ")
+        self.client_a = ServiceClient("127.0.0.1", port_a, timeout=60.0)
+        self.client_b = ServiceClient("127.0.0.1", port_b, timeout=60.0)
+
+    def _spawn(self, tmp_path, tag: str, args: List[str], env) -> str:
+        out_path = tmp_path / f"serve-{tag}.out"
+        handle = open(out_path, "w")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *args],
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        self._procs.append(process)
+        return str(out_path)
+
+    @staticmethod
+    def _await_banner(out_path: str, pattern: str, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                text = open(out_path).read()
+            except OSError:
+                text = ""
+            match = re.search(pattern, text)
+            if match:
+                return int(match.group(1))
+            time.sleep(0.1)
+        raise AssertionError(f"no banner matching {pattern!r} in {out_path}: {text!r}")
+
+    def stop(self) -> None:
+        self.client_b.close()
+        self.client_a.close()
+        for process in self._procs:
+            process.terminate()
+        for process in self._procs:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+def make_topology(name: str):
+    if name == "embedded-memory":
+        return EmbeddedTopology(name)
+    if name == "embedded-sqlite":
+        return EmbeddedTopology(name, backend="sqlite")
+    if name == "sharded":
+        return EmbeddedTopology(name, shards=4)
+    if name == "server":
+        return ServerTopology()
+    if name == "replicas":
+        return SubprocessReplicaTopology() if subprocess_replicas() else ReplicaTopology()
+    raise ValueError(f"unknown topology {name!r}")
+
+
+def run_topology(name: str, workload: Workload, tmp_path) -> Tuple[Transcript, float]:
+    """Replay the whole workload on one topology; returns (transcript, seconds)."""
+    topology = make_topology(name)
+    topology.start(workload, tmp_path)
+    transcript = Transcript()
+    started = time.perf_counter()
+    try:
+        for index, (chunk, requests, queries) in enumerate(workload.rounds):
+            topology.observe(chunk)
+            topology.sync()  # the coherence barrier (a no-op off the bus)
+            transcript.decisions.extend(topology.decide(requests))
+            transcript.queries.extend(topology.query(queries))
+            if index == CHECKPOINT_AFTER_ROUND:
+                topology.checkpoint()
+                topology.sync()
+    finally:
+        topology.stop()
+    return transcript, time.perf_counter() - started

@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import QuerySyntaxError
 from repro.engine.query import HistoryScope, QueryEngine, parse
-from repro.engine.query.ast import WhereIsQuery, WhoIsInQuery
+from repro.engine.query.ast import (
+    EntriesQuery,
+    ViolationsQuery,
+    WhereIsQuery,
+    WhoIsInQuery,
+)
 from repro.api import Ltam
 from repro.locations.multilevel import LocationHierarchy
 from repro.simulation.buildings import grid_building
@@ -50,6 +55,37 @@ class TestGrammar:
         with pytest.raises(QuerySyntaxError):
             parse("WHERE IS LIVE")  # LIVE cannot be a subject name
 
+    @pytest.mark.parametrize(
+        "text, scope",
+        [
+            ("VIOLATIONS LIVE", HistoryScope.LIVE),
+            ("VIOLATIONS FOR Alice LIVE", HistoryScope.LIVE),
+            ("VIOLATIONS FOR Alice BETWEEN 0 AND 50 ARCHIVED", HistoryScope.ARCHIVED),
+            ("VIOLATIONS", HistoryScope.ARCHIVED),  # default: full retention
+        ],
+    )
+    def test_violations_scope(self, text, scope):
+        query = parse(text)
+        assert isinstance(query, ViolationsQuery)
+        assert query.scope is scope
+
+    @pytest.mark.parametrize(
+        "text, scope",
+        [
+            ("ENTRIES OF Alice INTO Lobby LIVE", HistoryScope.LIVE),
+            ("ENTRIES OF Alice INTO Lobby ARCHIVED", HistoryScope.ARCHIVED),
+            ("ENTRIES OF Alice INTO Lobby", HistoryScope.ARCHIVED),
+        ],
+    )
+    def test_entries_scope(self, text, scope):
+        query = parse(text)
+        assert isinstance(query, EntriesQuery)
+        assert query.scope is scope
+
+    def test_entries_scope_must_be_trailing(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("ENTRIES OF Alice LIVE INTO Lobby")
+
 
 class TestEvaluation:
     @pytest.fixture
@@ -86,3 +122,113 @@ class TestEvaluation:
         # was already folded in, so both scopes agree.
         assert queries.evaluate("WHERE IS Alice LIVE").scalar == "B.R0C0"
         assert queries.evaluate("WHERE IS Alice").scalar == "B.R0C0"
+
+
+class TestCounterAndAlertScope:
+    @pytest.fixture
+    def engine(self):
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        # Archived era: two entries, one violation (Mallory is unauthorized).
+        engine.observe_entry(1, "Alice", "B.R0C0")
+        engine.observe_entry(2, "Mallory", "B.R0C0")
+        engine.observe_exit(3, "Alice", "B.R0C0")
+        engine.checkpoint()  # compacts: the era above moves to the archive
+        # Live era: one more entry each, one more violation.
+        engine.observe_entry(10, "Alice", "B.R0C0")
+        engine.observe_entry(11, "Mallory", "B.R0C1")
+        return engine
+
+    def test_entries_default_is_the_lifetime_counter(self, engine):
+        queries = QueryEngine(engine)
+        assert queries.evaluate("ENTRIES OF Alice INTO B.R0C0").scalar == 2
+        assert (
+            queries.evaluate("ENTRIES OF Alice INTO B.R0C0 ARCHIVED").scalar
+            == queries.evaluate("ENTRIES OF Alice INTO B.R0C0").scalar
+        )
+
+    def test_entries_live_counts_only_since_compaction(self, engine):
+        queries = QueryEngine(engine)
+        assert queries.evaluate("ENTRIES OF Alice INTO B.R0C0 LIVE").scalar == 1
+
+    def test_entries_default_survives_archive_pruning(self, engine):
+        engine.movement_db.prune_archive(0)
+        queries = QueryEngine(engine)
+        # The projection counter folded the pruned entries in; it stays exact.
+        assert queries.evaluate("ENTRIES OF Alice INTO B.R0C0").scalar == 2
+        assert queries.evaluate("ENTRIES OF Alice INTO B.R0C0 LIVE").scalar == 1
+
+    def test_violations_live_reports_only_the_live_era(self, engine):
+        queries = QueryEngine(engine)
+        archived_times = [row[0] for row in queries.evaluate("VIOLATIONS")]
+        live_times = [row[0] for row in queries.evaluate("VIOLATIONS LIVE")]
+        boundary = engine.movement_db.archived_through
+        assert boundary == 3
+        assert any(time < boundary for time in archived_times)
+        assert live_times and all(time >= boundary for time in live_times)
+
+    def test_violations_live_keeps_boundary_time_alerts(self):
+        """Movement times may repeat: a live-era violation raised at exactly
+        the archived_through chronon must not be hidden (inclusive boundary
+        over-reports rather than hides)."""
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        engine.observe_entry(3, "Alice", "B.R0C0")
+        engine.checkpoint()  # archived_through == 3
+        engine.observe_entry(3, "Mallory", "B.R0C1")  # live violation at t=3
+        queries = QueryEngine(engine)
+        live = queries.evaluate("VIOLATIONS LIVE")
+        assert any(row[2] == "Mallory" for row in live), live.rows
+
+    def test_violations_live_with_no_compaction_equals_default(self):
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        engine.observe_entry(1, "Mallory", "B.R0C0")
+        queries = QueryEngine(engine)
+        assert queries.evaluate("VIOLATIONS LIVE") == queries.evaluate("VIOLATIONS")
+
+
+class TestAlertRetentionFollowsPruning:
+    def test_scheduled_prune_retires_the_pruned_eras_alerts(self):
+        from repro.storage.ingest import CheckpointPolicy
+
+        from repro.storage.movement_db import MovementKind, MovementRecord
+
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        engine.observe_entry(1, "Mallory", "B.R0C0")  # violation in the old era
+        engine.observe_exit(2, "Mallory", "B.R0C0")
+        policy = CheckpointPolicy(every_events=1, retain_archived=2)
+        assert len(engine.alerts) >= 1
+        with engine.observe_stream(batch_size=4, checkpoint_policy=policy) as stream:
+            stream.submit(MovementRecord(10, "Mallory", "B.R0C1", MovementKind.ENTER))
+            stream.submit(MovementRecord(11, "Mallory", "B.R0C1", MovementKind.EXIT))
+        # The scheduled checkpoint archived everything and the prune kept
+        # only the two newest records (t=10, t=11): the old era's movements
+        # are gone, and the alerts attesting to them went with them.
+        assert engine.movement_db.oldest_retained_time == 10
+        remaining = [alert.time for alert in engine.alerts.alerts]
+        assert remaining, "the retained era's violation must survive"
+        assert all(time >= 10 for time in remaining), remaining
+
+    def test_prune_that_empties_the_store_retires_all_attested_alerts(self):
+        """retain_archived=0 drops every movement — the alerts attesting to
+        them must not outlive the store (the aggressive-retention edge)."""
+        from repro.storage.ingest import CheckpointPolicy
+        from repro.storage.movement_db import MovementKind, MovementRecord
+
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        engine = Ltam(hierarchy)
+        engine.observe_entry(1, "Mallory", "B.R0C0")  # violation at t=1
+        policy = CheckpointPolicy(every_events=1, retain_archived=0)
+        with engine.observe_stream(batch_size=4, checkpoint_policy=policy) as stream:
+            stream.submit(MovementRecord(10, "Mallory", "B.R0C1", MovementKind.ENTER))
+        assert len(engine.movement_db) == 0
+        assert engine.movement_db.archived_count == 0
+        assert engine.alerts.alerts == (), engine.alerts.alerts
+
+    def test_prune_before_is_a_noop_without_a_boundary(self):
+        from repro.engine.alerts import AlertSink
+
+        sink = AlertSink()
+        assert sink.prune_before(None) == 0

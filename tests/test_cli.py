@@ -238,3 +238,41 @@ class TestServe:
         )
         assert code == 1
         assert "checkpoint trigger" in output
+
+    def test_replication_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--layout", "campus.json",
+                "--db", "deploy.db",
+                "--peers", "10.0.0.5:7472",
+                "--replica-id", "b",
+                "--sync-interval", "0.5",
+            ]
+        )
+        assert args.peers == "10.0.0.5:7472"
+        assert args.replica_id == "b" and args.sync_interval == 0.5
+
+    def test_bus_and_peers_are_mutually_exclusive(self):
+        import pytest
+
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--layout", "c.json", "--db", "d.db",
+                 "--bus", "7472", "--peers", "x:7472"]
+            )
+
+    def test_replication_requires_a_shared_db(self, deployment):
+        """--bus/--peers without --db would be a silently-diverging fleet:
+        each replica's in-memory projection has nothing pickup() can sync."""
+        layout_path, auths_path = deployment
+        code, output = run_cli(
+            "serve", "--layout", layout_path, "--auths", auths_path,
+            "--peers", "127.0.0.1:7472", "--port", "0",
+        )
+        assert code == 1
+        assert "require --db" in output
