@@ -1,0 +1,202 @@
+"""Partitioned serving fabric: decide_many throughput scales with partitions.
+
+PR 6's fabric shards subjects across ``repro serve`` processes behind a
+:class:`~repro.service.fabric.FabricRouter`.  Because each partition is a
+separate OS process, a scatter-gathered ``decide_many`` escapes the single
+server's one-core ceiling: the router splits each batch by subject owner
+and the partitions evaluate their slices in parallel.
+
+The benchmark spawns a 3-partition fabric and a single-server control (both
+as real ``repro.cli serve`` subprocesses, caches off so every decision runs
+the full pipeline) over the same subject-partitionable workload and asserts
+the fabric sustains **≥2x** the single server's ``decide_many`` throughput.
+The scaling assertion needs real parallel hardware — with fewer than 4 CPU
+cores the three partition processes timeshare one core and the physical
+speedup mechanism is absent, so the throughput test skips (the conformance
+suite still proves fabric correctness everywhere).  A parity check that
+runs on any machine asserts the routed decisions match the single server's
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time as _time
+from pathlib import Path
+
+import pytest
+
+from repro.locations.multilevel import LocationHierarchy
+from repro.locations.serialization import dumps as dumps_layout
+from repro.core.serialization import dumps_authorizations
+from repro.service import FabricRouter, PartitionMap, ServiceClient
+from repro.service.protocol import request_to_dict
+from repro.simulation.buildings import grid_building
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+
+SUBJECT_COUNT = 120
+STREAM_SIZE = 9_000
+DECIDE_CHUNK = 1_500
+PARTITIONS = ("p0", "p1", "p2")
+SPEEDUP_FLOOR = 2.0
+BANNER = r"serving on [^:]+:(\d+) "
+
+
+def _hierarchy():
+    return LocationHierarchy(grid_building("B", 6, 6))
+
+
+def _workload(hierarchy):
+    subjects = generate_subjects(SUBJECT_COUNT)
+    grants = []
+    for seed in (29, 30, 31):
+        grants.extend(
+            AuthorizationWorkloadGenerator(hierarchy, seed=seed).authorizations(subjects)
+        )
+    requests = AuthorizationWorkloadGenerator(hierarchy, seed=53).requests(
+        subjects, STREAM_SIZE
+    )
+    return subjects, grants, [request_to_dict(request) for request in requests]
+
+
+class _Fleet:
+    """Spawned ``repro.cli serve`` processes with banner-parsed ports."""
+
+    def __init__(self, tmp_path, layout: str, auths: str):
+        self._tmp_path = tmp_path
+        self._layout = layout
+        self._auths = auths
+        self._procs = []
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + (
+            (":" + env["PYTHONPATH"]) if env.get("PYTHONPATH") else ""
+        )
+        self._env = env
+
+    def spawn(self, tag: str, *extra: str) -> int:
+        out_path = self._tmp_path / f"serve-{tag}.out"
+        handle = open(out_path, "w")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--layout", self._layout, "--auths", self._auths,
+                "--port", "0", "--no-cache", *extra,
+            ],
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            env=self._env,
+        )
+        self._procs.append(process)
+        deadline = _time.monotonic() + 30.0
+        text = ""
+        while _time.monotonic() < deadline:
+            try:
+                text = open(out_path).read()
+            except OSError:
+                text = ""
+            match = re.search(BANNER, text)
+            if match:
+                return int(match.group(1))
+            _time.sleep(0.1)
+        raise AssertionError(f"no serve banner for {tag}: {text!r}")
+
+    def stop(self) -> None:
+        for process in self._procs:
+            process.terminate()
+        for process in self._procs:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    hierarchy = _hierarchy()
+    subjects, grants, wire_stream = _workload(hierarchy)
+    layout = tmp_path / "layout.json"
+    auths = tmp_path / "auths.json"
+    layout.write_text(dumps_layout(grid_building("B", 6, 6)), encoding="utf-8")
+    auths.write_text(dumps_authorizations(grants), encoding="utf-8")
+    running = _Fleet(tmp_path, str(layout), str(auths))
+    try:
+        yield running, wire_stream
+    finally:
+        running.stop()
+
+
+def _timed_decides(call, wire_stream) -> float:
+    started = _time.perf_counter()
+    decided = 0
+    for start in range(0, len(wire_stream), DECIDE_CHUNK):
+        decisions = call(wire_stream[start : start + DECIDE_CHUNK])
+        decided += len(decisions)
+    elapsed = _time.perf_counter() - started
+    assert decided == len(wire_stream)
+    return elapsed
+
+
+def test_fabric_decisions_match_the_single_server(fleet):
+    """Routing changes where a decision is computed, never what it is."""
+    running, wire_stream = fleet
+    single_port = running.spawn("single")
+    addresses = {
+        name: f"127.0.0.1:{running.spawn(name, '--partition', name)}"
+        for name in PARTITIONS[:2]
+    }
+    sample = wire_stream[:400]
+    with ServiceClient("127.0.0.1", single_port) as client:
+        expected = client.call("decide_many", requests=sample, trace=False)["decisions"]
+    with FabricRouter(PartitionMap(addresses)) as router:
+        routed = router.decide_many_raw(sample, trace=False)
+    assert routed == expected
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="the fabric's decide_many speedup is process parallelism; "
+    "with <4 cores the partitions timeshare one core and the "
+    "2x floor is physically unreachable",
+)
+def test_three_partition_fabric_doubles_decide_many_throughput(fleet, table_printer):
+    running, wire_stream = fleet
+
+    single_port = running.spawn("single")
+    with ServiceClient("127.0.0.1", single_port, timeout=120.0) as client:
+        single_elapsed = _timed_decides(
+            lambda chunk: client.call("decide_many", requests=chunk, trace=False)[
+                "decisions"
+            ],
+            wire_stream,
+        )
+
+    addresses = {
+        name: f"127.0.0.1:{running.spawn(name, '--partition', name)}"
+        for name in PARTITIONS
+    }
+    with FabricRouter(PartitionMap(addresses), timeout=120.0) as router:
+        fabric_elapsed = _timed_decides(
+            lambda chunk: router.decide_many_raw(chunk, trace=False), wire_stream
+        )
+
+    single_rate = len(wire_stream) / single_elapsed
+    fabric_rate = len(wire_stream) / fabric_elapsed
+    speedup = fabric_rate / single_rate
+    table_printer(
+        "decide_many throughput: 3-partition fabric vs single server",
+        ["topology", "decides", "elapsed (s)", "decides/s", "speedup"],
+        [
+            ("single server", len(wire_stream), f"{single_elapsed:.2f}",
+             f"{single_rate:,.0f}", "1.00x"),
+            ("fabric (3 partitions)", len(wire_stream), f"{fabric_elapsed:.2f}",
+             f"{fabric_rate:,.0f}", f"{speedup:.2f}x"),
+        ],
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"3-partition fabric reached only {speedup:.2f}x the single server's "
+        f"decide_many throughput (floor {SPEEDUP_FLOOR}x)"
+    )

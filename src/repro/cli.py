@@ -21,6 +21,10 @@ Usage examples::
     python -m repro.cli checkpoint --db /var/lib/ltam.db
     python -m repro.cli serve --layout campus.json --auths auths.json \
         --db /var/lib/ltam.db --port 7471
+    python -m repro.cli serve --layout campus.json --auths auths.json \
+        --partition east --map fabric.json --port 7481
+    python -m repro.cli route --map fabric.json --port 7473
+    python -m repro.cli route --map fabric.json --status
 """
 
 from __future__ import annotations
@@ -41,6 +45,12 @@ from repro.locations.serialization import load as load_layout
 from repro.paper.fixtures import section5_authorizations
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, InvalidationBus
 from repro.service.cache import DecisionCache
+from repro.service.fabric import (
+    DEFAULT_ROUTER_PORT,
+    FabricRouter,
+    PartitionMap,
+    RouterServer,
+)
 from repro.service.server import DEFAULT_PORT, LtamServer
 from repro.storage.ingest import CheckpointPolicy
 from repro.storage.movement_db import SqliteMovementDatabase
@@ -176,6 +186,50 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default {DEFAULT_SYNC_INTERVAL}; bounds the coherence window under bus loss)"
         ),
     )
+    serve.add_argument(
+        "--partition",
+        metavar="NAME",
+        help=(
+            "serve as the named partition of a fabric (see 'repro route'); "
+            "identity for health reporting — subjects are routed by the map"
+        ),
+    )
+    serve.add_argument(
+        "--map",
+        dest="map_path",
+        metavar="FILE",
+        help="partition-map JSON file this partition belongs to (see PartitionMap.save)",
+    )
+
+    route = commands.add_parser(
+        "route",
+        help="run the fabric router in front of partitioned 'repro serve' processes",
+    )
+    route.add_argument(
+        "--map",
+        dest="map_path",
+        required=True,
+        metavar="FILE",
+        help="partition-map JSON file naming every partition and its address",
+    )
+    route.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_ROUTER_PORT,
+        help=f"bind port (default {DEFAULT_ROUTER_PORT}; 0 picks a free port)",
+    )
+    route.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        help="connections pooled per partition (default 4)",
+    )
+    route.add_argument(
+        "--status",
+        action="store_true",
+        help="print the map and per-partition health instead of serving, then exit",
+    )
 
     return parser
 
@@ -291,6 +345,16 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     sync_interval = (
         args.sync_interval if args.sync_interval is not None else DEFAULT_SYNC_INTERVAL
     )
+    partition_map = None
+    if args.map_path is not None:
+        partition_map = PartitionMap.load(args.map_path)
+        if args.partition is not None and args.partition not in partition_map.names:
+            print(
+                f"error: partition {args.partition!r} is not in the map "
+                f"({', '.join(partition_map.names)})",
+                file=out,
+            )
+            return 1
 
     server = LtamServer(
         engine,
@@ -301,15 +365,18 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         replica_id=args.replica_id,
         sync_interval=sync_interval,
         checkpoint_policy=checkpoint_policy,
+        partition=args.partition,
+        partition_map=partition_map,
     )
     server.start()
     host, port = server.address
     backend = "sqlite" if args.db is not None else "memory"
+    partition_note = f", partition={args.partition}" if args.partition is not None else ""
     # The address line is a contract: supervisors (and the CI smoke) read it
     # to learn the bound port, so it is printed first and flushed.
     print(
         f"serving on {host}:{port} "
-        f"(backend={backend}, cache={'off' if cache is None else 'on'})",
+        f"(backend={backend}, cache={'off' if cache is None else 'on'}{partition_note})",
         file=out,
     )
     if server.coherence is not None:
@@ -334,6 +401,50 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_route(args: argparse.Namespace, out) -> int:
+    partition_map = PartitionMap.load(args.map_path)
+    router = FabricRouter(partition_map, pool_size=args.pool_size)
+    if args.status:
+        try:
+            report = router.health()
+        finally:
+            router.close()
+        print(f"map v{report['map']['version']} — fabric {report['status']}", file=out)
+        for name, facts in sorted(report["map"]["partitions"].items()):
+            health = report["partitions"].get(name, {})
+            status = health.get("status", "unknown")
+            detail = f" ({health.get('error')})" if status == "unreachable" else ""
+            pinned = ", ".join(facts["pinned"]) or "(none)"
+            print(
+                f"  {name:<12} {facts['address']:<21} {status}{detail}  "
+                f"coverage={facts['coverage']:.3f}  pinned: {pinned}",
+                file=out,
+            )
+        return 0 if report["status"] == "ok" else 2
+    server = RouterServer(router, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    # Same contract as 'serve': supervisors parse the first line for the port.
+    print(
+        f"serving on {host}:{port} "
+        f"(role=router, map=v{partition_map.version}, "
+        f"partitions={','.join(partition_map.names)})",
+        file=out,
+    )
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.stop()
+        router.close()
+    return 0
+
+
 def _command_example(args: argparse.Namespace, out) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(dumps_layout(ntu_campus()))
@@ -351,6 +462,7 @@ _HANDLERS = {
     "example-campus": _command_example,
     "checkpoint": _command_checkpoint,
     "serve": _command_serve,
+    "route": _command_route,
 }
 
 

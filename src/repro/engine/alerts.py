@@ -103,6 +103,37 @@ class AlertSink:
             counts[alert.kind] = counts.get(alert.kind, 0) + 1
         return counts
 
+    def extract_for(self, subjects: Iterable[str]) -> List[Alert]:
+        """Remove and return every alert concerning *subjects*, in order.
+
+        The partition-handoff path: when subjects migrate to another
+        partition their alert history travels with them (see
+        :meth:`adopt`), so ``VIOLATIONS FOR s`` keeps answering identically
+        no matter which partition now owns *s* — and the source stops
+        reporting violations for subjects it no longer serves.
+        """
+        wanted = {subject_name(s) for s in subjects}
+        extracted = [alert for alert in self._alerts if alert.subject in wanted]
+        if extracted:
+            self._alerts[:] = [a for a in self._alerts if a.subject not in wanted]
+        return extracted
+
+    def adopt(self, alerts: Iterable[Alert]) -> int:
+        """Fold alerts handed off by another partition into this sink.
+
+        Adopted alerts are appended and the sink is re-sorted by time
+        (Python's stable sort keeps same-time alerts in emit order within
+        each origin), so ``VIOLATIONS`` reads remain deterministic across a
+        migration.  Callbacks are *not* re-fired — these alerts already
+        paged whoever they were going to page on the partition that raised
+        them.
+        """
+        adopted = list(alerts)
+        if adopted:
+            self._alerts.extend(adopted)
+            self._alerts.sort(key=lambda alert: alert.time)
+        return len(adopted)
+
     def prune_before(self, time: Optional[int]) -> int:
         """Drop alerts raised strictly before *time*; returns how many.
 

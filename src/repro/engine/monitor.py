@@ -213,6 +213,65 @@ class MovementMonitor:
         self._overstay_flagged.discard(subject)
         return alerts
 
+    # ------------------------------------------------------------------ #
+    # Partition handoff
+    # ------------------------------------------------------------------ #
+    def export_sessions(self, subjects: Iterable[str]) -> List[Tuple]:
+        """The open-session state of *subjects*, for partition migration.
+
+        Returns ``(subject, location, entered_at, auth_id, overstay_flagged)``
+        tuples — everything another monitor needs to keep judging the stay
+        (exit matching, exit-window checks, overstay sweeps) as if it had
+        observed the entry itself.  Closed-session history stays behind:
+        it is local diagnostics, consulted by no query or alert path.
+        """
+        wanted = {subject_name(subject) for subject in subjects}
+        with self._observe_lock:
+            exported = []
+            for session in self._sessions.open_sessions():
+                if session.subject not in wanted:
+                    continue
+                authorization = session.authorization
+                exported.append(
+                    (
+                        session.subject,
+                        session.location,
+                        session.entered_at,
+                        authorization.auth_id if authorization is not None else None,
+                        session.subject in self._overstay_flagged,
+                    )
+                )
+            return exported
+
+    def adopt_session(
+        self,
+        subject: str,
+        location: str,
+        entered_at: int,
+        authorization: Optional[LocationTemporalAuthorization] = None,
+        *,
+        overstay_flagged: bool = False,
+    ) -> OccupancySession:
+        """Install a migrated subject's open session without observing it.
+
+        The entry was already recorded and judged on the source partition —
+        no movement is written and no alert is raised here; the overstay
+        flag travels so an already-reported overstay is not re-alerted.
+        """
+        with self._observe_lock:
+            session = self._sessions.open(subject, location, entered_at, authorization)
+            if overstay_flagged:
+                self._overstay_flagged.add(session.subject)
+            return session
+
+    def drop_sessions(self, subjects: Iterable[str]) -> None:
+        """Discard *subjects*' session state after they migrated away."""
+        with self._observe_lock:
+            for subject in subjects:
+                name = subject_name(subject)
+                self._sessions.forget(name)
+                self._overstay_flagged.discard(name)
+
     def check_overstays(self, now: int) -> List[Alert]:
         """Raise an overstay alert for every open session past its exit window."""
         with self._observe_lock:

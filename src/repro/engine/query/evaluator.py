@@ -87,7 +87,11 @@ class QueryEngine:
             include_archived=scope.include_archived
         ):
             if record.time > time:
-                break
+                # Filter, don't stop: the history is only guaranteed
+                # time-ordered *per subject* — a partition that adopted a
+                # migrated subject's past holds it after native records, and
+                # occupancy replay depends on per-subject order alone.
+                continue
             if record.kind is MovementKind.ENTER:
                 inside[record.subject] = record.location
             else:

@@ -121,6 +121,17 @@ class SessionTable:
         """All sessions that have ended."""
         return list(self._closed)
 
+    def forget(self, subject: str) -> None:
+        """Drop every trace of *subject* — open session and closed history.
+
+        Partition handoff: when a subject migrates to another partition its
+        open session travels there; the local copy is discarded (not closed
+        — the stay continues, just elsewhere).
+        """
+        name = subject_name(subject)
+        self._open.pop(name, None)
+        self._closed = [session for session in self._closed if session.subject != name]
+
     def occupants(self, location: str) -> List[str]:
         """Subjects whose open session is inside *location*."""
         wanted = location_name(location)

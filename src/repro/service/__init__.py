@@ -80,6 +80,39 @@ audit entry per enforcement over the wire too; a decision served from the
 cache is re-audited with a ``CACHED`` note carrying the entry's originating
 cache generation (see :meth:`~repro.api.pep.EnforcementPoint.attest`).
 
+Partitioned serving (the fabric)
+--------------------------------
+
+Replication scales *reads* of one log; the fabric scales the log itself by
+sharding **subjects** across server processes.  :mod:`repro.service.fabric`
+holds the two pieces:
+
+.. code-block:: text
+
+    gate fleet ──decide/enforce──▶ ┌──────────────┐ ──▶ partition "east"
+    tracker fleet ──observe_batch▶ │ FabricRouter │ ──▶ partition "west"
+    admin ──query/checkpoint/sync▶ │ PartitionMap │ ──▶ partition "north"
+                                   └──────────────┘      (repro serve
+                                    (client-side or       --partition NAME
+                                     'repro route')       --map fabric.json)
+
+* :class:`~repro.service.fabric.PartitionMap` — a versioned consistent-hash
+  assignment of subjects to named partitions.  Same CRC32/virtual-node ring
+  as the in-process :class:`~repro.storage.sharding.HashRing`, so growing
+  the fleet remaps only ``~1/n`` of the subjects; explicit per-subject pins
+  move a hot subject without touching the ring.  Serializes to a JSON file
+  every ``repro serve --map`` / ``repro route --map`` process shares.
+* :class:`~repro.service.fabric.FabricRouter` — routes point ops to the
+  owning partition, scatter-gathers batches with per-partition order
+  preserved, answers cross-partition queries (``WHO IS IN``, global
+  ``VIOLATIONS``) by fan-out + deterministic merge, and reshards **live**:
+  only remapped subjects move (archive handoff via ``import_archive``, the
+  live slice through ordinary ingest, a ``sync`` cutover barrier on the
+  destination before the new map serves traffic).
+* :class:`~repro.service.fabric.RouterServer` — the router behind a socket
+  speaking the ordinary protocol, so an unmodified
+  :class:`~repro.service.client.ServiceClient` sees one logical server.
+
 Run a server with ``repro serve --layout campus.json --auths auths.json``
 (hosting a bus with ``--bus PORT``, joining one with ``--peers HOST:PORT``)
 or in-process::
@@ -107,6 +140,12 @@ from repro.service.errors import (
     ServiceConnectionError,
     ServiceError,
 )
+from repro.service.fabric import (
+    DEFAULT_ROUTER_PORT,
+    FabricRouter,
+    PartitionMap,
+    RouterServer,
+)
 from repro.service.server import DEFAULT_PORT, LtamServer
 
 __all__ = [
@@ -121,8 +160,12 @@ __all__ = [
     "BusLink",
     "CoherentDecisionCache",
     "ReplicaCoherence",
+    "PartitionMap",
+    "FabricRouter",
+    "RouterServer",
     "DEFAULT_PORT",
     "DEFAULT_BUS_PORT",
+    "DEFAULT_ROUTER_PORT",
     "ServiceError",
     "ProtocolError",
     "ServiceConnectionError",

@@ -70,6 +70,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.storage.movement_db import MovementNotice
 from repro.service.errors import ProtocolError, ServiceError
+from repro.service.runtime import AsyncServiceHost
 
 __all__ = [
     "DEFAULT_BUS_PORT",
@@ -133,7 +134,7 @@ class _BusPeer:
         self.replica: Optional[str] = None
 
 
-class InvalidationBus:
+class InvalidationBus(AsyncServiceHost):
     """The invalidation hub: seq-stamped fan-out with a bounded replay buffer.
 
     Parameters
@@ -165,8 +166,7 @@ class InvalidationBus:
     ) -> None:
         if replay_buffer < 1:
             raise ServiceError(f"replay buffer must be positive, got {replay_buffer!r}")
-        self._host = host
-        self._port = port
+        super().__init__(host, port, frame_limit=DEFAULT_FRAME_LIMIT)
         self._drop = drop
         self._seq = 0
         self._buffer: "deque[Tuple[int, Optional[str], List[Dict[str, Any]]]]" = deque(
@@ -175,27 +175,12 @@ class InvalidationBus:
         self._peers: List[_BusPeer] = []
         self._state_lock = threading.Lock()
         self._stats = {"published": 0, "delivered": 0, "dropped": 0, "replayed": 0, "resyncs": 0}
-        self._address: Optional[Tuple[str, int]] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._stop_event: Optional[asyncio.Event] = None
-        self._thread: Optional[threading.Thread] = None
-        self._started = threading.Event()
-        self._startup_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------ #
-    # Lifecycle (same background-thread shape as LtamServer)
+    # Lifecycle: the shared AsyncServiceHost thread/loop shape.
     # ------------------------------------------------------------------ #
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)``; available once started."""
-        if self._address is None:
-            raise ServiceError("the invalidation bus has not been started")
-        return self._address
-
-    @property
-    def started(self) -> bool:
-        """Whether the hub is currently serving."""
-        return self._thread is not None
+    _what = "the invalidation bus"
+    _thread_name = "ltam-bus"
 
     @property
     def seq(self) -> int:
@@ -209,66 +194,10 @@ class InvalidationBus:
         with self._state_lock:
             return dict(self._stats)
 
-    def start(self) -> "InvalidationBus":
-        """Start the hub on a background thread; returns once bound."""
-        if self._thread is not None:
-            raise ServiceError("the invalidation bus was already started")
-        self._started.clear()
-        self._startup_error = None
-        self._address = None
-        self._thread = threading.Thread(target=self._run, name="ltam-bus", daemon=True)
-        self._thread.start()
-        if not self._started.wait(timeout=10):
-            self._thread = None
-            raise ServiceError("the invalidation bus did not start within 10 seconds")
-        if self._startup_error is not None:
-            error = self._startup_error
-            self._thread.join(timeout=5)
-            self._thread = None
-            raise ServiceError(f"the invalidation bus failed to start: {error}") from error
-        return self
-
-    def stop(self) -> None:
-        """Stop the hub (connected replicas will reconnect-and-resync)."""
-        if self._thread is None:
-            return
-        if self._loop is not None and self._stop_event is not None:
-            try:
-                self._loop.call_soon_threadsafe(self._stop_event.set)
-            except RuntimeError:
-                pass
-        self._thread.join(timeout=10)
-        self._thread = None
-
-    def __enter__(self) -> "InvalidationBus":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
-
-    def _run(self) -> None:
-        try:
-            asyncio.run(self._serve())
-        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
-            self._startup_error = exc
-        finally:
-            self._started.set()
-
-    async def _serve(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
-        server = await asyncio.start_server(
-            self._handle_peer, self._host, self._port, limit=DEFAULT_FRAME_LIMIT
-        )
-        self._address = server.sockets[0].getsockname()[:2]
-        self._started.set()
-        async with server:
-            await self._stop_event.wait()
-
     # ------------------------------------------------------------------ #
     # Peer handling
     # ------------------------------------------------------------------ #
-    async def _handle_peer(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         peer = _BusPeer(writer)
         with self._state_lock:
             self._peers.append(peer)

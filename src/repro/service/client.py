@@ -286,6 +286,45 @@ class ServiceClient:
         """The server's health/stats document."""
         return self.call("health")
 
+    # -- partition handoff (driven by the fabric's reshard) ------------- #
+    def list_subjects(self) -> List[str]:
+        """Every subject the server holds state for, sorted."""
+        return list(self.call("list_subjects").get("subjects", ()))
+
+    def export_subjects(self, subjects: Iterable[str]) -> Dict[str, Any]:
+        """The raw handoff bundle for *subjects* (wire-form records/alerts).
+
+        The export is a flush barrier server-side but removes nothing; pair
+        with :meth:`forget_subjects` after the destination confirms.
+        """
+        return self.call("export_subjects", subjects=[str(s) for s in subjects])
+
+    def import_archive(
+        self,
+        records: Sequence[Any],
+        *,
+        alerts: Sequence[Dict[str, Any]] = (),
+        sessions: Sequence[Sequence[Any]] = (),
+        archived_through: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Hand the server migrated subjects' archived records and alerts.
+
+        *records*, *alerts* and *sessions* are wire-form (as returned by
+        :meth:`export_subjects`) — the router moves them between partitions
+        without re-decoding.
+        """
+        return self.call(
+            "import_archive",
+            records=list(records),
+            alerts=list(alerts),
+            sessions=[list(session) for session in sessions],
+            archived_through=archived_through,
+        )
+
+    def forget_subjects(self, subjects: Iterable[str]) -> Dict[str, Any]:
+        """Drop migrated subjects from the server (records, state, alerts)."""
+        return self.call("forget_subjects", subjects=[str(s) for s in subjects])
+
 
 class ConnectionPool:
     """A small LIFO pool of :class:`ServiceClient` connections.

@@ -77,6 +77,13 @@ OPS = (
     "checkpoint",
     "sync",
     "health",
+    # partition handoff (the fabric's reshard path)
+    "export_subjects",
+    "import_archive",
+    "forget_subjects",
+    "list_subjects",
+    # router-only: install a new partition map (live migration)
+    "reshard",
 )
 
 

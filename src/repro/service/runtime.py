@@ -1,0 +1,206 @@
+"""The shared background-thread asyncio lifecycle of every service process.
+
+:class:`LtamServer`, the :class:`~repro.service.bus.InvalidationBus` and the
+fabric's :class:`~repro.service.fabric.RouterServer` are all the same shape:
+an asyncio TCP listener run inside ``asyncio.run()`` on a daemon thread, a
+synchronous ``start()`` that returns once the socket is bound (surfacing
+bind failures as typed errors), and a ``stop()`` that signals the loop from
+the caller's thread and joins.  :class:`AsyncServiceHost` is that shape,
+extracted once:
+
+* ``start()`` spawns the thread and blocks on the started-event; a thread
+  that never binds within the timeout is *abandoned* — told to shut down if
+  it ever does bind — so the caller is never left with an orphaned listener
+  it believes dead;
+* startup failures (bind errors, loop crashes before the socket exists) are
+  re-raised from ``start()`` with the original exception chained; a crash
+  *after* binding is kept and surfaced by :meth:`wait` — a supervisor must
+  see a crash, not a clean exit with refused connections;
+* ``stop()`` sets the loop's stop event thread-safely and joins; the serve
+  coroutine aborts any registered client transports so remote peers (pools
+  especially) observe the close instead of a half-open socket.
+
+Subclasses implement :meth:`_handle_connection` (the per-connection
+coroutine) and may override :meth:`_on_bound` (called on the loop thread
+right after the listener is bound, before ``start()`` returns).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.service.errors import ServiceError
+
+__all__ = ["AsyncServiceHost", "DEFAULT_FRAME_LIMIT"]
+
+#: Maximum frame size (bytes) — a 64k-record observe_batch fits comfortably.
+DEFAULT_FRAME_LIMIT = 1 << 24
+
+#: How long ``start()`` waits for the background thread to bind.
+START_TIMEOUT = 10.0
+
+
+class AsyncServiceHost:
+    """A TCP service hosted on a background thread's asyncio loop.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    frame_limit:
+        Per-connection stream buffer limit handed to the listener.
+
+    Class attributes ``_what`` (how errors name the service, e.g. ``"the
+    server"``) and ``_thread_name`` customize diagnostics.
+    """
+
+    _what = "the service"
+    _thread_name = "ltam-service"
+
+    def __init__(self, host: str, port: int, *, frame_limit: int = DEFAULT_FRAME_LIMIT) -> None:
+        self._host = host
+        self._port = port
+        self._frame_limit = frame_limit
+        self._address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._crash: Optional[BaseException] = None
+        self._abandoned = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; available once started."""
+        if self._address is None:
+            raise ServiceError(f"{self._what} has not been started")
+        return self._address
+
+    @property
+    def started(self) -> bool:
+        """Whether the service is currently running."""
+        return self._thread is not None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self):
+        """Start serving on a background thread; returns once bound.
+
+        A stopped service can be started again (fresh bind; with ``port=0``
+        the new ephemeral port is reported by :attr:`address`).
+        """
+        if self._thread is not None:
+            raise ServiceError(f"{self._what} was already started")
+        self._started.clear()
+        self._startup_error = None
+        self._crash = None
+        self._abandoned = False
+        self._address = None
+        self._thread = threading.Thread(target=self._run, name=self._thread_name, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=START_TIMEOUT):
+            # The thread may still bind later; tell it to shut down instead
+            # of leaving an orphaned listener the caller believes dead.
+            self._abandoned = True
+            self._signal_stop()
+            self._thread = None
+            raise ServiceError(
+                f"{self._what} did not start within {START_TIMEOUT:.0f} seconds"
+            )
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise ServiceError(f"{self._what} failed to start: {error}") from error
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the background thread."""
+        if self._thread is None:
+            return
+        self._signal_stop()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def _signal_stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+
+    def wait(self) -> None:
+        """Block until the service stops (for foreground CLI serving).
+
+        Raises :class:`ServiceError` if the serve loop died on an
+        unexpected exception — a supervisor must see a crash, not a clean
+        exit with refused connections.
+        """
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        if self._crash is not None:
+            raise ServiceError(f"{self._what} crashed: {self._crash}") from self._crash
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # The background thread
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()/wait()
+            if self._address is None:
+                self._startup_error = exc  # never bound: a startup failure
+            else:
+                self._crash = exc  # died mid-serve: surfaced by wait()
+        finally:
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._writers = set()
+        server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=self._frame_limit
+        )
+        self._address = server.sockets[0].getsockname()[:2]
+        self._on_bound()
+        self._started.set()
+        if self._abandoned:  # start() gave up while we were binding
+            server.close()
+            await server.wait_closed()
+            return
+        async with server:
+            await self._stop_event.wait()
+            # Closing the listener is not enough: accepted connections would
+            # keep their sockets half-open (the loop exits before their
+            # transports run the close), so clients — pools especially —
+            # could not tell this service is gone.  Abort them and give the
+            # loop one tick to run the connection_lost callbacks.
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            await asyncio.sleep(0)
+
+    def _on_bound(self) -> None:
+        """Hook: runs on the loop thread right after the listener binds."""
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        raise NotImplementedError

@@ -61,6 +61,7 @@ from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
 from repro.service.errors import ProtocolError, ServiceError
 from repro.service.protocol import (
+    alert_from_dict,
     alert_to_dict,
     checkpoint_to_dict,
     decision_to_dict,
@@ -70,17 +71,16 @@ from repro.service.protocol import (
     query_result_to_dict,
     record_from_wire,
     records_from_wire,
+    records_to_wire,
     request_from_dict,
     strip_trace,
 )
+from repro.service.runtime import DEFAULT_FRAME_LIMIT, AsyncServiceHost
 
 __all__ = ["LtamServer", "DEFAULT_PORT", "DEFAULT_FRAME_LIMIT", "INGEST_MODES"]
 
 #: Default service port ("LTAM" on a phone keypad, roughly).
 DEFAULT_PORT = 7471
-
-#: Maximum frame size (bytes) — a 64k-record observe_batch fits comfortably.
-DEFAULT_FRAME_LIMIT = 1 << 24
 
 #: The two ingest sinks ``observe_batch`` can feed.
 INGEST_MODES = ("monitor", "record")
@@ -180,7 +180,7 @@ class _Connection:
         self.ingestors: Dict[str, MovementIngestor] = {}
 
 
-class LtamServer:
+class LtamServer(AsyncServiceHost):
     """Serve an embedded :class:`~repro.api.builder.Ltam` engine over TCP.
 
     Parameters
@@ -213,10 +213,22 @@ class LtamServer:
         the server's ingestors (scheduled checkpoints + archive retention).
     ingest_batch_size, ingest_max_latency, ingest_queue_size:
         Group-commit knobs of the server-side ingestors.
+    partition:
+        The name of the fabric partition this server owns, when it serves
+        one subject slice of a partitioned deployment (``repro serve
+        --partition``).  Purely an identity: routing is the
+        :class:`~repro.service.fabric.FabricRouter`'s job; the name (and
+        the map's description of its ownership) is reported by ``health``.
+    partition_map:
+        Optional :class:`~repro.service.fabric.PartitionMap` describing the
+        fabric this partition belongs to, for ``health`` reporting.
 
     Run it in-process (``with LtamServer(engine) as server: ...``) for tests
     and embedding, or via ``repro serve`` for a standalone process.
     """
+
+    _what = "the server"
+    _thread_name = "ltam-server"
 
     def __init__(
         self,
@@ -233,10 +245,13 @@ class LtamServer:
         ingest_max_latency: float = DEFAULT_MAX_LATENCY,
         ingest_queue_size: int = DEFAULT_QUEUE_SIZE,
         frame_limit: int = DEFAULT_FRAME_LIMIT,
+        partition: Optional[str] = None,
+        partition_map=None,
     ) -> None:
+        super().__init__(host, port, frame_limit=frame_limit)
         self._engine = engine
-        self._host = host
-        self._port = port
+        self._partition = partition
+        self._partition_map = partition_map
         self._coherence: Optional[ReplicaCoherence] = None
         if bus is not None:
             self._coherence = ReplicaCoherence(
@@ -256,7 +271,6 @@ class LtamServer:
             "max_latency": ingest_max_latency,
             "queue_size": ingest_queue_size,
         }
-        self._frame_limit = frame_limit
         self._queries = QueryEngine(engine)
         #: live per-connection ingestors (flushed by checkpoint, closed on stop).
         self._ingestors: List[Tuple[str, MovementIngestor]] = []
@@ -276,15 +290,6 @@ class LtamServer:
         self._stats = {"decisions": 0, "cache_hits": 0, "observed": 0, "queries": 0}
         self._stats_lock = threading.Lock()
         self._started_at: Optional[float] = None
-        self._address: Optional[Tuple[str, int]] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._stop_event: Optional[asyncio.Event] = None
-        self._writers: set = set()
-        self._thread: Optional[threading.Thread] = None
-        self._started = threading.Event()
-        self._startup_error: Optional[BaseException] = None
-        self._crash: Optional[BaseException] = None
-        self._abandoned = False
 
     def _connect_cache(self) -> None:
         """Wire the cache for invalidation from EVERY mutation path.
@@ -345,13 +350,6 @@ class LtamServer:
         """The replica coherence layer, when this server joined a bus."""
         return self._coherence
 
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)``; available once started."""
-        if self._address is None:
-            raise ServiceError("the server has not been started")
-        return self._address
-
     def start(self) -> "LtamServer":
         """Start serving on a background thread; returns once bound.
 
@@ -360,33 +358,11 @@ class LtamServer:
         """
         if self._thread is not None:
             raise ServiceError("the server was already started")
-        self._started.clear()
-        self._startup_error = None
-        self._crash = None
-        self._abandoned = False
-        self._address = None
         self._connect_cache()  # reconnect after a stop() (idempotent)
         if self._coherence is not None:
             self._coherence.start()
         try:
-            self._thread = threading.Thread(target=self._run, name="ltam-server", daemon=True)
-            self._thread.start()
-            if not self._started.wait(timeout=10):
-                # The thread may still bind later; tell it to shut down instead
-                # of leaving an orphaned listener the caller believes dead.
-                self._abandoned = True
-                if self._loop is not None and self._stop_event is not None:
-                    try:
-                        self._loop.call_soon_threadsafe(self._stop_event.set)
-                    except RuntimeError:
-                        pass
-                self._thread = None
-                raise ServiceError("the server did not start within 10 seconds")
-            if self._startup_error is not None:
-                error = self._startup_error
-                self._thread.join(timeout=5)
-                self._thread = None
-                raise ServiceError(f"the server failed to start: {error}") from error
+            super().start()
         except BaseException:
             # A failed start must not leak the coherence machinery: the bus
             # link thread, the sync ticker and a hosted hub's port would
@@ -401,17 +377,14 @@ class LtamServer:
         """Stop serving, flush and close the ingestors, detach the cache."""
         if self._thread is None:
             return
-        if self._loop is not None and self._stop_event is not None:
-            try:
-                self._loop.call_soon_threadsafe(self._stop_event.set)
-            except RuntimeError:  # loop already closed
-                pass
-        self._thread.join(timeout=10)
-        self._thread = None
+        super().stop()
         self.close_ingestors()
         if self._coherence is not None:
             self._coherence.stop()
         self._disconnect_cache()
+
+    def _on_bound(self) -> None:
+        self._started_at = time.monotonic()
 
     def close_ingestors(self) -> None:
         """Flush and close every server-side ingestor (failures kept queryable)."""
@@ -424,67 +397,10 @@ class LtamServer:
             for mode, ingestor in ingestors:
                 self._retire_locked(mode, ingestor)
 
-    def __enter__(self) -> "LtamServer":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
-
-    def wait(self) -> None:
-        """Block until the server stops (for foreground ``repro serve``).
-
-        Raises :class:`ServiceError` if the serve loop died on an
-        unexpected exception — a supervisor must see a crash, not a clean
-        exit with refused connections.
-        """
-        if self._thread is not None:
-            while self._thread.is_alive():
-                self._thread.join(timeout=0.5)
-        if self._crash is not None:
-            raise ServiceError(f"the server crashed: {self._crash}") from self._crash
-
-    def _run(self) -> None:
-        try:
-            asyncio.run(self._serve())
-        except BaseException as exc:  # noqa: BLE001 - surfaced via start()/wait()
-            if self._address is None:
-                self._startup_error = exc  # never bound: a startup failure
-            else:
-                self._crash = exc  # died mid-serve: surfaced by wait()
-        finally:
-            self._started.set()
-
-    async def _serve(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
-        self._writers = set()
-        server = await asyncio.start_server(
-            self._handle_client, self._host, self._port, limit=self._frame_limit
-        )
-        self._address = server.sockets[0].getsockname()[:2]
-        self._started_at = time.monotonic()
-        self._started.set()
-        if self._abandoned:  # start() gave up while we were binding
-            server.close()
-            await server.wait_closed()
-            return
-        async with server:
-            await self._stop_event.wait()
-            # Closing the listener is not enough: accepted connections would
-            # keep their sockets half-open (the loop exits before their
-            # transports run the close), so clients — pools especially —
-            # could not tell this server is gone.  Abort them and give the
-            # loop one tick to run the connection_lost callbacks.
-            for writer in list(self._writers):
-                transport = writer.transport
-                if transport is not None:
-                    transport.abort()
-            await asyncio.sleep(0)
-
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
-    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         try:
             await self._client_loop(reader, writer)
         except asyncio.CancelledError:
@@ -572,7 +488,18 @@ class LtamServer:
     #: goes to the executor like ``observe`` even though its decision half
     #: is decide-fast.
     _BLOCKING_OPS = frozenset(
-        {"enforce", "observe", "observe_batch", "query", "checkpoint", "sync"}
+        {
+            "enforce",
+            "observe",
+            "observe_batch",
+            "query",
+            "checkpoint",
+            "sync",
+            "export_subjects",
+            "import_archive",
+            "forget_subjects",
+            "list_subjects",
+        }
     )
 
     async def _respond(
@@ -815,9 +742,13 @@ class LtamServer:
         self._bump("queries")
         return query_result_to_dict(result)
 
-    def _op_checkpoint(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
-        # Land everything accepted so far — every connection's ingestors —
-        # before stamping the checkpoint.  Runs in the executor (blocking op).
+    def _flush_live_ingestors(self) -> None:
+        """Land everything accepted so far — every connection's ingestors.
+
+        The barrier both ``checkpoint`` and the fabric's subject-handoff
+        ops (``export_subjects``/``forget_subjects``) need: after it, no
+        record any client has successfully submitted is still queued.
+        """
         with self._ingest_lock:
             ingestors = [ingestor for _, ingestor in self._ingestors]
         for ingestor in ingestors:
@@ -829,6 +760,11 @@ class LtamServer:
                 # Closed concurrently by its disconnecting client: that
                 # close already flushed everything it had accepted.
                 pass
+
+    def _op_checkpoint(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        # Land everything accepted so far before stamping the checkpoint.
+        # Runs in the executor (blocking op).
+        self._flush_live_ingestors()
         compact = bool(message.get("compact", True))
         receipt = self._engine.checkpoint(compact=compact)
         retain = message.get("retain")
@@ -838,6 +774,127 @@ class LtamServer:
         if retain is not None and compact:
             self._engine.movement_db.prune_archive(retain)
         return checkpoint_to_dict(receipt)
+
+    # ------------------------------------------------------------------ #
+    # Fabric handoff ops (see :mod:`repro.service.fabric`)
+    # ------------------------------------------------------------------ #
+    def _op_export_subjects(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Read-only export of some subjects' partition-local state.
+
+        Flushes every connection's pending ingest first, so the export is a
+        barrier: it contains every record any client successfully submitted
+        before the call.  Nothing is removed — the router's ``reshard``
+        calls ``forget_subjects`` separately, *after* the destination has
+        confirmed the import, so a failed migration never loses state.
+        """
+        subjects = [str(subject) for subject in message.get("subjects", ())]
+        self._flush_live_ingestors()
+        export = self._engine.movement_db.export_subjects(subjects)
+        sink = getattr(self._engine, "alerts", None)
+        wanted = set(subjects)
+        alerts = [a for a in sink.alerts if a.subject in wanted] if sink is not None else []
+        monitor = getattr(self._engine, "monitor", None)
+        sessions = monitor.export_sessions(subjects) if monitor is not None else []
+        return {
+            "subjects": subjects,
+            "live": records_to_wire(export["live"]),
+            "archived": records_to_wire(export["archived"]),
+            "archived_through": self._engine.movement_db.archived_through,
+            "alerts": [alert_to_dict(alert) for alert in alerts],
+            "sessions": [list(session) for session in sessions],
+        }
+
+    def _op_import_archive(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Adopt migrated subjects' *archived* state (records + alerts).
+
+        The live-log slice does not come through here — the router ships it
+        through the ordinary ``observe_batch`` path (``mode="record"``), so
+        it lands exactly like native ingest.  Imported records are folded
+        into the occupancy projection and the mutation notifications fire,
+        so an attached decision cache evicts the affected locations.
+        """
+        records = records_from_wire(message.get("records", ()))
+        alerts = [alert_from_dict(item) for item in message.get("alerts", ())]
+        self._engine.movement_db.import_archived(
+            records, archived_through=message.get("archived_through")
+        )
+        sink = getattr(self._engine, "alerts", None)
+        if sink is not None and alerts:
+            sink.adopt(alerts)
+        # Adopt the subjects' open occupancy sessions: exit matching and
+        # overstay sweeps must keep judging a stay that began on the source.
+        # The live-log slice arrives later in ``record`` mode, which never
+        # touches the session table — the adopted state is the final state.
+        sessions = message.get("sessions", ())
+        monitor = getattr(self._engine, "monitor", None)
+        if monitor is not None:
+            for item in sessions:
+                subject, location, entered_at, auth_id, overstay_flagged = item
+                authorization = None
+                if auth_id is not None:
+                    try:
+                        authorization = self._engine.authorization_db.get(auth_id)
+                    except Exception:  # noqa: BLE001 - a revoked-here auth degrades
+                        authorization = None  # to an unauthorized stay, not a crash
+                monitor.adopt_session(
+                    str(subject),
+                    str(location),
+                    int(entered_at),
+                    authorization,
+                    overstay_flagged=bool(overstay_flagged),
+                )
+        return {
+            "imported": len(records),
+            "alerts": len(alerts),
+            "sessions": len(sessions),
+            "archived_through": self._engine.movement_db.archived_through,
+        }
+
+    def _op_forget_subjects(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Drop every trace of some subjects (the handoff's source side).
+
+        Removes their movement records (live and archived), their occupancy
+        projection state and their alerts, then invalidates the cache for
+        every location the subjects touched — a decision for a departed
+        subject must not be re-served from this partition's cache.
+        """
+        subjects = [str(subject) for subject in message.get("subjects", ())]
+        self._flush_live_ingestors()
+        locations = self._engine.movement_db.forget_subjects(subjects)
+        sink = getattr(self._engine, "alerts", None)
+        dropped_alerts = sink.extract_for(subjects) if sink is not None else []
+        monitor = getattr(self._engine, "monitor", None)
+        if monitor is not None:
+            monitor.drop_sessions(subjects)
+        if self._cache is not None:
+            for location in locations:
+                self._cache.invalidate_location(location)
+        return {
+            "subjects": subjects,
+            "locations": sorted(locations),
+            "alerts_dropped": len(dropped_alerts),
+        }
+
+    def _op_list_subjects(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Every subject this partition holds state for (records or alerts)."""
+        subjects = set(self._engine.movement_db.known_subjects())
+        sink = getattr(self._engine, "alerts", None)
+        if sink is not None:
+            subjects.update(alert.subject for alert in sink.alerts)
+        return {"subjects": sorted(subjects)}
+
+    def _partition_info(self) -> Optional[Dict[str, Any]]:
+        if self._partition is None and self._partition_map is None:
+            return None
+        info: Dict[str, Any] = {"name": self._partition}
+        if self._partition_map is not None:
+            info["map_version"] = self._partition_map.version
+            if self._partition is not None:
+                try:
+                    info.update(self._partition_map.describe(self._partition))
+                except Exception:  # noqa: BLE001 - a foreign map must not break health
+                    pass
+        return info
 
     def _op_health(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._ingest_lock:
@@ -857,6 +914,7 @@ class LtamServer:
             "cache": self._cache.stats if self._cache is not None else None,
             "coherence": self._coherence.stats if self._coherence is not None else None,
             "ingest": ingest,
+            "partition": self._partition_info(),
         }
 
     _HANDLERS = {
@@ -869,4 +927,8 @@ class LtamServer:
         "checkpoint": _op_checkpoint,
         "sync": _op_sync,
         "health": _op_health,
+        "export_subjects": _op_export_subjects,
+        "import_archive": _op_import_archive,
+        "forget_subjects": _op_forget_subjects,
+        "list_subjects": _op_list_subjects,
     }

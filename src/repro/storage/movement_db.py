@@ -341,6 +341,64 @@ class MovementDatabase(ABC):
         """
         return []
 
+    # -- partition handoff ----------------------------------------------- #
+    def known_subjects(self) -> List[str]:
+        """Every subject with at least one record (live or archived), sorted.
+
+        The serving fabric's reshard planner asks each partition for this to
+        decide which subjects a new :class:`~repro.service.fabric.PartitionMap`
+        strips from it.  O(n) scan by default; backends with an index
+        override it.
+        """
+        return sorted({record.subject for record in self.history(include_archived=True)})
+
+    def export_subjects(self, subjects: Iterable[str]) -> Dict[str, List[MovementRecord]]:
+        """The archived and live log slices belonging to *subjects*.
+
+        Returns ``{"archived": [...], "live": [...]}``.  Each slice keeps
+        per-subject event order (the only order occupancy semantics depend
+        on), and the archived/live split matches this store's compaction
+        boundary exactly — the destination partition replays the live slice
+        as live records and adopts the archived slice via
+        :meth:`import_archived`, so scoped queries (``ENTRIES LIVE``,
+        ``VIOLATIONS``) answer identically after the migration.
+        """
+        archived: List[MovementRecord] = []
+        live: List[MovementRecord] = []
+        for subject in subjects:
+            full = self.history(subject=subject_name(subject), include_archived=True)
+            live_slice = self.history(subject=subject_name(subject))
+            split = len(full) - len(live_slice)
+            archived.extend(full[:split])
+            live.extend(full[split:])
+        return {"archived": archived, "live": live}
+
+    def import_archived(
+        self, records: Iterable[MovementRecord], *, archived_through: Optional[int] = None
+    ) -> int:
+        """Adopt another partition's *archived* log slice for migrating subjects.
+
+        The records are placed in the archive era (not the live log: they
+        were already covered by a compacting checkpoint on their origin
+        partition) and folded into the occupancy projection.  The imported
+        subjects must not already hold state here — reshard moves whole
+        subjects, never halves.  *archived_through* advances this store's
+        LIVE/ARCHIVED boundary if the origin's boundary was newer.  Returns
+        how many records were adopted.
+        """
+        raise StorageError(f"{type(self).__name__} does not support archive import")
+
+    def forget_subjects(self, subjects: Iterable[str]) -> List[LocationName]:
+        """Drop every record of *subjects* — log, archive, and projection.
+
+        The source side of a partition handoff: once the destination owns a
+        subject, a stale copy here would double-count it in cross-partition
+        occupancy fan-outs.  Returns the sorted locations the forgotten
+        records touched, so callers can evict occupancy-derived caches.
+        Monotonic positions (:attr:`applied_position`) do not rewind.
+        """
+        raise StorageError(f"{type(self).__name__} does not support forgetting subjects")
+
     # -- write-side validation ------------------------------------------ #
     def _validate_record(self, record: MovementRecord) -> None:
         if self._hierarchy is not None and not self._hierarchy.is_primitive(record.location):
@@ -708,6 +766,38 @@ class InMemoryMovementDatabase(MovementDatabase):
             self._archived_through = None
             self._occupancy.clear()
 
+    # -- partition handoff ----------------------------------------------- #
+    def import_archived(
+        self, records: Iterable[MovementRecord], *, archived_through: Optional[int] = None
+    ) -> int:
+        batch = list(records)
+        with self._txn_lock:
+            for record in batch:
+                self._validate_record(record)
+            notices = self._notices_for(batch)
+            self._archive.extend(batch)
+            self._occupancy.apply_many(batch)
+            if archived_through is not None and (
+                self._archived_through is None or archived_through > self._archived_through
+            ):
+                self._archived_through = int(archived_through)
+            self._notify(notices)
+            return len(batch)
+
+    def forget_subjects(self, subjects: Iterable[str]) -> List[LocationName]:
+        wanted = {subject_name(subject) for subject in subjects}
+        with self._txn_lock:
+            affected = {
+                record.location
+                for record in self._records + self._archive
+                if record.subject in wanted
+            }
+            self._records = [r for r in self._records if r.subject not in wanted]
+            self._archive = [r for r in self._archive if r.subject not in wanted]
+            for subject in wanted:
+                self._occupancy.forget_subject(subject)
+            return sorted(affected)
+
     def history(
         self,
         *,
@@ -776,6 +866,11 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         #: and a foreground/remote prune or history() may touch it together.
         self._archive: List[Tuple[int, int, List[MovementRecord]]] = []
         self._archive_lock = threading.Lock()
+        #: imported archive segments get batch seqs counting DOWN from 0 so
+        #: they sort before every native segment — a migrated subject's
+        #: adopted history precedes anything it does here (guarded by
+        #: _archive_lock).
+        self._import_seq = 0
         self._checkpoint_position = 0
         self._checkpoint_state: Optional[tuple] = None
         self._archived_through: Optional[int] = None
@@ -922,9 +1017,63 @@ class ShardedInMemoryMovementDatabase(MovementDatabase):
         with self._seq_lock:
             self._next_seq = 1
             self._recorded_total = 0
+        with self._archive_lock:
+            self._import_seq = 0
         self._checkpoint_position = 0
         self._checkpoint_state = None
         self._archived_through = None
+
+    # -- partition handoff ----------------------------------------------- #
+    def import_archived(
+        self, records: Iterable[MovementRecord], *, archived_through: Optional[int] = None
+    ) -> int:
+        batch = list(records)
+        for record in batch:
+            self._validate_record(record)
+        notices = self._notices_for(batch)
+        with self._archive_lock:
+            self._import_seq -= 1
+            seq = self._import_seq
+        for index, partition in self._occupancy.partition(batch).items():
+            with self._occupancy.locked_shard(index) as projection:
+                with self._archive_lock:
+                    self._archive.append((seq, index, partition))
+                projection.apply_many(partition)
+        with self._archive_lock:
+            self._archive.sort(key=lambda entry: (entry[0], entry[1]))
+        if archived_through is not None and (
+            self._archived_through is None or archived_through > self._archived_through
+        ):
+            self._archived_through = int(archived_through)
+        self._notify(notices)
+        return len(batch)
+
+    def forget_subjects(self, subjects: Iterable[str]) -> List[LocationName]:
+        wanted = {subject_name(subject) for subject in subjects}
+        affected = set()
+        for index in range(len(self._shard_records)):
+            with self._occupancy.locked_shard(index) as projection:
+                shard_log = self._shard_records[index]
+                kept_log: List[Tuple[int, List[MovementRecord]]] = []
+                for batch_seq, records in shard_log:
+                    kept = [r for r in records if r.subject not in wanted]
+                    affected.update(
+                        r.location for r in records if r.subject in wanted
+                    )
+                    if kept:
+                        kept_log.append((batch_seq, kept))
+                self._shard_records[index] = kept_log
+                for subject in wanted:
+                    projection.forget_subject(subject)
+        with self._archive_lock:
+            kept_archive: List[Tuple[int, int, List[MovementRecord]]] = []
+            for batch_seq, index, records in self._archive:
+                kept = [r for r in records if r.subject not in wanted]
+                affected.update(r.location for r in records if r.subject in wanted)
+                if kept:
+                    kept_archive.append((batch_seq, index, kept))
+            self._archive = kept_archive
+        return sorted(affected)
 
     # -- reads ---------------------------------------------------------- #
     def history(
@@ -1233,6 +1382,7 @@ class SqliteMovementDatabase(MovementDatabase):
 
     def _checkpoint_locked(self, compact: bool) -> Checkpoint:
         connection = self._connection
+        self._begin_immediate()  # fence the position read against other writers
         position = self._max_seq()
         connection.execute("DELETE FROM occ_checkpoint")
         connection.execute(
@@ -1282,8 +1432,10 @@ class SqliteMovementDatabase(MovementDatabase):
 
     def _prune_archive(self, retain: int) -> int:
         with self._txn_lock:
+            self._begin_immediate()  # fence the count against other writers
             excess = self.archived_count - retain
             if excess <= 0:
+                self._connection.rollback()
                 return 0
             self._connection.execute(
                 "DELETE FROM movements_archive WHERE seq IN"
@@ -1378,6 +1530,22 @@ class SqliteMovementDatabase(MovementDatabase):
         return notices
 
     # -- writes --------------------------------------------------------- #
+    def _begin_immediate(self) -> None:
+        """Open the write transaction *now*, before the pickup read.
+
+        Python's ``sqlite3`` does not BEGIN on SELECT in its default
+        isolation mode, so without this the pickup-before-write read runs
+        outside any transaction: two writer instances over one file could
+        both read the same committed high water, interleave their inserts,
+        and each fold the other's rows a second time on its next pickup.
+        ``BEGIN IMMEDIATE`` takes the file's single write lock up front
+        (waiting out the busy timeout if another writer holds it), making
+        pickup + insert + commit one fenced unit.  No-op when a transaction
+        is already open (nested writes inside ``bulk()``).
+        """
+        if not self._connection.in_transaction:
+            self._connection.execute("BEGIN IMMEDIATE")
+
     def _apply_derived(self, record: MovementRecord) -> None:
         """Mirror one record into the derived tables (inside the open transaction)."""
         if record.kind is MovementKind.ENTER:
@@ -1404,11 +1572,21 @@ class SqliteMovementDatabase(MovementDatabase):
     def record(self, record: MovementRecord) -> MovementRecord:
         with self._txn_lock:
             if not self._in_bulk:
-                # Fold foreign committed rows first: our insert's seq will
-                # move applied past them, which would orphan them otherwise.
-                self._pickup_locked()
-            self._validate_record(record)
-            self._check_strict_exit(record)
+                # Fold foreign committed rows first — under the write lock
+                # (_begin_immediate), so no other writer can slip rows in
+                # between this pickup and our insert; our insert's seq moves
+                # applied past any such rows, which would orphan them.
+                self._begin_immediate()
+                try:
+                    self._pickup_locked()
+                    self._validate_record(record)
+                    self._check_strict_exit(record)
+                except Exception:
+                    self._connection.rollback()
+                    raise
+            else:
+                self._validate_record(record)
+                self._check_strict_exit(record)
             notices = self._notice_for(record)
             cursor = self._connection.execute(
                 "INSERT INTO movements (time, subject, location, kind) VALUES (?, ?, ?, ?)",
@@ -1435,8 +1613,16 @@ class SqliteMovementDatabase(MovementDatabase):
         batch = list(records)
         with self._txn_lock:
             if not self._in_bulk:
-                self._pickup_locked()  # pickup-before-write (see _pickup_locked)
-            self._validate_batch(batch)
+                # Fenced pickup-before-write (see _begin_immediate).
+                self._begin_immediate()
+                try:
+                    self._pickup_locked()
+                    self._validate_batch(batch)
+                except Exception:
+                    self._connection.rollback()
+                    raise
+            else:
+                self._validate_batch(batch)
             notices = self._notices_for(batch)
             if self._in_bulk:
                 # The enclosing bulk() scope owns the transaction (and rollback).
@@ -1526,7 +1712,14 @@ class SqliteMovementDatabase(MovementDatabase):
             yield
             return
         with self._txn_lock:
-            self._pickup_locked()  # pickup-before-write (see _pickup_locked)
+            # Fenced pickup-before-write (see _begin_immediate): the whole
+            # bulk scope runs inside the write lock taken here.
+            self._begin_immediate()
+            try:
+                self._pickup_locked()
+            except Exception:
+                self._connection.rollback()
+                raise
             self._in_bulk = True
             state = self._occupancy.snapshot()
             applied = self._applied_seq
@@ -1548,6 +1741,7 @@ class SqliteMovementDatabase(MovementDatabase):
             self._clear_locked()
 
     def _clear_locked(self) -> None:
+        self._begin_immediate()
         self._connection.execute("DELETE FROM movements")
         self._connection.execute("DELETE FROM movements_archive")
         self._connection.execute("DELETE FROM occ_current")
@@ -1560,6 +1754,166 @@ class SqliteMovementDatabase(MovementDatabase):
         self._connection.commit()
         self._occupancy.clear()
         self._applied_seq = self._max_seq()
+
+    # -- partition handoff ----------------------------------------------- #
+    def known_subjects(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT subject FROM movements"
+            " UNION SELECT DISTINCT subject FROM movements_archive ORDER BY subject"
+        ).fetchall()
+        return [subject for (subject,) in rows]
+
+    def _sync_checkpoint_tables(self, *, subjects: set, pairs: set) -> None:
+        """Mirror the touched keys' projection state into the checkpoint tables.
+
+        Imported archive rows live at negative seqs — *below* the persisted
+        checkpoint — so crash recovery (checkpoint snapshot + replay of
+        ``seq > checkpoint_seq``) would lose them unless the snapshot tables
+        carry the imported subjects' state too.  At import time a migrating
+        subject's projection state is exactly its archived-slice fold (its
+        live slice arrives afterwards, at positive seqs the replay covers),
+        so copying the current state here keeps recovery exact.
+        """
+        gone = [
+            (subject,)
+            for subject in subjects
+            if self._occupancy.current_location(subject) is None
+        ]
+        present = [
+            (subject, self._occupancy.current_location(subject), self._occupancy.inside_since(subject))
+            for subject in subjects
+            if self._occupancy.current_location(subject) is not None
+        ]
+        if gone:
+            self._connection.executemany("DELETE FROM occ_checkpoint WHERE subject = ?", gone)
+        if present:
+            self._connection.executemany(
+                "INSERT INTO occ_checkpoint (subject, location, since) VALUES (?, ?, ?)"
+                " ON CONFLICT(subject) DO UPDATE SET"
+                " location = excluded.location, since = excluded.since",
+                present,
+            )
+        count_rows = []
+        for subject, location in pairs:
+            last = self._occupancy.last_entry(subject, location)
+            count_rows.append(
+                (
+                    subject,
+                    location,
+                    self._occupancy.entry_count(subject, location),
+                    last.time if last is not None else None,
+                )
+            )
+        if count_rows:
+            self._connection.executemany(
+                "INSERT INTO occ_checkpoint_counts (subject, location, entries, last_entry_time)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT(subject, location) DO UPDATE SET"
+                " entries = excluded.entries, last_entry_time = excluded.last_entry_time",
+                count_rows,
+            )
+
+    def import_archived(
+        self, records: Iterable[MovementRecord], *, archived_through: Optional[int] = None
+    ) -> int:
+        batch = list(records)
+        with self._txn_lock:
+            if self._in_bulk:
+                raise StorageError("cannot import an archive slice inside an open bulk() scope")
+            self._begin_immediate()
+            try:
+                self._pickup_locked()
+                for record in batch:
+                    self._validate_record(record)
+            except Exception:
+                self._connection.rollback()
+                raise
+            notices = self._notices_for(batch)
+            state = self._occupancy.snapshot()
+            try:
+                # Imported rows get seqs BELOW zero (and below any earlier
+                # import): they must never enter the ``seq > applied`` pickup
+                # window — they are folded right here, and a replica picking
+                # them up again would double-apply — and history's seq order
+                # must place a migrating subject's adopted past before its
+                # native future.
+                (floor,) = self._connection.execute(
+                    "SELECT COALESCE(MIN(seq), 0) FROM movements_archive"
+                ).fetchone()
+                base = min(int(floor), 0) - len(batch)
+                self._connection.executemany(
+                    "INSERT INTO movements_archive (seq, time, subject, location, kind)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    [
+                        (base + offset, r.time, r.subject, r.location, r.kind.value)
+                        for offset, r in enumerate(batch)
+                    ],
+                )
+                self._occupancy.apply_many(batch)
+                touched_subjects = {record.subject for record in batch}
+                touched_pairs = {
+                    (record.subject, record.location)
+                    for record in batch
+                    if record.kind is MovementKind.ENTER
+                }
+                self._sync_derived(subjects=touched_subjects, pairs=touched_pairs)
+                self._sync_checkpoint_tables(subjects=touched_subjects, pairs=touched_pairs)
+                if archived_through is not None:
+                    previous = self._meta_opt("archived_through")
+                    if previous is None or int(archived_through) > previous:
+                        self._set_meta("archived_through", int(archived_through))
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                self._occupancy.restore(state)
+                raise
+            self._notify(notices)
+            return len(batch)
+
+    def forget_subjects(self, subjects: Iterable[str]) -> List[LocationName]:
+        wanted = [subject_name(subject) for subject in subjects]
+        with self._txn_lock:
+            if self._in_bulk:
+                raise StorageError("cannot forget subjects inside an open bulk() scope")
+            self._begin_immediate()
+            try:
+                self._pickup_locked()
+                if not wanted:
+                    self._connection.rollback()
+                    return []
+                marks = ",".join("?" for _ in wanted)
+                affected = {
+                    location
+                    for (location,) in self._connection.execute(
+                        f"SELECT DISTINCT location FROM movements WHERE subject IN ({marks})"
+                        f" UNION SELECT DISTINCT location FROM movements_archive"
+                        f" WHERE subject IN ({marks})",
+                        (*wanted, *wanted),
+                    )
+                }
+                for table in (
+                    "movements",
+                    "movements_archive",
+                    "occ_current",
+                    "occ_entry_counts",
+                    "occ_checkpoint",
+                    "occ_checkpoint_counts",
+                ):
+                    self._connection.execute(
+                        f"DELETE FROM {table} WHERE subject IN ({marks})", tuple(wanted)
+                    )
+                # The deletes may have lowered the log's max seq; re-stamp so
+                # a reopen sees applied == max and skips recovery.  This
+                # instance's _applied_seq stays put — AUTOINCREMENT never
+                # reissues seqs, so the pickup window stays correct.
+                self._stamp_applied()
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                raise
+            for subject in wanted:
+                self._occupancy.forget_subject(subject)
+            return sorted(affected)
 
     # -- reads ---------------------------------------------------------- #
     def history(

@@ -238,6 +238,33 @@ class OccupancyService:
                     members.discard(subject)
             last_movement[pair] = record
 
+    def forget_subject(self, subject: str) -> None:
+        """Drop every trace of *subject* from the projection.
+
+        The partition-handoff path: when a subject migrates to another
+        partition, the source must stop answering occupancy reads for it —
+        a stale ``WHO IS IN`` row on the old owner would double-count the
+        subject across the fabric.  Anomaly notes for the subject are
+        dropped with it; per-location histograms are aggregate counters and
+        deliberately keep the subject's past entries.
+        """
+        location = self._inside.pop(subject, None)
+        self._inside_since.pop(subject, None)
+        if location is not None:
+            members = self._occupants.get(location)
+            if members is not None:
+                members.discard(subject)
+        for mapping in (
+            self._entry_counts,
+            self._last_entry,
+            self._last_movement,
+            self._timelines,
+        ):
+            for pair in [pair for pair in mapping if pair[0] == subject]:
+                del mapping[pair]
+        if any(anomaly.subject == subject for anomaly in self._anomalies):
+            self._anomalies = [a for a in self._anomalies if a.subject != subject]
+
     def clear(self) -> None:
         """Reset the projection to the empty state."""
         self._inside: Dict[str, str] = {}

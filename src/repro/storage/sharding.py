@@ -241,6 +241,13 @@ class ShardedOccupancyService:
         with self._locks[index]:
             yield self._shards[index]
 
+    def forget_subject(self, subject: str) -> None:
+        """Drop every trace of *subject* from its owning shard (see
+        :meth:`OccupancyService.forget_subject`)."""
+        index = self.shard_for(subject)
+        with self._locks[index]:
+            self._shards[index].forget_subject(subject)
+
     def clear(self) -> None:
         """Reset every shard to the empty state."""
         for index, shard in enumerate(self._shards):

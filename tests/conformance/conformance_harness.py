@@ -19,10 +19,21 @@ The topologies:
   file, coherent through the invalidation bus: observes and queries go to
   replica A, **decisions are served by replica B**, with the ``sync`` op as
   the round barrier.
+* ``partitioned`` — the serving fabric: two cached ``LtamServer``
+  partitions, each holding only its subjects' movement state, behind a
+  :class:`~repro.service.fabric.FabricRouter`.  Every interaction goes
+  through the router (point ops to the owner, batches scatter-gathered,
+  ``WHO IS IN`` fanned out and merged) — and after round
+  ``RESHARD_AFTER_ROUND`` the topology **reshards live**: the workload's
+  first subject is pinned to the other partition and migrated (archived
+  slice, live slice and alert history hand off) while the transcript must
+  stay byte-identical to the embedded reference.
 
 With ``REPRO_CONFORMANCE_SUBPROCESS=1`` the replica topology spawns two real
 ``repro serve`` processes (joined by ``--bus``/``--peers``) instead of
-in-process servers — the CI job runs that mode.
+in-process servers, and the partitioned topology spawns two ``repro serve
+--partition`` processes behind a real ``repro route`` process (the reshard
+travels over the wire too) — the CI job runs that mode.
 
 The one canonicalization: ``request_id`` is stripped before comparison.  It
 is client-side echo metadata, and a cache hit legitimately echoes the
@@ -46,16 +57,31 @@ from repro.engine.query.evaluator import QueryEngine
 from repro.core.serialization import dumps_authorizations
 from repro.locations.multilevel import LocationHierarchy
 from repro.locations.serialization import dumps as dumps_layout
-from repro.service import DecisionCache, InvalidationBus, LtamServer, ServiceClient
+from repro.service import (
+    DecisionCache,
+    FabricRouter,
+    InvalidationBus,
+    LtamServer,
+    PartitionMap,
+    ServiceClient,
+)
 from repro.service.protocol import (
     decision_to_dict,
     query_result_to_dict,
+    records_to_wire,
     request_to_dict,
 )
 from repro.simulation.buildings import grid_building
 from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
 
-TOPOLOGIES = ("embedded-memory", "embedded-sqlite", "sharded", "server", "replicas")
+TOPOLOGIES = (
+    "embedded-memory",
+    "embedded-sqlite",
+    "sharded",
+    "server",
+    "replicas",
+    "partitioned",
+)
 
 SUBJECT_COUNT = 36
 ROUNDS = 4
@@ -64,6 +90,10 @@ DECIDES_PER_ROUND = 150
 #: The round after which every topology takes a compacting checkpoint —
 #: LIVE/ARCHIVED-scoped queries diverge meaningfully from there on.
 CHECKPOINT_AFTER_ROUND = 1
+#: The round after which a topology with a ``migrate`` hook reshards —
+#: late enough that the migrating subject carries archived *and* live
+#: records, early enough that a post-migration round still exercises it.
+RESHARD_AFTER_ROUND = 2
 
 SUBPROCESS_ENV = "REPRO_CONFORMANCE_SUBPROCESS"
 
@@ -372,6 +402,165 @@ class SubprocessReplicaTopology(ReplicaTopology):
                 process.kill()
 
 
+class PartitionedTopology:
+    """Two cached partitions behind a client-side fabric router.
+
+    Each partition server holds the full layout and authorization set but
+    only *its* subjects' movement state; the router owns the split.  The
+    ``migrate`` hook (called by :func:`run_topology` after round
+    ``RESHARD_AFTER_ROUND``) pins the workload's first subject to the other
+    partition and reshards — the canonical "move a hot subject off a busy
+    partition, online" operation — and the transcript must not notice.
+    """
+
+    name = "partitioned"
+    PARTITIONS = ("east", "west")
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        self._servers = []
+        addresses = {}
+        for partition in self.PARTITIONS:
+            engine = Ltam.builder().hierarchy(workload.hierarchy).build()
+            engine.grant_all(workload.authorizations)
+            server = LtamServer(engine, cache=DecisionCache(), partition=partition)
+            server.start()
+            self._servers.append(server)
+            addresses[partition] = "%s:%d" % server.address
+        self._router = FabricRouter(PartitionMap(addresses))
+
+    def observe(self, records) -> None:
+        self._router.observe_batch(records, mode="monitor", wait=True)
+
+    def decide(self, requests) -> List[str]:
+        raw = self._router.decide_many_raw(
+            [request_to_dict(request) for request in requests], trace=True
+        )
+        return [canonical_decision(payload) for payload in raw]
+
+    def query(self, texts) -> List[str]:
+        return [canonical_query(self._router.query_raw(text)) for text in texts]
+
+    def checkpoint(self) -> None:
+        self._router.checkpoint_raw()
+
+    def sync(self) -> None:
+        self._router.sync_raw()
+
+    def migrate(self, workload: Workload) -> None:
+        current = self._router.partition_map
+        hot = workload.subjects[0]
+        source = current.owner(hot)
+        target = next(name for name in current.names if name != source)
+        summary = self._router.reshard(current.with_assignment(hot, target))
+        assert hot in summary["subjects"], (
+            f"reshard was a no-op: {hot!r} did not move ({summary})"
+        )
+
+    def stop(self) -> None:
+        self._router.close()
+        for server in self._servers:
+            server.stop()
+
+
+class SubprocessPartitionedTopology(PartitionedTopology):
+    """The partitioned topology with real processes end to end.
+
+    Two ``repro serve --partition`` processes (in-memory backends — the
+    fabric shards state, nothing is shared) behind a real ``repro route``
+    process; the harness speaks to the router's socket with an unmodified
+    :class:`ServiceClient`, and the mid-trace reshard travels over the wire
+    as the router's ``reshard`` op.
+    """
+
+    name = "partitioned"
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        layout = tmp_path / "layout.json"
+        auths = tmp_path / "auths.json"
+        layout.write_text(dumps_layout(workload.graph), encoding="utf-8")
+        auths.write_text(dumps_authorizations(workload.authorizations), encoding="utf-8")
+        self._procs: List[subprocess.Popen] = []
+        env = dict(os.environ)
+        addresses = {}
+        for partition in self.PARTITIONS:
+            out = self._spawn(
+                tmp_path,
+                partition,
+                "serve",
+                ["--layout", str(layout), "--auths", str(auths), "--port", "0",
+                 "--partition", partition],
+                env,
+            )
+            port = SubprocessReplicaTopology._await_banner(
+                out, r"serving on [^:]+:(\d+) "
+            )
+            addresses[partition] = f"127.0.0.1:{port}"
+        self._map = PartitionMap(addresses)
+        map_path = tmp_path / "fabric.json"
+        self._map.save(str(map_path))
+        out = self._spawn(
+            tmp_path, "router", "route", ["--map", str(map_path), "--port", "0"], env
+        )
+        port = SubprocessReplicaTopology._await_banner(out, r"serving on [^:]+:(\d+) ")
+        self._client = ServiceClient("127.0.0.1", port, timeout=60.0)
+
+    def _spawn(self, tmp_path, tag: str, command: str, args: List[str], env) -> str:
+        out_path = tmp_path / f"{command}-{tag}.out"
+        handle = open(out_path, "w")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", command, *args],
+            stdout=handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        self._procs.append(process)
+        return str(out_path)
+
+    def observe(self, records) -> None:
+        self._client.call(
+            "observe_batch", records=records_to_wire(records), mode="monitor", wait=True
+        )
+
+    def decide(self, requests) -> List[str]:
+        raw = self._client.call(
+            "decide_many",
+            requests=[request_to_dict(request) for request in requests],
+            trace=True,
+        )
+        return [canonical_decision(payload) for payload in raw["decisions"]]
+
+    def query(self, texts) -> List[str]:
+        return [
+            canonical_query(self._client.call("query", text=text)) for text in texts
+        ]
+
+    def checkpoint(self) -> None:
+        self._client.call("checkpoint")
+
+    def sync(self) -> None:
+        self._client.call("sync")
+
+    def migrate(self, workload: Workload) -> None:
+        hot = workload.subjects[0]
+        source = self._map.owner(hot)
+        target = next(name for name in self._map.names if name != source)
+        self._map = self._map.with_assignment(hot, target)
+        summary = self._client.call("reshard", map=self._map.to_wire())
+        assert hot in summary["subjects"], (
+            f"reshard was a no-op: {hot!r} did not move ({summary})"
+        )
+
+    def stop(self) -> None:
+        self._client.close()
+        for process in self._procs:
+            process.terminate()
+        for process in self._procs:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
 def make_topology(name: str):
     if name == "embedded-memory":
         return EmbeddedTopology(name)
@@ -383,6 +572,12 @@ def make_topology(name: str):
         return ServerTopology()
     if name == "replicas":
         return SubprocessReplicaTopology() if subprocess_replicas() else ReplicaTopology()
+    if name == "partitioned":
+        return (
+            SubprocessPartitionedTopology()
+            if subprocess_replicas()
+            else PartitionedTopology()
+        )
     raise ValueError(f"unknown topology {name!r}")
 
 
@@ -401,6 +596,12 @@ def run_topology(name: str, workload: Workload, tmp_path) -> Tuple[Transcript, f
             if index == CHECKPOINT_AFTER_ROUND:
                 topology.checkpoint()
                 topology.sync()
+            if index == RESHARD_AFTER_ROUND:
+                # Mid-trace live migration on topologies that support it
+                # (the partitioned fabric); the transcript must not notice.
+                migrate = getattr(topology, "migrate", None)
+                if migrate is not None:
+                    migrate(workload)
     finally:
         topology.stop()
     return transcript, time.perf_counter() - started

@@ -276,3 +276,125 @@ class TestServe:
         )
         assert code == 1
         assert "require --db" in output
+
+
+class TestRoute:
+    """The fabric commands: 'serve --partition/--map' and 'repro route'."""
+
+    def _partition_servers(self, names=("east", "west")):
+        from repro.api import Ltam
+        from repro.locations.multilevel import LocationHierarchy
+        from repro.paper import fixtures as paper
+        from repro.service import LtamServer, PartitionMap
+
+        servers = []
+        addresses = {}
+        for name in names:
+            engine = Ltam.builder().hierarchy(LocationHierarchy(ntu_campus())).build()
+            engine.grant_all(paper.section5_authorizations())
+            server = LtamServer(engine, partition=name)
+            server.start()
+            servers.append(server)
+            addresses[name] = "%s:%d" % server.address
+        return servers, PartitionMap(addresses)
+
+    def test_fabric_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--layout", "campus.json",
+             "--partition", "east", "--map", "fabric.json"]
+        )
+        assert args.partition == "east" and args.map_path == "fabric.json"
+
+        args = build_parser().parse_args(
+            ["route", "--map", "fabric.json", "--port", "0",
+             "--pool-size", "2", "--status"]
+        )
+        assert args.command == "route"
+        assert args.map_path == "fabric.json" and args.pool_size == 2 and args.status
+
+    def test_serve_rejects_a_partition_missing_from_the_map(self, deployment, tmp_path):
+        from repro.service import PartitionMap
+
+        layout_path, auths_path = deployment
+        map_path = str(tmp_path / "fabric.json")
+        PartitionMap({"east": "127.0.0.1:7481"}).save(map_path)
+        code, output = run_cli(
+            "serve", "--layout", layout_path, "--auths", auths_path,
+            "--partition", "west", "--map", map_path, "--port", "0",
+        )
+        assert code == 1
+        assert "not in the map" in output and "east" in output
+
+    def test_route_status_reports_every_partition(self, tmp_path):
+        servers, partition_map = self._partition_servers()
+        map_path = str(tmp_path / "fabric.json")
+        partition_map.save(map_path)
+        try:
+            code, output = run_cli("route", "--map", map_path, "--status")
+            assert code == 0
+            assert "map v1 — fabric ok" in output
+            assert "east" in output and "west" in output
+            assert "coverage=" in output
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_route_status_degrades_when_a_partition_is_down(self, tmp_path):
+        servers, partition_map = self._partition_servers()
+        map_path = str(tmp_path / "fabric.json")
+        partition_map.save(map_path)
+        servers[1].stop()  # kill "west"
+        try:
+            code, output = run_cli("route", "--map", map_path, "--status")
+            assert code == 2
+            assert "fabric degraded" in output
+            assert "unreachable" in output
+        finally:
+            servers[0].stop()
+
+    def test_route_boots_and_routes(self, tmp_path):
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.service import ServiceClient
+
+        servers, partition_map = self._partition_servers()
+        map_path = str(tmp_path / "fabric.json")
+        partition_map.save(map_path)
+        env = dict(__import__("os").environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + (
+            (":" + env["PYTHONPATH"]) if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "route", "--map", map_path, "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(
+                r"serving on 127\.0\.0\.1:(\d+) \(role=router, map=v1, "
+                r"partitions=east,west\)",
+                banner,
+            )
+            assert match, f"unexpected route banner: {banner!r}"
+            port = int(match.group(1))
+            with ServiceClient("127.0.0.1", port) as client:
+                decision = client.decide((15, "Alice", "CAIS"))
+                assert decision.granted
+                client.observe_entry(15, "Alice", "CAIS")
+                assert client.query("WHERE IS Alice").scalar == "CAIS"
+                report = client.health()
+                assert report["role"] == "router" and report["status"] == "ok"
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+            for server in servers:
+                server.stop()
