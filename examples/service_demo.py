@@ -66,7 +66,10 @@ def main() -> None:
         for worker in workers:
             worker.join()
 
-        with ServiceClient(host, port) as client:
+        # wire="binary": one hello op upgrades the connection to the compact
+        # binary codec (a JSON-only server would leave it on NDJSON).
+        with ServiceClient(host, port, wire="binary") as client:
+            print(f"client wire format: {client.wire}")
             # No barrier needed: each tracker's ingestor ships its batches
             # as waited frames, so everything landed before join() returned.
             print(f"movement log: {len(engine.movement_db)} live record(s), "
@@ -74,9 +77,9 @@ def main() -> None:
 
             subject = subjects[0]
             location = sorted(hierarchy.primitive_names)[0]
-            decision = client.decide((15, subject, location))
+            decision = client.decide((15, subject, location), trace=True)
             print(f"decide: {decision}")
-            print(f"  deciding stage: {decision.deciding_stage}")
+            print(f"  deciding stage: {decision.deciding_stage}")  # traces are opt-in
             client.decide((15, subject, location))  # served from the cache
             where = client.query(f'WHERE IS "{subject}"')
             print(f"query WHERE IS {subject}: {where.scalar!r}")

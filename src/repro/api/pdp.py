@@ -20,11 +20,19 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import EnforcementError
-from repro.core.authorization import LocationTemporalAuthorization
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
 from repro.core.requests import AccessRequest, DenialReason
 from repro.temporal.interval import TimeInterval
 from repro.api.decision import Decision, StageOutcome, StageResult
-from repro.api.stages import DecisionStage, EvaluationContext, default_pipeline
+from repro.api.stages import (
+    CandidateLookupStage,
+    DecisionStage,
+    EntryBudgetStage,
+    EntryWindowStage,
+    EvaluationContext,
+    KnownLocationStage,
+    default_pipeline,
+)
 
 __all__ = ["PolicyInformationPoint", "DecisionPoint"]
 
@@ -222,6 +230,19 @@ class DecisionPoint:
                 raise EnforcementError(
                     f"{stage!r} is not a decision stage (needs a .name and an evaluate(context) method)"
                 )
+        # The trace-free fast path only applies to the classic pipeline
+        # shape (exact stage types, in order) — anything custom falls back
+        # to the traced evaluator, whose semantics are the definition.
+        self._lean_shape = (
+            len(self._stages) == 4
+            and type(self._stages[0]) is KnownLocationStage
+            and type(self._stages[1]) is CandidateLookupStage
+            and type(self._stages[2]) is EntryWindowStage
+            and type(self._stages[3]) is EntryBudgetStage
+        )
+        self._lean_time_first = bool(
+            self._lean_shape and self._stages[1].time_first  # type: ignore[union-attr]
+        )
 
     @classmethod
     def for_components(
@@ -301,13 +322,25 @@ class DecisionPoint:
     # Evaluation
     # ------------------------------------------------------------------ #
     def decide(
-        self, request: AccessRequest, *, info: Optional[PolicyInformationPoint] = None
+        self,
+        request: AccessRequest,
+        *,
+        info: Optional[PolicyInformationPoint] = None,
+        trace: bool = True,
     ) -> Decision:
         """Evaluate one request; pure (no audit, no alerts, no recording).
 
         With an attached cache (and no explicit *info* snapshot) a repeated
         key is answered from the cache — the returned decision is the one
         computed for the equal earlier request, traces and all.
+
+        ``trace=False`` permits (but does not require) a trace-free
+        evaluation: on the classic pipeline shape the stage objects are
+        bypassed entirely and the decision comes back with an empty trace —
+        same grant/deny, same reason, same admitting authorization, same
+        entry counts, none of the per-stage bookkeeping.  Custom pipelines
+        (and cache-priming misses, whose stored entry must keep its trace)
+        still evaluate traced.
         """
         cache = self._cache
         token = None
@@ -320,7 +353,14 @@ class DecisionPoint:
             # decision computed from pre-mutation state would be cached
             # after its eviction already ran.
             token = self._generation_token(cache, request)
-        decision = self._evaluate(request, info if info is not None else self._info)
+            # The primed entry serves later trace=True callers too — a
+            # cache miss always evaluates traced.
+            trace = True
+        active = info if info is not None else self._info
+        if trace or not self._lean_shape:
+            decision = self._evaluate(request, active)
+        else:
+            decision = self._evaluate_lean(request, active)
         if cache is not None and info is None:
             self._store_cached(cache, request, decision, token)
         return decision
@@ -362,7 +402,50 @@ class DecisionPoint:
             "the final stage must GRANT or DENY every request it sees"
         )
 
-    def decide_many(self, requests: Iterable[AccessRequest]) -> List[Decision]:
+    def _evaluate_lean(
+        self, request: AccessRequest, active: PolicyInformationPoint
+    ) -> Decision:
+        """The classic pipeline without its per-stage bookkeeping.
+
+        Mirrors KnownLocation → CandidateLookup → EntryWindow → EntryBudget
+        exactly (including the time-first lookup's denial-reason-preserving
+        fallback) but builds no :class:`StageResult` objects and no detail
+        strings — the serving fleet's trace-elided hot path.  Parity with
+        the traced evaluator is asserted by the wire test suite.
+        """
+        subject, location, time = request.subject, request.location, request.time
+        if not active.is_primitive(location):
+            return Decision.denied_by(request, DenialReason.UNKNOWN_LOCATION)
+        admissible: Optional[Sequence[LocationTemporalAuthorization]] = None
+        if self._lean_time_first and active.enterable_candidates is not None:
+            admissible = active.enterable_candidates(subject, location, time)
+            if not admissible:
+                if active.candidates_for(subject, location):
+                    return Decision.denied_by(request, DenialReason.OUTSIDE_ENTRY_DURATION)
+                return Decision.denied_by(request, DenialReason.NO_AUTHORIZATION)
+        if admissible is None:
+            candidates = active.candidates_for(subject, location)
+            if not candidates:
+                return Decision.denied_by(request, DenialReason.NO_AUTHORIZATION)
+            admissible = [auth for auth in candidates if auth.permits_entry_at(time)]
+            if not admissible:
+                return Decision.denied_by(request, DenialReason.OUTSIDE_ENTRY_DURATION)
+        entry_count = active.entry_count
+        exhausted_used = 0
+        for authorization in admissible:
+            used = entry_count(subject, location, authorization.entry_duration)
+            remaining = authorization.entries_remaining(used)
+            if remaining is UNLIMITED_ENTRIES or int(remaining) > 0:
+                return Decision.granted_by(request, authorization, entries_used=used)
+            if used > exhausted_used:
+                exhausted_used = used
+        return Decision.denied_by(
+            request, DenialReason.ENTRY_LIMIT_EXHAUSTED, entries_used=exhausted_used
+        )
+
+    def decide_many(
+        self, requests: Iterable[AccessRequest], *, trace: bool = True
+    ) -> List[Decision]:
         """Evaluate a batch of requests, sharing lookups across the batch.
 
         The whole batch is evaluated against one memoizing PIP snapshot, so
@@ -371,12 +454,14 @@ class DecisionPoint:
         request order and are identical to what per-request :meth:`decide`
         calls would produce.  With an attached cache, hits are served first
         and only the misses run the pipeline (against one shared snapshot).
+        ``trace=False`` enables the trace-free fast path of :meth:`decide`
+        on cache-less evaluation (cache-priming misses stay traced).
         """
         requests = list(requests)
         cache = self._cache
         if cache is None:
             info = self._info.cached()
-            return [self.decide(request, info=info) for request in requests]
+            return [self.decide(request, info=info, trace=trace) for request in requests]
         decisions: List[Optional[Decision]] = [None] * len(requests)
         misses: List[int] = []
         for index, request in enumerate(requests):

@@ -200,6 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="partition-map JSON file this partition belongs to (see PartitionMap.save)",
     )
+    serve.add_argument(
+        "--wire",
+        choices=("binary", "json"),
+        default="binary",
+        help=(
+            "wire formats offered to clients: 'binary' (default) answers hello "
+            "negotiations with the compact framing, 'json' stays NDJSON-only; "
+            "every connection starts on NDJSON either way"
+        ),
+    )
 
     route = commands.add_parser(
         "route",
@@ -229,6 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--status",
         action="store_true",
         help="print the map and per-partition health instead of serving, then exit",
+    )
+    route.add_argument(
+        "--wire",
+        choices=("binary", "json"),
+        default="binary",
+        help=(
+            "wire formats offered to clients AND negotiated toward the partitions: "
+            "'binary' (default) upgrades both sides where the peer allows it, "
+            "'json' keeps everything NDJSON (JSON-only partitions fall back "
+            "transparently either way)"
+        ),
     )
 
     return parser
@@ -367,6 +388,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         checkpoint_policy=checkpoint_policy,
         partition=args.partition,
         partition_map=partition_map,
+        wire_format=args.wire,
     )
     server.start()
     host, port = server.address
@@ -376,7 +398,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     # to learn the bound port, so it is printed first and flushed.
     print(
         f"serving on {host}:{port} "
-        f"(backend={backend}, cache={'off' if cache is None else 'on'}{partition_note})",
+        f"(backend={backend}, cache={'off' if cache is None else 'on'}, "
+        f"wire={args.wire}{partition_note})",
         file=out,
     )
     if server.coherence is not None:
@@ -403,7 +426,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
 def _command_route(args: argparse.Namespace, out) -> int:
     partition_map = PartitionMap.load(args.map_path)
-    router = FabricRouter(partition_map, pool_size=args.pool_size)
+    router = FabricRouter(partition_map, pool_size=args.pool_size, wire=args.wire)
     if args.status:
         try:
             report = router.health()
@@ -421,13 +444,13 @@ def _command_route(args: argparse.Namespace, out) -> int:
                 file=out,
             )
         return 0 if report["status"] == "ok" else 2
-    server = RouterServer(router, host=args.host, port=args.port)
+    server = RouterServer(router, host=args.host, port=args.port, wire_format=args.wire)
     server.start()
     host, port = server.address
     # Same contract as 'serve': supervisors parse the first line for the port.
     print(
         f"serving on {host}:{port} "
-        f"(role=router, map=v{partition_map.version}, "
+        f"(role=router, map=v{partition_map.version}, wire={args.wire}, "
         f"partitions={','.join(partition_map.names)})",
         file=out,
     )

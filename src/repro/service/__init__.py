@@ -20,12 +20,26 @@ ingest" item:
     admin client ──query/checkpoint─▶ │   └─ Ltam (PDP/PEP/monitor)  │ scheduled
                                       └──────────────────────────────┘ checkpoints
 
-* :mod:`repro.service.protocol` — the wire codec: newline-delimited JSON
-  frames round-tripping requests, :class:`~repro.api.decision.Decision`
-  objects (per-stage traces included), movement records, alerts, query
-  results, checkpoint receipts, and **typed errors** (a remote
-  ``StorageError`` raises as ``StorageError``, a rejected ingest batch
-  comes back with its records for retry/dead-lettering).
+* :mod:`repro.service.protocol` — the baseline wire codec:
+  newline-delimited JSON frames round-tripping requests,
+  :class:`~repro.api.decision.Decision` objects (per-stage traces on
+  request), movement records, alerts, query results, checkpoint receipts,
+  and **typed errors** (a remote ``StorageError`` raises as
+  ``StorageError``, a rejected ingest batch comes back with its records
+  for retry/dead-lettering).
+* :mod:`repro.service.wire` — the negotiated **compact binary format**:
+  stdlib ``struct``-packed, length-prefixed frames with per-connection
+  string interning (subject/location/action ids shrink to 3-byte refs on
+  repetition).  A connection starts as NDJSON and upgrades through one
+  ``hello`` op; peers that never ask keep speaking NDJSON, and a binary
+  client in front of a JSON-only server falls back transparently — no
+  flag day.  Decision responses are **trace-elided by default** (outcome,
+  reason, entries used, admitting authorization; per-stage traces only on
+  ``trace=true``), and ``decide_many`` is vectorized end to end: one
+  frame in, one batched cache pass over pre-serialized fragments (JSON
+  and binary forms both cached), one frame out — on the server and on the
+  fabric router's scatter-gather alike.  The decisions/sec/core budget is
+  asserted by ``benchmarks/test_bench_wire.py``.
 * :mod:`repro.service.server` — :class:`LtamServer`, a stdlib-only asyncio
   server over an embedded engine.  Ops: ``decide``, ``decide_many``,
   ``observe``, ``observe_batch`` (feeding the existing

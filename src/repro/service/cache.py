@@ -24,9 +24,10 @@ served the decision computed for the first one, which is only safe when the
 deployment's entry windows and budgets are aligned to bucket multiples.
 
 Entries optionally carry a *payload*, opaque to the cache — the network
-server stores the pre-serialized wire form of the decision there, so cache
-hits skip response re-encoding too (the dominant cost once the pipeline is
-skipped).
+server stores the pre-serialized wire forms of the decision there (the
+JSON fragments eagerly, the binary-codec fragments filled on a binary
+connection's first hit), so cache hits skip response re-encoding too (the
+dominant cost once the pipeline is skipped), on every negotiated framing.
 """
 
 from __future__ import annotations

@@ -39,7 +39,7 @@ from repro.storage.ingest import (
     MovementIngestor,
 )
 from repro.storage.movement_db import Checkpoint, MovementKind, MovementRecord
-from repro.service.errors import ProtocolError, ServiceConnectionError
+from repro.service.errors import ProtocolError, ServiceConnectionError, ServiceError
 from repro.service.protocol import (
     alert_from_dict,
     checkpoint_from_dict,
@@ -52,7 +52,17 @@ from repro.service.protocol import (
     records_to_wire,
     request_to_dict,
 )
+from repro.service.runtime import DEFAULT_FRAME_LIMIT
 from repro.service.server import DEFAULT_PORT
+from repro.service.wire import (
+    BINARY,
+    JSON,
+    WIRE_VERSION,
+    Decoder,
+    Encoder,
+    frame_length,
+    pack_frame,
+)
 
 __all__ = ["ServiceClient", "ConnectionPool", "RemotePdp", "RemotePep"]
 
@@ -81,6 +91,13 @@ class ServiceClient:
     Thread-safe: concurrent calls serialize on an internal lock (use a
     :class:`ConnectionPool` when callers should not wait on each other).
     Typed server errors re-raise as their library classes.
+
+    *wire* selects the framing: ``"json"`` (NDJSON, the historical
+    protocol), or ``"binary"`` to negotiate the compact length-prefixed
+    framing of :mod:`repro.service.wire` via a ``hello`` round trip —
+    falling back to NDJSON transparently when the server is JSON-only or
+    predates negotiation entirely, so there is no flag day.  ``"auto"``
+    is an alias of ``"binary"``.  Check :attr:`wire` for the outcome.
     """
 
     def __init__(
@@ -89,10 +106,20 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: Optional[float] = 30.0,
+        wire: str = "json",
+        frame_limit: int = DEFAULT_FRAME_LIMIT,
     ) -> None:
+        if wire not in (JSON, BINARY, "auto"):
+            raise ServiceError(
+                f"unknown wire format {wire!r}; expected 'binary', 'json' or 'auto'"
+            )
         self._address = (host, port)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._wire = JSON
+        self._frame_limit = frame_limit
+        self._encoder: Optional[Encoder] = None
+        self._decoder: Optional[Decoder] = None
         try:
             self._sock: Optional[socket.socket] = socket.create_connection(
                 self._address, timeout=timeout
@@ -100,6 +127,8 @@ class ServiceClient:
         except OSError as exc:
             raise ServiceConnectionError(f"cannot connect to {host}:{port}: {exc}") from exc
         self._reader = self._sock.makefile("rb")
+        if wire != JSON:
+            self._negotiate_binary()
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -108,6 +137,65 @@ class ServiceClient:
     def address(self) -> Tuple[str, int]:
         """The ``(host, port)`` this client talks to."""
         return self._address
+
+    @property
+    def wire(self) -> str:
+        """The negotiated framing: ``"binary"`` or ``"json"``."""
+        return self._wire
+
+    def _negotiate_binary(self) -> None:
+        """One ``hello`` round trip; a refusal of any kind stays NDJSON.
+
+        Transport failures still raise — a dead server is not "a server
+        that prefers JSON" — but a typed error (a pre-negotiation server's
+        ``unknown op 'hello'``) or a ``{"wire": "json"}`` answer both mean
+        the peer speaks NDJSON only, and this client keeps working.
+        """
+        try:
+            result = self.call("hello", wire=[BINARY], version=WIRE_VERSION)
+        except ServiceConnectionError:
+            raise
+        except ServiceError:
+            return  # a pre-negotiation server: NDJSON is the protocol
+        if isinstance(result, dict) and result.get("wire") == BINARY:
+            # The server switches after writing the hello response, so the
+            # very next frame each way is binary.
+            self._wire = BINARY
+            self._encoder = Encoder()
+            self._decoder = Decoder()
+
+    def _read_frame_locked(self) -> bytes:
+        """Read one length-prefixed frame; EOF mid-frame kills the client.
+
+        A peer that vanishes between the length prefix and the body (or
+        halfway through either) leaves the stream unrecoverable: unlike the
+        NDJSON path, where a truncated line still terminates at EOF, a
+        partial binary frame has no delimiter to resynchronize on.  The
+        connection is closed and the failure surfaces as a transport error
+        so pools discard it instead of re-leasing a desynchronized socket.
+        """
+        header = self._reader.read(4)
+        if not header:
+            self._close_locked()
+            raise ServiceConnectionError("the server closed the connection")
+        if len(header) != 4:
+            self._close_locked()
+            raise ServiceConnectionError(
+                "the server closed the connection mid-frame (truncated length prefix)"
+            )
+        try:
+            length = frame_length(header, self._frame_limit)
+        except ProtocolError:
+            self._close_locked()
+            raise
+        body = self._reader.read(length)
+        if len(body) != length:
+            self._close_locked()
+            raise ServiceConnectionError(
+                f"the server closed the connection mid-frame "
+                f"(got {len(body)} of {length} body bytes)"
+            )
+        return body
 
     @property
     def closed(self) -> bool:
@@ -160,20 +248,48 @@ class ServiceClient:
     def call(self, op: str, **payload: Any) -> Any:
         """One request/response round trip; returns the ``result`` payload."""
         message_id = next(self._ids)
-        frame = encode_frame({"op": op, "id": message_id, **payload})
         with self._lock:
             if self._sock is None:
                 raise ServiceConnectionError("the client connection is closed")
-            try:
-                self._sock.sendall(frame)
-                line = self._reader.readline()
-            except OSError as exc:
-                self._close_locked()
-                raise ServiceConnectionError(f"request failed: {exc}") from exc
-            if not line:
-                self._close_locked()
-                raise ServiceConnectionError("the server closed the connection")
-            response = decode_frame(line)
+            if self._wire == BINARY:
+                frame = pack_frame(self._encoder.encode({"op": op, "id": message_id, **payload}))
+                try:
+                    self._sock.sendall(frame)
+                except OSError as exc:
+                    self._close_locked()
+                    raise ServiceConnectionError(f"request failed: {exc}") from exc
+                try:
+                    body = self._read_frame_locked()
+                except OSError as exc:
+                    self._close_locked()
+                    raise ServiceConnectionError(f"request failed: {exc}") from exc
+                response = self._decoder.decode(body)
+                if not isinstance(response, dict):
+                    self._close_locked()
+                    raise ProtocolError(
+                        f"a response frame must be an object, got {type(response).__name__}"
+                    )
+            else:
+                frame = encode_frame({"op": op, "id": message_id, **payload})
+                try:
+                    self._sock.sendall(frame)
+                    line = self._reader.readline()
+                except OSError as exc:
+                    self._close_locked()
+                    raise ServiceConnectionError(f"request failed: {exc}") from exc
+                if not line:
+                    self._close_locked()
+                    raise ServiceConnectionError("the server closed the connection")
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: the peer died while writing.  Decoding
+                    # the torso would usually fail anyway, but surfacing the
+                    # transport failure (not a parse error) is what tells a
+                    # pool to discard the connection.
+                    self._close_locked()
+                    raise ServiceConnectionError(
+                        "the server closed the connection mid-frame (truncated line)"
+                    )
+                response = decode_frame(line)
             if response.get("id") != message_id:
                 # A previous call was interrupted between send and read and
                 # left its response buffered: the stream is desynchronized —
@@ -191,40 +307,55 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # Operations
     # ------------------------------------------------------------------ #
-    def decide(self, request: RequestLike, *, trace: bool = True) -> Decision:
-        """Remote :meth:`~repro.api.pdp.DecisionPoint.decide`."""
-        payload = self.call(
-            "decide", request=request_to_dict(_coerce_request(request)), trace=trace
-        )
-        return decision_from_dict(payload)
+    def decide(self, request: RequestLike, *, trace: bool = False) -> Decision:
+        """Remote :meth:`~repro.api.pdp.DecisionPoint.decide`.
 
-    def decide_many(self, requests: Iterable[RequestLike], *, trace: bool = True) -> List[Decision]:
+        Traces are **elided by default** — the response carries outcome,
+        reason, authorization and budget only, and the returned
+        :class:`Decision`'s ``trace`` is empty.  Pass ``trace=True`` for
+        the full per-stage trace (and the server-side request echo).
+        """
+        request = _coerce_request(request)
+        payload = self.call("decide", request=request_to_dict(request), trace=trace)
+        return decision_from_dict(payload, request=request)
+
+    def decide_many(
+        self, requests: Iterable[RequestLike], *, trace: bool = False
+    ) -> List[Decision]:
         """Remote :meth:`~repro.api.pdp.DecisionPoint.decide_many` (one frame)."""
+        coerced = [_coerce_request(r) for r in requests]
         payload = self.call(
             "decide_many",
-            requests=[request_to_dict(_coerce_request(r)) for r in requests],
+            requests=[request_to_dict(r) for r in coerced],
             trace=trace,
         )
-        return [decision_from_dict(item) for item in payload.get("decisions", ())]
+        return [
+            decision_from_dict(item, request=request)
+            for item, request in zip(payload.get("decisions", ()), coerced)
+        ]
 
-    def enforce(self, request: RequestLike, *, trace: bool = True) -> Decision:
+    def enforce(self, request: RequestLike, *, trace: bool = False) -> Decision:
         """Remote :meth:`~repro.api.pep.EnforcementPoint.enforce`.
 
         Unlike :meth:`decide`, the server audits the outcome (and alerts on
         denial); a decision served from the server's cache is re-audited
         with a ``CACHED`` marker carrying its originating cache generation.
-        Use :meth:`enforce_detail` to also learn whether the hit was cached.
+        Trace elision never skips those obligations — it only trims the
+        response.  Use :meth:`enforce_detail` to also learn whether the hit
+        was cached.
         """
         return self.enforce_detail(request, trace=trace)[0]
 
     def enforce_detail(
-        self, request: RequestLike, *, trace: bool = True
+        self, request: RequestLike, *, trace: bool = False
     ) -> Tuple[Decision, bool]:
         """Like :meth:`enforce`, returning ``(decision, was_cached)``."""
-        payload = self.call(
-            "enforce", request=request_to_dict(_coerce_request(request)), trace=trace
+        request = _coerce_request(request)
+        payload = self.call("enforce", request=request_to_dict(request), trace=trace)
+        return (
+            decision_from_dict(payload.get("decision"), request=request),
+            bool(payload.get("cached")),
         )
-        return decision_from_dict(payload.get("decision")), bool(payload.get("cached"))
 
     def sync(self) -> Dict[str, Any]:
         """The replica coherence barrier (see the server's ``sync`` op).
@@ -341,6 +472,7 @@ class ConnectionPool:
         *,
         size: int = 4,
         timeout: Optional[float] = 30.0,
+        wire: str = "json",
     ) -> None:
         if size < 1:
             raise ProtocolError(f"pool size must be positive, got {size!r}")
@@ -348,6 +480,7 @@ class ConnectionPool:
         self._port = port
         self._size = size
         self._timeout = timeout
+        self._wire = wire
         self._idle: List[ServiceClient] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -380,7 +513,9 @@ class ConnectionPool:
             client.close()  # a dead or desynchronized leftover; keep draining
             client = None
         if client is None:
-            client = ServiceClient(self._host, self._port, timeout=self._timeout)
+            client = ServiceClient(
+                self._host, self._port, timeout=self._timeout, wire=self._wire
+            )
         try:
             yield client
         except ServiceConnectionError:
@@ -422,12 +557,13 @@ class _Remote:
         pool: Optional[ConnectionPool] = None,
         pool_size: int = 4,
         timeout: Optional[float] = 30.0,
+        wire: str = "json",
     ) -> None:
         self._owns_pool = pool is None
         self._pool = (
             pool
             if pool is not None
-            else ConnectionPool(host, port, size=pool_size, timeout=timeout)
+            else ConnectionPool(host, port, size=pool_size, timeout=timeout, wire=wire)
         )
 
     @property
@@ -456,12 +592,14 @@ class RemotePdp(_Remote):
     echoed request metadata (``request_id``) is the priming request's.
     """
 
-    def decide(self, request: RequestLike, *, trace: bool = True) -> Decision:
-        """Evaluate one request on the server."""
+    def decide(self, request: RequestLike, *, trace: bool = False) -> Decision:
+        """Evaluate one request on the server (trace elided unless asked)."""
         with self._pool.lease() as client:
             return client.decide(request, trace=trace)
 
-    def decide_many(self, requests: Iterable[RequestLike], *, trace: bool = True) -> List[Decision]:
+    def decide_many(
+        self, requests: Iterable[RequestLike], *, trace: bool = False
+    ) -> List[Decision]:
         """Evaluate a batch on the server (one frame, server-side batch path)."""
         with self._pool.lease() as client:
             return client.decide_many(requests, trace=trace)
@@ -481,7 +619,7 @@ class RemotePep(_Remote):
     record frames — the fully streaming tracker-adapter path.
     """
 
-    def enforce(self, request: RequestLike, *, trace: bool = True) -> Decision:
+    def enforce(self, request: RequestLike, *, trace: bool = False) -> Decision:
         """Remote :meth:`~repro.api.pep.EnforcementPoint.enforce`: the
         decision is audited (and alerted on denial) **server-side**; cache
         hits are re-audited with a ``CACHED`` generation marker."""

@@ -58,6 +58,7 @@ from repro.engine.query.parser import parse
 from repro.api.decision import Decision
 from repro.storage.movement_db import MovementRecord
 from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, stable_hash
+from repro.service import wire as wireformat
 from repro.service.client import ConnectionPool, RequestLike, _coerce_request
 from repro.service.errors import ProtocolError, ServiceError
 from repro.service.protocol import (
@@ -382,14 +383,21 @@ class FabricRouter:
         *,
         pool_size: int = 4,
         timeout: Optional[float] = 30.0,
+        wire: str = "json",
     ) -> None:
         self._pool_size = pool_size
         self._timeout = timeout
+        #: the framing the router *offers* its partitions.  ``"binary"``
+        #: negotiates per partition connection — a JSON-only partition falls
+        #: back transparently, so mixed fleets work during a rollout.
+        self._wire = wire
         self._map = partition_map
         self._pools: Dict[str, ConnectionPool] = {}
         for name in partition_map.names:
             host, port = partition_map.address(name)
-            self._pools[name] = ConnectionPool(host, port, size=pool_size, timeout=timeout)
+            self._pools[name] = ConnectionPool(
+                host, port, size=pool_size, timeout=timeout, wire=wire
+            )
         self._lock = _ReadWriteLock()
         self._stats_lock = threading.Lock()
         self._stats = {"routed": 0, "fan_outs": 0, "reshards": 0, "subjects_moved": 0}
@@ -459,13 +467,13 @@ class FabricRouter:
     # ------------------------------------------------------------------ #
     # Raw routed ops (wire-form in, wire-form out)
     # ------------------------------------------------------------------ #
-    def decide_raw(self, request: Dict[str, Any], *, trace: bool = True) -> Dict[str, Any]:
+    def decide_raw(self, request: Dict[str, Any], *, trace: bool = False) -> Dict[str, Any]:
         subject = str(request.get("subject"))
         with self._lock.read():
             self._bump("routed")
             return self._call(self._map.owner(subject), "decide", request=request, trace=trace)
 
-    def enforce_raw(self, request: Dict[str, Any], *, trace: bool = True) -> Dict[str, Any]:
+    def enforce_raw(self, request: Dict[str, Any], *, trace: bool = False) -> Dict[str, Any]:
         subject = str(request.get("subject"))
         with self._lock.read():
             self._bump("routed")
@@ -479,7 +487,7 @@ class FabricRouter:
             return self._call(self._map.owner(str(record[1])), "observe", record=list(record))
 
     def decide_many_raw(
-        self, requests: Sequence[Dict[str, Any]], *, trace: bool = True
+        self, requests: Sequence[Dict[str, Any]], *, trace: bool = False
     ) -> List[Dict[str, Any]]:
         """Scatter a decision batch by owner; gather into the original order.
 
@@ -675,17 +683,17 @@ class FabricRouter:
         op = message.get("op")
         if op == "decide":
             return self.decide_raw(
-                message.get("request") or {}, trace=message.get("trace", True)
+                message.get("request") or {}, trace=message.get("trace", False)
             )
         if op == "decide_many":
             return {
                 "decisions": self.decide_many_raw(
-                    list(message.get("requests", ())), trace=message.get("trace", True)
+                    list(message.get("requests", ())), trace=message.get("trace", False)
                 )
             }
         if op == "enforce":
             return self.enforce_raw(
-                message.get("request") or {}, trace=message.get("trace", True)
+                message.get("request") or {}, trace=message.get("trace", False)
             )
         if op == "observe":
             return self.observe_raw(message.get("record") or ())
@@ -714,26 +722,30 @@ class FabricRouter:
     # ------------------------------------------------------------------ #
     # Typed client-side API
     # ------------------------------------------------------------------ #
-    def decide(self, request: RequestLike, *, trace: bool = True) -> Decision:
+    def decide(self, request: RequestLike, *, trace: bool = False) -> Decision:
         """Routed :meth:`~repro.service.client.ServiceClient.decide`."""
-        payload = self.decide_raw(
-            request_to_dict(_coerce_request(request)), trace=trace
-        )
-        return decision_from_dict(payload)
+        request = _coerce_request(request)
+        payload = self.decide_raw(request_to_dict(request), trace=trace)
+        return decision_from_dict(payload, request=request)
 
     def decide_many(
-        self, requests: Iterable[RequestLike], *, trace: bool = True
+        self, requests: Iterable[RequestLike], *, trace: bool = False
     ) -> List[Decision]:
         """Scatter-gathered ``decide_many``; results in the caller's order."""
+        coerced = [_coerce_request(request) for request in requests]
         payload = self.decide_many_raw(
-            [request_to_dict(_coerce_request(request)) for request in requests], trace=trace
+            [request_to_dict(request) for request in coerced], trace=trace
         )
-        return [decision_from_dict(item) for item in payload]
+        return [
+            decision_from_dict(item, request=request)
+            for item, request in zip(payload, coerced)
+        ]
 
-    def enforce(self, request: RequestLike, *, trace: bool = True) -> Decision:
+    def enforce(self, request: RequestLike, *, trace: bool = False) -> Decision:
         """Routed ``enforce`` (audited on the owning partition)."""
-        payload = self.enforce_raw(request_to_dict(_coerce_request(request)), trace=trace)
-        return decision_from_dict(payload.get("decision"))
+        request = _coerce_request(request)
+        payload = self.enforce_raw(request_to_dict(request), trace=trace)
+        return decision_from_dict(payload.get("decision"), request=request)
 
     @staticmethod
     def _record_wire(record: Any) -> List[Any]:
@@ -812,7 +824,11 @@ class FabricRouter:
                 if name not in self._pools:
                     host, port = new_map.address(name)
                     self._pools[name] = ConnectionPool(
-                        host, port, size=self._pool_size, timeout=self._timeout
+                        host,
+                        port,
+                        size=self._pool_size,
+                        timeout=self._timeout,
+                        wire=self._wire,
                     )
             # Plan: every subject a partition holds whose new owner differs.
             moves: Dict[Tuple[str, str], List[str]] = {}
@@ -858,15 +874,36 @@ class FabricRouter:
             }
 
 
+class _RouterConnection:
+    """One router client's session: its negotiated framing."""
+
+    __slots__ = ("wire", "pending_wire", "decoder")
+
+    def __init__(self) -> None:
+        self.wire: str = wireformat.JSON
+        self.pending_wire: Optional[str] = None
+        self.decoder: Optional[wireformat.Decoder] = None
+
+    def apply_pending_upgrade(self) -> None:
+        if self.pending_wire is not None:
+            self.wire = self.pending_wire
+            self.pending_wire = None
+            self.decoder = wireformat.Decoder()
+
+
 class RouterServer(AsyncServiceHost):
     """A standalone ``repro route`` process: the router behind a socket.
 
-    Speaks the same NDJSON protocol as :class:`~repro.service.server
-    .LtamServer`, so an unmodified :class:`~repro.service.client
-    .ServiceClient` (or pool, or remote PDP/PEP facade) pointed at the
-    router sees one logical server whose capacity happens to be a fleet.
-    Every op does socket I/O toward the partitions, so dispatch always runs
-    in the default executor — the loop only frames and schedules.
+    Speaks the same negotiated protocol as :class:`~repro.service.server
+    .LtamServer` — NDJSON until a client's ``hello`` upgrades its
+    connection to the binary framing — so an unmodified
+    :class:`~repro.service.client.ServiceClient` (or pool, or remote
+    PDP/PEP facade) pointed at the router sees one logical server whose
+    capacity happens to be a fleet.  The client-facing framing and the
+    router→partition framing are independent: each partition pool
+    negotiates its own (see :class:`FabricRouter`'s ``wire``).  Every op
+    does socket I/O toward the partitions, so dispatch always runs in the
+    default executor — the loop only frames and schedules.
     """
 
     _what = "the router"
@@ -879,8 +916,14 @@ class RouterServer(AsyncServiceHost):
         port: int = DEFAULT_ROUTER_PORT,
         *,
         frame_limit: int = DEFAULT_FRAME_LIMIT,
+        wire_format: str = wireformat.BINARY,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit)
+        if wire_format not in (wireformat.BINARY, wireformat.JSON):
+            raise ServiceError(
+                f"unknown wire format {wire_format!r}; expected 'binary' or 'json'"
+            )
+        self._binary_enabled = wire_format == wireformat.BINARY
         self._router = router
 
     @property
@@ -888,35 +931,46 @@ class RouterServer(AsyncServiceHost):
         """The routing core this process serves."""
         return self._router
 
+    @staticmethod
+    def _encode_error(
+        connection: _RouterConnection, message_id: Any, exc: BaseException
+    ) -> bytes:
+        envelope = {"id": message_id, "ok": False, "error": error_to_dict(exc)}
+        if connection.wire == wireformat.BINARY:
+            return wireformat.pack_frame(wireformat.encode_value(envelope))
+        return encode_frame(envelope)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         loop = asyncio.get_running_loop()
+        connection = _RouterConnection()
         self._writers.add(writer)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    writer.write(
-                        encode_frame(
-                            {
-                                "id": None,
-                                "ok": False,
-                                "error": error_to_dict(
-                                    ProtocolError(
-                                        f"frame exceeds the {self._frame_limit}-byte limit"
-                                    )
-                                ),
-                            }
+                oversize: Optional[ProtocolError] = None
+                if connection.wire == wireformat.BINARY:
+                    try:
+                        frame = await wireformat.read_frame(reader, self._frame_limit)
+                    except ProtocolError as exc:
+                        oversize, frame = exc, None
+                else:
+                    try:
+                        frame = await reader.readline()
+                    except ValueError:
+                        oversize = ProtocolError(
+                            f"frame exceeds the {self._frame_limit}-byte limit"
                         )
-                    )
+                        frame = None
+                if oversize is not None:
+                    writer.write(self._encode_error(connection, None, oversize))
                     await writer.drain()
                     break
-                if not line:
+                if not frame:
                     break
-                writer.write(await self._respond(loop, line))
+                writer.write(await self._respond(loop, connection, frame))
                 await writer.drain()
+                connection.apply_pending_upgrade()
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
@@ -929,12 +983,40 @@ class RouterServer(AsyncServiceHost):
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _respond(self, loop: asyncio.AbstractEventLoop, line: bytes) -> bytes:
+    def _dispatch(self, connection: _RouterConnection, message: Dict[str, Any]) -> Any:
+        if message.get("op") == "hello":
+            # Connection-level, answered by the router itself (a partition
+            # never sees it): the client negotiates with *us*.
+            chosen, result = wireformat.negotiate_hello(
+                message, binary_enabled=self._binary_enabled
+            )
+            if chosen == wireformat.BINARY and connection.wire != wireformat.BINARY:
+                connection.pending_wire = wireformat.BINARY
+            return result
+        return self._router.dispatch(message)
+
+    async def _respond(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        connection: _RouterConnection,
+        frame: bytes,
+    ) -> bytes:
+        binary = connection.wire == wireformat.BINARY
         message_id = None
         try:
-            message = decode_frame(line)
+            if binary:
+                message = connection.decoder.decode(frame)
+                if not isinstance(message, dict):
+                    raise ProtocolError(
+                        f"a frame must be an object, got {type(message).__name__}"
+                    )
+            else:
+                message = decode_frame(frame)
             message_id = message.get("id")
-            result = await loop.run_in_executor(None, self._router.dispatch, message)
-            return encode_frame({"id": message_id, "ok": True, "result": result})
+            result = await loop.run_in_executor(None, self._dispatch, connection, message)
+            envelope = {"id": message_id, "ok": True, "result": result}
+            if binary:
+                return wireformat.pack_frame(wireformat.encode_value(envelope))
+            return encode_frame(envelope)
         except Exception as exc:  # noqa: BLE001 - every error ships back typed
-            return encode_frame({"id": message_id, "ok": False, "error": error_to_dict(exc)})
+            return self._encode_error(connection, message_id, exc)

@@ -1,6 +1,11 @@
 """The wire codec of the authorization service.
 
-One frame = one line of compact JSON, UTF-8, ``\\n``-terminated (NDJSON).
+One frame = one line of compact JSON, UTF-8, ``\\n``-terminated (NDJSON) —
+or, after a per-connection ``hello`` negotiation, one length-prefixed
+binary frame carrying the *same* message tree through the compact codec in
+:mod:`repro.service.wire`.  Everything in this module is framing-agnostic:
+it maps library objects to plain JSON-compatible trees and back, and both
+framings ship those trees verbatim.
 Requests are envelopes ``{"op": ..., "id": ..., **payload}``; responses are
 ``{"id": ..., "ok": true, "result": ...}`` or
 ``{"id": ..., "ok": false, "error": {...}}``.  The codec round-trips every
@@ -24,7 +29,7 @@ payload the protocol carries:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import repro.errors as _errors
 from repro.core.requests import AccessRequest, DenialReason
@@ -64,10 +69,13 @@ __all__ = [
     "error_to_dict",
     "error_from_dict",
     "strip_trace",
+    "elide_decision",
 ]
 
 #: The operations the service understands.
 OPS = (
+    # wire-format negotiation (always answered in the current framing)
+    "hello",
     "decide",
     "decide_many",
     "enforce",
@@ -218,14 +226,26 @@ def decision_to_dict(decision: Decision, *, include_trace: bool = True) -> Dict[
     return payload
 
 
-def decision_from_dict(payload: Dict[str, Any]) -> Decision:
-    """Rebuild a decision (an absent trace yields an empty one)."""
+def decision_from_dict(
+    payload: Dict[str, Any], *, request: Optional[AccessRequest] = None
+) -> Decision:
+    """Rebuild a decision (an absent trace yields an empty one).
+
+    Trace-elided responses do not echo the request; callers that know which
+    request they sent pass it as ``request`` and the decision is rebuilt
+    around it.  A payload that carries an echo wins over the fallback.
+    """
     if not isinstance(payload, dict):
         raise ProtocolError(f"a decision must be an object, got {payload!r}")
     reason = payload.get("reason")
     authorization = payload.get("authorization")
+    echoed = payload.get("request")
+    if echoed is not None:
+        request = request_from_dict(echoed)
+    elif request is None:
+        request = request_from_dict(_require(payload, "request"))
     return Decision(
-        request_from_dict(_require(payload, "request")),
+        request,
         bool(_require(payload, "granted")),
         authorization_from_dict(authorization) if authorization is not None else None,
         DenialReason(reason) if reason is not None else None,
@@ -365,3 +385,18 @@ def error_from_dict(payload: Dict[str, Any]) -> Exception:
 def strip_trace(encoded_decision: Dict[str, Any]) -> Dict[str, Any]:
     """A copy of an encoded decision without its trace (bandwidth knob)."""
     return {key: value for key, value in encoded_decision.items() if key != "trace"}
+
+
+def elide_decision(encoded_decision: Dict[str, Any]) -> Dict[str, Any]:
+    """The trace-elided wire form: no trace, no request echo.
+
+    Outcome, denial reason, entries used and the admitting authorization
+    stay (a granted decision without its authorization would not be a valid
+    :class:`~repro.core.requests.AccessDecision`); the caller knows which
+    request it sent, so the echo is pure bandwidth.
+    """
+    return {
+        key: value
+        for key, value in encoded_decision.items()
+        if key != "trace" and key != "request"
+    }

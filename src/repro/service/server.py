@@ -47,6 +47,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.serialization import authorization_to_dict
 from repro.engine.query.evaluator import QueryEngine
 from repro.errors import IngestError
 from repro.storage.ingest import (
@@ -57,6 +58,7 @@ from repro.storage.ingest import (
     MovementIngestor,
 )
 from repro.storage.movement_db import MovementKind
+from repro.service import wire
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
 from repro.service.errors import ProtocolError, ServiceError
@@ -66,6 +68,7 @@ from repro.service.protocol import (
     checkpoint_to_dict,
     decision_to_dict,
     decode_frame,
+    elide_decision,
     encode_frame,
     error_to_dict,
     query_result_to_dict,
@@ -73,7 +76,6 @@ from repro.service.protocol import (
     records_from_wire,
     records_to_wire,
     request_from_dict,
-    strip_trace,
 )
 from repro.service.runtime import DEFAULT_FRAME_LIMIT, AsyncServiceHost
 
@@ -101,8 +103,89 @@ class _RawResult:
         self.text = text
 
 
+class _RawBinary:
+    """A handler result that is already a binary-codec value fragment."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+class _Fragments:
+    """One cached decision's pre-serialized wire forms, JSON and binary.
+
+    The JSON pair is computed eagerly at prime time (the historical
+    behavior); the binary pair is filled on first use by a binary
+    connection, so JSON-only deployments never pay the pure-Python encode.
+    The fill is idempotent — two racing connections compute identical
+    bytes — so no lock is needed.
+    """
+
+    __slots__ = ("json_full", "json_elided", "bin_full", "bin_elided")
+
+    def __init__(self, encoded: Dict[str, Any]) -> None:
+        self.json_full = _dumps(encoded)
+        self.json_elided = _dumps(elide_decision(encoded))
+        self.bin_full: Optional[bytes] = None
+        self.bin_elided: Optional[bytes] = None
+
+    def binary(self, decision, include_trace: bool) -> bytes:
+        fragment = self.bin_full if include_trace else self.bin_elided
+        if fragment is None:
+            encoded = decision_to_dict(decision)
+            self.bin_full = wire.encode_value(encoded)
+            self.bin_elided = wire.encode_value(elide_decision(encoded))
+            fragment = self.bin_full if include_trace else self.bin_elided
+        return fragment
+
+
 def _dumps(payload: Dict[str, Any]) -> str:
     return json.dumps(payload, separators=(",", ":"), ensure_ascii=False)
+
+
+def _auth_fragment(authorization) -> wire.Raw:
+    """The memoized binary form of an authorization, riding on the object.
+
+    Authorizations are immutable and long-lived (they come from the
+    authorization database), so their encoded form is computed once and
+    cached on the object itself — the memo can never outlive or alias its
+    subject.  Exotic slotted stand-ins simply re-encode every time.
+    """
+    fragment = getattr(authorization, "_binary_wire_fragment", None)
+    if fragment is None:
+        fragment = wire.Raw(wire.encode_value(authorization_to_dict(authorization)))
+        try:
+            object.__setattr__(authorization, "_binary_wire_fragment", fragment)
+        except (AttributeError, TypeError):
+            pass
+    return fragment
+
+
+def _binary_decision(decision, include_trace: bool) -> bytes:
+    """Encode one freshly computed decision for a binary connection.
+
+    The trace-elided form is the fleet's hot shape: four keys and a spliced
+    pre-encoded authorization, no request echo, no trace.
+    """
+    if include_trace:
+        return wire.encode_value(decision_to_dict(decision))
+    authorization = decision.authorization
+    reason = decision.reason
+    return wire.encode_value(
+        {
+            "granted": decision.granted,
+            "authorization": None if authorization is None else _auth_fragment(authorization),
+            "reason": reason.value if reason is not None else None,
+            "entries_used": decision.entries_used,
+        }
+    )
+
+
+def _json_decision(decision, include_trace: bool) -> str:
+    if include_trace:
+        return _dumps(decision_to_dict(decision))
+    return _dumps(elide_decision(decision_to_dict(decision, include_trace=False)))
 
 
 def _fold_ingest(totals_by_mode: Dict[str, Dict[str, int]], mode: str, ingestor) -> None:
@@ -174,10 +257,22 @@ class _Connection:
     neighbor's records.
     """
 
-    __slots__ = ("ingestors",)
+    __slots__ = ("ingestors", "wire", "pending_wire", "decoder")
 
     def __init__(self) -> None:
         self.ingestors: Dict[str, MovementIngestor] = {}
+        #: the connection's negotiated framing; every connection starts on
+        #: NDJSON and may upgrade once via the ``hello`` op.
+        self.wire: str = wire.JSON
+        self.pending_wire: Optional[str] = None
+        self.decoder: Optional[wire.Decoder] = None
+
+    def apply_pending_upgrade(self) -> None:
+        """Switch framing after the ``hello`` response has been written."""
+        if self.pending_wire is not None:
+            self.wire = self.pending_wire
+            self.pending_wire = None
+            self.decoder = wire.Decoder()
 
 
 class LtamServer(AsyncServiceHost):
@@ -222,6 +317,12 @@ class LtamServer(AsyncServiceHost):
     partition_map:
         Optional :class:`~repro.service.fabric.PartitionMap` describing the
         fabric this partition belongs to, for ``health`` reporting.
+    wire_format:
+        ``"binary"`` (default) answers per-connection ``hello``
+        negotiations with the compact length-prefixed framing of
+        :mod:`repro.service.wire`; ``"json"`` keeps the server NDJSON-only
+        (clients negotiate down transparently).  Every connection starts on
+        NDJSON either way.
 
     Run it in-process (``with LtamServer(engine) as server: ...``) for tests
     and embedding, or via ``repro serve`` for a standalone process.
@@ -247,8 +348,16 @@ class LtamServer(AsyncServiceHost):
         frame_limit: int = DEFAULT_FRAME_LIMIT,
         partition: Optional[str] = None,
         partition_map=None,
+        wire_format: str = wire.BINARY,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit)
+        if wire_format not in (wire.BINARY, wire.JSON):
+            raise ServiceError(
+                f"unknown wire format {wire_format!r}; expected 'binary' or 'json'"
+            )
+        #: ``binary`` = answer ``hello`` negotiations with the compact
+        #: framing; ``json`` = NDJSON only (hello still answered, politely).
+        self._binary_enabled = wire_format == wire.BINARY
         self._engine = engine
         self._partition = partition
         self._partition_map = partition_map
@@ -416,30 +525,34 @@ class LtamServer(AsyncServiceHost):
         self._writers.add(writer)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    # Over-limit frame: the stream is desynchronized beyond
-                    # repair — report once and drop the connection.
-                    writer.write(
-                        encode_frame(
-                            {
-                                "id": None,
-                                "ok": False,
-                                "error": error_to_dict(
-                                    ProtocolError(
-                                        f"frame exceeds the {self._frame_limit}-byte limit"
-                                    )
-                                ),
-                            }
+                oversize: Optional[ProtocolError] = None
+                if connection.wire == wire.BINARY:
+                    try:
+                        frame = await wire.read_frame(reader, self._frame_limit)
+                    except ProtocolError as exc:
+                        # Zero-length or over-limit header: the body was not
+                        # consumed, so the stream cannot be resynchronized.
+                        oversize, frame = exc, None
+                else:
+                    try:
+                        frame = await reader.readline()
+                    except ValueError:
+                        oversize = ProtocolError(
+                            f"frame exceeds the {self._frame_limit}-byte limit"
                         )
+                        frame = None
+                if oversize is not None:
+                    # Report once and drop the connection.
+                    writer.write(
+                        self._encode_error(connection, None, oversize)
                     )
                     await writer.drain()
                     break
-                if not line:
+                if not frame:
                     break
-                writer.write(await self._respond(loop, connection, line))
+                writer.write(await self._respond(loop, connection, frame))
                 await writer.drain()
+                connection.apply_pending_upgrade()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -502,12 +615,27 @@ class LtamServer(AsyncServiceHost):
         }
     )
 
+    @staticmethod
+    def _encode_error(connection: _Connection, message_id: Any, exc: BaseException) -> bytes:
+        envelope = {"id": message_id, "ok": False, "error": error_to_dict(exc)}
+        if connection.wire == wire.BINARY:
+            return wire.pack_frame(wire.encode_value(envelope))
+        return encode_frame(envelope)
+
     async def _respond(
-        self, loop: asyncio.AbstractEventLoop, connection: _Connection, line: bytes
+        self, loop: asyncio.AbstractEventLoop, connection: _Connection, frame: bytes
     ) -> bytes:
+        binary = connection.wire == wire.BINARY
         message_id: Any = None
         try:
-            message = decode_frame(line)
+            if binary:
+                message = connection.decoder.decode(frame)
+                if not isinstance(message, dict):
+                    raise ProtocolError(
+                        f"a frame must be an object, got {type(message).__name__}"
+                    )
+            else:
+                message = decode_frame(frame)
             message_id = message.get("id")
             op = message.get("op")
             handler = self._HANDLERS.get(op)
@@ -517,12 +645,18 @@ class LtamServer(AsyncServiceHost):
                 result = await loop.run_in_executor(None, handler, self, connection, message)
             else:
                 result = handler(self, connection, message)
+            if binary:
+                if isinstance(result, _RawBinary):
+                    result = wire.Raw(result.data)
+                return wire.pack_frame(
+                    wire.encode_value({"id": message_id, "ok": True, "result": result})
+                )
             if isinstance(result, _RawResult):
                 envelope = '{"id":%s,"ok":true,"result":%s}\n' % (_dumps(message_id), result.text)
                 return envelope.encode("utf-8")
             return encode_frame({"id": message_id, "ok": True, "result": result})
         except Exception as exc:  # noqa: BLE001 - every failure becomes a frame
-            return encode_frame({"id": message_id, "ok": False, "error": error_to_dict(exc)})
+            return self._encode_error(connection, message_id, exc)
 
     # ------------------------------------------------------------------ #
     # Operation handlers
@@ -552,18 +686,23 @@ class LtamServer(AsyncServiceHost):
             return None
         return entry
 
-    def _cached_fragment(self, raw_request: Any, include_trace: bool) -> Optional[str]:
-        """The pre-serialized decision for a raw request dict, or ``None``."""
+    def _cached_fragment(self, raw_request: Any, include_trace: bool, binary: bool):
+        """The pre-serialized decision for a raw request dict, or ``None``.
+
+        JSON connections get a ``str`` fragment, binary connections a
+        ``bytes`` one (filled lazily on the entry's first binary hit).
+        """
         entry = self._cached_entry(raw_request)
         if entry is None:
             return None
         self._bump("cache_hits")
-        full, stripped = entry.payload
-        return full if include_trace else stripped
+        fragments: _Fragments = entry.payload
+        if binary:
+            return fragments.binary(entry.decision, include_trace)
+        return fragments.json_full if include_trace else fragments.json_elided
 
-    def _prime_cache(self, request, decision, include_trace: bool, token) -> str:
-        encoded = decision_to_dict(decision)
-        payload = (_dumps(encoded), _dumps(strip_trace(encoded)))
+    def _prime_cache(self, request, decision, include_trace: bool, binary: bool, token):
+        fragments = _Fragments(decision_to_dict(decision))
         # The token was captured before evaluation; a mutation that landed
         # mid-evaluation makes this store a no-op instead of resurrecting a
         # pre-mutation decision the eviction already covered.
@@ -572,42 +711,69 @@ class LtamServer(AsyncServiceHost):
             request.location,
             request.time,
             decision,
-            payload=payload,
+            payload=fragments,
             generation=token,
         )
-        return payload[0] if include_trace else payload[1]
+        if binary:
+            return fragments.binary(decision, include_trace)
+        return fragments.json_full if include_trace else fragments.json_elided
 
-    def _op_decide(self, connection, message: Dict[str, Any]) -> _RawResult:
-        include_trace = bool(message.get("trace", True))
+    def _op_hello(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Wire-format negotiation; the switch applies after this response."""
+        chosen, result = wire.negotiate_hello(
+            message, binary_enabled=self._binary_enabled
+        )
+        if chosen == wire.BINARY and connection.wire != wire.BINARY:
+            connection.pending_wire = wire.BINARY
+        return result
+
+    def _op_decide(self, connection, message: Dict[str, Any]):
+        include_trace = bool(message.get("trace", False))
+        binary = connection.wire == wire.BINARY
         self._bump("decisions")
         raw_request = message.get("request")
         if self._cache is not None:
-            fragment = self._cached_fragment(raw_request, include_trace)
+            fragment = self._cached_fragment(raw_request, include_trace, binary)
             if fragment is not None:
-                return _RawResult(fragment)
+                return _RawBinary(fragment) if binary else _RawResult(fragment)
         request = request_from_dict(raw_request)
         if self._cache is not None:
             token = self._cache.generation(request.location)
             decision = self._engine.pdp.decide(request)
-            return _RawResult(self._prime_cache(request, decision, include_trace, token))
-        decision = self._engine.pdp.decide(request)
-        return _RawResult(_dumps(decision_to_dict(decision, include_trace=include_trace)))
+            fragment = self._prime_cache(request, decision, include_trace, binary, token)
+            return _RawBinary(fragment) if binary else _RawResult(fragment)
+        decision = self._engine.pdp.decide(request, trace=include_trace)
+        if binary:
+            return _RawBinary(_binary_decision(decision, include_trace))
+        return _RawResult(_json_decision(decision, include_trace))
 
-    def _op_decide_many(self, connection, message: Dict[str, Any]) -> _RawResult:
+    def _op_decide_many(self, connection, message: Dict[str, Any]):
         raw_requests = message.get("requests", ())
-        include_trace = bool(message.get("trace", True))
+        include_trace = bool(message.get("trace", False))
+        binary = connection.wire == wire.BINARY
         self._bump("decisions", len(raw_requests))
         if self._cache is None:
             requests = [request_from_dict(item) for item in raw_requests]
+            decisions = self._engine.pdp.decide_many(requests, trace=include_trace)
+            if binary:
+                return _RawBinary(
+                    wire.encode_value(
+                        {
+                            "decisions": [
+                                wire.Raw(_binary_decision(decision, include_trace))
+                                for decision in decisions
+                            ]
+                        }
+                    )
+                )
             fragments = [
-                _dumps(decision_to_dict(decision, include_trace=include_trace))
-                for decision in self._engine.pdp.decide_many(requests)
+                _json_decision(decision, include_trace) for decision in decisions
             ]
             return _RawResult('{"decisions":[%s]}' % ",".join(fragments))
-        fragments: List[Optional[str]] = []
+        fragments: List[Any] = []
         misses: List[Tuple[int, Any]] = []
         for raw_request in raw_requests:
-            fragment = self._cached_fragment(raw_request, include_trace)
+            fragment = self._cached_fragment(raw_request, include_trace, binary)
             fragments.append(fragment)
             if fragment is None:
                 misses.append((len(fragments) - 1, raw_request))
@@ -620,10 +786,28 @@ class LtamServer(AsyncServiceHost):
             for (position, _), request, decision, token in zip(
                 misses, requests, decisions, tokens
             ):
-                fragments[position] = self._prime_cache(request, decision, include_trace, token)
+                fragments[position] = self._prime_cache(
+                    request, decision, include_trace, binary, token
+                )
+        if binary:
+            return _RawBinary(
+                wire.encode_value(
+                    {"decisions": [wire.Raw(fragment) for fragment in fragments]}
+                )
+            )
         return _RawResult('{"decisions":[%s]}' % ",".join(fragments))
 
-    def _op_enforce(self, connection, message: Dict[str, Any]) -> _RawResult:
+    @staticmethod
+    def _wrap_enforce(fragment, cached: bool, binary: bool):
+        if binary:
+            return _RawBinary(
+                wire.encode_value({"cached": cached, "decision": wire.Raw(fragment)})
+            )
+        return _RawResult(
+            '{"cached":%s,"decision":%s}' % ("true" if cached else "false", fragment)
+        )
+
+    def _op_enforce(self, connection, message: Dict[str, Any]):
         """PEP-routed decide: every enforcement lands in the audit log.
 
         A cache hit is **re-audited** through
@@ -632,8 +816,11 @@ class LtamServer(AsyncServiceHost):
         entry (plus a ``CACHED`` note) per enforcement, never a silent
         cache short-circuit.  The response wraps the decision with a
         ``cached`` flag so remote enforcement points can surface it.
+        Trace elision only trims the *response*: the attest/audit
+        obligations run server-side either way.
         """
-        include_trace = bool(message.get("trace", True))
+        include_trace = bool(message.get("trace", False))
+        binary = connection.wire == wire.BINARY
         self._bump("decisions")
         raw_request = message.get("request")
         pep = self._engine.pep
@@ -642,20 +829,24 @@ class LtamServer(AsyncServiceHost):
             if entry is not None:
                 self._bump("cache_hits")
                 pep.attest(entry.decision, cached_generation=entry.generation)
-                full, stripped = entry.payload
-                fragment = full if include_trace else stripped
-                return _RawResult('{"cached":true,"decision":%s}' % fragment)
+                fragments: _Fragments = entry.payload
+                if binary:
+                    fragment = fragments.binary(entry.decision, include_trace)
+                else:
+                    fragment = (
+                        fragments.json_full if include_trace else fragments.json_elided
+                    )
+                return self._wrap_enforce(fragment, True, binary)
         request = request_from_dict(raw_request)
         if self._cache is not None:
             token = self._cache.generation(request.location)
             decision = pep.enforce(request)
-            fragment = self._prime_cache(request, decision, include_trace, token)
-            return _RawResult('{"cached":false,"decision":%s}' % fragment)
+            fragment = self._prime_cache(request, decision, include_trace, binary, token)
+            return self._wrap_enforce(fragment, False, binary)
         decision = pep.enforce(request)
-        return _RawResult(
-            '{"cached":false,"decision":%s}'
-            % _dumps(decision_to_dict(decision, include_trace=include_trace))
-        )
+        if binary:
+            return self._wrap_enforce(_binary_decision(decision, include_trace), False, True)
+        return self._wrap_enforce(_json_decision(decision, include_trace), False, False)
 
     def _op_sync(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
         """The coherence barrier: drain the bus, pick up the shared store.
@@ -918,6 +1109,7 @@ class LtamServer(AsyncServiceHost):
         }
 
     _HANDLERS = {
+        "hello": _op_hello,
         "decide": _op_decide,
         "decide_many": _op_decide_many,
         "enforce": _op_enforce,

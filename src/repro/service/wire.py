@@ -1,0 +1,435 @@
+"""The negotiated compact binary wire format.
+
+Every serving process in the repo speaks newline-delimited JSON by default —
+one UTF-8 JSON object per line.  That framing is self-describing and
+debuggable, but at fleet scale the codec *is* the hot path: C ``json`` wins
+on raw byte crunching, yet NDJSON re-ships every subject name, location
+name, op name and dict key on every frame, and (historically) every
+response dragged a full per-stage decision trace with it.
+
+This module is the compact alternative:
+
+* **Length-prefixed frames** — a big-endian ``u32`` byte count followed by
+  the frame body.  A reader always knows exactly how many bytes to wait
+  for, so a truncated peer surfaces as a typed transport error instead of
+  a hang, and a garbage *body* never desynchronizes the stream (the next
+  frame boundary is still known).
+* **A small tag-based value codec** (stdlib ``struct`` only) covering the
+  JSON data model: ``None``/bools, ints (fixint/i8/i32/i64/bigint),
+  float64, UTF-8 strings, lists and string-keyed maps.  Anything the
+  NDJSON protocol can say, this codec can say — the decoded value is the
+  *same* Python object tree, so every handler above the framing layer is
+  format-blind.
+* **Per-connection interning** — the request direction carries subject,
+  location and action ids (and dict keys, op names, …) as 3-byte
+  references after the string's second occurrence on the connection.  The
+  encoder owns the table: an ``INTERN_DEF`` tag both defines and carries
+  the string, so the decoder needs no negotiation beyond reading frames in
+  order.  One-shot strings (``request_id`` counters and friends) never
+  enter the table.
+* **Splicable fragments** — :func:`encode_value` is intern-free and
+  self-contained, so a pre-encoded fragment (a cached decision, say) can
+  be wrapped in :class:`Raw` and spliced verbatim into any envelope on any
+  connection.  This is what lets the decision cache keep *binary-ready*
+  response fragments next to its JSON ones.
+
+Negotiation is deliberately boring: a client that wants binary sends an
+NDJSON ``hello`` op first.  A binary-capable server answers
+``{"wire": "binary"}`` (still as NDJSON) and both sides switch framing for
+every subsequent frame; a JSON-only server either answers
+``{"wire": "json"}`` (new, ``--wire json``) or rejects the unknown op with
+a typed :class:`~repro.service.errors.ProtocolError` (old), and the client
+stays on NDJSON.  No flag day, no sniffing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.service.errors import ProtocolError
+
+__all__ = [
+    "BINARY",
+    "JSON",
+    "WIRE_VERSION",
+    "Decoder",
+    "Encoder",
+    "Raw",
+    "encode_value",
+    "pack_frame",
+    "read_frame",
+    "negotiate_hello",
+]
+
+WIRE_VERSION = 1
+BINARY = "binary"
+JSON = "json"
+
+# ------------------------------------------------------------------ #
+# Tags.  0x00..0x7F is the small non-negative int itself ("fixint");
+# everything else is one of these.
+# ------------------------------------------------------------------ #
+_T_NONE = 0xC0
+_T_FALSE = 0xC2
+_T_TRUE = 0xC3
+_T_INT8 = 0xC4
+_T_INT32 = 0xC5
+_T_INT64 = 0xC6
+_T_BIGINT = 0xC7
+_T_FLOAT64 = 0xC8
+_T_STR8 = 0xC9
+_T_STR32 = 0xCA
+_T_INTERN_DEF = 0xCB
+_T_INTERN_REF = 0xCC
+_T_LIST32 = 0xCD
+_T_MAP32 = 0xCE
+
+_FIXINT_MAX = 0x7F
+#: Only short strings are intern candidates; long ones are rare and the
+#: 3-byte reference saves proportionally little.
+INTERN_MAX_BYTES = 255
+#: Per-connection intern table cap; beyond it strings ship plain.
+INTERN_TABLE_MAX = 4096
+#: Cap on the "seen once" promotion set so one-shot strings (request ids)
+#: cannot grow per-connection state without bound.
+_CANDIDATE_SET_MAX = 8192
+
+_FRAME_HEADER = struct.Struct(">I")
+_pack_i8 = struct.Struct(">Bb").pack
+_pack_i32 = struct.Struct(">Bi").pack
+_pack_i64 = struct.Struct(">Bq").pack
+_pack_f64 = struct.Struct(">Bd").pack
+_pack_len32 = struct.Struct(">BI").pack
+_pack_str8 = struct.Struct(">BB").pack
+_pack_def = struct.Struct(">BHB").pack
+_pack_ref = struct.Struct(">BH").pack
+_unpack_u16 = struct.Struct(">H").unpack_from
+_unpack_u32 = struct.Struct(">I").unpack_from
+_unpack_i8 = struct.Struct(">b").unpack_from
+_unpack_i32 = struct.Struct(">i").unpack_from
+_unpack_i64 = struct.Struct(">q").unpack_from
+_unpack_f64 = struct.Struct(">d").unpack_from
+
+_SMALL_INT = [bytes((value,)) for value in range(_FIXINT_MAX + 1)]
+_B_NONE = bytes((_T_NONE,))
+_B_FALSE = bytes((_T_FALSE,))
+_B_TRUE = bytes((_T_TRUE,))
+
+_INT8_MIN, _INT32_MIN, _INT32_MAX = -0x80, -(1 << 31), (1 << 31) - 1
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+class Raw:
+    """A pre-encoded, *intern-free* value fragment spliced in verbatim.
+
+    The bytes must come from :func:`encode_value` (never from a stateful
+    :class:`Encoder`): a fragment carrying connection-specific intern
+    references would decode differently — or not at all — on another
+    connection.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+def _encode_int(value: int, out: List[bytes]) -> None:
+    if 0 <= value <= _FIXINT_MAX:
+        out.append(_SMALL_INT[value])
+    elif _INT8_MIN <= value < 0:
+        out.append(_pack_i8(_T_INT8, value))
+    elif _INT32_MIN <= value <= _INT32_MAX:
+        out.append(_pack_i32(_T_INT32, value))
+    elif _INT64_MIN <= value <= _INT64_MAX:
+        out.append(_pack_i64(_T_INT64, value))
+    else:
+        data = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+        out.append(_pack_len32(_T_BIGINT, len(data)))
+        out.append(data)
+
+
+def _encode_str(value: str, out: List[bytes], encoder: Optional["Encoder"]) -> None:
+    if encoder is not None:
+        packed_ref = encoder._seen.get(value)
+        if packed_ref is not None:
+            out.append(packed_ref)
+            return
+    try:
+        data = value.encode("utf-8")
+    except UnicodeEncodeError as exc:
+        raise ProtocolError(f"string is not UTF-8 encodable: {exc}") from None
+    length = len(data)
+    if encoder is not None and 0 < length <= INTERN_MAX_BYTES:
+        candidates = encoder._candidates
+        if value in candidates:
+            if len(encoder._seen) < INTERN_TABLE_MAX:
+                ident = len(encoder._seen)
+                encoder._seen[value] = _pack_ref(_T_INTERN_REF, ident)
+                candidates.discard(value)
+                out.append(_pack_def(_T_INTERN_DEF, ident, length))
+                out.append(data)
+                return
+        else:
+            if len(candidates) >= _CANDIDATE_SET_MAX:
+                candidates.clear()
+            candidates.add(value)
+    if length <= 0xFF:
+        out.append(_pack_str8(_T_STR8, length))
+    else:
+        out.append(_pack_len32(_T_STR32, length))
+    out.append(data)
+
+
+def _encode_into(value: Any, out: List[bytes], encoder: Optional["Encoder"]) -> None:
+    if value is None:
+        out.append(_B_NONE)
+        return
+    kind = type(value)
+    if kind is bool:
+        out.append(_B_TRUE if value else _B_FALSE)
+    elif kind is int:
+        _encode_int(value, out)
+    elif kind is str:
+        _encode_str(value, out, encoder)
+    elif kind is dict:
+        out.append(_pack_len32(_T_MAP32, len(value)))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise ProtocolError(
+                    f"map keys must be strings, not {type(key).__name__}"
+                )
+            _encode_str(key, out, encoder)
+            _encode_into(item, out, encoder)
+    elif kind is list or kind is tuple:
+        out.append(_pack_len32(_T_LIST32, len(value)))
+        for item in value:
+            _encode_into(item, out, encoder)
+    elif kind is float:
+        out.append(_pack_f64(_T_FLOAT64, value))
+    elif kind is Raw:
+        out.append(value.data)
+    elif isinstance(value, bool):
+        out.append(_B_TRUE if value else _B_FALSE)
+    elif isinstance(value, int):
+        _encode_int(int(value), out)
+    elif isinstance(value, float):
+        out.append(_pack_f64(_T_FLOAT64, float(value)))
+    elif isinstance(value, str):
+        _encode_str(str(value), out, encoder)
+    elif isinstance(value, (list, tuple)):
+        out.append(_pack_len32(_T_LIST32, len(value)))
+        for item in value:
+            _encode_into(item, out, encoder)
+    elif isinstance(value, dict):
+        _encode_into(dict(value), out, encoder)
+    else:
+        raise ProtocolError(
+            f"the binary codec cannot encode {type(value).__name__} values"
+        )
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value without interning — self-contained, cacheable bytes."""
+    out: List[bytes] = []
+    try:
+        _encode_into(value, out, None)
+    except RecursionError:
+        raise ProtocolError("value nests too deeply for the binary codec") from None
+    return b"".join(out)
+
+
+class Encoder:
+    """A stateful per-connection, per-direction interning encoder.
+
+    Frames produced by one encoder must be decoded **in order** by one
+    :class:`Decoder` — the intern table is carried in the stream itself
+    (``INTERN_DEF`` defines, ``INTERN_REF`` back-references).  A string
+    enters the table on its *second* occurrence, so one-shot strings never
+    consume table slots.
+    """
+
+    __slots__ = ("_seen", "_candidates")
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, bytes] = {}
+        self._candidates: Set[str] = set()
+
+    def encode(self, value: Any) -> bytes:
+        out: List[bytes] = []
+        try:
+            _encode_into(value, out, self)
+        except RecursionError:
+            raise ProtocolError("value nests too deeply for the binary codec") from None
+        return b"".join(out)
+
+
+class Decoder:
+    """The matching stateful decoder (also decodes intern-free fragments)."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: Dict[int, str] = {}
+
+    def decode(self, body: bytes) -> Any:
+        try:
+            value, offset = self._decode(body, 0)
+        except ProtocolError:
+            raise
+        except (IndexError, struct.error) as exc:
+            raise ProtocolError(f"truncated binary frame: {exc}") from None
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"binary frame carries invalid UTF-8: {exc}") from None
+        except RecursionError:
+            raise ProtocolError("binary frame nests too deeply") from None
+        if offset != len(body):
+            raise ProtocolError(
+                f"binary frame has {len(body) - offset} trailing byte(s)"
+            )
+        return value
+
+    def _decode(self, buf: bytes, pos: int) -> Tuple[Any, int]:
+        tag = buf[pos]
+        pos += 1
+        if tag <= _FIXINT_MAX:
+            return tag, pos
+        if tag == _T_STR8:
+            length = buf[pos]
+            pos += 1
+            end = pos + length
+            if end > len(buf):
+                raise ProtocolError("truncated binary frame: short string body")
+            return buf[pos:end].decode("utf-8"), end
+        if tag == _T_INTERN_REF:
+            (ident,) = _unpack_u16(buf, pos)
+            try:
+                return self._table[ident], pos + 2
+            except KeyError:
+                raise ProtocolError(f"unknown interned string id {ident}") from None
+        if tag == _T_INTERN_DEF:
+            (ident,) = _unpack_u16(buf, pos)
+            length = buf[pos + 2]
+            pos += 3
+            end = pos + length
+            if end > len(buf):
+                raise ProtocolError("truncated binary frame: short interned string")
+            text = buf[pos:end].decode("utf-8")
+            self._table[ident] = text
+            return text, end
+        if tag == _T_MAP32:
+            (count,) = _unpack_u32(buf, pos)
+            pos += 4
+            if count > len(buf) - pos:
+                raise ProtocolError("binary map header exceeds the frame")
+            result: Dict[str, Any] = {}
+            decode = self._decode
+            for _ in range(count):
+                key, pos = decode(buf, pos)
+                if type(key) is not str:
+                    raise ProtocolError("binary map keys must be strings")
+                result[key], pos = decode(buf, pos)
+            return result, pos
+        if tag == _T_LIST32:
+            (count,) = _unpack_u32(buf, pos)
+            pos += 4
+            if count > len(buf) - pos:
+                raise ProtocolError("binary list header exceeds the frame")
+            items: List[Any] = []
+            append = items.append
+            decode = self._decode
+            for _ in range(count):
+                item, pos = decode(buf, pos)
+                append(item)
+            return items, pos
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_INT8:
+            return _unpack_i8(buf, pos)[0], pos + 1
+        if tag == _T_INT32:
+            return _unpack_i32(buf, pos)[0], pos + 4
+        if tag == _T_INT64:
+            return _unpack_i64(buf, pos)[0], pos + 8
+        if tag == _T_FLOAT64:
+            return _unpack_f64(buf, pos)[0], pos + 8
+        if tag == _T_BIGINT:
+            (length,) = _unpack_u32(buf, pos)
+            pos += 4
+            end = pos + length
+            if end > len(buf):
+                raise ProtocolError("truncated binary frame: short bigint body")
+            return int.from_bytes(buf[pos:end], "big", signed=True), end
+        if tag == _T_STR32:
+            (length,) = _unpack_u32(buf, pos)
+            pos += 4
+            end = pos + length
+            if end > len(buf):
+                raise ProtocolError("truncated binary frame: short string body")
+            return buf[pos:end].decode("utf-8"), end
+        raise ProtocolError(f"unknown binary wire tag 0x{tag:02x}")
+
+
+# ------------------------------------------------------------------ #
+# Framing
+# ------------------------------------------------------------------ #
+def pack_frame(body: bytes) -> bytes:
+    """Prefix a frame body with its big-endian u32 byte count."""
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def frame_length(header: bytes, frame_limit: int) -> int:
+    """Validate a 4-byte frame header; returns the body length."""
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length binary frame")
+    if length > frame_limit:
+        raise ProtocolError(
+            f"binary frame of {length} bytes exceeds the {frame_limit}-byte limit"
+        )
+    return length
+
+
+async def read_frame(reader: asyncio.StreamReader, frame_limit: int) -> Optional[bytes]:
+    """Read one length-prefixed frame body; ``None`` once the peer is gone.
+
+    A peer that disappears mid-frame is indistinguishable from one that
+    closed cleanly as far as a *server* cares — both return ``None`` and the
+    connection is dropped.  An over-limit or zero length raises
+    :class:`ProtocolError` (the body was not consumed, so the caller must
+    close the connection after reporting it).
+    """
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError:
+        return None
+    length = frame_length(header, frame_limit)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        return None
+
+
+# ------------------------------------------------------------------ #
+# Negotiation
+# ------------------------------------------------------------------ #
+def negotiate_hello(message: Dict[str, Any], *, binary_enabled: bool) -> Tuple[str, Dict[str, Any]]:
+    """Handle a ``hello`` op: pick the best mutually supported wire format.
+
+    Returns ``(chosen_format, result_payload)``.  The response itself always
+    travels in the *current* (JSON) framing; the switch — if any — applies
+    to every frame after it.
+    """
+    offered = message.get("wire", [])
+    if isinstance(offered, str):
+        offered = [offered]
+    if not isinstance(offered, list) or not all(isinstance(name, str) for name in offered):
+        raise ProtocolError("hello 'wire' must be a format name or a list of names")
+    chosen = BINARY if (binary_enabled and BINARY in offered) else JSON
+    formats = [JSON, BINARY] if binary_enabled else [JSON]
+    return chosen, {"wire": chosen, "formats": formats, "version": WIRE_VERSION}

@@ -1,0 +1,116 @@
+"""The trace-free decide fast path must be decision-equivalent to the
+traced evaluator on every workload — same grant, same reason, same
+authorization, same budget arithmetic.  The traced pipeline is the
+semantics; ``trace=False`` is purely a cost knob (it feeds the binary
+wire protocol's elided responses, where per-stage ``StageResult``
+formatting would dominate the evaluation itself)."""
+
+from __future__ import annotations
+
+from repro.core.requests import AccessRequest
+from repro.locations.multilevel import LocationHierarchy
+from repro.simulation.buildings import grid_building
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+from repro.api import Ltam
+from repro.api.stages import (
+    CandidateLookupStage,
+    CapacityStage,
+    EntryBudgetStage,
+    EntryWindowStage,
+    KnownLocationStage,
+)
+
+
+def _engine(*, time_first: bool = False, capacity: bool = False) -> Ltam:
+    hierarchy = LocationHierarchy(grid_building("B", 5, 5))
+    builder = Ltam.builder().hierarchy(hierarchy)
+    if time_first:
+        builder.pipeline(
+            KnownLocationStage(),
+            CandidateLookupStage(time_first=True),
+            EntryWindowStage(),
+            EntryBudgetStage(),
+        )
+    if capacity:
+        builder.stage(CapacityStage())
+    engine = builder.build()
+    generator = AuthorizationWorkloadGenerator(hierarchy, seed=11)
+    subjects = generate_subjects(160)
+    engine.grant_all(generator.authorizations(subjects))
+    engine.movement_db.record_many(generator.movement_events(subjects, 12_000))
+    return engine
+
+
+def _requests(engine, count=500, seed=23):
+    generator = AuthorizationWorkloadGenerator(engine.hierarchy, seed=seed)
+    return generator.requests(generate_subjects(160), count)
+
+
+def _auth_key(authorization):
+    if authorization is None:
+        return None
+    return (
+        authorization.subject,
+        authorization.location,
+        str(authorization.entry_duration),
+        str(authorization.exit_duration),
+        authorization.max_entries,
+    )
+
+
+def assert_equivalent(lean, traced):
+    assert lean.granted == traced.granted
+    assert lean.reason == traced.reason
+    assert lean.entries_used == traced.entries_used
+    assert _auth_key(lean.authorization) == _auth_key(traced.authorization)
+    assert lean.trace == ()
+
+
+class TestLeanParity:
+    def test_default_pipeline_parity_on_workload(self):
+        engine = _engine()
+        assert engine.pdp._lean_shape
+        for request in _requests(engine):
+            assert_equivalent(
+                engine.pdp.decide(request, trace=False), engine.pdp.decide(request)
+            )
+
+    def test_time_first_pipeline_parity_on_workload(self):
+        engine = _engine(time_first=True)
+        assert engine.pdp._lean_shape and engine.pdp._lean_time_first
+        for request in _requests(engine, seed=29):
+            assert_equivalent(
+                engine.pdp.decide(request, trace=False), engine.pdp.decide(request)
+            )
+
+    def test_unknown_location_and_unknown_subject(self):
+        engine = _engine()
+        off_map = AccessRequest(50, "user-000", "B.Nowhere")
+        unknown = AccessRequest(50, "nobody", "B.R0C0")
+        assert_equivalent(
+            engine.pdp.decide(off_map, trace=False), engine.pdp.decide(off_map)
+        )
+        assert_equivalent(
+            engine.pdp.decide(unknown, trace=False), engine.pdp.decide(unknown)
+        )
+
+    def test_custom_pipeline_falls_back_to_traced_evaluation(self):
+        """A capacity-extended pipeline is not the lean shape; trace=False
+        must still answer through the traced evaluator (minus the trace)."""
+        engine = _engine(capacity=True)
+        assert not engine.pdp._lean_shape
+        for request in _requests(engine, count=150, seed=31):
+            lean = engine.pdp.decide(request, trace=False)
+            traced = engine.pdp.decide(request)
+            assert lean.granted == traced.granted and lean.reason == traced.reason
+            assert lean.entries_used == traced.entries_used
+            # The fallback is the full evaluator: the trace comes along.
+            assert (len(lean.trace) > 0) == (len(traced.trace) > 0)
+
+    def test_decide_many_threads_trace_flag(self):
+        engine = _engine()
+        requests = _requests(engine, count=200, seed=37)
+        lean_batch = engine.pdp.decide_many(requests, trace=False)
+        traced_batch = engine.pdp.decide_many(requests)
+        for lean, traced in zip(lean_batch, traced_batch):
+            assert_equivalent(lean, traced)

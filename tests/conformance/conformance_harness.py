@@ -15,6 +15,10 @@ The topologies:
 * ``sharded`` — the sharded in-memory movement store (log + projection
   partitioned by subject);
 * ``server`` — one cached ``LtamServer`` spoken to over the wire;
+* ``server-binary`` — the same server, but the client negotiates the compact
+  binary wire format first; traces are explicitly re-requested
+  (``trace=True``), so the transcript must stay byte-identical even though
+  the bytes on the socket are a different codec entirely;
 * ``replicas`` — two cached ``LtamServer`` replicas over one shared SQLite
   file, coherent through the invalidation bus: observes and queries go to
   replica A, **decisions are served by replica B**, with the ``sync`` op as
@@ -79,8 +83,10 @@ TOPOLOGIES = (
     "embedded-sqlite",
     "sharded",
     "server",
+    "server-binary",
     "replicas",
     "partitioned",
+    "partitioned-binary",
 )
 
 SUBJECT_COUNT = 36
@@ -225,16 +231,27 @@ class EmbeddedTopology:
 
 
 class ServerTopology:
-    """One cached server; every interaction crosses the wire."""
+    """One cached server; every interaction crosses the wire.
+
+    With ``wire="binary"`` the client upgrades to the compact binary codec
+    during connect; all responses decode back to the same canonical JSON.
+    """
 
     name = "server"
+
+    def __init__(self, wire: str = "json") -> None:
+        self._wire = wire
+        self.name = "server" if wire == "json" else f"server-{wire}"
 
     def start(self, workload: Workload, tmp_path) -> None:
         engine = Ltam.builder().hierarchy(workload.hierarchy).build()
         engine.grant_all(workload.authorizations)
         self._server = LtamServer(engine, cache=DecisionCache())
         self._server.start()
-        self._client = ServiceClient(*self._server.address, timeout=60.0)
+        self._client = ServiceClient(
+            *self._server.address, timeout=60.0, wire=self._wire
+        )
+        assert self._client.wire == self._wire, "wire negotiation did not land"
 
     def observe(self, records) -> None:
         self._client.observe_batch(records, mode="monitor", wait=True)
@@ -411,10 +428,18 @@ class PartitionedTopology:
     ``RESHARD_AFTER_ROUND``) pins the workload's first subject to the other
     partition and reshards — the canonical "move a hot subject off a busy
     partition, online" operation — and the transcript must not notice.
+
+    With ``wire="binary"`` the router's partition connection pools negotiate
+    the binary codec, so scatter-gather traffic crosses the fabric in the
+    compact format — and must still replay byte-identically.
     """
 
     name = "partitioned"
     PARTITIONS = ("east", "west")
+
+    def __init__(self, wire: str = "json") -> None:
+        self._wire = wire
+        self.name = "partitioned" if wire == "json" else f"partitioned-{wire}"
 
     def start(self, workload: Workload, tmp_path) -> None:
         self._servers = []
@@ -426,7 +451,7 @@ class PartitionedTopology:
             server.start()
             self._servers.append(server)
             addresses[partition] = "%s:%d" % server.address
-        self._router = FabricRouter(PartitionMap(addresses))
+        self._router = FabricRouter(PartitionMap(addresses), wire=self._wire)
 
     def observe(self, records) -> None:
         self._router.observe_batch(records, mode="monitor", wait=True)
@@ -502,7 +527,8 @@ class SubprocessPartitionedTopology(PartitionedTopology):
             tmp_path, "router", "route", ["--map", str(map_path), "--port", "0"], env
         )
         port = SubprocessReplicaTopology._await_banner(out, r"serving on [^:]+:(\d+) ")
-        self._client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        self._client = ServiceClient("127.0.0.1", port, timeout=60.0, wire=self._wire)
+        assert self._client.wire == self._wire, "wire negotiation did not land"
 
     def _spawn(self, tmp_path, tag: str, command: str, args: List[str], env) -> str:
         out_path = tmp_path / f"{command}-{tag}.out"
@@ -570,13 +596,16 @@ def make_topology(name: str):
         return EmbeddedTopology(name, shards=4)
     if name == "server":
         return ServerTopology()
+    if name == "server-binary":
+        return ServerTopology(wire="binary")
     if name == "replicas":
         return SubprocessReplicaTopology() if subprocess_replicas() else ReplicaTopology()
-    if name == "partitioned":
+    if name in ("partitioned", "partitioned-binary"):
+        wire = "binary" if name.endswith("-binary") else "json"
         return (
-            SubprocessPartitionedTopology()
+            SubprocessPartitionedTopology(wire=wire)
             if subprocess_replicas()
-            else PartitionedTopology()
+            else PartitionedTopology(wire=wire)
         )
     raise ValueError(f"unknown topology {name!r}")
 

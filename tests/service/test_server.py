@@ -101,11 +101,13 @@ class TestDecisionParity:
     def test_decide_matches_embedded_on_workload_requests(self, client, oracle):
         requests = _request_pool(oracle.hierarchy, count=120)
         for request in requests:
-            assert_decisions_match(client.decide(request), oracle.decide(request))
+            assert_decisions_match(
+                client.decide(request, trace=True), oracle.decide(request)
+            )
 
     def test_decide_many_matches_embedded(self, client, oracle):
         requests = _request_pool(oracle.hierarchy, count=300)
-        remote = client.decide_many(requests)
+        remote = client.decide_many(requests, trace=True)
         local = oracle.decide_many(requests)
         assert len(remote) == len(local) == len(requests)
         for r, l in zip(remote, local):
@@ -132,8 +134,8 @@ class TestCachedParity:
                 for round_index in range(3):
                     # Decide twice: the second pass is served from the cache.
                     for remote_batch in (
-                        client.decide_many(pool),
-                        client.decide_many(pool),
+                        client.decide_many(pool, trace=True),
+                        client.decide_many(pool, trace=True),
                     ):
                         local = oracle.decide_many(pool)
                         for r, l in zip(remote_batch, local):
@@ -260,7 +262,9 @@ class TestRemoteFacades:
         host, port = server.address
         with RemotePdp(host, port) as pdp:
             requests = _request_pool(oracle.hierarchy, count=60)
-            for r, l in zip(pdp.decide_many(requests), oracle.decide_many(requests)):
+            for r, l in zip(
+                pdp.decide_many(requests, trace=True), oracle.decide_many(requests)
+            ):
                 assert_decisions_match(r, l)
             assert pdp.health()["status"] == "ok"
 

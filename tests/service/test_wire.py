@@ -1,0 +1,418 @@
+"""The binary wire codec: round trips, fuzzing, interning, negotiation.
+
+The invariants the fleet depends on:
+
+* anything the NDJSON protocol can say, the binary codec says back
+  **identically** (same Python object tree after decode);
+* a truncated or garbage frame raises a typed
+  :class:`~repro.service.errors.ProtocolError` — it never hangs a reader,
+  never kills the process with an unexpected exception type;
+* a client talking to a pre-negotiation (or ``--wire json``) server falls
+  back to NDJSON transparently;
+* a mid-frame disconnect surfaces as a transport error and drops the
+  connection from a :class:`~repro.service.client.ConnectionPool`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.requests import DenialReason
+from repro.engine.alerts import AlertKind
+from repro.errors import LTAMError, QuerySyntaxError, StorageError
+from repro.service import wire
+from repro.service.client import ConnectionPool, ServiceClient
+from repro.service.errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service.protocol import encode_frame, error_from_dict, error_to_dict
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=300)
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=64), children, max_size=4),
+    max_leaves=25,
+)
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(json_values)
+    def test_stateless_round_trip(self, value):
+        assert wire.Decoder().decode(wire.encode_value(value)) == value
+
+    @settings(max_examples=100)
+    @given(st.lists(json_values, max_size=6))
+    def test_interned_stream_round_trip(self, values):
+        """One encoder/decoder pair per connection, frames in order."""
+        encoder, decoder = wire.Encoder(), wire.Decoder()
+        for value in values:
+            assert decoder.decode(encoder.encode(value)) == value
+
+    @settings(max_examples=100)
+    @given(st.lists(json_values, min_size=2, max_size=4))
+    def test_repeating_frames_round_trip(self, values):
+        """Repetition exercises every intern state: candidate, def, ref."""
+        encoder, decoder = wire.Encoder(), wire.Decoder()
+        for _ in range(3):
+            for value in values:
+                assert decoder.decode(encoder.encode(value)) == value
+
+    def test_every_denial_reason_survives(self):
+        for reason in DenialReason:
+            payload = {"granted": False, "reason": reason.value, "entries_used": 0}
+            assert wire.Decoder().decode(wire.encode_value(payload)) == payload
+
+    def test_every_alert_kind_survives(self):
+        for kind in AlertKind:
+            payload = {"kind": kind.value, "subject": "Alice", "location": "CAIS"}
+            assert wire.Decoder().decode(wire.encode_value(payload)) == payload
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ProtocolError("bad frame"),
+            ServiceError("wrong knob"),
+            ServiceConnectionError("gone"),
+            RemoteServiceError("far away"),
+            LTAMError("base"),
+            QuerySyntaxError("WHO IS WHAT"),
+            StorageError("disk full — of regrets"),
+        ],
+    )
+    def test_typed_errors_survive(self, error):
+        envelope = wire.Decoder().decode(wire.encode_value(error_to_dict(error)))
+        back = error_from_dict(envelope)
+        assert type(back) is type(error)
+        assert str(back) == str(error)
+
+    def test_unicode_and_oversized_ids(self):
+        values = [
+            "subjëct-ünïcødé-😀",
+            "x" * wire.INTERN_MAX_BYTES,
+            "y" * (wire.INTERN_MAX_BYTES + 1),  # too long to intern
+            "z" * 70_000,  # STR32 territory
+            "",  # empty strings never intern
+        ]
+        encoder, decoder = wire.Encoder(), wire.Decoder()
+        for _ in range(3):
+            frame = encoder.encode(values)
+            assert decoder.decode(frame) == values
+
+    def test_int_width_boundaries(self):
+        boundaries = [
+            0, 1, 127, 128, -1, -128, -129,
+            2**31 - 1, -(2**31), 2**31, -(2**31) - 1,
+            2**63 - 1, -(2**63), 2**63, -(2**63) - 1,
+            10**40, -(10**40),
+        ]
+        assert wire.Decoder().decode(wire.encode_value(boundaries)) == boundaries
+
+
+# --------------------------------------------------------------------- #
+# Hostile input
+# --------------------------------------------------------------------- #
+class TestHostileFrames:
+    @settings(max_examples=300)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_garbage_never_escapes_typed_errors(self, blob):
+        """Random bytes either decode or raise ProtocolError — nothing else."""
+        try:
+            wire.Decoder().decode(blob)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=150)
+    @given(json_values, st.integers(min_value=0, max_value=10_000))
+    def test_truncations_raise_protocol_error(self, value, cut):
+        """Every strict prefix of a valid body is a typed error."""
+        body = wire.encode_value(value)
+        prefix = body[: min(cut, len(body) - 1)] if body else b""
+        with pytest.raises(ProtocolError):
+            wire.Decoder().decode(prefix)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            wire.Decoder().decode(wire.encode_value({"a": 1}) + b"\x00")
+
+    def test_unknown_intern_reference_rejected(self):
+        import struct
+
+        frame = struct.pack(">BH", 0xCC, 7)  # REF to an id never defined
+        with pytest.raises(ProtocolError, match="unknown interned"):
+            wire.Decoder().decode(frame)
+
+    def test_lying_container_headers_rejected(self):
+        import struct
+
+        # A map claiming 2**32 - 1 entries in a 5-byte frame must fail fast
+        # (header sanity), not iterate toward a hang.
+        for tag in (0xCD, 0xCE):
+            with pytest.raises(ProtocolError):
+                wire.Decoder().decode(struct.pack(">BI", tag, 0xFFFFFFFF))
+
+    def test_deep_nesting_is_a_typed_error(self):
+        value = None
+        for _ in range(20_000):
+            value = [value]
+        with pytest.raises(ProtocolError, match="nests too deeply"):
+            wire.encode_value(value)
+
+    def test_frame_length_guards(self):
+        import struct
+
+        with pytest.raises(ProtocolError, match="zero-length"):
+            wire.frame_length(struct.pack(">I", 0), 1024)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            wire.frame_length(struct.pack(">I", 4096), 1024)
+        assert wire.frame_length(struct.pack(">I", 17), 1024) == 17
+
+    def test_unencodable_values_are_typed_errors(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            wire.encode_value({"key": object()})
+        with pytest.raises(ProtocolError, match="keys must be strings"):
+            wire.encode_value({1: "value"})
+
+
+# --------------------------------------------------------------------- #
+# Interning mechanics
+# --------------------------------------------------------------------- #
+class TestInterning:
+    def test_second_occurrence_promotes_third_references(self):
+        encoder = wire.Encoder()
+        first = encoder.encode("user-42")  # plain str, becomes a candidate
+        second = encoder.encode("user-42")  # INTERN_DEF: carries the text
+        third = encoder.encode("user-42")  # 3-byte INTERN_REF
+        assert first[0] == 0xC9 and second[0] == 0xCB and third[0] == 0xCC
+        assert len(third) == 3
+        decoder = wire.Decoder()
+        assert [decoder.decode(f) for f in (first, second, third)] == ["user-42"] * 3
+
+    def test_interning_shrinks_repeated_payloads(self):
+        request = {"time": 100, "subject": "user-000017", "location": "B.R0C2"}
+        encoder = wire.Encoder()
+        sizes = [len(encoder.encode(request)) for _ in range(4)]
+        assert sizes[3] < sizes[0] / 2  # keys + values all collapsed to refs
+
+    def test_encode_value_never_interns(self):
+        fragment = wire.encode_value(["dup", "dup", "dup"])
+        # A fresh decoder with no stream history must read it (Raw splicing
+        # into any connection depends on this).
+        assert wire.Decoder().decode(fragment) == ["dup", "dup", "dup"]
+        assert 0xCB not in fragment and 0xCC not in fragment
+
+    def test_raw_fragments_splice_into_interned_streams(self):
+        fragment = wire.Raw(wire.encode_value({"granted": True}))
+        encoder, decoder = wire.Encoder(), wire.Decoder()
+        for _ in range(3):
+            frame = encoder.encode({"id": 1, "result": fragment})
+            assert decoder.decode(frame) == {"id": 1, "result": {"granted": True}}
+
+    def test_long_strings_never_intern(self):
+        text = "L" * (wire.INTERN_MAX_BYTES + 1)
+        encoder = wire.Encoder()
+        frames = [encoder.encode(text) for _ in range(3)]
+        assert all(frame[0] == 0xCA for frame in frames)  # plain STR32 each time
+
+
+# --------------------------------------------------------------------- #
+# Negotiation
+# --------------------------------------------------------------------- #
+class TestNegotiation:
+    def test_binary_server_accepts_binary_offer(self):
+        chosen, reply = wire.negotiate_hello(
+            {"op": "hello", "wire": ["binary"]}, binary_enabled=True
+        )
+        assert chosen == "binary"
+        assert reply == {"wire": "binary", "formats": ["json", "binary"], "version": 1}
+
+    def test_json_server_declines_politely(self):
+        chosen, reply = wire.negotiate_hello(
+            {"op": "hello", "wire": ["binary"]}, binary_enabled=False
+        )
+        assert chosen == "json" and reply["wire"] == "json"
+        assert reply["formats"] == ["json"]
+
+    def test_json_only_offer_stays_json(self):
+        chosen, _ = wire.negotiate_hello({"op": "hello"}, binary_enabled=True)
+        assert chosen == "json"
+
+    def test_malformed_offer_is_a_typed_error(self):
+        with pytest.raises(ProtocolError):
+            wire.negotiate_hello({"op": "hello", "wire": 42}, binary_enabled=True)
+        with pytest.raises(ProtocolError):
+            wire.negotiate_hello({"op": "hello", "wire": [1]}, binary_enabled=True)
+
+
+# --------------------------------------------------------------------- #
+# Transport robustness (scripted byte-level servers)
+# --------------------------------------------------------------------- #
+class ScriptedServer:
+    """A fake server running one byte-level script per connection."""
+
+    def __init__(self, script):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        self.address = self._sock.getsockname()
+        self._script = script
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                self._script(conn)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+
+    def close(self):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def _accept_hello(conn) -> None:
+    """Read the NDJSON hello and upgrade the connection to binary."""
+    reader = conn.makefile("rb")
+    line = reader.readline()
+    assert b'"hello"' in line
+    conn.sendall(
+        encode_frame(
+            {
+                "id": 1,
+                "ok": True,
+                "result": {"wire": "binary", "formats": ["json", "binary"], "version": 1},
+            }
+        )
+    )
+    return reader
+
+
+class TestMidFrameDisconnect:
+    def test_binary_body_truncation_is_a_transport_error(self):
+        def script(conn):
+            reader = _accept_hello(conn)
+            header = reader.read(4)
+            reader.read(wire.frame_length(header, 1 << 24))  # drain the request
+            conn.sendall(wire.pack_frame(b"x" * 64)[:20])  # 4+16 of 68 bytes
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(*server.address, wire="binary")
+            assert client.wire == "binary"
+            with pytest.raises(ServiceConnectionError, match="mid-frame"):
+                client.call("health")
+            assert client.closed
+
+    def test_binary_header_truncation_is_a_transport_error(self):
+        def script(conn):
+            reader = _accept_hello(conn)
+            header = reader.read(4)
+            reader.read(wire.frame_length(header, 1 << 24))
+            conn.sendall(b"\x00\x00")  # half a length prefix
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(*server.address, wire="binary")
+            with pytest.raises(ServiceConnectionError, match="mid-frame"):
+                client.call("health")
+            assert client.closed
+
+    def test_json_line_truncation_is_a_transport_error(self):
+        """The NDJSON reader must not tolerate EOF mid-line either."""
+
+        def script(conn):
+            conn.makefile("rb").readline()
+            conn.sendall(b'{"id": 1, "ok": true, "result": {"status": "ok"')  # no \n
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(*server.address)
+            with pytest.raises(ServiceConnectionError, match="mid-frame"):
+                client.call("health")
+            assert client.closed
+
+    def test_pool_drops_the_connection_that_died_mid_frame(self):
+        calls = []
+
+        def script(conn):
+            calls.append(conn)
+            reader = _accept_hello(conn)
+            header = reader.read(4)
+            reader.read(wire.frame_length(header, 1 << 24))
+            conn.sendall(wire.pack_frame(b"y" * 64)[:10])
+
+        with ScriptedServer(script) as server:
+            pool = ConnectionPool(*server.address, size=2, wire="binary")
+            with pytest.raises(ServiceConnectionError):
+                with pool.lease() as client:
+                    client.call("health")
+            # The broken client must not be re-leased: the pool is empty and
+            # the next lease dials a brand-new connection.
+            assert pool._idle == []
+            with pytest.raises(ServiceConnectionError):
+                with pool.lease() as client:
+                    client.call("health")
+            assert len(calls) == 2
+            pool.close()
+
+    def test_fallback_against_a_pre_negotiation_server(self):
+        """An 'old' server rejects hello with a typed error; the client
+        shrugs and speaks NDJSON."""
+
+        def script(conn):
+            reader = conn.makefile("rb")
+            reader.readline()  # the hello
+            conn.sendall(
+                encode_frame(
+                    {
+                        "id": 1,
+                        "ok": False,
+                        "error": {"type": "ProtocolError", "message": "unknown op 'hello'"},
+                    }
+                )
+            )
+            reader.readline()  # the health call, answered as NDJSON
+            conn.sendall(encode_frame({"id": 2, "ok": True, "result": {"status": "ok"}}))
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(*server.address, wire="binary")
+            assert client.wire == "json"
+            assert client.call("health") == {"status": "ok"}
+            client.close()

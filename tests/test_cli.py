@@ -199,7 +199,10 @@ class TestServe:
         )
         try:
             banner = process.stdout.readline()
-            match = re.search(r"serving on 127\.0\.0\.1:(\d+) \(backend=memory, cache=on\)", banner)
+            match = re.search(
+                r"serving on 127\.0\.0\.1:(\d+) \(backend=memory, cache=on, wire=binary\)",
+                banner,
+            )
             assert match, f"unexpected serve banner: {banner!r}"
             port = int(match.group(1))
             with ServiceClient("127.0.0.1", port) as client:
@@ -381,7 +384,7 @@ class TestRoute:
             banner = process.stdout.readline()
             match = re.search(
                 r"serving on 127\.0\.0\.1:(\d+) \(role=router, map=v1, "
-                r"partitions=east,west\)",
+                r"wire=binary, partitions=east,west\)",
                 banner,
             )
             assert match, f"unexpected route banner: {banner!r}"
