@@ -1,0 +1,155 @@
+"""E-cache-restart — the post-restart latency cliff, and its removal.
+
+Before PR 8 every server restart threw the decision cache away: the first
+window of traffic after a deploy/crash paid full-pipeline evaluation *and*
+full response re-encoding for every request, exactly when a recovering
+fleet can least afford it.  The durable tier
+(:class:`~repro.service.cache_store.TieredDecisionCache`) persists admitted
+entries — pre-serialized wire fragments included — to a SQLite sidecar, and
+``LtamServer.start()`` re-admits whatever the movement store can prove
+survived the downtime.
+
+This benchmark stages the cliff explicitly: prime a server through the wire,
+kill it, then serve the same first window of traffic from (a) a **cold**
+restart with a fresh cache file and (b) a **warmed** restart reusing the
+sidecar.  Both restarts rebuild the engine from the same SQLite movement
+file; the only difference is the cache tier's starting state.  The asserted
+floor: the warmed restart must sustain **≥3x** the cold restart's
+first-window throughput.  Results land in ``BENCH_cache_restart.json``.
+"""
+
+import time as _time
+
+import pytest
+
+from repro.api import Ltam
+from repro.locations.multilevel import LocationHierarchy
+from repro.service import LtamServer, ServiceClient
+from repro.service.cache_store import TieredDecisionCache
+from repro.service.protocol import request_to_dict
+from repro.simulation.buildings import grid_building
+from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+
+SUBJECT_COUNT = 120
+HISTORY_EVENTS = 12_000
+#: Distinct requests in the "first window" — the post-restart burst.
+WINDOW = 1_200
+DECIDE_CHUNK = 400
+#: Warmed restart must beat cold restart by this factor on the first window.
+WARM_FLOOR = 3.0
+
+
+def _hierarchy():
+    return LocationHierarchy(grid_building("B", 6, 6))
+
+
+def _engine(hierarchy, db_path, seed_grants=False):
+    """A sqlite-backed engine; grants persist in the file, so only the
+    first boot seeds them — a restart re-reads them (re-granting would
+    read as config drift and purge the warm tier, correctly)."""
+    engine = Ltam.builder().hierarchy(hierarchy).backend("sqlite", db_path).build()
+    if seed_grants:
+        subjects = generate_subjects(SUBJECT_COUNT)
+        # Overlapping grant sets so each uncached decide scans several
+        # candidates — the production shape of the cliff.
+        for seed in (29, 30, 31):
+            engine.grant_all(
+                AuthorizationWorkloadGenerator(hierarchy, seed=seed).authorizations(subjects)
+            )
+    return engine
+
+
+def _window_requests(hierarchy):
+    generator = AuthorizationWorkloadGenerator(hierarchy, seed=53)
+    pool = generator.requests(generate_subjects(SUBJECT_COUNT), WINDOW)
+    return [request_to_dict(request) for request in pool]
+
+
+def _serve_window(client, window):
+    """Decide the whole first window, returning (seconds, decisions)."""
+    started = _time.perf_counter()
+    decided = 0
+    for start in range(0, len(window), DECIDE_CHUNK):
+        result = client.call(
+            "decide_many", requests=window[start : start + DECIDE_CHUNK], trace=False
+        )
+        decided += len(result["decisions"])
+    elapsed = _time.perf_counter() - started
+    assert decided == len(window)
+    return elapsed, decided
+
+
+def test_warm_restart_kills_the_first_window_cliff(tmp_path, table_printer, bench_json):
+    hierarchy = _hierarchy()
+    db_path = str(tmp_path / "deploy.db")
+    warm_cache_path = str(tmp_path / "decisions.cache.db")
+    cold_cache_path = str(tmp_path / "cold.cache.db")
+    window = _window_requests(hierarchy)
+
+    # ---- boot 1: prime the durable cache through the wire, then kill. ----
+    engine = _engine(hierarchy, db_path, seed_grants=True)
+    engine.movement_db.record_many(
+        AuthorizationWorkloadGenerator(hierarchy, seed=29).movement_events(
+            generate_subjects(SUBJECT_COUNT), HISTORY_EVENTS
+        )
+    )
+    cache = TieredDecisionCache(warm_cache_path, maxsize=1 << 17)
+    with LtamServer(engine, cache=cache) as server:
+        with ServiceClient(*server.address, wire="binary") as client:
+            _serve_window(client, window)
+        primed = cache.stats["size"]
+    cache.close()
+    assert primed > 0, "priming stored nothing in the durable tier"
+
+    runs = {}
+    for label, cache_path in (("cold", cold_cache_path), ("warm", warm_cache_path)):
+        engine = _engine(hierarchy, db_path)  # fresh process stand-in
+        cache = TieredDecisionCache(cache_path, maxsize=1 << 17)
+        with LtamServer(engine, cache=cache) as server:
+            report = dict(server.warm_report or {})
+            with ServiceClient(*server.address, wire="binary") as client:
+                seconds, decided = _serve_window(client, window)
+            hits = cache.stats["hits"]
+        cache.close()
+        runs[label] = {
+            "seconds": seconds,
+            "decisions": decided,
+            "decisions_per_sec": decided / seconds,
+            "readmitted": report.get("readmitted", 0),
+            "dropped": report.get("dropped", 0),
+            "first_window_hits": hits,
+        }
+
+    assert runs["cold"]["readmitted"] == 0
+    assert runs["warm"]["readmitted"] > 0, "warm restart re-admitted nothing"
+    assert runs["warm"]["first_window_hits"] >= runs["warm"]["readmitted"] // 2, (
+        "re-admitted entries were not actually serving the first window"
+    )
+
+    ratio = runs["warm"]["decisions_per_sec"] / runs["cold"]["decisions_per_sec"]
+    table_printer(
+        "Post-restart first window: cold vs warmed cache",
+        ["restart", "re-admitted", "window hits", "seconds", "decisions/sec"],
+        [
+            [
+                label,
+                runs[label]["readmitted"],
+                runs[label]["first_window_hits"],
+                f"{runs[label]['seconds']:.3f}",
+                f"{runs[label]['decisions_per_sec']:,.0f}",
+            ]
+            for label in ("cold", "warm")
+        ],
+    )
+    bench_json(
+        window=WINDOW,
+        primed_entries=primed,
+        cold=runs["cold"],
+        warm=runs["warm"],
+        warm_over_cold=ratio,
+        floor=WARM_FLOOR,
+    )
+    assert ratio >= WARM_FLOOR, (
+        f"warmed restart only {ratio:.2f}x cold on the first window "
+        f"(floor {WARM_FLOOR}x)"
+    )

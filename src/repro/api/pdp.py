@@ -344,10 +344,26 @@ class DecisionPoint:
         """
         cache = self._cache
         token = None
+        flight = None
         if cache is not None and info is None:
             cached = cache.lookup(request)
             if cached is not None:
                 return cached
+            # Single-flight the miss (when the cache supports it): N
+            # concurrent identical misses — a cold cache's thundering herd —
+            # elect one leader that runs the pipeline while the others wait
+            # for its store and re-read the cache.
+            claim = getattr(cache, "flight", None)
+            if callable(claim):
+                flight = claim(request.subject, request.location, request.time)
+                if not flight.leader:
+                    flight.wait()
+                    cached = cache.lookup(request)
+                    if cached is not None:
+                        return cached
+                    # The leader died or its store raced an invalidation and
+                    # was dropped: evaluate ourselves rather than livelock.
+                    flight = None
             # Capture the invalidation token BEFORE evaluating: a mutation
             # landing mid-evaluation must make the store a no-op, or a
             # decision computed from pre-mutation state would be cached
@@ -356,13 +372,19 @@ class DecisionPoint:
             # The primed entry serves later trace=True callers too — a
             # cache miss always evaluates traced.
             trace = True
-        active = info if info is not None else self._info
-        if trace or not self._lean_shape:
-            decision = self._evaluate(request, active)
-        else:
-            decision = self._evaluate_lean(request, active)
-        if cache is not None and info is None:
-            self._store_cached(cache, request, decision, token)
+        try:
+            active = info if info is not None else self._info
+            if trace or not self._lean_shape:
+                decision = self._evaluate(request, active)
+            else:
+                decision = self._evaluate_lean(request, active)
+            if cache is not None and info is None:
+                self._store_cached(cache, request, decision, token)
+        finally:
+            if flight is not None:
+                # Leader only: wake the followers whether the store landed,
+                # was generation-dropped, or the evaluation raised.
+                flight.done()
         return decision
 
     @staticmethod

@@ -30,6 +30,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -45,6 +46,7 @@ from repro.locations.serialization import load as load_layout
 from repro.paper.fixtures import section5_authorizations
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, InvalidationBus
 from repro.service.cache import DecisionCache
+from repro.service.cache_store import CacheStore, TieredDecisionCache, engine_fingerprint
 from repro.service.fabric import (
     DEFAULT_ROUTER_PORT,
     FabricRouter,
@@ -140,6 +142,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="decision-cache entry cap (default 65536)",
     )
     serve.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        help=(
+            "persist the decision cache to a SQLite sidecar FILE: LRU evictions "
+            "spill to disk, and a restart warm-validates the file against the "
+            "movement store and re-admits the survivors (see 'repro cache')"
+        ),
+    )
+    serve.add_argument(
+        "--cache-spill",
+        type=int,
+        metavar="N",
+        help="cap the persistent cache tier at N disk rows (default unbounded; needs --cache-path)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        metavar="N",
+        help=(
+            "per-listener connection cap; over-cap connections get a typed busy "
+            "error and are closed (also applied to a --bus hosted in-process)"
+        ),
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help=(
+            "log one structured NDJSON line per op (op, wire, duration, cache "
+            "outcome) to stderr"
+        ),
+    )
+    serve.add_argument(
         "--checkpoint-every-events",
         type=int,
         help="checkpoint the movement store every N ingested events",
@@ -211,6 +245,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cache_cmd = commands.add_parser(
+        "cache",
+        help="inspect/warm/purge a persistent decision-cache sidecar (see serve --cache-path)",
+    )
+    cache_actions = cache_cmd.add_subparsers(dest="cache_action", required=True)
+    cache_stats = cache_actions.add_parser(
+        "stats", help="print the sidecar's meta and row counts (read-only)"
+    )
+    cache_stats.add_argument("--path", required=True, help="path to the cache sidecar file")
+    cache_warm = cache_actions.add_parser(
+        "warm",
+        help=(
+            "run the warm-restart validation now: drop rows the movement store "
+            "invalidated (or a configuration change doomed), ahead of the server boot"
+        ),
+    )
+    cache_warm.add_argument("--path", required=True, help="path to the cache sidecar file")
+    cache_warm.add_argument("--layout", required=True, help="path to the layout JSON file")
+    cache_warm.add_argument("--auths", help="path to an authorizations JSON file to load")
+    cache_warm.add_argument(
+        "--db", help="SQLite deployment database to validate against (omit for in-memory)"
+    )
+    cache_purge = cache_actions.add_parser(
+        "purge", help="drop every persisted entry (the configuration-drift escape hatch)"
+    )
+    cache_purge.add_argument("--path", required=True, help="path to the cache sidecar file")
+
     route = commands.add_parser(
         "route",
         help="run the fabric router in front of partitioned 'repro serve' processes",
@@ -234,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="connections pooled per partition (default 4)",
+    )
+    route.add_argument(
+        "--max-connections",
+        type=int,
+        metavar="N",
+        help="per-listener connection cap (typed busy error beyond it)",
     )
     route.add_argument(
         "--status",
@@ -336,7 +403,20 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     if args.auths is not None:
         engine.grant_all(load_authorizations(args.auths))
 
-    cache = None if args.no_cache else DecisionCache(maxsize=args.cache_size)
+    if args.no_cache:
+        if args.cache_path is not None:
+            print("error: --cache-path and --no-cache are mutually exclusive", file=out)
+            return 1
+        cache = None
+    elif args.cache_path is not None:
+        cache = TieredDecisionCache(
+            args.cache_path, maxsize=args.cache_size, spill=args.cache_spill
+        )
+    else:
+        if args.cache_spill is not None:
+            print("error: --cache-spill needs --cache-path", file=out)
+            return 1
+        cache = DecisionCache(maxsize=args.cache_size)
     checkpoint_policy = None
     if args.checkpoint_every_events is not None or args.checkpoint_every_seconds is not None:
         checkpoint_policy = CheckpointPolicy(
@@ -360,7 +440,9 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             )
             return 1
         if args.bus is not None:
-            bus = InvalidationBus(host=args.host, port=args.bus)
+            bus = InvalidationBus(
+                host=args.host, port=args.bus, max_connections=args.max_connections
+            )
         else:
             bus = args.peers
     sync_interval = (
@@ -377,6 +459,14 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             )
             return 1
 
+    if args.log_requests:
+        # One NDJSON line per op on stderr; stdout keeps the banner contract.
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        request_log = logging.getLogger("repro.service.requests")
+        request_log.addHandler(handler)
+        request_log.setLevel(logging.INFO)
+
     server = LtamServer(
         engine,
         host=args.host,
@@ -389,6 +479,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         partition=args.partition,
         partition_map=partition_map,
         wire_format=args.wire,
+        max_connections=args.max_connections,
+        log_requests=args.log_requests,
     )
     server.start()
     host, port = server.address
@@ -402,6 +494,14 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         f"wire={args.wire}{partition_note})",
         file=out,
     )
+    if server.warm_report is not None:
+        report = server.warm_report
+        print(
+            f"cache warmed: {report['readmitted']} re-admitted, "
+            f"{report['retained_on_disk']} on disk, {report['dropped']} dropped "
+            f"(of {report['examined']} persisted)",
+            file=out,
+        )
     if server.coherence is not None:
         # Second contract line: replicas' supervisors read the bus address
         # (the hosted bus's real port when --bus 0 picked one).
@@ -421,6 +521,62 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         print("shutting down", file=out)
     finally:
         server.stop()
+    return 0
+
+
+def _command_cache(args: argparse.Namespace, out) -> int:
+    if not os.path.exists(args.path):
+        # sqlite3.connect would silently create an empty sidecar here — an
+        # operator typo must fail loudly, not report an empty cache.
+        print(f"error: no cache sidecar at {args.path!r}", file=out)
+        return 1
+    if args.cache_action == "stats":
+        report = CacheStore.peek(args.path)
+        if not report:
+            print(f"error: {args.path!r} is not a cache sidecar", file=out)
+            return 1
+        meta = report["meta"]
+        print(f"{args.path}: {report['entries']} persisted entr(y/ies)", file=out)
+        print(
+            f"  format v{meta.get('format_version', '?')}, "
+            f"bucket={meta.get('bucket', '?')}, "
+            f"positions {report['min_position']}..{report['max_position']}",
+            file=out,
+        )
+        fingerprint = meta.get("fingerprint")
+        print(f"  fingerprint: {fingerprint if fingerprint else '(never warmed)'}", file=out)
+        return 0
+    peeked = CacheStore.peek(args.path)
+    bucket = int(peeked.get("meta", {}).get("bucket", 1)) if peeked else 1
+    if args.cache_action == "purge":
+        cache = TieredDecisionCache(args.path, bucket=bucket)
+        try:
+            dropped = cache.sidecar.delete_all()
+        finally:
+            cache.close()
+        print(f"{args.path}: purged {dropped} entr(y/ies)", file=out)
+        return 0
+    # warm: validate the rows against the deployment's current state, in
+    # place — the pruning is the point; the re-admitted RAM tier dies with
+    # this process, but the server's own warm finds a pre-validated file.
+    hierarchy = LocationHierarchy(load_layout(args.layout))
+    builder = Ltam.builder().hierarchy(hierarchy)
+    if args.db is not None:
+        builder = builder.backend("sqlite", args.db)
+    engine = builder.build()
+    if args.auths is not None:
+        engine.grant_all(load_authorizations(args.auths))
+    cache = TieredDecisionCache(args.path, bucket=bucket)
+    try:
+        report = cache.warm(engine.movement_db, fingerprint=engine_fingerprint(engine))
+    finally:
+        cache.close()
+    print(
+        f"{args.path}: {report['examined']} examined, "
+        f"{report['readmitted'] + report['retained_on_disk']} valid, "
+        f"{report['dropped']} dropped",
+        file=out,
+    )
     return 0
 
 
@@ -444,7 +600,13 @@ def _command_route(args: argparse.Namespace, out) -> int:
                 file=out,
             )
         return 0 if report["status"] == "ok" else 2
-    server = RouterServer(router, host=args.host, port=args.port, wire_format=args.wire)
+    server = RouterServer(
+        router,
+        host=args.host,
+        port=args.port,
+        wire_format=args.wire,
+        max_connections=args.max_connections,
+    )
     server.start()
     host, port = server.address
     # Same contract as 'serve': supervisors parse the first line for the port.
@@ -485,6 +647,7 @@ _HANDLERS = {
     "example-campus": _command_example,
     "checkpoint": _command_checkpoint,
     "serve": _command_serve,
+    "cache": _command_cache,
     "route": _command_route,
 }
 

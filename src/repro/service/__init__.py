@@ -88,6 +88,40 @@ keeping their decision caches coherent:
 * the ``sync`` op is the **barrier** that closes the coherence window on
   demand; a background sync tick bounds it even under total bus loss.
 
+Durable tiering (the cache sidecar)
+-----------------------------------
+
+Everything above keeps the decision cache in RAM, so every restart starts
+from a cold cache and the first seconds of traffic pay full-pipeline
+latency.  :mod:`repro.service.cache_store` removes that cliff with a
+**SQLite sidecar** under the cache (``repro serve --cache-path``):
+
+* :class:`~repro.service.cache_store.TieredDecisionCache` writes every
+  admitted entry **through** to the sidecar — the pre-serialized JSON and
+  binary wire fragments verbatim, stamped with the movement store's
+  applied position at admission.  LRU eviction becomes *demotion*: the row
+  is already on disk, and a later request for it promotes it back into RAM
+  and serves the stored fragments without re-running the pipeline **or**
+  re-encoding the response.
+* Correctness rides one invariant: **every invalidation tombstones its
+  disk rows synchronously, under the same lock, on every path** — per
+  location, per (location, subject) pair, per subject, movement-driven or
+  bus-driven (:class:`~repro.service.bus.CoherentDecisionCache` delegates
+  to the same hooks).  A disk row that still exists was therefore never
+  invalidated, so promotion can attach the cache's *current* generation
+  token without re-validating anything.
+* **Warm restart** re-admits what survived the downtime:
+  :meth:`~repro.service.cache_store.TieredDecisionCache.warm` checks the
+  persisted engine fingerprint (authorizations, capacities, location set —
+  config drift purges wholesale), then validates each row against the
+  movement store — a row is dropped if any movement touching its location
+  landed after the row's stamped position (foreign writers included, via
+  the same ``pickup()`` bookkeeping the bus uses), or if the store cannot
+  prove there was none.  Survivors re-enter RAM newest-first; the rest
+  stay spilled.  ``benchmarks/test_bench_cache_restart.py`` asserts the
+  payoff (warmed restart ≥3x cold first-window throughput), and ``repro
+  cache stats|warm|purge`` operates on sidecar files directly.
+
 The ``enforce`` op routes remote decisions through the
 :class:`~repro.api.pep.EnforcementPoint`, so audited deployments get one
 audit entry per enforcement over the wire too; a decision served from the
@@ -147,10 +181,16 @@ from repro.service.bus import (
     ReplicaCoherence,
 )
 from repro.service.cache import CachedDecision, DecisionCache
+from repro.service.cache_store import (
+    CacheStore,
+    TieredDecisionCache,
+    engine_fingerprint,
+)
 from repro.service.client import ConnectionPool, RemotePdp, RemotePep, ServiceClient
 from repro.service.errors import (
     ProtocolError,
     RemoteServiceError,
+    ServiceBusyError,
     ServiceConnectionError,
     ServiceError,
 )
@@ -165,6 +205,9 @@ from repro.service.server import DEFAULT_PORT, LtamServer
 __all__ = [
     "CachedDecision",
     "DecisionCache",
+    "CacheStore",
+    "TieredDecisionCache",
+    "engine_fingerprint",
     "ServiceClient",
     "ConnectionPool",
     "RemotePdp",
@@ -182,6 +225,7 @@ __all__ = [
     "DEFAULT_ROUTER_PORT",
     "ServiceError",
     "ProtocolError",
+    "ServiceBusyError",
     "ServiceConnectionError",
     "RemoteServiceError",
 ]

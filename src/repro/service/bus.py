@@ -149,6 +149,11 @@ class InvalidationBus(AsyncServiceHost):
         ``True`` makes the hub *not* deliver that frame to that replica
         (the seq still advances, so the replica later detects the gap).
         This is how the chaos suite injects frame loss.
+    max_connections:
+        Per-listener cap on concurrently attached replicas; an over-cap
+        connection is told ``busy`` (a typed refusal frame) and closed —
+        its :class:`BusLink` backs off and retries.  ``None`` (default) is
+        uncapped.
 
     One replica typically hosts the bus in-process (``repro serve --bus``);
     the hub carries no authorization state, so losing it only widens the
@@ -163,10 +168,13 @@ class InvalidationBus(AsyncServiceHost):
         port: int = 0,
         replay_buffer: int = DEFAULT_REPLAY_BUFFER,
         drop=None,
+        max_connections: Optional[int] = None,
     ) -> None:
         if replay_buffer < 1:
             raise ServiceError(f"replay buffer must be positive, got {replay_buffer!r}")
-        super().__init__(host, port, frame_limit=DEFAULT_FRAME_LIMIT)
+        super().__init__(
+            host, port, frame_limit=DEFAULT_FRAME_LIMIT, max_connections=max_connections
+        )
         self._drop = drop
         self._seq = 0
         self._buffer: "deque[Tuple[int, Optional[str], List[Dict[str, Any]]]]" = deque(
@@ -197,6 +205,28 @@ class InvalidationBus(AsyncServiceHost):
     # ------------------------------------------------------------------ #
     # Peer handling
     # ------------------------------------------------------------------ #
+    async def _refuse_busy(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # The typed refusal on the bus's own framing: a BusLink that reads
+        # it counts the refusal and falls into its reconnect backoff
+        # instead of treating the close as a hub crash.
+        writer.write(
+            _encode(
+                {
+                    "busy": True,
+                    "error": {
+                        "type": "ServiceBusyError",
+                        "message": (
+                            f"the invalidation bus is at its connection cap "
+                            f"({self._max_connections}); retry later"
+                        ),
+                    },
+                }
+            )
+        )
+        await writer.drain()
+
     async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         peer = _BusPeer(writer)
         with self._state_lock:
@@ -358,7 +388,14 @@ class BusLink:
         #: hub blocks only the sender, while publishers — which may hold the
         #: movement store's transaction lock — enqueue and move on.
         self._outbox: "deque[Tuple[bytes, Optional[List[Dict[str, Any]]]]]" = deque()
-        self._stats = {"received": 0, "published": 0, "gaps": 0, "resyncs": 0, "reconnects": 0}
+        self._stats = {
+            "received": 0,
+            "published": 0,
+            "gaps": 0,
+            "resyncs": 0,
+            "reconnects": 0,
+            "busy_refusals": 0,
+        }
         self._thread = threading.Thread(target=self._run, name="ltam-bus-link", daemon=True)
         self._thread.start()
         self._sender = threading.Thread(
@@ -567,6 +604,13 @@ class BusLink:
                 if not isinstance(frame, dict):
                     return
                 if not hello_seen:
+                    if "busy" in frame:
+                        # The hub's cap refused us (typed busy frame): back
+                        # off into the ordinary reconnect loop rather than
+                        # treating the close as a crash.
+                        with self._state:
+                            self._stats["busy_refusals"] += 1
+                        return
                     if "hello" not in frame:
                         continue  # only the hello reply establishes the seq floor
                     hello_seen = True
@@ -697,10 +741,29 @@ class CoherentDecisionCache:
         self._publish([{"kind": "admin", "location": location, "subject": subject}])
         return evicted
 
+    def invalidate_subject(self, subject: str) -> int:
+        """Subject-wise eviction (the fabric's reshard hook), fanned out.
+
+        Peers apply it with their own ``invalidate_subject`` — including
+        the persistent tier's disk-row tombstones — or fall back to a
+        clear when their cache predates the hook.
+        """
+        evicted = self._inner.invalidate_subject(subject)
+        self._publish([{"kind": "admin", "location": None, "subject": subject}])
+        return evicted
+
     def clear(self) -> int:
         evicted = self._inner.clear()
         self._publish([{"kind": "clear"}])
         return evicted
+
+    def __getattr__(self, name):
+        # The persistent tier's surface (warm/flight/close/store/...) —
+        # and anything else additive — passes straight through to the
+        # wrapped cache; only the invalidation hooks above need to publish.
+        if name.startswith("_"):  # never resolve internals via the inner cache
+            raise AttributeError(name)
+        return getattr(self._inner, name)
 
     # -- delegated introspection ----------------------------------------- #
     @property
@@ -934,7 +997,15 @@ class ReplicaCoherence:
                 if cache is not None:
                     location = event.get("location")
                     subject = event.get("subject")
-                    if location is None:
+                    if location is None and subject is not None:
+                        # Subject-wise eviction (fabric handoff).  A cache
+                        # without the hook over-evicts with a clear — safe.
+                        invalidate_subject = getattr(cache, "invalidate_subject", None)
+                        if callable(invalidate_subject):
+                            invalidate_subject(subject)
+                        else:
+                            cache.clear()
+                    elif location is None:
                         cache.clear()
                     elif subject is None:
                         cache.invalidate_location(location)

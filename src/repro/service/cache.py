@@ -43,11 +43,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.requests import AccessRequest
     from repro.storage.movement_db import MovementDatabase, MovementNotice
 
-__all__ = ["CachedDecision", "DecisionCache", "DEFAULT_ACTION"]
+__all__ = ["CachedDecision", "DecisionCache", "DEFAULT_ACTION", "FLIGHT_TIMEOUT"]
 
 #: The one action the paper's model knows; the key slot exists so a
 #: multi-action deployment (enter/exit/stay) can share one cache.
 DEFAULT_ACTION = "enter"
+
+#: How long a single-flight follower waits for the leader's store before
+#: giving up and evaluating itself (a leader that died or whose store was
+#: generation-dropped must not strand its followers).
+FLIGHT_TIMEOUT = 2.0
+
+
+class Flight:
+    """One key's in-progress pipeline evaluation (see :meth:`DecisionCache.flight`).
+
+    Exactly one caller per key holds ``leader=True`` at a time: it runs the
+    pipeline and MUST call :meth:`done` afterwards (success or not).
+    Followers :meth:`wait` for the leader, then re-check the cache — a hit
+    reuses the leader's stored entry without re-running the pipeline; a
+    miss (the leader's store raced an invalidation and was dropped) falls
+    back to evaluating normally.
+    """
+
+    __slots__ = ("leader", "_event", "_release")
+
+    def __init__(self, leader: bool, event: threading.Event, release) -> None:
+        self.leader = leader
+        self._event = event
+        self._release = release
+
+    def wait(self, timeout: Optional[float] = FLIGHT_TIMEOUT) -> bool:
+        """Block (followers only) until the leader finished; True if it did."""
+        return self._event.wait(timeout)
+
+    def done(self) -> None:
+        """Leader only: release the key and wake every follower."""
+        if self.leader:
+            self._release()
+            self._event.set()
 
 
 class CachedDecision(NamedTuple):
@@ -103,6 +137,12 @@ class DecisionCache:
         self._stale_stores = 0
         self._invalidated = 0
         self._evicted = 0
+        # Single-flight registry: one Event per key currently being
+        # evaluated, so N concurrent misses for one key run the pipeline
+        # once (see :meth:`flight`).
+        self._flights: Dict[Tuple[str, str, str, int], threading.Event] = {}
+        self._flights_led = 0
+        self._flights_joined = 0
 
     # ------------------------------------------------------------------ #
     # Core get/put
@@ -118,8 +158,13 @@ class DecisionCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
-                return None
+                # Tiered subclasses may promote a spilled entry back into
+                # RAM here; a promotion counts as a hit (it skipped the
+                # pipeline and, with persisted fragments, the re-encoding).
+                entry = self._promote_locked(key)
+                if entry is None:
+                    self._misses += 1
+                    return None
             self._entries.move_to_end(key)
             self._hits += 1
             return entry
@@ -163,15 +208,22 @@ class DecisionCache:
             ):
                 self._stale_stores += 1
                 return False
-            if key not in self._entries and len(self._entries) >= self._maxsize:
-                old_key, _ = self._entries.popitem(last=False)
-                self._discard_index(old_key)
-                self._evicted += 1
-            self._entries[key] = CachedDecision(decision, payload, generation)
-            self._entries.move_to_end(key)
-            self._by_location.setdefault(key[1], set()).add(key)
+            entry = CachedDecision(decision, payload, generation)
+            self._admit_locked(key, entry)
             self._stores += 1
+            self._persist_locked(key, entry)
             return True
+
+    def _admit_locked(self, key: Tuple[str, str, str, int], entry: CachedDecision) -> None:
+        """Insert *entry* as most-recently-used, evicting the LRU at capacity."""
+        if key not in self._entries and len(self._entries) >= self._maxsize:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self._discard_index(old_key)
+            self._evicted += 1
+            self._demoted_locked(old_key, old_entry)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._by_location.setdefault(key[1], set()).add(key)
 
     def _discard_index(self, key: Tuple[str, str, str, int]) -> None:
         keys = self._by_location.get(key[1])
@@ -179,6 +231,37 @@ class DecisionCache:
             keys.discard(key)
             if not keys:
                 del self._by_location[key[1]]
+
+    # ------------------------------------------------------------------ #
+    # Tier hooks (no-ops here; the persistent tiered cache of
+    # :mod:`repro.service.cache_store` overrides them).  All run under
+    # ``self._lock``.
+    # ------------------------------------------------------------------ #
+    def _promote_locked(self, key: Tuple[str, str, str, int]) -> Optional[CachedDecision]:
+        """A RAM miss: load the key from a lower tier, or ``None``."""
+        return None
+
+    def _persist_locked(self, key: Tuple[str, str, str, int], entry: CachedDecision) -> None:
+        """A store was admitted: write it through to a lower tier."""
+
+    def _demoted_locked(self, key: Tuple[str, str, str, int], entry: CachedDecision) -> None:
+        """A still-valid entry was LRU-evicted from RAM (spill accounting)."""
+
+    def _purge_location_locked(self, location: str) -> None:
+        """The location was invalidated: tombstone its lower-tier rows."""
+
+    def _purge_pair_locked(self, subject: str, location: str) -> None:
+        """The pair was invalidated: tombstone its lower-tier rows."""
+
+    def _purge_subject_locked(self, subject: str) -> None:
+        """The subject was invalidated: tombstone its lower-tier rows."""
+
+    def _purge_all_locked(self) -> None:
+        """The cache was cleared: tombstone every lower-tier row."""
+
+    def _extra_stats_locked(self) -> Dict[str, int]:
+        """Tier counters merged into :attr:`stats` by subclasses."""
+        return {}
 
     # ------------------------------------------------------------------ #
     # PDP hook points (duck-typed: the PDP never imports this module)
@@ -224,6 +307,7 @@ class DecisionCache:
         # Bump the generation even when nothing is cached: an in-flight
         # evaluation for this location may be about to store.
         self._generations[location] = self._generations.get(location, 0) + 1
+        self._purge_location_locked(location)
         keys = self._by_location.pop(location, None)
         if not keys:
             return 0
@@ -236,6 +320,7 @@ class DecisionCache:
         """Evict the keys of one (subject, location) pair (grant/revoke hook)."""
         with self._lock:
             self._generations[location] = self._generations.get(location, 0) + 1
+            self._purge_pair_locked(subject, location)
             keys = self._by_location.get(location)
             if not keys:
                 return 0
@@ -248,6 +333,27 @@ class DecisionCache:
             self._invalidated += len(doomed)
             return len(doomed)
 
+    def invalidate_subject(self, subject: str) -> int:
+        """Evict every key of one subject, whatever the location.
+
+        The fabric's migration hook: after ``forget_subjects`` hands a
+        subject to another partition, no decision about it may be re-served
+        here — including spilled rows at locations the subject never
+        physically moved through (cached denials).  Bumps the generations of
+        the affected locations so racing stores drop, exactly like the
+        location-wise paths.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == subject]
+            for location in {key[1] for key in doomed}:
+                self._generations[location] = self._generations.get(location, 0) + 1
+            for key in doomed:
+                self._entries.pop(key, None)
+                self._discard_index(key)
+            self._invalidated += len(doomed)
+            self._purge_subject_locked(subject)
+            return len(doomed)
+
     def clear(self) -> int:
         """Evict everything (coarse invalidation for bulk admin changes)."""
         with self._lock:
@@ -257,6 +363,7 @@ class DecisionCache:
             self._generations.clear()
             self._epoch += 1
             self._invalidated += count
+            self._purge_all_locked()
             return count
 
     # ------------------------------------------------------------------ #
@@ -278,6 +385,37 @@ class DecisionCache:
         return movement_db.subscribe(self.on_movements)
 
     # ------------------------------------------------------------------ #
+    # Single-flight: one pipeline evaluation per concurrent-miss key
+    # ------------------------------------------------------------------ #
+    def flight(
+        self, subject: str, location: str, time: int, *, action: str = DEFAULT_ACTION
+    ) -> Flight:
+        """Claim (or join) the in-progress evaluation for one key.
+
+        The cold-cache thundering-herd fix: N concurrent identical misses —
+        the first seconds after a restart, exactly when the pipeline is the
+        bottleneck — elect one *leader* that runs the pipeline while the
+        followers :meth:`~Flight.wait` and reuse the stored entry.  The
+        caller that gets ``leader=True`` **must** call :meth:`~Flight.done`
+        when its store attempt finished, stored or dropped.
+        """
+        key = self._key(subject, location, time, action)
+        with self._lock:
+            event = self._flights.get(key)
+            if event is None:
+                event = threading.Event()
+                self._flights[key] = event
+                self._flights_led += 1
+
+                def release() -> None:
+                    with self._lock:
+                        self._flights.pop(key, None)
+
+                return Flight(True, event, release)
+            self._flights_joined += 1
+            return Flight(False, event, lambda: None)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
@@ -292,17 +430,24 @@ class DecisionCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: hits, misses, stores, stale_stores, invalidated, evicted, size."""
+        """Counters: hits, misses, stores, stale_stores, invalidated,
+        evicted, flights led/joined, size — plus the tier counters (spilled,
+        disk_hits, promoted, readmitted, tombstoned, disk_size) on the
+        persistent tiered cache."""
         with self._lock:
-            return {
+            counters = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "stores": self._stores,
                 "stale_stores": self._stale_stores,
                 "invalidated": self._invalidated,
                 "evicted": self._evicted,
+                "flights_led": self._flights_led,
+                "flights_joined": self._flights_joined,
                 "size": len(self._entries),
             }
+            counters.update(self._extra_stats_locked())
+            return counters
 
     def __len__(self) -> int:
         with self._lock:

@@ -291,6 +291,13 @@ class ServiceClient:
                     )
                 response = decode_frame(line)
             if response.get("id") != message_id:
+                if response.get("id") is None and not response.get("ok", True):
+                    # A connection-level refusal (the capped listener's
+                    # ``busy`` frame) is addressed to no request: surface
+                    # the typed error, e.g. ServiceBusyError, not a
+                    # desynchronization.
+                    self._close_locked()
+                    raise error_from_dict(response.get("error") or {})
                 # A previous call was interrupted between send and read and
                 # left its response buffered: the stream is desynchronized —
                 # returning this response to the wrong caller would hand out

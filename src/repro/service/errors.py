@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from repro.errors import LTAMError
 
-__all__ = ["ServiceError", "ProtocolError", "ServiceConnectionError", "RemoteServiceError"]
+__all__ = [
+    "ServiceError",
+    "ProtocolError",
+    "ServiceBusyError",
+    "ServiceConnectionError",
+    "RemoteServiceError",
+]
 
 
 class ServiceError(LTAMError):
@@ -29,6 +35,15 @@ class ServiceError(LTAMError):
 
 class ProtocolError(ServiceError):
     """A wire frame or payload violates the service protocol."""
+
+
+class ServiceBusyError(ServiceError):
+    """The server refused the connection: its per-listener cap is reached.
+
+    Raised client-side when a capped listener (``--max-connections``)
+    answers a new connection with a typed ``busy`` error frame and closes
+    it.  Retriable by definition — the server is healthy, just saturated.
+    """
 
 
 class ServiceConnectionError(ServiceError):

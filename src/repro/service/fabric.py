@@ -60,7 +60,7 @@ from repro.storage.movement_db import MovementRecord
 from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, stable_hash
 from repro.service import wire as wireformat
 from repro.service.client import ConnectionPool, RequestLike, _coerce_request
-from repro.service.errors import ProtocolError, ServiceError
+from repro.service.errors import ProtocolError, ServiceBusyError, ServiceError
 from repro.service.protocol import (
     alert_from_dict,
     decision_from_dict,
@@ -917,8 +917,9 @@ class RouterServer(AsyncServiceHost):
         *,
         frame_limit: int = DEFAULT_FRAME_LIMIT,
         wire_format: str = wireformat.BINARY,
+        max_connections: Optional[int] = None,
     ) -> None:
-        super().__init__(host, port, frame_limit=frame_limit)
+        super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wireformat.BINARY, wireformat.JSON):
             raise ServiceError(
                 f"unknown wire format {wire_format!r}; expected 'binary' or 'json'"
@@ -939,6 +940,22 @@ class RouterServer(AsyncServiceHost):
         if connection.wire == wireformat.BINARY:
             return wireformat.pack_frame(wireformat.encode_value(envelope))
         return encode_frame(envelope)
+
+    async def _refuse_busy(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Same typed refusal as LtamServer's: connections start on NDJSON,
+        # so the id-less error line surfaces client-side as ServiceBusyError.
+        writer.write(
+            self._encode_error(
+                _RouterConnection(),
+                None,
+                ServiceBusyError(
+                    f"the router is at its connection cap ({self._max_connections}); retry later"
+                ),
+            )
+        )
+        await writer.drain()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -42,6 +42,7 @@ from repro.storage.movement_db import Checkpoint, MovementRecord
 from repro.service.errors import (
     ProtocolError,
     RemoteServiceError,
+    ServiceBusyError,
     ServiceConnectionError,
     ServiceError,
 )
@@ -329,7 +330,13 @@ def _error_registry() -> Dict[str, type]:
     for value in vars(_errors).values():
         if isinstance(value, type) and issubclass(value, _errors.LTAMError):
             registry[value.__name__] = value
-    for value in (ServiceError, ProtocolError, ServiceConnectionError, RemoteServiceError):
+    for value in (
+        ServiceError,
+        ProtocolError,
+        ServiceBusyError,
+        ServiceConnectionError,
+        RemoteServiceError,
+    ):
         registry[value.__name__] = value
     return registry
 

@@ -51,6 +51,11 @@ class AsyncServiceHost:
         Bind address; ``port=0`` picks a free port (see :attr:`address`).
     frame_limit:
         Per-connection stream buffer limit handed to the listener.
+    max_connections:
+        Per-listener cap on concurrently served connections; beyond it a
+        new connection is answered with the subclass's busy frame
+        (:meth:`_refuse_busy`) and closed, instead of queueing unbounded
+        work behind a saturated loop.  ``None`` (default) is uncapped.
 
     Class attributes ``_what`` (how errors name the service, e.g. ``"the
     server"``) and ``_thread_name`` customize diagnostics.
@@ -59,10 +64,28 @@ class AsyncServiceHost:
     _what = "the service"
     _thread_name = "ltam-service"
 
-    def __init__(self, host: str, port: int, *, frame_limit: int = DEFAULT_FRAME_LIMIT) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        frame_limit: int = DEFAULT_FRAME_LIMIT,
+        max_connections: Optional[int] = None,
+    ) -> None:
+        if max_connections is not None and (
+            not isinstance(max_connections, int)
+            or isinstance(max_connections, bool)
+            or max_connections < 1
+        ):
+            raise ServiceError(
+                f"max_connections must be a positive integer, got {max_connections!r}"
+            )
         self._host = host
         self._port = port
         self._frame_limit = frame_limit
+        self._max_connections = max_connections
+        self._live_connections = 0
+        self._busy_refused = 0
         self._address: Optional[Tuple[str, int]] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -87,6 +110,11 @@ class AsyncServiceHost:
     def started(self) -> bool:
         """Whether the service is currently running."""
         return self._thread is not None
+
+    @property
+    def busy_refused(self) -> int:
+        """How many connections the cap has turned away since start."""
+        return self._busy_refused
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -175,7 +203,7 @@ class AsyncServiceHost:
         self._stop_event = asyncio.Event()
         self._writers = set()
         server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port, limit=self._frame_limit
+            self._accept_connection, self._host, self._port, limit=self._frame_limit
         )
         self._address = server.sockets[0].getsockname()[:2]
         self._on_bound()
@@ -199,6 +227,41 @@ class AsyncServiceHost:
 
     def _on_bound(self) -> None:
         """Hook: runs on the loop thread right after the listener binds."""
+
+    async def _accept_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Counters run on the one loop thread — no lock needed.
+        if (
+            self._max_connections is not None
+            and self._live_connections >= self._max_connections
+        ):
+            self._busy_refused += 1
+            try:
+                await self._refuse_busy(reader, writer)
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            return
+        self._live_connections += 1
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            self._live_connections -= 1
+
+    async def _refuse_busy(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Hook: tell an over-cap connection it was refused (then closed).
+
+        The default says nothing — the peer just sees an immediate close.
+        Subclasses with a typed error channel send a ``busy`` frame.
+        """
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

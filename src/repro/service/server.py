@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -61,7 +62,8 @@ from repro.storage.movement_db import MovementKind
 from repro.service import wire
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
-from repro.service.errors import ProtocolError, ServiceError
+from repro.service.cache_store import WireFragments, engine_fingerprint
+from repro.service.errors import ProtocolError, ServiceBusyError, ServiceError
 from repro.service.protocol import (
     alert_from_dict,
     alert_to_dict,
@@ -112,32 +114,14 @@ class _RawBinary:
         self.data = data
 
 
-class _Fragments:
-    """One cached decision's pre-serialized wire forms, JSON and binary.
+# The cached-decision wire-fragment container moved to
+# :mod:`repro.service.cache_store` so the persistent tier can store and
+# rehydrate the exact same shape; the server keeps using it under its
+# historical local name.
+_Fragments = WireFragments
 
-    The JSON pair is computed eagerly at prime time (the historical
-    behavior); the binary pair is filled on first use by a binary
-    connection, so JSON-only deployments never pay the pure-Python encode.
-    The fill is idempotent — two racing connections compute identical
-    bytes — so no lock is needed.
-    """
-
-    __slots__ = ("json_full", "json_elided", "bin_full", "bin_elided")
-
-    def __init__(self, encoded: Dict[str, Any]) -> None:
-        self.json_full = _dumps(encoded)
-        self.json_elided = _dumps(elide_decision(encoded))
-        self.bin_full: Optional[bytes] = None
-        self.bin_elided: Optional[bytes] = None
-
-    def binary(self, decision, include_trace: bool) -> bytes:
-        fragment = self.bin_full if include_trace else self.bin_elided
-        if fragment is None:
-            encoded = decision_to_dict(decision)
-            self.bin_full = wire.encode_value(encoded)
-            self.bin_elided = wire.encode_value(elide_decision(encoded))
-            fragment = self.bin_full if include_trace else self.bin_elided
-        return fragment
+#: Structured per-request log (one NDJSON line per op, ``--log-requests``).
+_request_log = logging.getLogger("repro.service.requests")
 
 
 def _dumps(payload: Dict[str, Any]) -> str:
@@ -257,7 +241,7 @@ class _Connection:
     neighbor's records.
     """
 
-    __slots__ = ("ingestors", "wire", "pending_wire", "decoder")
+    __slots__ = ("ingestors", "wire", "pending_wire", "decoder", "cache_outcome")
 
     def __init__(self) -> None:
         self.ingestors: Dict[str, MovementIngestor] = {}
@@ -266,6 +250,10 @@ class _Connection:
         self.wire: str = wire.JSON
         self.pending_wire: Optional[str] = None
         self.decoder: Optional[wire.Decoder] = None
+        #: the current op's cache outcome for the request log ("hit",
+        #: "miss", "3/5", None).  Safe as per-connection state: frames on
+        #: one connection are handled strictly in sequence.
+        self.cache_outcome: Optional[str] = None
 
     def apply_pending_upgrade(self) -> None:
         """Switch framing after the ``hello`` response has been written."""
@@ -323,6 +311,24 @@ class LtamServer(AsyncServiceHost):
         :mod:`repro.service.wire`; ``"json"`` keeps the server NDJSON-only
         (clients negotiate down transparently).  Every connection starts on
         NDJSON either way.
+    max_connections:
+        Per-listener cap on concurrently served connections; an over-cap
+        connection is answered with one typed
+        :class:`~repro.service.errors.ServiceBusyError` frame and closed.
+        ``None`` (default) is uncapped.
+    log_requests:
+        Emit one structured NDJSON log line per op (op, wire format,
+        duration, cache outcome) on the ``repro.service.requests`` logger —
+        the ``repro serve --log-requests`` switch.
+
+    With a cache that carries a persistent tier
+    (:class:`~repro.service.cache_store.TieredDecisionCache`),
+    :meth:`start` runs the **warm-restart pass**: persisted entries are
+    validated against the movement store's current state (and the engine's
+    configuration fingerprint) and the survivors re-admitted, so the first
+    seconds after a restart serve from cache instead of re-running the
+    pipeline per request.  The pass's report is kept on
+    :attr:`warm_report` and surfaced by the ``health`` op.
 
     Run it in-process (``with LtamServer(engine) as server: ...``) for tests
     and embedding, or via ``repro serve`` for a standalone process.
@@ -349,8 +355,10 @@ class LtamServer(AsyncServiceHost):
         partition: Optional[str] = None,
         partition_map=None,
         wire_format: str = wire.BINARY,
+        max_connections: Optional[int] = None,
+        log_requests: bool = False,
     ) -> None:
-        super().__init__(host, port, frame_limit=frame_limit)
+        super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wire.BINARY, wire.JSON):
             raise ServiceError(
                 f"unknown wire format {wire_format!r}; expected 'binary' or 'json'"
@@ -396,6 +404,8 @@ class LtamServer(AsyncServiceHost):
         self._unsubscribe = None
         self._cache_attached = False
         self._connect_cache()
+        self._log_requests = bool(log_requests)
+        self._warm_report: Optional[Dict[str, int]] = None
         self._stats = {"decisions": 0, "cache_hits": 0, "observed": 0, "queries": 0}
         self._stats_lock = threading.Lock()
         self._started_at: Optional[float] = None
@@ -429,6 +439,50 @@ class LtamServer(AsyncServiceHost):
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+
+    def _warm_cache(self) -> None:
+        """Run the persistent tier's warm-restart validation, if it has one.
+
+        Duck-typed on ``warm`` so the plain in-RAM cache (and the coherent
+        wrapper around one) costs nothing.  The engine fingerprint catches
+        configuration drift while the server was down; the movement store
+        validates each surviving row (see
+        :meth:`~repro.service.cache_store.TieredDecisionCache.warm`).
+        """
+        if self._cache is None:
+            return
+        warm = getattr(self._cache, "warm", None)
+        if not callable(warm):
+            return
+        try:
+            fingerprint = engine_fingerprint(self._engine)
+        except Exception:  # noqa: BLE001 - duck-typed engines: validate-only warm
+            fingerprint = None
+        self._warm_report = warm(self._engine.movement_db, fingerprint=fingerprint)
+
+    @property
+    def warm_report(self) -> Optional[Dict[str, int]]:
+        """The last warm-restart pass's counts (``None`` before start, or
+        without a persistent cache tier)."""
+        return self._warm_report
+
+    async def _refuse_busy(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Every connection starts on NDJSON, so the busy frame is always a
+        # JSON error line the client's first read will surface as a typed
+        # ServiceBusyError.
+        connection = _Connection()
+        writer.write(
+            self._encode_error(
+                connection,
+                None,
+                ServiceBusyError(
+                    f"the server is at its connection cap ({self._max_connections}); retry later"
+                ),
+            )
+        )
+        await writer.drain()
 
     def _bump(self, key: str, count: int = 1) -> None:
         # Handlers run on the loop thread and on executor threads; dict
@@ -468,6 +522,7 @@ class LtamServer(AsyncServiceHost):
         if self._thread is not None:
             raise ServiceError("the server was already started")
         self._connect_cache()  # reconnect after a stop() (idempotent)
+        self._warm_cache()
         if self._coherence is not None:
             self._coherence.start()
         try:
@@ -627,6 +682,10 @@ class LtamServer(AsyncServiceHost):
     ) -> bytes:
         binary = connection.wire == wire.BINARY
         message_id: Any = None
+        op: Any = None
+        ok = True
+        connection.cache_outcome = None
+        started = time.perf_counter() if self._log_requests else 0.0
         try:
             if binary:
                 message = connection.decoder.decode(frame)
@@ -656,7 +715,20 @@ class LtamServer(AsyncServiceHost):
                 return envelope.encode("utf-8")
             return encode_frame({"id": message_id, "ok": True, "result": result})
         except Exception as exc:  # noqa: BLE001 - every failure becomes a frame
+            ok = False
             return self._encode_error(connection, message_id, exc)
+        finally:
+            if self._log_requests:
+                _request_log.info(
+                    '{"op":%s,"wire":%s,"ok":%s,"duration_us":%d,"cache":%s}',
+                    _dumps(op if isinstance(op, str) else str(op)),
+                    _dumps(connection.wire),
+                    "true" if ok else "false",
+                    int((time.perf_counter() - started) * 1e6),
+                    _dumps(connection.cache_outcome)
+                    if connection.cache_outcome is not None
+                    else "null",
+                )
 
     # ------------------------------------------------------------------ #
     # Operation handlers
@@ -735,9 +807,11 @@ class LtamServer(AsyncServiceHost):
         if self._cache is not None:
             fragment = self._cached_fragment(raw_request, include_trace, binary)
             if fragment is not None:
+                connection.cache_outcome = "hit"
                 return _RawBinary(fragment) if binary else _RawResult(fragment)
         request = request_from_dict(raw_request)
         if self._cache is not None:
+            connection.cache_outcome = "miss"
             token = self._cache.generation(request.location)
             decision = self._engine.pdp.decide(request)
             fragment = self._prime_cache(request, decision, include_trace, binary, token)
@@ -777,6 +851,7 @@ class LtamServer(AsyncServiceHost):
             fragments.append(fragment)
             if fragment is None:
                 misses.append((len(fragments) - 1, raw_request))
+        connection.cache_outcome = f"{len(fragments) - len(misses)}/{len(fragments)}"
         if misses:
             requests = [request_from_dict(raw) for _, raw in misses]
             # Tokens before the batch evaluation: its memoizing snapshot may
@@ -827,6 +902,7 @@ class LtamServer(AsyncServiceHost):
         if self._cache is not None:
             entry = self._cached_entry(raw_request)
             if entry is not None:
+                connection.cache_outcome = "hit"
                 self._bump("cache_hits")
                 pep.attest(entry.decision, cached_generation=entry.generation)
                 fragments: _Fragments = entry.payload
@@ -839,6 +915,7 @@ class LtamServer(AsyncServiceHost):
                 return self._wrap_enforce(fragment, True, binary)
         request = request_from_dict(raw_request)
         if self._cache is not None:
+            connection.cache_outcome = "miss"
             token = self._cache.generation(request.location)
             decision = pep.enforce(request)
             fragment = self._prime_cache(request, decision, include_trace, binary, token)
@@ -1060,6 +1137,16 @@ class LtamServer(AsyncServiceHost):
         if self._cache is not None:
             for location in locations:
                 self._cache.invalidate_location(location)
+            # Location-wise eviction covers every location the subjects
+            # *moved through*; cached denials can live at locations with no
+            # movement record (and, on a tiered cache, as spilled disk
+            # rows).  The subject-wise purge tombstones those too, so a
+            # migrated subject's decisions cannot survive the reshard in
+            # this partition's cache file.
+            invalidate_subject = getattr(self._cache, "invalidate_subject", None)
+            if callable(invalidate_subject):
+                for subject in subjects:
+                    invalidate_subject(subject)
         return {
             "subjects": subjects,
             "locations": sorted(locations),
@@ -1103,6 +1190,12 @@ class LtamServer(AsyncServiceHost):
             "backend": type(self._engine.movement_db).__name__,
             "stats": self._snapshot_stats(),
             "cache": self._cache.stats if self._cache is not None else None,
+            "cache_warm": self._warm_report,
+            "connections": {
+                "live": self._live_connections,
+                "max": self._max_connections,
+                "busy_refused": self._busy_refused,
+            },
             "coherence": self._coherence.stats if self._coherence is not None else None,
             "ingest": ingest,
             "partition": self._partition_info(),

@@ -341,6 +341,34 @@ class MovementDatabase(ABC):
         """
         return []
 
+    def touch_marks_since(self, position: int) -> Optional[Dict[LocationName, int]]:
+        """Which locations movements past *position* may have invalidated.
+
+        The warm-restart validation primitive of the persistent decision
+        cache (:mod:`repro.service.cache_store`): a cached decision stored
+        while this log stood at position ``p`` is still valid iff no later
+        movement could have changed its location's occupancy-derived inputs.
+        Returns ``{location: mark}`` where ``mark`` is the newest position
+        whose movement may affect that location — an entry survives iff
+        ``marks.get(its_location, 0) <= its_position``.
+
+        The marks are a **conservative superset**: besides each record's own
+        location, every location a since-moving subject *ever* previously
+        touched is marked (an ENTER elsewhere changes the previous
+        location's occupancy, and the previous location is not derivable
+        from single rows).  Over-marking drops valid entries (a cold start
+        for those keys — safe); under-marking would serve stale decisions.
+
+        Returns ``None`` when the store cannot reconstruct the window (no
+        durable log, or the retained log no longer reaches *position*) —
+        callers must treat that as "validate nothing".  The base
+        implementation answers exactly for the trivial case: a position at
+        or past the high water has nothing after it.
+        """
+        if position >= self.high_water:
+            return {}
+        return None
+
     # -- partition handoff ----------------------------------------------- #
     def known_subjects(self) -> List[str]:
         """Every subject with at least one record (live or archived), sorted.
@@ -1437,11 +1465,22 @@ class SqliteMovementDatabase(MovementDatabase):
             if excess <= 0:
                 self._connection.rollback()
                 return 0
+            (pruned_through,) = self._connection.execute(
+                "SELECT MAX(seq) FROM (SELECT seq FROM movements_archive"
+                " ORDER BY seq LIMIT ?)",
+                (excess,),
+            ).fetchone()
             self._connection.execute(
                 "DELETE FROM movements_archive WHERE seq IN"
                 " (SELECT seq FROM movements_archive ORDER BY seq LIMIT ?)",
                 (excess,),
             )
+            # Pruned rows are unreachable history: touch_marks_since can no
+            # longer reconstruct subject trajectories, so it must refuse
+            # (persisted cache entries then cold-start instead of risking
+            # a missed invalidation).
+            if pruned_through is not None:
+                self._set_meta("pruned_through_seq", int(pruned_through))
             self._connection.commit()
             return excess
 
@@ -1528,6 +1567,35 @@ class SqliteMovementDatabase(MovementDatabase):
         finally:
             self.notifying_pickup = False
         return notices
+
+    def touch_marks_since(self, position: int) -> Optional[Dict[LocationName, int]]:
+        """Exact-log marks for the persistent cache's warm-restart pass.
+
+        One SQL pass over the retained log (live + archive): every row past
+        *position* marks its own location, and — because an ENTER elsewhere
+        changes the *previous* location's occupancy — every location its
+        subject ever previously touched.  See the base docstring for the
+        conservative-superset contract.  Refuses (``None``) when the archive
+        was ever pruned: the pruned prefix may hide a since-moving subject's
+        earlier locations.
+        """
+        with self._txn_lock:
+            if position >= self._max_seq():
+                return {}
+            if self._meta("pruned_through_seq"):
+                return None
+            rows = self._connection.execute(
+                "WITH all_rows(seq, subject, location) AS ("
+                " SELECT seq, subject, location FROM movements"
+                " UNION ALL"
+                " SELECT seq, subject, location FROM movements_archive)"
+                " SELECT h.location, MAX(m.seq)"
+                " FROM all_rows m JOIN all_rows h"
+                " ON h.subject = m.subject AND h.seq <= m.seq"
+                " WHERE m.seq > ? GROUP BY h.location",
+                (position,),
+            ).fetchall()
+            return {location: int(mark) for location, mark in rows}
 
     # -- writes --------------------------------------------------------- #
     def _begin_immediate(self) -> None:

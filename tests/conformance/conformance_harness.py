@@ -19,6 +19,13 @@ The topologies:
   binary wire format first; traces are explicitly re-requested
   (``trace=True``), so the transcript must stay byte-identical even though
   the bytes on the socket are a different codec entirely;
+* ``server-persistent-cache`` — one ``LtamServer`` over a SQLite file with
+  the **durable tiered cache** (a SQLite sidecar under the decision cache).
+  After round ``RESTART_AFTER_ROUND`` the whole server is torn down and
+  rebooted against the same movement file *and the same cache file*: the
+  warm pass re-admits the persisted entries that survive validation, and
+  every post-restart decision — whether served from a re-admitted row or
+  re-evaluated — must stay byte-identical to the embedded reference;
 * ``replicas`` — two cached ``LtamServer`` replicas over one shared SQLite
   file, coherent through the invalidation bus: observes and queries go to
   replica A, **decisions are served by replica B**, with the ``sync`` op as
@@ -68,6 +75,7 @@ from repro.service import (
     LtamServer,
     PartitionMap,
     ServiceClient,
+    TieredDecisionCache,
 )
 from repro.service.protocol import (
     decision_to_dict,
@@ -84,6 +92,7 @@ TOPOLOGIES = (
     "sharded",
     "server",
     "server-binary",
+    "server-persistent-cache",
     "replicas",
     "partitioned",
     "partitioned-binary",
@@ -100,6 +109,10 @@ CHECKPOINT_AFTER_ROUND = 1
 #: late enough that the migrating subject carries archived *and* live
 #: records, early enough that a post-migration round still exercises it.
 RESHARD_AFTER_ROUND = 2
+#: The round after which a topology with a ``restart`` hook is torn down
+#: and rebooted (the durable-cache topology reuses its cache file across
+#: the boundary) — same placement rationale as the reshard.
+RESTART_AFTER_ROUND = 2
 
 SUBPROCESS_ENV = "REPRO_CONFORMANCE_SUBPROCESS"
 
@@ -278,6 +291,97 @@ class ServerTopology:
     def stop(self) -> None:
         self._client.close()
         self._server.stop()
+
+
+class PersistentCacheServerTopology(ServerTopology):
+    """One durable-cached server, killed and rebooted mid-trace.
+
+    The engine runs over a SQLite movement file and the decision cache over
+    a :class:`TieredDecisionCache` sidecar.  The ``restart`` hook (called by
+    :func:`run_topology` after round ``RESTART_AFTER_ROUND``) stops the
+    server, rebuilds the engine from the movement file and boots a fresh
+    server against the *same* cache file — the warm pass must re-admit only
+    still-valid rows, and the transcript must not notice the reboot.
+
+    The monitor's alert history and open occupancy sessions are engine-local
+    (the movement file does not persist them), so the restart hands them off
+    exactly the way a fabric reshard hands them to a subject's new owner
+    (``alerts.adopt`` / ``monitor.adopt_session``) — the cache file is the
+    only state the *cache* layer carries across the boundary.
+    """
+
+    name = "server-persistent-cache"
+
+    def __init__(self) -> None:
+        super().__init__(wire="json")
+        self.name = "server-persistent-cache"
+
+    def start(self, workload: Workload, tmp_path) -> None:
+        self._db_path = str(tmp_path / "persistent.db")
+        self._cache_path = str(tmp_path / "persistent.cache.db")
+        self._workload = workload
+        engine = (
+            Ltam.builder()
+            .hierarchy(workload.hierarchy)
+            .backend("sqlite", self._db_path)
+            .build()
+        )
+        engine.grant_all(workload.authorizations)
+        self._boot(engine)
+
+    def _boot(self, engine) -> None:
+        self._engine = engine
+        self._cache = TieredDecisionCache(self._cache_path)
+        self._server = LtamServer(engine, cache=self._cache)
+        self._server.start()
+        self._client = ServiceClient(*self._server.address, timeout=60.0)
+
+    def restart(self, workload: Workload) -> None:
+        old = self._engine
+        sink = getattr(old, "alerts", None)
+        alerts = list(sink.alerts) if sink is not None else []
+        monitor = getattr(old, "monitor", None)
+        sessions = (
+            monitor.export_sessions(workload.subjects) if monitor is not None else []
+        )
+        self._client.close()
+        self._server.stop()
+        self._cache.close()
+        engine = (
+            Ltam.builder()
+            .hierarchy(workload.hierarchy)
+            .backend("sqlite", self._db_path)
+            .build()
+        )
+        new_sink = getattr(engine, "alerts", None)
+        if alerts and new_sink is not None:
+            new_sink.adopt(alerts)
+        monitor = getattr(engine, "monitor", None)
+        if monitor is not None:
+            for subject, location, entered_at, auth_id, overstay_flagged in sessions:
+                authorization = None
+                if auth_id is not None:
+                    try:
+                        authorization = engine.authorization_db.get(auth_id)
+                    except Exception:  # noqa: BLE001 - degraded stay, not a crash
+                        authorization = None
+                monitor.adopt_session(
+                    str(subject),
+                    str(location),
+                    int(entered_at),
+                    authorization,
+                    overstay_flagged=bool(overstay_flagged),
+                )
+        self._boot(engine)
+        report = self._server.warm_report
+        assert report is not None, "restart did not run the warm pass"
+        assert report["examined"] > 0, (
+            f"cache file was not reused across the restart: {report}"
+        )
+
+    def stop(self) -> None:
+        super().stop()
+        self._cache.close()
 
 
 class ReplicaTopology:
@@ -598,6 +702,8 @@ def make_topology(name: str):
         return ServerTopology()
     if name == "server-binary":
         return ServerTopology(wire="binary")
+    if name == "server-persistent-cache":
+        return PersistentCacheServerTopology()
     if name == "replicas":
         return SubprocessReplicaTopology() if subprocess_replicas() else ReplicaTopology()
     if name in ("partitioned", "partitioned-binary"):
@@ -631,6 +737,13 @@ def run_topology(name: str, workload: Workload, tmp_path) -> Tuple[Transcript, f
                 migrate = getattr(topology, "migrate", None)
                 if migrate is not None:
                     migrate(workload)
+            if index == RESTART_AFTER_ROUND:
+                # Mid-trace kill + reboot on topologies that support it (the
+                # durable-cache server); the transcript must not notice that
+                # either — warmed entries included.
+                restart = getattr(topology, "restart", None)
+                if restart is not None:
+                    restart(workload)
     finally:
         topology.stop()
     return transcript, time.perf_counter() - started

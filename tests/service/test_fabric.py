@@ -375,6 +375,76 @@ class TestReshard:
             for server in servers.values():
                 server.stop()
 
+    def test_per_partition_cache_sidecars_survive_a_reshard(self, tmp_path):
+        """Each partition's durable cache file stays *valid* across a
+        migration: the source's disk rows for the moved subject are
+        tombstoned by the handoff, so a later warm restart of that
+        partition can never resurrect a migrated subject's decisions."""
+        from repro.service import TieredDecisionCache, engine_fingerprint
+
+        hierarchy = _hierarchy()
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=47)
+        subjects = generate_subjects(12)
+        authorizations = generator.authorizations(subjects)
+        events = generator.movement_events(subjects, 300)
+        servers, caches, addresses = {}, {}, {}
+        for name in ("east", "west"):
+            cache = TieredDecisionCache(str(tmp_path / f"{name}.cache.db"))
+            server = LtamServer(
+                _fresh_engine(hierarchy, authorizations), cache=cache, partition=name
+            )
+            server.start()
+            servers[name], caches[name] = server, cache
+            addresses[name] = "%s:%d" % server.address
+        router = FabricRouter(PartitionMap(addresses))
+        try:
+            router.observe_batch(events, mode="monitor", wait=True)
+            hot = subjects[0]
+            old_map = router.partition_map
+            source = old_map.owner(hot)
+            target = next(n for n in old_map.names if n != source)
+            locations = sorted(hierarchy.primitive_names)[:4]
+            for time in (500, 600):
+                for location in locations:
+                    router.decide((time, hot, location))
+
+            def _hot_rows(cache):
+                return [row for row in cache.sidecar.rows() if row[0] == hot]
+
+            assert _hot_rows(caches[source]), "priming persisted nothing"
+            router.reshard(old_map.with_assignment(hot, target))
+            assert not _hot_rows(caches[source]), (
+                "the handoff left the migrated subject's rows in the "
+                "source partition's cache file"
+            )
+
+            # Simulate a source-partition process restart over the same
+            # sidecar: whatever warms back, none of it is the moved subject.
+            engine = servers[source].engine
+            caches[source].close()
+            reopened = TieredDecisionCache(str(tmp_path / f"{source}.cache.db"))
+            try:
+                report = reopened.warm(
+                    engine.movement_db, fingerprint=engine_fingerprint(engine)
+                )
+                assert report["examined"] == (
+                    report["readmitted"] + report["dropped"] + report["retained_on_disk"]
+                )
+                assert not _hot_rows(reopened)
+            finally:
+                reopened.close()
+            caches[source] = None
+
+            # The destination keeps answering for the moved subject.
+            routed = router.decide((700, hot, locations[0]))
+            assert routed.request.subject == hot
+        finally:
+            router.close()
+            for name, server in servers.items():
+                server.stop()
+                if caches[name] is not None:
+                    caches[name].close()
+
     def test_reshard_rejects_stale_maps(self):
         _, _, _, servers, router = self._build()
         try:

@@ -1,0 +1,163 @@
+"""Service hardening: per-listener connection caps and request logging.
+
+A capped listener refuses connection N+1 with a **typed** busy error frame
+(never a hang, never a reset the client misreads as "out of sync") on the
+server, the router and the invalidation bus alike; ``log_requests`` emits
+one structured NDJSON line per op on the ``repro.service.requests`` logger.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.api import Ltam, grant
+from repro.locations.multilevel import LocationHierarchy
+from repro.service import (
+    BusLink,
+    DecisionCache,
+    FabricRouter,
+    InvalidationBus,
+    LtamServer,
+    PartitionMap,
+    RouterServer,
+    ServiceBusyError,
+    ServiceClient,
+)
+from repro.simulation.buildings import grid_building
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _engine():
+    engine = Ltam(LocationHierarchy(grid_building("B", 2, 2)))
+    engine.grant(grant("alice").at("B.R0C0").during(0, 10_000).entries(500))
+    return engine
+
+
+class TestServerConnectionCap:
+    def test_over_cap_connection_gets_a_typed_busy_error(self):
+        with LtamServer(_engine(), max_connections=1) as server:
+            with ServiceClient(*server.address) as holder:
+                assert holder.health()["status"] == "ok"  # the cap is taken
+                refused = ServiceClient(*server.address)
+                with pytest.raises(ServiceBusyError):
+                    refused.health()
+                refused.close()
+                # The held connection keeps working — refusal is per-accept.
+                assert holder.health()["connections"]["busy_refused"] == 1
+            # The slot is freed on disconnect: a new client is admitted.
+            assert wait_until(
+                lambda: _probe_admitted(server.address)
+            ), "closing the held connection did not free the slot"
+
+    def test_uncapped_server_never_refuses(self):
+        with LtamServer(_engine()) as server:
+            clients = [ServiceClient(*server.address) for _ in range(4)]
+            try:
+                for client in clients:
+                    assert client.health()["status"] == "ok"
+                assert clients[0].health()["connections"]["max"] is None
+                assert clients[0].health()["connections"]["busy_refused"] == 0
+            finally:
+                for client in clients:
+                    client.close()
+
+
+def _probe_admitted(address) -> bool:
+    try:
+        with ServiceClient(*address) as probe:
+            return probe.health()["status"] == "ok"
+    except ServiceBusyError:
+        return False
+
+
+class TestRouterConnectionCap:
+    def test_router_refuses_over_cap(self):
+        with LtamServer(_engine(), partition="east") as east:
+            partition_map = PartitionMap({"east": "%s:%d" % east.address})
+            router = FabricRouter(partition_map)
+            server = RouterServer(router, max_connections=1)
+            server.start()
+            try:
+                with ServiceClient(*server.address) as holder:
+                    assert holder.health()["status"] in ("ok", "degraded")
+                    refused = ServiceClient(*server.address)
+                    with pytest.raises(ServiceBusyError):
+                        refused.health()
+                    refused.close()
+            finally:
+                server.stop()
+                router.close()
+
+
+class TestBusConnectionCap:
+    def test_bus_refuses_over_cap_and_the_link_counts_it(self):
+        with InvalidationBus(max_connections=1) as bus:
+            held = BusLink(
+                bus.address, replica_id="first", on_events=lambda *a: None,
+                on_resync=lambda: None, reconnect_delay=0.05,
+            )
+            try:
+                assert wait_until(lambda: held.connected)
+                turned_away = BusLink(
+                    bus.address, replica_id="second", on_events=lambda *a: None,
+                    on_resync=lambda: None, reconnect_delay=0.05,
+                )
+                try:
+                    assert wait_until(
+                        lambda: turned_away.stats["busy_refusals"] >= 1
+                    ), "the refused link never saw the busy frame"
+                    assert not turned_away.connected
+                finally:
+                    turned_away.close()
+            finally:
+                held.close()
+
+
+class TestRequestLogging:
+    def test_one_structured_line_per_op(self, caplog):
+        with LtamServer(
+            _engine(), cache=DecisionCache(), log_requests=True
+        ) as server:
+            with caplog.at_level(logging.INFO, logger="repro.service.requests"):
+                with ServiceClient(*server.address) as client:
+                    client.decide((5, "alice", "B.R0C0"))
+                    client.decide((5, "alice", "B.R0C0"))  # now a cache hit
+                    client.health()
+        lines = [json.loads(r.getMessage()) for r in caplog.records]
+        decides = [line for line in lines if line["op"] == "decide"]
+        assert [d["cache"] for d in decides] == ["miss", "hit"]
+        assert all(d["ok"] and d["duration_us"] >= 0 for d in decides)
+        healths = [line for line in lines if line["op"] == "health"]
+        assert healths and healths[0]["cache"] is None
+
+    def test_batch_ops_log_the_hit_ratio(self, caplog):
+        with LtamServer(
+            _engine(), cache=DecisionCache(), log_requests=True
+        ) as server:
+            with caplog.at_level(logging.INFO, logger="repro.service.requests"):
+                with ServiceClient(*server.address) as client:
+                    requests = [(5, "alice", "B.R0C0"), (5, "alice", "B.R0C1")]
+                    client.decide_many(requests)
+                    client.decide_many(requests)
+        lines = [json.loads(r.getMessage()) for r in caplog.records]
+        batches = [line["cache"] for line in lines if line["op"] == "decide_many"]
+        assert batches == ["0/2", "2/2"]
+
+    def test_quiet_by_default(self, caplog):
+        with LtamServer(_engine()) as server:
+            with caplog.at_level(logging.INFO, logger="repro.service.requests"):
+                with ServiceClient(*server.address) as client:
+                    client.health()
+        assert not caplog.records

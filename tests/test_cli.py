@@ -401,3 +401,110 @@ class TestRoute:
             process.wait(timeout=10)
             for server in servers:
                 server.stop()
+
+
+def _seed_sidecar(path, subject="Alice", location="CAIS", time=15):
+    from repro.api.decision import Decision
+    from repro.core.requests import AccessRequest, DenialReason
+    from repro.service.cache_store import TieredDecisionCache, WireFragments
+    from repro.service.protocol import decision_to_dict
+
+    cache = TieredDecisionCache(path)
+    try:
+        decision = Decision.denied_by(
+            AccessRequest(time, subject, location), DenialReason.NO_AUTHORIZATION
+        )
+        cache.put(
+            subject, location, time, decision,
+            payload=WireFragments(decision_to_dict(decision)),
+        )
+    finally:
+        cache.close()
+
+
+class TestCacheCommand:
+    def test_stats_reports_the_sidecar(self, tmp_path):
+        path = str(tmp_path / "decisions.cache.db")
+        _seed_sidecar(path)
+        code, output = run_cli("cache", "stats", "--path", path)
+        assert code == 0
+        assert "1 persisted" in output
+        assert "bucket=1" in output
+        assert "(never warmed)" in output
+
+    def test_purge_drops_every_row(self, tmp_path):
+        path = str(tmp_path / "decisions.cache.db")
+        _seed_sidecar(path)
+        code, output = run_cli("cache", "purge", "--path", path)
+        assert code == 0
+        assert "purged 1" in output
+        code, output = run_cli("cache", "stats", "--path", path)
+        assert code == 0
+        assert "0 persisted" in output
+
+    def test_missing_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "nope.cache.db"
+        code, output = run_cli("cache", "stats", "--path", str(path))
+        assert code == 1
+        assert "no cache sidecar" in output
+        # The typo'd path must not be silently created as an empty sidecar.
+        assert not path.exists()
+
+    def test_foreign_sqlite_file_is_rejected(self, tmp_path):
+        from repro.storage.movement_db import SqliteMovementDatabase
+
+        path = str(tmp_path / "movements.db")
+        SqliteMovementDatabase(path).close()
+        code, output = run_cli("cache", "stats", "--path", path)
+        assert code == 1
+        assert "is not a cache sidecar" in output
+
+    def test_warm_validates_in_place_and_stamps_the_fingerprint(
+        self, deployment, tmp_path
+    ):
+        layout_path, auths_path = deployment
+        path = str(tmp_path / "decisions.cache.db")
+        _seed_sidecar(path)
+        code, output = run_cli(
+            "cache", "warm", "--path", path,
+            "--layout", layout_path, "--auths", auths_path,
+        )
+        assert code == 0
+        assert "1 examined, 1 valid, 0 dropped" in output
+        code, output = run_cli("cache", "stats", "--path", path)
+        assert code == 0
+        assert "(never warmed)" not in output
+
+    def test_serve_cache_parser_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--layout", "campus.json",
+                "--cache-path", "decisions.cache.db",
+                "--cache-spill", "50000",
+                "--max-connections", "64",
+                "--log-requests",
+            ]
+        )
+        assert args.cache_path == "decisions.cache.db"
+        assert args.cache_spill == 50000
+        assert args.max_connections == 64 and args.log_requests
+
+    def test_cache_path_conflicts_with_no_cache(self, deployment, tmp_path):
+        layout_path, _ = deployment
+        code, output = run_cli(
+            "serve", "--layout", layout_path, "--no-cache",
+            "--cache-path", str(tmp_path / "d.db"), "--port", "0",
+        )
+        assert code == 1
+        assert "mutually exclusive" in output
+
+    def test_cache_spill_needs_cache_path(self, deployment):
+        layout_path, _ = deployment
+        code, output = run_cli(
+            "serve", "--layout", layout_path, "--cache-spill", "10", "--port", "0"
+        )
+        assert code == 1
+        assert "--cache-spill needs --cache-path" in output
