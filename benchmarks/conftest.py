@@ -20,10 +20,16 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
 import pytest
+
+#: Version of the BENCH_*.json layout.  Bump when the dump's shape changes
+#: (new top-level keys, renamed fields) so downstream diff tooling can tell
+#: a format change from a measurement change.
+BENCH_SCHEMA_VERSION = 2
 
 #: module slug -> {"tables": [...], "metrics": {...}}, in execution order.
 _RESULTS: "OrderedDict[str, dict]" = OrderedDict()
@@ -97,9 +103,31 @@ def bench_json(request):
     return _record
 
 
+def _git_describe() -> str:
+    """The commit the numbers were measured at, or ``"unknown"``.
+
+    ``--always`` falls back to a bare abbreviated hash when no tag exists;
+    ``--dirty`` flags measurements taken on uncommitted changes.
+    """
+    try:
+        return subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def pytest_sessionfinish(session, exitstatus):
     directory = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    revision = _git_describe()
     for slug, payload in _RESULTS.items():
+        payload["schema_version"] = BENCH_SCHEMA_VERSION
+        payload["revision"] = revision
         path = os.path.join(directory, f"BENCH_{slug}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

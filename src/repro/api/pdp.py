@@ -37,6 +37,34 @@ from repro.api.stages import (
 __all__ = ["PolicyInformationPoint", "DecisionPoint"]
 
 
+# The service layer's telemetry is bound lazily at first use: the API layer
+# must not import :mod:`repro.service` at module time (the service package
+# imports the API back), and an embedded engine that never traces pays one
+# cached-global check per evaluation, nothing more.
+_trace_span = None
+_trace_event = None
+
+
+def _bind_telemetry() -> None:
+    global _trace_span, _trace_event
+    from repro.service.telemetry import trace_event, trace_span
+
+    _trace_span = trace_span
+    _trace_event = trace_event
+
+
+def _pipeline_span(name: str, **meta):
+    if _trace_span is None:
+        _bind_telemetry()
+    return _trace_span(name, **meta)
+
+
+def _pipeline_event(name: str, **meta) -> None:
+    if _trace_event is None:
+        _bind_telemetry()
+    _trace_event(name, **meta)
+
+
 class PolicyInformationPoint:
     """The attribute services the decision stages consult (XACML's PIP).
 
@@ -375,9 +403,11 @@ class DecisionPoint:
         try:
             active = info if info is not None else self._info
             if trace or not self._lean_shape:
-                decision = self._evaluate(request, active)
+                with _pipeline_span("pipeline.evaluate"):
+                    decision = self._evaluate(request, active)
             else:
-                decision = self._evaluate_lean(request, active)
+                with _pipeline_span("pipeline.lean"):
+                    decision = self._evaluate_lean(request, active)
             if cache is not None and info is None:
                 self._store_cached(cache, request, decision, token)
         finally:
@@ -405,6 +435,7 @@ class DecisionPoint:
         for stage in self._stages:
             result = stage.evaluate(context)
             trace.append(result)
+            _pipeline_event("pipeline.stage", stage=result.stage, outcome=result.outcome.value)
             if result.outcome is StageOutcome.GRANT:
                 return Decision.granted_by(
                     request,
@@ -500,8 +531,9 @@ class DecisionPoint:
                 index: self._generation_token(cache, requests[index]) for index in misses
             }
             info = self._info.cached()
-            for index in misses:
-                decision = self._evaluate(requests[index], info)
-                self._store_cached(cache, requests[index], decision, tokens[index])
-                decisions[index] = decision
+            with _pipeline_span("pipeline.evaluate_many", misses=len(misses)):
+                for index in misses:
+                    decision = self._evaluate(requests[index], info)
+                    self._store_cached(cache, requests[index], decision, tokens[index])
+                    decisions[index] = decision
         return decisions  # type: ignore[return-value]

@@ -33,7 +33,8 @@ import argparse
 import logging
 import os
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import Ltam
 from repro.core.serialization import dumps_authorizations, load_authorizations
@@ -47,6 +48,7 @@ from repro.paper.fixtures import section5_authorizations
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, InvalidationBus
 from repro.service.cache import DecisionCache
 from repro.service.cache_store import CacheStore, TieredDecisionCache, engine_fingerprint
+from repro.service.client import ServiceClient
 from repro.service.fabric import (
     DEFAULT_ROUTER_PORT,
     FabricRouter,
@@ -54,6 +56,7 @@ from repro.service.fabric import (
     RouterServer,
 )
 from repro.service.server import DEFAULT_PORT, LtamServer
+from repro.service.telemetry import MetricsExporter
 from repro.storage.ingest import CheckpointPolicy
 from repro.storage.movement_db import SqliteMovementDatabase
 
@@ -171,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "log one structured NDJSON line per op (op, wire, duration, cache "
             "outcome) to stderr"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="N",
+        help=(
+            "serve Prometheus text exposition (and /metrics.json) over HTTP "
+            "on port N (0 picks a free port)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "sample slow requests: any op taking MS milliseconds or longer "
+            "gets its full span tree logged to the request log (enable "
+            "--log-requests or attach a handler to repro.service.requests)"
         ),
     )
     serve.add_argument(
@@ -308,6 +330,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the map and per-partition health instead of serving, then exit",
     )
     route.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="N",
+        help=(
+            "serve the router's Prometheus text exposition (and /metrics.json) "
+            "over HTTP on port N (0 picks a free port)"
+        ),
+    )
+    route.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "sample slow requests at the router: any op taking MS milliseconds "
+            "or longer gets its span tree logged to repro.service.requests"
+        ),
+    )
+    route.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="attach a stderr handler to the repro.service.requests log",
+    )
+    route.add_argument(
         "--wire",
         choices=("binary", "json"),
         default="binary",
@@ -317,6 +362,34 @@ def build_parser() -> argparse.ArgumentParser:
             "'json' keeps everything NDJSON (JSON-only partitions fall back "
             "transparently either way)"
         ),
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="poll the fabric's metrics op and render a live per-partition table",
+    )
+    top_target = top.add_mutually_exclusive_group(required=True)
+    top_target.add_argument(
+        "--map",
+        dest="map_path",
+        metavar="FILE",
+        help="partition-map JSON file: poll every partition directly",
+    )
+    top_target.add_argument(
+        "--host",
+        metavar="HOST:PORT",
+        help="poll one server or router at HOST:PORT instead of a map",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one table and exit (for scripts and CI)",
     )
 
     return parser
@@ -459,8 +532,9 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             )
             return 1
 
-    if args.log_requests:
-        # One NDJSON line per op on stderr; stdout keeps the banner contract.
+    if args.log_requests or args.slow_ms is not None:
+        # One NDJSON line per op (and per slow-request span dump) on stderr;
+        # stdout keeps the banner contract.
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter("%(message)s"))
         request_log = logging.getLogger("repro.service.requests")
@@ -481,6 +555,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         wire_format=args.wire,
         max_connections=args.max_connections,
         log_requests=args.log_requests,
+        slow_request_ms=args.slow_ms,
     )
     server.start()
     host, port = server.address
@@ -494,6 +569,13 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         f"wire={args.wire}{partition_note})",
         file=out,
     )
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(server.metrics, host=args.host, port=args.metrics_port)
+        metrics_port = exporter.start()
+        # Same parseable shape as the serving line: supervisors and the CI
+        # smoke read the bound port from it.
+        print(f"metrics on {args.host}:{metrics_port}", file=out)
     if server.warm_report is not None:
         report = server.warm_report
         print(
@@ -520,6 +602,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
+        if exporter is not None:
+            exporter.stop()
         server.stop()
     return 0
 
@@ -600,12 +684,19 @@ def _command_route(args: argparse.Namespace, out) -> int:
                 file=out,
             )
         return 0 if report["status"] == "ok" else 2
+    if args.log_requests or args.slow_ms is not None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        request_log = logging.getLogger("repro.service.requests")
+        request_log.addHandler(handler)
+        request_log.setLevel(logging.INFO)
     server = RouterServer(
         router,
         host=args.host,
         port=args.port,
         wire_format=args.wire,
         max_connections=args.max_connections,
+        slow_request_ms=args.slow_ms,
     )
     server.start()
     host, port = server.address
@@ -616,6 +707,11 @@ def _command_route(args: argparse.Namespace, out) -> int:
         f"partitions={','.join(partition_map.names)})",
         file=out,
     )
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(router.metrics, host=args.host, port=args.metrics_port)
+        metrics_port = exporter.start()
+        print(f"metrics on {args.host}:{metrics_port}", file=out)
     try:
         out.flush()
     except (AttributeError, OSError):
@@ -625,9 +721,150 @@ def _command_route(args: argparse.Namespace, out) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
+        if exporter is not None:
+            exporter.stop()
         server.stop()
         router.close()
     return 0
+
+
+def _metric_gauge(doc: Dict[str, Any], name: str) -> Optional[float]:
+    for item in doc.get("gauges", ()):
+        if item.get("name") == name:
+            return item.get("value")
+    return None
+
+
+def _metric_histogram(doc: Dict[str, Any], name: str, **labels: str) -> Optional[Dict[str, Any]]:
+    for item in doc.get("histograms", ()):
+        if item.get("name") == name and all(
+            item.get("labels", {}).get(key) == value for key, value in labels.items()
+        ):
+            return item
+    return None
+
+
+def _ops_served(doc: Dict[str, Any]) -> int:
+    # Every dispatched op lands in its latency histogram (server and router
+    # alike), so the histogram counts are the one ops total both roles share.
+    return sum(
+        item.get("count", 0)
+        for item in doc.get("histograms", ())
+        if item.get("name") == "repro_op_latency_seconds"
+    )
+
+
+def _top_rows(doc: Dict[str, Any]) -> List[Tuple[str, Dict[str, Any]]]:
+    """Normalize a metrics response into named rows.
+
+    A router's response nests per-partition documents under ``partitions``
+    (plus its own registry under ``router``); a single server's response is
+    one registry document.
+    """
+    if "partitions" in doc and "router" in doc:
+        rows = [("router", doc["router"])]
+        rows.extend(sorted(doc["partitions"].items()))
+        return rows
+    identity = doc.get("identity") or {}
+    name = identity.get("partition") or identity.get("role") or "server"
+    return [(str(name), doc)]
+
+
+def _format_top_row(name: str, doc: Dict[str, Any], rate: Optional[float]) -> str:
+    if "counters" not in doc:
+        return f"  {name:<12} unreachable ({doc.get('error', 'no metrics')})"
+
+    def fmt(value, spec, blank="-"):
+        return format(value, spec) if value is not None else blank
+
+    # Prefer the single-decide histogram; a batch-dominated fleet may only
+    # ever see decide_many, whose p99 is the next-best tail signal.
+    p99_ms = None
+    for op in ("decide", "decide_many"):
+        histogram = _metric_histogram(doc, "repro_op_latency_seconds", op=op)
+        if histogram is not None and histogram.get("count"):
+            p99_ms = histogram["p99"] * 1000.0
+            break
+    hits = _metric_gauge(doc, "repro_cache_hits")
+    misses = _metric_gauge(doc, "repro_cache_misses")
+    looked_up = (hits or 0) + (misses or 0)
+    hit_ratio = (hits or 0) / looked_up * 100.0 if hits is not None and looked_up else None
+    lag = _metric_gauge(doc, "repro_bus_lag")
+    queue = _metric_gauge(doc, "repro_ingest_queue_depth")
+    live = _metric_gauge(doc, "repro_connections_live")
+    cap = _metric_gauge(doc, "repro_connections_max")
+    conns = "-"
+    if live is not None:
+        conns = f"{int(live)}/{int(cap) if cap else '∞'}"
+    return (
+        f"  {name:<12} {fmt(rate, '>9.1f'):>9} {fmt(p99_ms, '>8.2f'):>8} "
+        f"{fmt(hit_ratio, '>6.1f'):>6} "
+        f"{fmt(int(lag) if lag is not None else None, '>7d'):>7} "
+        f"{fmt(int(queue) if queue is not None else None, '>7d'):>7} {conns:>9}"
+    )
+
+
+def _command_top(args: argparse.Namespace, out) -> int:
+    if args.map_path is not None:
+        partition_map = PartitionMap.load(args.map_path)
+        router = FabricRouter(partition_map, pool_size=1)
+
+        def poll() -> Dict[str, Any]:
+            return router.metrics_raw()
+
+        def close() -> None:
+            router.close()
+
+    else:
+        host, _, port = args.host.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: cannot parse {args.host!r} as HOST:PORT", file=out)
+            return 1
+        client = ServiceClient(host, int(port), wire="binary")
+
+        def poll() -> Dict[str, Any]:
+            return client.call("metrics")
+
+        def close() -> None:
+            client.close()
+
+    header = (
+        f"  {'partition':<12} {'ops/s':>9} {'p99(ms)':>8} {'hit%':>6} "
+        f"{'buslag':>7} {'ingstq':>7} {'conns':>9}"
+    )
+    previous: Dict[str, Tuple[float, int]] = {}
+    try:
+        while True:
+            started = time.monotonic()
+            try:
+                doc = poll()
+            except LTAMError as exc:
+                print(f"error: {exc}", file=out)
+                return 1
+            rows = _top_rows(doc)
+            if not args.once and out is sys.stdout and sys.stdout.isatty():
+                print("\x1b[H\x1b[2J", end="", file=out)
+            print(header, file=out)
+            for name, row_doc in rows:
+                rate = None
+                if "counters" in row_doc:
+                    total = _ops_served(row_doc)
+                    seen = previous.get(name)
+                    if seen is not None and started > seen[0]:
+                        rate = max(0.0, (total - seen[1]) / (started - seen[0]))
+                    previous[name] = (started, total)
+                print(_format_top_row(name, row_doc, rate), file=out)
+            try:
+                out.flush()
+            except (AttributeError, OSError):
+                pass
+            if args.once:
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        close()
 
 
 def _command_example(args: argparse.Namespace, out) -> int:
@@ -649,6 +886,7 @@ _HANDLERS = {
     "serve": _command_serve,
     "cache": _command_cache,
     "route": _command_route,
+    "top": _command_top,
 }
 
 

@@ -161,6 +161,42 @@ holds the two pieces:
   speaking the ordinary protocol, so an unmodified
   :class:`~repro.service.client.ServiceClient` sees one logical server.
 
+Observability (telemetry)
+-------------------------
+
+:mod:`repro.service.telemetry` is the stdlib-only observability fabric the
+whole package shares — a metrics registry plus a span model:
+
+* **Metrics** are always on and cheap enough for the lean decide path:
+  every server and router owns a :class:`~repro.service.telemetry.
+  MetricsRegistry` whose hot-path objects (per-op latency
+  :class:`~repro.service.telemetry.Histogram`\\ s, the decide/cache
+  counters) are resolved once at construction — an ``observe()`` is a
+  bisect over a precomputed boundary tuple plus three adds under the
+  metric's own lock, no allocation.  Everything else (cache sizes, bus
+  lag, ingest queue depth, connection counts) is a callback
+  :class:`~repro.service.telemetry.Gauge` read at scrape time, so the hot
+  paths pay nothing for it.  Exposed three ways: the ``metrics`` wire op
+  (structured JSON), ``--metrics-port`` (Prometheus text exposition over a
+  stdlib HTTP listener), and ``repro top`` (a live per-partition table
+  polled over the ``metrics`` op).
+* **Spans** have a zero-overhead-when-disabled contract: tracing activates
+  per-request only when the request carries a ``tctx`` envelope key (a
+  ``[trace_id, parent_span_id]`` pair, ignored by old peers on both wire
+  formats) or when the process samples slow requests (``--slow-ms``).
+  With no active trace, every instrumentation point —
+  :func:`~repro.service.telemetry.trace_span` around router dispatch,
+  server op dispatch, pipeline evaluation, store pickup/checkpoint;
+  :func:`~repro.service.telemetry.trace_event` at cache hit/miss/flight,
+  ingest group-commit, bus publish/apply — is one thread-local read
+  returning a shared no-op.  With a trace active, spans parent-link
+  automatically through a thread-local stack (activation survives the
+  executor hop), downstream processes **echo** their spans in the response
+  envelope, and the caller grafts them under its calling span: one
+  connected tree per request across router and partitions.  Requests
+  slower than the threshold get that tree dumped to the
+  ``repro.service.requests`` logger.
+
 Run a server with ``repro serve --layout campus.json --auths auths.json``
 (hosting a bus with ``--bus PORT``, joining one with ``--peers HOST:PORT``)
 or in-process::
@@ -201,6 +237,14 @@ from repro.service.fabric import (
     RouterServer,
 )
 from repro.service.server import DEFAULT_PORT, LtamServer
+from repro.service.telemetry import (
+    MetricsExporter,
+    MetricsRegistry,
+    Span,
+    Trace,
+    trace_event,
+    trace_span,
+)
 
 __all__ = [
     "CachedDecision",
@@ -220,6 +264,12 @@ __all__ = [
     "PartitionMap",
     "FabricRouter",
     "RouterServer",
+    "MetricsRegistry",
+    "MetricsExporter",
+    "Trace",
+    "Span",
+    "trace_span",
+    "trace_event",
     "DEFAULT_PORT",
     "DEFAULT_BUS_PORT",
     "DEFAULT_ROUTER_PORT",

@@ -71,6 +71,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.storage.movement_db import MovementNotice
 from repro.service.errors import ProtocolError, ServiceError
 from repro.service.runtime import AsyncServiceHost
+from repro.service.telemetry import trace_event
 
 __all__ = [
     "DEFAULT_BUS_PORT",
@@ -461,6 +462,10 @@ class BusLink:
         events = list(events)
         if not events:
             return True
+        # No-op unless the publisher runs under a traced request (e.g. an
+        # observe whose mutation notices fan out) — then the publish shows
+        # up in that request's span tree.
+        trace_event("bus.publish", events=len(events))
         frame = _encode({"op": "publish", "events": events})
         with self._state:
             if (
@@ -974,6 +979,9 @@ class ReplicaCoherence:
     def _handle_events(self, origin: Optional[str], events: List[Dict[str, Any]]) -> None:
         if origin == self._replica_id:
             return  # our own publication: already applied locally
+        # The reader thread carries no trace, so this is a no-op today; it
+        # marks the apply site for any future traced apply path.
+        trace_event("bus.apply", events=len(events), origin=origin)
         with self._stats_lock:
             self._stats["applied_events"] += len(events)
         saw_movements = False

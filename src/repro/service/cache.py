@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.service.errors import ServiceError
+from repro.service.telemetry import trace_event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.decision import Decision
@@ -151,9 +152,20 @@ class DecisionCache:
         return (subject, location, action, time // self._bucket)
 
     def get(
-        self, subject: str, location: str, time: int, *, action: str = DEFAULT_ACTION
+        self,
+        subject: str,
+        location: str,
+        time: int,
+        *,
+        action: str = DEFAULT_ACTION,
+        quiet: bool = False,
     ) -> Optional[CachedDecision]:
-        """The cached entry for the key, or ``None`` (counts hit/miss)."""
+        """The cached entry for the key, or ``None`` (counts hit/miss).
+
+        ``quiet`` skips the per-lookup trace event — batch callers doing
+        thousands of lookups per request record one aggregate event
+        instead of flooding the span tree (and the hot path) per item.
+        """
         key = self._key(subject, location, time, action)
         with self._lock:
             entry = self._entries.get(key)
@@ -164,10 +176,21 @@ class DecisionCache:
                 entry = self._promote_locked(key)
                 if entry is None:
                     self._misses += 1
-                    return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        # Trace events outside the lock: a thread-local read when no trace
+        # is active, never contention on the cache's hot lock.
+        if entry is None:
+            if not quiet:
+                trace_event("cache.miss", subject=subject, location=location)
+            return None
+        if not quiet:
+            trace_event("cache.hit", subject=subject, location=location)
+        return entry
 
     def generation(self, location: str) -> Tuple[int, int]:
         """An invalidation token for *location*, to be captured **before**
@@ -411,9 +434,11 @@ class DecisionCache:
                     with self._lock:
                         self._flights.pop(key, None)
 
+                trace_event("cache.flight", role="leader", subject=subject, location=location)
                 return Flight(True, event, release)
             self._flights_joined += 1
-            return Flight(False, event, lambda: None)
+        trace_event("cache.flight", role="follower", subject=subject, location=location)
+        return Flight(False, event, lambda: None)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -108,13 +108,13 @@ class WireFragments:
 def engine_fingerprint(engine) -> str:
     """A digest of the engine configuration a cached decision depends on.
 
-    Covers the authorization list, the capacity limits and the primitive
-    location set — the boot-time inputs that can change *between* runs
-    without leaving a trace in the movement log.  A persisted cache whose
-    stamp differs is purged wholesale on :meth:`TieredDecisionCache.warm`
-    rather than re-validated row by row.  (Custom pipeline stages or
-    derivation-rule edits are not fingerprinted — deployments changing
-    those should ``repro cache purge``.)
+    Covers the authorization list, the capacity limits, the primitive
+    location set and the derivation rules — the boot-time inputs that can
+    change *between* runs without leaving a trace in the movement log.  A
+    persisted cache whose stamp differs is purged wholesale on
+    :meth:`TieredDecisionCache.warm` rather than re-validated row by row.
+    (Custom pipeline stages are still not fingerprinted — deployments
+    changing those should ``repro cache purge``.)
     """
     # Semantic identity only: auto-generated ids, creation stamps and
     # derivation back-references differ between identically configured
@@ -134,11 +134,27 @@ def engine_fingerprint(engine) -> str:
     hierarchy = getattr(engine, "hierarchy", None)
     names = getattr(hierarchy, "primitive_names", None)
     locations = sorted(names()) if callable(names) else []
+    # Rules canonicalize to (valid_from, base id, operator-tuple repr):
+    # every operator repr is semantic (WHENEVER, UNION([10, 30]), a custom
+    # operator's label), while rule_id/description are instance trivia that
+    # must not read as a config change.  A rule edit therefore flips the
+    # fingerprint and invalidates warm restarts.
+    rules = sorted(
+        _dumps(
+            {
+                "valid_from": int(rule.valid_from),
+                "base": str(rule.base_id),
+                "operators": str(rule.operators),
+            }
+        )
+        for rule in getattr(engine, "rules", ()) or ()
+    )
     canonical = _dumps(
         {
             "auths": auths,
             "capacities": {str(k): int(v) for k, v in sorted(capacities.items())},
             "locations": [str(name) for name in locations],
+            "rules": rules,
         }
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -39,6 +39,7 @@ from repro.storage.ingest import (
     MovementIngestor,
 )
 from repro.storage.movement_db import Checkpoint, MovementKind, MovementRecord
+from repro.service import telemetry
 from repro.service.errors import ProtocolError, ServiceConnectionError, ServiceError
 from repro.service.protocol import (
     alert_from_dict,
@@ -246,7 +247,18 @@ class ServiceClient:
         self.close()
 
     def call(self, op: str, **payload: Any) -> Any:
-        """One request/response round trip; returns the ``result`` payload."""
+        """One request/response round trip; returns the ``result`` payload.
+
+        When a telemetry trace is active on the calling thread, the request
+        carries its ``tctx`` (unless the caller supplied one) and any spans
+        the server echoes back are grafted into the active trace — the
+        remote work appears in the local span tree under the caller's
+        current span.  With no active trace the frame is byte-identical to
+        the pre-telemetry protocol.
+        """
+        trace = telemetry.active_trace()
+        if trace is not None and "tctx" not in payload:
+            payload["tctx"] = trace.tctx(telemetry.current_span_id())
         message_id = next(self._ids)
         with self._lock:
             if self._sock is None:
@@ -308,6 +320,9 @@ class ServiceClient:
                     f"expected {message_id!r}); connection dropped"
                 )
         if response.get("ok"):
+            spans = response.get("spans")
+            if spans and trace is not None:
+                trace.graft(spans)
             return response.get("result")
         raise error_from_dict(response.get("error") or {})
 

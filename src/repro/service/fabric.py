@@ -47,7 +47,9 @@ from __future__ import annotations
 import asyncio
 import bisect
 import json
+import logging
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -58,7 +60,7 @@ from repro.engine.query.parser import parse
 from repro.api.decision import Decision
 from repro.storage.movement_db import MovementRecord
 from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, stable_hash
-from repro.service import wire as wireformat
+from repro.service import telemetry, wire as wireformat
 from repro.service.client import ConnectionPool, RequestLike, _coerce_request
 from repro.service.errors import ProtocolError, ServiceBusyError, ServiceError
 from repro.service.protocol import (
@@ -82,6 +84,10 @@ __all__ = [
 
 #: Default port of a standalone ``repro route`` process.
 DEFAULT_ROUTER_PORT = 7473
+
+# Same request log the server's slow-request sampler writes to: one stream,
+# whichever tier sampled the request.
+_request_log = logging.getLogger("repro.service.requests")
 
 #: The full 32-bit hash ring the partition points live on.
 _RING_SPAN = 1 << 32
@@ -399,8 +405,18 @@ class FabricRouter:
                 host, port, size=pool_size, timeout=timeout, wire=wire
             )
         self._lock = _ReadWriteLock()
-        self._stats_lock = threading.Lock()
-        self._stats = {"routed": 0, "fan_outs": 0, "reshards": 0, "subjects_moved": 0}
+        # The router's metrics registry: the same single source of truth
+        # `health`, the `metrics` op and the Prometheus endpoint read.
+        registry = telemetry.MetricsRegistry()
+        self._registry = registry
+        self._counters = {
+            "routed": registry.counter("repro_router_routed_total"),
+            "fan_outs": registry.counter("repro_router_fan_outs_total"),
+            "reshards": registry.counter("repro_router_reshards_total"),
+            "subjects_moved": registry.counter("repro_router_subjects_moved_total"),
+        }
+        registry.gauge("repro_router_map_version", fn=lambda: self._map.version)
+        registry.gauge("repro_router_partitions", fn=lambda: len(self._map.names))
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -410,14 +426,28 @@ class FabricRouter:
         """The currently installed map."""
         return self._map
 
+    @property
+    def metrics(self) -> telemetry.MetricsRegistry:
+        """The router's metrics registry."""
+        return self._registry
+
     def _bump(self, key: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            self._stats[key] += amount
+        self._counters[key].inc(amount)
 
     def _call(self, name: str, op: str, **payload: Any) -> Any:
         pool = self._pools.get(name)
         if pool is None:
             raise ServiceError(f"no connection pool for partition {name!r}")
+        trace = telemetry.active_trace()
+        if trace is not None:
+            # Forward the trace context: the partition's spans (op dispatch,
+            # cache outcome, pipeline stages) come back in its response
+            # envelope, and the client grafts them under this call span —
+            # one connected tree across the process boundary.
+            with telemetry.trace_span("router.call", partition=name, op=op) as span:
+                payload.setdefault("tctx", trace.tctx(span.span_id))
+                with pool.lease() as client:
+                    return client.call(op, **payload)
         with pool.lease() as client:
             return client.call(op, **payload)
 
@@ -434,21 +464,34 @@ class FabricRouter:
         self._bump("fan_outs")
         results: Dict[str, Any] = {}
         failures: Dict[str, BaseException] = {}
+        # The scatter span: worker threads re-activate the caller's trace
+        # (thread-local state does not follow a Thread) and parent their
+        # per-partition call spans to this span, so the gathered tree shows
+        # the fan-out as one node with N concurrent children.
+        trace = telemetry.active_trace()
+        with telemetry.trace_span("router.fan_out", partitions=len(names)) as fan_span:
+            parent_id = fan_span.span_id if trace is not None else None
 
-        def run(name: str) -> None:
-            try:
-                results[name] = call(name)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                failures[name] = exc
+            def run(name: str) -> None:
+                try:
+                    if trace is not None:
+                        with telemetry.activated(trace, parent_id):
+                            results[name] = call(name)
+                    else:
+                        results[name] = call(name)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failures[name] = exc
 
-        threads = [
-            threading.Thread(target=run, args=(name,), name=f"ltam-fabric-{name}", daemon=True)
-            for name in names
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+            threads = [
+                threading.Thread(
+                    target=run, args=(name,), name=f"ltam-fabric-{name}", daemon=True
+                )
+                for name in names
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         if failures:
             raise failures[sorted(failures)[0]]
         return results
@@ -665,8 +708,7 @@ class FabricRouter:
 
             partitions = self._fan_out(current.names, probe)
         healthy = all(report.get("status") == "ok" for report in partitions.values())
-        with self._stats_lock:
-            stats = dict(self._stats)
+        stats = {key: counter.value for key, counter in self._counters.items()}
         return {
             "status": "ok" if healthy else "degraded",
             "role": "router",
@@ -677,6 +719,28 @@ class FabricRouter:
             "partitions": partitions,
             "stats": stats,
         }
+
+    def metrics_raw(self) -> Dict[str, Any]:
+        """The fabric's metrics: the router's own registry plus every
+        partition's ``metrics`` answer (``repro top``'s one-call view).
+
+        An unreachable partition reports an ``error`` entry instead of
+        failing the scrape — exactly like :meth:`health`'s degraded
+        tolerance, and for the same reason.
+        """
+        with self._lock.read():
+            current = self._map
+
+            def probe(name: str) -> Dict[str, Any]:
+                try:
+                    return self._call(name, "metrics")
+                except Exception as exc:  # noqa: BLE001 - reported, not raised
+                    return {"error": str(exc)}
+
+            partitions = self._fan_out(current.names, probe)
+        data = self._registry.collect()
+        data["identity"] = {"role": "router"}
+        return {"router": data, "partitions": partitions}
 
     def dispatch(self, message: Dict[str, Any]) -> Any:
         """Serve one decoded protocol envelope (the :class:`RouterServer` body)."""
@@ -713,6 +777,8 @@ class FabricRouter:
             return self.sync_raw()
         if op == "health":
             return self.health()
+        if op == "metrics":
+            return self.metrics_raw()
         if op == "reshard":
             # Live migration driven remotely: the new map arrives in wire
             # form and is re-validated before any subject moves.
@@ -918,6 +984,7 @@ class RouterServer(AsyncServiceHost):
         frame_limit: int = DEFAULT_FRAME_LIMIT,
         wire_format: str = wireformat.BINARY,
         max_connections: Optional[int] = None,
+        slow_request_ms: Optional[float] = None,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wireformat.BINARY, wireformat.JSON):
@@ -926,6 +993,18 @@ class RouterServer(AsyncServiceHost):
             )
         self._binary_enabled = wire_format == wireformat.BINARY
         self._router = router
+        self._slow_request_ms = slow_request_ms
+        registry = router.metrics
+        self._op_latency = {
+            op: registry.histogram("repro_op_latency_seconds", op=op)
+            for op in ("decide", "decide_many", "enforce", "observe", "observe_batch",
+                       "query", "checkpoint", "sync", "health", "metrics", "hello", "reshard")
+        }
+        self._op_errors = registry.counter("repro_op_errors_total")
+        self._slow_sampled = registry.counter("repro_slow_requests_total")
+        registry.gauge("repro_connections_live", fn=lambda: self._live_connections)
+        registry.gauge("repro_connections_max", fn=lambda: self._max_connections or 0)
+        registry.gauge("repro_connections_busy_refused", fn=lambda: self._busy_refused)
 
     @property
     def router(self) -> FabricRouter:
@@ -1012,6 +1091,19 @@ class RouterServer(AsyncServiceHost):
             return result
         return self._router.dispatch(message)
 
+    def _traced_dispatch(
+        self,
+        trace: telemetry.Trace,
+        connection: _RouterConnection,
+        message: Dict[str, Any],
+    ) -> Any:
+        # Runs on the executor thread: activate the trace there so the
+        # router.op span (and every router.call/router.fan_out span under
+        # it) parents correctly across the thread hop.
+        with telemetry.activated(trace):
+            with telemetry.trace_span("router.op", op=message.get("op")):
+                return self._dispatch(connection, message)
+
     async def _respond(
         self,
         loop: asyncio.AbstractEventLoop,
@@ -1020,6 +1112,11 @@ class RouterServer(AsyncServiceHost):
     ) -> bytes:
         binary = connection.wire == wireformat.BINARY
         message_id = None
+        op = None
+        trace: Optional[telemetry.Trace] = None
+        echo_spans = False
+        ok = True
+        started = time.perf_counter()
         try:
             if binary:
                 message = connection.decoder.decode(frame)
@@ -1030,10 +1127,48 @@ class RouterServer(AsyncServiceHost):
             else:
                 message = decode_frame(frame)
             message_id = message.get("id")
-            result = await loop.run_in_executor(None, self._dispatch, connection, message)
+            op = message.get("op")
+            tctx = message.get("tctx")
+            if tctx is not None:
+                trace = telemetry.Trace.from_tctx(tctx)
+                echo_spans = trace is not None
+            if trace is None and self._slow_request_ms is not None:
+                trace = telemetry.Trace()
+            if trace is not None:
+                result = await loop.run_in_executor(
+                    None, self._traced_dispatch, trace, connection, message
+                )
+            else:
+                result = await loop.run_in_executor(
+                    None, self._dispatch, connection, message
+                )
             envelope = {"id": message_id, "ok": True, "result": result}
+            if echo_spans:
+                envelope["spans"] = trace.spans_to_wire()
             if binary:
                 return wireformat.pack_frame(wireformat.encode_value(envelope))
             return encode_frame(envelope)
         except Exception as exc:  # noqa: BLE001 - every error ships back typed
+            ok = False
             return self._encode_error(connection, message_id, exc)
+        finally:
+            elapsed = time.perf_counter() - started
+            latency = self._op_latency.get(op)
+            if latency is not None:
+                latency.observe(elapsed)
+            if not ok:
+                self._op_errors.inc()
+            if (
+                trace is not None
+                and self._slow_request_ms is not None
+                and elapsed * 1000.0 >= self._slow_request_ms
+            ):
+                self._slow_sampled.inc()
+                telemetry.dump_slow(
+                    _request_log,
+                    op=op,
+                    trace=trace,
+                    duration_ms=elapsed * 1000.0,
+                    threshold_ms=self._slow_request_ms,
+                    wire=connection.wire,
+                )

@@ -86,6 +86,8 @@ OPS = (
     "checkpoint",
     "sync",
     "health",
+    # the telemetry registry as structured JSON (see repro.service.telemetry)
+    "metrics",
     # partition handoff (the fabric's reshard path)
     "export_subjects",
     "import_archive",

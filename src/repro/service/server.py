@@ -59,7 +59,7 @@ from repro.storage.ingest import (
     MovementIngestor,
 )
 from repro.storage.movement_db import MovementKind
-from repro.service import wire
+from repro.service import telemetry, wire
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
 from repro.service.cache_store import WireFragments, engine_fingerprint
@@ -320,6 +320,13 @@ class LtamServer(AsyncServiceHost):
         Emit one structured NDJSON log line per op (op, wire format,
         duration, cache outcome) on the ``repro.service.requests`` logger —
         the ``repro serve --log-requests`` switch.
+    slow_request_ms:
+        Slow-request sampling threshold, in milliseconds.  When set, every
+        request is traced (spans at op dispatch, cache outcome, pipeline
+        stages, ...) and any request slower than the threshold dumps its
+        full span tree as one NDJSON line on the ``repro.service.requests``
+        logger.  ``None`` (default) disables local sampling; requests that
+        arrive with a caller's ``tctx`` context are traced either way.
 
     With a cache that carries a persistent tier
     (:class:`~repro.service.cache_store.TieredDecisionCache`),
@@ -357,6 +364,7 @@ class LtamServer(AsyncServiceHost):
         wire_format: str = wire.BINARY,
         max_connections: Optional[int] = None,
         log_requests: bool = False,
+        slow_request_ms: Optional[float] = None,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wire.BINARY, wire.JSON):
@@ -405,9 +413,31 @@ class LtamServer(AsyncServiceHost):
         self._cache_attached = False
         self._connect_cache()
         self._log_requests = bool(log_requests)
+        self._slow_request_ms = slow_request_ms
         self._warm_report: Optional[Dict[str, int]] = None
-        self._stats = {"decisions": 0, "cache_hits": 0, "observed": 0, "queries": 0}
-        self._stats_lock = threading.Lock()
+        # One registry per server: the single source of truth `health`, the
+        # `metrics` op, the Prometheus endpoint and `repro top` all read.
+        # The hot-path objects are pre-resolved here so per-request work is
+        # a dict index + a lock'd add, never a registry lookup.
+        registry = telemetry.MetricsRegistry()
+        self._registry = registry
+        self._counters = {
+            "decisions": registry.counter("repro_decisions_total"),
+            "cache_hits": registry.counter("repro_cache_hits_total"),
+            "observed": registry.counter("repro_observed_total"),
+            "queries": registry.counter("repro_queries_total"),
+        }
+        self._op_latency = {
+            op: registry.histogram("repro_op_latency_seconds", op=op)
+            for op in self._HANDLERS
+        }
+        self._op_counts = {
+            op: registry.counter("repro_ops_total", op=op) for op in self._HANDLERS
+        }
+        self._op_errors = registry.counter("repro_op_errors_total")
+        self._slow_sampled = registry.counter("repro_slow_requests_total")
+        self._ingest_commit_latency = registry.histogram("repro_ingest_commit_seconds")
+        self._register_gauges(registry)
         self._started_at: Optional[float] = None
 
     def _connect_cache(self) -> None:
@@ -485,14 +515,60 @@ class LtamServer(AsyncServiceHost):
         await writer.drain()
 
     def _bump(self, key: str, count: int = 1) -> None:
-        # Handlers run on the loop thread and on executor threads; dict
-        # read-modify-write is not atomic across them.
-        with self._stats_lock:
-            self._stats[key] += count
+        # Handlers run on the loop thread and on executor threads; the
+        # registry counters are individually locked.
+        self._counters[key].inc(count)
 
     def _snapshot_stats(self) -> Dict[str, int]:
-        with self._stats_lock:
-            return dict(self._stats)
+        return {key: counter.value for key, counter in self._counters.items()}
+
+    def _register_gauges(self, registry: telemetry.MetricsRegistry) -> None:
+        """Callback gauges over state other subsystems already maintain.
+
+        Scrapes pay the read; the hot paths pay nothing — the cache, the
+        coherence layer and the ingestors keep their own counters exactly
+        as before, and the registry samples them at collection time.
+        """
+        registry.gauge("repro_connections_live", fn=lambda: self._live_connections)
+        registry.gauge(
+            "repro_connections_max", fn=lambda: self._max_connections or 0
+        )
+        registry.gauge("repro_connections_busy_refused", fn=lambda: self._busy_refused)
+        registry.gauge(
+            "repro_uptime_seconds",
+            fn=lambda: (
+                time.monotonic() - self._started_at if self._started_at is not None else 0.0
+            ),
+        )
+        registry.gauge("repro_ingest_queue_depth", fn=self._ingest_queue_depth)
+        registry.gauge("repro_bus_lag", fn=self._bus_lag)
+        if self._cache is not None:
+            cache = self._cache
+            for key in ("hits", "misses", "stores", "invalidated", "evicted", "size"):
+                registry.gauge(
+                    "repro_cache_%s" % key,
+                    fn=(lambda cache=cache, key=key: cache.stats.get(key, 0)),
+                )
+
+    def _ingest_queue_depth(self) -> int:
+        with self._ingest_lock:
+            ingestors = [ingestor for _, ingestor in self._ingestors]
+        return sum(ingestor.queue_depth for ingestor in ingestors if not ingestor.closed)
+
+    def _bus_lag(self) -> int:
+        """Records the shared store committed but this replica has not yet
+        folded into its projection (0 standalone, by construction)."""
+        movement_db = self._engine.movement_db
+        high_water = getattr(movement_db, "high_water", None)
+        applied = getattr(movement_db, "applied_position", None)
+        if high_water is None or applied is None:
+            return 0
+        return max(0, int(high_water) - int(applied))
+
+    @property
+    def metrics(self) -> telemetry.MetricsRegistry:
+        """This server's metrics registry (counters, gauges, histograms)."""
+        return self._registry
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -677,6 +753,24 @@ class LtamServer(AsyncServiceHost):
             return wire.pack_frame(wire.encode_value(envelope))
         return encode_frame(envelope)
 
+    def _run_traced(self, trace, handler, connection: _Connection, message: Dict[str, Any]):
+        """Execute *handler* with *trace* active on the executing thread.
+
+        Activation is thread-local, so it must happen on whichever thread
+        actually runs the handler — inline on the loop or on an executor
+        worker — not on the thread that scheduled it.  The op span is the
+        local root every nested span (cache outcome, pipeline stages,
+        store pickup) parents to.
+        """
+        with telemetry.activated(trace):
+            with telemetry.trace_span(
+                "server.op", op=message.get("op"), partition=self._partition
+            ) as span:
+                result = handler(self, connection, message)
+                if connection.cache_outcome is not None:
+                    span.annotate(cache=connection.cache_outcome)
+                return result
+
     async def _respond(
         self, loop: asyncio.AbstractEventLoop, connection: _Connection, frame: bytes
     ) -> bytes:
@@ -684,8 +778,10 @@ class LtamServer(AsyncServiceHost):
         message_id: Any = None
         op: Any = None
         ok = True
+        trace = None
+        echo_spans = False
         connection.cache_outcome = None
-        started = time.perf_counter() if self._log_requests else 0.0
+        started = time.perf_counter()
         try:
             if binary:
                 message = connection.decoder.decode(frame)
@@ -700,31 +796,82 @@ class LtamServer(AsyncServiceHost):
             handler = self._HANDLERS.get(op)
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}")
-            if op in self._BLOCKING_OPS:
-                result = await loop.run_in_executor(None, handler, self, connection, message)
+            # Trace when the caller forwarded its context (tctx) or when
+            # local slow-request sampling is armed; a request that carried
+            # tctx gets the recorded spans back in its response envelope.
+            tctx = message.get("tctx")
+            if tctx is not None:
+                trace = telemetry.Trace.from_tctx(tctx)
+                echo_spans = trace is not None
+            if trace is None and self._slow_request_ms is not None:
+                trace = telemetry.Trace()
+            if trace is None:
+                if op in self._BLOCKING_OPS:
+                    result = await loop.run_in_executor(None, handler, self, connection, message)
+                else:
+                    result = handler(self, connection, message)
+            elif op in self._BLOCKING_OPS:
+                result = await loop.run_in_executor(
+                    None, self._run_traced, trace, handler, connection, message
+                )
             else:
-                result = handler(self, connection, message)
+                result = self._run_traced(trace, handler, connection, message)
             if binary:
                 if isinstance(result, _RawBinary):
                     result = wire.Raw(result.data)
-                return wire.pack_frame(
-                    wire.encode_value({"id": message_id, "ok": True, "result": result})
-                )
+                envelope: Dict[str, Any] = {"id": message_id, "ok": True, "result": result}
+                if echo_spans:
+                    envelope["spans"] = trace.spans_to_wire()
+                return wire.pack_frame(wire.encode_value(envelope))
             if isinstance(result, _RawResult):
-                envelope = '{"id":%s,"ok":true,"result":%s}\n' % (_dumps(message_id), result.text)
-                return envelope.encode("utf-8")
-            return encode_frame({"id": message_id, "ok": True, "result": result})
+                if echo_spans:
+                    text = '{"id":%s,"ok":true,"spans":%s,"result":%s}\n' % (
+                        _dumps(message_id),
+                        _dumps(trace.spans_to_wire()),
+                        result.text,
+                    )
+                else:
+                    text = '{"id":%s,"ok":true,"result":%s}\n' % (
+                        _dumps(message_id),
+                        result.text,
+                    )
+                return text.encode("utf-8")
+            envelope = {"id": message_id, "ok": True, "result": result}
+            if echo_spans:
+                envelope["spans"] = trace.spans_to_wire()
+            return encode_frame(envelope)
         except Exception as exc:  # noqa: BLE001 - every failure becomes a frame
             ok = False
             return self._encode_error(connection, message_id, exc)
         finally:
+            elapsed = time.perf_counter() - started
+            latency = self._op_latency.get(op)
+            if latency is not None:
+                latency.observe(elapsed)
+                self._op_counts[op].inc()
+            if not ok:
+                self._op_errors.inc()
+            if (
+                trace is not None
+                and self._slow_request_ms is not None
+                and elapsed * 1000.0 >= self._slow_request_ms
+            ):
+                self._slow_sampled.inc()
+                telemetry.dump_slow(
+                    _request_log,
+                    op=op if isinstance(op, str) else str(op),
+                    trace=trace,
+                    duration_ms=elapsed * 1000.0,
+                    threshold_ms=self._slow_request_ms,
+                    wire=connection.wire,
+                )
             if self._log_requests:
                 _request_log.info(
                     '{"op":%s,"wire":%s,"ok":%s,"duration_us":%d,"cache":%s}',
                     _dumps(op if isinstance(op, str) else str(op)),
                     _dumps(connection.wire),
                     "true" if ok else "false",
-                    int((time.perf_counter() - started) * 1e6),
+                    int(elapsed * 1e6),
                     _dumps(connection.cache_outcome)
                     if connection.cache_outcome is not None
                     else "null",
@@ -733,7 +880,7 @@ class LtamServer(AsyncServiceHost):
     # ------------------------------------------------------------------ #
     # Operation handlers
     # ------------------------------------------------------------------ #
-    def _cached_entry(self, raw_request: Any):
+    def _cached_entry(self, raw_request: Any, quiet: bool = False):
         """The cache entry for a raw request dict, or ``None``.
 
         The cache key is read straight off the wire dict — constructing and
@@ -750,7 +897,7 @@ class LtamServer(AsyncServiceHost):
                 # rejects them exactly like it would against a cold cache.
                 return None
             entry = self._cache.get(
-                raw_request["subject"], raw_request["location"], time_value
+                raw_request["subject"], raw_request["location"], time_value, quiet=quiet
             )
         except (TypeError, KeyError):
             return None
@@ -758,13 +905,15 @@ class LtamServer(AsyncServiceHost):
             return None
         return entry
 
-    def _cached_fragment(self, raw_request: Any, include_trace: bool, binary: bool):
+    def _cached_fragment(
+        self, raw_request: Any, include_trace: bool, binary: bool, quiet: bool = False
+    ):
         """The pre-serialized decision for a raw request dict, or ``None``.
 
         JSON connections get a ``str`` fragment, binary connections a
         ``bytes`` one (filled lazily on the entry's first binary hit).
         """
-        entry = self._cached_entry(raw_request)
+        entry = self._cached_entry(raw_request, quiet=quiet)
         if entry is None:
             return None
         self._bump("cache_hits")
@@ -847,11 +996,16 @@ class LtamServer(AsyncServiceHost):
         fragments: List[Any] = []
         misses: List[Tuple[int, Any]] = []
         for raw_request in raw_requests:
-            fragment = self._cached_fragment(raw_request, include_trace, binary)
+            # quiet: one aggregate lookup event below, not one per item —
+            # a traced 2k-request batch must not record 2k cache spans.
+            fragment = self._cached_fragment(raw_request, include_trace, binary, quiet=True)
             fragments.append(fragment)
             if fragment is None:
                 misses.append((len(fragments) - 1, raw_request))
         connection.cache_outcome = f"{len(fragments) - len(misses)}/{len(fragments)}"
+        telemetry.trace_event(
+            "cache.lookup", hits=len(fragments) - len(misses), total=len(fragments)
+        )
         if misses:
             requests = [request_from_dict(raw) for _, raw in misses]
             # Tokens before the batch evaluation: its memoizing snapshot may
@@ -933,9 +1087,11 @@ class LtamServer(AsyncServiceHost):
         still folds any foreign rows committed to a shared SQLite file.
         """
         if self._coherence is not None:
-            applied = self._coherence.sync()
+            with telemetry.trace_span("bus.sync"):
+                applied = self._coherence.sync()
         else:
-            applied = len(self._engine.movement_db.pickup())
+            with telemetry.trace_span("store.pickup"):
+                applied = len(self._engine.movement_db.pickup())
         movement_db = self._engine.movement_db
         return {
             "applied": applied,
@@ -969,11 +1125,23 @@ class LtamServer(AsyncServiceHost):
                     "checkpoint_policy": self._checkpoint_policy,
                     "checkpoint": self._shared_checkpoint,
                 }
-            ingestor = MovementIngestor(sink, **self._ingest_knobs, **extra)
+            ingestor = MovementIngestor(
+                sink, on_commit=self._on_ingest_commit, **self._ingest_knobs, **extra
+            )
             connection.ingestors[mode] = ingestor
             with self._ingest_lock:
                 self._ingestors.append((mode, ingestor))
         return ingestor
+
+    def _on_ingest_commit(self, written: int, duration: float) -> None:
+        """Group-commit hook, invoked on the ingest writer thread.
+
+        Feeds the commit-latency histogram; the trace event only lands when
+        the committing thread is traced (an inline flush under a traced
+        op), which is exactly the zero-overhead contract.
+        """
+        self._ingest_commit_latency.observe(duration)
+        telemetry.trace_event("ingest.commit", written=written)
 
     def _op_observe_batch(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
         records = records_from_wire(message.get("records", ()))
@@ -1034,7 +1202,8 @@ class LtamServer(AsyncServiceHost):
         # Runs in the executor (blocking op).
         self._flush_live_ingestors()
         compact = bool(message.get("compact", True))
-        receipt = self._engine.checkpoint(compact=compact)
+        with telemetry.trace_span("store.checkpoint", compact=compact):
+            receipt = self._engine.checkpoint(compact=compact)
         retain = message.get("retain")
         # Retention only accompanies compacting checkpoints (the
         # CheckpointPolicy contract): a snapshot-only checkpoint must not
@@ -1174,6 +1343,21 @@ class LtamServer(AsyncServiceHost):
                     pass
         return info
 
+    def _op_metrics(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
+        """The whole registry as structured JSON (plus this server's identity).
+
+        The ``repro top`` dashboard and anything else that wants the raw
+        counters read this; the Prometheus endpoint renders the same
+        registry as text exposition.
+        """
+        data = self._registry.collect()
+        data["identity"] = {
+            "role": "server",
+            "partition": self._partition,
+            "replica": self._coherence.replica_id if self._coherence is not None else None,
+        }
+        return data
+
     def _op_health(self, connection, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._ingest_lock:
             # Cumulative per mode: retired (disconnected) ingestors' folded
@@ -1212,6 +1396,7 @@ class LtamServer(AsyncServiceHost):
         "checkpoint": _op_checkpoint,
         "sync": _op_sync,
         "health": _op_health,
+        "metrics": _op_metrics,
         "export_subjects": _op_export_subjects,
         "import_archive": _op_import_archive,
         "forget_subjects": _op_forget_subjects,

@@ -432,4 +432,18 @@ def negotiate_hello(message: Dict[str, Any], *, binary_enabled: bool) -> Tuple[s
         raise ProtocolError("hello 'wire' must be a format name or a list of names")
     chosen = BINARY if (binary_enabled and BINARY in offered) else JSON
     formats = [JSON, BINARY] if binary_enabled else [JSON]
-    return chosen, {"wire": chosen, "formats": formats, "version": WIRE_VERSION}
+    # Capability advertisement: this server understands the optional `tctx`
+    # trace-context envelope field (on both framings) and echoes recorded
+    # spans back in traced responses.  Old clients ignore the key; old
+    # servers simply never send it — `tctx` itself is an ordinary map entry
+    # peers without the capability skip, so no handshake gating is needed.
+    # On the binary codec the repeated "tctx" key interns per connection
+    # (3-byte refs from its second use) while the one-shot id strings stay
+    # out of the intern table (a string is only interned on its second
+    # occurrence), keeping the extension INTERN-friendly by construction.
+    return chosen, {
+        "wire": chosen,
+        "formats": formats,
+        "version": WIRE_VERSION,
+        "telemetry": ["tctx"],
+    }

@@ -211,6 +211,12 @@ class MovementIngestor:
         ``lambda: policy.run(movement_db)`` — the enforcement point wires
         this).  Required when a policy is given.  Checkpoint errors never
         stop ingest; they are surfaced via :attr:`checkpoint_errors`.
+    on_commit:
+        Optional ``(written, duration_seconds) -> None`` observer invoked on
+        the writer thread after each successful group commit — the serving
+        layer's telemetry hook.  This module stays telemetry-agnostic: the
+        hook is plain data out, and its errors are swallowed (observability
+        must never fail ingest).
     """
 
     def __init__(
@@ -222,6 +228,7 @@ class MovementIngestor:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         checkpoint_policy: Optional[CheckpointPolicy] = None,
         checkpoint: Optional[Callable[[], object]] = None,
+        on_commit: Optional[Callable[[int, float], None]] = None,
     ) -> None:
         if batch_size < 1:
             raise IngestError(f"batch size must be positive, got {batch_size!r}")
@@ -232,6 +239,7 @@ class MovementIngestor:
         if checkpoint_policy is not None and checkpoint is None:
             raise IngestError("a checkpoint policy needs a checkpoint callable to run")
         self._sink = sink
+        self._on_commit = on_commit
         self._batch_size = batch_size
         self._max_latency = max_latency
         self._checkpoint_policy = checkpoint_policy
@@ -369,6 +377,13 @@ class MovementIngestor:
         return self._submitted
 
     @property
+    def queue_depth(self) -> int:
+        """Records currently queued, not yet handed to the sink — the
+        backpressure depth a dashboard wants to watch."""
+        with self._capacity:
+            return self._queued_records
+
+    @property
     def written(self) -> int:
         """Records the sink has durably accepted so far."""
         return self._written
@@ -475,6 +490,7 @@ class MovementIngestor:
     def _write(self, batch: List["MovementRecord"]) -> None:
         if not batch:
             return
+        started = time.perf_counter()
         try:
             self._sink(batch)
         except Exception as exc:  # noqa: BLE001 - surfaced via flush/close
@@ -483,6 +499,11 @@ class MovementIngestor:
         else:
             self._written += len(batch)
             self._events_since_checkpoint += len(batch)
+            if self._on_commit is not None:
+                try:
+                    self._on_commit(len(batch), time.perf_counter() - started)
+                except Exception:  # noqa: BLE001 - observers must not fail ingest
+                    pass
 
     # ------------------------------------------------------------------ #
     # Scheduled checkpoints (writer thread only)

@@ -259,7 +259,9 @@ class ServerTopology:
     def start(self, workload: Workload, tmp_path) -> None:
         engine = Ltam.builder().hierarchy(workload.hierarchy).build()
         engine.grant_all(workload.authorizations)
-        self._server = LtamServer(engine, cache=DecisionCache())
+        # slow_request_ms=0 arms telemetry fully: every request is traced
+        # and sampled.  The transcript must not change — telemetry is inert.
+        self._server = LtamServer(engine, cache=DecisionCache(), slow_request_ms=0.0)
         self._server.start()
         self._client = ServiceClient(
             *self._server.address, timeout=60.0, wire=self._wire
@@ -332,7 +334,7 @@ class PersistentCacheServerTopology(ServerTopology):
     def _boot(self, engine) -> None:
         self._engine = engine
         self._cache = TieredDecisionCache(self._cache_path)
-        self._server = LtamServer(engine, cache=self._cache)
+        self._server = LtamServer(engine, cache=self._cache, slow_request_ms=0.0)
         self._server.start()
         self._client = ServiceClient(*self._server.address, timeout=60.0)
 
@@ -403,14 +405,16 @@ class ReplicaTopology:
         engine_a.grant_all(workload.authorizations)
         bus = InvalidationBus()
         self._server_a = LtamServer(
-            engine_a, cache=DecisionCache(), bus=bus, replica_id="conf-a"
+            engine_a, cache=DecisionCache(), bus=bus, replica_id="conf-a",
+            slow_request_ms=0.0,
         )
         self._server_a.start()
         engine_b = (
             Ltam.builder().hierarchy(workload.hierarchy).backend("sqlite", path).build()
         )
         self._server_b = LtamServer(
-            engine_b, cache=DecisionCache(), bus=bus.address, replica_id="conf-b"
+            engine_b, cache=DecisionCache(), bus=bus.address, replica_id="conf-b",
+            slow_request_ms=0.0,
         )
         self._server_b.start()
         self.client_a = ServiceClient(*self._server_a.address, timeout=60.0)
@@ -469,7 +473,8 @@ class SubprocessReplicaTopology(ReplicaTopology):
             tmp_path,
             "a",
             ["--layout", str(layout), "--auths", str(auths), "--db", path,
-             "--port", "0", "--bus", "0", "--replica-id", "conf-a"],
+             "--port", "0", "--bus", "0", "--replica-id", "conf-a",
+             "--slow-ms", "0"],
             env,
         )
         port_a = self._await_banner(out_a, r"serving on [^:]+:(\d+) ")
@@ -478,7 +483,8 @@ class SubprocessReplicaTopology(ReplicaTopology):
             tmp_path,
             "b",
             ["--layout", str(layout), "--db", path, "--port", "0",
-             "--peers", f"127.0.0.1:{bus_port}", "--replica-id", "conf-b"],
+             "--peers", f"127.0.0.1:{bus_port}", "--replica-id", "conf-b",
+             "--slow-ms", "0"],
             env,
         )
         port_b = self._await_banner(out_b, r"serving on [^:]+:(\d+) ")
@@ -551,7 +557,10 @@ class PartitionedTopology:
         for partition in self.PARTITIONS:
             engine = Ltam.builder().hierarchy(workload.hierarchy).build()
             engine.grant_all(workload.authorizations)
-            server = LtamServer(engine, cache=DecisionCache(), partition=partition)
+            server = LtamServer(
+                engine, cache=DecisionCache(), partition=partition,
+                slow_request_ms=0.0,
+            )
             server.start()
             self._servers.append(server)
             addresses[partition] = "%s:%d" % server.address
@@ -617,7 +626,7 @@ class SubprocessPartitionedTopology(PartitionedTopology):
                 partition,
                 "serve",
                 ["--layout", str(layout), "--auths", str(auths), "--port", "0",
-                 "--partition", partition],
+                 "--partition", partition, "--slow-ms", "0"],
                 env,
             )
             port = SubprocessReplicaTopology._await_banner(
@@ -628,7 +637,8 @@ class SubprocessPartitionedTopology(PartitionedTopology):
         map_path = tmp_path / "fabric.json"
         self._map.save(str(map_path))
         out = self._spawn(
-            tmp_path, "router", "route", ["--map", str(map_path), "--port", "0"], env
+            tmp_path, "router", "route",
+            ["--map", str(map_path), "--port", "0", "--slow-ms", "0"], env,
         )
         port = SubprocessReplicaTopology._await_banner(out, r"serving on [^:]+:(\d+) ")
         self._client = ServiceClient("127.0.0.1", port, timeout=60.0, wire=self._wire)

@@ -247,7 +247,12 @@ class TestNegotiation:
             {"op": "hello", "wire": ["binary"]}, binary_enabled=True
         )
         assert chosen == "binary"
-        assert reply == {"wire": "binary", "formats": ["json", "binary"], "version": 1}
+        assert reply == {
+            "wire": "binary",
+            "formats": ["json", "binary"],
+            "version": 1,
+            "telemetry": ["tctx"],
+        }
 
     def test_json_server_declines_politely(self):
         chosen, reply = wire.negotiate_hello(
