@@ -147,6 +147,7 @@ class Ltam:
         self._derivation: Optional[DerivationEngine] = None
         self._derivation_directory = None
         self._cache_unsubscribe = None
+        self._occupancy_base = None
         # Overstay checks run automatically as simulation time advances.
         self.clock.subscribe(self.monitor.check_overstays)
 
@@ -353,6 +354,36 @@ class Ltam:
             self._cache_unsubscribe()
             self._cache_unsubscribe = None
         return cache
+
+    def attach_occupancy_overlay(self, occupancy_of):
+        """Swap the PIP's ``occupancy_of`` for *occupancy_of* (global counts).
+
+        The partitioned serving fabric uses this to make
+        :class:`~repro.api.stages.CapacityStage` see *fabric-wide*
+        occupancy: the overlay sums the local projection with the
+        :class:`~repro.service.capacity.CapacityLedger`'s replicated remote
+        counts.  The previous function is kept and restored by
+        :meth:`detach_occupancy_overlay`; attaching twice replaces the
+        overlay without losing the original.  Batch evaluation's memoizing
+        PIP snapshots resolve ``occupancy_of`` through the live PIP at
+        lookup time, so the overlay applies there too.
+        """
+        if self._occupancy_base is None:
+            self._occupancy_base = self.pdp.info.occupancy_of
+        self.pdp.info.occupancy_of = occupancy_of
+        return occupancy_of
+
+    def detach_occupancy_overlay(self):
+        """Restore the PIP's original ``occupancy_of`` (local projection).
+
+        Returns the removed overlay (``None`` when none was attached).
+        """
+        if self._occupancy_base is None:
+            return None
+        overlay = self.pdp.info.occupancy_of
+        self.pdp.info.occupancy_of = self._occupancy_base
+        self._occupancy_base = None
+        return overlay
 
     def set_capacity(self, location: str, limit: int) -> None:
         """Set an occupancy limit for *location* (monitored continuously)."""

@@ -37,6 +37,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import Ltam
+from repro.api.stages import CapacityStage
 from repro.core.serialization import dumps_authorizations, load_authorizations
 from repro.engine.query.evaluator import QueryEngine
 from repro.errors import LTAMError
@@ -166,6 +167,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "per-listener connection cap; over-cap connections get a typed busy "
             "error and are closed (also applied to a --bus hosted in-process)"
+        ),
+    )
+    serve.add_argument(
+        "--capacity",
+        action="append",
+        metavar="LOCATION=LIMIT",
+        help=(
+            "enforce an occupancy limit on LOCATION (repeatable; adds the "
+            "CapacityStage to the pipeline); in a fabric the limit counts "
+            "occupants across every partition via the bus-replicated ledger"
+        ),
+    )
+    serve.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        help=(
+            "require TOKEN on every client frame and bus hello; unauthenticated "
+            "frames get a typed ServiceAuthError and are counted in the metrics "
+            "registry"
         ),
     )
     serve.add_argument(
@@ -327,7 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--status",
         action="store_true",
-        help="print the map and per-partition health instead of serving, then exit",
+        help=(
+            "print the map, per-partition health and the capacity-ledger "
+            "convergence verdict instead of serving, then exit"
+        ),
+    )
+    route.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        help=(
+            "shared fleet secret: required on every client frame (typed "
+            "ServiceAuthError otherwise) and stamped onto every partition call"
+        ),
     )
     route.add_argument(
         "--metrics-port",
@@ -472,6 +503,20 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     builder = Ltam.builder().hierarchy(hierarchy)
     if args.db is not None:
         builder = builder.backend("sqlite", args.db)
+    capacities: Dict[str, int] = {}
+    for spec in args.capacity or ():
+        location, sep, limit = spec.partition("=")
+        if not sep or not location or not limit.isdigit() or int(limit) < 1:
+            print(
+                f"error: cannot parse {spec!r} as LOCATION=LIMIT (LIMIT a positive integer)",
+                file=out,
+            )
+            return 1
+        capacities[location] = int(limit)
+    if capacities:
+        builder = builder.stage(CapacityStage())
+        for location, limit in sorted(capacities.items()):
+            builder = builder.capacity(location, limit)
     engine = builder.build()
     if args.auths is not None:
         engine.grant_all(load_authorizations(args.auths))
@@ -503,18 +548,25 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
     bus = None
     if args.bus is not None or args.peers is not None:
-        if args.db is None:
+        if args.db is None and args.partition is None:
             # Replication only works over a shared store: with in-memory
             # backends each replica's projection diverges permanently (the
             # bus would evict caches against state pickup() can never sync).
+            # A *partition* is different — partitions never share a store;
+            # their bus carries cross-partition invalidations and the
+            # capacity-ledger occupancy vectors, so any backend is fine.
             print(
-                "error: --bus/--peers require --db (replicas share one SQLite file)",
+                "error: --bus/--peers require --db (replicas share one SQLite "
+                "file) unless --partition names this process a fabric member",
                 file=out,
             )
             return 1
         if args.bus is not None:
             bus = InvalidationBus(
-                host=args.host, port=args.bus, max_connections=args.max_connections
+                host=args.host,
+                port=args.bus,
+                max_connections=args.max_connections,
+                auth_token=args.auth_token,
             )
         else:
             bus = args.peers
@@ -556,6 +608,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         max_connections=args.max_connections,
         log_requests=args.log_requests,
         slow_request_ms=args.slow_ms,
+        auth_token=args.auth_token,
     )
     server.start()
     host, port = server.address
@@ -666,13 +719,25 @@ def _command_cache(args: argparse.Namespace, out) -> int:
 
 def _command_route(args: argparse.Namespace, out) -> int:
     partition_map = PartitionMap.load(args.map_path)
-    router = FabricRouter(partition_map, pool_size=args.pool_size, wire=args.wire)
+    router = FabricRouter(
+        partition_map, pool_size=args.pool_size, wire=args.wire, auth_token=args.auth_token
+    )
     if args.status:
         try:
             report = router.health()
         finally:
             router.close()
         print(f"map v{report['map']['version']} — fabric {report['status']}", file=out)
+        ledger = report.get("ledger")
+        if ledger is not None:
+            if ledger.get("enabled"):
+                verdict = "converged" if ledger.get("converged") else "diverged"
+                print(
+                    f"  ledger: {verdict} ({ledger['locations']} occupied location(s))",
+                    file=out,
+                )
+            else:
+                print("  ledger: off (no partition runs a capacity ledger)", file=out)
         for name, facts in sorted(report["map"]["partitions"].items()):
             health = report["partitions"].get(name, {})
             status = health.get("status", "unknown")
@@ -697,6 +762,7 @@ def _command_route(args: argparse.Namespace, out) -> int:
         wire_format=args.wire,
         max_connections=args.max_connections,
         slow_request_ms=args.slow_ms,
+        auth_token=args.auth_token,
     )
     server.start()
     host, port = server.address

@@ -161,6 +161,25 @@ holds the two pieces:
   speaking the ordinary protocol, so an unmodified
   :class:`~repro.service.client.ServiceClient` sees one logical server.
 
+**Global capacity** (:mod:`repro.service.capacity`) closes the fabric's
+one semantic gap versus embedded serving: a location's occupancy limit
+must count occupants *fleet-wide* even though each partition's movement
+store only tracks its own subjects.  Each partition derives a per-location
+occupancy vector from its authoritative projection whenever a movement
+lands, publishes it over the same invalidation bus that carries cache
+evictions, and folds peers' vectors into a
+:class:`~repro.service.capacity.CapacityLedger`.  The serving engine's
+``occupancy_of`` is overlaid with *local projection + remote ledger*, so
+:class:`~repro.api.stages.CapacityStage` decides against the global count;
+a fold that changes a location's remote count evicts that location's
+cached decisions, exactly like a local movement would.  Counts are
+**absolute** (last-write-wins per origin), so replays and resyncs are
+idempotent; the router's two-phase ``sync`` fan-out is the convergence
+barrier, and a reshard ends with the same barrier so a moved subject's
+stay is counted exactly once.  While the bus is down, a partition serves
+from its last-folded vectors — capacity degrades to *stale-global* (never
+to per-partition blindness), and the background sync tick re-converges it.
+
 Observability (telemetry)
 -------------------------
 
@@ -222,10 +241,12 @@ from repro.service.cache_store import (
     TieredDecisionCache,
     engine_fingerprint,
 )
+from repro.service.capacity import CapacityLedger
 from repro.service.client import ConnectionPool, RemotePdp, RemotePep, ServiceClient
 from repro.service.errors import (
     ProtocolError,
     RemoteServiceError,
+    ServiceAuthError,
     ServiceBusyError,
     ServiceConnectionError,
     ServiceError,
@@ -264,6 +285,7 @@ __all__ = [
     "PartitionMap",
     "FabricRouter",
     "RouterServer",
+    "CapacityLedger",
     "MetricsRegistry",
     "MetricsExporter",
     "Trace",
@@ -275,6 +297,7 @@ __all__ = [
     "DEFAULT_ROUTER_PORT",
     "ServiceError",
     "ProtocolError",
+    "ServiceAuthError",
     "ServiceBusyError",
     "ServiceConnectionError",
     "RemoteServiceError",

@@ -65,8 +65,8 @@ import json
 import socket
 import threading
 import time
-from collections import deque
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from collections import Counter, deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.storage.movement_db import MovementNotice
 from repro.service.errors import ProtocolError, ServiceError
@@ -128,11 +128,12 @@ def _encode(message: Dict[str, Any]) -> bytes:
 class _BusPeer:
     """One connected replica, as the hub sees it."""
 
-    __slots__ = ("writer", "replica")
+    __slots__ = ("writer", "replica", "authed")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.replica: Optional[str] = None
+        self.authed = False
 
 
 class InvalidationBus(AsyncServiceHost):
@@ -155,6 +156,12 @@ class InvalidationBus(AsyncServiceHost):
         connection is told ``busy`` (a typed refusal frame) and closed —
         its :class:`BusLink` backs off and retries.  ``None`` (default) is
         uncapped.
+    auth_token:
+        Optional shared secret.  When set, a replica's hello must carry the
+        matching ``auth`` field or the hub answers a typed
+        ``ServiceAuthError`` refusal frame and closes the connection;
+        publish/ping frames from a connection that never authenticated are
+        ignored.  ``None`` (default) accepts everyone.
 
     One replica typically hosts the bus in-process (``repro serve --bus``);
     the hub carries no authorization state, so losing it only widens the
@@ -170,6 +177,7 @@ class InvalidationBus(AsyncServiceHost):
         replay_buffer: int = DEFAULT_REPLAY_BUFFER,
         drop=None,
         max_connections: Optional[int] = None,
+        auth_token: Optional[str] = None,
     ) -> None:
         if replay_buffer < 1:
             raise ServiceError(f"replay buffer must be positive, got {replay_buffer!r}")
@@ -177,13 +185,21 @@ class InvalidationBus(AsyncServiceHost):
             host, port, frame_limit=DEFAULT_FRAME_LIMIT, max_connections=max_connections
         )
         self._drop = drop
+        self._auth_token = auth_token
         self._seq = 0
         self._buffer: "deque[Tuple[int, Optional[str], List[Dict[str, Any]]]]" = deque(
             maxlen=replay_buffer
         )
         self._peers: List[_BusPeer] = []
         self._state_lock = threading.Lock()
-        self._stats = {"published": 0, "delivered": 0, "dropped": 0, "replayed": 0, "resyncs": 0}
+        self._stats = {
+            "published": 0,
+            "delivered": 0,
+            "dropped": 0,
+            "replayed": 0,
+            "resyncs": 0,
+            "auth_refusals": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle: the shared AsyncServiceHost thread/loop shape.
@@ -199,7 +215,8 @@ class InvalidationBus(AsyncServiceHost):
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: published, delivered, dropped, replayed, resyncs."""
+        """Counters: published, delivered, dropped, replayed, resyncs,
+        auth_refusals."""
         with self._state_lock:
             return dict(self._stats)
 
@@ -248,7 +265,9 @@ class InvalidationBus(AsyncServiceHost):
                     break
                 op = message.get("op")
                 if op == "hello":
-                    self._on_hello(peer, message)
+                    if not self._on_hello(peer, message):
+                        await writer.drain()
+                        break  # typed auth refusal written; drop the peer
                 elif op == "publish":
                     self._on_publish(peer, message)
                 elif op == "ping":
@@ -294,13 +313,34 @@ class InvalidationBus(AsyncServiceHost):
                 peer.writer.write(_encode({"seq": seq, "origin": origin, "events": events}))
                 self._stats["replayed"] += 1
 
-    def _on_hello(self, peer: _BusPeer, message: Dict[str, Any]) -> None:
+    def _on_hello(self, peer: _BusPeer, message: Dict[str, Any]) -> bool:
         with self._state_lock:
+            if self._auth_token is not None and message.get("auth") != self._auth_token:
+                # The typed refusal mirrors the busy frame's shape so a
+                # BusLink can tell "you may not" from "not right now".
+                self._stats["auth_refusals"] += 1
+                peer.writer.write(
+                    _encode(
+                        {
+                            "denied": True,
+                            "error": {
+                                "type": "ServiceAuthError",
+                                "message": (
+                                    "the invalidation bus requires a shared auth "
+                                    "token and the hello did not carry it"
+                                ),
+                            },
+                        }
+                    )
+                )
+                return False
+            peer.authed = True
             peer.replica = message.get("replica")
             last_seen = message.get("last_seen")
             if isinstance(last_seen, int):
                 self._replay_to(peer, last_seen)
             peer.writer.write(_encode({"hello": True, "seq": self._seq}))
+        return True
 
     @staticmethod
     def _peer_backed_up(peer: _BusPeer) -> bool:
@@ -317,6 +357,8 @@ class InvalidationBus(AsyncServiceHost):
         events = message.get("events")
         if not isinstance(events, list) or not events:
             return
+        if self._auth_token is not None and not peer.authed:
+            return  # never sequence frames from a connection that skipped hello
         with self._state_lock:
             self._seq += 1
             seq = self._seq
@@ -337,6 +379,8 @@ class InvalidationBus(AsyncServiceHost):
                 self._stats["delivered"] += 1
 
     def _on_ping(self, peer: _BusPeer, message: Dict[str, Any]) -> None:
+        if self._auth_token is not None and not peer.authed:
+            return  # an unauthenticated ping must not read the seq or replay
         with self._state_lock:
             last_seen = message.get("last_seen")
             if isinstance(last_seen, int):
@@ -368,9 +412,11 @@ class BusLink:
         on_resync,
         reconnect_delay: float = 0.2,
         timeout: float = 10.0,
+        auth_token: Optional[str] = None,
     ) -> None:
         self._address = resolve_bus_address(address)
         self._replica_id = replica_id
+        self._auth_token = auth_token
         self._on_events = on_events
         self._on_resync = on_resync
         self._reconnect_delay = reconnect_delay
@@ -396,6 +442,7 @@ class BusLink:
             "resyncs": 0,
             "reconnects": 0,
             "busy_refusals": 0,
+            "auth_refusals": 0,
         }
         self._thread = threading.Thread(target=self._run, name="ltam-bus-link", daemon=True)
         self._thread.start()
@@ -426,7 +473,8 @@ class BusLink:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters: received, published, gaps, resyncs, reconnects."""
+        """Counters: received, published, gaps, resyncs, reconnects,
+        busy_refusals, auth_refusals."""
         with self._state:
             return dict(self._stats)
 
@@ -592,9 +640,14 @@ class BusLink:
         try:
             sock.settimeout(None)
             reader = sock.makefile("rb")
-            sock.sendall(
-                _encode({"op": "hello", "replica": self._replica_id, "last_seen": None})
-            )
+            hello: Dict[str, Any] = {
+                "op": "hello",
+                "replica": self._replica_id,
+                "last_seen": None,
+            }
+            if self._auth_token is not None:
+                hello["auth"] = self._auth_token
+            sock.sendall(_encode(hello))
             with self._send_lock:
                 self._sock = sock
             hello_seen = False
@@ -615,6 +668,14 @@ class BusLink:
                         # treating the close as a crash.
                         with self._state:
                             self._stats["busy_refusals"] += 1
+                        return
+                    if "denied" in frame:
+                        # Wrong/missing auth token: counted separately from
+                        # busy — retrying cannot help until the operator
+                        # fixes the token, but the reconnect loop keeps the
+                        # link alive so a rotated token heals in place.
+                        with self._state:
+                            self._stats["auth_refusals"] += 1
                         return
                     if "hello" not in frame:
                         continue  # only the hello reply establishes the seq floor
@@ -808,6 +869,19 @@ class ReplicaCoherence:
         Period (seconds) of the background sync tick bounding the coherence
         window even under total bus loss; ``None`` disables the tick
         (gap/reconnect recovery and explicit :meth:`sync` calls remain).
+    ledger:
+        Optional :class:`~repro.service.capacity.CapacityLedger`.  When
+        given, this coherence layer additionally publishes the local
+        store's per-location occupancy (absolute counts, derived at
+        publish time from the projection the notices just updated) and
+        folds peers' vectors into the ledger — evicting the affected
+        locations from the cache so cached capacity decisions never
+        outlive a *remote* occupancy change.  Partitioned-fabric servers
+        pass one; replicas sharing a SQLite file must not (each replica
+        already sees every stay locally — a ledger would double-count).
+    auth_token:
+        Optional shared secret forwarded to the :class:`BusLink` hello;
+        required when the hub was started with one.
     """
 
     _ids = itertools.count(1)
@@ -820,6 +894,8 @@ class ReplicaCoherence:
         bus: Union[str, Tuple[str, int], InvalidationBus],
         replica_id: Optional[str] = None,
         sync_interval: Optional[float] = DEFAULT_SYNC_INTERVAL,
+        ledger=None,
+        auth_token: Optional[str] = None,
     ) -> None:
         if sync_interval is not None and not sync_interval > 0:
             # Event.wait(0) returns immediately: a zero interval would spin
@@ -831,6 +907,8 @@ class ReplicaCoherence:
             )
         self._engine = engine
         self._inner_cache = cache
+        self._ledger = ledger
+        self._auth_token = auth_token
         self._replica_id = (
             replica_id
             if replica_id is not None
@@ -877,6 +955,11 @@ class ReplicaCoherence:
         return self._owned_bus
 
     @property
+    def ledger(self):
+        """The attached :class:`CapacityLedger` (``None`` outside the fabric)."""
+        return self._ledger
+
+    @property
     def stats(self) -> Dict[str, Any]:
         """Coherence counters plus the link's, for the health document."""
         with self._stats_lock:
@@ -887,6 +970,8 @@ class ReplicaCoherence:
             stats["connected"] = self._link.connected
             stats["last_seen"] = self._link.last_seen
         stats["applied_position"] = self._engine.movement_db.applied_position
+        if self._ledger is not None:
+            stats["ledger"] = self._ledger.stats
         return stats
 
     # ------------------------------------------------------------------ #
@@ -905,8 +990,13 @@ class ReplicaCoherence:
             replica_id=self._replica_id,
             on_events=self._handle_events,
             on_resync=self._recover,
+            auth_token=self._auth_token,
         )
         self._unsubscribe = self._engine.movement_db.subscribe(self._publish_movements)
+        # Late join / warm restart: ask the peers for their vectors and
+        # announce our own, so every ledger converges without waiting for
+        # the next movement.  Durable publish — buffered until the hello.
+        self._publish_occupancy_state(request_peers=True)
         if self._sync_interval is not None:
             self._ticker_stop.clear()
             self._ticker = threading.Thread(
@@ -968,10 +1058,57 @@ class ReplicaCoherence:
                 [{"kind": "movement", "notices": [notice.to_wire() for notice in chunk]}],
                 durable=False,
             )
+        if self._ledger is not None:
+            # The capacity ledger's feed: absolute occupancy for every
+            # location these notices touched, read back from the projection
+            # (which the store updates *before* notifying) — never folded
+            # from the notices, so delivery order cannot skew the counts.
+            # Durable, unlike the movement chunks: peers cannot re-derive a
+            # partition-local count from their own stores.
+            affected = set()
+            for notice in notices:
+                affected.update(notice.affected_locations)
+            if affected:
+                db = self._engine.movement_db
+                counts = {location: db.occupancy(location) for location in sorted(affected)}
+                self._link.publish([{"kind": "occupancy", "counts": counts}])
 
     def _publish_admin(self, events: List[Dict[str, Any]]) -> None:
         if self._link is not None:
             self._link.publish(events)
+
+    def _occupancy_vector(self) -> Dict[str, int]:
+        """This partition's full per-location occupancy, from the projection."""
+        return dict(Counter(self._engine.movement_db.subjects_inside().values()))
+
+    def _publish_occupancy_state(self, *, request_peers: bool) -> None:
+        """Publish this partition's full occupancy vector (and optionally ask
+        the peers for theirs) — the ledger's reconciliation primitive, used
+        on start, on bus resync, and after a ``reshard()`` handoff."""
+        if self._ledger is None:
+            return
+        events: List[Dict[str, Any]] = []
+        if request_peers:
+            events.append({"kind": "occupancy_resync"})
+        events.append({"kind": "occupancy", "counts": self._occupancy_vector(), "full": True})
+        self._publish_admin(events)
+
+    def publish_occupancy(self, locations: Iterable[str]) -> None:
+        """Publish current occupancy for *locations* right now.
+
+        For mutation paths that bypass the movement store's subscriber
+        notifications — the fabric's ``forget_subjects`` half of a reshard
+        handoff drops stays without emitting notices, so the automatic
+        publish in :meth:`_publish_movements` never fires for them.
+        """
+        if self._ledger is None:
+            return
+        affected = sorted({str(location) for location in locations})
+        if not affected:
+            return
+        db = self._engine.movement_db
+        counts = {location: db.occupancy(location) for location in affected}
+        self._publish_admin([{"kind": "occupancy", "counts": counts}])
 
     # ------------------------------------------------------------------ #
     # Applying (bus -> local cache/projection)
@@ -1019,6 +1156,25 @@ class ReplicaCoherence:
                         cache.invalidate_location(location)
                     else:
                         cache.invalidate_pair(subject, location)
+            elif kind == "occupancy":
+                if self._ledger is not None:
+                    counts = event.get("counts")
+                    if isinstance(counts, dict):
+                        changed = self._ledger.apply(
+                            str(origin), counts, full=bool(event.get("full"))
+                        )
+                        if cache is not None:
+                            # The acceptance criterion of the capacity fix:
+                            # a cached capacity decision on this partition
+                            # must not survive an occupancy change ingested
+                            # on a peer.
+                            for location in changed:
+                                cache.invalidate_location(location)
+            elif kind == "occupancy_resync":
+                if self._ledger is not None:
+                    # A peer (re)joined or recovered: re-announce our vector
+                    # (without asking back — that would ping-pong forever).
+                    self._publish_occupancy_state(request_peers=False)
             elif kind == "clear":
                 if cache is not None:
                     cache.clear()
@@ -1053,6 +1209,12 @@ class ReplicaCoherence:
         applied = self._pickup()
         if self._inner_cache is not None:
             self._inner_cache.clear()
+        # Re-announce our occupancy and ask the peers for theirs: frames
+        # the outage ate are absolute counts, so the full-vector exchange
+        # restores the ledger exactly.  Stale remote vectors are kept (not
+        # cleared) until the peers' answers replace them — a transiently
+        # low remote count could admit an over-capacity ENTER.
+        self._publish_occupancy_state(request_peers=True)
         return applied
 
     # ------------------------------------------------------------------ #

@@ -174,7 +174,10 @@ class CacheStore:
     that loses recent *puts* merely costs warm coverage.
     """
 
-    FORMAT_VERSION = 1
+    #: v2 added ``last_access`` — the monotonic access stamp the spill trim
+    #: orders by (v1 trimmed by ``rowid``, i.e. insertion order, which
+    #: evicted just-promoted hot rows while stale cold ones survived).
+    FORMAT_VERSION = 2
 
     _SCHEMA = """
         CREATE TABLE IF NOT EXISTS cache_meta (
@@ -193,6 +196,7 @@ class CacheStore:
             json_elided TEXT NOT NULL,
             bin_full    BLOB,
             bin_elided  BLOB,
+            last_access INTEGER NOT NULL DEFAULT 0,
             PRIMARY KEY (subject, location, action, bucket)
         );
         CREATE INDEX IF NOT EXISTS idx_cache_location ON cache_entries (location);
@@ -209,6 +213,18 @@ class CacheStore:
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute("PRAGMA busy_timeout=5000")
         self._connection.executescript(self._SCHEMA)
+        columns = {
+            row[1] for row in self._connection.execute("PRAGMA table_info(cache_entries)")
+        }
+        if "last_access" not in columns:
+            # A v1 sidecar: add the column so the purge below runs against
+            # a consistent schema (the rows themselves are dropped anyway).
+            self._connection.execute(
+                "ALTER TABLE cache_entries ADD COLUMN last_access INTEGER NOT NULL DEFAULT 0"
+            )
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS idx_cache_access ON cache_entries (last_access)"
+        )
         self._connection.commit()
         stored_version = self.get_meta("format_version")
         stored_bucket = self.get_meta("bucket")
@@ -221,6 +237,13 @@ class CacheStore:
             self.delete_all()
         self.set_meta("format_version", str(self.FORMAT_VERSION))
         self.set_meta("bucket", str(bucket))
+        # The access clock is a plain in-store counter, seeded past every
+        # persisted stamp — deterministic (no wall clock) and monotonic
+        # across restarts.
+        (top,) = self._connection.execute(
+            "SELECT MAX(last_access) FROM cache_entries"
+        ).fetchone()
+        self._access_clock = int(top) if top is not None else 0
 
     @property
     def path(self) -> str:
@@ -297,11 +320,12 @@ class CacheStore:
         subject, location, action, bucket = key
         gen_epoch, gen_counter = generation if generation is not None else (None, None)
         with self._lock:
+            self._access_clock += 1
             self._connection.execute(
                 "INSERT OR REPLACE INTO cache_entries"
                 " (subject, location, action, bucket, gen_epoch, gen_counter,"
-                "  position, json_full, json_elided, bin_full, bin_elided)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  position, json_full, json_elided, bin_full, bin_elided, last_access)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     subject,
                     location,
@@ -314,21 +338,47 @@ class CacheStore:
                     json_elided,
                     bin_full,
                     bin_elided,
+                    self._access_clock,
                 ),
             )
             self._connection.commit()
 
     def get(self, key: Key) -> Optional[Tuple]:
         """``(position, gen_epoch, gen_counter, json_full, json_elided,
-        bin_full, bin_elided)`` for *key*, or ``None``."""
+        bin_full, bin_elided)`` for *key*, or ``None``.
+
+        A hit refreshes the row's access stamp — reads keep rows alive
+        under the LRU spill trim.
+        """
         subject, location, action, bucket = key
         with self._lock:
-            return self._connection.execute(
+            row = self._connection.execute(
                 "SELECT position, gen_epoch, gen_counter, json_full, json_elided,"
                 " bin_full, bin_elided FROM cache_entries"
                 " WHERE subject = ? AND location = ? AND action = ? AND bucket = ?",
                 (subject, location, action, bucket),
             ).fetchone()
+            if row is not None:
+                self._touch_locked(subject, location, action, bucket)
+                self._connection.commit()
+            return row
+
+    def touch(self, key: Key) -> None:
+        """Refresh *key*'s access stamp without reading it (demotions: an
+        entry falling out of RAM was, until now, the hot tier's — it must
+        not be the disk trim's first victim)."""
+        subject, location, action, bucket = key
+        with self._lock:
+            self._touch_locked(subject, location, action, bucket)
+            self._connection.commit()
+
+    def _touch_locked(self, subject: str, location: str, action: str, bucket: int) -> None:
+        self._access_clock += 1
+        self._connection.execute(
+            "UPDATE cache_entries SET last_access = ?"
+            " WHERE subject = ? AND location = ? AND action = ? AND bucket = ?",
+            (self._access_clock, subject, location, action, bucket),
+        )
 
     def fill_binary(self, key: Key, bin_full: bytes, bin_elided: bytes) -> None:
         """Backfill the lazily computed binary fragments onto the row."""
@@ -371,7 +421,10 @@ class CacheStore:
         return self._delete("DELETE FROM cache_entries", ())
 
     def trim(self, max_rows: int) -> int:
-        """Drop the oldest-written rows beyond *max_rows* (the spill cap)."""
+        """Drop the least-recently-used rows beyond *max_rows* (the spill
+        cap).  Recency is the ``last_access`` stamp — refreshed by reads,
+        writes and demotions — with ``rowid`` (insertion order) breaking
+        ties, so a just-promoted row outlives rows nothing has read."""
         with self._lock:
             (count,) = self._connection.execute(
                 "SELECT COUNT(*) FROM cache_entries"
@@ -381,7 +434,7 @@ class CacheStore:
                 return 0
             self._connection.execute(
                 "DELETE FROM cache_entries WHERE rowid IN"
-                " (SELECT rowid FROM cache_entries ORDER BY rowid LIMIT ?)",
+                " (SELECT rowid FROM cache_entries ORDER BY last_access, rowid LIMIT ?)",
                 (excess,),
             )
             self._connection.commit()
@@ -428,8 +481,9 @@ class TieredDecisionCache(DecisionCache):
     bucket, maxsize:
         As on the base class; *maxsize* bounds only the RAM tier.
     spill:
-        Optional cap on **disk** rows; beyond it the oldest-written rows
-        are trimmed.  ``None`` (default) leaves the disk tier unbounded.
+        Optional cap on **disk** rows; beyond it the least-recently-used
+        rows are trimmed (see :meth:`CacheStore.trim`).  ``None``
+        (default) leaves the disk tier unbounded.
 
     Tiering is write-through: every admitted store lands on disk in the
     same call (stamped with the movement store's
@@ -565,6 +619,10 @@ class TieredDecisionCache(DecisionCache):
             and payload.bin_elided is not None
         ):
             self._store.fill_binary(key, payload.bin_full, payload.bin_elided)
+        # Until this instant the entry lived in the hot tier — refresh its
+        # stamp so the LRU trim ranks it by *that* recency, not its
+        # original write.
+        self._store.touch(key)
         self._spilled += 1
 
     def _purge_location_locked(self, location: str) -> None:

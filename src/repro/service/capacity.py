@@ -1,0 +1,155 @@
+"""The global capacity ledger: fabric-wide occupancy, replicated per partition.
+
+Since PR 6 the partitioned fabric shipped with a documented correctness bug:
+:class:`~repro.api.stages.CapacityStage` counted occupancy in the owner
+partition's **local** projection only, so a location whose occupants span
+partitions could be oversubscribed without a single denial.  This module is
+the fix's passive half — the replicated counter itself:
+
+* each partition **publishes** per-location absolute occupancy counts over
+  the :class:`~repro.service.bus.InvalidationBus`, derived from the same
+  :class:`~repro.storage.movement_db.MovementNotice` stream that already
+  drives cache invalidation (the counts are read back from the movement
+  store's O(1) occupancy projection at publish time, never folded from the
+  notices themselves — out-of-order delivery can therefore never make the
+  replicated value diverge from the publisher's truth);
+* every partition **folds** its peers' vectors into a
+  :class:`CapacityLedger` keyed by bus origin, and serves
+  ``occupancy_of(location)`` as *local projection + remote ledger* — each
+  subject's stay is counted by exactly one partition (its owner), so the
+  sum is the global count whenever the vectors are current;
+* the fabric router's two-phase ``sync`` fan-out is the convergence
+  barrier: phase one flushes every partition's pending publishes to the
+  hub (the bus link's outbox is FIFO, so a sync pong proves the frames
+  before it arrived), phase two delivers every peer's phase-one publishes
+  everywhere.  After it returns, every ledger agrees.
+
+Absolute counts (not deltas) keep reconciliation trivial: a ``full``
+vector replaces an origin's state wholesale (bus resync, late join,
+``reshard()``), and replaying an old partial is idempotent — the last
+write per location wins, and the publisher always writes the truth.
+
+Standalone servers never construct a ledger; ``occupancy_of`` falls back
+to the local projection, exactly the pre-fabric behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["CapacityLedger"]
+
+
+class CapacityLedger:
+    """Per-location occupancy replicated from the other partitions.
+
+    The ledger stores one non-negative integer vector per bus *origin*
+    (peer partition) plus a maintained per-location total, so
+    :meth:`remote_occupancy` is O(1) on the decide hot path.  Zero counts
+    are pruned — an origin's vector only names locations it currently has
+    occupants in, which keeps the convergence comparison in ``repro route
+    --status`` exact (publishers emit vectors with the same property).
+
+    Thread safety: folds arrive on the bus link's reader thread while the
+    decide path reads concurrently; one lock covers both.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._remote: Dict[str, Dict[str, int]] = {}
+        self._totals: Dict[str, int] = {}
+        self._applied = 0
+        self._last_fold: Optional[float] = None
+
+    # -- the decide hot path ------------------------------------------- #
+    def remote_occupancy(self, location: str) -> int:
+        """Peers' occupants currently inside *location* — O(1)."""
+        with self._lock:
+            return self._totals.get(location, 0)
+
+    # -- folding peer publishes ---------------------------------------- #
+    def apply(
+        self, origin: str, counts: Mapping[str, int], *, full: bool = False
+    ) -> List[str]:
+        """Fold one peer publish; returns the locations whose remote total
+        changed (the caller evicts those from the decision cache).
+
+        A *partial* publish (``full=False``) merges only the named
+        locations into *origin*'s vector; a *full* publish replaces the
+        vector wholesale — the reconciliation form used on bus resync and
+        after a reshard.  Counts are absolute, so re-applying is
+        idempotent and ordering within one origin is last-write-wins.
+        """
+        changed: List[str] = []
+        with self._lock:
+            vector = self._remote.setdefault(str(origin), {})
+            updates = {str(location): int(count) for location, count in counts.items()}
+            if full:
+                for location in list(vector):
+                    if location not in updates:
+                        updates[location] = 0
+            for location, count in updates.items():
+                previous = vector.get(location, 0)
+                if count == previous:
+                    continue
+                if count > 0:
+                    vector[location] = count
+                else:
+                    vector.pop(location, None)
+                total = self._totals.get(location, 0) + (count - previous)
+                if total > 0:
+                    self._totals[location] = total
+                else:
+                    self._totals.pop(location, None)
+                changed.append(location)
+            if not vector:
+                self._remote.pop(str(origin), None)
+            self._applied += 1
+            self._last_fold = time.monotonic()
+        return sorted(changed)
+
+    def drop_origin(self, origin: str) -> List[str]:
+        """Forget one peer's vector entirely (a partition leaving the
+        fabric); returns the locations whose total changed."""
+        return self.apply(origin, {}, full=True)
+
+    # -- introspection -------------------------------------------------- #
+    def remote_vectors(self) -> Dict[str, Dict[str, int]]:
+        """Per-origin vectors, deep-copied (health / convergence reports)."""
+        with self._lock:
+            return {origin: dict(vector) for origin, vector in self._remote.items()}
+
+    def totals(self) -> Dict[str, int]:
+        """The summed remote vector, copied."""
+        with self._lock:
+            return dict(self._totals)
+
+    @property
+    def origins(self) -> List[str]:
+        with self._lock:
+            return sorted(self._remote)
+
+    @property
+    def lag_seconds(self) -> float:
+        """Seconds since the newest remote fold (0.0 before the first one).
+
+        This is the ledger's staleness signal, not a delivery latency: a
+        quiet fabric legitimately grows it, but a partition whose peers
+        are publishing while this number climbs has a dead bus link.
+        """
+        with self._lock:
+            if self._last_fold is None:
+                return 0.0
+            return max(0.0, time.monotonic() - self._last_fold)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "origins": sorted(self._remote),
+                "locations": len(self._totals),
+                "applied": self._applied,
+                "remote_occupants": sum(self._totals.values()),
+            }

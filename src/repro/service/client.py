@@ -99,6 +99,11 @@ class ServiceClient:
     falling back to NDJSON transparently when the server is JSON-only or
     predates negotiation entirely, so there is no flag day.  ``"auto"``
     is an alias of ``"binary"``.  Check :attr:`wire` for the outcome.
+
+    *auth_token* is stamped onto every request frame as the ``auth``
+    field, for servers/routers started with ``--auth-token``; without it
+    such a listener answers each frame with a typed
+    :class:`~repro.service.errors.ServiceAuthError`.
     """
 
     def __init__(
@@ -109,11 +114,13 @@ class ServiceClient:
         timeout: Optional[float] = 30.0,
         wire: str = "json",
         frame_limit: int = DEFAULT_FRAME_LIMIT,
+        auth_token: Optional[str] = None,
     ) -> None:
         if wire not in (JSON, BINARY, "auto"):
             raise ServiceError(
                 f"unknown wire format {wire!r}; expected 'binary', 'json' or 'auto'"
             )
+        self._auth_token = auth_token
         self._address = (host, port)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -259,6 +266,8 @@ class ServiceClient:
         trace = telemetry.active_trace()
         if trace is not None and "tctx" not in payload:
             payload["tctx"] = trace.tctx(telemetry.current_span_id())
+        if self._auth_token is not None:
+            payload["auth"] = self._auth_token
         message_id = next(self._ids)
         with self._lock:
             if self._sock is None:
@@ -495,6 +504,7 @@ class ConnectionPool:
         size: int = 4,
         timeout: Optional[float] = 30.0,
         wire: str = "json",
+        auth_token: Optional[str] = None,
     ) -> None:
         if size < 1:
             raise ProtocolError(f"pool size must be positive, got {size!r}")
@@ -503,6 +513,7 @@ class ConnectionPool:
         self._size = size
         self._timeout = timeout
         self._wire = wire
+        self._auth_token = auth_token
         self._idle: List[ServiceClient] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -536,7 +547,11 @@ class ConnectionPool:
             client = None
         if client is None:
             client = ServiceClient(
-                self._host, self._port, timeout=self._timeout, wire=self._wire
+                self._host,
+                self._port,
+                timeout=self._timeout,
+                wire=self._wire,
+                auth_token=self._auth_token,
             )
         try:
             yield client
@@ -580,12 +595,15 @@ class _Remote:
         pool_size: int = 4,
         timeout: Optional[float] = 30.0,
         wire: str = "json",
+        auth_token: Optional[str] = None,
     ) -> None:
         self._owns_pool = pool is None
         self._pool = (
             pool
             if pool is not None
-            else ConnectionPool(host, port, size=pool_size, timeout=timeout, wire=wire)
+            else ConnectionPool(
+                host, port, size=pool_size, timeout=timeout, wire=wire, auth_token=auth_token
+            )
         )
 
     @property

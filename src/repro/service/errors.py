@@ -23,6 +23,7 @@ from repro.errors import LTAMError
 __all__ = [
     "ServiceError",
     "ProtocolError",
+    "ServiceAuthError",
     "ServiceBusyError",
     "ServiceConnectionError",
     "RemoteServiceError",
@@ -43,6 +44,16 @@ class ServiceBusyError(ServiceError):
     Raised client-side when a capped listener (``--max-connections``)
     answers a new connection with a typed ``busy`` error frame and closes
     it.  Retriable by definition — the server is healthy, just saturated.
+    """
+
+
+class ServiceAuthError(ServiceError):
+    """The request lacked (or mis-stated) the listener's shared auth token.
+
+    Raised client-side when a token-protected listener (``--auth-token`` on
+    the server, the router or the invalidation bus) answers a frame with a
+    typed auth error.  Not retriable without the token: unlike
+    :class:`ServiceBusyError`, the refusal is about the caller, not load.
     """
 
 

@@ -35,11 +35,19 @@ standalone ``repro route`` process (:class:`RouterServer`, hosted on the
 same :class:`~repro.service.runtime.AsyncServiceHost` lifecycle as the
 server and the bus).
 
-**Limitation** — capacity checks: per-location occupancy is counted by the
-partition that tracks each subject, so a location whose occupants span
-partitions has its capacity enforced per-partition, not globally.  The
-conformance workload does not configure capacities; a global capacity
-ledger is a follow-on.
+**Global capacity** — capacity checks count the whole fabric: each
+partition publishes its per-location occupancy over the invalidation bus
+and folds its peers' vectors into a
+:class:`~repro.service.capacity.CapacityLedger`, so
+:class:`~repro.api.stages.CapacityStage` sees *local projection + remote
+ledger* wherever a location's occupants span partitions.  The router's
+``sync`` fan-out is the convergence barrier — it runs **two phases**
+(flush every partition's pending publishes to the hub, then deliver every
+peer's publishes everywhere), and :meth:`FabricRouter.reshard` ends with
+the same barrier so moved subjects' stays are never double-counted across
+the handoff.  :meth:`FabricRouter.health` compares every partition's local
+occupancy vector against its peers' replicated copies and reports the
+fabric-wide ``ledger`` convergence verdict (``repro route --status``).
 """
 
 from __future__ import annotations
@@ -62,7 +70,12 @@ from repro.storage.movement_db import MovementRecord
 from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, stable_hash
 from repro.service import telemetry, wire as wireformat
 from repro.service.client import ConnectionPool, RequestLike, _coerce_request
-from repro.service.errors import ProtocolError, ServiceBusyError, ServiceError
+from repro.service.errors import (
+    ProtocolError,
+    ServiceAuthError,
+    ServiceBusyError,
+    ServiceError,
+)
 from repro.service.protocol import (
     alert_from_dict,
     decision_from_dict,
@@ -390,6 +403,7 @@ class FabricRouter:
         pool_size: int = 4,
         timeout: Optional[float] = 30.0,
         wire: str = "json",
+        auth_token: Optional[str] = None,
     ) -> None:
         self._pool_size = pool_size
         self._timeout = timeout
@@ -397,12 +411,15 @@ class FabricRouter:
         #: negotiates per partition connection — a JSON-only partition falls
         #: back transparently, so mixed fleets work during a rollout.
         self._wire = wire
+        #: shared secret stamped onto every partition call, for fleets whose
+        #: servers run with ``--auth-token``.
+        self._auth_token = auth_token
         self._map = partition_map
         self._pools: Dict[str, ConnectionPool] = {}
         for name in partition_map.names:
             host, port = partition_map.address(name)
             self._pools[name] = ConnectionPool(
-                host, port, size=pool_size, timeout=timeout, wire=wire
+                host, port, size=pool_size, timeout=timeout, wire=wire, auth_token=auth_token
             )
         self._lock = _ReadWriteLock()
         # The router's metrics registry: the same single source of truth
@@ -679,16 +696,35 @@ class FabricRouter:
         return merged
 
     def sync_raw(self) -> Dict[str, Any]:
-        """The coherence barrier, fanned out to every partition."""
+        """The coherence barrier, fanned out to every partition — twice.
+
+        One round only proves each partition drained the *hub's* backlog as
+        of the moment its own ping was sequenced; a peer's occupancy publish
+        flushed by that same round may still be in flight toward everyone
+        else.  The first round therefore flushes every partition's pending
+        publishes onto the hub (a partition's publishes are FIFO-ordered
+        ahead of its ping, so its pong proves they were sequenced); the
+        second round replays the hub's now-complete log to every partition.
+        After both rounds, every capacity ledger holds every peer's latest
+        occupancy vector — which is why callers treat ``sync`` as the
+        fabric-wide capacity convergence point.
+        """
         with self._lock.read():
             self._bump("routed")
-            receipts = self._fan_out(
-                self._map.names, lambda name: self._call(name, "sync")
-            )
+            receipts = self._two_phase_sync(self._map.names)
         return {
             "partitions": receipts,
             "applied": sum(int(receipt.get("applied", 0)) for receipt in receipts.values()),
         }
+
+    def _two_phase_sync(self, names: Sequence[str]) -> Dict[str, Any]:
+        """Run the flush round then the delivery round; return round-two
+        receipts (the ones that observed the fully-sequenced log).
+
+        Callers must hold the map lock (read or write).
+        """
+        self._fan_out(names, lambda name: self._call(name, "sync"))
+        return self._fan_out(names, lambda name: self._call(name, "sync"))
 
     def health(self) -> Dict[str, Any]:
         """The fabric health document: the map plus per-partition health.
@@ -709,7 +745,7 @@ class FabricRouter:
             partitions = self._fan_out(current.names, probe)
         healthy = all(report.get("status") == "ok" for report in partitions.values())
         stats = {key: counter.value for key, counter in self._counters.items()}
-        return {
+        report = {
             "status": "ok" if healthy else "degraded",
             "role": "router",
             "map": {
@@ -718,6 +754,60 @@ class FabricRouter:
             },
             "partitions": partitions,
             "stats": stats,
+        }
+        ledger = self._ledger_verdict(partitions)
+        if ledger is not None:
+            report["ledger"] = ledger
+        return report
+
+    @staticmethod
+    def _ledger_verdict(partitions: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Fold per-partition ``ledger`` health sections into one verdict.
+
+        The fabric is *converged* when every partition's replicated copy of
+        every peer's occupancy vector matches that peer's own local vector
+        (both zero-pruned).  Returns ``{"enabled": False}`` when no
+        partition runs a ledger, ``None`` when a partition is unreachable
+        (no verdict is honest then).
+        """
+        sections: Dict[str, Dict[str, Any]] = {}
+        origins: Dict[str, str] = {}
+        for name, health in partitions.items():
+            if not isinstance(health, dict) or health.get("status") == "unreachable":
+                return None
+            section = health.get("ledger")
+            if not isinstance(section, dict):
+                continue
+            sections[name] = section
+            coherence = health.get("coherence") or {}
+            origins[name] = str(coherence.get("replica") or name)
+        if not sections:
+            return {"enabled": False}
+        if len(sections) != len(partitions):
+            # A mixed fleet (some partitions without a ledger) cannot
+            # enforce capacity globally — say so rather than half-agree.
+            return {"enabled": False}
+
+        def pruned(vector: Any) -> Dict[str, int]:
+            if not isinstance(vector, dict):
+                return {}
+            return {str(k): int(v) for k, v in vector.items() if v}
+
+        converged = True
+        locations: set = set()
+        for name, section in sections.items():
+            local = pruned(section.get("local"))
+            locations.update(local)
+            for peer, peer_section in sections.items():
+                if peer == name:
+                    continue
+                remote = peer_section.get("remote") or {}
+                if pruned(remote.get(origins[name])) != local:
+                    converged = False
+        return {
+            "enabled": True,
+            "converged": converged,
+            "locations": len(locations),
         }
 
     def metrics_raw(self) -> Dict[str, Any]:
@@ -895,6 +985,7 @@ class FabricRouter:
                         size=self._pool_size,
                         timeout=self._timeout,
                         wire=self._wire,
+                        auth_token=self._auth_token,
                     )
             # Plan: every subject a partition holds whose new owner differs.
             moves: Dict[Tuple[str, str], List[str]] = {}
@@ -927,6 +1018,12 @@ class FabricRouter:
             for name in list(self._pools):
                 if name not in new_map.partitions:
                     self._pools.pop(name).close()
+            # Reconcile the capacity ledgers before the new map serves: the
+            # handoff republished occupancy on both sides of every move
+            # (forget on the source, import on the target), and the
+            # two-phase barrier delivers those vectors fleet-wide so a
+            # moved subject's stay is counted exactly once.
+            self._two_phase_sync(new_map.names)
             self._bump("reshards")
             self._bump("subjects_moved", len(moved))
             return {
@@ -985,6 +1082,7 @@ class RouterServer(AsyncServiceHost):
         wire_format: str = wireformat.BINARY,
         max_connections: Optional[int] = None,
         slow_request_ms: Optional[float] = None,
+        auth_token: Optional[str] = None,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wireformat.BINARY, wireformat.JSON):
@@ -994,7 +1092,9 @@ class RouterServer(AsyncServiceHost):
         self._binary_enabled = wire_format == wireformat.BINARY
         self._router = router
         self._slow_request_ms = slow_request_ms
+        self._auth_token = auth_token
         registry = router.metrics
+        self._auth_refused = registry.counter("repro_auth_refused_total")
         self._op_latency = {
             op: registry.histogram("repro_op_latency_seconds", op=op)
             for op in ("decide", "decide_many", "enforce", "observe", "observe_batch",
@@ -1128,6 +1228,16 @@ class RouterServer(AsyncServiceHost):
                 message = decode_frame(frame)
             message_id = message.get("id")
             op = message.get("op")
+            if (
+                self._auth_token is not None
+                and op != "hello"
+                and message.get("auth") != self._auth_token
+            ):
+                self._auth_refused.inc()
+                raise ServiceAuthError(
+                    "this router requires a shared auth token (--auth-token) "
+                    "and the frame did not carry it"
+                )
             tctx = message.get("tctx")
             if tctx is not None:
                 trace = telemetry.Trace.from_tctx(tctx)

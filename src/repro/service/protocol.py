@@ -42,6 +42,7 @@ from repro.storage.movement_db import Checkpoint, MovementRecord
 from repro.service.errors import (
     ProtocolError,
     RemoteServiceError,
+    ServiceAuthError,
     ServiceBusyError,
     ServiceConnectionError,
     ServiceError,
@@ -335,6 +336,7 @@ def _error_registry() -> Dict[str, type]:
     for value in (
         ServiceError,
         ProtocolError,
+        ServiceAuthError,
         ServiceBusyError,
         ServiceConnectionError,
         RemoteServiceError,

@@ -46,6 +46,7 @@ import json
 import logging
 import threading
 import time
+from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.serialization import authorization_to_dict
@@ -63,7 +64,13 @@ from repro.service import telemetry, wire
 from repro.service.bus import DEFAULT_SYNC_INTERVAL, ReplicaCoherence
 from repro.service.cache import DecisionCache
 from repro.service.cache_store import WireFragments, engine_fingerprint
-from repro.service.errors import ProtocolError, ServiceBusyError, ServiceError
+from repro.service.capacity import CapacityLedger
+from repro.service.errors import (
+    ProtocolError,
+    ServiceAuthError,
+    ServiceBusyError,
+    ServiceError,
+)
 from repro.service.protocol import (
     alert_from_dict,
     alert_to_dict,
@@ -327,6 +334,19 @@ class LtamServer(AsyncServiceHost):
         full span tree as one NDJSON line on the ``repro.service.requests``
         logger.  ``None`` (default) disables local sampling; requests that
         arrive with a caller's ``tctx`` context are traced either way.
+    auth_token:
+        Optional shared secret (``repro serve --auth-token``).  When set,
+        every frame except the ``hello`` negotiation must carry a matching
+        ``auth`` field; frames that do not are answered with a typed
+        :class:`~repro.service.errors.ServiceAuthError` and counted on the
+        ``repro_auth_refused_total`` metric.  The same token is forwarded
+        to the bus link when this server joins an invalidation bus.
+
+    A server started with ``partition=...`` **and** a bus additionally
+    maintains a :class:`~repro.service.capacity.CapacityLedger`: peers'
+    per-location occupancy is folded in over the bus and
+    ``occupancy_of``/``CapacityStage`` see *fabric-wide* counts (local
+    projection + remote ledger) instead of the partition-local blind spot.
 
     With a cache that carries a persistent tier
     (:class:`~repro.service.cache_store.TieredDecisionCache`),
@@ -365,6 +385,7 @@ class LtamServer(AsyncServiceHost):
         max_connections: Optional[int] = None,
         log_requests: bool = False,
         slow_request_ms: Optional[float] = None,
+        auth_token: Optional[str] = None,
     ) -> None:
         super().__init__(host, port, frame_limit=frame_limit, max_connections=max_connections)
         if wire_format not in (wire.BINARY, wire.JSON):
@@ -377,14 +398,25 @@ class LtamServer(AsyncServiceHost):
         self._engine = engine
         self._partition = partition
         self._partition_map = partition_map
+        self._auth_token = auth_token
         self._coherence: Optional[ReplicaCoherence] = None
+        # The global capacity ledger exists exactly when this server is a
+        # fabric partition with a bus to its peers.  Replicas sharing one
+        # SQLite file must NOT get one: each replica's local projection
+        # already counts every stay, so folding the peers' counts on top
+        # would double-count the same occupants.
+        self._ledger: Optional[CapacityLedger] = (
+            CapacityLedger() if partition is not None and bus is not None else None
+        )
         if bus is not None:
             self._coherence = ReplicaCoherence(
                 engine,
                 cache,
                 bus=bus,
-                replica_id=replica_id,
+                replica_id=replica_id if replica_id is not None else partition,
                 sync_interval=sync_interval,
+                ledger=self._ledger,
+                auth_token=auth_token,
             )
             # The engine (and the decide path) must see the publishing
             # wrapper so administrative evictions fan out to the peers.
@@ -435,6 +467,7 @@ class LtamServer(AsyncServiceHost):
             op: registry.counter("repro_ops_total", op=op) for op in self._HANDLERS
         }
         self._op_errors = registry.counter("repro_op_errors_total")
+        self._auth_refused = registry.counter("repro_auth_refused_total")
         self._slow_sampled = registry.counter("repro_slow_requests_total")
         self._ingest_commit_latency = registry.histogram("repro_ingest_commit_seconds")
         self._register_gauges(registry)
@@ -542,6 +575,15 @@ class LtamServer(AsyncServiceHost):
         )
         registry.gauge("repro_ingest_queue_depth", fn=self._ingest_queue_depth)
         registry.gauge("repro_bus_lag", fn=self._bus_lag)
+        if self._ledger is not None:
+            ledger = self._ledger
+            registry.gauge("repro_ledger_lag_seconds", fn=lambda: ledger.lag_seconds)
+            registry.gauge("repro_ledger_origins", fn=lambda: len(ledger.origins))
+            registry.gauge(
+                "repro_ledger_remote_occupants",
+                fn=lambda: sum(ledger.totals().values()),
+            )
+        self._register_location_gauges()
         if self._cache is not None:
             cache = self._cache
             for key in ("hits", "misses", "stores", "invalidated", "evicted", "size"):
@@ -549,6 +591,31 @@ class LtamServer(AsyncServiceHost):
                     "repro_cache_%s" % key,
                     fn=(lambda cache=cache, key=key: cache.stats.get(key, 0)),
                 )
+
+    def _register_location_gauges(self) -> None:
+        """One occupancy gauge per capacity-limited location.
+
+        The reported value is what :class:`~repro.api.stages.CapacityStage`
+        sees: the local projection plus (in fabric mode) the ledger's remote
+        counts.  Re-invoked on every ``metrics`` scrape so limits configured
+        after startup (``set_capacity`` at runtime) gain their gauge too —
+        ``registry.gauge`` is idempotent per (name, labels).
+        """
+        monitor = getattr(self._engine, "monitor", None)
+        limits = getattr(monitor, "_capacity_limits", None)
+        if not limits:
+            return
+        movement_db = self._engine.movement_db
+        ledger = self._ledger
+        for location in list(limits):
+            self._registry.gauge(
+                "repro_location_occupancy",
+                fn=(
+                    lambda location=location: movement_db.occupancy(location)
+                    + (ledger.remote_occupancy(location) if ledger is not None else 0)
+                ),
+                location=location,
+            )
 
     def _ingest_queue_depth(self) -> int:
         with self._ingest_lock:
@@ -589,6 +656,38 @@ class LtamServer(AsyncServiceHost):
         """The replica coherence layer, when this server joined a bus."""
         return self._coherence
 
+    @property
+    def ledger(self) -> Optional[CapacityLedger]:
+        """The global capacity ledger (fabric partitions with a bus only)."""
+        return self._ledger
+
+    def _attach_occupancy_overlay(self) -> None:
+        """Make capacity checks count the whole fabric, not this partition.
+
+        The overlay sums the local projection with the ledger's replicated
+        remote counts; detached on :meth:`stop` so an engine reused embedded
+        afterwards falls back to local-only occupancy (the standalone
+        semantics).  Duck-typed: engines without the hook keep local counts.
+        """
+        if self._ledger is None:
+            return
+        attach = getattr(self._engine, "attach_occupancy_overlay", None)
+        if not callable(attach):
+            return
+        movement_db = self._engine.movement_db
+        ledger = self._ledger
+        attach(
+            lambda location: movement_db.occupancy(location)
+            + ledger.remote_occupancy(location)
+        )
+
+    def _detach_occupancy_overlay(self) -> None:
+        if self._ledger is None:
+            return
+        detach = getattr(self._engine, "detach_occupancy_overlay", None)
+        if callable(detach):
+            detach()
+
     def start(self) -> "LtamServer":
         """Start serving on a background thread; returns once bound.
 
@@ -599,6 +698,7 @@ class LtamServer(AsyncServiceHost):
             raise ServiceError("the server was already started")
         self._connect_cache()  # reconnect after a stop() (idempotent)
         self._warm_cache()
+        self._attach_occupancy_overlay()
         if self._coherence is not None:
             self._coherence.start()
         try:
@@ -610,6 +710,7 @@ class LtamServer(AsyncServiceHost):
             # a retry with "the invalidation bus was already started").
             if self._coherence is not None:
                 self._coherence.stop()
+            self._detach_occupancy_overlay()
             raise
         return self
 
@@ -621,6 +722,7 @@ class LtamServer(AsyncServiceHost):
         self.close_ingestors()
         if self._coherence is not None:
             self._coherence.stop()
+        self._detach_occupancy_overlay()
         self._disconnect_cache()
 
     def _on_bound(self) -> None:
@@ -793,6 +895,16 @@ class LtamServer(AsyncServiceHost):
                 message = decode_frame(frame)
             message_id = message.get("id")
             op = message.get("op")
+            if (
+                self._auth_token is not None
+                and op != "hello"  # negotiation carries no payload worth gating
+                and message.get("auth") != self._auth_token
+            ):
+                self._auth_refused.inc()
+                raise ServiceAuthError(
+                    "this server requires a shared auth token (--auth-token) "
+                    "and the frame did not carry it"
+                )
             handler = self._HANDLERS.get(op)
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}")
@@ -1316,6 +1428,12 @@ class LtamServer(AsyncServiceHost):
             if callable(invalidate_subject):
                 for subject in subjects:
                     invalidate_subject(subject)
+        if self._coherence is not None:
+            # forget_subjects drops occupancy *without* mutation notices, so
+            # the automatic ledger publish never fires — announce the new
+            # (lower) counts explicitly or the peers would keep counting the
+            # migrated subjects against this partition forever.
+            self._coherence.publish_occupancy(locations)
         return {
             "subjects": subjects,
             "locations": sorted(locations),
@@ -1350,6 +1468,7 @@ class LtamServer(AsyncServiceHost):
         counters read this; the Prometheus endpoint renders the same
         registry as text exposition.
         """
+        self._register_location_gauges()  # pick up post-start set_capacity calls
         data = self._registry.collect()
         data["identity"] = {
             "role": "server",
@@ -1381,9 +1500,29 @@ class LtamServer(AsyncServiceHost):
                 "busy_refused": self._busy_refused,
             },
             "coherence": self._coherence.stats if self._coherence is not None else None,
+            "ledger": self._ledger_info(),
             "ingest": ingest,
             "partition": self._partition_info(),
         }
+
+    def _ledger_info(self) -> Optional[Dict[str, Any]]:
+        """The capacity ledger's health section (``None`` outside the fabric).
+
+        ``local`` is this partition's own zero-pruned occupancy vector and
+        ``remote`` the per-origin vectors folded from the bus — the router's
+        convergence check compares every partition's ``local`` against its
+        peers' ``remote`` copies of it.
+        """
+        if self._ledger is None:
+            return None
+        local = dict(Counter(self._engine.movement_db.subjects_inside().values()))
+        info: Dict[str, Any] = {
+            "local": local,
+            "remote": self._ledger.remote_vectors(),
+            "lag_seconds": self._ledger.lag_seconds,
+        }
+        info.update(self._ledger.stats)
+        return info
 
     _HANDLERS = {
         "hello": _op_hello,

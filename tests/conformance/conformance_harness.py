@@ -64,7 +64,10 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.api import Ltam
+from repro.api.stages import CapacityStage
 from repro.engine.query.evaluator import QueryEngine
+from repro.core.authorization import UNLIMITED_ENTRIES, LocationTemporalAuthorization
+from repro.core.requests import AccessRequest
 from repro.core.serialization import dumps_authorizations
 from repro.locations.multilevel import LocationHierarchy
 from repro.locations.serialization import dumps as dumps_layout
@@ -85,6 +88,7 @@ from repro.service.protocol import (
 )
 from repro.simulation.buildings import grid_building
 from repro.simulation.workload import AuthorizationWorkloadGenerator, generate_subjects
+from repro.storage.movement_db import MovementKind, MovementRecord
 
 TOPOLOGIES = (
     "embedded-memory",
@@ -127,6 +131,12 @@ def subprocess_replicas() -> bool:
 class Workload:
     """The deterministic script every topology replays."""
 
+    #: per-location occupancy limits; when non-empty every topology builds
+    #: its engines with the :class:`CapacityStage` and these limits (and the
+    #: partitioned topologies attach the invalidation bus so the capacity
+    #: ledger replicates occupancy fabric-wide).
+    capacities: Dict[str, int] = {}
+
     def __init__(self, seed: int = 11) -> None:
         self.graph = grid_building("B", 4, 4)
         self.hierarchy = LocationHierarchy(self.graph)
@@ -160,6 +170,130 @@ class Workload:
         queries.append(f"VIOLATIONS FOR {self.subjects[0]}")
         queries.append(f"AUTHORIZATIONS FOR {self.subjects[1]}")
         return queries
+
+
+class FlashCrowdWorkload(Workload):
+    """The global-capacity differential: a flash crowd on one location.
+
+    One location gets an occupancy limit, and a rotating crowd of subjects
+    converges on it round after round while everyone else roams the rest of
+    the building.  Decision probes hammer the hot location every round —
+    against a *full* room (``over_capacity`` denials) and against a room
+    with slack (grants whose ``occupancy n/limit`` trace detail embeds the
+    exact global count).
+
+    In the partitioned topologies the crowd spans both partitions, so every
+    one of those verdicts is byte-identical to the embedded reference only
+    if the fabric counts occupants **globally** — the capacity ledger under
+    test.  The crowd's observed entries never exceed the limit (capacity is
+    enforced at *decide* time; the monitor's over-capacity alerting counts
+    partition-local sessions and would legitimately diverge), and the
+    workload's first subject is mid-stay inside the hot location when the
+    harness reshards after round ``RESHARD_AFTER_ROUND`` — the moved stay
+    must be counted exactly once afterwards.
+    """
+
+    HOT_CAPACITY = 6
+
+    def __init__(self, seed: int = 29) -> None:
+        self.graph = grid_building("B", 4, 4)
+        self.hierarchy = LocationHierarchy(self.graph)
+        self.subjects = generate_subjects(SUBJECT_COUNT)
+        generator = AuthorizationWorkloadGenerator(self.hierarchy, seed=seed)
+        horizon = generator.config.horizon
+        locations = sorted(self.hierarchy.primitive_names)
+        self.hot = locations[0]
+        self.capacities = {self.hot: self.HOT_CAPACITY}
+        # Everyone may enter the hot location at any time with an unlimited
+        # budget: capacity must be the *deciding* stage for the probes, not
+        # entry windows or budget exhaustion.
+        self.authorizations = generator.authorizations(self.subjects) + [
+            LocationTemporalAuthorization(
+                (subject, self.hot), (0, horizon), (0, horizon), UNLIMITED_ENTRIES
+            )
+            for subject in self.subjects
+        ]
+        crowd = self.subjects[: self.HOT_CAPACITY + 2]
+        #: who is inside the hot location at each round's decide point:
+        #: full → slack → full (fresh members; the reshard victim
+        #: ``subjects[0]`` mid-stay) → full (churned again).
+        plan = (
+            crowd[:6],
+            crowd[:4],
+            crowd[:3] + crowd[5:8],
+            crowd[2:8],
+        )
+        assert all(len(occupants) <= self.HOT_CAPACITY for occupants in plan)
+        inside: List[str] = []
+        roaming: Dict[str, str] = {}
+        span = horizon // ROUNDS
+        self.rounds = []
+        for index, occupants in enumerate(plan):
+            base = index * span
+            clock = iter(range(base, base + span - 20))
+            chunk: List[MovementRecord] = []
+            # Exits first, so observed occupancy never exceeds the limit.
+            for subject in [s for s in inside if s not in occupants]:
+                chunk.append(
+                    MovementRecord(next(clock), subject, self.hot, MovementKind.EXIT)
+                )
+            for subject in [s for s in occupants if s not in inside]:
+                station = roaming.pop(subject, None)
+                if station is not None:
+                    chunk.append(
+                        MovementRecord(next(clock), subject, station, MovementKind.EXIT)
+                    )
+                chunk.append(
+                    MovementRecord(next(clock), subject, self.hot, MovementKind.ENTER)
+                )
+            inside = list(occupants)
+            # Background churn away from the hot location: every other
+            # subject alternates between a station and outside, so both
+            # partitions publish occupancy deltas for many locations every
+            # round (the ledger replicates more than one counter).
+            for offset, subject in enumerate(self.subjects):
+                if subject in occupants:
+                    continue
+                station = roaming.pop(subject, None)
+                if station is not None:
+                    chunk.append(
+                        MovementRecord(next(clock), subject, station, MovementKind.EXIT)
+                    )
+                else:
+                    station = locations[1 + (offset + index) % (len(locations) - 1)]
+                    roaming[subject] = station
+                    chunk.append(
+                        MovementRecord(next(clock), subject, station, MovementKind.ENTER)
+                    )
+            probe_at = base + span - 10
+            requests = [
+                AccessRequest(probe_at, subject, self.hot)
+                for subject in self.subjects[:10]
+            ]
+            requests += [
+                AccessRequest(
+                    probe_at, subject, locations[1 + offset % (len(locations) - 1)]
+                )
+                for offset, subject in enumerate(self.subjects[10:20])
+            ]
+            self.rounds.append((chunk, requests, self._round_queries(chunk)))
+
+
+def _apply_capacities(builder, workload: Workload):
+    """Give an engine builder the workload's capacity configuration."""
+    if workload.capacities:
+        builder = builder.stage(CapacityStage())
+        for location, limit in sorted(workload.capacities.items()):
+            builder = builder.capacity(location, limit)
+    return builder
+
+
+def _capacity_args(workload: Workload) -> List[str]:
+    """The workload's capacity configuration as ``repro serve`` flags."""
+    args: List[str] = []
+    for location, limit in sorted(workload.capacities.items()):
+        args.extend(["--capacity", f"{location}={limit}"])
+    return args
 
 
 # --------------------------------------------------------------------- #
@@ -209,7 +343,7 @@ class EmbeddedTopology:
         self._shards = shards
 
     def start(self, workload: Workload, tmp_path) -> None:
-        builder = Ltam.builder().hierarchy(workload.hierarchy)
+        builder = _apply_capacities(Ltam.builder().hierarchy(workload.hierarchy), workload)
         if self._backend == "sqlite":
             builder = builder.backend("sqlite", str(tmp_path / f"{self.name}.db"))
         if self._shards is not None:
@@ -257,7 +391,9 @@ class ServerTopology:
         self.name = "server" if wire == "json" else f"server-{wire}"
 
     def start(self, workload: Workload, tmp_path) -> None:
-        engine = Ltam.builder().hierarchy(workload.hierarchy).build()
+        engine = _apply_capacities(
+            Ltam.builder().hierarchy(workload.hierarchy), workload
+        ).build()
         engine.grant_all(workload.authorizations)
         # slow_request_ms=0 arms telemetry fully: every request is traced
         # and sampled.  The transcript must not change — telemetry is inert.
@@ -323,8 +459,7 @@ class PersistentCacheServerTopology(ServerTopology):
         self._cache_path = str(tmp_path / "persistent.cache.db")
         self._workload = workload
         engine = (
-            Ltam.builder()
-            .hierarchy(workload.hierarchy)
+            _apply_capacities(Ltam.builder().hierarchy(workload.hierarchy), workload)
             .backend("sqlite", self._db_path)
             .build()
         )
@@ -350,8 +485,7 @@ class PersistentCacheServerTopology(ServerTopology):
         self._server.stop()
         self._cache.close()
         engine = (
-            Ltam.builder()
-            .hierarchy(workload.hierarchy)
+            _apply_capacities(Ltam.builder().hierarchy(workload.hierarchy), workload)
             .backend("sqlite", self._db_path)
             .build()
         )
@@ -400,7 +534,9 @@ class ReplicaTopology:
     def start(self, workload: Workload, tmp_path) -> None:
         path = str(tmp_path / "replicas.db")
         engine_a = (
-            Ltam.builder().hierarchy(workload.hierarchy).backend("sqlite", path).build()
+            _apply_capacities(Ltam.builder().hierarchy(workload.hierarchy), workload)
+            .backend("sqlite", path)
+            .build()
         )
         engine_a.grant_all(workload.authorizations)
         bus = InvalidationBus()
@@ -410,7 +546,9 @@ class ReplicaTopology:
         )
         self._server_a.start()
         engine_b = (
-            Ltam.builder().hierarchy(workload.hierarchy).backend("sqlite", path).build()
+            _apply_capacities(Ltam.builder().hierarchy(workload.hierarchy), workload)
+            .backend("sqlite", path)
+            .build()
         )
         self._server_b = LtamServer(
             engine_b, cache=DecisionCache(), bus=bus.address, replica_id="conf-b",
@@ -474,7 +612,7 @@ class SubprocessReplicaTopology(ReplicaTopology):
             "a",
             ["--layout", str(layout), "--auths", str(auths), "--db", path,
              "--port", "0", "--bus", "0", "--replica-id", "conf-a",
-             "--slow-ms", "0"],
+             "--slow-ms", "0", *_capacity_args(workload)],
             env,
         )
         port_a = self._await_banner(out_a, r"serving on [^:]+:(\d+) ")
@@ -484,7 +622,7 @@ class SubprocessReplicaTopology(ReplicaTopology):
             "b",
             ["--layout", str(layout), "--db", path, "--port", "0",
              "--peers", f"127.0.0.1:{bus_port}", "--replica-id", "conf-b",
-             "--slow-ms", "0"],
+             "--slow-ms", "0", *_capacity_args(workload)],
             env,
         )
         port_b = self._await_banner(out_b, r"serving on [^:]+:(\d+) ")
@@ -554,11 +692,19 @@ class PartitionedTopology:
     def start(self, workload: Workload, tmp_path) -> None:
         self._servers = []
         addresses = {}
+        # With capacities in play the partitions need the invalidation bus:
+        # it carries the occupancy vectors the capacity ledger folds, so
+        # every partition counts the hot location's occupants fabric-wide.
+        # The first partition hosts the bus; the rest join by address.
+        bus = InvalidationBus() if workload.capacities else None
         for partition in self.PARTITIONS:
-            engine = Ltam.builder().hierarchy(workload.hierarchy).build()
+            engine = _apply_capacities(
+                Ltam.builder().hierarchy(workload.hierarchy), workload
+            ).build()
             engine.grant_all(workload.authorizations)
             server = LtamServer(
                 engine, cache=DecisionCache(), partition=partition,
+                bus=(bus if bus is None or not self._servers else bus.address),
                 slow_request_ms=0.0,
             )
             server.start()
@@ -620,18 +766,26 @@ class SubprocessPartitionedTopology(PartitionedTopology):
         self._procs: List[subprocess.Popen] = []
         env = dict(os.environ)
         addresses = {}
+        bus_port: Optional[int] = None
         for partition in self.PARTITIONS:
-            out = self._spawn(
-                tmp_path,
-                partition,
-                "serve",
-                ["--layout", str(layout), "--auths", str(auths), "--port", "0",
-                 "--partition", partition, "--slow-ms", "0"],
-                env,
-            )
+            args = ["--layout", str(layout), "--auths", str(auths), "--port", "0",
+                    "--partition", partition, "--slow-ms", "0",
+                    *_capacity_args(workload)]
+            # Same bus topology as the in-process variant: with capacities
+            # the first partition hosts the invalidation bus, the rest join
+            # it, and the ledger replicates occupancy across the processes.
+            if workload.capacities:
+                args.extend(
+                    ["--bus", "0"] if bus_port is None else ["--peers", f"127.0.0.1:{bus_port}"]
+                )
+            out = self._spawn(tmp_path, partition, "serve", args, env)
             port = SubprocessReplicaTopology._await_banner(
                 out, r"serving on [^:]+:(\d+) "
             )
+            if workload.capacities and bus_port is None:
+                bus_port = SubprocessReplicaTopology._await_banner(
+                    out, r"bus on [^:]+:(\d+) "
+                )
             addresses[partition] = f"127.0.0.1:{port}"
         self._map = PartitionMap(addresses)
         map_path = tmp_path / "fabric.json"

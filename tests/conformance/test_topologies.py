@@ -17,6 +17,7 @@ import pytest
 
 from conformance_harness import (
     TOPOLOGIES,
+    FlashCrowdWorkload,
     Workload,
     run_topology,
     subprocess_replicas,
@@ -57,6 +58,41 @@ def test_topology_transcript_matches_reference(topology, workload, reference, tm
     transcript, seconds = run_topology(topology, workload, tmp_path)
     _TIMINGS[topology] = seconds
     divergence = transcript.first_divergence(reference)
+    assert divergence is None, f"{topology} diverged from the reference: {divergence}"
+
+
+@pytest.fixture(scope="module")
+def flash_workload() -> FlashCrowdWorkload:
+    return FlashCrowdWorkload(seed=29)
+
+
+@pytest.fixture(scope="module")
+def flash_reference(flash_workload, tmp_path_factory):
+    transcript, seconds = run_topology(
+        "embedded-memory", flash_workload, tmp_path_factory.mktemp("flash-reference")
+    )
+    _TIMINGS["embedded-memory (flash reference)"] = seconds
+    # The workload proves nothing unless the crowd actually saturates the
+    # hot location: the reference transcript must contain over-capacity
+    # denials AND grants that embed a non-trivial occupancy count.
+    assert any('"over_capacity"' in decision for decision in transcript.decisions), (
+        "the flash crowd never filled the hot location"
+    )
+    assert any(
+        '"occupancy 4/6"' in decision for decision in transcript.decisions
+    ), "no probe saw the hot location with slack"
+    return transcript
+
+
+@pytest.mark.parametrize("topology", [name for name in TOPOLOGIES if name != "embedded-memory"])
+def test_flash_crowd_capacity_is_global(topology, flash_workload, flash_reference, tmp_path):
+    """The capacity differential: every topology must produce the embedded
+    reference's exact CapacityStage verdicts — on the partitioned
+    topologies that takes the fabric-wide ledger (the crowd spans both
+    partitions, so partition-local occupancy undercounts the hot room)."""
+    transcript, seconds = run_topology(topology, flash_workload, tmp_path)
+    _TIMINGS[f"{topology} (flash)"] = seconds
+    divergence = transcript.first_divergence(flash_reference)
     assert divergence is None, f"{topology} diverged from the reference: {divergence}"
 
 

@@ -723,3 +723,84 @@ def test_bucket_boundary_entries_never_resurrect_across_buckets(
     assert (warmed.get("Alice", "CAIS", t2) is not None) == same_bucket
     warmed.close()
     db.close()
+
+
+class TestLruSpill:
+    """v2 recency: trim drops the least-recently-*used* row, not the
+    least-recently-written one (the v1 rowid order evicted just-promoted
+    hot rows while stale cold ones survived)."""
+
+    def test_a_read_rescues_a_row_from_trim(self, tmp_path):
+        store = CacheStore(str(tmp_path / "c.db"))
+        for index in range(5):
+            store.put(
+                _key(f"s{index}", "L", 1),
+                position=index, generation=None, json_full="{}", json_elided="{}",
+            )
+        assert store.get(_key("s0", "L", 1)) is not None  # refreshes recency
+        assert store.trim(3) == 2  # drops s1 and s2, the least recently used
+        assert store.get(_key("s0", "L", 1)) is not None
+        assert store.get(_key("s1", "L", 1)) is None
+        assert store.get(_key("s2", "L", 1)) is None
+        store.close()
+
+    def test_recency_survives_a_reopen(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        store = CacheStore(path)
+        for index in range(3):
+            store.put(
+                _key(f"s{index}", "L", 1),
+                position=index, generation=None, json_full="{}", json_elided="{}",
+            )
+        assert store.get(_key("s0", "L", 1)) is not None
+        store.close()
+        # The access clock reseeds past every persisted stamp: new activity
+        # is newer than everything that came before the restart.
+        store = CacheStore(path)
+        store.put(
+            _key("s3", "L", 1),
+            position=3, generation=None, json_full="{}", json_elided="{}",
+        )
+        assert store.trim(2) == 2  # drops s1 and s2; keeps read-s0 and new-s3
+        assert store.get(_key("s0", "L", 1)) is not None
+        assert store.get(_key("s3", "L", 1)) is not None
+        store.close()
+
+    def test_just_promoted_row_survives_a_trim(self, tmp_path):
+        cache = TieredDecisionCache(str(tmp_path / "c.db"), maxsize=2)
+        _put(cache, "a", "L", 1)
+        _put(cache, "b", "L", 2)
+        _put(cache, "c", "L", 3)  # "a" demoted to disk-only
+        assert cache.get("a", "L", 1) is not None  # disk hit -> promotion
+        # "a" owns the oldest rowid in the file: the v1 insertion-order trim
+        # would evict exactly the row that was just proven hot.
+        assert cache.sidecar.trim(2) == 1
+        assert cache.sidecar.get(_key("a", "L", 1)) is not None
+        assert cache.sidecar.get(_key("c", "L", 3)) is None
+        cache.close()
+
+    def test_v1_sidecar_is_migrated_then_purged(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "c.db")
+        store = CacheStore(path)
+        store.put(
+            _key("A", "L", 1), position=0, generation=None, json_full="{}", json_elided="{}"
+        )
+        store.close()
+        # Forge a v1 file: no last_access column, format_version 1.
+        raw = sqlite3.connect(path)
+        raw.execute("UPDATE cache_meta SET value = '1' WHERE key = 'format_version'")
+        raw.execute("DROP INDEX IF EXISTS idx_cache_access")
+        raw.execute("ALTER TABLE cache_entries DROP COLUMN last_access")
+        raw.commit()
+        raw.close()
+        store = CacheStore(path)  # must not crash on the missing column
+        assert store.count() == 0  # a foreign format never resurrects entries
+        assert store.get_meta("format_version") == "2"
+        store.put(
+            _key("B", "L", 2), position=1, generation=None, json_full="{}", json_elided="{}"
+        )
+        assert store.get(_key("B", "L", 2)) is not None
+        assert store.trim(0) == 1  # the migrated schema trims cleanly
+        store.close()

@@ -1,0 +1,248 @@
+"""The global capacity ledger: fold semantics + the fabric-wide eviction path.
+
+The unit half pins :class:`CapacityLedger`'s contract (absolute counts,
+idempotent last-write-wins folds, zero pruning, full-vector reconciliation).
+The integration half is the PR's acceptance criterion end to end: a capacity
+decision cached on partition A must be evicted — and flip to an
+``over_capacity`` denial — when the occupancy that invalidates it was
+ingested on partition B, with the router's two-phase ``sync`` as the only
+barrier in between.
+"""
+
+from __future__ import annotations
+
+from repro.api import Ltam, grant
+from repro.api.stages import CapacityStage
+from repro.locations.multilevel import LocationHierarchy
+from repro.service import (
+    CapacityLedger,
+    DecisionCache,
+    FabricRouter,
+    InvalidationBus,
+    LtamServer,
+    PartitionMap,
+)
+from repro.simulation.buildings import grid_building
+from repro.storage.movement_db import MovementKind, MovementRecord
+
+HORIZON = 10_000
+
+
+# --------------------------------------------------------------------- #
+# CapacityLedger unit behavior
+# --------------------------------------------------------------------- #
+class TestCapacityLedger:
+    def test_partial_apply_merges_and_reports_changes(self):
+        ledger = CapacityLedger()
+        assert ledger.apply("west", {"B.R0C0": 2, "B.R0C1": 1}) == ["B.R0C0", "B.R0C1"]
+        assert ledger.remote_occupancy("B.R0C0") == 2
+        # an untouched location survives a later partial naming only others
+        assert ledger.apply("west", {"B.R0C0": 3}) == ["B.R0C0"]
+        assert ledger.remote_occupancy("B.R0C1") == 1
+        assert ledger.totals() == {"B.R0C0": 3, "B.R0C1": 1}
+
+    def test_reapplying_the_same_vector_is_idempotent(self):
+        ledger = CapacityLedger()
+        ledger.apply("west", {"B.R0C0": 2})
+        assert ledger.apply("west", {"B.R0C0": 2}) == []
+        assert ledger.remote_occupancy("B.R0C0") == 2
+
+    def test_zero_counts_are_pruned(self):
+        ledger = CapacityLedger()
+        ledger.apply("west", {"B.R0C0": 2})
+        assert ledger.apply("west", {"B.R0C0": 0}) == ["B.R0C0"]
+        assert ledger.remote_occupancy("B.R0C0") == 0
+        assert ledger.remote_vectors() == {}
+        assert ledger.totals() == {}
+
+    def test_full_vector_replaces_the_origin_wholesale(self):
+        ledger = CapacityLedger()
+        ledger.apply("west", {"B.R0C0": 2, "B.R0C1": 1})
+        changed = ledger.apply("west", {"B.R1C0": 4}, full=True)
+        assert changed == ["B.R0C0", "B.R0C1", "B.R1C0"]
+        assert ledger.remote_vectors() == {"west": {"B.R1C0": 4}}
+        assert ledger.totals() == {"B.R1C0": 4}
+
+    def test_totals_sum_across_origins(self):
+        ledger = CapacityLedger()
+        ledger.apply("west", {"B.R0C0": 2})
+        ledger.apply("north", {"B.R0C0": 1, "B.R0C1": 5})
+        assert ledger.remote_occupancy("B.R0C0") == 3
+        assert ledger.origins == ["north", "west"]
+        assert ledger.totals() == {"B.R0C0": 3, "B.R0C1": 5}
+
+    def test_drop_origin_subtracts_exactly_that_peer(self):
+        ledger = CapacityLedger()
+        ledger.apply("west", {"B.R0C0": 2})
+        ledger.apply("north", {"B.R0C0": 1})
+        assert ledger.drop_origin("west") == ["B.R0C0"]
+        assert ledger.remote_occupancy("B.R0C0") == 1
+        assert ledger.origins == ["north"]
+
+    def test_lag_and_stats(self):
+        ledger = CapacityLedger()
+        assert ledger.lag_seconds == 0.0
+        ledger.apply("west", {"B.R0C0": 2})
+        assert ledger.lag_seconds >= 0.0
+        stats = ledger.stats
+        assert stats["origins"] == ["west"]
+        assert stats["locations"] == 1
+        assert stats["remote_occupants"] == 2
+        assert stats["applied"] == 1
+
+
+# --------------------------------------------------------------------- #
+# The fabric-wide eviction path (the acceptance criterion)
+# --------------------------------------------------------------------- #
+def _capacity_engine(hierarchy, subjects, hot, limit):
+    engine = (
+        Ltam.builder()
+        .hierarchy(hierarchy)
+        .stage(CapacityStage())
+        .capacity(hot, limit)
+        .build()
+    )
+    for subject in subjects:
+        engine.grant(grant(subject).at(hot).during(0, HORIZON).entries(500))
+    return engine
+
+
+class TestGlobalCapacityAcrossPartitions:
+    def _build(self, limit=2):
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        hot = sorted(hierarchy.primitive_names)[0]
+        subjects = [f"user-{index:02d}" for index in range(24)]
+        bus = InvalidationBus()
+        servers, caches, addresses = {}, {}, {}
+        for name in ("east", "west"):
+            cache = DecisionCache()
+            server = LtamServer(
+                _capacity_engine(hierarchy, subjects, hot, limit),
+                cache=cache,
+                partition=name,
+                replica_id=name,
+                bus=bus if not servers else bus.address,
+            )
+            server.start()
+            servers[name], caches[name] = server, cache
+            addresses[name] = "%s:%d" % server.address
+        router = FabricRouter(PartitionMap(addresses))
+        return hot, subjects, servers, caches, router
+
+    def test_remote_occupancy_evicts_a_cached_capacity_grant(self):
+        """Partition A's cached grant dies when partition B fills the room."""
+        hot, subjects, servers, caches, router = self._build(limit=2)
+        try:
+            pmap = router.partition_map
+            probe = next(s for s in subjects if pmap.owner(s) == "east")
+            walkers = [s for s in subjects if pmap.owner(s) == "west"][:2]
+            assert len(walkers) == 2, "need two west-owned subjects"
+
+            first = router.decide((100, probe, hot))
+            assert first.granted, "the room is empty; the probe must pass"
+            # the grant is now cached on east under (probe, hot, 100)
+
+            # B's side of the story: two west-owned subjects walk in.  Their
+            # ENTER events route to west; east's local projection never
+            # learns about them — only the ledger can.
+            router.observe_batch(
+                [MovementRecord(50, walker, hot, MovementKind.ENTER) for walker in walkers],
+                mode="monitor",
+                wait=True,
+            )
+            router.sync_raw()  # the two-phase convergence barrier
+
+            second = router.decide((100, probe, hot))
+            assert not second.granted, (
+                "east still granted after west filled the room: the cached "
+                "decision survived the remote occupancy change"
+            )
+            assert str(second.reason) == "over_capacity"
+
+            # the ledger agrees on both sides of the fabric
+            assert servers["east"]._ledger.remote_occupancy(hot) == 2
+            assert servers["west"]._ledger.remote_occupancy(hot) == 0  # west holds them locally
+            health = router.health()
+            assert health["ledger"]["enabled"] is True
+            assert health["ledger"]["converged"] is True
+        finally:
+            router.close()
+            for server in servers.values():
+                server.stop()
+
+    def test_exit_frees_the_global_slot(self):
+        """An EXIT on the remote partition reopens capacity everywhere."""
+        hot, subjects, servers, caches, router = self._build(limit=1)
+        try:
+            pmap = router.partition_map
+            probe = next(s for s in subjects if pmap.owner(s) == "east")
+            walker = next(s for s in subjects if pmap.owner(s) == "west")
+
+            router.observe_batch(
+                [MovementRecord(50, walker, hot, MovementKind.ENTER)],
+                mode="monitor",
+                wait=True,
+            )
+            router.sync_raw()
+            denied = router.decide((100, probe, hot))
+            assert not denied.granted and str(denied.reason) == "over_capacity"
+
+            router.observe_batch(
+                [MovementRecord(150, walker, hot, MovementKind.EXIT)],
+                mode="monitor",
+                wait=True,
+            )
+            router.sync_raw()
+            allowed = router.decide((200, probe, hot))
+            assert allowed.granted, "the slot never reopened after the remote EXIT"
+        finally:
+            router.close()
+            for server in servers.values():
+                server.stop()
+
+    def test_reshard_keeps_the_ledger_consistent(self):
+        """Moving a mid-stay subject must not double-count (or lose) it."""
+        hot, subjects, servers, caches, router = self._build(limit=2)
+        try:
+            pmap = router.partition_map
+            walker = next(s for s in subjects if pmap.owner(s) == "west")
+            probe = next(s for s in subjects if pmap.owner(s) == "east")
+            router.observe_batch(
+                [MovementRecord(50, walker, hot, MovementKind.ENTER)],
+                mode="monitor",
+                wait=True,
+            )
+            router.sync_raw()
+            assert servers["east"]._ledger.remote_occupancy(hot) == 1
+
+            # migrate the mid-stay walker east; reshard() runs its own barrier
+            router.reshard(pmap.with_assignment(walker, "east"))
+            # east now holds the stay locally; its remote view of west is empty
+            assert servers["east"]._ledger.remote_occupancy(hot) == 0
+            assert servers["east"].engine.movement_db.occupancy(hot) == 1
+            # west sees the stay as remote — exactly once, never twice
+            assert servers["west"]._ledger.remote_occupancy(hot) == 1
+            assert servers["west"].engine.movement_db.occupancy(hot) == 0
+
+            # global count is still 1 from either side: a limit-2 room takes
+            # exactly one more occupant
+            more = router.decide((100, probe, hot))
+            assert more.granted
+            health = router.health()
+            assert health["ledger"]["converged"] is True
+        finally:
+            router.close()
+            for server in servers.values():
+                server.stop()
+
+    def test_standalone_server_has_no_ledger(self):
+        """No partition, no bus — occupancy_of stays purely local."""
+        hierarchy = LocationHierarchy(grid_building("B", 2, 2))
+        hot = sorted(hierarchy.primitive_names)[0]
+        engine = _capacity_engine(hierarchy, ["alice", "bob"], hot, 1)
+        with LtamServer(engine) as server:
+            assert server._ledger is None
+        # the embedded engine still enforces the local limit on its own
+        engine.observe_entry(10, "alice", hot)
+        denied = engine.decide((20, "bob", hot))
+        assert not denied.granted and str(denied.reason) == "over_capacity"

@@ -445,6 +445,88 @@ class TestReshard:
                 if caches[name] is not None:
                     caches[name].close()
 
+    def test_warm_restart_under_a_simultaneous_map_change(self, tmp_path):
+        """The collision of the two durability stories: a partition that
+        restarts *right after* a reshard must come back with a sidecar
+        that is both warm (kept subjects hit without re-evaluation) and
+        clean (the migrated subject's rows never resurrect)."""
+        from repro.service import TieredDecisionCache, engine_fingerprint
+
+        hierarchy = _hierarchy()
+        generator = AuthorizationWorkloadGenerator(hierarchy, seed=47)
+        subjects = generate_subjects(12)
+        authorizations = generator.authorizations(subjects)
+        events = generator.movement_events(subjects, 300)
+        servers, caches, addresses = {}, {}, {}
+        for name in ("east", "west"):
+            cache = TieredDecisionCache(str(tmp_path / f"{name}.cache.db"))
+            server = LtamServer(
+                _fresh_engine(hierarchy, authorizations), cache=cache, partition=name
+            )
+            server.start()
+            servers[name], caches[name] = server, cache
+            addresses[name] = "%s:%d" % server.address
+        router = FabricRouter(PartitionMap(addresses))
+        try:
+            router.observe_batch(events, mode="monitor", wait=True)
+            hot = subjects[0]
+            old_map = router.partition_map
+            source = old_map.owner(hot)
+            target = next(n for n in old_map.names if n != source)
+            kept = next(
+                s for s in subjects[1:] if old_map.owner(s) == source and s != hot
+            )
+            locations = sorted(hierarchy.primitive_names)[:2]
+            for location in locations:
+                router.decide((500, hot, location))
+
+            # the map change: hot migrates away mid-flight
+            router.reshard(old_map.with_assignment(hot, target))
+            assert router.partition_map.owner(kept) == source
+
+            # prime the kept subject AFTER the handoff, so its cached
+            # positions postdate every write the migration made
+            kept_requests = [(600, kept, location) for location in locations]
+            for request in kept_requests:
+                router.decide(request)
+
+            # ... and now the restart, over the very same sidecar file
+            host, port = servers[source].address
+            engine = servers[source].engine
+            servers[source].stop()
+            caches[source].close()
+            reopened = TieredDecisionCache(str(tmp_path / f"{source}.cache.db"))
+            caches[source] = reopened
+            report = reopened.warm(
+                engine.movement_db, fingerprint=engine_fingerprint(engine)
+            )
+            assert report["readmitted"] >= len(kept_requests), (
+                "the kept subject's rows did not survive the reshard+restart"
+            )
+            assert not [row for row in reopened.sidecar.rows() if row[0] == hot], (
+                "the migrated subject's rows resurrected through the restart"
+            )
+            servers[source] = LtamServer(
+                engine, cache=reopened, host=host, port=port, partition=source
+            )
+            servers[source].start()
+
+            # kept subjects answer warm: the routed repeats are cache hits
+            hits_before = reopened.stats["hits"]
+            for request in kept_requests:
+                router.decide(request)
+            assert reopened.stats["hits"] - hits_before == len(kept_requests)
+
+            # the moved subject keeps answering from its new owner
+            routed = router.decide((700, hot, locations[0]))
+            assert routed.request.subject == hot
+            assert router.partition_map.owner(hot) == target
+        finally:
+            router.close()
+            for name, server in servers.items():
+                server.stop()
+                caches[name].close()
+
     def test_reshard_rejects_stale_maps(self):
         _, _, _, servers, router = self._build()
         try:

@@ -161,3 +161,66 @@ class TestRequestLogging:
                 with ServiceClient(*server.address) as client:
                     client.health()
         assert not caplog.records
+
+
+class TestSharedAuthToken:
+    """--auth-token: one shared secret gates server, router and bus alike."""
+
+    def test_server_refuses_frames_without_the_token(self):
+        from repro.service import ServiceAuthError
+
+        with LtamServer(_engine(), auth_token="sesame") as server:
+            with ServiceClient(*server.address, auth_token="sesame") as good:
+                assert good.health()["status"] == "ok"
+                assert good.decide((5, "alice", "B.R0C0")).granted
+            bad = ServiceClient(*server.address)
+            with pytest.raises(ServiceAuthError):
+                bad.health()
+            bad.close()
+            wrong = ServiceClient(*server.address, auth_token="open says me")
+            with pytest.raises(ServiceAuthError):
+                wrong.decide((5, "alice", "B.R0C0"))
+            wrong.close()
+            assert server.metrics.counter_value("repro_auth_refused_total") == 2
+
+    def test_router_refuses_frames_without_the_token(self):
+        from repro.service import ServiceAuthError
+
+        with LtamServer(_engine(), partition="solo") as server:
+            address = "%s:%d" % server.address
+            router = FabricRouter(PartitionMap({"solo": address}))
+            hosted = RouterServer(router, port=0, auth_token="sesame")
+            hosted.start()
+            try:
+                with ServiceClient(*hosted.address, auth_token="sesame") as good:
+                    assert good.decide((5, "alice", "B.R0C0")).granted
+                bad = ServiceClient(*hosted.address)
+                with pytest.raises(ServiceAuthError):
+                    bad.decide((5, "alice", "B.R0C0"))
+                bad.close()
+            finally:
+                hosted.stop()
+                router.close()
+
+    def test_bus_refuses_links_without_the_token(self):
+        with InvalidationBus(auth_token="sesame") as bus:
+            refused = BusLink(
+                bus.address, replica_id="intruder", reconnect_delay=0.05,
+                on_events=lambda origin, events: None, on_resync=lambda: None,
+            )
+            try:
+                assert wait_until(lambda: refused.stats["auth_refusals"] >= 1)
+                assert not refused.connected
+                assert bus.stats["auth_refusals"] >= 1
+            finally:
+                refused.close()
+            admitted = BusLink(
+                bus.address, replica_id="member", auth_token="sesame",
+                reconnect_delay=0.05,
+                on_events=lambda origin, events: None, on_resync=lambda: None,
+            )
+            try:
+                assert wait_until(lambda: admitted.connected)
+                assert admitted.publish([{"kind": "clear"}])
+            finally:
+                admitted.close()
